@@ -1,0 +1,25 @@
+//! # rf-apps — hosts and applications for the demo workloads
+//!
+//! The paper's demonstration "streams a video clip from a server to a
+//! remote client" across the freshly auto-configured network and
+//! reports that it arrives "within 4 minutes (including the
+//! configuration time)". This crate provides the endpoints:
+//!
+//! * [`stack::HostStack`] — a minimal host IP stack: gratuitous ARP at
+//!   boot, gateway ARP resolution with packet queueing, ICMP echo
+//!   responder, UDP send/receive;
+//! * [`video::VideoServer`] / [`video::VideoClient`] — a CBR UDP video
+//!   stream (VLC substitute): the client requests the stream, the
+//!   server paces fixed-size frames at the configured bitrate, and the
+//!   client records time-to-first-byte, playback start (after its
+//!   jitter buffer fills), sequence gaps and stall counts;
+//! * [`ping::Pinger`] — ICMP echo round-trip probing for the
+//!   quickstart example and reachability assertions in tests.
+
+pub mod ping;
+pub mod stack;
+pub mod video;
+
+pub use ping::{EchoHost, Pinger};
+pub use stack::{HostConfig, HostStack, StackOutput};
+pub use video::{VideoClient, VideoClientReport, VideoServer};

@@ -1,0 +1,122 @@
+//! ICMP echo probing: "is the network configured yet?"
+
+use crate::stack::{HostConfig, HostStack, StackOutput};
+use bytes::Bytes;
+use rf_sim::{Agent, Ctx, Time};
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+const T_PING: u64 = 1;
+
+/// Sends pings to a target on an interval and records round trips.
+pub struct Pinger {
+    stack: HostStack,
+    pub target: Ipv4Addr,
+    pub interval: Duration,
+    pub ident: u16,
+    next_seq: u16,
+    sent_at: Vec<(u16, Time)>,
+    /// Completed round trips: (seq, rtt).
+    pub rtts: Vec<(u16, Duration)>,
+    /// Time of the first successful reply — "the network works now".
+    pub first_reply_at: Option<Time>,
+    pub max_pings: u16,
+}
+
+impl Pinger {
+    pub fn new(cfg: HostConfig, target: Ipv4Addr) -> Pinger {
+        Pinger {
+            stack: HostStack::new(cfg),
+            target,
+            interval: Duration::from_secs(1),
+            ident: 0x5246,
+            next_seq: 0,
+            sent_at: Vec::new(),
+            rtts: Vec::new(),
+            first_reply_at: None,
+            max_pings: 0,
+        }
+    }
+
+    fn emit(&mut self, ctx: &mut Ctx<'_>, outs: Vec<StackOutput>) {
+        for o in outs {
+            match o {
+                StackOutput::Tx(f) => ctx.send_frame(1, f),
+                StackOutput::EchoReply { from, ident, seq } => {
+                    if from == self.target && ident == self.ident {
+                        if let Some(&(_, at)) = self.sent_at.iter().find(|(s, _)| *s == seq) {
+                            let rtt = ctx.now().since(at);
+                            self.rtts.push((seq, rtt));
+                            if self.first_reply_at.is_none() {
+                                self.first_reply_at = Some(ctx.now());
+                                ctx.trace("ping.first_reply", format!("t = {}", ctx.now()));
+                            }
+                        }
+                    }
+                }
+                StackOutput::Udp { .. } => {}
+            }
+        }
+    }
+}
+
+impl Agent for Pinger {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let outs = self.stack.boot();
+        self.emit(ctx, outs);
+        ctx.schedule(self.interval, T_PING);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token != T_PING {
+            return;
+        }
+        if self.max_pings != 0 && self.next_seq >= self.max_pings {
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.sent_at.push((seq, ctx.now()));
+        let outs = self.stack.send_ping(self.target, self.ident, seq);
+        self.emit(ctx, outs);
+        ctx.schedule(self.interval, T_PING);
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, _port: u32, frame: Bytes) {
+        let outs = self.stack.on_frame(&frame);
+        self.emit(ctx, outs);
+    }
+}
+
+/// A passive host that simply answers pings (and ARPs).
+pub struct EchoHost {
+    stack: HostStack,
+}
+
+impl EchoHost {
+    pub fn new(cfg: HostConfig) -> EchoHost {
+        EchoHost {
+            stack: HostStack::new(cfg),
+        }
+    }
+}
+
+impl Agent for EchoHost {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let outs = self.stack.boot();
+        for o in outs {
+            if let StackOutput::Tx(f) = o {
+                ctx.send_frame(1, f);
+            }
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, _port: u32, frame: Bytes) {
+        let outs = self.stack.on_frame(&frame);
+        for o in outs {
+            if let StackOutput::Tx(f) = o {
+                ctx.send_frame(1, f);
+            }
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! A minimal host IP stack (sans-IO): ARP, ICMP echo, UDP.
+
+use bytes::Bytes;
+use rf_wire::{
+    ArpOp, ArpPacket, EtherType, EthernetFrame, IcmpPacket, IpProtocol, Ipv4Cidr, Ipv4Packet,
+    MacAddr, UdpPacket,
+};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Host addressing.
+#[derive(Clone, Copy, Debug)]
+pub struct HostConfig {
+    pub mac: MacAddr,
+    pub addr: Ipv4Cidr,
+    pub gateway: Ipv4Addr,
+}
+
+/// What the stack wants done after processing input.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StackOutput {
+    /// Transmit this frame on the host's single interface.
+    Tx(Bytes),
+    /// A UDP datagram arrived for us.
+    Udp {
+        src: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        payload: Bytes,
+    },
+    /// An ICMP echo reply arrived (ident, seq).
+    EchoReply { from: Ipv4Addr, ident: u16, seq: u16 },
+}
+
+/// The host stack.
+pub struct HostStack {
+    cfg: HostConfig,
+    arp_cache: HashMap<Ipv4Addr, MacAddr>,
+    /// Packets waiting on ARP resolution, keyed by next-hop IP.
+    pending: Vec<(Ipv4Addr, Ipv4Packet)>,
+    /// Datagrams received (diagnostics).
+    pub udp_rx: u64,
+    pub udp_tx: u64,
+}
+
+impl HostStack {
+    pub fn new(cfg: HostConfig) -> HostStack {
+        HostStack {
+            cfg,
+            arp_cache: HashMap::new(),
+            pending: Vec::new(),
+            udp_rx: 0,
+            udp_tx: 0,
+        }
+    }
+
+    pub fn ip(&self) -> Ipv4Addr {
+        self.cfg.addr.addr
+    }
+
+    pub fn mac(&self) -> MacAddr {
+        self.cfg.mac
+    }
+
+    /// Frames to send at boot: a gratuitous ARP so the network (and
+    /// RouteFlow's host learner) knows where we are.
+    pub fn boot(&self) -> Vec<StackOutput> {
+        let garp = ArpPacket {
+            op: ArpOp::Request,
+            sender_mac: self.cfg.mac,
+            sender_ip: self.cfg.addr.addr,
+            target_mac: MacAddr::ZERO,
+            target_ip: self.cfg.addr.addr,
+        };
+        vec![StackOutput::Tx(
+            EthernetFrame::new(MacAddr::BROADCAST, self.cfg.mac, EtherType::ARP, garp.emit())
+                .emit(),
+        )]
+    }
+
+    /// The next hop for `dst`: on-link or via the gateway.
+    fn next_hop(&self, dst: Ipv4Addr) -> Ipv4Addr {
+        if self.cfg.addr.contains(dst) {
+            dst
+        } else {
+            self.cfg.gateway
+        }
+    }
+
+    fn emit_ip(&mut self, ip: Ipv4Packet) -> Vec<StackOutput> {
+        let nh = self.next_hop(ip.dst);
+        match self.arp_cache.get(&nh) {
+            Some(&mac) => {
+                vec![StackOutput::Tx(
+                    EthernetFrame::new(mac, self.cfg.mac, EtherType::IPV4, ip.emit()).emit(),
+                )]
+            }
+            None => {
+                self.pending.push((nh, ip));
+                let req = ArpPacket::request(self.cfg.mac, self.cfg.addr.addr, nh);
+                vec![StackOutput::Tx(
+                    EthernetFrame::new(MacAddr::BROADCAST, self.cfg.mac, EtherType::ARP, req.emit())
+                        .emit(),
+                )]
+            }
+        }
+    }
+
+    /// Send a UDP datagram.
+    pub fn send_udp(
+        &mut self,
+        dst: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        payload: Bytes,
+    ) -> Vec<StackOutput> {
+        self.udp_tx += 1;
+        let udp = UdpPacket::new(src_port, dst_port, payload);
+        let ip = Ipv4Packet::new(
+            self.cfg.addr.addr,
+            dst,
+            IpProtocol::UDP,
+            udp.emit(self.cfg.addr.addr, dst),
+        );
+        self.emit_ip(ip)
+    }
+
+    /// Send an ICMP echo request.
+    pub fn send_ping(&mut self, dst: Ipv4Addr, ident: u16, seq: u16) -> Vec<StackOutput> {
+        let icmp = IcmpPacket::echo_request(ident, seq, Bytes::from_static(b"rf-ping"));
+        let ip = Ipv4Packet::new(self.cfg.addr.addr, dst, IpProtocol::ICMP, icmp.emit());
+        self.emit_ip(ip)
+    }
+
+    /// Process a received frame.
+    pub fn on_frame(&mut self, frame: &[u8]) -> Vec<StackOutput> {
+        let Ok(eth) = EthernetFrame::parse(frame) else {
+            return Vec::new();
+        };
+        if !eth.dst.is_broadcast() && eth.dst != self.cfg.mac && !eth.dst.is_multicast() {
+            return Vec::new();
+        }
+        match eth.ethertype {
+            EtherType::ARP => self.on_arp(&eth),
+            EtherType::IPV4 => self.on_ip(&eth),
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_arp(&mut self, eth: &EthernetFrame) -> Vec<StackOutput> {
+        let Ok(arp) = ArpPacket::parse(&eth.payload) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        // Learn the sender either way.
+        if arp.sender_ip != Ipv4Addr::UNSPECIFIED {
+            self.arp_cache.insert(arp.sender_ip, arp.sender_mac);
+        }
+        if arp.op == ArpOp::Request && arp.target_ip == self.cfg.addr.addr {
+            let reply = ArpPacket::reply_to(&arp, self.cfg.mac);
+            out.push(StackOutput::Tx(
+                EthernetFrame::new(arp.sender_mac, self.cfg.mac, EtherType::ARP, reply.emit())
+                    .emit(),
+            ));
+        }
+        // Flush anything waiting on this resolution.
+        let resolved: Vec<(Ipv4Addr, Ipv4Packet)> = {
+            let cache = &self.arp_cache;
+            let (ready, waiting): (Vec<_>, Vec<_>) = self
+                .pending
+                .drain(..)
+                .partition(|(nh, _)| cache.contains_key(nh));
+            self.pending = waiting;
+            ready
+        };
+        for (nh, ip) in resolved {
+            let mac = self.arp_cache[&nh];
+            out.push(StackOutput::Tx(
+                EthernetFrame::new(mac, self.cfg.mac, EtherType::IPV4, ip.emit()).emit(),
+            ));
+        }
+        out
+    }
+
+    fn on_ip(&mut self, eth: &EthernetFrame) -> Vec<StackOutput> {
+        let Ok(ip) = Ipv4Packet::parse(&eth.payload) else {
+            return Vec::new();
+        };
+        if ip.dst != self.cfg.addr.addr {
+            return Vec::new();
+        }
+        match ip.protocol {
+            IpProtocol::UDP => {
+                let Ok(udp) = UdpPacket::parse(&ip.payload, ip.src, ip.dst) else {
+                    return Vec::new();
+                };
+                self.udp_rx += 1;
+                vec![StackOutput::Udp {
+                    src: ip.src,
+                    src_port: udp.src_port,
+                    dst_port: udp.dst_port,
+                    payload: udp.payload,
+                }]
+            }
+            IpProtocol::ICMP => {
+                let Ok(icmp) = IcmpPacket::parse(&ip.payload) else {
+                    return Vec::new();
+                };
+                match icmp {
+                    IcmpPacket::EchoRequest { .. } => {
+                        let reply = IcmpPacket::reply_to(&icmp);
+                        let rip =
+                            Ipv4Packet::new(self.cfg.addr.addr, ip.src, IpProtocol::ICMP, reply.emit());
+                        self.emit_ip(rip)
+                    }
+                    IcmpPacket::EchoReply { ident, seq, .. } => {
+                        vec![StackOutput::EchoReply {
+                            from: ip.src,
+                            ident,
+                            seq,
+                        }]
+                    }
+                    IcmpPacket::Other { .. } => Vec::new(),
+                }
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host(ip: &str, gw: &str) -> HostStack {
+        HostStack::new(HostConfig {
+            mac: MacAddr([2, 0, 0, 0, 0, 0x42]),
+            addr: format!("{ip}/24").parse().unwrap(),
+            gateway: gw.parse().unwrap(),
+        })
+    }
+
+    #[test]
+    fn boot_sends_gratuitous_arp() {
+        let h = host("10.9.0.2", "10.9.0.1");
+        let out = h.boot();
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            StackOutput::Tx(f) => {
+                let eth = EthernetFrame::parse(f).unwrap();
+                assert_eq!(eth.dst, MacAddr::BROADCAST);
+                let arp = ArpPacket::parse(&eth.payload).unwrap();
+                assert_eq!(arp.sender_ip, arp.target_ip);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn off_link_udp_arps_gateway_then_flushes() {
+        let mut h = host("10.9.0.2", "10.9.0.1");
+        let out = h.send_udp("10.8.0.5".parse().unwrap(), 1000, 2000, Bytes::from_static(b"x"));
+        // First an ARP request for the gateway.
+        let StackOutput::Tx(f) = &out[0] else { panic!() };
+        let eth = EthernetFrame::parse(f).unwrap();
+        assert_eq!(eth.ethertype, EtherType::ARP);
+        let arp = ArpPacket::parse(&eth.payload).unwrap();
+        assert_eq!(arp.target_ip, "10.9.0.1".parse::<Ipv4Addr>().unwrap());
+        // Gateway answers; the queued datagram goes out.
+        let gw_mac = MacAddr([2, 0, 0, 0, 0, 1]);
+        let reply = ArpPacket::reply_to(&arp, gw_mac);
+        let rf = EthernetFrame::new(h.mac(), gw_mac, EtherType::ARP, reply.emit()).emit();
+        let out = h.on_frame(&rf);
+        assert_eq!(out.len(), 1);
+        let StackOutput::Tx(f) = &out[0] else { panic!() };
+        let eth = EthernetFrame::parse(f).unwrap();
+        assert_eq!(eth.dst, gw_mac);
+        assert_eq!(eth.ethertype, EtherType::IPV4);
+    }
+
+    #[test]
+    fn on_link_udp_arps_destination() {
+        let mut h = host("10.9.0.2", "10.9.0.1");
+        let out = h.send_udp("10.9.0.7".parse().unwrap(), 1, 2, Bytes::new());
+        let StackOutput::Tx(f) = &out[0] else { panic!() };
+        let arp = ArpPacket::parse(&EthernetFrame::parse(f).unwrap().payload).unwrap();
+        assert_eq!(arp.target_ip, "10.9.0.7".parse::<Ipv4Addr>().unwrap());
+    }
+
+    #[test]
+    fn answers_icmp_echo() {
+        let mut h = host("10.9.0.2", "10.9.0.1");
+        // Prime ARP cache via request from the pinger.
+        let pinger_mac = MacAddr([2, 9, 9, 9, 9, 9]);
+        let icmp = IcmpPacket::echo_request(7, 3, Bytes::from_static(b"hi"));
+        let src: Ipv4Addr = "10.9.0.9".parse().unwrap();
+        let arp = ArpPacket::request(pinger_mac, src, h.ip());
+        let arpf = EthernetFrame::new(MacAddr::BROADCAST, pinger_mac, EtherType::ARP, arp.emit());
+        h.on_frame(&arpf.emit());
+        let ip = Ipv4Packet::new(src, h.ip(), IpProtocol::ICMP, icmp.emit());
+        let f = EthernetFrame::new(h.mac(), pinger_mac, EtherType::IPV4, ip.emit());
+        let out = h.on_frame(&f.emit());
+        assert_eq!(out.len(), 1);
+        let StackOutput::Tx(reply) = &out[0] else {
+            panic!("{out:?}")
+        };
+        let eth = EthernetFrame::parse(reply).unwrap();
+        let rip = Ipv4Packet::parse(&eth.payload).unwrap();
+        assert!(matches!(
+            IcmpPacket::parse(&rip.payload).unwrap(),
+            IcmpPacket::EchoReply { ident: 7, seq: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn udp_delivery_surfaces_payload() {
+        let mut h = host("10.9.0.2", "10.9.0.1");
+        let src: Ipv4Addr = "10.8.0.1".parse().unwrap();
+        let udp = UdpPacket::new(5004, 9000, Bytes::from_static(b"frame-1"));
+        let ip = Ipv4Packet::new(src, h.ip(), IpProtocol::UDP, udp.emit(src, h.ip()));
+        let f = EthernetFrame::new(h.mac(), MacAddr([1; 6]), EtherType::IPV4, ip.emit());
+        let out = h.on_frame(&f.emit());
+        assert_eq!(
+            out,
+            vec![StackOutput::Udp {
+                src,
+                src_port: 5004,
+                dst_port: 9000,
+                payload: Bytes::from_static(b"frame-1"),
+            }]
+        );
+        assert_eq!(h.udp_rx, 1);
+    }
+
+    #[test]
+    fn ignores_foreign_unicast() {
+        let mut h = host("10.9.0.2", "10.9.0.1");
+        let src: Ipv4Addr = "10.8.0.1".parse().unwrap();
+        let udp = UdpPacket::new(1, 2, Bytes::new());
+        let ip = Ipv4Packet::new(src, h.ip(), IpProtocol::UDP, udp.emit(src, h.ip()));
+        // Wrong destination MAC.
+        let f = EthernetFrame::new(MacAddr([8; 6]), MacAddr([2; 6]), EtherType::IPV4, ip.emit());
+        assert!(h.on_frame(&f.emit()).is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+//! M1 — OpenFlow 1.0 codec throughput: every control byte in the
+//! system crosses these encode/decode paths (twice when FlowVisor is
+//! in the middle).
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rf_openflow::{Action, FlowModCommand, OfMatch, OfMessage, OFPP_NONE, OFP_NO_BUFFER};
+use rf_wire::MacAddr;
+use std::net::Ipv4Addr;
+
+fn flow_mod() -> OfMessage {
+    OfMessage::FlowMod {
+        of_match: OfMatch::ipv4_dst_prefix(Ipv4Addr::new(10, 2, 0, 0), 16),
+        cookie: 0xFEED,
+        command: FlowModCommand::Add,
+        idle_timeout: 0,
+        hard_timeout: 0,
+        priority: 0x1080,
+        buffer_id: OFP_NO_BUFFER,
+        out_port: OFPP_NONE,
+        flags: 0,
+        actions: vec![
+            Action::SetDlSrc(MacAddr([2, 0, 0, 0, 0, 1])),
+            Action::SetDlDst(MacAddr([2, 0, 0, 0, 0, 2])),
+            Action::output(2),
+        ],
+    }
+}
+
+fn packet_in() -> OfMessage {
+    OfMessage::PacketIn {
+        buffer_id: 42,
+        total_len: 128,
+        in_port: 3,
+        reason: rf_openflow::PacketInReason::NoMatch,
+        data: Bytes::from(vec![0xABu8; 128]),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let fm = flow_mod();
+    let pi = packet_in();
+    let fm_wire = fm.encode(7);
+    let pi_wire = pi.encode(9);
+
+    c.bench_function("of10/encode_flow_mod", |b| {
+        b.iter(|| black_box(fm.encode(black_box(7))))
+    });
+    c.bench_function("of10/decode_flow_mod", |b| {
+        b.iter(|| OfMessage::decode(black_box(&fm_wire)).unwrap())
+    });
+    c.bench_function("of10/encode_packet_in", |b| {
+        b.iter(|| black_box(pi.encode(black_box(9))))
+    });
+    c.bench_function("of10/decode_packet_in", |b| {
+        b.iter(|| OfMessage::decode(black_box(&pi_wire)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E1 as a Criterion bench — wall-clock cost of simulating the full
+//! cold-start configuration of small rings (also guards against
+//! complexity regressions in the simulator itself). The *simulated*
+//! configuration times for Fig. 3 come from the
+//! `fig3_config_time` binary; this measures how fast we can compute
+//! them.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rf_bench::{auto_config_time, ExpParams};
+use rf_topo::ring;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e/auto_config");
+    g.sample_size(10);
+    for n in [4usize, 8] {
+        g.bench_with_input(BenchmarkId::new("ring", n), &n, |b, &n| {
+            let mut p = ExpParams::default();
+            p.ospf_hello = 1;
+            p.ospf_dead = 4;
+            p.probe_interval = Duration::from_millis(500);
+            b.iter(|| black_box(auto_config_time(ring(n), &p)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

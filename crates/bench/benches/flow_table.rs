@@ -1,0 +1,63 @@
+//! M2 — flow-table lookup scaling: the per-packet cost of the
+//! switch's wildcard classifier as RouteFlow fills the table.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rf_openflow::{Action, FlowModCommand, OfMatch, PacketKey, OFPP_NONE};
+use rf_sim::Time;
+use rf_switch::FlowTable;
+use rf_wire::MacAddr;
+use std::net::Ipv4Addr;
+
+fn table_with(n: u32) -> FlowTable {
+    let mut t = FlowTable::new();
+    for i in 0..n {
+        let prefix = Ipv4Addr::from(0x0A00_0000u32 | (i << 8));
+        t.apply_flow_mod(
+            FlowModCommand::Add,
+            OfMatch::ipv4_dst_prefix(prefix, 24),
+            0x1000 + 24 * 8,
+            0,
+            0,
+            0,
+            0,
+            OFPP_NONE,
+            vec![Action::output((i % 8 + 1) as u16)],
+            Time::ZERO,
+        );
+    }
+    t
+}
+
+fn key(i: u32) -> PacketKey {
+    PacketKey {
+        in_port: 1,
+        dl_src: MacAddr::ZERO,
+        dl_dst: MacAddr::ZERO,
+        dl_type: 0x0800,
+        nw_tos: 0,
+        nw_proto: 17,
+        nw_src: Ipv4Addr::new(192, 168, 0, 1),
+        nw_dst: Ipv4Addr::from(0x0A00_0000u32 | (i << 8) | 7),
+        tp_src: 1,
+        tp_dst: 2,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flow_table/lookup");
+    for n in [16u32, 64, 256, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut t = table_with(n);
+            let mut i = 0u32;
+            b.iter(|| {
+                i = (i + 1) % n;
+                let hit = t.lookup(&key(i), 100, Time::ZERO).is_some();
+                black_box(hit)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! M5 — RPC codec throughput: configuration messages per second the
+//! RPC path can marshal (the framework sends one per switch and one
+//! per link).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rf_rpc::{decode_envelope, encode_envelope, Envelope, RpcRequest, RpcServerEndpoint};
+use rf_wire::Ipv4Cidr;
+use std::net::Ipv4Addr;
+
+fn link_req(i: u64) -> Envelope {
+    Envelope::Request {
+        req_id: i,
+        request: RpcRequest::LinkDetected {
+            a_dpid: i,
+            a_port: 1,
+            b_dpid: i + 1,
+            b_port: 2,
+            subnet: Ipv4Cidr::new(Ipv4Addr::new(172, 31, 0, 0), 30),
+            ip_a: Ipv4Addr::new(172, 31, 0, 1),
+            ip_b: Ipv4Addr::new(172, 31, 0, 2),
+        },
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let env = link_req(1);
+    let wire = encode_envelope(&env);
+    c.bench_function("rpc/encode_link_detected", |b| {
+        b.iter(|| black_box(encode_envelope(black_box(&env))))
+    });
+    c.bench_function("rpc/decode_link_detected", |b| {
+        b.iter(|| decode_envelope(black_box(&wire)).unwrap())
+    });
+    c.bench_function("rpc/server_feed_100", |b| {
+        let mut stream = Vec::new();
+        for i in 0..100u64 {
+            stream.extend_from_slice(&encode_envelope(&link_req(i)));
+        }
+        b.iter(|| {
+            let mut s = RpcServerEndpoint::new();
+            let (fresh, acks) = s.feed(black_box(&stream));
+            black_box((fresh.len(), acks.len()))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! M3 — SPF cost: the per-convergence price every VM pays after each
+//! topology change; drives the scaling of the OSPF phase.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rf_routed::ospf::lsa::{Lsa, RouterLink, RouterLinkType, INITIAL_SEQ};
+use rf_routed::ospf::spf;
+use rf_topo::{pan_european, ring, Topology};
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
+
+/// Build a router-LSA database mirroring `topo`.
+fn lsdb_for(topo: &Topology) -> (BTreeMap<u32, Lsa>, HashMap<u32, (u16, Ipv4Addr)>) {
+    let mut next_port = vec![1u16; topo.node_count()];
+    let mut links_of: Vec<Vec<RouterLink>> = vec![Vec::new(); topo.node_count()];
+    let mut adjacent = HashMap::new();
+    for (k, e) in topo.edges().iter().enumerate() {
+        let base = 0xAC10_0000u32 + (k as u32) * 4;
+        let pa = next_port[e.a];
+        next_port[e.a] += 1;
+        let pb = next_port[e.b];
+        next_port[e.b] += 1;
+        links_of[e.a].push(RouterLink {
+            link_type: RouterLinkType::PointToPoint,
+            link_id: (e.b + 1) as u32,
+            link_data: base + 1,
+            metric: 10,
+        });
+        links_of[e.a].push(RouterLink {
+            link_type: RouterLinkType::Stub,
+            link_id: base,
+            link_data: 0xFFFF_FFFC,
+            metric: 10,
+        });
+        links_of[e.b].push(RouterLink {
+            link_type: RouterLinkType::PointToPoint,
+            link_id: (e.a + 1) as u32,
+            link_data: base + 2,
+            metric: 10,
+        });
+        links_of[e.b].push(RouterLink {
+            link_type: RouterLinkType::Stub,
+            link_id: base,
+            link_data: 0xFFFF_FFFC,
+            metric: 10,
+        });
+        // Node 0's adjacencies (the computing router).
+        if e.a == 0 {
+            adjacent.insert((e.b + 1) as u32, (pa, Ipv4Addr::from(base + 2)));
+        }
+        if e.b == 0 {
+            adjacent.insert((e.a + 1) as u32, (pb, Ipv4Addr::from(base + 1)));
+        }
+    }
+    let db = links_of
+        .into_iter()
+        .enumerate()
+        .map(|(i, links)| ((i + 1) as u32, Lsa::router((i + 1) as u32, INITIAL_SEQ, 0, links)))
+        .collect();
+    (db, adjacent)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ospf/spf");
+    for n in [8usize, 28, 64, 128] {
+        let topo = ring(n);
+        let (db, adj) = lsdb_for(&topo);
+        g.bench_with_input(BenchmarkId::new("ring", n), &n, |b, _| {
+            b.iter(|| black_box(spf::compute(&db, 1, &adj)))
+        });
+    }
+    let topo = pan_european();
+    let (db, adj) = lsdb_for(&topo);
+    g.bench_function("pan_european", |b| {
+        b.iter(|| black_box(spf::compute(&db, 1, &adj)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

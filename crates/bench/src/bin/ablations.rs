@@ -1,0 +1,120 @@
+//! A1–A5 — ablations over the framework's design parameters:
+//!
+//! * A1: LLDP probe interval vs. configuration time (ring-16)
+//! * A2: OSPF hello/dead timers vs. time-to-video (pan-European)
+//! * A3: VM boot latency vs. configuration time (ring-28)
+//! * A4: FlowVisor proxy vs. direct multi-controller attachment
+//! * A5: topology family at ~28 nodes
+//!
+//! Run: `cargo run --release -p rf-bench --bin ablations [a1|a2|a3|a4|a5]`
+
+use rf_bench::{auto_config_time, fmt_dur, fmt_opt, print_table, video_demo, ExpParams};
+use rf_topo::{grid, line, pan_european, ring, star};
+use std::time::Duration;
+
+fn a1() {
+    let mut rows = Vec::new();
+    for ms in [100u64, 250, 500, 1000, 2000, 5000] {
+        let mut p = ExpParams::default();
+        p.probe_interval = Duration::from_millis(ms);
+        let t = auto_config_time(ring(16), &p);
+        rows.push(vec![format!("{ms}"), fmt_dur(t)]);
+    }
+    print_table(
+        "A1 — LLDP probe interval vs. configuration time (ring-16)",
+        &["probe interval (ms)", "config time (s)"],
+        &rows,
+    );
+}
+
+fn a2() {
+    let topo = pan_european();
+    let (a, b) = topo.farthest_pair().unwrap();
+    let mut rows = Vec::new();
+    for (hello, dead) in [(1u16, 4u16), (2, 8), (5, 20), (10, 40)] {
+        let mut p = ExpParams::default();
+        p.ospf_hello = hello;
+        p.ospf_dead = dead;
+        let r = video_demo(pan_european(), a, b, &p, Duration::from_secs(300));
+        rows.push(vec![
+            format!("{hello}/{dead}"),
+            fmt_opt(r.configured_at),
+            fmt_opt(r.first_byte_at),
+        ]);
+    }
+    print_table(
+        "A2 — OSPF hello/dead vs. time-to-video (pan-European)",
+        &["hello/dead (s)", "configured (s)", "first video byte (s)"],
+        &rows,
+    );
+}
+
+fn a3() {
+    let mut rows = Vec::new();
+    for boot_ms in [500u64, 1000, 2000, 5000, 10000] {
+        let mut p = ExpParams::default();
+        p.vm_boot_delay = Duration::from_millis(boot_ms);
+        let t = auto_config_time(ring(28), &p);
+        rows.push(vec![format!("{:.1}", boot_ms as f64 / 1000.0), fmt_dur(t)]);
+    }
+    print_table(
+        "A3 — VM boot latency vs. configuration time (ring-28)",
+        &["VM boot (s)", "config time (s)"],
+        &rows,
+    );
+}
+
+fn a4() {
+    let mut rows = Vec::new();
+    for (label, fv) in [("via FlowVisor (paper)", true), ("direct (OVS multi-controller)", false)] {
+        let mut p = ExpParams::default();
+        p.use_flowvisor = fv;
+        let t = auto_config_time(ring(16), &p);
+        rows.push(vec![label.into(), fmt_dur(t)]);
+    }
+    print_table(
+        "A4 — FlowVisor proxy overhead (ring-16)",
+        &["attachment", "config time (s)"],
+        &rows,
+    );
+}
+
+fn a5() {
+    let p = ExpParams::default();
+    let topos: Vec<(&str, rf_topo::Topology)> = vec![
+        ("ring-28", ring(28)),
+        ("line-28", line(28)),
+        ("star-28", star(28)),
+        ("grid-7x4", grid(7, 4)),
+        ("pan-European", pan_european()),
+    ];
+    let mut rows = Vec::new();
+    for (name, t) in topos {
+        let links = t.edge_count();
+        let d = auto_config_time(t, &p);
+        rows.push(vec![name.into(), links.to_string(), fmt_dur(d)]);
+    }
+    print_table(
+        "A5 — topology family vs. configuration time (~28 nodes)",
+        &["topology", "links", "config time (s)"],
+        &rows,
+    );
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_default();
+    match which.as_str() {
+        "a1" => a1(),
+        "a2" => a2(),
+        "a3" => a3(),
+        "a4" => a4(),
+        "a5" => a5(),
+        _ => {
+            a1();
+            a2();
+            a3();
+            a4();
+            a5();
+        }
+    }
+}

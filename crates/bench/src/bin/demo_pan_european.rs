@@ -1,0 +1,42 @@
+//! E2 / §3 — the demonstration: stream a video across the 28-node
+//! pan-European topology from a cold start; the clip must reach the
+//! remote client within 4 minutes including configuration time.
+//!
+//! Run: `cargo run --release -p rf-bench --bin demo_pan_european`
+
+use rf_bench::{fmt_opt, print_table, video_demo, ExpParams};
+use rf_topo::pan_european;
+use std::time::Duration;
+
+fn main() {
+    let topo = pan_european();
+    let (a, b) = topo.farthest_pair().unwrap();
+    eprintln!(
+        "server at {}, client at {} ({} hops apart)",
+        topo.node(a).name,
+        topo.node(b).name,
+        topo.bfs_distances(a)[b]
+    );
+    // Default Quagga timers — the 4-minute bound must hold without any
+    // timer tuning, as in the paper's demo.
+    let r = video_demo(pan_european(), a, b, &ExpParams::default(), Duration::from_secs(300));
+    print_table(
+        "§3 demo — pan-European (28 nodes), cold start to video (seconds, simulated)",
+        &["metric", "value"],
+        &[
+            vec!["all switches configured (green)".into(), fmt_opt(r.configured_at)],
+            vec!["first video byte at client".into(), fmt_opt(r.first_byte_at)],
+            vec!["playback start (1 s jitter buffer)".into(), fmt_opt(r.playback_at)],
+            vec!["packets received".into(), r.packets.to_string()],
+            vec!["sequence gaps".into(), r.gaps.to_string()],
+        ],
+    );
+    let ok = r
+        .first_byte_at
+        .map(|t| t < Duration::from_secs(240))
+        .unwrap_or(false);
+    println!(
+        "\npaper's claim (video within 4 minutes incl. configuration): {}",
+        if ok { "REPRODUCED" } else { "NOT reproduced" }
+    );
+}

@@ -1,0 +1,39 @@
+//! E3 / §1 — the intro's scaling claims: "typically 7 hours for 28
+//! switches" manually, and "for a large topology (typically for 1000
+//! switches), it may take many days", vs. automatic configuration.
+//!
+//! Run: `cargo run --release -p rf-bench --bin manual_scaling`
+
+use rf_bench::{auto_config_time, fmt_dur, manual_config_time, print_table, ExpParams};
+use rf_topo::ring;
+
+fn main() {
+    let params = ExpParams::default();
+    let mut rows = Vec::new();
+    for &n in &[28usize, 100, 250] {
+        let auto = auto_config_time(ring(n), &params);
+        let manual = manual_config_time(n);
+        rows.push(vec![
+            n.to_string(),
+            fmt_dur(auto),
+            format!("{:.1}", manual.as_secs_f64() / 3600.0),
+            format!("{:.2}", manual.as_secs_f64() / 86_400.0),
+        ]);
+    }
+    // 1000 switches: manual model only (the simulated run is feasible
+    // but slow in debug builds; the model is the paper's claim anyway).
+    let manual1000 = manual_config_time(1000);
+    rows.push(vec![
+        "1000".into(),
+        "(see note)".into(),
+        format!("{:.1}", manual1000.as_secs_f64() / 3600.0),
+        format!("{:.2}", manual1000.as_secs_f64() / 86_400.0),
+    ]);
+    print_table(
+        "§1 scaling — manual vs automatic configuration",
+        &["switches", "automatic (s, simulated)", "manual (hours)", "manual (days)"],
+        &rows,
+    );
+    println!("\npaper: 28 switches ≈ 7 h manual; 1000 switches 'many days' (≈ {:.1} days in the model).",
+        manual1000.as_secs_f64() / 86_400.0);
+}

@@ -1,0 +1,181 @@
+//! # rf-bench — the experiment harness
+//!
+//! One function per experiment, shared by the `--bin` table generators
+//! and the Criterion benches. See DESIGN.md §4 for the experiment
+//! index and EXPERIMENTS.md for recorded results.
+
+use rf_apps::video::{VideoClient, VideoServer};
+use rf_apps::HostConfig;
+use rf_core::bootstrap::{Deployment, DeploymentConfig};
+use rf_core::manual::ManualConfigModel;
+use rf_sim::{AgentId, LinkProfile, Time};
+use rf_topo::Topology;
+use rf_wire::{Ipv4Cidr, MacAddr};
+use std::time::Duration;
+
+/// Parameters shared by the configuration-time experiments.
+#[derive(Clone)]
+pub struct ExpParams {
+    pub seed: u64,
+    pub probe_interval: Duration,
+    pub vm_boot_delay: Duration,
+    pub ospf_hello: u16,
+    pub ospf_dead: u16,
+    pub use_flowvisor: bool,
+}
+
+impl Default for ExpParams {
+    fn default() -> Self {
+        ExpParams {
+            seed: 0xC0FFEE,
+            probe_interval: Duration::from_secs(1),
+            vm_boot_delay: Duration::from_secs(1),
+            ospf_hello: 10,
+            ospf_dead: 40,
+            use_flowvisor: true,
+        }
+    }
+}
+
+fn deployment(topo: Topology, p: &ExpParams) -> DeploymentConfig {
+    let mut cfg = DeploymentConfig::new(topo);
+    cfg.seed = p.seed;
+    cfg.probe_interval = p.probe_interval;
+    cfg.vm_boot_delay = p.vm_boot_delay;
+    cfg.ospf_hello = p.ospf_hello;
+    cfg.ospf_dead = p.ospf_dead;
+    cfg.use_flowvisor = p.use_flowvisor;
+    cfg.trace_level = rf_sim::TraceLevel::Off;
+    cfg
+}
+
+/// E1 / Fig. 3: simulated time until every switch of `topo` is
+/// configured (has its VM), from a cold start.
+pub fn auto_config_time(topo: Topology, p: &ExpParams) -> Duration {
+    let mut dep = Deployment::build(deployment(topo, p));
+    let done = dep
+        .run_until_configured(Time::from_secs(3600))
+        .expect("configuration must complete within an hour");
+    Duration::from_nanos(done.as_nanos())
+}
+
+/// The manual baseline for `n` switches (paper model).
+pub fn manual_config_time(n: usize) -> Duration {
+    ManualConfigModel::default().total(n)
+}
+
+/// Result of the video demo experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct VideoResult {
+    pub configured_at: Option<Duration>,
+    pub first_byte_at: Option<Duration>,
+    pub playback_at: Option<Duration>,
+    pub packets: u64,
+    pub gaps: u64,
+}
+
+/// E2 / §3 demo: cold-start the deployment with a video server and a
+/// remote client attached, stream, and report the timeline.
+pub fn video_demo(topo: Topology, server_node: usize, client_node: usize, p: &ExpParams, horizon: Duration) -> VideoResult {
+    let mut cfg = deployment(topo, p);
+    cfg.hosts.push(rf_core::bootstrap::HostAttachment {
+        node: server_node,
+        subnet: "10.1.0.0/24".parse().unwrap(),
+    });
+    cfg.hosts.push(rf_core::bootstrap::HostAttachment {
+        node: client_node,
+        subnet: "10.2.0.0/24".parse().unwrap(),
+    });
+    let mut dep = Deployment::build(cfg);
+    let s = dep.host_slots[0].clone();
+    let c = dep.host_slots[1].clone();
+    let server = dep.sim.add_agent(
+        "video-server",
+        Box::new(VideoServer::new(HostConfig {
+            mac: MacAddr([2, 0xAA, 0, 0, 0, 1]),
+            addr: Ipv4Cidr::new(s.host_ip, s.subnet.prefix_len),
+            gateway: s.gateway,
+        })),
+    );
+    let client: AgentId = dep.sim.add_agent(
+        "video-client",
+        Box::new(VideoClient::new(
+            HostConfig {
+                mac: MacAddr([2, 0xBB, 0, 0, 0, 1]),
+                addr: Ipv4Cidr::new(c.host_ip, c.subnet.prefix_len),
+                gateway: c.gateway,
+            },
+            s.host_ip,
+        )),
+    );
+    dep.sim.add_link(
+        (s.switch, u32::from(s.port)),
+        (server, 1),
+        LinkProfile::default(),
+    );
+    dep.sim.add_link(
+        (c.switch, u32::from(c.port)),
+        (client, 1),
+        LinkProfile::default(),
+    );
+    dep.sim
+        .run_until(Time::from_nanos(horizon.as_nanos() as u64));
+    let report = dep.sim.agent_as::<VideoClient>(client).unwrap().report;
+    let to_dur = |t: Option<Time>| t.map(|t| Duration::from_nanos(t.as_nanos()));
+    VideoResult {
+        configured_at: to_dur(dep.all_configured_at()),
+        first_byte_at: to_dur(report.first_byte_at),
+        playback_at: to_dur(report.playback_at),
+        packets: report.packets,
+        gaps: report.gaps,
+    }
+}
+
+/// Render seconds for table output.
+pub fn fmt_dur(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64())
+}
+
+/// Render an optional duration.
+pub fn fmt_opt(d: Option<Duration>) -> String {
+    d.map(fmt_dur).unwrap_or_else(|| "-".into())
+}
+
+/// Print a markdown-style table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    println!("| {} |", headers.join(" | "));
+    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_topo::ring;
+
+    #[test]
+    fn auto_is_orders_of_magnitude_faster_than_manual() {
+        let mut p = ExpParams::default();
+        p.ospf_hello = 1;
+        p.ospf_dead = 4;
+        let auto = auto_config_time(ring(4), &p);
+        let manual = manual_config_time(4);
+        assert!(auto < Duration::from_secs(120));
+        assert!(manual == Duration::from_secs(3600));
+        assert!(manual.as_secs_f64() / auto.as_secs_f64() > 50.0);
+    }
+
+    #[test]
+    fn video_demo_smoke() {
+        let mut p = ExpParams::default();
+        p.ospf_hello = 1;
+        p.ospf_dead = 4;
+        p.probe_interval = Duration::from_millis(500);
+        let r = video_demo(ring(4), 0, 2, &p, Duration::from_secs(120));
+        assert!(r.first_byte_at.is_some());
+        assert!(r.packets > 0);
+    }
+}

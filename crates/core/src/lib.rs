@@ -1,0 +1,43 @@
+//! # rf-core — RouteFlow and its automatic-configuration framework
+//!
+//! The primary contribution of the paper, assembled from the substrate
+//! crates:
+//!
+//! * [`rfcontroller::RfController`] — the RF-controller: an OpenFlow
+//!   slice controller hosting the **RPC server**. On `SwitchDetected`
+//!   it spawns a VM whose ID equals the switch's datapath id with the
+//!   same number of interfaces; on `LinkDetected` it builds the virtual
+//!   interconnect mirroring the physical link, assigns the addresses
+//!   the topology controller allocated, and (re)writes the Quagga
+//!   configuration files the VM boots from. Every FIB change a VM
+//!   reports becomes a `FLOW_MOD` on the mirrored physical switch
+//!   (match `nw_dst` prefix → rewrite MACs → output port), with prefix
+//!   length encoded in flow priority so OF 1.0's single table performs
+//!   longest-prefix matching. It also answers hosts' gateway ARPs and
+//!   learns host MACs to install per-host /32 delivery flows.
+//! * [`manual::ManualConfigModel`] — the paper's manual-baseline time
+//!   model (5 min VM creation + 2 min interface mapping + 8 min routing
+//!   configuration per switch) used in Fig. 3.
+//! * [`bootstrap`] — one-call assembly of the full Fig. 2 deployment
+//!   (switches → FlowVisor → topology controller + RF-controller, RPC
+//!   client in between) on any [`rf_topo::Topology`], with optional
+//!   host attachment points for end-to-end traffic.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rf_core::bootstrap::{Deployment, DeploymentConfig};
+//! use rf_sim::Time;
+//!
+//! let mut dep = Deployment::build(DeploymentConfig::new(rf_topo::ring(4)));
+//! dep.sim.run_until(Time::from_secs(60));
+//! assert_eq!(dep.configured_switches(), 4);
+//! ```
+
+pub mod bootstrap;
+pub mod manual;
+pub mod rfcontroller;
+
+pub use bootstrap::{Deployment, DeploymentConfig, HostAttachment};
+pub use manual::ManualConfigModel;
+pub use rfcontroller::{HostPortConfig, RfController, RfControllerConfig};

@@ -1,0 +1,462 @@
+//! The topology-controller agent.
+
+use crate::alloc::Ipv4Allocator;
+use crate::linkdb::{LinkDb, UndirectedLink};
+use bytes::Bytes;
+use rf_openflow::{
+    Action, FlowModCommand, MessageReader, OfMatch, OfMessage, OFPP_CONTROLLER, OFPP_NONE,
+    OFP_NO_BUFFER,
+};
+use rf_rpc::{encode_envelope, Envelope, RpcFrameReader, RpcRequest, RPC_CLIENT_SERVICE};
+use rf_sim::{Agent, AgentId, ConnId, ConnProfile, Ctx, StreamEvent};
+use rf_wire::{EtherType, EthernetFrame, Ipv4Cidr, LldpPacket, MacAddr};
+use std::collections::HashMap;
+use std::time::Duration;
+
+const T_PROBE: u64 = 1;
+const T_AGE: u64 = 2;
+const T_RPC_RECONNECT: u64 = 3;
+
+/// Configuration of the topology controller. The `ip_range` is the one
+/// administrator-provided input of the whole framework.
+#[derive(Clone, Debug)]
+pub struct TopologyControllerConfig {
+    /// OpenFlow service this controller listens on.
+    pub service: u16,
+    /// The RPC client to forward configuration messages to (None: run
+    /// standalone, e.g. for discovery-only tests and benches).
+    pub rpc_client: Option<AgentId>,
+    /// Administrator-provided address range for the virtual environment.
+    pub ip_range: Ipv4Cidr,
+    /// Per-link subnet size (default /30).
+    pub link_prefix: u8,
+    /// LLDP probe period per switch (every port each round).
+    pub probe_interval: Duration,
+    /// A link is declared down after this long without probes.
+    pub link_ttl: Duration,
+    /// Stream profile for the RPC-client connection.
+    pub conn: ConnProfile,
+}
+
+impl TopologyControllerConfig {
+    pub fn new(ip_range: Ipv4Cidr) -> TopologyControllerConfig {
+        TopologyControllerConfig {
+            service: 6641,
+            rpc_client: None,
+            ip_range,
+            link_prefix: 30,
+            probe_interval: Duration::from_secs(1),
+            link_ttl: Duration::from_secs(3),
+            conn: ConnProfile::default(),
+        }
+    }
+
+    pub fn with_rpc_client(mut self, client: AgentId) -> Self {
+        self.rpc_client = Some(client);
+        self
+    }
+}
+
+/// Externally observable discovery events (consumed by tests, the GUI
+/// and the experiment harness).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DiscoveryEvent {
+    SwitchJoin { dpid: u64, num_ports: u16 },
+    SwitchLeave { dpid: u64 },
+    LinkUp { link: UndirectedLink, subnet: Ipv4Cidr },
+    LinkDown { link: UndirectedLink },
+}
+
+struct Session {
+    reader: MessageReader,
+    dpid: Option<u64>,
+    num_ports: u16,
+}
+
+/// The topology controller: LLDP discovery plus configuration-message
+/// generation.
+pub struct TopologyController {
+    cfg: TopologyControllerConfig,
+    sessions: HashMap<ConnId, Session>,
+    linkdb: LinkDb,
+    alloc: Ipv4Allocator,
+    /// Subnet assigned to each up link.
+    subnets: HashMap<UndirectedLink, Ipv4Cidr>,
+    rpc_conn: Option<ConnId>,
+    rpc_ready: bool,
+    rpc_reader: RpcFrameReader,
+    /// Requests not yet handed to the relay (sent on (re)connect).
+    rpc_backlog: Vec<(u64, RpcRequest)>,
+    next_req_id: u64,
+    xid: u32,
+    /// Full event history, in order.
+    pub events: Vec<DiscoveryEvent>,
+    /// Probe rounds completed (diagnostics).
+    pub probe_rounds: u64,
+}
+
+impl TopologyController {
+    pub fn new(cfg: TopologyControllerConfig) -> TopologyController {
+        let alloc = Ipv4Allocator::new(cfg.ip_range, cfg.link_prefix);
+        TopologyController {
+            cfg,
+            sessions: HashMap::new(),
+            linkdb: LinkDb::new(),
+            alloc,
+            subnets: HashMap::new(),
+            rpc_conn: None,
+            rpc_ready: false,
+            rpc_reader: RpcFrameReader::new(),
+            rpc_backlog: Vec::new(),
+            next_req_id: 1,
+            xid: 1,
+            events: Vec::new(),
+            probe_rounds: 0,
+        }
+    }
+
+    /// Known switches (dpid → port count).
+    pub fn switches(&self) -> Vec<(u64, u16)> {
+        let mut v: Vec<(u64, u16)> = self
+            .sessions
+            .values()
+            .filter_map(|s| s.dpid.map(|d| (d, s.num_ports)))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Currently-up links.
+    pub fn links(&self) -> Vec<UndirectedLink> {
+        self.linkdb.links()
+    }
+
+    fn next_xid(&mut self) -> u32 {
+        self.xid = self.xid.wrapping_add(1);
+        self.xid
+    }
+
+    fn emit_rpc(&mut self, ctx: &mut Ctx<'_>, request: RpcRequest) {
+        let req_id = self.next_req_id;
+        self.next_req_id += 1;
+        self.rpc_backlog.push((req_id, request));
+        self.flush_rpc(ctx);
+    }
+
+    fn flush_rpc(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.rpc_ready {
+            return;
+        }
+        let Some(conn) = self.rpc_conn else { return };
+        for (req_id, request) in &self.rpc_backlog {
+            let env = Envelope::Request {
+                req_id: *req_id,
+                request: request.clone(),
+            };
+            ctx.conn_send(conn, encode_envelope(&env));
+        }
+        // The relay acks on receipt and owns delivery from here.
+        // Entries are dropped when their ack arrives (see on_stream).
+    }
+
+    fn handle_link_up(&mut self, ctx: &mut Ctx<'_>, link: UndirectedLink) {
+        let Some(subnet) = self.alloc.alloc() else {
+            ctx.trace(
+                "topo.alloc_exhausted",
+                format!("no subnet left for {link:?}"),
+            );
+            return;
+        };
+        // Deterministic assignment: canonical endpoint `a` (lower
+        // dpid/port) takes the first host address.
+        let ip_a = subnet.nth(1).expect("/30 has host addrs");
+        let ip_b = subnet.nth(2).expect("/30 has host addrs");
+        self.subnets.insert(link, subnet);
+        self.events.push(DiscoveryEvent::LinkUp { link, subnet });
+        ctx.trace(
+            "topo.link_up",
+            format!(
+                "{:?}:{} <-> {:?}:{} subnet {subnet}",
+                link.a.0, link.a.1, link.b.0, link.b.1
+            ),
+        );
+        self.emit_rpc(
+            ctx,
+            RpcRequest::LinkDetected {
+                a_dpid: link.a.0,
+                a_port: link.a.1,
+                b_dpid: link.b.0,
+                b_port: link.b.1,
+                subnet,
+                ip_a,
+                ip_b,
+            },
+        );
+    }
+
+    fn handle_link_down(&mut self, ctx: &mut Ctx<'_>, link: UndirectedLink) {
+        if let Some(subnet) = self.subnets.remove(&link) {
+            self.alloc.release(subnet);
+        }
+        self.events.push(DiscoveryEvent::LinkDown { link });
+        ctx.trace("topo.link_down", format!("{link:?}"));
+        self.emit_rpc(
+            ctx,
+            RpcRequest::LinkRemoved {
+                a_dpid: link.a.0,
+                a_port: link.a.1,
+                b_dpid: link.b.0,
+                b_port: link.b.1,
+            },
+        );
+    }
+
+    fn handle_of(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, msg: OfMessage, _xid: u32) {
+        match msg {
+            OfMessage::Hello => {}
+            OfMessage::EchoRequest(d) => {
+                let xid = self.next_xid();
+                ctx.conn_send(conn, OfMessage::EchoReply(d).encode(xid));
+            }
+            OfMessage::FeaturesReply(f) => {
+                let num_ports = f.ports.len() as u16;
+                if let Some(s) = self.sessions.get_mut(&conn) {
+                    s.dpid = Some(f.datapath_id);
+                    s.num_ports = num_ports;
+                }
+                // Punt every LLDP frame to this controller.
+                let xid = self.next_xid();
+                let punt = OfMessage::FlowMod {
+                    of_match: OfMatch::lldp(),
+                    cookie: 0x4C4C4450, // "LLDP"
+                    command: FlowModCommand::Add,
+                    idle_timeout: 0,
+                    hard_timeout: 0,
+                    priority: 0xFFFF,
+                    buffer_id: OFP_NO_BUFFER,
+                    out_port: OFPP_NONE,
+                    flags: 0,
+                    actions: vec![Action::Output {
+                        port: OFPP_CONTROLLER,
+                        max_len: 0xFFFF,
+                    }],
+                };
+                ctx.conn_send(conn, punt.encode(xid));
+                ctx.trace(
+                    "topo.switch_join",
+                    format!("dpid {:#x} with {num_ports} ports", f.datapath_id),
+                );
+                self.events.push(DiscoveryEvent::SwitchJoin {
+                    dpid: f.datapath_id,
+                    num_ports,
+                });
+                self.emit_rpc(
+                    ctx,
+                    RpcRequest::SwitchDetected {
+                        dpid: f.datapath_id,
+                        num_ports,
+                    },
+                );
+                // Probe immediately rather than waiting a full period.
+                self.probe_switch(ctx, conn);
+            }
+            OfMessage::PacketIn { in_port, data, .. } => {
+                let Some(dpid) = self.sessions.get(&conn).and_then(|s| s.dpid) else {
+                    return;
+                };
+                let Ok(eth) = EthernetFrame::parse(&data) else {
+                    return;
+                };
+                if eth.ethertype != EtherType::LLDP {
+                    return;
+                }
+                let Ok(lldp) = LldpPacket::parse(&eth.payload) else {
+                    return;
+                };
+                let Some((origin_dpid, origin_port)) = lldp.decode_discovery() else {
+                    return;
+                };
+                if origin_dpid == dpid {
+                    return; // self-loop probe; ignore
+                }
+                ctx.count("topo.lldp_in", 1);
+                if let Some(link) =
+                    self.linkdb
+                        .observe((origin_dpid, origin_port), (dpid, in_port), ctx.now())
+                {
+                    self.handle_link_up(ctx, link);
+                }
+            }
+            OfMessage::PortStatus { desc, .. } => {
+                let Some(dpid) = self.sessions.get(&conn).and_then(|s| s.dpid) else {
+                    return;
+                };
+                self.emit_rpc(
+                    ctx,
+                    RpcRequest::PortStatus {
+                        dpid,
+                        port: desc.port_no,
+                        up: desc.is_link_up(),
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+
+    fn probe_switch(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        let Some(s) = self.sessions.get(&conn) else {
+            return;
+        };
+        let Some(dpid) = s.dpid else { return };
+        let num_ports = s.num_ports;
+        for port in 1..=num_ports {
+            let probe = EthernetFrame::new(
+                MacAddr::LLDP_MULTICAST,
+                MacAddr::from_dpid_port(dpid, port),
+                EtherType::LLDP,
+                LldpPacket::discovery_probe(dpid, port).emit(),
+            );
+            let xid = self.next_xid();
+            let po = OfMessage::PacketOut {
+                buffer_id: OFP_NO_BUFFER,
+                in_port: OFPP_NONE,
+                actions: vec![Action::output(port)],
+                data: probe.emit(),
+            };
+            ctx.conn_send(conn, po.encode(xid));
+            ctx.count("topo.lldp_out", 1);
+        }
+    }
+
+    fn connect_rpc(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(client) = self.cfg.rpc_client {
+            self.rpc_ready = false;
+            self.rpc_reader = RpcFrameReader::new();
+            self.rpc_conn = Some(ctx.connect(client, RPC_CLIENT_SERVICE, self.cfg.conn));
+        }
+    }
+}
+
+impl Agent for TopologyController {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.listen(self.cfg.service);
+        self.connect_rpc(ctx);
+        ctx.schedule(self.cfg.probe_interval, T_PROBE);
+        ctx.schedule(self.cfg.link_ttl, T_AGE);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            T_PROBE => {
+                let conns: Vec<ConnId> = self.sessions.keys().copied().collect();
+                for c in conns {
+                    self.probe_switch(ctx, c);
+                }
+                self.probe_rounds += 1;
+                ctx.schedule(self.cfg.probe_interval, T_PROBE);
+            }
+            T_AGE => {
+                let down = self.linkdb.expire(ctx.now(), self.cfg.link_ttl);
+                for link in down {
+                    self.handle_link_down(ctx, link);
+                }
+                ctx.schedule(self.cfg.link_ttl, T_AGE);
+            }
+            T_RPC_RECONNECT => {
+                if self.rpc_conn.is_none() {
+                    self.connect_rpc(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_stream(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, event: StreamEvent) {
+        if Some(conn) == self.rpc_conn {
+            match event {
+                StreamEvent::Opened { .. } => {
+                    self.rpc_ready = true;
+                    self.flush_rpc(ctx);
+                }
+                StreamEvent::Data(data) => {
+                    self.rpc_reader.push(&data);
+                    while let Some(Ok(Envelope::Ack(ack))) = self.rpc_reader.next() {
+                        self.rpc_backlog.retain(|(id, _)| *id != ack.req_id);
+                    }
+                }
+                StreamEvent::Closed => {
+                    self.rpc_conn = None;
+                    self.rpc_ready = false;
+                    ctx.schedule(Duration::from_millis(500), T_RPC_RECONNECT);
+                }
+            }
+            return;
+        }
+        match event {
+            StreamEvent::Opened {
+                initiated_by_us, ..
+            } => {
+                if initiated_by_us {
+                    return; // handled above (rpc) — nothing else dials out
+                }
+                self.sessions.insert(
+                    conn,
+                    Session {
+                        reader: MessageReader::new(),
+                        dpid: None,
+                        num_ports: 0,
+                    },
+                );
+                ctx.conn_send(conn, OfMessage::Hello.encode(0));
+                let xid = self.next_xid();
+                ctx.conn_send(conn, OfMessage::FeaturesRequest.encode(xid));
+                // Ask for whole frames on PACKET_IN: LLDP TLVs must not
+                // be truncated.
+                let xid = self.next_xid();
+                ctx.conn_send(
+                    conn,
+                    OfMessage::SetConfig {
+                        flags: 0,
+                        miss_send_len: 0xFFFF,
+                    }
+                    .encode(xid),
+                );
+            }
+            StreamEvent::Data(data) => {
+                let msgs = {
+                    let Some(s) = self.sessions.get_mut(&conn) else {
+                        return;
+                    };
+                    s.reader.push(&data);
+                    let mut v = Vec::new();
+                    while let Some(r) = s.reader.next() {
+                        if let Ok(m) = r {
+                            v.push(m);
+                        }
+                    }
+                    v
+                };
+                for (msg, xid) in msgs {
+                    self.handle_of(ctx, conn, msg, xid);
+                }
+            }
+            StreamEvent::Closed => {
+                if let Some(s) = self.sessions.remove(&conn) {
+                    if let Some(dpid) = s.dpid {
+                        for link in self.linkdb.remove_switch(dpid) {
+                            self.handle_link_down(ctx, link);
+                        }
+                        self.events.push(DiscoveryEvent::SwitchLeave { dpid });
+                        self.emit_rpc(ctx, RpcRequest::SwitchRemoved { dpid });
+                        ctx.trace("topo.switch_leave", format!("dpid {dpid:#x}"));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Placeholder to silence unused-import warnings in minimal builds.
+#[allow(dead_code)]
+fn _use(_b: Bytes) {}

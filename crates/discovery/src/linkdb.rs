@@ -1,0 +1,178 @@
+//! The link database: observations, canonicalization and aging.
+
+use rf_sim::Time;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// One endpoint of a link.
+pub type EndPoint = (u64, u16); // (dpid, port)
+
+/// A unidirectional observation: a probe from `from` arrived at `to`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DirectedLink {
+    pub from: EndPoint,
+    pub to: EndPoint,
+}
+
+/// A canonical undirected link: `a < b` by (dpid, port).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UndirectedLink {
+    pub a: EndPoint,
+    pub b: EndPoint,
+}
+
+impl UndirectedLink {
+    pub fn canonical(x: EndPoint, y: EndPoint) -> UndirectedLink {
+        if x <= y {
+            UndirectedLink { a: x, b: y }
+        } else {
+            UndirectedLink { a: y, b: x }
+        }
+    }
+}
+
+/// Tracks directed observations, derives undirected link up/down
+/// events, and ages out silent links.
+#[derive(Default)]
+pub struct LinkDb {
+    /// Directed observation → last time a probe confirmed it.
+    observations: HashMap<DirectedLink, Time>,
+    /// Currently-up undirected links.
+    up: HashMap<UndirectedLink, ()>,
+}
+
+impl LinkDb {
+    pub fn new() -> LinkDb {
+        LinkDb::default()
+    }
+
+    /// Record a probe arrival. Returns `Some(link)` if this brought a
+    /// new undirected link up.
+    pub fn observe(&mut self, from: EndPoint, to: EndPoint, now: Time) -> Option<UndirectedLink> {
+        self.observations.insert(DirectedLink { from, to }, now);
+        let link = UndirectedLink::canonical(from, to);
+        if self.up.contains_key(&link) {
+            None
+        } else {
+            // NOX-style: a single direction is enough to declare the
+            // link (the reverse probe typically confirms within one
+            // period).
+            self.up.insert(link, ());
+            Some(link)
+        }
+    }
+
+    /// Expire directed observations older than `ttl`; returns
+    /// undirected links that went down as a result.
+    pub fn expire(&mut self, now: Time, ttl: Duration) -> Vec<UndirectedLink> {
+        self.observations.retain(|_, last| now.since(*last) < ttl);
+        let mut down = Vec::new();
+        self.up.retain(|link, _| {
+            let fwd = DirectedLink {
+                from: link.a,
+                to: link.b,
+            };
+            let rev = DirectedLink {
+                from: link.b,
+                to: link.a,
+            };
+            let alive =
+                self.observations.contains_key(&fwd) || self.observations.contains_key(&rev);
+            if !alive {
+                down.push(*link);
+            }
+            alive
+        });
+        down.sort();
+        down
+    }
+
+    /// Drop everything touching `dpid` (switch departure). Returns the
+    /// undirected links removed.
+    pub fn remove_switch(&mut self, dpid: u64) -> Vec<UndirectedLink> {
+        self.observations
+            .retain(|l, _| l.from.0 != dpid && l.to.0 != dpid);
+        let mut removed = Vec::new();
+        self.up.retain(|link, _| {
+            let hit = link.a.0 == dpid || link.b.0 == dpid;
+            if hit {
+                removed.push(*link);
+            }
+            !hit
+        });
+        removed.sort();
+        removed
+    }
+
+    pub fn links(&self) -> Vec<UndirectedLink> {
+        let mut v: Vec<UndirectedLink> = self.up.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    pub fn link_count(&self) -> usize {
+        self.up.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_brings_link_up() {
+        let mut db = LinkDb::new();
+        let l = db.observe((1, 2), (2, 1), Time::from_secs(1));
+        assert_eq!(
+            l,
+            Some(UndirectedLink {
+                a: (1, 2),
+                b: (2, 1)
+            })
+        );
+        // Reverse direction: same undirected link, no new event.
+        assert_eq!(db.observe((2, 1), (1, 2), Time::from_secs(1)), None);
+        assert_eq!(db.link_count(), 1);
+    }
+
+    #[test]
+    fn canonicalization_orders_endpoints() {
+        let a = UndirectedLink::canonical((5, 1), (2, 9));
+        assert_eq!(a.a, (2, 9));
+        assert_eq!(a.b, (5, 1));
+        assert_eq!(a, UndirectedLink::canonical((2, 9), (5, 1)));
+    }
+
+    #[test]
+    fn links_expire_without_probes() {
+        let mut db = LinkDb::new();
+        db.observe((1, 1), (2, 1), Time::from_secs(0));
+        db.observe((3, 1), (4, 1), Time::from_secs(9));
+        let down = db.expire(Time::from_secs(10), Duration::from_secs(5));
+        assert_eq!(down.len(), 1);
+        assert_eq!(down[0].a.0, 1);
+        assert_eq!(db.link_count(), 1);
+    }
+
+    #[test]
+    fn one_live_direction_keeps_link_up() {
+        let mut db = LinkDb::new();
+        db.observe((1, 1), (2, 1), Time::from_secs(0));
+        db.observe((2, 1), (1, 1), Time::from_secs(9));
+        // Forward observation is stale, reverse is fresh.
+        let down = db.expire(Time::from_secs(10), Duration::from_secs(5));
+        assert!(down.is_empty());
+    }
+
+    #[test]
+    fn remove_switch_tears_down_its_links() {
+        let mut db = LinkDb::new();
+        db.observe((1, 1), (2, 1), Time::ZERO);
+        db.observe((2, 2), (3, 1), Time::ZERO);
+        db.observe((3, 2), (4, 1), Time::ZERO);
+        let removed = db.remove_switch(2);
+        assert_eq!(removed.len(), 2);
+        assert_eq!(db.link_count(), 1);
+        assert_eq!(db.links()[0], UndirectedLink::canonical((3, 2), (4, 1)));
+    }
+}

@@ -1,0 +1,149 @@
+//! Discovery integration: real switches (optionally behind FlowVisor)
+//! discovered by the topology controller via LLDP.
+
+use rf_discovery::{DiscoveryEvent, TopologyController, TopologyControllerConfig};
+use rf_sim::{LinkProfile, Sim, SimConfig, Time};
+use rf_switch::{OpenFlowSwitch, SwitchConfig};
+use rf_topo::{ring, Topology};
+use std::time::Duration;
+
+fn cfg() -> TopologyControllerConfig {
+    TopologyControllerConfig::new("172.31.0.0/16".parse().unwrap())
+}
+
+/// Build `topo` as switches directly attached to a topology controller.
+/// Port numbering: node i's k-th incident edge (in edge order) uses
+/// port k+1 on that node.
+fn build(topo: &Topology, cfg: TopologyControllerConfig) -> (Sim, rf_sim::AgentId) {
+    let mut sim = Sim::new(SimConfig::default());
+    let tc = sim.add_agent("topo-ctrl", Box::new(TopologyController::new(cfg)));
+    let mut port_next: Vec<u16> = vec![1; topo.node_count()];
+    let mut swcfg: Vec<SwitchConfig> = (0..topo.node_count())
+        .map(|i| {
+            SwitchConfig::new((i + 1) as u64, 0, tc).with_service(6641)
+        })
+        .collect();
+    let mut links: Vec<(usize, u16, usize, u16)> = Vec::new();
+    for e in topo.edges() {
+        let pa = port_next[e.a];
+        port_next[e.a] += 1;
+        let pb = port_next[e.b];
+        port_next[e.b] += 1;
+        links.push((e.a, pa, e.b, pb));
+    }
+    for (i, c) in swcfg.iter_mut().enumerate() {
+        c.num_ports = port_next[i] - 1;
+    }
+    let ids: Vec<rf_sim::AgentId> = swcfg
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| sim.add_agent(&format!("s{}", i + 1), Box::new(OpenFlowSwitch::new(c))))
+        .collect();
+    for (a, pa, b, pb) in links {
+        sim.add_link(
+            (ids[a], pa as u32),
+            (ids[b], pb as u32),
+            LinkProfile::default(),
+        );
+    }
+    (sim, tc)
+}
+
+#[test]
+fn ring4_fully_discovered() {
+    let topo = ring(4);
+    let (mut sim, tc) = build(&topo, cfg());
+    sim.run_until(Time::from_secs(5));
+    let t = sim.agent_as::<TopologyController>(tc).unwrap();
+    assert_eq!(t.switches().len(), 4);
+    assert_eq!(t.links().len(), 4, "ring-4 has 4 links");
+    // Every switch join preceded the link ups involving it.
+    let joins = t
+        .events
+        .iter()
+        .filter(|e| matches!(e, DiscoveryEvent::SwitchJoin { .. }))
+        .count();
+    assert_eq!(joins, 4);
+}
+
+#[test]
+fn subnets_are_unique_per_link() {
+    let topo = ring(6);
+    let (mut sim, tc) = build(&topo, cfg());
+    sim.run_until(Time::from_secs(5));
+    let t = sim.agent_as::<TopologyController>(tc).unwrap();
+    let mut subnets: Vec<String> = t
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            DiscoveryEvent::LinkUp { subnet, .. } => Some(subnet.to_string()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(subnets.len(), 6);
+    subnets.sort();
+    subnets.dedup();
+    assert_eq!(subnets.len(), 6, "each link needs a unique subnet");
+}
+
+#[test]
+fn discovery_time_scales_with_probe_interval() {
+    // With a fast probe interval, a ring should be fully discovered
+    // shortly after the switches connect.
+    let topo = ring(8);
+    let mut fast = cfg();
+    fast.probe_interval = Duration::from_millis(200);
+    fast.link_ttl = Duration::from_millis(600);
+    let (mut sim, tc) = build(&topo, fast);
+    sim.run_until(Time::from_secs(2));
+    let t = sim.agent_as::<TopologyController>(tc).unwrap();
+    assert_eq!(t.links().len(), 8);
+}
+
+#[test]
+fn dead_switch_is_removed_with_its_links() {
+    let topo = ring(4);
+    let (mut sim, tc) = build(&topo, cfg());
+    sim.run_until(Time::from_secs(3));
+    // Kill switch agent 1 (dpid 1, the first switch added after tc).
+    let victim = rf_sim::AgentId(1);
+    assert!(sim.agent_as::<OpenFlowSwitch>(victim).is_some());
+    // Find the controller's view before the kill.
+    assert_eq!(
+        sim.agent_as::<TopologyController>(tc).unwrap().links().len(),
+        4
+    );
+    // Kill via a spawned one-shot agent.
+    struct Killer(rf_sim::AgentId);
+    impl rf_sim::Agent for Killer {
+        fn on_start(&mut self, ctx: &mut rf_sim::Ctx<'_>) {
+            ctx.kill(self.0);
+        }
+    }
+    sim.add_agent("killer", Box::new(Killer(victim)));
+    sim.run_until(Time::from_secs(10));
+    let t = sim.agent_as::<TopologyController>(tc).unwrap();
+    assert_eq!(t.switches().len(), 3, "victim gone from switch list");
+    assert_eq!(t.links().len(), 2, "its two ring links are down");
+    assert!(t
+        .events
+        .iter()
+        .any(|e| matches!(e, DiscoveryEvent::SwitchLeave { dpid: 1 })));
+    // Its subnets were recycled into the allocator (2 links down).
+    let downs = t
+        .events
+        .iter()
+        .filter(|e| matches!(e, DiscoveryEvent::LinkDown { .. }))
+        .count();
+    assert_eq!(downs, 2);
+}
+
+#[test]
+fn pan_european_topology_discovered() {
+    let topo = rf_topo::pan_european();
+    let (mut sim, tc) = build(&topo, cfg());
+    sim.run_until(Time::from_secs(10));
+    let t = sim.agent_as::<TopologyController>(tc).unwrap();
+    assert_eq!(t.switches().len(), 28);
+    assert_eq!(t.links().len(), 41);
+}

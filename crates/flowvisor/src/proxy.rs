@@ -1,0 +1,518 @@
+//! The FlowVisor proxy agent.
+
+use crate::slice::{FlowSpaceDecision, SlicePolicy};
+use bytes::Bytes;
+use rf_openflow::{
+    ErrorType, MessageReader, OfMessage, PacketKey, OFP_NO_BUFFER,
+};
+use rf_sim::{Agent, ConnId, ConnProfile, Ctx, StreamEvent};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Marker for FlowVisor-originated requests in the xid map.
+const FV_SELF: usize = usize::MAX;
+/// Timer token base for upstream redials: `BASE + sw * 64 + slice`.
+const T_REDIAL_BASE: u64 = 1 << 32;
+
+/// FlowVisor configuration.
+#[derive(Clone, Debug)]
+pub struct FlowVisorConfig {
+    /// Service switches dial (conventionally 6633).
+    pub listen_service: u16,
+    /// The slices, in priority order for PACKET_IN classification.
+    pub slices: Vec<SlicePolicy>,
+    /// Stream profile toward slice controllers.
+    pub conn: ConnProfile,
+    /// Backoff before redialing a dead controller.
+    pub redial_backoff: Duration,
+}
+
+impl FlowVisorConfig {
+    pub fn new(slices: Vec<SlicePolicy>) -> FlowVisorConfig {
+        FlowVisorConfig {
+            listen_service: 6633,
+            slices,
+            conn: ConnProfile::default(),
+            redial_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+struct Upstream {
+    conn: Option<ConnId>,
+    ready: bool,
+    reader: MessageReader,
+    /// FEATURES_REQUEST xids awaiting the switch's cached features.
+    pending_features: Vec<u32>,
+}
+
+struct SwitchSession {
+    conn: ConnId,
+    reader: MessageReader,
+    features: Option<rf_openflow::SwitchFeatures>,
+    upstreams: Vec<Upstream>,
+    alive: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Role {
+    Switch(usize),
+    Upstream { sw: usize, slice: usize },
+}
+
+/// The FlowVisor agent: one per deployment, proxying any number of
+/// switches to a fixed set of slice controllers.
+pub struct FlowVisor {
+    cfg: FlowVisorConfig,
+    switches: Vec<SwitchSession>,
+    roles: HashMap<ConnId, Role>,
+    next_xid: u32,
+    /// rewritten xid → (switch, slice, original xid).
+    xid_map: HashMap<u32, (usize, usize, u32)>,
+    /// (switch, cookie) → slice, for FLOW_REMOVED routing.
+    cookie_owner: HashMap<(usize, u64), usize>,
+    /// FLOW_MODs rejected by flowspace policy.
+    pub denied_flow_mods: u64,
+    /// FLOW_MODs narrowed to the slice's flowspace.
+    pub rewritten_flow_mods: u64,
+}
+
+impl FlowVisor {
+    pub fn new(cfg: FlowVisorConfig) -> FlowVisor {
+        FlowVisor {
+            cfg,
+            switches: Vec::new(),
+            roles: HashMap::new(),
+            next_xid: 1,
+            xid_map: HashMap::new(),
+            cookie_owner: HashMap::new(),
+            denied_flow_mods: 0,
+            rewritten_flow_mods: 0,
+        }
+    }
+
+    /// Number of connected switch sessions (diagnostics).
+    pub fn switch_count(&self) -> usize {
+        self.switches.iter().filter(|s| s.alive).count()
+    }
+
+    fn alloc_xid(&mut self, sw: usize, slice: usize, orig: u32) -> u32 {
+        loop {
+            let x = self.next_xid;
+            self.next_xid = self.next_xid.wrapping_add(1).max(1);
+            if !self.xid_map.contains_key(&x) {
+                self.xid_map.insert(x, (sw, slice, orig));
+                return x;
+            }
+        }
+    }
+
+    fn dial_upstreams(&mut self, ctx: &mut Ctx<'_>, sw: usize) {
+        for slice_idx in 0..self.cfg.slices.len() {
+            if self.switches[sw].upstreams[slice_idx].conn.is_some() {
+                continue;
+            }
+            let policy = self.cfg.slices[slice_idx].clone();
+            let conn = ctx.connect(policy.controller, policy.service, self.cfg.conn);
+            self.roles.insert(
+                conn,
+                Role::Upstream {
+                    sw,
+                    slice: slice_idx,
+                },
+            );
+            let up = &mut self.switches[sw].upstreams[slice_idx];
+            up.conn = Some(conn);
+            up.ready = false;
+            up.reader = MessageReader::new();
+        }
+    }
+
+    fn send_to_switch(&self, ctx: &mut Ctx<'_>, sw: usize, msg: &OfMessage, xid: u32) {
+        let s = &self.switches[sw];
+        if s.alive {
+            ctx.conn_send(s.conn, msg.encode(xid));
+        }
+    }
+
+    fn send_to_slice(&self, ctx: &mut Ctx<'_>, sw: usize, slice: usize, msg: &OfMessage, xid: u32) {
+        if let Some(conn) = self.switches[sw].upstreams[slice].conn {
+            if self.switches[sw].upstreams[slice].ready {
+                ctx.conn_send(conn, msg.encode(xid));
+            }
+        }
+    }
+
+    fn handle_switch_msg(&mut self, ctx: &mut Ctx<'_>, sw: usize, msg: OfMessage, xid: u32) {
+        match msg {
+            OfMessage::Hello => {}
+            OfMessage::EchoRequest(data) => {
+                self.send_to_switch(ctx, sw, &OfMessage::EchoReply(data), xid);
+            }
+            OfMessage::EchoReply(_) => {}
+            OfMessage::FeaturesReply(f) => {
+                if let Some(&(s, slice, orig)) = self.xid_map.get(&xid) {
+                    self.xid_map.remove(&xid);
+                    if slice == FV_SELF {
+                        // Our own handshake: cache and bring up slices.
+                        ctx.trace_debug(
+                            "fv.features",
+                            format!("cached features of dpid {:#x}", f.datapath_id),
+                        );
+                        self.switches[s].features = Some(f);
+                        self.dial_upstreams(ctx, s);
+                        self.flush_pending_features(ctx, s);
+                    } else {
+                        self.send_to_slice(ctx, s, slice, &OfMessage::FeaturesReply(f), orig);
+                    }
+                }
+            }
+            OfMessage::PacketIn {
+                buffer_id,
+                total_len,
+                in_port,
+                reason,
+                ref data,
+            } => {
+                ctx.count("fv.packet_in", 1);
+                let Some(key) = PacketKey::from_frame(in_port, data) else {
+                    return;
+                };
+                for slice_idx in 0..self.cfg.slices.len() {
+                    if self.cfg.slices[slice_idx].owns_packet(&key) {
+                        self.send_to_slice(
+                            ctx,
+                            sw,
+                            slice_idx,
+                            &OfMessage::PacketIn {
+                                buffer_id,
+                                total_len,
+                                in_port,
+                                reason,
+                                data: data.clone(),
+                            },
+                            xid,
+                        );
+                        // Exactly one slice owns a packet in this
+                        // framework (flowspaces are disjoint).
+                        break;
+                    }
+                }
+            }
+            OfMessage::PortStatus { reason, desc } => {
+                for slice_idx in 0..self.cfg.slices.len() {
+                    self.send_to_slice(
+                        ctx,
+                        sw,
+                        slice_idx,
+                        &OfMessage::PortStatus {
+                            reason,
+                            desc: desc.clone(),
+                        },
+                        xid,
+                    );
+                }
+            }
+            OfMessage::FlowRemoved { cookie, .. } => {
+                if let Some(&slice) = self.cookie_owner.get(&(sw, cookie)) {
+                    self.send_to_slice(ctx, sw, slice, &msg, xid);
+                } else {
+                    for slice_idx in 0..self.cfg.slices.len() {
+                        self.send_to_slice(ctx, sw, slice_idx, &msg, xid);
+                    }
+                }
+            }
+            // Request replies: route by rewritten xid.
+            OfMessage::BarrierReply
+            | OfMessage::GetConfigReply { .. }
+            | OfMessage::StatsReply { .. }
+            | OfMessage::Error { .. } => {
+                if let Some(&(s, slice, orig)) = self.xid_map.get(&xid) {
+                    self.xid_map.remove(&xid);
+                    if slice != FV_SELF {
+                        self.send_to_slice(ctx, s, slice, &msg, orig);
+                    }
+                }
+            }
+            _ => {
+                ctx.count("fv.unexpected_from_switch", 1);
+            }
+        }
+    }
+
+    fn flush_pending_features(&mut self, ctx: &mut Ctx<'_>, sw: usize) {
+        let Some(features) = self.switches[sw].features.clone() else {
+            return;
+        };
+        for slice_idx in 0..self.cfg.slices.len() {
+            let pend =
+                std::mem::take(&mut self.switches[sw].upstreams[slice_idx].pending_features);
+            for xid in pend {
+                self.send_to_slice(
+                    ctx,
+                    sw,
+                    slice_idx,
+                    &OfMessage::FeaturesReply(features.clone()),
+                    xid,
+                );
+            }
+        }
+    }
+
+    fn handle_controller_msg(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        sw: usize,
+        slice: usize,
+        msg: OfMessage,
+        xid: u32,
+    ) {
+        let up_conn = self.switches[sw].upstreams[slice].conn;
+        match msg {
+            OfMessage::Hello => {
+                self.switches[sw].upstreams[slice].ready = true;
+            }
+            OfMessage::EchoRequest(data) => {
+                if let Some(c) = up_conn {
+                    ctx.conn_send(c, OfMessage::EchoReply(data).encode(xid));
+                }
+            }
+            OfMessage::EchoReply(_) => {}
+            OfMessage::FeaturesRequest => {
+                if let Some(f) = self.switches[sw].features.clone() {
+                    self.send_to_slice(ctx, sw, slice, &OfMessage::FeaturesReply(f), xid);
+                } else {
+                    self.switches[sw].upstreams[slice].pending_features.push(xid);
+                }
+            }
+            OfMessage::FlowMod {
+                of_match,
+                cookie,
+                command,
+                idle_timeout,
+                hard_timeout,
+                priority,
+                buffer_id,
+                out_port,
+                flags,
+                actions,
+            } => {
+                let decision = self.cfg.slices[slice].check_flow_mod(&of_match);
+                let effective_match = match decision {
+                    FlowSpaceDecision::Allow => of_match,
+                    FlowSpaceDecision::Rewrite(m) => {
+                        self.rewritten_flow_mods += 1;
+                        m
+                    }
+                    FlowSpaceDecision::Deny => {
+                        self.denied_flow_mods += 1;
+                        ctx.count("fv.flow_mod_denied", 1);
+                        if let Some(c) = up_conn {
+                            let err = OfMessage::Error {
+                                err_type: ErrorType::FlowModFailed,
+                                code: 2, // OFPFMFC_EPERM
+                                data: Bytes::new(),
+                            };
+                            ctx.conn_send(c, err.encode(xid));
+                        }
+                        return;
+                    }
+                };
+                self.cookie_owner.insert((sw, cookie), slice);
+                let new_xid = self.alloc_xid(sw, slice, xid);
+                let fm = OfMessage::FlowMod {
+                    of_match: effective_match,
+                    cookie,
+                    command,
+                    idle_timeout,
+                    hard_timeout,
+                    priority,
+                    buffer_id,
+                    out_port,
+                    flags,
+                    actions,
+                };
+                self.send_to_switch(ctx, sw, &fm, new_xid);
+            }
+            OfMessage::PacketOut {
+                buffer_id,
+                in_port,
+                actions,
+                data,
+            } => {
+                // Policy-check the payload when we can see it.
+                if buffer_id == OFP_NO_BUFFER && !data.is_empty() {
+                    if let Some(key) = PacketKey::from_frame(in_port, &data) {
+                        if !self.cfg.slices[slice].owns_packet(&key) {
+                            ctx.count("fv.packet_out_denied", 1);
+                            if let Some(c) = up_conn {
+                                let err = OfMessage::Error {
+                                    err_type: ErrorType::BadRequest,
+                                    code: 4, // OFPBRC_EPERM
+                                    data: Bytes::new(),
+                                };
+                                ctx.conn_send(c, err.encode(xid));
+                            }
+                            return;
+                        }
+                    }
+                }
+                let new_xid = self.alloc_xid(sw, slice, xid);
+                self.send_to_switch(
+                    ctx,
+                    sw,
+                    &OfMessage::PacketOut {
+                        buffer_id,
+                        in_port,
+                        actions,
+                        data,
+                    },
+                    new_xid,
+                );
+            }
+            // Forwarded requests that expect a reply: remap the xid.
+            OfMessage::BarrierRequest
+            | OfMessage::GetConfigRequest
+            | OfMessage::StatsRequest { .. } => {
+                let new_xid = self.alloc_xid(sw, slice, xid);
+                self.send_to_switch(ctx, sw, &msg, new_xid);
+            }
+            // SET_CONFIG is fire-and-forget; last writer wins (doc'd).
+            OfMessage::SetConfig { .. } => {
+                let new_xid = self.alloc_xid(sw, slice, xid);
+                self.send_to_switch(ctx, sw, &msg, new_xid);
+            }
+            _ => {
+                ctx.count("fv.unexpected_from_controller", 1);
+            }
+        }
+    }
+}
+
+impl Agent for FlowVisor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.listen(self.cfg.listen_service);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token >= T_REDIAL_BASE {
+            let v = token - T_REDIAL_BASE;
+            let sw = (v / 64) as usize;
+            let slice = (v % 64) as usize;
+            if sw < self.switches.len()
+                && self.switches[sw].alive
+                && self.switches[sw].upstreams[slice].conn.is_none()
+            {
+                let policy = self.cfg.slices[slice].clone();
+                let conn = ctx.connect(policy.controller, policy.service, self.cfg.conn);
+                self.roles.insert(conn, Role::Upstream { sw, slice });
+                let up = &mut self.switches[sw].upstreams[slice];
+                up.conn = Some(conn);
+                up.reader = MessageReader::new();
+            }
+        }
+    }
+
+    fn on_stream(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, event: StreamEvent) {
+        match event {
+            StreamEvent::Opened {
+                initiated_by_us, ..
+            } => {
+                if !initiated_by_us {
+                    // A switch dialed us: new session.
+                    let sw = self.switches.len();
+                    self.switches.push(SwitchSession {
+                        conn,
+                        reader: MessageReader::new(),
+                        features: None,
+                        upstreams: (0..self.cfg.slices.len())
+                            .map(|_| Upstream {
+                                conn: None,
+                                ready: false,
+                                reader: MessageReader::new(),
+                                pending_features: Vec::new(),
+                            })
+                            .collect(),
+                        alive: true,
+                    });
+                    self.roles.insert(conn, Role::Switch(sw));
+                    ctx.conn_send(conn, OfMessage::Hello.encode(0));
+                    let xid = self.alloc_xid(sw, FV_SELF, 0);
+                    ctx.conn_send(conn, OfMessage::FeaturesRequest.encode(xid));
+                } else if let Some(Role::Upstream { sw, slice }) = self.roles.get(&conn).copied() {
+                    // We reached a slice controller: open with HELLO.
+                    ctx.conn_send(conn, OfMessage::Hello.encode(0));
+                    // Some controllers never send HELLO first; mark the
+                    // path usable once our HELLO is out.
+                    self.switches[sw].upstreams[slice].ready = true;
+                }
+            }
+            StreamEvent::Data(data) => {
+                let Some(role) = self.roles.get(&conn).copied() else {
+                    return;
+                };
+                match role {
+                    Role::Switch(sw) => {
+                        let msgs = {
+                            let reader = &mut self.switches[sw].reader;
+                            reader.push(&data);
+                            let mut v = Vec::new();
+                            while let Some(r) = reader.next() {
+                                if let Ok(m) = r {
+                                    v.push(m);
+                                }
+                            }
+                            v
+                        };
+                        for (msg, xid) in msgs {
+                            self.handle_switch_msg(ctx, sw, msg, xid);
+                        }
+                    }
+                    Role::Upstream { sw, slice } => {
+                        let msgs = {
+                            let reader = &mut self.switches[sw].upstreams[slice].reader;
+                            reader.push(&data);
+                            let mut v = Vec::new();
+                            while let Some(r) = reader.next() {
+                                if let Ok(m) = r {
+                                    v.push(m);
+                                }
+                            }
+                            v
+                        };
+                        for (msg, xid) in msgs {
+                            self.handle_controller_msg(ctx, sw, slice, msg, xid);
+                        }
+                    }
+                }
+            }
+            StreamEvent::Closed => {
+                let Some(role) = self.roles.remove(&conn) else {
+                    return;
+                };
+                match role {
+                    Role::Switch(sw) => {
+                        self.switches[sw].alive = false;
+                        // Tear down that session's controller legs.
+                        for slice in 0..self.cfg.slices.len() {
+                            if let Some(c) = self.switches[sw].upstreams[slice].conn.take() {
+                                self.roles.remove(&c);
+                                ctx.conn_close(c);
+                            }
+                        }
+                    }
+                    Role::Upstream { sw, slice } => {
+                        self.switches[sw].upstreams[slice].conn = None;
+                        self.switches[sw].upstreams[slice].ready = false;
+                        if self.switches[sw].alive {
+                            ctx.schedule(
+                                self.cfg.redial_backoff,
+                                T_REDIAL_BASE + (sw as u64) * 64 + slice as u64,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,550 @@
+//! `STATS_REQUEST`/`STATS_REPLY` bodies (desc, flow, aggregate, table,
+//! port).
+//!
+//! The experiment harness polls flow and port stats to verify that the
+//! RouteFlow-installed entries actually carry the demo's video traffic.
+
+use crate::actions::Action;
+use crate::flow_match::{OfMatch, OFP_MATCH_LEN};
+use crate::ports::PortNumber;
+use crate::OfError;
+use bytes::{BufMut, BytesMut};
+
+fn put_fixed_str(buf: &mut BytesMut, s: &str, len: usize) {
+    let bytes = s.as_bytes();
+    let n = bytes.len().min(len - 1);
+    buf.put_slice(&bytes[..n]);
+    buf.put_bytes(0, len - n);
+}
+
+fn get_fixed_str(data: &[u8]) -> String {
+    let end = data.iter().position(|&b| b == 0).unwrap_or(data.len());
+    String::from_utf8_lossy(&data[..end]).into_owned()
+}
+
+/// `OFPST_DESC` reply body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SwitchDesc {
+    pub mfr_desc: String,
+    pub hw_desc: String,
+    pub sw_desc: String,
+    pub serial_num: String,
+    pub dp_desc: String,
+}
+
+impl SwitchDesc {
+    pub const WIRE_LEN: usize = 256 * 3 + 32 + 256;
+
+    pub fn emit_into(&self, buf: &mut BytesMut) {
+        put_fixed_str(buf, &self.mfr_desc, 256);
+        put_fixed_str(buf, &self.hw_desc, 256);
+        put_fixed_str(buf, &self.sw_desc, 256);
+        put_fixed_str(buf, &self.serial_num, 32);
+        put_fixed_str(buf, &self.dp_desc, 256);
+    }
+
+    pub fn parse(data: &[u8]) -> Result<SwitchDesc, OfError> {
+        if data.len() < Self::WIRE_LEN {
+            return Err(OfError::Truncated);
+        }
+        Ok(SwitchDesc {
+            mfr_desc: get_fixed_str(&data[0..256]),
+            hw_desc: get_fixed_str(&data[256..512]),
+            sw_desc: get_fixed_str(&data[512..768]),
+            serial_num: get_fixed_str(&data[768..800]),
+            dp_desc: get_fixed_str(&data[800..1056]),
+        })
+    }
+}
+
+/// `OFPST_FLOW` / `OFPST_AGGREGATE` request body.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlowStatsRequest {
+    pub of_match: OfMatch,
+    /// 0xFF = all tables.
+    pub table_id: u8,
+    pub out_port: PortNumber,
+}
+
+impl FlowStatsRequest {
+    pub const WIRE_LEN: usize = OFP_MATCH_LEN + 4;
+
+    pub fn all() -> FlowStatsRequest {
+        FlowStatsRequest {
+            of_match: OfMatch::any(),
+            table_id: 0xFF,
+            out_port: crate::ports::OFPP_NONE,
+        }
+    }
+
+    pub fn emit_into(&self, buf: &mut BytesMut) {
+        self.of_match.emit_into(buf);
+        buf.put_u8(self.table_id);
+        buf.put_u8(0);
+        buf.put_u16(self.out_port);
+    }
+
+    pub fn parse(data: &[u8]) -> Result<FlowStatsRequest, OfError> {
+        if data.len() < Self::WIRE_LEN {
+            return Err(OfError::Truncated);
+        }
+        Ok(FlowStatsRequest {
+            of_match: OfMatch::parse(&data[..OFP_MATCH_LEN])?,
+            table_id: data[OFP_MATCH_LEN],
+            out_port: u16::from_be_bytes([data[OFP_MATCH_LEN + 2], data[OFP_MATCH_LEN + 3]]),
+        })
+    }
+}
+
+/// One entry in an `OFPST_FLOW` reply.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlowStatsEntry {
+    pub table_id: u8,
+    pub of_match: OfMatch,
+    pub duration_sec: u32,
+    pub duration_nsec: u32,
+    pub priority: u16,
+    pub idle_timeout: u16,
+    pub hard_timeout: u16,
+    pub cookie: u64,
+    pub packet_count: u64,
+    pub byte_count: u64,
+    pub actions: Vec<Action>,
+}
+
+impl FlowStatsEntry {
+    const FIXED: usize = 2 + 1 + 1 + OFP_MATCH_LEN + 4 + 4 + 2 + 2 + 2 + 6 + 8 + 8 + 8;
+
+    pub fn emit_into(&self, buf: &mut BytesMut) {
+        let len = Self::FIXED + Action::list_len(&self.actions);
+        buf.put_u16(len as u16);
+        buf.put_u8(self.table_id);
+        buf.put_u8(0);
+        self.of_match.emit_into(buf);
+        buf.put_u32(self.duration_sec);
+        buf.put_u32(self.duration_nsec);
+        buf.put_u16(self.priority);
+        buf.put_u16(self.idle_timeout);
+        buf.put_u16(self.hard_timeout);
+        buf.put_bytes(0, 6);
+        buf.put_u64(self.cookie);
+        buf.put_u64(self.packet_count);
+        buf.put_u64(self.byte_count);
+        Action::emit_list(&self.actions, buf);
+    }
+
+    /// Parse one entry; returns `(entry, bytes_consumed)`.
+    pub fn parse(data: &[u8]) -> Result<(FlowStatsEntry, usize), OfError> {
+        if data.len() < Self::FIXED {
+            return Err(OfError::Truncated);
+        }
+        let len = u16::from_be_bytes([data[0], data[1]]) as usize;
+        if len < Self::FIXED || len > data.len() {
+            return Err(OfError::Malformed("flow stats entry length"));
+        }
+        let of_match = OfMatch::parse(&data[4..4 + OFP_MATCH_LEN])?;
+        let o = 4 + OFP_MATCH_LEN;
+        let be32 = |i: usize| u32::from_be_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+        let be16 = |i: usize| u16::from_be_bytes([data[i], data[i + 1]]);
+        let be64 = |i: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&data[i..i + 8]);
+            u64::from_be_bytes(b)
+        };
+        let entry = FlowStatsEntry {
+            table_id: data[2],
+            of_match,
+            duration_sec: be32(o),
+            duration_nsec: be32(o + 4),
+            priority: be16(o + 8),
+            idle_timeout: be16(o + 10),
+            hard_timeout: be16(o + 12),
+            cookie: be64(o + 20),
+            packet_count: be64(o + 28),
+            byte_count: be64(o + 36),
+            actions: Action::parse_list(&data[Self::FIXED..len])?,
+        };
+        Ok((entry, len))
+    }
+}
+
+/// `OFPST_AGGREGATE` reply body.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct AggregateStats {
+    pub packet_count: u64,
+    pub byte_count: u64,
+    pub flow_count: u32,
+}
+
+impl AggregateStats {
+    pub const WIRE_LEN: usize = 24;
+
+    pub fn emit_into(&self, buf: &mut BytesMut) {
+        buf.put_u64(self.packet_count);
+        buf.put_u64(self.byte_count);
+        buf.put_u32(self.flow_count);
+        buf.put_u32(0);
+    }
+
+    pub fn parse(data: &[u8]) -> Result<AggregateStats, OfError> {
+        if data.len() < Self::WIRE_LEN {
+            return Err(OfError::Truncated);
+        }
+        let mut b8 = [0u8; 8];
+        b8.copy_from_slice(&data[0..8]);
+        let packet_count = u64::from_be_bytes(b8);
+        b8.copy_from_slice(&data[8..16]);
+        let byte_count = u64::from_be_bytes(b8);
+        Ok(AggregateStats {
+            packet_count,
+            byte_count,
+            flow_count: u32::from_be_bytes([data[16], data[17], data[18], data[19]]),
+        })
+    }
+}
+
+/// One entry in an `OFPST_TABLE` reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableStats {
+    pub table_id: u8,
+    pub name: String,
+    pub wildcards: u32,
+    pub max_entries: u32,
+    pub active_count: u32,
+    pub lookup_count: u64,
+    pub matched_count: u64,
+}
+
+impl TableStats {
+    pub const WIRE_LEN: usize = 64;
+
+    pub fn emit_into(&self, buf: &mut BytesMut) {
+        buf.put_u8(self.table_id);
+        buf.put_bytes(0, 3);
+        put_fixed_str(buf, &self.name, 32);
+        buf.put_u32(self.wildcards);
+        buf.put_u32(self.max_entries);
+        buf.put_u32(self.active_count);
+        buf.put_u64(self.lookup_count);
+        buf.put_u64(self.matched_count);
+    }
+
+    pub fn parse(data: &[u8]) -> Result<TableStats, OfError> {
+        if data.len() < Self::WIRE_LEN {
+            return Err(OfError::Truncated);
+        }
+        let mut b8 = [0u8; 8];
+        b8.copy_from_slice(&data[48..56]);
+        let lookup_count = u64::from_be_bytes(b8);
+        b8.copy_from_slice(&data[56..64]);
+        let matched_count = u64::from_be_bytes(b8);
+        Ok(TableStats {
+            table_id: data[0],
+            name: get_fixed_str(&data[4..36]),
+            wildcards: u32::from_be_bytes([data[36], data[37], data[38], data[39]]),
+            max_entries: u32::from_be_bytes([data[40], data[41], data[42], data[43]]),
+            active_count: u32::from_be_bytes([data[44], data[45], data[46], data[47]]),
+            lookup_count,
+            matched_count,
+        })
+    }
+}
+
+/// One entry in an `OFPST_PORT` reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct PortStats {
+    pub port_no: PortNumber,
+    pub rx_packets: u64,
+    pub tx_packets: u64,
+    pub rx_bytes: u64,
+    pub tx_bytes: u64,
+    pub rx_dropped: u64,
+    pub tx_dropped: u64,
+    pub rx_errors: u64,
+    pub tx_errors: u64,
+}
+
+impl PortStats {
+    pub const WIRE_LEN: usize = 104;
+
+    pub fn emit_into(&self, buf: &mut BytesMut) {
+        buf.put_u16(self.port_no);
+        buf.put_bytes(0, 6);
+        buf.put_u64(self.rx_packets);
+        buf.put_u64(self.tx_packets);
+        buf.put_u64(self.rx_bytes);
+        buf.put_u64(self.tx_bytes);
+        buf.put_u64(self.rx_dropped);
+        buf.put_u64(self.tx_dropped);
+        buf.put_u64(self.rx_errors);
+        buf.put_u64(self.tx_errors);
+        // rx_frame_err, rx_over_err, rx_crc_err, collisions: not modelled.
+        buf.put_bytes(0, 32);
+    }
+
+    pub fn parse(data: &[u8]) -> Result<PortStats, OfError> {
+        if data.len() < Self::WIRE_LEN {
+            return Err(OfError::Truncated);
+        }
+        let be64 = |i: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&data[i..i + 8]);
+            u64::from_be_bytes(b)
+        };
+        Ok(PortStats {
+            port_no: u16::from_be_bytes([data[0], data[1]]),
+            rx_packets: be64(8),
+            tx_packets: be64(16),
+            rx_bytes: be64(24),
+            tx_bytes: be64(32),
+            rx_dropped: be64(40),
+            tx_dropped: be64(48),
+            rx_errors: be64(56),
+            tx_errors: be64(64),
+        })
+    }
+}
+
+/// A decoded stats request or reply body.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StatsBody {
+    DescRequest,
+    DescReply(SwitchDesc),
+    FlowRequest(FlowStatsRequest),
+    FlowReply(Vec<FlowStatsEntry>),
+    AggregateRequest(FlowStatsRequest),
+    AggregateReply(AggregateStats),
+    TableRequest,
+    TableReply(Vec<TableStats>),
+    /// `OFPP_NONE` = all ports.
+    PortRequest(PortNumber),
+    PortReply(Vec<PortStats>),
+}
+
+impl StatsBody {
+    /// The `ofp_stats_types` value for this body.
+    pub fn stats_type(&self) -> u16 {
+        match self {
+            StatsBody::DescRequest | StatsBody::DescReply(_) => 0,
+            StatsBody::FlowRequest(_) | StatsBody::FlowReply(_) => 1,
+            StatsBody::AggregateRequest(_) | StatsBody::AggregateReply(_) => 2,
+            StatsBody::TableRequest | StatsBody::TableReply(_) => 3,
+            StatsBody::PortRequest(_) | StatsBody::PortReply(_) => 4,
+        }
+    }
+
+    pub fn emit_into(&self, buf: &mut BytesMut) {
+        match self {
+            StatsBody::DescRequest | StatsBody::TableRequest => {}
+            StatsBody::DescReply(d) => d.emit_into(buf),
+            StatsBody::FlowRequest(r) | StatsBody::AggregateRequest(r) => r.emit_into(buf),
+            StatsBody::FlowReply(entries) => {
+                for e in entries {
+                    e.emit_into(buf);
+                }
+            }
+            StatsBody::AggregateReply(a) => a.emit_into(buf),
+            StatsBody::TableReply(tables) => {
+                for t in tables {
+                    t.emit_into(buf);
+                }
+            }
+            StatsBody::PortRequest(p) => {
+                buf.put_u16(*p);
+                buf.put_bytes(0, 6);
+            }
+            StatsBody::PortReply(ports) => {
+                for p in ports {
+                    p.emit_into(buf);
+                }
+            }
+        }
+    }
+
+    /// Decode a request body of `stats_type`.
+    pub fn parse_request(stats_type: u16, data: &[u8]) -> Result<StatsBody, OfError> {
+        Ok(match stats_type {
+            0 => StatsBody::DescRequest,
+            1 => StatsBody::FlowRequest(FlowStatsRequest::parse(data)?),
+            2 => StatsBody::AggregateRequest(FlowStatsRequest::parse(data)?),
+            3 => StatsBody::TableRequest,
+            4 => {
+                if data.len() < 8 {
+                    return Err(OfError::Truncated);
+                }
+                StatsBody::PortRequest(u16::from_be_bytes([data[0], data[1]]))
+            }
+            _ => return Err(OfError::Malformed("unsupported stats type")),
+        })
+    }
+
+    /// Decode a reply body of `stats_type`.
+    pub fn parse_reply(stats_type: u16, data: &[u8]) -> Result<StatsBody, OfError> {
+        Ok(match stats_type {
+            0 => StatsBody::DescReply(SwitchDesc::parse(data)?),
+            1 => {
+                let mut entries = Vec::new();
+                let mut off = 0;
+                while off < data.len() {
+                    let (e, used) = FlowStatsEntry::parse(&data[off..])?;
+                    entries.push(e);
+                    off += used;
+                }
+                StatsBody::FlowReply(entries)
+            }
+            2 => StatsBody::AggregateReply(AggregateStats::parse(data)?),
+            3 => {
+                let mut tables = Vec::new();
+                let mut off = 0;
+                while off + TableStats::WIRE_LEN <= data.len() {
+                    tables.push(TableStats::parse(&data[off..])?);
+                    off += TableStats::WIRE_LEN;
+                }
+                StatsBody::TableReply(tables)
+            }
+            4 => {
+                let mut ports = Vec::new();
+                let mut off = 0;
+                while off + PortStats::WIRE_LEN <= data.len() {
+                    ports.push(PortStats::parse(&data[off..])?);
+                    off += PortStats::WIRE_LEN;
+                }
+                StatsBody::PortReply(ports)
+            }
+            _ => return Err(OfError::Malformed("unsupported stats type")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_wire::MacAddr;
+
+    #[test]
+    fn desc_roundtrip() {
+        let d = SwitchDesc {
+            mfr_desc: "rf-switch".into(),
+            hw_desc: "simulated".into(),
+            sw_desc: "0.1.0".into(),
+            serial_num: "42".into(),
+            dp_desc: "emulated OVS 1.4.1".into(),
+        };
+        let mut b = BytesMut::new();
+        d.emit_into(&mut b);
+        assert_eq!(b.len(), SwitchDesc::WIRE_LEN);
+        assert_eq!(SwitchDesc::parse(&b).unwrap(), d);
+    }
+
+    #[test]
+    fn flow_stats_entry_roundtrip() {
+        let e = FlowStatsEntry {
+            table_id: 0,
+            of_match: OfMatch::ipv4_dst_prefix("10.1.0.0".parse().unwrap(), 16),
+            duration_sec: 12,
+            duration_nsec: 500,
+            priority: 0x8000,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            cookie: 0xCAFE,
+            packet_count: 1000,
+            byte_count: 64_000,
+            actions: vec![
+                Action::SetDlSrc(MacAddr([2, 0, 0, 0, 0, 1])),
+                Action::SetDlDst(MacAddr([2, 0, 0, 0, 0, 2])),
+                Action::output(3),
+            ],
+        };
+        let mut b = BytesMut::new();
+        e.emit_into(&mut b);
+        let (parsed, used) = FlowStatsEntry::parse(&b).unwrap();
+        assert_eq!(used, b.len());
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn flow_reply_with_multiple_entries() {
+        let mk = |prio| FlowStatsEntry {
+            table_id: 0,
+            of_match: OfMatch::any(),
+            duration_sec: 0,
+            duration_nsec: 0,
+            priority: prio,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            cookie: 0,
+            packet_count: 0,
+            byte_count: 0,
+            actions: vec![Action::output(1)],
+        };
+        let body = StatsBody::FlowReply(vec![mk(1), mk(2), mk(3)]);
+        let mut b = BytesMut::new();
+        body.emit_into(&mut b);
+        match StatsBody::parse_reply(1, &b).unwrap() {
+            StatsBody::FlowReply(es) => {
+                assert_eq!(es.len(), 3);
+                assert_eq!(es[2].priority, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_and_table_and_port_roundtrip() {
+        let a = AggregateStats {
+            packet_count: 7,
+            byte_count: 7000,
+            flow_count: 3,
+        };
+        let mut b = BytesMut::new();
+        a.emit_into(&mut b);
+        assert_eq!(AggregateStats::parse(&b).unwrap(), a);
+
+        let t = TableStats {
+            table_id: 0,
+            name: "classifier".into(),
+            wildcards: 0x3FFFFF,
+            max_entries: 1 << 20,
+            active_count: 17,
+            lookup_count: 100,
+            matched_count: 90,
+        };
+        let mut b = BytesMut::new();
+        t.emit_into(&mut b);
+        assert_eq!(b.len(), TableStats::WIRE_LEN);
+        assert_eq!(TableStats::parse(&b).unwrap(), t);
+
+        let p = PortStats {
+            port_no: 2,
+            rx_packets: 10,
+            tx_packets: 20,
+            rx_bytes: 1000,
+            tx_bytes: 2000,
+            ..Default::default()
+        };
+        let mut b = BytesMut::new();
+        p.emit_into(&mut b);
+        assert_eq!(b.len(), PortStats::WIRE_LEN);
+        assert_eq!(PortStats::parse(&b).unwrap(), p);
+    }
+
+    #[test]
+    fn request_bodies_roundtrip() {
+        let r = FlowStatsRequest::all();
+        let mut b = BytesMut::new();
+        r.emit_into(&mut b);
+        assert_eq!(b.len(), FlowStatsRequest::WIRE_LEN);
+        assert_eq!(FlowStatsRequest::parse(&b).unwrap(), r);
+
+        let body = StatsBody::PortRequest(crate::ports::OFPP_NONE);
+        let mut b = BytesMut::new();
+        body.emit_into(&mut b);
+        assert_eq!(StatsBody::parse_request(4, &b).unwrap(), body);
+    }
+
+    #[test]
+    fn unknown_stats_type_rejected() {
+        assert!(StatsBody::parse_request(0xFFFF, &[]).is_err());
+        assert!(StatsBody::parse_reply(9, &[]).is_err());
+    }
+}

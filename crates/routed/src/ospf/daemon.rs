@@ -1,0 +1,852 @@
+//! The sans-IO OSPF daemon.
+//!
+//! The daemon never touches sockets or clocks: callers feed it received
+//! packets ([`OspfDaemon::handle_packet`]) and time
+//! ([`OspfDaemon::tick`]), and it returns [`OspfEvent`]s — packets to
+//! transmit and route-table updates. [`OspfDaemon::poll_at`] reports
+//! the next instant `tick` needs to run (smoltcp's `poll_at` idiom), so
+//! the embedding VM schedules exactly one timer.
+
+use super::lsa::{Lsa, LsaHeader, LsaKey, RouterLink, RouterLinkType, INITIAL_SEQ};
+use super::neighbor::{Neighbor, NeighborState};
+use super::packet::{OspfPacket, OspfPacketBody, DBD_INIT, DBD_MASTER, DBD_MORE};
+use super::spf;
+use super::{ALL_SPF_ROUTERS, LS_REFRESH_TIME, MAX_AGE};
+use crate::config::OspfConfig;
+use crate::rib::Route;
+use bytes::Bytes;
+use rf_sim::Time;
+use rf_wire::Ipv4Cidr;
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+/// Output of the daemon.
+#[derive(Clone, Debug)]
+pub enum OspfEvent {
+    /// Send an OSPF packet (raw OSPF bytes; the caller wraps them in
+    /// IPv4 proto-89 from the interface address).
+    Transmit {
+        iface: u16,
+        dst: Ipv4Addr,
+        packet: Bytes,
+    },
+    /// The OSPF route set changed; replace all OSPF routes with this.
+    RoutesChanged(Vec<Route>),
+}
+
+struct Iface {
+    addr: Ipv4Cidr,
+    cost: u16,
+    next_hello: Time,
+    neighbor: Option<Neighbor>,
+}
+
+/// The OSPF daemon for one router.
+pub struct OspfDaemon {
+    router_id: u32,
+    hello_interval: Duration,
+    dead_interval: Duration,
+    rxmt_interval: Duration,
+    spf_delay: Duration,
+    spf_hold: Duration,
+    ifaces: BTreeMap<u16, Iface>,
+    /// LSDB: key → (LSA as received/originated, install time).
+    lsdb: BTreeMap<LsaKey, (Lsa, Time)>,
+    my_seq: i32,
+    my_lsa_originated: Time,
+    spf_due: Option<Time>,
+    last_spf: Time,
+    last_routes: Vec<Route>,
+    dd_counter: u32,
+    /// Diagnostics.
+    pub spf_runs: u64,
+    pub lsas_flooded: u64,
+}
+
+impl OspfDaemon {
+    /// Build from a parsed `ospfd.conf` plus the interface table from
+    /// `zebra.conf` (`(ifindex, address)`); only interfaces covered by
+    /// a `network` statement run OSPF, per Quagga semantics.
+    pub fn from_config(cfg: &OspfConfig, interfaces: &[(u16, Ipv4Cidr)]) -> OspfDaemon {
+        let mut d = OspfDaemon {
+            router_id: u32::from(cfg.router_id),
+            hello_interval: Duration::from_secs(u64::from(cfg.hello_interval)),
+            dead_interval: Duration::from_secs(u64::from(cfg.dead_interval)),
+            rxmt_interval: Duration::from_secs(u64::from(cfg.retransmit_interval)),
+            spf_delay: Duration::from_millis(u64::from(cfg.spf_timers.0)),
+            spf_hold: Duration::from_millis(u64::from(cfg.spf_timers.1)),
+            ifaces: BTreeMap::new(),
+            lsdb: BTreeMap::new(),
+            my_seq: INITIAL_SEQ,
+            my_lsa_originated: Time::ZERO,
+            spf_due: None,
+            last_spf: Time::ZERO,
+            last_routes: Vec::new(),
+            dd_counter: 0x1000,
+            spf_runs: 0,
+            lsas_flooded: 0,
+        };
+        for (idx, addr) in interfaces {
+            let enabled = cfg
+                .networks
+                .iter()
+                .any(|(net, _)| net.contains(addr.addr) || addr.contains(net.network()));
+            if enabled {
+                d.ifaces.insert(
+                    *idx,
+                    Iface {
+                        addr: *addr,
+                        cost: 10,
+                        next_hello: Time::ZERO,
+                        neighbor: None,
+                    },
+                );
+            }
+        }
+        d
+    }
+
+    pub fn router_id(&self) -> u32 {
+        self.router_id
+    }
+
+    /// `(neighbor router id, state)` per interface.
+    pub fn neighbors(&self) -> Vec<(u16, u32, NeighborState)> {
+        self.ifaces
+            .iter()
+            .filter_map(|(i, f)| f.neighbor.as_ref().map(|n| (*i, n.id, n.state)))
+            .collect()
+    }
+
+    /// True once every interface with a neighbor reached Full.
+    pub fn all_adjacencies_full(&self) -> bool {
+        self.ifaces
+            .values()
+            .filter_map(|f| f.neighbor.as_ref())
+            .all(|n| n.state == NeighborState::Full)
+    }
+
+    pub fn lsdb_len(&self) -> usize {
+        self.lsdb.len()
+    }
+
+    /// Add an interface at runtime (a new virtual link was configured).
+    pub fn add_interface(&mut self, idx: u16, addr: Ipv4Cidr, now: Time) -> Vec<OspfEvent> {
+        self.ifaces.insert(
+            idx,
+            Iface {
+                addr,
+                cost: 10,
+                next_hello: now,
+                neighbor: None,
+            },
+        );
+        let mut ev = Vec::new();
+        self.originate_router_lsa(now, &mut ev);
+        ev.extend(self.tick(now));
+        ev
+    }
+
+    /// Remove an interface (link torn down).
+    pub fn remove_interface(&mut self, idx: u16, now: Time) -> Vec<OspfEvent> {
+        self.ifaces.remove(&idx);
+        let mut ev = Vec::new();
+        self.originate_router_lsa(now, &mut ev);
+        self.schedule_spf(now);
+        ev.extend(self.tick(now));
+        ev
+    }
+
+    /// Start the daemon: originate the initial router LSA and send the
+    /// first hellos.
+    pub fn start(&mut self, now: Time) -> Vec<OspfEvent> {
+        let mut ev = Vec::new();
+        self.originate_router_lsa(now, &mut ev);
+        for f in self.ifaces.values_mut() {
+            f.next_hello = now;
+        }
+        ev.extend(self.tick(now));
+        ev
+    }
+
+    /// Earliest time `tick` must run again.
+    pub fn poll_at(&self) -> Option<Time> {
+        let mut t = Time::MAX;
+        for f in self.ifaces.values() {
+            t = t.min(f.next_hello);
+            if let Some(n) = &f.neighbor {
+                t = t.min(n.last_heard + self.dead_interval);
+                t = t.min(n.next_rxmt);
+            }
+        }
+        if let Some(s) = self.spf_due {
+            t = t.min(s);
+        }
+        // Own-LSA refresh.
+        t = t.min(self.my_lsa_originated + Duration::from_secs(LS_REFRESH_TIME));
+        // Earliest foreign-LSA MaxAge expiry.
+        for (lsa, installed) in self.lsdb.values() {
+            let remaining = MAX_AGE.saturating_sub(lsa.header.age);
+            t = t.min(*installed + Duration::from_secs(u64::from(remaining)));
+        }
+        if t == Time::MAX {
+            None
+        } else {
+            Some(t)
+        }
+    }
+
+    fn effective_age(&self, key: &LsaKey, now: Time) -> u16 {
+        match self.lsdb.get(key) {
+            Some((lsa, installed)) => {
+                let aged = u64::from(lsa.header.age) + now.since(*installed).as_secs();
+                aged.min(u64::from(MAX_AGE)) as u16
+            }
+            None => MAX_AGE,
+        }
+    }
+
+    fn my_key(&self) -> LsaKey {
+        LsaKey {
+            ls_type: 1,
+            ls_id: self.router_id,
+            adv_router: self.router_id,
+        }
+    }
+
+    fn originate_router_lsa(&mut self, now: Time, ev: &mut Vec<OspfEvent>) {
+        let mut links = Vec::new();
+        for f in self.ifaces.values() {
+            if let Some(n) = &f.neighbor {
+                if n.state == NeighborState::Full {
+                    links.push(RouterLink {
+                        link_type: RouterLinkType::PointToPoint,
+                        link_id: n.id,
+                        link_data: u32::from(f.addr.addr),
+                        metric: f.cost,
+                    });
+                }
+            }
+            links.push(RouterLink {
+                link_type: RouterLinkType::Stub,
+                link_id: u32::from(f.addr.network()),
+                link_data: f.addr.mask(),
+                metric: f.cost,
+            });
+        }
+        let lsa = Lsa::router(self.router_id, self.my_seq, 0, links);
+        self.my_seq += 1;
+        self.my_lsa_originated = now;
+        self.lsdb.insert(self.my_key(), (lsa.clone(), now));
+        self.flood(&lsa, None, now, ev);
+        self.schedule_spf(now);
+    }
+
+    fn schedule_spf(&mut self, now: Time) {
+        if self.spf_due.is_none() {
+            let due = (now + self.spf_delay).max(self.last_spf + self.spf_hold);
+            self.spf_due = Some(due);
+        }
+    }
+
+    fn run_spf(&mut self, now: Time, ev: &mut Vec<OspfEvent>) {
+        self.spf_due = None;
+        self.last_spf = now;
+        self.spf_runs += 1;
+        let router_lsas: BTreeMap<u32, Lsa> = self
+            .lsdb
+            .iter()
+            .filter(|(k, (lsa, _))| {
+                k.ls_type == 1 && self.effective_age(k, now) < MAX_AGE && lsa.header.seq >= INITIAL_SEQ
+            })
+            .map(|(k, (lsa, _))| (k.adv_router, lsa.clone()))
+            .collect();
+        let mut adjacent: HashMap<u32, (u16, Ipv4Addr)> = HashMap::new();
+        for (idx, f) in &self.ifaces {
+            if let Some(n) = &f.neighbor {
+                if n.state == NeighborState::Full {
+                    adjacent.insert(n.id, (*idx, n.addr));
+                }
+            }
+        }
+        let routes = spf::compute(&router_lsas, self.router_id, &adjacent);
+        if routes != self.last_routes {
+            self.last_routes = routes.clone();
+            ev.push(OspfEvent::RoutesChanged(routes));
+        }
+    }
+
+    fn transmit(&self, iface: u16, pkt: &OspfPacket, ev: &mut Vec<OspfEvent>) {
+        ev.push(OspfEvent::Transmit {
+            iface,
+            dst: ALL_SPF_ROUTERS,
+            packet: pkt.emit(),
+        });
+    }
+
+    fn send_hello(&mut self, idx: u16, ev: &mut Vec<OspfEvent>) {
+        let f = &self.ifaces[&idx];
+        let neighbors = f.neighbor.as_ref().map(|n| vec![n.id]).unwrap_or_default();
+        let pkt = OspfPacket::new(
+            self.router_id,
+            OspfPacketBody::Hello {
+                network_mask: f.addr.mask(),
+                hello_interval: self.hello_interval.as_secs() as u16,
+                dead_interval: self.dead_interval.as_secs() as u32,
+                neighbors,
+            },
+        );
+        self.transmit(idx, &pkt, ev);
+    }
+
+    /// Flood `lsa` on every adjacency except `except_iface`, adding it
+    /// to retransmission lists.
+    fn flood(&mut self, lsa: &Lsa, except_iface: Option<u16>, now: Time, ev: &mut Vec<OspfEvent>) {
+        let key = lsa.header.key();
+        let rxmt = self.rxmt_interval;
+        let mut out = Vec::new();
+        for (idx, f) in self.ifaces.iter_mut() {
+            if Some(*idx) == except_iface {
+                continue;
+            }
+            let Some(n) = f.neighbor.as_mut() else {
+                continue;
+            };
+            if !n.floods() {
+                continue;
+            }
+            n.retransmit.insert(key);
+            if n.next_rxmt == Time::MAX {
+                n.next_rxmt = now + rxmt;
+            }
+            out.push(*idx);
+        }
+        for idx in out {
+            let pkt = OspfPacket::new(
+                self.router_id,
+                OspfPacketBody::LinkStateUpdate {
+                    lsas: vec![lsa.clone()],
+                },
+            );
+            self.transmit(idx, &pkt, ev);
+            self.lsas_flooded += 1;
+        }
+    }
+
+    fn start_exstart(&mut self, idx: u16, ev: &mut Vec<OspfEvent>, now: Time) {
+        self.dd_counter += 1;
+        let dd_seq = self.dd_counter;
+        let (their_id, pkt) = {
+            let f = self.ifaces.get_mut(&idx).unwrap();
+            let n = f.neighbor.as_mut().unwrap();
+            n.state = NeighborState::ExStart;
+            n.we_are_master = self.router_id > n.id;
+            n.dd_seq = dd_seq;
+            n.next_rxmt = now + self.rxmt_interval;
+            (
+                n.id,
+                OspfPacket::new(
+                    self.router_id,
+                    OspfPacketBody::DatabaseDescription {
+                        mtu: 1500,
+                        flags: DBD_INIT | DBD_MORE | DBD_MASTER,
+                        dd_seq,
+                        headers: vec![],
+                    },
+                ),
+            )
+        };
+        let _ = their_id;
+        self.transmit(idx, &pkt, ev);
+    }
+
+    /// Current LSDB summary (all headers, with effective ages).
+    fn db_summary(&self, now: Time) -> Vec<LsaHeader> {
+        self.lsdb
+            .keys()
+            .map(|k| {
+                let mut h = self.lsdb[k].0.header;
+                h.age = self.effective_age(k, now);
+                h
+            })
+            .collect()
+    }
+
+    /// Build LS requests for headers newer than what we hold.
+    fn note_summary(&self, headers: &[LsaHeader]) -> Vec<LsaKey> {
+        headers
+            .iter()
+            .filter(|h| match self.lsdb.get(&h.key()) {
+                None => true,
+                Some((mine, _)) => h.is_newer_than(&mine.header),
+            })
+            .map(|h| h.key())
+            .collect()
+    }
+
+    fn send_lsr(&mut self, idx: u16, ev: &mut Vec<OspfEvent>) {
+        let keys: Vec<LsaKey> = {
+            let f = &self.ifaces[&idx];
+            let Some(n) = &f.neighbor else { return };
+            n.ls_requests.iter().copied().collect()
+        };
+        if keys.is_empty() {
+            return;
+        }
+        let pkt = OspfPacket::new(self.router_id, OspfPacketBody::LinkStateRequest { keys });
+        self.transmit(idx, &pkt, ev);
+    }
+
+    fn maybe_finish_loading(&mut self, idx: u16, now: Time, ev: &mut Vec<OspfEvent>) {
+        let done = {
+            let f = self.ifaces.get_mut(&idx).unwrap();
+            let Some(n) = f.neighbor.as_mut() else {
+                return;
+            };
+            if n.state == NeighborState::Loading && n.ls_requests.is_empty() {
+                n.state = NeighborState::Full;
+                n.next_rxmt = if n.retransmit.is_empty() {
+                    Time::MAX
+                } else {
+                    now + self.rxmt_interval
+                };
+                true
+            } else {
+                false
+            }
+        };
+        if done {
+            // The adjacency appears in our router LSA only now.
+            self.originate_router_lsa(now, ev);
+        }
+    }
+
+    fn enter_exchange_or_beyond(&mut self, idx: u16, requests: Vec<LsaKey>, now: Time, ev: &mut Vec<OspfEvent>) {
+        {
+            let f = self.ifaces.get_mut(&idx).unwrap();
+            let Some(n) = f.neighbor.as_mut() else { return };
+            n.ls_requests.extend(requests);
+            n.state = NeighborState::Loading;
+            n.next_rxmt = now + self.rxmt_interval;
+        }
+        self.send_lsr(idx, ev);
+        self.maybe_finish_loading(idx, now, ev);
+    }
+
+    fn kill_neighbor(&mut self, idx: u16, now: Time, ev: &mut Vec<OspfEvent>) {
+        if let Some(f) = self.ifaces.get_mut(&idx) {
+            f.neighbor = None;
+        }
+        self.originate_router_lsa(now, ev);
+        self.schedule_spf(now);
+    }
+
+    /// Process a received OSPF packet (raw OSPF bytes) from `src` on
+    /// interface `idx`.
+    pub fn handle_packet(
+        &mut self,
+        idx: u16,
+        src: Ipv4Addr,
+        data: &[u8],
+        now: Time,
+    ) -> Vec<OspfEvent> {
+        let mut ev = Vec::new();
+        let Ok(pkt) = OspfPacket::parse(data) else {
+            return ev;
+        };
+        if pkt.router_id == self.router_id || pkt.area_id != 0 {
+            return ev;
+        }
+        if !self.ifaces.contains_key(&idx) {
+            return ev;
+        }
+        // Any packet from the neighbor refreshes the inactivity timer.
+        if let Some(n) = self.ifaces.get_mut(&idx).unwrap().neighbor.as_mut() {
+            if n.id == pkt.router_id {
+                n.last_heard = now;
+            }
+        }
+        match pkt.body {
+            OspfPacketBody::Hello {
+                hello_interval,
+                dead_interval,
+                neighbors,
+                ..
+            } => {
+                if hello_interval != self.hello_interval.as_secs() as u16
+                    || dead_interval != self.dead_interval.as_secs() as u32
+                {
+                    return ev; // timer mismatch: not a neighbor
+                }
+                let is_new = {
+                    let f = self.ifaces.get_mut(&idx).unwrap();
+                    match &mut f.neighbor {
+                        Some(n) if n.id == pkt.router_id => false,
+                        slot => {
+                            *slot = Some(Neighbor::new(pkt.router_id, src, now));
+                            true
+                        }
+                    }
+                };
+                if is_new {
+                    // Reply promptly so the peer learns about us.
+                    self.send_hello(idx, &mut ev);
+                }
+                let sees_us = neighbors.contains(&self.router_id);
+                let state = self.ifaces[&idx].neighbor.as_ref().unwrap().state;
+                if sees_us && state == NeighborState::Init {
+                    self.start_exstart(idx, &mut ev, now);
+                }
+            }
+            OspfPacketBody::DatabaseDescription {
+                flags,
+                dd_seq,
+                headers,
+                ..
+            } => {
+                let Some(state) = self.ifaces[&idx].neighbor.as_ref().map(|n| n.state) else {
+                    return ev;
+                };
+                let their_id = pkt.router_id;
+                match state {
+                    NeighborState::ExStart => {
+                        if flags & (DBD_INIT | DBD_MASTER) == (DBD_INIT | DBD_MASTER)
+                            && their_id > self.router_id
+                        {
+                            // They are master; we are slave. Respond
+                            // with our full summary echoing their seq.
+                            let summary = self.db_summary(now);
+                            {
+                                let f = self.ifaces.get_mut(&idx).unwrap();
+                                let n = f.neighbor.as_mut().unwrap();
+                                n.we_are_master = false;
+                                n.dd_seq = dd_seq;
+                                n.state = NeighborState::Exchange;
+                                n.next_rxmt = now + self.rxmt_interval;
+                            }
+                            let pkt = OspfPacket::new(
+                                self.router_id,
+                                OspfPacketBody::DatabaseDescription {
+                                    mtu: 1500,
+                                    flags: 0, // not master, no more
+                                    dd_seq,
+                                    headers: summary,
+                                },
+                            );
+                            self.transmit(idx, &pkt, &mut ev);
+                        } else if flags & DBD_MASTER == 0 {
+                            // A slave response: only meaningful if we
+                            // are master and the seq matches ours.
+                            let (we_master, our_seq) = {
+                                let n = self.ifaces[&idx].neighbor.as_ref().unwrap();
+                                (n.we_are_master, n.dd_seq)
+                            };
+                            if we_master && dd_seq == our_seq {
+                                // Their summary received; send ours.
+                                let requests = self.note_summary(&headers);
+                                let summary = self.db_summary(now);
+                                let next_seq = our_seq + 1;
+                                {
+                                    let f = self.ifaces.get_mut(&idx).unwrap();
+                                    let n = f.neighbor.as_mut().unwrap();
+                                    n.dd_seq = next_seq;
+                                    n.state = NeighborState::Exchange;
+                                    n.next_rxmt = now + self.rxmt_interval;
+                                }
+                                let pkt = OspfPacket::new(
+                                    self.router_id,
+                                    OspfPacketBody::DatabaseDescription {
+                                        mtu: 1500,
+                                        flags: DBD_MASTER, // M=0: last
+                                        dd_seq: next_seq,
+                                        headers: summary,
+                                    },
+                                );
+                                self.transmit(idx, &pkt, &mut ev);
+                                self.enter_exchange_or_beyond(idx, requests, now, &mut ev);
+                            }
+                        }
+                    }
+                    NeighborState::Exchange | NeighborState::Loading | NeighborState::Full => {
+                        let we_master = self.ifaces[&idx]
+                            .neighbor
+                            .as_ref()
+                            .map(|n| n.we_are_master)
+                            .unwrap_or(false);
+                        if !we_master && flags & DBD_MASTER != 0 {
+                            // Master's summary DBD (seq n+1, M=0): note
+                            // requests, send empty response, proceed.
+                            let cur_seq = self.ifaces[&idx].neighbor.as_ref().unwrap().dd_seq;
+                            if dd_seq == cur_seq + 1 || dd_seq == cur_seq {
+                                let requests = if dd_seq == cur_seq + 1 {
+                                    self.note_summary(&headers)
+                                } else {
+                                    Vec::new() // duplicate: just re-ack
+                                };
+                                {
+                                    let f = self.ifaces.get_mut(&idx).unwrap();
+                                    let n = f.neighbor.as_mut().unwrap();
+                                    n.dd_seq = dd_seq;
+                                }
+                                let pkt = OspfPacket::new(
+                                    self.router_id,
+                                    OspfPacketBody::DatabaseDescription {
+                                        mtu: 1500,
+                                        flags: 0,
+                                        dd_seq,
+                                        headers: vec![],
+                                    },
+                                );
+                                self.transmit(idx, &pkt, &mut ev);
+                                if !requests.is_empty()
+                                    || self.ifaces[&idx].neighbor.as_ref().unwrap().state
+                                        == NeighborState::Exchange
+                                {
+                                    self.enter_exchange_or_beyond(idx, requests, now, &mut ev);
+                                }
+                            }
+                        } else if we_master && flags & DBD_MASTER == 0 {
+                            // Slave's final ack of our summary DBD.
+                            let cur_seq = self.ifaces[&idx].neighbor.as_ref().unwrap().dd_seq;
+                            if dd_seq == cur_seq {
+                                let state =
+                                    self.ifaces[&idx].neighbor.as_ref().unwrap().state;
+                                if state == NeighborState::Exchange {
+                                    self.enter_exchange_or_beyond(idx, Vec::new(), now, &mut ev);
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            OspfPacketBody::LinkStateRequest { keys } => {
+                let lsas: Vec<Lsa> = keys
+                    .iter()
+                    .filter_map(|k| {
+                        self.lsdb
+                            .get(k)
+                            .map(|(l, _)| l.with_age(self.effective_age(k, now)))
+                    })
+                    .collect();
+                if !lsas.is_empty() {
+                    let pkt =
+                        OspfPacket::new(self.router_id, OspfPacketBody::LinkStateUpdate { lsas });
+                    self.transmit(idx, &pkt, &mut ev);
+                }
+            }
+            OspfPacketBody::LinkStateUpdate { lsas } => {
+                let mut acks = Vec::new();
+                for lsa in lsas {
+                    if !lsa.checksum_ok() {
+                        continue;
+                    }
+                    let key = lsa.header.key();
+                    let have = self.lsdb.get(&key).map(|(l, _)| l.header);
+                    let newer = match have {
+                        None => true,
+                        Some(h) => {
+                            let mut cur = h;
+                            cur.age = self.effective_age(&key, now);
+                            lsa.header.is_newer_than(&cur)
+                        }
+                    };
+                    if newer {
+                        if key.adv_router == self.router_id {
+                            // Someone has a newer copy of *our* LSA:
+                            // out-originate it (RFC 2328 §13.4).
+                            self.my_seq = lsa.header.seq + 1;
+                            acks.push(lsa.header);
+                            self.originate_router_lsa(now, &mut ev);
+                            continue;
+                        }
+                        if lsa.header.age >= MAX_AGE {
+                            // Premature aging: remove if present.
+                            self.lsdb.remove(&key);
+                            acks.push(lsa.header);
+                            self.schedule_spf(now);
+                            continue;
+                        }
+                        self.lsdb.insert(key, (lsa.clone(), now));
+                        acks.push(lsa.header);
+                        self.flood(&lsa, Some(idx), now, &mut ev);
+                        self.schedule_spf(now);
+                        // Satisfies a pending request?
+                        {
+                            let f = self.ifaces.get_mut(&idx).unwrap();
+                            if let Some(n) = f.neighbor.as_mut() {
+                                n.ls_requests.remove(&key);
+                            }
+                        }
+                        self.maybe_finish_loading(idx, now, &mut ev);
+                    } else if have.map(|h| {
+                        let mut cur = h;
+                        cur.age = self.effective_age(&key, now);
+                        !lsa.header.is_newer_than(&cur) && !cur.is_newer_than(&lsa.header)
+                    }) == Some(true)
+                    {
+                        // Same instance: ack (implied ack handling).
+                        acks.push(lsa.header);
+                        if let Some(n) = self.ifaces.get_mut(&idx).unwrap().neighbor.as_mut() {
+                            n.retransmit.remove(&key);
+                        }
+                    } else {
+                        // We hold a newer instance: send it back.
+                        if let Some((mine, _)) = self.lsdb.get(&key) {
+                            let fresh = mine.with_age(self.effective_age(&key, now));
+                            let pkt = OspfPacket::new(
+                                self.router_id,
+                                OspfPacketBody::LinkStateUpdate { lsas: vec![fresh] },
+                            );
+                            self.transmit(idx, &pkt, &mut ev);
+                        }
+                    }
+                }
+                if !acks.is_empty() {
+                    let pkt = OspfPacket::new(
+                        self.router_id,
+                        OspfPacketBody::LinkStateAck { headers: acks },
+                    );
+                    self.transmit(idx, &pkt, &mut ev);
+                }
+            }
+            OspfPacketBody::LinkStateAck { headers } => {
+                let f = self.ifaces.get_mut(&idx).unwrap();
+                if let Some(n) = f.neighbor.as_mut() {
+                    for h in headers {
+                        n.retransmit.remove(&h.key());
+                    }
+                    if n.retransmit.is_empty() && n.state == NeighborState::Full {
+                        n.next_rxmt = Time::MAX;
+                    }
+                }
+            }
+        }
+        ev
+    }
+
+    /// Run all timers due at `now`.
+    pub fn tick(&mut self, now: Time) -> Vec<OspfEvent> {
+        let mut ev = Vec::new();
+        // Hellos.
+        let due_hello: Vec<u16> = self
+            .ifaces
+            .iter()
+            .filter(|(_, f)| f.next_hello <= now)
+            .map(|(i, _)| *i)
+            .collect();
+        for idx in due_hello {
+            self.send_hello(idx, &mut ev);
+            let hi = self.hello_interval;
+            self.ifaces.get_mut(&idx).unwrap().next_hello = now + hi;
+        }
+        // Dead neighbors.
+        let dead: Vec<u16> = self
+            .ifaces
+            .iter()
+            .filter(|(_, f)| {
+                f.neighbor
+                    .as_ref()
+                    .is_some_and(|n| now.since(n.last_heard) >= self.dead_interval)
+            })
+            .map(|(i, _)| *i)
+            .collect();
+        for idx in dead {
+            self.kill_neighbor(idx, now, &mut ev);
+        }
+        // Retransmissions.
+        let rxmt_due: Vec<u16> = self
+            .ifaces
+            .iter()
+            .filter(|(_, f)| f.neighbor.as_ref().is_some_and(|n| n.next_rxmt <= now))
+            .map(|(i, _)| *i)
+            .collect();
+        for idx in rxmt_due {
+            let (state, we_master, dd_seq, retrans_keys) = {
+                let n = self.ifaces[&idx].neighbor.as_ref().unwrap();
+                (
+                    n.state,
+                    n.we_are_master,
+                    n.dd_seq,
+                    n.retransmit.iter().copied().collect::<Vec<_>>(),
+                )
+            };
+            match state {
+                NeighborState::ExStart => {
+                    let pkt = OspfPacket::new(
+                        self.router_id,
+                        OspfPacketBody::DatabaseDescription {
+                            mtu: 1500,
+                            flags: DBD_INIT | DBD_MORE | DBD_MASTER,
+                            dd_seq,
+                            headers: vec![],
+                        },
+                    );
+                    self.transmit(idx, &pkt, &mut ev);
+                }
+                NeighborState::Exchange if we_master => {
+                    let summary = self.db_summary(now);
+                    let pkt = OspfPacket::new(
+                        self.router_id,
+                        OspfPacketBody::DatabaseDescription {
+                            mtu: 1500,
+                            flags: DBD_MASTER,
+                            dd_seq,
+                            headers: summary,
+                        },
+                    );
+                    self.transmit(idx, &pkt, &mut ev);
+                }
+                NeighborState::Loading => {
+                    self.send_lsr(idx, &mut ev);
+                }
+                _ => {}
+            }
+            // Unacked LSAs (any state ≥ Exchange).
+            if !retrans_keys.is_empty() {
+                let lsas: Vec<Lsa> = retrans_keys
+                    .iter()
+                    .filter_map(|k| {
+                        self.lsdb
+                            .get(k)
+                            .map(|(l, _)| l.with_age(self.effective_age(k, now)))
+                    })
+                    .collect();
+                if !lsas.is_empty() {
+                    let pkt =
+                        OspfPacket::new(self.router_id, OspfPacketBody::LinkStateUpdate { lsas });
+                    self.transmit(idx, &pkt, &mut ev);
+                }
+            }
+            let rxmt = self.rxmt_interval;
+            if let Some(n) = self.ifaces.get_mut(&idx).unwrap().neighbor.as_mut() {
+                let idle = n.state == NeighborState::Full && n.retransmit.is_empty();
+                n.next_rxmt = if idle { Time::MAX } else { now + rxmt };
+            }
+        }
+        // Own-LSA refresh.
+        if now.since(self.my_lsa_originated).as_secs() >= LS_REFRESH_TIME {
+            self.originate_router_lsa(now, &mut ev);
+        }
+        // Age out foreign LSAs.
+        let expired: Vec<LsaKey> = self
+            .lsdb
+            .keys()
+            .filter(|k| k.adv_router != self.router_id)
+            .filter(|k| self.effective_age(k, now) >= MAX_AGE)
+            .copied()
+            .collect();
+        if !expired.is_empty() {
+            for k in expired {
+                self.lsdb.remove(&k);
+            }
+            self.schedule_spf(now);
+        }
+        // SPF.
+        if self.spf_due.is_some_and(|t| t <= now) {
+            self.run_spf(now, &mut ev);
+        }
+        ev
+    }
+}

@@ -1,0 +1,388 @@
+//! Link-state advertisements: the router LSA, header encoding and the
+//! Fletcher checksum.
+
+use bytes::{Buf, BufMut, BytesMut};
+use rf_wire::WireError;
+
+/// Identifies an LSA instance class (type, link-state id, advertising
+/// router) — the LSDB key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LsaKey {
+    pub ls_type: u8,
+    pub ls_id: u32,
+    pub adv_router: u32,
+}
+
+/// The 20-byte LSA header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LsaHeader {
+    pub age: u16,
+    pub options: u8,
+    pub ls_type: u8,
+    pub ls_id: u32,
+    pub adv_router: u32,
+    pub seq: i32,
+    pub checksum: u16,
+    pub length: u16,
+}
+
+pub const LSA_HEADER_LEN: usize = 20;
+/// Initial sequence number (RFC 2328 §12.1.6).
+pub const INITIAL_SEQ: i32 = -0x7FFF_FFFF; // 0x80000001
+
+impl LsaHeader {
+    pub fn key(&self) -> LsaKey {
+        LsaKey {
+            ls_type: self.ls_type,
+            ls_id: self.ls_id,
+            adv_router: self.adv_router,
+        }
+    }
+
+    /// Is `self` a newer instance than `other` (same key assumed)?
+    /// RFC 2328 §13.1, simplified: sequence, then checksum, then
+    /// max-age preference, then younger age.
+    pub fn is_newer_than(&self, other: &LsaHeader) -> bool {
+        if self.seq != other.seq {
+            return self.seq > other.seq;
+        }
+        if self.checksum != other.checksum {
+            return self.checksum > other.checksum;
+        }
+        let self_max = self.age >= super::MAX_AGE;
+        let other_max = other.age >= super::MAX_AGE;
+        if self_max != other_max {
+            return self_max;
+        }
+        self.age < other.age
+    }
+
+    pub fn parse(data: &[u8]) -> Result<LsaHeader, WireError> {
+        if data.len() < LSA_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let mut b = data;
+        Ok(LsaHeader {
+            age: b.get_u16(),
+            options: b.get_u8(),
+            ls_type: b.get_u8(),
+            ls_id: b.get_u32(),
+            adv_router: b.get_u32(),
+            seq: b.get_i32(),
+            checksum: b.get_u16(),
+            length: b.get_u16(),
+        })
+    }
+
+    pub fn emit_into(&self, buf: &mut BytesMut) {
+        buf.put_u16(self.age);
+        buf.put_u8(self.options);
+        buf.put_u8(self.ls_type);
+        buf.put_u32(self.ls_id);
+        buf.put_u32(self.adv_router);
+        buf.put_i32(self.seq);
+        buf.put_u16(self.checksum);
+        buf.put_u16(self.length);
+    }
+}
+
+/// Router-LSA link types (we use PointToPoint and Stub).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouterLinkType {
+    /// link_id = neighbor router id, link_data = local interface addr.
+    PointToPoint,
+    /// link_id = network, link_data = mask.
+    Stub,
+}
+
+impl RouterLinkType {
+    fn to_u8(self) -> u8 {
+        match self {
+            RouterLinkType::PointToPoint => 1,
+            RouterLinkType::Stub => 3,
+        }
+    }
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        match v {
+            1 => Ok(RouterLinkType::PointToPoint),
+            3 => Ok(RouterLinkType::Stub),
+            // Transit (2) and virtual (4) never occur on a pure-p2p
+            // area; reject loudly rather than mis-route.
+            _ => Err(WireError::Unsupported),
+        }
+    }
+}
+
+/// One link inside a router LSA.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RouterLink {
+    pub link_type: RouterLinkType,
+    pub link_id: u32,
+    pub link_data: u32,
+    pub metric: u16,
+}
+
+/// Router-LSA body.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct RouterLsa {
+    pub links: Vec<RouterLink>,
+}
+
+/// LSA bodies we implement (router LSAs only: a pure point-to-point
+/// area 0 needs nothing else).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LsaBody {
+    Router(RouterLsa),
+}
+
+/// A complete LSA.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lsa {
+    pub header: LsaHeader,
+    pub body: LsaBody,
+}
+
+impl Lsa {
+    /// Build a router LSA with a correct length and checksum.
+    pub fn router(adv_router: u32, seq: i32, age: u16, links: Vec<RouterLink>) -> Lsa {
+        let mut lsa = Lsa {
+            header: LsaHeader {
+                age,
+                options: 0x02, // E-bit
+                ls_type: 1,
+                ls_id: adv_router,
+                adv_router,
+                seq,
+                checksum: 0,
+                length: 0,
+            },
+            body: LsaBody::Router(RouterLsa { links }),
+        };
+        lsa.finalize();
+        lsa
+    }
+
+    /// Recompute `length` and `checksum`.
+    pub fn finalize(&mut self) {
+        let mut buf = BytesMut::new();
+        self.emit_raw(&mut buf);
+        self.header.length = buf.len() as u16;
+        // Patch the length field (offset 18..20) and zero the checksum
+        // field (offset 16..18) before computing.
+        buf[18..20].copy_from_slice(&self.header.length.to_be_bytes());
+        buf[16] = 0;
+        buf[17] = 0;
+        // The checksum covers the LSA minus the age field (first two
+        // bytes); within that region the checksum sits at offset 14.
+        self.header.checksum = fletcher_checksum(&buf[2..], 14);
+    }
+
+    fn emit_raw(&self, buf: &mut BytesMut) {
+        self.header.emit_into(buf);
+        match &self.body {
+            LsaBody::Router(r) => {
+                buf.put_u8(0); // flags
+                buf.put_u8(0);
+                buf.put_u16(r.links.len() as u16);
+                for l in &r.links {
+                    buf.put_u32(l.link_id);
+                    buf.put_u32(l.link_data);
+                    buf.put_u8(l.link_type.to_u8());
+                    buf.put_u8(0); // #TOS
+                    buf.put_u16(l.metric);
+                }
+            }
+        }
+    }
+
+    /// Serialize (header fields must already be finalized).
+    pub fn emit_into(&self, buf: &mut BytesMut) {
+        self.emit_raw(buf);
+    }
+
+    pub fn wire_len(&self) -> usize {
+        match &self.body {
+            LsaBody::Router(r) => LSA_HEADER_LEN + 4 + 12 * r.links.len(),
+        }
+    }
+
+    /// Parse one LSA; returns `(lsa, bytes_consumed)`.
+    pub fn parse(data: &[u8]) -> Result<(Lsa, usize), WireError> {
+        let header = LsaHeader::parse(data)?;
+        let length = header.length as usize;
+        if length < LSA_HEADER_LEN || data.len() < length {
+            return Err(WireError::Truncated);
+        }
+        if header.ls_type != 1 {
+            return Err(WireError::Unsupported);
+        }
+        let mut b = &data[LSA_HEADER_LEN..length];
+        if b.len() < 4 {
+            return Err(WireError::Truncated);
+        }
+        b.get_u16(); // flags + pad
+        let n = b.get_u16() as usize;
+        if b.len() < n * 12 {
+            return Err(WireError::Truncated);
+        }
+        let mut links = Vec::with_capacity(n);
+        for _ in 0..n {
+            let link_id = b.get_u32();
+            let link_data = b.get_u32();
+            let lt = RouterLinkType::from_u8(b.get_u8())?;
+            b.get_u8(); // #TOS
+            let metric = b.get_u16();
+            links.push(RouterLink {
+                link_type: lt,
+                link_id,
+                link_data,
+                metric,
+            });
+        }
+        Ok((
+            Lsa {
+                header,
+                body: LsaBody::Router(RouterLsa { links }),
+            },
+            length,
+        ))
+    }
+
+    /// Verify the embedded Fletcher checksum.
+    pub fn checksum_ok(&self) -> bool {
+        let mut buf = BytesMut::new();
+        self.emit_raw(&mut buf);
+        fletcher_verify(&buf[2..])
+    }
+
+    /// Copy with an updated age.
+    pub fn with_age(&self, age: u16) -> Lsa {
+        let mut l = self.clone();
+        l.header.age = age.min(super::MAX_AGE);
+        l
+    }
+}
+
+/// Fletcher checksum per RFC 905 Annex B as used by OSPF LSAs: computed
+/// over the LSA *excluding* the age field, with the checksum field
+/// zeroed. `ck_off` is the checksum field offset within `data`.
+pub fn fletcher_checksum(data: &[u8], ck_off: usize) -> u16 {
+    let mut c0: i64 = 0;
+    let mut c1: i64 = 0;
+    for &b in data {
+        c0 = (c0 + i64::from(b)) % 255;
+        c1 = (c1 + c0) % 255;
+    }
+    let len = data.len() as i64;
+    let mut x = ((len - ck_off as i64 - 1) * c0 - c1) % 255;
+    if x <= 0 {
+        x += 255;
+    }
+    let mut y = 510 - c0 - x;
+    if y > 255 {
+        y -= 255;
+    }
+    ((x as u16) << 8) | y as u16
+}
+
+/// Verify data (checksum embedded) sums to zero.
+pub fn fletcher_verify(data: &[u8]) -> bool {
+    let mut c0: i64 = 0;
+    let mut c1: i64 = 0;
+    for &b in data {
+        c0 = (c0 + i64::from(b)) % 255;
+        c1 = (c1 + c0) % 255;
+    }
+    c0 == 0 && c1 == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Lsa {
+        Lsa::router(
+            0x0A00_0001,
+            INITIAL_SEQ,
+            0,
+            vec![
+                RouterLink {
+                    link_type: RouterLinkType::PointToPoint,
+                    link_id: 0x0A00_0002,
+                    link_data: u32::from(std::net::Ipv4Addr::new(172, 31, 0, 1)),
+                    metric: 10,
+                },
+                RouterLink {
+                    link_type: RouterLinkType::Stub,
+                    link_id: u32::from(std::net::Ipv4Addr::new(172, 31, 0, 0)),
+                    link_data: 0xFFFF_FFFC,
+                    metric: 10,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn roundtrip_with_valid_checksum() {
+        let lsa = sample();
+        assert!(lsa.checksum_ok(), "fresh LSA must checksum");
+        let mut buf = BytesMut::new();
+        lsa.emit_into(&mut buf);
+        assert_eq!(buf.len(), lsa.wire_len());
+        assert_eq!(lsa.header.length as usize, buf.len());
+        let (parsed, used) = Lsa::parse(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(parsed, lsa);
+        assert!(parsed.checksum_ok());
+    }
+
+    #[test]
+    fn corruption_breaks_checksum() {
+        let lsa = sample();
+        let mut buf = BytesMut::new();
+        lsa.emit_into(&mut buf);
+        buf[25] ^= 0x01; // a body byte
+        let (parsed, _) = Lsa::parse(&buf).unwrap();
+        assert!(!parsed.checksum_ok());
+    }
+
+    #[test]
+    fn age_excluded_from_checksum() {
+        let lsa = sample();
+        let aged = lsa.with_age(300);
+        assert_eq!(aged.header.checksum, lsa.header.checksum);
+        assert!(aged.checksum_ok());
+    }
+
+    #[test]
+    fn newer_comparison() {
+        let a = sample();
+        let mut b = a.clone();
+        b.header.seq += 1;
+        assert!(b.header.is_newer_than(&a.header));
+        assert!(!a.header.is_newer_than(&b.header));
+        // Equal seq: younger age wins.
+        let young = a.with_age(5);
+        let old = a.with_age(500);
+        assert!(young.header.is_newer_than(&old.header));
+        // MaxAge outranks.
+        let dying = a.with_age(super::super::MAX_AGE);
+        assert!(dying.header.is_newer_than(&young.header));
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = sample().header;
+        let mut b = BytesMut::new();
+        h.emit_into(&mut b);
+        assert_eq!(LsaHeader::parse(&b).unwrap(), h);
+    }
+
+    #[test]
+    fn rejects_unknown_body_type() {
+        let mut buf = BytesMut::new();
+        sample().emit_into(&mut buf);
+        buf[3] = 5; // AS-external LSA
+        assert_eq!(Lsa::parse(&buf).unwrap_err(), WireError::Unsupported);
+    }
+}

@@ -1,0 +1,443 @@
+//! RIPv2 (RFC 2453) — the alternative routing protocol for ablations.
+//!
+//! Sans-IO like the OSPF daemon: feed packets and ticks, get packets
+//! and route updates back. RIP rides UDP port 520; the caller does the
+//! UDP/IP wrapping. Implemented: periodic full updates, split horizon
+//! with poisoned reverse, triggered updates on metric change, route
+//! timeout (180 s) and garbage collection (120 s), infinity = 16.
+
+use crate::rib::{Route, RouteProto};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rf_sim::Time;
+use rf_wire::{Ipv4Cidr, WireError};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+/// RIP metric infinity.
+pub const INFINITY: u32 = 16;
+/// UDP port RIP rides on.
+pub const RIP_PORT: u16 = 520;
+
+/// One route entry on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RipEntry {
+    pub prefix: Ipv4Cidr,
+    pub next_hop: Ipv4Addr,
+    pub metric: u32,
+}
+
+/// A RIP response packet (we only implement unsolicited responses —
+/// request handling replies with the full table).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RipPacket {
+    /// true = request, false = response.
+    pub is_request: bool,
+    pub entries: Vec<RipEntry>,
+}
+
+impl RipPacket {
+    pub fn emit(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(4 + 20 * self.entries.len());
+        b.put_u8(if self.is_request { 1 } else { 2 });
+        b.put_u8(2); // version 2
+        b.put_u16(0);
+        for e in &self.entries {
+            b.put_u16(2); // AF_INET
+            b.put_u16(0); // route tag
+            b.put_slice(&e.prefix.addr.octets());
+            b.put_u32(e.prefix.mask());
+            b.put_slice(&e.next_hop.octets());
+            b.put_u32(e.metric);
+        }
+        b.freeze()
+    }
+
+    pub fn parse(mut data: &[u8]) -> Result<RipPacket, WireError> {
+        if data.len() < 4 {
+            return Err(WireError::Truncated);
+        }
+        let cmd = data.get_u8();
+        let version = data.get_u8();
+        data.get_u16();
+        if version != 2 {
+            return Err(WireError::Unsupported);
+        }
+        let is_request = match cmd {
+            1 => true,
+            2 => false,
+            _ => return Err(WireError::Unsupported),
+        };
+        let mut entries = Vec::new();
+        while data.len() >= 20 {
+            let afi = data.get_u16();
+            data.get_u16();
+            let addr = Ipv4Addr::from(data.get_u32());
+            let mask = data.get_u32();
+            let next_hop = Ipv4Addr::from(data.get_u32());
+            let metric = data.get_u32();
+            if afi != 2 || metric > INFINITY {
+                return Err(WireError::Malformed);
+            }
+            let prefix_len = (32 - mask.trailing_zeros().min(32)) as u8;
+            entries.push(RipEntry {
+                prefix: Ipv4Cidr::new(addr, prefix_len),
+                next_hop,
+                metric,
+            });
+        }
+        Ok(RipPacket {
+            is_request,
+            entries,
+        })
+    }
+}
+
+/// Output events.
+#[derive(Clone, Debug)]
+pub enum RipEvent {
+    /// Send `packet` (RIP bytes) out `iface` to 224.0.0.9:520.
+    Transmit { iface: u16, packet: Bytes },
+    /// Replace all RIP routes.
+    RoutesChanged(Vec<Route>),
+}
+
+struct RipRoute {
+    metric: u32,
+    next_hop: Ipv4Addr,
+    iface: u16,
+    updated: Time,
+    garbage: bool,
+}
+
+/// The RIP daemon.
+pub struct RipDaemon {
+    ifaces: BTreeMap<u16, Ipv4Cidr>,
+    table: BTreeMap<(u32, u8), RipRoute>,
+    next_update: Time,
+    update_interval: Duration,
+    timeout: Duration,
+    garbage_time: Duration,
+    triggered: bool,
+}
+
+impl RipDaemon {
+    pub fn new(interfaces: &[(u16, Ipv4Cidr)]) -> RipDaemon {
+        RipDaemon {
+            ifaces: interfaces.iter().map(|(i, a)| (*i, *a)).collect(),
+            table: BTreeMap::new(),
+            next_update: Time::ZERO,
+            update_interval: Duration::from_secs(30),
+            timeout: Duration::from_secs(180),
+            garbage_time: Duration::from_secs(120),
+            triggered: false,
+        }
+    }
+
+    pub fn poll_at(&self) -> Option<Time> {
+        Some(self.next_update)
+    }
+
+    fn full_update_for(&self, out_iface: u16) -> RipPacket {
+        let mut entries = Vec::new();
+        // Connected subnets at metric 1.
+        for addr in self.ifaces.values() {
+            entries.push(RipEntry {
+                prefix: Ipv4Cidr::new(addr.network(), addr.prefix_len),
+                next_hop: Ipv4Addr::UNSPECIFIED,
+                metric: 1,
+            });
+        }
+        // Learned routes: split horizon with poisoned reverse.
+        for ((net, plen), r) in &self.table {
+            let metric = if r.iface == out_iface {
+                INFINITY
+            } else {
+                r.metric
+            };
+            entries.push(RipEntry {
+                prefix: Ipv4Cidr::new(Ipv4Addr::from(*net), *plen),
+                next_hop: Ipv4Addr::UNSPECIFIED,
+                metric,
+            });
+        }
+        RipPacket {
+            is_request: false,
+            entries,
+        }
+    }
+
+    fn routes(&self) -> Vec<Route> {
+        self.table
+            .iter()
+            .filter(|(_, r)| r.metric < INFINITY && !r.garbage)
+            .map(|((net, plen), r)| Route {
+                prefix: Ipv4Cidr::new(Ipv4Addr::from(*net), *plen),
+                next_hop: Some(r.next_hop),
+                out_iface: r.iface,
+                proto: RouteProto::Rip,
+                metric: r.metric,
+            })
+            .collect()
+    }
+
+    /// Handle a RIP packet received on `iface` from `src`.
+    pub fn handle_packet(
+        &mut self,
+        iface: u16,
+        src: Ipv4Addr,
+        data: &[u8],
+        now: Time,
+    ) -> Vec<RipEvent> {
+        let mut ev = Vec::new();
+        let Ok(pkt) = RipPacket::parse(data) else {
+            return ev;
+        };
+        if pkt.is_request {
+            ev.push(RipEvent::Transmit {
+                iface,
+                packet: self.full_update_for(iface).emit(),
+            });
+            return ev;
+        }
+        let mut changed = false;
+        for e in pkt.entries {
+            // Own subnets are always preferred as connected.
+            if self
+                .ifaces
+                .values()
+                .any(|a| a.network() == e.prefix.network() && a.prefix_len == e.prefix.prefix_len)
+            {
+                continue;
+            }
+            let metric = (e.metric + 1).min(INFINITY);
+            let key = (u32::from(e.prefix.network()), e.prefix.prefix_len);
+            match self.table.get_mut(&key) {
+                Some(r) => {
+                    let same_gw = r.next_hop == src && r.iface == iface;
+                    if same_gw {
+                        r.updated = now;
+                        if metric != r.metric {
+                            r.metric = metric;
+                            r.garbage = metric >= INFINITY;
+                            changed = true;
+                        }
+                    } else if metric < r.metric {
+                        *r = RipRoute {
+                            metric,
+                            next_hop: src,
+                            iface,
+                            updated: now,
+                            garbage: false,
+                        };
+                        changed = true;
+                    }
+                }
+                None if metric < INFINITY => {
+                    self.table.insert(
+                        key,
+                        RipRoute {
+                            metric,
+                            next_hop: src,
+                            iface,
+                            updated: now,
+                            garbage: false,
+                        },
+                    );
+                    changed = true;
+                }
+                None => {}
+            }
+        }
+        if changed {
+            self.triggered = true;
+            ev.push(RipEvent::RoutesChanged(self.routes()));
+            // Triggered update, rate-limited to the next tick in spirit;
+            // here sent immediately for simplicity.
+            let ifaces: Vec<u16> = self.ifaces.keys().copied().collect();
+            for i in ifaces {
+                ev.push(RipEvent::Transmit {
+                    iface: i,
+                    packet: self.full_update_for(i).emit(),
+                });
+            }
+        }
+        ev
+    }
+
+    /// Periodic processing.
+    pub fn tick(&mut self, now: Time) -> Vec<RipEvent> {
+        let mut ev = Vec::new();
+        // Timeouts.
+        let mut changed = false;
+        for r in self.table.values_mut() {
+            if !r.garbage && now.since(r.updated) >= self.timeout {
+                r.metric = INFINITY;
+                r.garbage = true;
+                r.updated = now;
+                changed = true;
+            }
+        }
+        let garbage_time = self.garbage_time;
+        self.table
+            .retain(|_, r| !(r.garbage && now.since(r.updated) >= garbage_time));
+        if changed {
+            ev.push(RipEvent::RoutesChanged(self.routes()));
+        }
+        if now >= self.next_update {
+            let ifaces: Vec<u16> = self.ifaces.keys().copied().collect();
+            for i in ifaces {
+                ev.push(RipEvent::Transmit {
+                    iface: i,
+                    packet: self.full_update_for(i).emit(),
+                });
+            }
+            self.next_update = now + self.update_interval;
+        }
+        ev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cidr(s: &str) -> Ipv4Cidr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn packet_roundtrip() {
+        let p = RipPacket {
+            is_request: false,
+            entries: vec![
+                RipEntry {
+                    prefix: cidr("10.0.0.0/30"),
+                    next_hop: Ipv4Addr::UNSPECIFIED,
+                    metric: 1,
+                },
+                RipEntry {
+                    prefix: cidr("172.16.0.0/16"),
+                    next_hop: "10.0.0.1".parse().unwrap(),
+                    metric: 16,
+                },
+            ],
+        };
+        assert_eq!(RipPacket::parse(&p.emit()).unwrap(), p);
+    }
+
+    #[test]
+    fn metric_above_infinity_rejected() {
+        let p = RipPacket {
+            is_request: false,
+            entries: vec![RipEntry {
+                prefix: cidr("10.0.0.0/24"),
+                next_hop: Ipv4Addr::UNSPECIFIED,
+                metric: 1,
+            }],
+        };
+        let mut bad = p.emit().to_vec();
+        bad[23] = 99; // metric low byte
+        assert!(RipPacket::parse(&bad).is_err());
+    }
+
+    #[test]
+    fn learns_and_propagates_routes() {
+        let mut d = RipDaemon::new(&[(1, cidr("10.0.0.1/30"))]);
+        let update = RipPacket {
+            is_request: false,
+            entries: vec![RipEntry {
+                prefix: cidr("172.16.0.0/24"),
+                next_hop: Ipv4Addr::UNSPECIFIED,
+                metric: 1,
+            }],
+        };
+        let ev = d.handle_packet(1, "10.0.0.2".parse().unwrap(), &update.emit(), Time::ZERO);
+        let routes = ev
+            .iter()
+            .find_map(|e| match e {
+                RipEvent::RoutesChanged(r) => Some(r.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(routes.len(), 1);
+        assert_eq!(routes[0].metric, 2);
+        assert_eq!(routes[0].next_hop, Some("10.0.0.2".parse().unwrap()));
+    }
+
+    #[test]
+    fn split_horizon_poisons_reverse() {
+        let mut d = RipDaemon::new(&[(1, cidr("10.0.0.1/30")), (2, cidr("10.0.1.1/30"))]);
+        let update = RipPacket {
+            is_request: false,
+            entries: vec![RipEntry {
+                prefix: cidr("172.16.0.0/24"),
+                next_hop: Ipv4Addr::UNSPECIFIED,
+                metric: 1,
+            }],
+        };
+        d.handle_packet(1, "10.0.0.2".parse().unwrap(), &update.emit(), Time::ZERO);
+        let back = d.full_update_for(1);
+        let towards = d.full_update_for(2);
+        let find = |p: &RipPacket| {
+            p.entries
+                .iter()
+                .find(|e| e.prefix == cidr("172.16.0.0/24"))
+                .map(|e| e.metric)
+        };
+        assert_eq!(find(&back), Some(INFINITY), "poisoned reverse");
+        assert_eq!(find(&towards), Some(2));
+    }
+
+    #[test]
+    fn route_times_out() {
+        let mut d = RipDaemon::new(&[(1, cidr("10.0.0.1/30"))]);
+        let update = RipPacket {
+            is_request: false,
+            entries: vec![RipEntry {
+                prefix: cidr("172.16.0.0/24"),
+                next_hop: Ipv4Addr::UNSPECIFIED,
+                metric: 1,
+            }],
+        };
+        d.handle_packet(1, "10.0.0.2".parse().unwrap(), &update.emit(), Time::ZERO);
+        let ev = d.tick(Time::from_secs(200));
+        let routes = ev
+            .iter()
+            .find_map(|e| match e {
+                RipEvent::RoutesChanged(r) => Some(r.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert!(routes.is_empty(), "timed-out route must vanish");
+    }
+
+    #[test]
+    fn request_answered_with_full_table() {
+        let mut d = RipDaemon::new(&[(1, cidr("10.0.0.1/30"))]);
+        let req = RipPacket {
+            is_request: true,
+            entries: vec![],
+        };
+        let ev = d.handle_packet(1, "10.0.0.2".parse().unwrap(), &req.emit(), Time::ZERO);
+        assert!(matches!(ev[0], RipEvent::Transmit { iface: 1, .. }));
+    }
+
+    #[test]
+    fn better_metric_replaces_worse_gateway() {
+        let mut d = RipDaemon::new(&[(1, cidr("10.0.0.1/30")), (2, cidr("10.0.1.1/30"))]);
+        let mk = |metric| RipPacket {
+            is_request: false,
+            entries: vec![RipEntry {
+                prefix: cidr("172.16.0.0/24"),
+                next_hop: Ipv4Addr::UNSPECIFIED,
+                metric,
+            }],
+        };
+        d.handle_packet(1, "10.0.0.2".parse().unwrap(), &mk(5).emit(), Time::ZERO);
+        d.handle_packet(2, "10.0.1.2".parse().unwrap(), &mk(1).emit(), Time::ZERO);
+        let routes = d.routes();
+        assert_eq!(routes[0].metric, 2);
+        assert_eq!(routes[0].out_iface, 2);
+    }
+}

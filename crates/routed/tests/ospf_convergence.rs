@@ -1,0 +1,265 @@
+//! OSPF convergence tests: multiple daemons wired together through a
+//! tiny deterministic packet shuttle (no full simulator needed — the
+//! daemons are sans-IO).
+
+use rf_routed::config::OspfConfig;
+use rf_routed::ospf::daemon::{OspfDaemon, OspfEvent};
+use rf_routed::rib::RouteProto;
+use rf_sim::Time;
+use rf_wire::Ipv4Cidr;
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+use std::net::Ipv4Addr;
+
+/// (router index, iface) ↔ (router index, iface) wiring.
+struct Net {
+    daemons: Vec<OspfDaemon>,
+    /// wires[i][iface] = (peer router, peer iface)
+    wires: Vec<std::collections::HashMap<u16, (usize, u16)>>,
+    /// iface addrs for wrapping (unused beyond bookkeeping).
+    addrs: Vec<std::collections::HashMap<u16, Ipv4Cidr>>,
+    queue: BinaryHeap<Reverse<(u64, u64, usize, u16, Vec<u8>)>>,
+    seq: u64,
+    now: Time,
+    latency_ns: u64,
+    /// Packet loss: drop every packet whose sequence number satisfies
+    /// `seq % drop_modulo == 0` (deterministic loss for rxmt tests).
+    drop_modulo: u64,
+    dropped: u64,
+    /// Latest RoutesChanged payload per router.
+    routes: Vec<Vec<rf_routed::rib::Route>>,
+}
+
+impl Net {
+    /// Build from a list of links `(a, b)` between router indices.
+    /// Router ids are `10.0.0.(i+1)`; link k gets subnet
+    /// `172.31.k*4/30` with a getting .1 and b getting .2.
+    fn build(n: usize, links: &[(usize, usize)], hello: u16, dead: u16) -> Net {
+        let mut ifaces: Vec<Vec<(u16, Ipv4Cidr)>> = vec![Vec::new(); n];
+        let mut wires: Vec<std::collections::HashMap<u16, (usize, u16)>> =
+            vec![Default::default(); n];
+        let mut next_port = vec![1u16; n];
+        for (k, &(a, b)) in links.iter().enumerate() {
+            let base = 0xAC1F_0000u32 + (k as u32) * 4; // 172.31.0.0 + 4k
+            let pa = next_port[a];
+            next_port[a] += 1;
+            let pb = next_port[b];
+            next_port[b] += 1;
+            ifaces[a].push((pa, Ipv4Cidr::new(Ipv4Addr::from(base + 1), 30)));
+            ifaces[b].push((pb, Ipv4Cidr::new(Ipv4Addr::from(base + 2), 30)));
+            wires[a].insert(pa, (b, pb));
+            wires[b].insert(pb, (a, pa));
+        }
+        let daemons = (0..n)
+            .map(|i| {
+                let cfg = OspfConfig {
+                    router_id: Ipv4Addr::from(0x0A00_0000u32 + i as u32 + 1),
+                    networks: vec![("172.31.0.0/16".parse().unwrap(), 0)],
+                    hello_interval: hello,
+                    dead_interval: dead,
+                    spf_timers: (200, 1000),
+                    retransmit_interval: 5,
+                };
+                OspfDaemon::from_config(&cfg, &ifaces[i])
+            })
+            .collect();
+        let addrs = ifaces
+            .iter()
+            .map(|v| v.iter().copied().collect())
+            .collect();
+        Net {
+            daemons,
+            wires,
+            addrs,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: Time::ZERO,
+            latency_ns: 1_000_000, // 1 ms
+            drop_modulo: 0,
+            dropped: 0,
+            routes: vec![Vec::new(); n],
+        }
+    }
+
+    fn iface_addr(&self, router: usize, iface: u16) -> Ipv4Addr {
+        self.addrs[router][&iface].addr
+    }
+
+    fn handle_events(&mut self, router: usize, events: Vec<OspfEvent>) {
+        for ev in events {
+            if let OspfEvent::RoutesChanged(r) = &ev {
+                self.routes[router] = r.clone();
+            }
+            if let OspfEvent::Transmit { iface, packet, .. } = ev {
+                self.seq += 1;
+                if self.drop_modulo != 0 && self.seq % self.drop_modulo == 0 {
+                    self.dropped += 1;
+                    continue;
+                }
+                if let Some(&(peer, peer_iface)) = self.wires[router].get(&iface) {
+                    let at = self.now.as_nanos() + self.latency_ns;
+                    self.queue
+                        .push(Reverse((at, self.seq, peer, peer_iface, packet.to_vec())));
+                }
+            }
+        }
+    }
+
+    fn start(&mut self) {
+        for i in 0..self.daemons.len() {
+            let ev = self.daemons[i].start(Time::ZERO);
+            self.handle_events(i, ev);
+        }
+    }
+
+    /// Run until `until`, interleaving packet delivery and ticks.
+    fn run_until(&mut self, until: Time) {
+        loop {
+            // Next packet or next poll deadline, whichever first.
+            let next_pkt = self.queue.peek().map(|Reverse((t, ..))| *t);
+            let next_poll = self
+                .daemons
+                .iter()
+                .filter_map(|d| d.poll_at())
+                .map(|t| t.as_nanos().max(self.now.as_nanos() + 1))
+                .min();
+            let next = match (next_pkt, next_poll) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => break,
+            };
+            if next > until.as_nanos() {
+                self.now = until;
+                break;
+            }
+            self.now = Time::from_nanos(next);
+            // Deliver due packets.
+            while let Some(Reverse((t, ..))) = self.queue.peek() {
+                if *t > next {
+                    break;
+                }
+                let Reverse((_, _, router, iface, data)) = self.queue.pop().unwrap();
+                // The wire may have been unplugged while the packet was
+                // in flight; drop it in that case.
+                let Some(&src_peer) = self.wires[router].get(&iface) else {
+                    continue;
+                };
+                let src_addr = self.iface_addr(src_peer.0, src_peer.1);
+                let ev = self.daemons[router].handle_packet(iface, src_addr, &data, self.now);
+                self.handle_events(router, ev);
+            }
+            // Tick everyone (cheap; only due timers act).
+            for i in 0..self.daemons.len() {
+                let ev = self.daemons[i].tick(self.now);
+                self.handle_events(i, ev);
+            }
+        }
+    }
+
+    fn all_full(&self) -> bool {
+        self.daemons.iter().all(|d| {
+            d.all_adjacencies_full() && !d.neighbors().is_empty()
+        })
+    }
+}
+
+#[test]
+fn two_routers_reach_full_and_exchange_routes() {
+    let mut net = Net::build(2, &[(0, 1)], 1, 4);
+    net.start();
+    net.run_until(Time::from_secs(10));
+    assert!(net.all_full(), "adjacency must reach Full: {:?} {:?}",
+        net.daemons[0].neighbors(), net.daemons[1].neighbors());
+    // Both have both router LSAs.
+    assert_eq!(net.daemons[0].lsdb_len(), 2);
+    assert_eq!(net.daemons[1].lsdb_len(), 2);
+}
+
+#[test]
+fn line_of_four_converges_end_to_end() {
+    let mut net = Net::build(4, &[(0, 1), (1, 2), (2, 3)], 1, 4);
+    net.start();
+    net.run_until(Time::from_secs(20));
+    assert!(net.all_full());
+    for d in &net.daemons {
+        assert_eq!(d.lsdb_len(), 4, "full LSDB everywhere");
+    }
+    // Router 0 reaches the far subnet 172.31.0.8/30 (link 2-3) through
+    // its single interface, two router hops away.
+    let far = net.routes[0]
+        .iter()
+        .find(|r| r.prefix.to_string() == "172.31.0.8/30")
+        .unwrap_or_else(|| panic!("far subnet missing: {:?}", net.routes[0]));
+    assert_eq!(far.metric, 30, "10 + 10 + 10 stub");
+    assert_eq!(far.out_iface, 1);
+}
+
+#[test]
+fn routes_changed_events_reach_far_subnets() {
+    let mut net = Net::build(3, &[(0, 1), (1, 2)], 1, 4);
+    net.start();
+    net.run_until(Time::from_secs(20));
+    assert!(net.all_full());
+    let far = net.routes[0]
+        .iter()
+        .find(|r| r.prefix.to_string() == "172.31.0.4/30")
+        .unwrap_or_else(|| panic!("far subnet missing: {:?}", net.routes[0]));
+    assert_eq!(far.proto, RouteProto::Ospf);
+    assert_eq!(far.metric, 20);
+    assert_eq!(far.out_iface, 1);
+    assert_eq!(far.next_hop, Some("172.31.0.2".parse().unwrap()));
+}
+
+#[test]
+fn ring_converges_and_survives_node_death() {
+    let mut net = Net::build(4, &[(0, 1), (1, 2), (2, 3), (3, 0)], 1, 4);
+    net.start();
+    net.run_until(Time::from_secs(15));
+    assert!(net.all_full());
+    for d in &net.daemons {
+        assert_eq!(d.lsdb_len(), 4);
+    }
+    // "Kill" router 3 by unplugging its wires: stop delivering to/from.
+    net.wires[3].clear();
+    net.wires[0].retain(|_, (peer, _)| *peer != 3);
+    net.wires[1].retain(|_, (peer, _)| *peer != 3);
+    net.wires[2].retain(|_, (peer, _)| *peer != 3);
+    // After the dead interval, neighbors drop and LSAs re-originate.
+    net.run_until(Time::from_secs(30));
+    let n0: Vec<_> = net.daemons[0].neighbors();
+    assert_eq!(n0.len(), 1, "router 0 keeps only the neighbor toward 1: {n0:?}");
+}
+
+#[test]
+fn convergence_survives_packet_loss() {
+    let mut net = Net::build(3, &[(0, 1), (1, 2)], 1, 4);
+    net.drop_modulo = 7; // drop every 7th packet deterministically
+    net.start();
+    net.run_until(Time::from_secs(40));
+    assert!(net.dropped > 0, "loss must actually occur");
+    assert!(
+        net.all_full(),
+        "retransmission must repair loss: {:?} {:?} {:?}",
+        net.daemons[0].neighbors(),
+        net.daemons[1].neighbors(),
+        net.daemons[2].neighbors()
+    );
+    for d in &net.daemons {
+        assert_eq!(d.lsdb_len(), 3);
+    }
+}
+
+#[test]
+fn pan_european_scale_converges() {
+    // 28 routers, 41 links (same shape as the paper's demo topology).
+    let topo = rf_topo::pan_european();
+    let links: Vec<(usize, usize)> = topo.edges().iter().map(|e| (e.a, e.b)).collect();
+    let mut net = Net::build(28, &links, 1, 4);
+    net.start();
+    net.run_until(Time::from_secs(30));
+    assert!(net.all_full(), "all 82 adjacencies Full");
+    for d in &net.daemons {
+        assert_eq!(d.lsdb_len(), 28, "complete LSDB on every router");
+    }
+}

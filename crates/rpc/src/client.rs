@@ -1,0 +1,222 @@
+//! The RPC client agent: a store-and-forward relay between the
+//! topology controller and the RPC server.
+//!
+//! The paper separates the RPC client from the topology controller "to
+//! share the load of automatic configuration of RouteFlow". The relay
+//! provides at-least-once delivery toward the RPC server: every request
+//! is retransmitted until its ack arrives, including across server
+//! reconnects, and requests are forwarded in submission order.
+
+use crate::codec::{encode_envelope, Envelope, RpcFrameReader};
+use crate::msg::RpcRequest;
+use crate::{RPC_CLIENT_SERVICE, RPC_SERVER_SERVICE};
+use rf_sim::{Agent, AgentId, ConnId, ConnProfile, Ctx, StreamEvent};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+const T_RETX: u64 = 1;
+const T_RECONNECT: u64 = 2;
+
+/// Configuration of the relay.
+#[derive(Clone, Debug)]
+pub struct RpcClientConfig {
+    /// The RF-controller hosting the RPC server.
+    pub server: AgentId,
+    /// Retransmission timeout for unacked requests.
+    pub retransmit: Duration,
+    /// Reconnect backoff after losing the server connection.
+    pub reconnect_backoff: Duration,
+    /// Stream profile toward the server.
+    pub conn: ConnProfile,
+}
+
+impl RpcClientConfig {
+    pub fn new(server: AgentId) -> RpcClientConfig {
+        RpcClientConfig {
+            server,
+            retransmit: Duration::from_millis(500),
+            reconnect_backoff: Duration::from_millis(500),
+            conn: ConnProfile::default(),
+        }
+    }
+}
+
+struct Pending {
+    req_id: u64,
+    request: RpcRequest,
+    sent: bool,
+}
+
+/// The RPC client agent.
+///
+/// Upstream: listens on [`RPC_CLIENT_SERVICE`] for request envelopes
+/// from the topology controller (req_ids assigned by the client are
+/// authoritative; upstream ids are remapped). Downstream: dials the RPC
+/// server on [`RPC_SERVER_SERVICE`].
+pub struct RpcClientAgent {
+    cfg: RpcClientConfig,
+    upstream_readers: Vec<(ConnId, RpcFrameReader)>,
+    server_conn: Option<ConnId>,
+    server_ready: bool,
+    server_reader: RpcFrameReader,
+    queue: VecDeque<Pending>,
+    next_req_id: u64,
+    /// Total requests forwarded and acked (metrics).
+    pub acked: u64,
+    pub retransmissions: u64,
+}
+
+impl RpcClientAgent {
+    pub fn new(cfg: RpcClientConfig) -> RpcClientAgent {
+        RpcClientAgent {
+            cfg,
+            upstream_readers: Vec::new(),
+            server_conn: None,
+            server_ready: false,
+            server_reader: RpcFrameReader::new(),
+            queue: VecDeque::new(),
+            next_req_id: 1,
+            acked: 0,
+            retransmissions: 0,
+        }
+    }
+
+    /// Enqueue a request programmatically (used when the topology
+    /// controller embeds the client instead of dialing it).
+    pub fn submit(&mut self, ctx: &mut Ctx<'_>, request: RpcRequest) {
+        let req_id = self.next_req_id;
+        self.next_req_id += 1;
+        self.queue.push_back(Pending {
+            req_id,
+            request,
+            sent: false,
+        });
+        self.flush(ctx);
+    }
+
+    fn connect_server(&mut self, ctx: &mut Ctx<'_>) {
+        self.server_ready = false;
+        self.server_reader = RpcFrameReader::new();
+        self.server_conn = Some(ctx.connect(self.cfg.server, RPC_SERVER_SERVICE, self.cfg.conn));
+    }
+
+    fn flush(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.server_ready {
+            return;
+        }
+        let Some(conn) = self.server_conn else {
+            return;
+        };
+        for p in self.queue.iter_mut().filter(|p| !p.sent) {
+            let env = Envelope::Request {
+                req_id: p.req_id,
+                request: p.request.clone(),
+            };
+            ctx.conn_send(conn, encode_envelope(&env));
+            ctx.count("rpc.sent", 1);
+            p.sent = true;
+        }
+    }
+
+    fn handle_ack(&mut self, req_id: u64) {
+        let before = self.queue.len();
+        self.queue.retain(|p| p.req_id != req_id);
+        if self.queue.len() < before {
+            self.acked += 1;
+        }
+    }
+}
+
+impl Agent for RpcClientAgent {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.listen(RPC_CLIENT_SERVICE);
+        self.connect_server(ctx);
+        ctx.schedule(self.cfg.retransmit, T_RETX);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            T_RETX => {
+                // Anything still queued and marked sent gets resent.
+                let resend = self.queue.iter().any(|p| p.sent);
+                if resend && self.server_ready {
+                    for p in self.queue.iter_mut() {
+                        p.sent = false;
+                    }
+                    self.retransmissions += 1;
+                    self.flush(ctx);
+                }
+                ctx.schedule(self.cfg.retransmit, T_RETX);
+            }
+            T_RECONNECT => {
+                if self.server_conn.is_none() {
+                    self.connect_server(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_stream(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, event: StreamEvent) {
+        if Some(conn) == self.server_conn {
+            match event {
+                StreamEvent::Opened { .. } => {
+                    self.server_ready = true;
+                    // Everything unacked is in-flight again.
+                    for p in self.queue.iter_mut() {
+                        p.sent = false;
+                    }
+                    self.flush(ctx);
+                }
+                StreamEvent::Data(data) => {
+                    self.server_reader.push(&data);
+                    while let Some(Ok(env)) = self.server_reader.next() {
+                        if let Envelope::Ack(ack) = env {
+                            self.handle_ack(ack.req_id);
+                        }
+                    }
+                }
+                StreamEvent::Closed => {
+                    self.server_conn = None;
+                    self.server_ready = false;
+                    ctx.schedule(self.cfg.reconnect_backoff, T_RECONNECT);
+                }
+            }
+            return;
+        }
+        // Upstream (topology controller) side.
+        match event {
+            StreamEvent::Opened { .. } => {
+                self.upstream_readers.push((conn, RpcFrameReader::new()));
+            }
+            StreamEvent::Data(data) => {
+                let mut incoming = Vec::new();
+                if let Some((_, reader)) =
+                    self.upstream_readers.iter_mut().find(|(c, _)| *c == conn)
+                {
+                    reader.push(&data);
+                    while let Some(Ok(env)) = reader.next() {
+                        if let Envelope::Request { req_id, request } = env {
+                            incoming.push((req_id, request));
+                        }
+                    }
+                }
+                for (upstream_id, request) in incoming {
+                    // Ack upstream immediately (the relay now owns
+                    // delivery), then forward under our own id.
+                    ctx.conn_send(
+                        conn,
+                        encode_envelope(&Envelope::Ack(crate::msg::RpcAck {
+                            req_id: upstream_id,
+                            ok: true,
+                        })),
+                    );
+                    self.submit(ctx, request);
+                }
+            }
+            StreamEvent::Closed => {
+                self.upstream_readers.retain(|(c, _)| *c != conn);
+            }
+        }
+    }
+}

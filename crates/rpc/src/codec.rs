@@ -1,0 +1,183 @@
+//! RPC stream framing.
+//!
+//! Envelope layout (big-endian):
+//!
+//! ```text
+//! +--------+--------+---------+--------+--------+----------+
+//! | magic  | length | kind    | req_id | tag    | body ... |
+//! | u16    | u32    | u8      | u64    | u8     |          |
+//! +--------+--------+---------+--------+--------+----------+
+//! ```
+//!
+//! `length` counts everything after itself. `kind` is 0 for requests,
+//! 1 for acks (acks carry `ok` in `tag` and no body).
+
+use crate::msg::{RpcAck, RpcRequest};
+use crate::RpcError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: u16 = 0x5246; // "RF"
+const KIND_REQUEST: u8 = 0;
+const KIND_ACK: u8 = 1;
+
+/// A decoded RPC frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Envelope {
+    Request { req_id: u64, request: RpcRequest },
+    Ack(RpcAck),
+}
+
+/// Encode an envelope to wire bytes.
+pub fn encode_envelope(env: &Envelope) -> Bytes {
+    let mut body = BytesMut::new();
+    let (kind, req_id, tag) = match env {
+        Envelope::Request { req_id, request } => {
+            request.emit_body(&mut body);
+            (KIND_REQUEST, *req_id, request.tag())
+        }
+        Envelope::Ack(ack) => (KIND_ACK, ack.req_id, u8::from(ack.ok)),
+    };
+    let mut out = BytesMut::with_capacity(16 + body.len());
+    out.put_u16(MAGIC);
+    out.put_u32((1 + 8 + 1 + body.len()) as u32);
+    out.put_u8(kind);
+    out.put_u64(req_id);
+    out.put_u8(tag);
+    out.put_slice(&body);
+    out.freeze()
+}
+
+/// Decode one complete envelope from `data` (exactly one frame).
+pub fn decode_envelope(mut data: &[u8]) -> Result<Envelope, RpcError> {
+    if data.remaining() < 6 {
+        return Err(RpcError::Truncated);
+    }
+    if data.get_u16() != MAGIC {
+        return Err(RpcError::BadMagic);
+    }
+    let length = data.get_u32() as usize;
+    if data.remaining() < length || length < 10 {
+        return Err(RpcError::Truncated);
+    }
+    let kind = data.get_u8();
+    let req_id = data.get_u64();
+    let tag = data.get_u8();
+    let body = &data[..length - 10];
+    match kind {
+        KIND_REQUEST => Ok(Envelope::Request {
+            req_id,
+            request: RpcRequest::parse_body(tag, body)?,
+        }),
+        KIND_ACK => Ok(Envelope::Ack(RpcAck {
+            req_id,
+            ok: tag != 0,
+        })),
+        other => Err(RpcError::BadTag(other)),
+    }
+}
+
+/// Incremental frame reassembler for the RPC stream.
+#[derive(Default)]
+pub struct RpcFrameReader {
+    buf: BytesMut,
+}
+
+impl RpcFrameReader {
+    pub fn new() -> RpcFrameReader {
+        RpcFrameReader::default()
+    }
+
+    pub fn push(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Pop the next complete envelope if buffered.
+    pub fn next(&mut self) -> Option<Result<Envelope, RpcError>> {
+        if self.buf.len() < 6 {
+            return None;
+        }
+        let magic = u16::from_be_bytes([self.buf[0], self.buf[1]]);
+        if magic != MAGIC {
+            self.buf.clear();
+            return Some(Err(RpcError::BadMagic));
+        }
+        let length =
+            u32::from_be_bytes([self.buf[2], self.buf[3], self.buf[4], self.buf[5]]) as usize;
+        if self.buf.len() < 6 + length {
+            return None;
+        }
+        let frame = self.buf.split_to(6 + length);
+        Some(decode_envelope(&frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_wire::Ipv4Cidr;
+    use std::net::Ipv4Addr;
+
+    fn sample() -> Envelope {
+        Envelope::Request {
+            req_id: 42,
+            request: RpcRequest::LinkDetected {
+                a_dpid: 1,
+                a_port: 2,
+                b_dpid: 3,
+                b_port: 1,
+                subnet: Ipv4Cidr::new(Ipv4Addr::new(172, 31, 0, 0), 30),
+                ip_a: Ipv4Addr::new(172, 31, 0, 1),
+                ip_b: Ipv4Addr::new(172, 31, 0, 2),
+            },
+        }
+    }
+
+    #[test]
+    fn envelope_roundtrip() {
+        let env = sample();
+        assert_eq!(decode_envelope(&encode_envelope(&env)).unwrap(), env);
+        let ack = Envelope::Ack(RpcAck {
+            req_id: 42,
+            ok: true,
+        });
+        assert_eq!(decode_envelope(&encode_envelope(&ack)).unwrap(), ack);
+    }
+
+    #[test]
+    fn reader_handles_fragmentation_and_coalescing() {
+        let mut r = RpcFrameReader::new();
+        let a = encode_envelope(&sample());
+        let b = encode_envelope(&Envelope::Ack(RpcAck {
+            req_id: 7,
+            ok: false,
+        }));
+        let mut stream = a.to_vec();
+        stream.extend_from_slice(&b);
+        // Feed in 3-byte chunks.
+        for chunk in stream.chunks(3) {
+            r.push(chunk);
+        }
+        let first = r.next().unwrap().unwrap();
+        assert_eq!(first, sample());
+        let second = r.next().unwrap().unwrap();
+        assert!(matches!(second, Envelope::Ack(RpcAck { req_id: 7, ok: false })));
+        assert!(r.next().is_none());
+    }
+
+    #[test]
+    fn bad_magic_poisons_buffer() {
+        let mut r = RpcFrameReader::new();
+        r.push(&[0xAA; 20]);
+        assert_eq!(r.next().unwrap(), Err(RpcError::BadMagic));
+        assert!(r.next().is_none());
+    }
+
+    #[test]
+    fn truncated_decode_rejected() {
+        let env = encode_envelope(&sample());
+        assert_eq!(
+            decode_envelope(&env[..env.len() - 1]),
+            Err(RpcError::Truncated)
+        );
+    }
+}

@@ -1,0 +1,1108 @@
+//! The simulation kernel: agents, links, streams and the dispatch loop.
+//!
+//! Agents are stored as boxed trait objects and addressed by [`AgentId`].
+//! During dispatch the target agent is *taken out* of its slot, so the
+//! handler gets `&mut self` while the rest of the world is reachable
+//! through [`Ctx`]. Operations that would touch the agent table itself
+//! (spawning a VM, killing a failed switch) are buffered and applied
+//! between events; everything else takes effect immediately.
+
+use crate::link::{FaultOutcome, LinkProfile};
+use crate::queue::EventQueue;
+use crate::time::Time;
+use crate::trace::{TraceLevel, Tracer};
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::any::Any;
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Duration;
+
+/// Identifies an agent within one [`Sim`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AgentId(pub usize);
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "agent#{}", self.0)
+    }
+}
+
+/// Identifies a reliable stream connection.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ConnId(pub usize);
+
+impl fmt::Display for ConnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conn#{}", self.0)
+    }
+}
+
+/// Identifies a packet link.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LinkId(pub usize);
+
+/// Events delivered to an agent about one of its stream connections.
+#[derive(Clone, Debug)]
+pub enum StreamEvent {
+    /// The connection is established and may carry data.
+    Opened {
+        peer: AgentId,
+        service: u16,
+        /// True on the side that called [`Ctx::connect`].
+        initiated_by_us: bool,
+    },
+    /// In-order payload bytes (framing is up to the application).
+    Data(Bytes),
+    /// The peer closed, refused, or died.
+    Closed,
+}
+
+/// Properties of a stream connection (a TCP model).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConnProfile {
+    /// One-way latency applied to every chunk (and to the handshake).
+    pub latency: Duration,
+}
+
+impl Default for ConnProfile {
+    fn default() -> Self {
+        ConnProfile {
+            latency: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Behaviour of a simulated network element.
+///
+/// All methods have empty defaults so implementations only override the
+/// events they care about. The `Any` supertrait allows test code to
+/// downcast agents back to their concrete types via [`Sim::agent_as`].
+#[allow(unused_variables)]
+pub trait Agent: Any {
+    /// Called once, when the agent enters the simulation.
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {}
+    /// A timer scheduled via [`Ctx::schedule`] fired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {}
+    /// An Ethernet frame arrived on `port`.
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: u32, frame: Bytes) {}
+    /// A stream connection event.
+    fn on_stream(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, event: StreamEvent) {}
+}
+
+/// Global simulation parameters.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Seed for the simulation's single RNG.
+    pub seed: u64,
+    /// Trace verbosity.
+    pub trace_level: TraceLevel,
+    /// Hard stop: `run` never advances past this time.
+    pub max_time: Option<Time>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0xC0FFEE,
+            trace_level: TraceLevel::Info,
+            max_time: None,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    Start(AgentId),
+    Timer { agent: AgentId, token: u64 },
+    Frame { agent: AgentId, port: u32, frame: Bytes },
+    StreamOpen { conn: ConnId, to: AgentId },
+    StreamData { conn: ConnId, to: AgentId, data: Bytes },
+    StreamClosed { conn: ConnId, to: AgentId },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct LinkEnd {
+    agent: AgentId,
+    port: u32,
+}
+
+struct LinkState {
+    a: LinkEnd,
+    b: LinkEnd,
+    profile: LinkProfile,
+    up: bool,
+    /// Transmitter-busy horizon for each direction (a→b, b→a).
+    busy: [Time; 2],
+    removed: bool,
+}
+
+struct ConnState {
+    ends: [AgentId; 2],
+    service: u16,
+    profile: ConnProfile,
+    /// Per-direction in-order delivery clocks (index = sender side).
+    deliver_clock: [Time; 2],
+    closed: bool,
+}
+
+/// Everything in the simulation except the agent table; [`Ctx`] borrows
+/// this during dispatch.
+pub(crate) struct Inner {
+    now: Time,
+    queue: EventQueue<Ev>,
+    links: Vec<LinkState>,
+    port_map: HashMap<LinkEnd, LinkId>,
+    conns: Vec<ConnState>,
+    listeners: HashMap<(AgentId, u16), bool>,
+    pub(crate) rng: StdRng,
+    pub(crate) tracer: Tracer,
+    names: Vec<String>,
+    next_agent: usize,
+    pending_spawn: Vec<(AgentId, Box<dyn Agent>)>,
+    pending_kill: Vec<AgentId>,
+    stopped: bool,
+}
+
+impl Inner {
+    fn link_of(&self, end: LinkEnd) -> Option<LinkId> {
+        self.port_map.get(&end).copied()
+    }
+
+    fn name(&self, id: AgentId) -> &str {
+        self.names.get(id.0).map(|s| s.as_str()).unwrap_or("?")
+    }
+
+    fn emit(&mut self, level: TraceLevel, source: AgentId, kind: &str, detail: String) {
+        let src = self.name(source).to_string();
+        self.tracer.emit(self.now, level, &src, kind, detail);
+    }
+
+    fn send_frame_from(&mut self, from: AgentId, port: u32, frame: Bytes) {
+        let end = LinkEnd { agent: from, port };
+        let Some(lid) = self.link_of(end) else {
+            self.tracer.count("link.tx_no_link", 1);
+            return;
+        };
+        let (other, dir, profile, up, removed) = {
+            let l = &self.links[lid.0];
+            let dir = if l.a == end { 0 } else { 1 };
+            let other = if dir == 0 { l.b } else { l.a };
+            (other, dir, l.profile, l.up, l.removed)
+        };
+        if !up || removed {
+            self.tracer.count("link.tx_down", 1);
+            return;
+        }
+        let ser = profile.serialization_delay(frame.len());
+        let start = self.now.max(self.links[lid.0].busy[dir]);
+        let done = start + ser;
+        self.links[lid.0].busy[dir] = done;
+        let arrival = done + profile.latency;
+        self.tracer.count("link.tx_frames", 1);
+        self.tracer.count("link.tx_bytes", frame.len() as u64);
+        match profile.faults.apply(&mut self.rng, &frame) {
+            FaultOutcome::Dropped => {
+                self.tracer.count("link.dropped", 1);
+            }
+            FaultOutcome::Deliver { frame, duplicate } => {
+                self.queue.push(
+                    arrival,
+                    Ev::Frame {
+                        agent: other.agent,
+                        port: other.port,
+                        frame: frame.clone(),
+                    },
+                );
+                if duplicate {
+                    self.tracer.count("link.duplicated", 1);
+                    self.queue.push(
+                        arrival,
+                        Ev::Frame {
+                            agent: other.agent,
+                            port: other.port,
+                            frame,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn connect_from(&mut self, from: AgentId, peer: AgentId, service: u16, profile: ConnProfile) -> ConnId {
+        let conn = ConnId(self.conns.len());
+        let listening = self.listeners.get(&(peer, service)).copied().unwrap_or(false);
+        let lat = profile.latency;
+        let open_peer = self.now + lat;
+        let open_init = self.now + lat + lat;
+        self.conns.push(ConnState {
+            ends: [from, peer],
+            service,
+            profile,
+            deliver_clock: [open_peer, open_init],
+            closed: !listening,
+        });
+        if listening {
+            self.queue.push(open_peer, Ev::StreamOpen { conn, to: peer });
+            self.queue.push(open_init, Ev::StreamOpen { conn, to: from });
+            self.tracer.count("conn.opened", 1);
+        } else {
+            // Connection refused: initiator learns after one round trip.
+            self.queue.push(open_init, Ev::StreamClosed { conn, to: from });
+            self.tracer.count("conn.refused", 1);
+        }
+        conn
+    }
+
+    fn conn_send_from(&mut self, from: AgentId, conn: ConnId, data: Bytes) {
+        let Some(c) = self.conns.get_mut(conn.0) else {
+            return;
+        };
+        if c.closed {
+            self.tracer.count("conn.tx_closed", 1);
+            return;
+        }
+        let side = if c.ends[0] == from {
+            0
+        } else if c.ends[1] == from {
+            1
+        } else {
+            return;
+        };
+        let to = c.ends[1 - side];
+        let deliver = (self.now + c.profile.latency).max(c.deliver_clock[side]);
+        c.deliver_clock[side] = deliver;
+        self.tracer.count("conn.tx_bytes", data.len() as u64);
+        self.queue.push(deliver, Ev::StreamData { conn, to, data });
+    }
+
+    fn conn_close_from(&mut self, from: AgentId, conn: ConnId) {
+        let Some(c) = self.conns.get_mut(conn.0) else {
+            return;
+        };
+        if c.closed {
+            return;
+        }
+        c.closed = true;
+        let side = if c.ends[0] == from { 0 } else { 1 };
+        let to = c.ends[1 - side];
+        let deliver = (self.now + c.profile.latency).max(c.deliver_clock[side]);
+        self.queue.push(deliver, Ev::StreamClosed { conn, to });
+    }
+
+    fn add_link(
+        &mut self,
+        a: (AgentId, u32),
+        b: (AgentId, u32),
+        profile: LinkProfile,
+    ) -> LinkId {
+        let a = LinkEnd { agent: a.0, port: a.1 };
+        let b = LinkEnd { agent: b.0, port: b.1 };
+        assert!(
+            !self.port_map.contains_key(&a),
+            "port {}:{} already linked",
+            a.agent,
+            a.port
+        );
+        assert!(
+            !self.port_map.contains_key(&b),
+            "port {}:{} already linked",
+            b.agent,
+            b.port
+        );
+        let id = LinkId(self.links.len());
+        self.port_map.insert(a, id);
+        self.port_map.insert(b, id);
+        self.links.push(LinkState {
+            a,
+            b,
+            profile,
+            up: true,
+            busy: [Time::ZERO; 2],
+            removed: false,
+        });
+        id
+    }
+
+    fn remove_link(&mut self, id: LinkId) {
+        if let Some(l) = self.links.get_mut(id.0) {
+            if !l.removed {
+                l.removed = true;
+                l.up = false;
+                let (a, b) = (l.a, l.b);
+                self.port_map.remove(&a);
+                self.port_map.remove(&b);
+            }
+        }
+    }
+
+    fn spawn(&mut self, name: &str, agent: Box<dyn Agent>) -> AgentId {
+        let id = AgentId(self.next_agent);
+        self.next_agent += 1;
+        while self.names.len() <= id.0 {
+            self.names.push(String::new());
+        }
+        self.names[id.0] = name.to_string();
+        self.pending_spawn.push((id, agent));
+        self.queue.push(self.now, Ev::Start(id));
+        id
+    }
+}
+
+/// The handle an agent uses to interact with the world during an event.
+pub struct Ctx<'a> {
+    pub(crate) inner: &'a mut Inner,
+    id: AgentId,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.inner.now
+    }
+
+    /// This agent's own id.
+    pub fn self_id(&self) -> AgentId {
+        self.id
+    }
+
+    /// This agent's registered name.
+    pub fn self_name(&self) -> &str {
+        self.inner.name(self.id)
+    }
+
+    /// Fire `on_timer(token)` after `delay`.
+    pub fn schedule(&mut self, delay: Duration, token: u64) {
+        let at = self.inner.now + delay;
+        self.inner.queue.push(at, Ev::Timer { agent: self.id, token });
+    }
+
+    /// Fire `on_timer(token)` at absolute time `at` (clamped to now).
+    pub fn schedule_at(&mut self, at: Time, token: u64) {
+        let at = at.max(self.inner.now);
+        self.inner.queue.push(at, Ev::Timer { agent: self.id, token });
+    }
+
+    /// Transmit an Ethernet frame out of `port`.
+    pub fn send_frame(&mut self, port: u32, frame: Bytes) {
+        self.inner.send_frame_from(self.id, port, frame);
+    }
+
+    /// Open a stream connection to `peer:service`. The returned id is
+    /// valid immediately; `Opened` (or `Closed` on refusal) arrives
+    /// after the handshake latency.
+    pub fn connect(&mut self, peer: AgentId, service: u16, profile: ConnProfile) -> ConnId {
+        self.inner.connect_from(self.id, peer, service, profile)
+    }
+
+    /// Accept incoming connections on `service`.
+    pub fn listen(&mut self, service: u16) {
+        self.inner.listeners.insert((self.id, service), true);
+    }
+
+    /// Send bytes on an open connection.
+    pub fn conn_send(&mut self, conn: ConnId, data: Bytes) {
+        self.inner.conn_send_from(self.id, conn, data);
+    }
+
+    /// Close a connection; the peer receives `Closed`.
+    pub fn conn_close(&mut self, conn: ConnId) {
+        self.inner.conn_close_from(self.id, conn);
+    }
+
+    /// Add a new agent to the running simulation (e.g. a VM being
+    /// created by the RPC server). Its `on_start` runs at the current
+    /// time, after the current event completes.
+    pub fn spawn(&mut self, name: &str, agent: Box<dyn Agent>) -> AgentId {
+        self.inner.spawn(name, agent)
+    }
+
+    /// Remove an agent after the current event (its links stay but
+    /// frames to it are dropped, and its connections are closed).
+    pub fn kill(&mut self, agent: AgentId) {
+        self.inner.pending_kill.push(agent);
+    }
+
+    /// Create a packet link between two `(agent, port)` endpoints.
+    pub fn add_link(&mut self, a: (AgentId, u32), b: (AgentId, u32), profile: LinkProfile) -> LinkId {
+        self.inner.add_link(a, b, profile)
+    }
+
+    /// Detach a link permanently, freeing both ports.
+    pub fn remove_link(&mut self, id: LinkId) {
+        self.inner.remove_link(id);
+    }
+
+    /// Administratively set a link up or down.
+    pub fn set_link_up(&mut self, id: LinkId, up: bool) {
+        if let Some(l) = self.inner.links.get_mut(id.0) {
+            if !l.removed {
+                l.up = up;
+            }
+        }
+    }
+
+    /// Deterministic RNG shared by the whole simulation.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner.rng
+    }
+
+    /// Emit an info-level trace event attributed to this agent.
+    pub fn trace(&mut self, kind: &str, detail: impl Into<String>) {
+        self.inner.emit(TraceLevel::Info, self.id, kind, detail.into());
+    }
+
+    /// Emit a debug-level trace event attributed to this agent.
+    pub fn trace_debug(&mut self, kind: &str, detail: impl Into<String>) {
+        self.inner.emit(TraceLevel::Debug, self.id, kind, detail.into());
+    }
+
+    /// Increment a named metric counter.
+    pub fn count(&mut self, name: &str, delta: u64) {
+        self.inner.tracer.count(name, delta);
+    }
+
+    /// Stop the simulation after the current event.
+    pub fn stop_sim(&mut self) {
+        self.inner.stopped = true;
+    }
+}
+
+/// A complete simulation instance.
+pub struct Sim {
+    agents: Vec<Option<Box<dyn Agent>>>,
+    inner: Inner,
+    cfg: SimConfig,
+}
+
+impl Sim {
+    pub fn new(cfg: SimConfig) -> Self {
+        Sim {
+            agents: Vec::new(),
+            inner: Inner {
+                now: Time::ZERO,
+                queue: EventQueue::new(),
+                links: Vec::new(),
+                port_map: HashMap::new(),
+                conns: Vec::new(),
+                listeners: HashMap::new(),
+                rng: StdRng::seed_from_u64(cfg.seed),
+                tracer: Tracer::new(cfg.trace_level),
+                names: Vec::new(),
+                next_agent: 0,
+                pending_spawn: Vec::new(),
+                pending_kill: Vec::new(),
+                stopped: false,
+            },
+            cfg,
+        }
+    }
+
+    /// Register an agent before (or during) the run; `on_start` fires at
+    /// the current simulation time.
+    pub fn add_agent(&mut self, name: &str, agent: Box<dyn Agent>) -> AgentId {
+        let id = self.inner.spawn(name, agent);
+        self.apply_pending();
+        id
+    }
+
+    /// Create a link between two `(agent, port)` endpoints.
+    pub fn add_link(&mut self, a: (AgentId, u32), b: (AgentId, u32), profile: LinkProfile) -> LinkId {
+        self.inner.add_link(a, b, profile)
+    }
+
+    /// Administratively set a link up or down.
+    pub fn set_link_up(&mut self, id: LinkId, up: bool) {
+        if let Some(l) = self.inner.links.get_mut(id.0) {
+            if !l.removed {
+                l.up = up;
+            }
+        }
+    }
+
+    pub fn now(&self) -> Time {
+        self.inner.now
+    }
+
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
+    }
+
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.inner.tracer
+    }
+
+    /// Borrow an agent by concrete type (returns `None` on wrong type or
+    /// dead agent). Intended for test assertions and result harvesting.
+    pub fn agent_as<T: Agent>(&self, id: AgentId) -> Option<&T> {
+        let boxed = self.agents.get(id.0)?.as_ref()?;
+        (boxed.as_ref() as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Mutable variant of [`Sim::agent_as`].
+    pub fn agent_as_mut<T: Agent>(&mut self, id: AgentId) -> Option<&mut T> {
+        let boxed = self.agents.get_mut(id.0)?.as_mut()?;
+        (boxed.as_mut() as &mut dyn Any).downcast_mut::<T>()
+    }
+
+    /// Name of an agent.
+    pub fn agent_name(&self, id: AgentId) -> &str {
+        self.inner.name(id)
+    }
+
+    /// Number of live agents.
+    pub fn live_agents(&self) -> usize {
+        self.agents.iter().filter(|a| a.is_some()).count()
+    }
+
+    fn apply_pending(&mut self) {
+        for (id, agent) in self.inner.pending_spawn.drain(..) {
+            while self.agents.len() <= id.0 {
+                self.agents.push(None);
+            }
+            self.agents[id.0] = Some(agent);
+        }
+        let kills: Vec<AgentId> = self.inner.pending_kill.drain(..).collect();
+        for id in kills {
+            if self.agents.get_mut(id.0).map(|s| s.take()).flatten().is_some() {
+                // Close this agent's connections so peers observe dead sockets.
+                for (cid, c) in self.inner.conns.iter_mut().enumerate() {
+                    if !c.closed && (c.ends[0] == id || c.ends[1] == id) {
+                        c.closed = true;
+                        let to = if c.ends[0] == id { c.ends[1] } else { c.ends[0] };
+                        let at = self.inner.now + c.profile.latency;
+                        self.inner
+                            .queue
+                            .push(at, Ev::StreamClosed { conn: ConnId(cid), to });
+                    }
+                }
+                // Drop its listeners.
+                self.inner.listeners.retain(|(a, _), _| *a != id);
+            }
+        }
+    }
+
+    /// Dispatch a single event. Returns `false` when the queue is
+    /// exhausted, the stop flag is set, or `max_time` would be exceeded.
+    pub fn step(&mut self) -> bool {
+        if self.inner.stopped {
+            return false;
+        }
+        let Some(peek) = self.inner.queue.peek_time() else {
+            return false;
+        };
+        if let Some(max) = self.cfg.max_time {
+            if peek > max {
+                self.inner.now = max;
+                return false;
+            }
+        }
+        let (at, ev) = self.inner.queue.pop().expect("peeked");
+        self.inner.now = at;
+        self.dispatch(ev);
+        self.apply_pending();
+        true
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        let (target, call): (AgentId, Box<dyn FnOnce(&mut dyn Agent, &mut Ctx<'_>)>) = match ev {
+            Ev::Start(a) => (a, Box::new(|ag, ctx| ag.on_start(ctx))),
+            Ev::Timer { agent, token } => (agent, Box::new(move |ag, ctx| ag.on_timer(ctx, token))),
+            Ev::Frame { agent, port, frame } => (
+                agent,
+                Box::new(move |ag, ctx| ag.on_frame(ctx, port, frame)),
+            ),
+            Ev::StreamOpen { conn, to } => {
+                let Some(c) = self.inner.conns.get(conn.0) else {
+                    return;
+                };
+                let initiated = c.ends[0] == to;
+                let peer = if initiated { c.ends[1] } else { c.ends[0] };
+                let service = c.service;
+                (
+                    to,
+                    Box::new(move |ag, ctx| {
+                        ag.on_stream(
+                            ctx,
+                            conn,
+                            StreamEvent::Opened {
+                                peer,
+                                service,
+                                initiated_by_us: initiated,
+                            },
+                        )
+                    }),
+                )
+            }
+            Ev::StreamData { conn, to, data } => (
+                to,
+                Box::new(move |ag, ctx| ag.on_stream(ctx, conn, StreamEvent::Data(data))),
+            ),
+            Ev::StreamClosed { conn, to } => (
+                to,
+                Box::new(move |ag, ctx| ag.on_stream(ctx, conn, StreamEvent::Closed)),
+            ),
+        };
+        let Some(slot) = self.agents.get_mut(target.0) else {
+            return;
+        };
+        let Some(mut agent) = slot.take() else {
+            // Agent was killed; drop the event silently.
+            return;
+        };
+        let mut ctx = Ctx {
+            inner: &mut self.inner,
+            id: target,
+        };
+        call(agent.as_mut(), &mut ctx);
+        // The slot cannot have been reused: ids are never recycled.
+        self.agents[target.0] = Some(agent);
+    }
+
+    /// Run until the queue drains, an agent stops the sim, or
+    /// `max_time` is hit.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until simulated time `t` (events at exactly `t` included).
+    pub fn run_until(&mut self, t: Time) {
+        loop {
+            match self.inner.queue.peek_time() {
+                Some(peek) if peek <= t && !self.inner.stopped => {
+                    if !self.step() {
+                        break;
+                    }
+                }
+                _ => {
+                    if self.inner.now < t {
+                        self.inner.now = t;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Pending event count (diagnostics).
+    pub fn pending_events(&self) -> usize {
+        self.inner.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// Agent that records everything it sees.
+    #[derive(Default)]
+    struct Probe {
+        timers: Vec<(Time, u64)>,
+        frames: Vec<(Time, u32, Bytes)>,
+        stream_log: Vec<String>,
+        conn: Option<ConnId>,
+        autoreply: bool,
+        listen_service: Option<u16>,
+    }
+
+    impl Agent for Probe {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            if let Some(s) = self.listen_service {
+                ctx.listen(s);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            self.timers.push((ctx.now(), token));
+        }
+        fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: u32, frame: Bytes) {
+            self.frames.push((ctx.now(), port, frame.clone()));
+            if self.autoreply {
+                ctx.send_frame(port, frame);
+                self.autoreply = false;
+            }
+        }
+        fn on_stream(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, ev: StreamEvent) {
+            match ev {
+                StreamEvent::Opened { initiated_by_us, .. } => {
+                    self.conn = Some(conn);
+                    self.stream_log.push(format!("open:{initiated_by_us}"));
+                    if !initiated_by_us {
+                        ctx.conn_send(conn, Bytes::from_static(b"hello"));
+                    }
+                }
+                StreamEvent::Data(d) => {
+                    self.stream_log
+                        .push(format!("data:{}", String::from_utf8_lossy(&d)));
+                }
+                StreamEvent::Closed => self.stream_log.push("closed".into()),
+            }
+        }
+    }
+
+    /// Agent that sends a frame at start.
+    struct Sender {
+        port: u32,
+        payload: Bytes,
+    }
+    impl Agent for Sender {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.send_frame(self.port, self.payload.clone());
+        }
+    }
+
+    #[test]
+    fn timer_fires_at_right_time() {
+        struct T;
+        impl Agent for T {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.schedule(Duration::from_millis(500), 42);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+                assert_eq!(token, 42);
+                assert_eq!(ctx.now(), Time::from_millis(500));
+            }
+        }
+        let mut sim = Sim::new(SimConfig::default());
+        sim.add_agent("t", Box::new(T));
+        sim.run();
+        assert_eq!(sim.now(), Time::from_millis(500));
+    }
+
+    #[test]
+    fn frame_crosses_link_with_latency() {
+        let mut sim = Sim::new(SimConfig::default());
+        let a = sim.add_agent(
+            "a",
+            Box::new(Sender {
+                port: 1,
+                payload: Bytes::from_static(b"ping"),
+            }),
+        );
+        let b = sim.add_agent("b", Box::new(Probe::default()));
+        sim.add_link(
+            (a, 1),
+            (b, 3),
+            LinkProfile::with_latency(Duration::from_millis(7)),
+        );
+        sim.run();
+        let probe = sim.agent_as::<Probe>(b).unwrap();
+        assert_eq!(probe.frames.len(), 1);
+        let (t, port, data) = &probe.frames[0];
+        assert_eq!(*t, Time::from_millis(7));
+        assert_eq!(*port, 3);
+        assert_eq!(&data[..], b"ping");
+    }
+
+    #[test]
+    fn bandwidth_serializes_back_to_back_frames() {
+        struct Burst;
+        impl Agent for Burst {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                // Two 125-byte frames at 1 Mbps: 1 ms serialization each.
+                for _ in 0..2 {
+                    ctx.send_frame(1, Bytes::from(vec![0u8; 125]));
+                }
+            }
+        }
+        let mut sim = Sim::new(SimConfig::default());
+        let a = sim.add_agent("burst", Box::new(Burst));
+        let b = sim.add_agent("probe", Box::new(Probe::default()));
+        sim.add_link(
+            (a, 1),
+            (b, 1),
+            LinkProfile {
+                latency: Duration::ZERO,
+                bandwidth_bps: 1_000_000,
+                faults: Default::default(),
+            },
+        );
+        sim.run();
+        let probe = sim.agent_as::<Probe>(b).unwrap();
+        assert_eq!(probe.frames.len(), 2);
+        assert_eq!(probe.frames[0].0, Time::from_millis(1));
+        assert_eq!(probe.frames[1].0, Time::from_millis(2));
+    }
+
+    #[test]
+    fn stream_handshake_and_data() {
+        struct Dialer {
+            peer: AgentId,
+            log: Vec<String>,
+        }
+        impl Agent for Dialer {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.connect(self.peer, 6633, ConnProfile::default());
+            }
+            fn on_stream(&mut self, _ctx: &mut Ctx<'_>, _conn: ConnId, ev: StreamEvent) {
+                match ev {
+                    StreamEvent::Opened { .. } => self.log.push("open".into()),
+                    StreamEvent::Data(d) => self
+                        .log
+                        .push(format!("data:{}", String::from_utf8_lossy(&d))),
+                    StreamEvent::Closed => self.log.push("closed".into()),
+                }
+            }
+        }
+        let mut sim = Sim::new(SimConfig::default());
+        let listener = sim.add_agent(
+            "listener",
+            Box::new(Probe {
+                listen_service: Some(6633),
+                ..Default::default()
+            }),
+        );
+        let dialer = sim.add_agent(
+            "dialer",
+            Box::new(Dialer {
+                peer: listener,
+                log: vec![],
+            }),
+        );
+        sim.run();
+        let d = sim.agent_as::<Dialer>(dialer).unwrap();
+        // Opened, then the listener's greeting.
+        assert_eq!(d.log, vec!["open", "data:hello"]);
+        let l = sim.agent_as::<Probe>(listener).unwrap();
+        assert_eq!(l.stream_log, vec!["open:false"]);
+    }
+
+    #[test]
+    fn connect_to_non_listener_is_refused() {
+        struct Dialer {
+            peer: AgentId,
+            refused: bool,
+        }
+        impl Agent for Dialer {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.connect(self.peer, 9999, ConnProfile::default());
+            }
+            fn on_stream(&mut self, _ctx: &mut Ctx<'_>, _c: ConnId, ev: StreamEvent) {
+                if matches!(ev, StreamEvent::Closed) {
+                    self.refused = true;
+                }
+            }
+        }
+        let mut sim = Sim::new(SimConfig::default());
+        let silent = sim.add_agent("silent", Box::new(Probe::default()));
+        let dialer = sim.add_agent(
+            "dialer",
+            Box::new(Dialer {
+                peer: silent,
+                refused: false,
+            }),
+        );
+        sim.run();
+        assert!(sim.agent_as::<Dialer>(dialer).unwrap().refused);
+    }
+
+    #[test]
+    fn stream_data_is_in_order() {
+        struct Blast {
+            peer: AgentId,
+        }
+        impl Agent for Blast {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let c = ctx.connect(self.peer, 1, ConnProfile::default());
+                for i in 0..50u8 {
+                    ctx.conn_send(c, Bytes::from(vec![i]));
+                }
+            }
+        }
+        let mut sim = Sim::new(SimConfig::default());
+        let rx = sim.add_agent(
+            "rx",
+            Box::new(Probe {
+                listen_service: Some(1),
+                ..Default::default()
+            }),
+        );
+        sim.add_agent("tx", Box::new(Blast { peer: rx }));
+        sim.run();
+        let p = sim.agent_as::<Probe>(rx).unwrap();
+        let data: Vec<&String> = p
+            .stream_log
+            .iter()
+            .filter(|s| s.starts_with("data"))
+            .collect();
+        assert_eq!(data.len(), 50);
+        // Probe logs raw bytes; verify monotone order via length-1 payload bytes.
+        for (i, s) in data.iter().enumerate() {
+            let byte = s.as_bytes()[5];
+            assert_eq!(byte as usize, i);
+        }
+    }
+
+    #[test]
+    fn spawn_at_runtime_starts_agent() {
+        struct Spawner;
+        impl Agent for Spawner {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.schedule(Duration::from_secs(1), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+                ctx.spawn("child", Box::new(Probe::default()));
+            }
+        }
+        let mut sim = Sim::new(SimConfig::default());
+        sim.add_agent("spawner", Box::new(Spawner));
+        sim.run();
+        assert_eq!(sim.live_agents(), 2);
+    }
+
+    #[test]
+    fn kill_closes_peer_connections() {
+        struct Killer {
+            victim: AgentId,
+        }
+        impl Agent for Killer {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.connect(self.victim, 5, ConnProfile::default());
+                ctx.schedule(Duration::from_secs(1), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+                ctx.kill(self.victim);
+            }
+        }
+        let mut sim = Sim::new(SimConfig::default());
+        let victim = sim.add_agent(
+            "victim",
+            Box::new(Probe {
+                listen_service: Some(5),
+                ..Default::default()
+            }),
+        );
+        let killer = sim.add_agent("killer", Box::new(Killer { victim }));
+        sim.run();
+        assert_eq!(sim.live_agents(), 1);
+        // The killer side eventually observes Closed... killer is not a Probe,
+        // but the victim was killed after the handshake: ensure no panic and
+        // the victim is gone.
+        assert!(sim.agent_as::<Probe>(victim).is_none());
+        let _ = killer;
+    }
+
+    #[test]
+    fn link_down_drops_frames() {
+        let mut sim = Sim::new(SimConfig::default());
+        let a = sim.add_agent(
+            "a",
+            Box::new(Sender {
+                port: 1,
+                payload: Bytes::from_static(b"x"),
+            }),
+        );
+        let b = sim.add_agent("b", Box::new(Probe::default()));
+        let l = sim.add_link((a, 1), (b, 1), LinkProfile::default());
+        sim.set_link_up(l, false);
+        sim.run();
+        assert!(sim.agent_as::<Probe>(b).unwrap().frames.is_empty());
+        assert_eq!(sim.tracer().counter("link.tx_down"), 1);
+    }
+
+    #[test]
+    fn run_until_stops_at_time() {
+        struct Ticker;
+        impl Agent for Ticker {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.schedule(Duration::from_secs(1), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+                ctx.schedule(Duration::from_secs(1), 0);
+            }
+        }
+        let mut sim = Sim::new(SimConfig::default());
+        sim.add_agent("tick", Box::new(Ticker));
+        sim.run_until(Time::from_millis(3500));
+        assert_eq!(sim.now(), Time::from_millis(3500));
+        assert!(sim.pending_events() > 0);
+    }
+
+    #[test]
+    fn max_time_caps_run() {
+        struct Ticker;
+        impl Agent for Ticker {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.schedule(Duration::from_secs(1), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+                ctx.schedule(Duration::from_secs(1), 0);
+            }
+        }
+        let mut sim = Sim::new(SimConfig {
+            max_time: Some(Time::from_secs(10)),
+            ..Default::default()
+        });
+        sim.add_agent("tick", Box::new(Ticker));
+        sim.run();
+        assert_eq!(sim.now(), Time::from_secs(10));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run_once(seed: u64) -> Vec<(Time, u32)> {
+            let mut sim = Sim::new(SimConfig {
+                seed,
+                ..Default::default()
+            });
+            let a = sim.add_agent(
+                "a",
+                Box::new(Sender {
+                    port: 1,
+                    payload: Bytes::from(vec![0u8; 100]),
+                }),
+            );
+            let b = sim.add_agent("b", Box::new(Probe::default()));
+            sim.add_link(
+                (a, 1),
+                (b, 1),
+                LinkProfile {
+                    latency: Duration::from_millis(3),
+                    bandwidth_bps: 10_000_000,
+                    faults: crate::link::FaultProfile::lossy(50.0),
+                },
+            );
+            sim.run();
+            sim.agent_as::<Probe>(b)
+                .unwrap()
+                .frames
+                .iter()
+                .map(|(t, p, _)| (*t, *p))
+                .collect()
+        }
+        assert_eq!(run_once(7), run_once(7));
+    }
+
+    #[test]
+    fn stop_sim_halts_immediately() {
+        struct Stopper;
+        impl Agent for Stopper {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.schedule(Duration::from_secs(1), 0);
+                ctx.schedule(Duration::from_secs(2), 1);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+                if token == 0 {
+                    ctx.stop_sim();
+                }
+                assert_ne!(token, 1, "event after stop must not run");
+            }
+        }
+        let mut sim = Sim::new(SimConfig::default());
+        sim.add_agent("stopper", Box::new(Stopper));
+        sim.run();
+        assert_eq!(sim.now(), Time::from_secs(1));
+    }
+
+    #[test]
+    fn remove_link_frees_ports() {
+        let mut sim = Sim::new(SimConfig::default());
+        let a = sim.add_agent("a", Box::new(Probe::default()));
+        let b = sim.add_agent("b", Box::new(Probe::default()));
+        let l = sim.inner.add_link((a, 1), (b, 1), LinkProfile::default());
+        sim.inner.remove_link(l);
+        // Re-adding on the same ports must not panic.
+        sim.inner.add_link((a, 1), (b, 1), LinkProfile::default());
+    }
+}

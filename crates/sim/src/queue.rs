@@ -1,0 +1,146 @@
+//! The simulation event queue.
+//!
+//! A binary min-heap keyed by `(time, sequence)`. The sequence number is
+//! assigned at insertion and breaks ties between events scheduled for
+//! the same instant, which keeps dispatch order — and therefore every
+//! downstream RNG draw — fully deterministic.
+
+use crate::time::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the event queue. `T` is the kernel's event payload.
+struct Entry<T> {
+    at: Time,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic future-event list.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    pub fn push(&mut self, at: Time, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Time, T)> {
+        self.heap.pop().map(|e| (e.at, e.payload))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_secs(3), "c");
+        q.push(Time::from_secs(1), "a");
+        q.push(Time::from_secs(2), "b");
+        assert_eq!(q.pop(), Some((Time::from_secs(1), "a")));
+        assert_eq!(q.pop(), Some((Time::from_secs(2), "b")));
+        assert_eq!(q.pop(), Some((Time::from_secs(3), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = Time::from_secs(1);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn peek_time_tracks_minimum() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(Time::from_secs(5), ());
+        q.push(Time::from_secs(2), ());
+        assert_eq!(q.peek_time(), Some(Time::from_secs(2)));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(Time::ZERO, 1);
+        q.push(Time::ZERO, 2);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_secs(10), 10);
+        q.push(Time::from_secs(1), 1);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.push(Time::from_secs(5), 5);
+        q.push(Time::from_secs(2), 2);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 5);
+        assert_eq!(q.pop().unwrap().1, 10);
+    }
+}

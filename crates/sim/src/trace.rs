@@ -1,0 +1,211 @@
+//! Structured tracing and metric counters for simulations.
+//!
+//! The GUI timeline (red/green switch states in the paper's demo), the
+//! experiment harnesses and the integration tests all consume the trace
+//! stream; counters feed the benchmark reports.
+
+use crate::time::Time;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Verbosity filter for the tracer.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+pub enum TraceLevel {
+    /// Record nothing.
+    Off,
+    /// Milestones only: agent lifecycle, configuration completions.
+    #[default]
+    Info,
+    /// Per-message events (PACKET_IN, FLOW_MOD, RPC calls).
+    Debug,
+    /// Per-frame dataplane events. Very verbose.
+    Trace,
+}
+
+/// A single trace record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub at: Time,
+    pub level: TraceLevel,
+    /// Name of the agent that emitted the event (or "sim" for the kernel).
+    pub source: String,
+    /// Event category, e.g. `"of.packet_in"`, `"rpc.call"`, `"vm.created"`.
+    pub kind: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>10}] {:<18} {:<22} {}",
+            self.at.to_string(),
+            self.source,
+            self.kind,
+            self.detail
+        )
+    }
+}
+
+/// Event sink plus named monotonic counters.
+#[derive(Default)]
+pub struct Tracer {
+    level: TraceLevel,
+    events: Vec<TraceEvent>,
+    counters: BTreeMap<String, u64>,
+    /// Cap on stored events; older events are dropped beyond this.
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Tracer {
+    pub fn new(level: TraceLevel) -> Self {
+        Tracer {
+            level,
+            events: Vec::new(),
+            counters: BTreeMap::new(),
+            capacity: 1_000_000,
+            dropped: 0,
+        }
+    }
+
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    pub fn set_level(&mut self, level: TraceLevel) {
+        self.level = level;
+    }
+
+    /// Limit stored events (counters are unaffected).
+    pub fn set_capacity(&mut self, cap: usize) {
+        self.capacity = cap;
+    }
+
+    /// Record an event if `level` passes the filter.
+    pub fn emit(&mut self, at: Time, level: TraceLevel, source: &str, kind: &str, detail: String) {
+        if level == TraceLevel::Off || level > self.level {
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(TraceEvent {
+            at,
+            level,
+            source: source.to_string(),
+            kind: kind.to_string(),
+            detail,
+        });
+    }
+
+    /// Increment a named counter (always recorded, regardless of level).
+    pub fn count(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events whose `kind` starts with `prefix`.
+    pub fn events_with_kind<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.kind.starts_with(prefix))
+    }
+
+    /// Time of the first event matching `prefix`, if any.
+    pub fn first_time_of(&self, prefix: &str) -> Option<Time> {
+        self.events_with_kind(prefix).next().map(|e| e.at)
+    }
+
+    /// Time of the last event matching `prefix`, if any.
+    pub fn last_time_of(&self, prefix: &str) -> Option<Time> {
+        self.events_with_kind(prefix).last().map(|e| e.at)
+    }
+
+    /// Number of events silently dropped after hitting capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(tr: &mut Tracer, s: u64, kind: &str) {
+        tr.emit(Time::from_secs(s), TraceLevel::Info, "t", kind, String::new());
+    }
+
+    #[test]
+    fn level_filtering() {
+        let mut tr = Tracer::new(TraceLevel::Info);
+        tr.emit(Time::ZERO, TraceLevel::Debug, "a", "x", "hidden".into());
+        tr.emit(Time::ZERO, TraceLevel::Info, "a", "y", "shown".into());
+        assert_eq!(tr.events().len(), 1);
+        assert_eq!(tr.events()[0].kind, "y");
+    }
+
+    #[test]
+    fn off_records_nothing() {
+        let mut tr = Tracer::new(TraceLevel::Off);
+        tr.emit(Time::ZERO, TraceLevel::Info, "a", "x", String::new());
+        assert!(tr.events().is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut tr = Tracer::new(TraceLevel::Off);
+        tr.count("of.flow_mod", 1);
+        tr.count("of.flow_mod", 2);
+        assert_eq!(tr.counter("of.flow_mod"), 3);
+        assert_eq!(tr.counter("missing"), 0);
+    }
+
+    #[test]
+    fn kind_prefix_query() {
+        let mut tr = Tracer::new(TraceLevel::Info);
+        ev(&mut tr, 1, "vm.created");
+        ev(&mut tr, 2, "vm.configured");
+        ev(&mut tr, 3, "of.packet_in");
+        assert_eq!(tr.events_with_kind("vm.").count(), 2);
+        assert_eq!(tr.first_time_of("vm."), Some(Time::from_secs(1)));
+        assert_eq!(tr.last_time_of("vm."), Some(Time::from_secs(2)));
+        assert_eq!(tr.first_time_of("bgp."), None);
+    }
+
+    #[test]
+    fn capacity_drops_excess() {
+        let mut tr = Tracer::new(TraceLevel::Info);
+        tr.set_capacity(2);
+        ev(&mut tr, 1, "a");
+        ev(&mut tr, 2, "b");
+        ev(&mut tr, 3, "c");
+        assert_eq!(tr.events().len(), 2);
+        assert_eq!(tr.dropped(), 1);
+    }
+
+    #[test]
+    fn display_renders() {
+        let e = TraceEvent {
+            at: Time::from_millis(1500),
+            level: TraceLevel::Info,
+            source: "sw1".into(),
+            kind: "of.hello".into(),
+            detail: "v1".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("1.500s"));
+        assert!(s.contains("of.hello"));
+    }
+}

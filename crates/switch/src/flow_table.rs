@@ -1,0 +1,487 @@
+//! The OF 1.0 flow table: priority-ordered wildcard matching with
+//! idle/hard timeouts and per-entry counters.
+
+use rf_openflow::{FlowModCommand, FlowRemovedReason, OfMatch, PacketKey, Wildcards};
+use rf_openflow::{Action, FlowStatsEntry};
+use rf_sim::Time;
+
+/// One installed flow entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlowEntry {
+    pub of_match: OfMatch,
+    pub priority: u16,
+    pub cookie: u64,
+    /// Seconds of inactivity before expiry (0 = never).
+    pub idle_timeout: u16,
+    /// Seconds after installation before expiry (0 = never).
+    pub hard_timeout: u16,
+    /// `OFPFF_*` flags (`SEND_FLOW_REM` is honoured).
+    pub flags: u16,
+    pub actions: Vec<Action>,
+    pub packet_count: u64,
+    pub byte_count: u64,
+    pub installed_at: Time,
+    pub last_matched: Time,
+}
+
+impl FlowEntry {
+    /// True if this entry is exact (no wildcards): such entries always
+    /// take precedence over wildcarded ones in OF 1.0.
+    pub fn is_exact(&self) -> bool {
+        self.of_match.wildcards.0 & Wildcards::ALL == 0
+    }
+
+    /// Effective priority: exact-match entries outrank all wildcard
+    /// entries regardless of their `priority` field.
+    fn effective_priority(&self) -> u32 {
+        if self.is_exact() {
+            u32::from(u16::MAX) + 1
+        } else {
+            u32::from(self.priority)
+        }
+    }
+
+    /// Does this entry reference `out_port` in any output action?
+    /// (`OFPP_NONE` means "don't filter".)
+    fn references_port(&self, out_port: u16) -> bool {
+        if out_port == rf_openflow::OFPP_NONE {
+            return true;
+        }
+        self.actions
+            .iter()
+            .any(|a| matches!(a, Action::Output { port, .. } if *port == out_port))
+    }
+
+    /// Convert to a stats-reply entry.
+    pub fn to_stats(&self, now: Time) -> FlowStatsEntry {
+        let dur = now.since(self.installed_at);
+        FlowStatsEntry {
+            table_id: 0,
+            of_match: self.of_match,
+            duration_sec: dur.as_secs() as u32,
+            duration_nsec: dur.subsec_nanos(),
+            priority: self.priority,
+            idle_timeout: self.idle_timeout,
+            hard_timeout: self.hard_timeout,
+            cookie: self.cookie,
+            packet_count: self.packet_count,
+            byte_count: self.byte_count,
+            actions: self.actions.clone(),
+        }
+    }
+}
+
+/// An entry evicted by [`FlowTable::expire`] or an overlapping delete.
+#[derive(Clone, Debug)]
+pub struct Removed {
+    pub entry: FlowEntry,
+    pub reason: FlowRemovedReason,
+}
+
+/// The single flow table of an OF 1.0 switch (`n_tables = 1`, matching
+/// Open vSwitch 1.4's userspace datapath as the paper used it).
+#[derive(Default)]
+pub struct FlowTable {
+    entries: Vec<FlowEntry>,
+    pub lookup_count: u64,
+    pub matched_count: u64,
+}
+
+impl FlowTable {
+    pub fn new() -> FlowTable {
+        FlowTable::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn entries(&self) -> &[FlowEntry] {
+        &self.entries
+    }
+
+    /// Find the highest-priority entry matching `key` and update its
+    /// counters.
+    pub fn lookup(&mut self, key: &PacketKey, len: usize, now: Time) -> Option<&FlowEntry> {
+        self.lookup_count += 1;
+        let best = self
+            .entries
+            .iter_mut()
+            .filter(|e| e.of_match.matches(key))
+            .max_by_key(|e| e.effective_priority())?;
+        best.packet_count += 1;
+        best.byte_count += len as u64;
+        best.last_matched = now;
+        self.matched_count += 1;
+        Some(best)
+    }
+
+    /// Apply a FLOW_MOD. Returns entries removed as a side effect
+    /// (DELETE commands), which may need FLOW_REMOVED notifications.
+    pub fn apply_flow_mod(
+        &mut self,
+        command: FlowModCommand,
+        of_match: OfMatch,
+        priority: u16,
+        cookie: u64,
+        idle_timeout: u16,
+        hard_timeout: u16,
+        flags: u16,
+        out_port: u16,
+        actions: Vec<Action>,
+        now: Time,
+    ) -> Vec<Removed> {
+        match command {
+            FlowModCommand::Add => {
+                // Identical match+priority replaces (counters reset),
+                // per OF 1.0 §4.6.
+                self.entries
+                    .retain(|e| !(e.of_match == of_match && e.priority == priority));
+                self.entries.push(FlowEntry {
+                    of_match,
+                    priority,
+                    cookie,
+                    idle_timeout,
+                    hard_timeout,
+                    flags,
+                    actions,
+                    packet_count: 0,
+                    byte_count: 0,
+                    installed_at: now,
+                    last_matched: now,
+                });
+                Vec::new()
+            }
+            FlowModCommand::Modify | FlowModCommand::ModifyStrict => {
+                let strict = command == FlowModCommand::ModifyStrict;
+                let mut touched = false;
+                for e in &mut self.entries {
+                    let hit = if strict {
+                        e.of_match == of_match && e.priority == priority
+                    } else {
+                        e.of_match.is_subset_of(&of_match)
+                    };
+                    if hit {
+                        e.actions = actions.clone();
+                        e.cookie = cookie;
+                        touched = true;
+                    }
+                }
+                if !touched {
+                    // Per spec, MODIFY with no match behaves like ADD.
+                    return self.apply_flow_mod(
+                        FlowModCommand::Add,
+                        of_match,
+                        priority,
+                        cookie,
+                        idle_timeout,
+                        hard_timeout,
+                        flags,
+                        out_port,
+                        actions,
+                        now,
+                    );
+                }
+                Vec::new()
+            }
+            FlowModCommand::Delete | FlowModCommand::DeleteStrict => {
+                let strict = command == FlowModCommand::DeleteStrict;
+                let mut removed = Vec::new();
+                self.entries.retain(|e| {
+                    let hit = if strict {
+                        e.of_match == of_match && e.priority == priority
+                    } else {
+                        e.of_match.is_subset_of(&of_match)
+                    } && e.references_port(out_port);
+                    if hit {
+                        removed.push(Removed {
+                            entry: e.clone(),
+                            reason: FlowRemovedReason::Delete,
+                        });
+                    }
+                    !hit
+                });
+                removed
+            }
+        }
+    }
+
+    /// Remove entries whose idle or hard timeout has elapsed.
+    pub fn expire(&mut self, now: Time) -> Vec<Removed> {
+        let mut removed = Vec::new();
+        self.entries.retain(|e| {
+            if e.hard_timeout > 0
+                && now.since(e.installed_at).as_secs() >= u64::from(e.hard_timeout)
+            {
+                removed.push(Removed {
+                    entry: e.clone(),
+                    reason: FlowRemovedReason::HardTimeout,
+                });
+                return false;
+            }
+            if e.idle_timeout > 0
+                && now.since(e.last_matched).as_secs() >= u64::from(e.idle_timeout)
+            {
+                removed.push(Removed {
+                    entry: e.clone(),
+                    reason: FlowRemovedReason::IdleTimeout,
+                });
+                return false;
+            }
+            true
+        });
+        removed
+    }
+
+    /// Entries matching a stats request (loose subset + out_port filter).
+    pub fn stats_matching(&self, of_match: &OfMatch, out_port: u16) -> Vec<&FlowEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.of_match.is_subset_of(of_match) && e.references_port(out_port))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_openflow::OFPP_NONE;
+    use rf_wire::MacAddr;
+    use std::net::Ipv4Addr;
+
+    fn key(dst: Ipv4Addr) -> PacketKey {
+        PacketKey {
+            in_port: 1,
+            dl_src: MacAddr::ZERO,
+            dl_dst: MacAddr::ZERO,
+            dl_type: 0x0800,
+            nw_tos: 0,
+            nw_proto: 17,
+            nw_src: Ipv4Addr::new(1, 1, 1, 1),
+            nw_dst: dst,
+            tp_src: 10,
+            tp_dst: 20,
+        }
+    }
+
+    fn add(t: &mut FlowTable, m: OfMatch, prio: u16, port: u16) {
+        t.apply_flow_mod(
+            FlowModCommand::Add,
+            m,
+            prio,
+            0,
+            0,
+            0,
+            0,
+            OFPP_NONE,
+            vec![Action::output(port)],
+            Time::ZERO,
+        );
+    }
+
+    #[test]
+    fn highest_priority_wins() {
+        let mut t = FlowTable::new();
+        add(&mut t, OfMatch::ipv4_dst_prefix("10.0.0.0".parse().unwrap(), 8), 10, 1);
+        add(&mut t, OfMatch::ipv4_dst_prefix("10.2.0.0".parse().unwrap(), 16), 20, 2);
+        let e = t.lookup(&key("10.2.3.4".parse().unwrap()), 100, Time::ZERO).unwrap();
+        assert_eq!(e.actions, vec![Action::output(2)]);
+        // Outside the /16, the /8 still matches.
+        let e = t.lookup(&key("10.9.0.1".parse().unwrap()), 100, Time::ZERO).unwrap();
+        assert_eq!(e.actions, vec![Action::output(1)]);
+    }
+
+    #[test]
+    fn counters_update_on_match() {
+        let mut t = FlowTable::new();
+        add(&mut t, OfMatch::any(), 1, 1);
+        t.lookup(&key("1.2.3.4".parse().unwrap()), 64, Time::from_secs(1));
+        t.lookup(&key("1.2.3.4".parse().unwrap()), 36, Time::from_secs(2));
+        let e = &t.entries()[0];
+        assert_eq!(e.packet_count, 2);
+        assert_eq!(e.byte_count, 100);
+        assert_eq!(e.last_matched, Time::from_secs(2));
+        assert_eq!(t.lookup_count, 2);
+        assert_eq!(t.matched_count, 2);
+    }
+
+    #[test]
+    fn miss_returns_none_but_counts_lookup() {
+        let mut t = FlowTable::new();
+        add(&mut t, OfMatch::lldp(), 1, 1);
+        assert!(t.lookup(&key("9.9.9.9".parse().unwrap()), 1, Time::ZERO).is_none());
+        assert_eq!(t.lookup_count, 1);
+        assert_eq!(t.matched_count, 0);
+    }
+
+    #[test]
+    fn add_identical_replaces_and_resets_counters() {
+        let mut t = FlowTable::new();
+        add(&mut t, OfMatch::any(), 5, 1);
+        t.lookup(&key("1.1.1.1".parse().unwrap()), 10, Time::ZERO);
+        add(&mut t, OfMatch::any(), 5, 2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.entries()[0].packet_count, 0);
+        assert_eq!(t.entries()[0].actions, vec![Action::output(2)]);
+    }
+
+    #[test]
+    fn delete_loose_removes_subsets() {
+        let mut t = FlowTable::new();
+        add(&mut t, OfMatch::ipv4_dst_prefix("10.1.0.0".parse().unwrap(), 16), 1, 1);
+        add(&mut t, OfMatch::ipv4_dst_prefix("10.2.0.0".parse().unwrap(), 16), 1, 2);
+        add(&mut t, OfMatch::lldp(), 1, 3);
+        let removed = t.apply_flow_mod(
+            FlowModCommand::Delete,
+            OfMatch::ipv4_dst_prefix("10.0.0.0".parse().unwrap(), 8),
+            0,
+            0,
+            0,
+            0,
+            0,
+            OFPP_NONE,
+            vec![],
+            Time::ZERO,
+        );
+        assert_eq!(removed.len(), 2);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn delete_strict_requires_exact_match_and_priority() {
+        let mut t = FlowTable::new();
+        let m = OfMatch::ipv4_dst_prefix("10.1.0.0".parse().unwrap(), 16);
+        add(&mut t, m, 7, 1);
+        // Wrong priority: no-op.
+        let removed = t.apply_flow_mod(
+            FlowModCommand::DeleteStrict, m, 8, 0, 0, 0, 0, OFPP_NONE, vec![], Time::ZERO,
+        );
+        assert!(removed.is_empty());
+        assert_eq!(t.len(), 1);
+        let removed = t.apply_flow_mod(
+            FlowModCommand::DeleteStrict, m, 7, 0, 0, 0, 0, OFPP_NONE, vec![], Time::ZERO,
+        );
+        assert_eq!(removed.len(), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn delete_filters_by_out_port() {
+        let mut t = FlowTable::new();
+        add(&mut t, OfMatch::ipv4_dst_prefix("10.1.0.0".parse().unwrap(), 16), 1, 1);
+        add(&mut t, OfMatch::ipv4_dst_prefix("10.2.0.0".parse().unwrap(), 16), 1, 2);
+        let removed = t.apply_flow_mod(
+            FlowModCommand::Delete,
+            OfMatch::any(),
+            0,
+            0,
+            0,
+            0,
+            0,
+            2, // only entries outputting to port 2
+            vec![],
+            Time::ZERO,
+        );
+        assert_eq!(removed.len(), 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.entries()[0].actions, vec![Action::output(1)]);
+    }
+
+    #[test]
+    fn modify_updates_actions_or_adds() {
+        let mut t = FlowTable::new();
+        let m = OfMatch::ipv4_dst_prefix("10.1.0.0".parse().unwrap(), 16);
+        add(&mut t, m, 1, 1);
+        t.apply_flow_mod(
+            FlowModCommand::Modify,
+            OfMatch::ipv4_dst_prefix("10.0.0.0".parse().unwrap(), 8),
+            0,
+            9,
+            0,
+            0,
+            0,
+            OFPP_NONE,
+            vec![Action::output(5)],
+            Time::ZERO,
+        );
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.entries()[0].actions, vec![Action::output(5)]);
+        assert_eq!(t.entries()[0].cookie, 9);
+        // No match → behaves as ADD.
+        t.apply_flow_mod(
+            FlowModCommand::Modify,
+            OfMatch::arp(),
+            3,
+            0,
+            0,
+            0,
+            0,
+            OFPP_NONE,
+            vec![Action::output(6)],
+            Time::ZERO,
+        );
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn hard_timeout_expires() {
+        let mut t = FlowTable::new();
+        t.apply_flow_mod(
+            FlowModCommand::Add,
+            OfMatch::any(),
+            1,
+            0,
+            0,
+            5,
+            0,
+            OFPP_NONE,
+            vec![],
+            Time::ZERO,
+        );
+        assert!(t.expire(Time::from_secs(4)).is_empty());
+        let removed = t.expire(Time::from_secs(5));
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].reason, FlowRemovedReason::HardTimeout);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn idle_timeout_resets_on_traffic() {
+        let mut t = FlowTable::new();
+        t.apply_flow_mod(
+            FlowModCommand::Add,
+            OfMatch::any(),
+            1,
+            0,
+            3,
+            0,
+            0,
+            OFPP_NONE,
+            vec![],
+            Time::ZERO,
+        );
+        t.lookup(&key("1.1.1.1".parse().unwrap()), 1, Time::from_secs(2));
+        assert!(t.expire(Time::from_secs(4)).is_empty(), "traffic at t=2 defers expiry");
+        let removed = t.expire(Time::from_secs(5));
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].reason, FlowRemovedReason::IdleTimeout);
+    }
+
+    #[test]
+    fn stats_matching_filters() {
+        let mut t = FlowTable::new();
+        add(&mut t, OfMatch::ipv4_dst_prefix("10.1.0.0".parse().unwrap(), 16), 1, 1);
+        add(&mut t, OfMatch::lldp(), 1, 2);
+        let all = t.stats_matching(&OfMatch::any(), OFPP_NONE);
+        assert_eq!(all.len(), 2);
+        let v4 = t.stats_matching(
+            &OfMatch::ipv4_dst_prefix("10.0.0.0".parse().unwrap(), 8),
+            OFPP_NONE,
+        );
+        assert_eq!(v4.len(), 1);
+    }
+}

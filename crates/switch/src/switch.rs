@@ -1,0 +1,650 @@
+//! The [`OpenFlowSwitch`] simulation agent — our Open vSwitch 1.4.1.
+
+use crate::datapath::{apply_actions, Egress};
+use crate::flow_table::{FlowTable, Removed};
+use bytes::Bytes;
+use rf_openflow::{
+    Action, ErrorType, FlowStatsEntry, MessageReader, OfMessage, PacketInReason, PacketKey,
+    PhyPort, PortNumber, PortStats, PortStatusReason, StatsBody, SwitchDesc, SwitchFeatures,
+    TableStats, Wildcards, OFPP_NONE, OFP_NO_BUFFER,
+};
+use rf_sim::{Agent, ConnId, ConnProfile, Ctx, StreamEvent, Time};
+use rf_wire::MacAddr;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Timer tokens.
+const T_EXPIRY: u64 = 1;
+/// Reconnect tokens are `T_RECONNECT_BASE + controller index`.
+const T_RECONNECT_BASE: u64 = 1000;
+const T_ECHO: u64 = 3;
+
+/// Static configuration of one switch.
+#[derive(Clone, Debug)]
+pub struct SwitchConfig {
+    /// 64-bit datapath id (the paper keys VMs by this).
+    pub dpid: u64,
+    /// Data-plane ports are numbered `1..=num_ports`.
+    pub num_ports: u16,
+    /// Controllers to dial (agent, service). Open vSwitch supports
+    /// several simultaneous controllers; the FlowVisor-bypass ablation
+    /// uses two, normal deployments one (FlowVisor itself).
+    pub controllers: Vec<(rf_sim::AgentId, u16)>,
+    /// Control-channel latency profile.
+    pub conn: ConnProfile,
+    /// Packet buffer pool size (OVS default 256).
+    pub n_buffers: u32,
+    /// Flow-expiry scan period.
+    pub expiry_interval: Duration,
+    /// Keepalive echo period (0 = disabled).
+    pub echo_interval: Duration,
+    /// Reconnect backoff after the control channel drops.
+    pub reconnect_backoff: Duration,
+}
+
+impl SwitchConfig {
+    pub fn new(dpid: u64, num_ports: u16, controller: rf_sim::AgentId) -> SwitchConfig {
+        SwitchConfig {
+            dpid,
+            num_ports,
+            controllers: vec![(controller, 6633)],
+            conn: ConnProfile::default(),
+            n_buffers: 256,
+            expiry_interval: Duration::from_millis(500),
+            echo_interval: Duration::from_secs(15),
+            reconnect_backoff: Duration::from_secs(1),
+        }
+    }
+
+    /// Override the service number of the (single) default controller.
+    pub fn with_service(mut self, service: u16) -> SwitchConfig {
+        if let Some(c) = self.controllers.last_mut() {
+            c.1 = service;
+        }
+        self
+    }
+
+    /// Dial an additional controller.
+    pub fn add_controller(mut self, controller: rf_sim::AgentId, service: u16) -> SwitchConfig {
+        self.controllers.push((controller, service));
+        self
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ConnState {
+    Disconnected,
+    Connecting,
+    /// HELLO exchanged; handshake driven by the controller from here.
+    Ready,
+}
+
+/// One control-channel leg toward a controller.
+struct CtrlConn {
+    target: (rf_sim::AgentId, u16),
+    conn: Option<ConnId>,
+    state: ConnState,
+    reader: MessageReader,
+}
+
+/// An OpenFlow 1.0 switch agent.
+pub struct OpenFlowSwitch {
+    cfg: SwitchConfig,
+    ctrls: Vec<CtrlConn>,
+    table: FlowTable,
+    /// PACKET_IN buffer pool: id → (frame, in_port).
+    buffers: HashMap<u32, (Bytes, PortNumber)>,
+    next_buffer: u32,
+    miss_send_len: u16,
+    config_flags: u16,
+    /// Per-port tx/rx counters, indexed by port-1.
+    port_stats: Vec<PortStats>,
+    /// Administratively disabled ports (no tx/rx).
+    ports_down: Vec<bool>,
+    xid: u32,
+    /// Ports whose PORT_STATUS must be announced on the next tick.
+    pending_port_status: Vec<PortNumber>,
+    /// Copies of ERROR messages we sent (for tests/diagnostics).
+    pub errors_sent: u64,
+}
+
+impl OpenFlowSwitch {
+    pub fn new(cfg: SwitchConfig) -> OpenFlowSwitch {
+        let n = cfg.num_ports as usize;
+        let ctrls = cfg
+            .controllers
+            .iter()
+            .map(|&target| CtrlConn {
+                target,
+                conn: None,
+                state: ConnState::Disconnected,
+                reader: MessageReader::new(),
+            })
+            .collect();
+        OpenFlowSwitch {
+            cfg,
+            ctrls,
+            table: FlowTable::new(),
+            buffers: HashMap::new(),
+            next_buffer: 1,
+            miss_send_len: 128,
+            config_flags: 0,
+            port_stats: (0..n)
+                .map(|i| PortStats {
+                    port_no: (i + 1) as u16,
+                    ..Default::default()
+                })
+                .collect(),
+            ports_down: vec![false; n],
+            xid: 1,
+            pending_port_status: Vec::new(),
+            errors_sent: 0,
+        }
+    }
+
+    pub fn dpid(&self) -> u64 {
+        self.cfg.dpid
+    }
+
+    /// Number of installed flow entries (test/bench accessor).
+    pub fn flow_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Borrow the flow table (test/bench accessor).
+    pub fn flow_table(&self) -> &FlowTable {
+        &self.table
+    }
+
+    /// Whether every control channel is established.
+    pub fn is_connected(&self) -> bool {
+        self.ctrls.iter().all(|c| c.state == ConnState::Ready)
+    }
+
+    /// Administratively take a port down/up; emits PORT_STATUS.
+    /// Exposed for failure-injection experiments (tests reach it via
+    /// `Sim::agent_as_mut`, then the change takes effect immediately;
+    /// the PORT_STATUS goes out on the next expiry tick).
+    pub fn set_port_admin(&mut self, port: PortNumber, down: bool) {
+        if let Some(slot) = self.ports_down.get_mut((port - 1) as usize) {
+            *slot = down;
+            self.pending_port_status.push(port);
+        }
+    }
+
+    fn phy_ports(&self) -> Vec<PhyPort> {
+        (1..=self.cfg.num_ports)
+            .map(|p| {
+                let mut port = PhyPort::new(
+                    p,
+                    MacAddr::from_dpid_port(self.cfg.dpid, p),
+                    format!("eth{p}"),
+                );
+                if self.ports_down[(p - 1) as usize] {
+                    port.config |= rf_openflow::ports::OFPPC_PORT_DOWN;
+                    port.state |= rf_openflow::ports::OFPPS_LINK_DOWN;
+                }
+                port
+            })
+            .collect()
+    }
+
+    fn next_xid(&mut self) -> u32 {
+        self.xid = self.xid.wrapping_add(1);
+        self.xid
+    }
+
+    /// Broadcast an asynchronous message to every ready controller.
+    fn send(&mut self, ctx: &mut Ctx<'_>, msg: OfMessage, xid: u32) {
+        let encoded = msg.encode(xid);
+        for c in &self.ctrls {
+            if c.state == ConnState::Ready {
+                if let Some(conn) = c.conn {
+                    ctx.conn_send(conn, encoded.clone());
+                }
+            }
+        }
+    }
+
+    /// Reply on one specific control channel.
+    fn send_to(&mut self, ctx: &mut Ctx<'_>, idx: usize, msg: OfMessage, xid: u32) {
+        if let Some(conn) = self.ctrls[idx].conn {
+            ctx.conn_send(conn, msg.encode(xid));
+        }
+    }
+
+    fn connect(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
+        let target = self.ctrls[idx].target;
+        let profile = self.cfg.conn;
+        let c = &mut self.ctrls[idx];
+        c.state = ConnState::Connecting;
+        c.reader = MessageReader::new();
+        c.conn = Some(ctx.connect(target.0, target.1, profile));
+    }
+
+    /// Emit PACKET_IN for a table miss (buffering the frame).
+    fn packet_in(&mut self, ctx: &mut Ctx<'_>, in_port: PortNumber, frame: Bytes) {
+        if !self.ctrls.iter().any(|c| c.state == ConnState::Ready) {
+            ctx.count("switch.miss_no_controller", 1);
+            return;
+        }
+        let total_len = frame.len() as u16;
+        let (buffer_id, data) = if (self.buffers.len() as u32) < self.cfg.n_buffers {
+            let id = self.next_buffer;
+            self.next_buffer = self.next_buffer.wrapping_add(1).max(1);
+            self.buffers.insert(id, (frame.clone(), in_port));
+            let cut = frame.len().min(self.miss_send_len as usize);
+            (id, frame.slice(..cut))
+        } else {
+            (OFP_NO_BUFFER, frame)
+        };
+        let xid = self.next_xid();
+        ctx.count("of.packet_in", 1);
+        self.send(
+            ctx,
+            OfMessage::PacketIn {
+                buffer_id,
+                total_len,
+                in_port,
+                reason: PacketInReason::NoMatch,
+                data,
+            },
+            xid,
+        );
+    }
+
+    /// Run a frame through the flow table and execute the result.
+    fn pipeline(&mut self, ctx: &mut Ctx<'_>, in_port: PortNumber, frame: Bytes) {
+        let Some(key) = PacketKey::from_frame(in_port, &frame) else {
+            ctx.count("switch.unparseable", 1);
+            return;
+        };
+        let actions: Option<Vec<Action>> = self
+            .table
+            .lookup(&key, frame.len(), ctx.now())
+            .map(|e| e.actions.clone());
+        match actions {
+            Some(actions) => self.execute(ctx, in_port, frame, &actions),
+            None => self.packet_in(ctx, in_port, frame),
+        }
+    }
+
+    fn execute(&mut self, ctx: &mut Ctx<'_>, in_port: PortNumber, frame: Bytes, actions: &[Action]) {
+        for egress in apply_actions(&frame, actions, in_port, self.cfg.num_ports) {
+            match egress {
+                Egress::Port(p, bytes) => self.tx(ctx, p, bytes),
+                Egress::Controller { max_len, frame } => {
+                    let total_len = frame.len() as u16;
+                    let cut = if max_len == 0 {
+                        frame.len()
+                    } else {
+                        frame.len().min(max_len as usize)
+                    };
+                    let xid = self.next_xid();
+                    self.send(
+                        ctx,
+                        OfMessage::PacketIn {
+                            buffer_id: OFP_NO_BUFFER,
+                            total_len,
+                            in_port,
+                            reason: PacketInReason::Action,
+                            data: frame.slice(..cut),
+                        },
+                        xid,
+                    );
+                }
+                Egress::Table(bytes) => self.pipeline(ctx, in_port, bytes),
+            }
+        }
+    }
+
+    fn tx(&mut self, ctx: &mut Ctx<'_>, port: PortNumber, frame: Bytes) {
+        let idx = (port - 1) as usize;
+        if self.ports_down.get(idx).copied().unwrap_or(true) {
+            if let Some(s) = self.port_stats.get_mut(idx) {
+                s.tx_dropped += 1;
+            }
+            return;
+        }
+        if let Some(s) = self.port_stats.get_mut(idx) {
+            s.tx_packets += 1;
+            s.tx_bytes += frame.len() as u64;
+        }
+        ctx.send_frame(port as u32, frame);
+    }
+
+    fn flow_removed_msgs(&mut self, ctx: &mut Ctx<'_>, removed: Vec<Removed>) {
+        for r in removed {
+            if r.entry.flags & rf_openflow::messages::OFPFF_SEND_FLOW_REM != 0 {
+                let dur = ctx.now().since(r.entry.installed_at);
+                let xid = self.next_xid();
+                self.send(
+                    ctx,
+                    OfMessage::FlowRemoved {
+                        of_match: r.entry.of_match,
+                        cookie: r.entry.cookie,
+                        priority: r.entry.priority,
+                        reason: r.reason,
+                        duration_sec: dur.as_secs() as u32,
+                        duration_nsec: dur.subsec_nanos(),
+                        idle_timeout: r.entry.idle_timeout,
+                        packet_count: r.entry.packet_count,
+                        byte_count: r.entry.byte_count,
+                    },
+                    xid,
+                );
+            }
+        }
+    }
+
+    fn handle_message(&mut self, ctx: &mut Ctx<'_>, idx: usize, msg: OfMessage, xid: u32) {
+        match msg {
+            OfMessage::Hello => {
+                self.ctrls[idx].state = ConnState::Ready;
+                ctx.trace_debug("of.hello", "control channel ready");
+            }
+            OfMessage::EchoRequest(data) => {
+                self.send_to(ctx, idx, OfMessage::EchoReply(data), xid);
+            }
+            OfMessage::EchoReply(_) => {}
+            OfMessage::FeaturesRequest => {
+                let reply = OfMessage::FeaturesReply(SwitchFeatures {
+                    datapath_id: self.cfg.dpid,
+                    n_buffers: self.cfg.n_buffers,
+                    n_tables: 1,
+                    capabilities: 0x0000_0087, // FLOW_STATS|TABLE_STATS|PORT_STATS|ARP_MATCH_IP
+                    actions: 0x0000_0FFF,      // all OF 1.0 actions
+                    ports: self.phy_ports(),
+                });
+                self.send_to(ctx, idx, reply, xid);
+            }
+            OfMessage::SetConfig {
+                flags,
+                miss_send_len,
+            } => {
+                self.config_flags = flags;
+                self.miss_send_len = miss_send_len;
+            }
+            OfMessage::GetConfigRequest => {
+                let reply = OfMessage::GetConfigReply {
+                    flags: self.config_flags,
+                    miss_send_len: self.miss_send_len,
+                };
+                self.send_to(ctx, idx, reply, xid);
+            }
+            OfMessage::FlowMod {
+                of_match,
+                cookie,
+                command,
+                idle_timeout,
+                hard_timeout,
+                priority,
+                buffer_id,
+                out_port,
+                flags,
+                actions,
+            } => {
+                ctx.count("of.flow_mod", 1);
+                let removed = self.table.apply_flow_mod(
+                    command,
+                    of_match,
+                    priority,
+                    cookie,
+                    idle_timeout,
+                    hard_timeout,
+                    flags,
+                    out_port,
+                    actions.clone(),
+                    ctx.now(),
+                );
+                self.flow_removed_msgs(ctx, removed);
+                // Release the buffered packet through the new state.
+                if buffer_id != OFP_NO_BUFFER {
+                    if let Some((frame, in_port)) = self.buffers.remove(&buffer_id) {
+                        self.pipeline(ctx, in_port, frame);
+                    }
+                }
+            }
+            OfMessage::PacketOut {
+                buffer_id,
+                in_port,
+                actions,
+                data,
+            } => {
+                ctx.count("of.packet_out", 1);
+                let frame = if buffer_id != OFP_NO_BUFFER {
+                    match self.buffers.remove(&buffer_id) {
+                        Some((f, _)) => f,
+                        None => {
+                            self.errors_sent += 1;
+                            let xid2 = self.next_xid();
+                            self.send_to(
+                                ctx,
+                                idx,
+                                OfMessage::Error {
+                                    err_type: ErrorType::BadRequest,
+                                    code: 8, // OFPBRC_BUFFER_UNKNOWN
+                                    data: Bytes::new(),
+                                },
+                                xid2,
+                            );
+                            return;
+                        }
+                    }
+                } else {
+                    data
+                };
+                self.execute(ctx, in_port, frame, &actions);
+            }
+            OfMessage::StatsRequest { body } => {
+                let reply = self.stats_reply(ctx.now(), body);
+                self.send_to(ctx, idx, OfMessage::StatsReply { body: reply }, xid);
+            }
+            OfMessage::BarrierRequest => {
+                // Processing is already serial in the simulation, so a
+                // barrier completes immediately.
+                self.send_to(ctx, idx, OfMessage::BarrierReply, xid);
+            }
+            OfMessage::Vendor { .. } => {
+                self.errors_sent += 1;
+                let xid2 = self.next_xid();
+                self.send_to(
+                    ctx,
+                    idx,
+                    OfMessage::Error {
+                        err_type: ErrorType::BadRequest,
+                        code: 3, // OFPBRC_BAD_VENDOR
+                        data: Bytes::new(),
+                    },
+                    xid2,
+                );
+            }
+            // Symmetric / controller-role messages a switch should not
+            // receive; reply with an error like OVS does.
+            _ => {
+                self.errors_sent += 1;
+                let xid2 = self.next_xid();
+                self.send_to(
+                    ctx,
+                    idx,
+                    OfMessage::Error {
+                        err_type: ErrorType::BadRequest,
+                        code: 1, // OFPBRC_BAD_TYPE
+                        data: Bytes::new(),
+                    },
+                    xid2,
+                );
+            }
+        }
+    }
+
+    fn stats_reply(&mut self, now: Time, body: StatsBody) -> StatsBody {
+        match body {
+            StatsBody::DescRequest => StatsBody::DescReply(SwitchDesc {
+                mfr_desc: "Ghent University - iMinds (reproduction)".into(),
+                hw_desc: "rf-sim virtual datapath".into(),
+                sw_desc: "rf-switch 0.1 (Open vSwitch 1.4.1 substitute)".into(),
+                serial_num: format!("{:016x}", self.cfg.dpid),
+                dp_desc: format!("dpid {:#x}", self.cfg.dpid),
+            }),
+            StatsBody::FlowRequest(req) => {
+                let entries: Vec<FlowStatsEntry> = self
+                    .table
+                    .stats_matching(&req.of_match, req.out_port)
+                    .iter()
+                    .map(|e| e.to_stats(now))
+                    .collect();
+                StatsBody::FlowReply(entries)
+            }
+            StatsBody::AggregateRequest(req) => {
+                let matching = self.table.stats_matching(&req.of_match, req.out_port);
+                StatsBody::AggregateReply(rf_openflow::AggregateStats {
+                    packet_count: matching.iter().map(|e| e.packet_count).sum(),
+                    byte_count: matching.iter().map(|e| e.byte_count).sum(),
+                    flow_count: matching.len() as u32,
+                })
+            }
+            StatsBody::TableRequest => StatsBody::TableReply(vec![TableStats {
+                table_id: 0,
+                name: "classifier".into(),
+                wildcards: Wildcards::ALL,
+                max_entries: 1 << 20,
+                active_count: self.table.len() as u32,
+                lookup_count: self.table.lookup_count,
+                matched_count: self.table.matched_count,
+            }]),
+            StatsBody::PortRequest(port) => {
+                let ports = if port == OFPP_NONE {
+                    self.port_stats.clone()
+                } else {
+                    self.port_stats
+                        .iter()
+                        .filter(|p| p.port_no == port)
+                        .cloned()
+                        .collect()
+                };
+                StatsBody::PortReply(ports)
+            }
+            // Requests only arrive as requests; replies would be a
+            // protocol violation handled by the caller.
+            other => other,
+        }
+    }
+
+    /// Queue of ports whose PORT_STATUS must be announced.
+    fn drain_port_status(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.ctrls.iter().any(|c| c.state == ConnState::Ready) {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending_port_status);
+        for p in pending {
+            let desc = self
+                .phy_ports()
+                .into_iter()
+                .find(|d| d.port_no == p)
+                .expect("port exists");
+            let xid = self.next_xid();
+            self.send(
+                ctx,
+                OfMessage::PortStatus {
+                    reason: PortStatusReason::Modify,
+                    desc,
+                },
+                xid,
+            );
+        }
+    }
+}
+
+impl Agent for OpenFlowSwitch {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for idx in 0..self.ctrls.len() {
+            self.connect(ctx, idx);
+        }
+        ctx.schedule(self.cfg.expiry_interval, T_EXPIRY);
+        if !self.cfg.echo_interval.is_zero() {
+            ctx.schedule(self.cfg.echo_interval, T_ECHO);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            T_EXPIRY => {
+                let removed = self.table.expire(ctx.now());
+                self.flow_removed_msgs(ctx, removed);
+                self.drain_port_status(ctx);
+                ctx.schedule(self.cfg.expiry_interval, T_EXPIRY);
+            }
+            T_ECHO => {
+                if self.ctrls.iter().any(|c| c.state == ConnState::Ready) {
+                    let xid = self.next_xid();
+                    self.send(ctx, OfMessage::EchoRequest(Bytes::from_static(b"ka")), xid);
+                }
+                ctx.schedule(self.cfg.echo_interval, T_ECHO);
+            }
+            t if t >= T_RECONNECT_BASE => {
+                let idx = (t - T_RECONNECT_BASE) as usize;
+                if idx < self.ctrls.len() && self.ctrls[idx].state == ConnState::Disconnected {
+                    self.connect(ctx, idx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: u32, frame: Bytes) {
+        let port = port as u16;
+        let idx = (port - 1) as usize;
+        if self.ports_down.get(idx).copied().unwrap_or(true) {
+            if let Some(s) = self.port_stats.get_mut(idx) {
+                s.rx_dropped += 1;
+            }
+            return;
+        }
+        if let Some(s) = self.port_stats.get_mut(idx) {
+            s.rx_packets += 1;
+            s.rx_bytes += frame.len() as u64;
+        }
+        self.pipeline(ctx, port, frame);
+    }
+
+    fn on_stream(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, event: StreamEvent) {
+        let Some(idx) = self.ctrls.iter().position(|c| c.conn == Some(conn)) else {
+            return;
+        };
+        match event {
+            StreamEvent::Opened { .. } => {
+                // OF handshake starts with HELLO from both sides.
+                let xid = self.next_xid();
+                self.send_to(ctx, idx, OfMessage::Hello, xid);
+            }
+            StreamEvent::Data(data) => {
+                let msgs = {
+                    let reader = &mut self.ctrls[idx].reader;
+                    reader.push(&data);
+                    let mut v = Vec::new();
+                    loop {
+                        match reader.next() {
+                            Some(Ok(m)) => v.push(Some(m)),
+                            Some(Err(_)) => v.push(None),
+                            None => break,
+                        }
+                    }
+                    v
+                };
+                for m in msgs {
+                    match m {
+                        Some((msg, xid)) => self.handle_message(ctx, idx, msg, xid),
+                        None => ctx.count("switch.decode_error", 1),
+                    }
+                }
+            }
+            StreamEvent::Closed => {
+                ctx.trace("of.disconnected", "control channel lost; will reconnect");
+                self.ctrls[idx].conn = None;
+                self.ctrls[idx].state = ConnState::Disconnected;
+                ctx.schedule(self.cfg.reconnect_backoff, T_RECONNECT_BASE + idx as u64);
+            }
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! Behavioural tests for the OpenFlow switch agent: handshake, table
+//! miss → PACKET_IN, FLOW_MOD install, buffered-packet release,
+//! PACKET_OUT, stats, timeouts, reconnect.
+
+use bytes::Bytes;
+use rf_openflow::{
+    Action, FlowModCommand, MessageReader, OfMatch, OfMessage, PacketInReason, StatsBody,
+    OFPP_NONE, OFP_NO_BUFFER,
+};
+use rf_sim::{Agent, AgentId, ConnId, Ctx, LinkProfile, Sim, SimConfig, StreamEvent};
+use rf_switch::{OpenFlowSwitch, SwitchConfig};
+use rf_wire::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet, MacAddr, UdpPacket};
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+/// A scripted controller for testing: completes the handshake, records
+/// everything, and sends canned messages on timers.
+#[derive(Default)]
+struct MockController {
+    conns: Vec<ConnId>,
+    readers: Vec<(ConnId, MessageReader)>,
+    pub received: Vec<(OfMessage, u32)>,
+    /// Messages to send (delay, message, xid) after start.
+    script: Vec<(Duration, OfMessage, u32)>,
+    /// Respond to PACKET_IN by installing this flow (match, actions)
+    /// with the packet's buffer id.
+    on_packet_in_install: Option<(OfMatch, Vec<Action>)>,
+    pub features: Vec<rf_openflow::SwitchFeatures>,
+}
+
+impl MockController {
+    fn reader_for(&mut self, conn: ConnId) -> &mut MessageReader {
+        if let Some(i) = self.readers.iter().position(|(c, _)| *c == conn) {
+            &mut self.readers[i].1
+        } else {
+            self.readers.push((conn, MessageReader::new()));
+            &mut self.readers.last_mut().unwrap().1
+        }
+    }
+}
+
+impl Agent for MockController {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.listen(6633);
+        for (i, (delay, _, _)) in self.script.iter().enumerate() {
+            ctx.schedule(*delay, 1000 + i as u64);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let idx = (token - 1000) as usize;
+        if let Some((_, msg, xid)) = self.script.get(idx).cloned() {
+            if let Some(&conn) = self.conns.first() {
+                ctx.conn_send(conn, msg.encode(xid));
+            }
+        }
+    }
+
+    fn on_stream(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, event: StreamEvent) {
+        match event {
+            StreamEvent::Opened { .. } => {
+                self.conns.push(conn);
+                ctx.conn_send(conn, OfMessage::Hello.encode(1));
+                ctx.conn_send(conn, OfMessage::FeaturesRequest.encode(2));
+            }
+            StreamEvent::Data(data) => {
+                let msgs = {
+                    let reader = self.reader_for(conn);
+                    reader.push(&data);
+                    let mut v = Vec::new();
+                    while let Some(r) = reader.next() {
+                        if let Ok(m) = r {
+                            v.push(m);
+                        }
+                    }
+                    v
+                };
+                for (msg, xid) in msgs {
+                    if let OfMessage::FeaturesReply(f) = &msg {
+                        self.features.push(f.clone());
+                    }
+                    if let OfMessage::PacketIn { buffer_id, .. } = &msg {
+                        if let Some((m, actions)) = self.on_packet_in_install.clone() {
+                            let fm = OfMessage::FlowMod {
+                                of_match: m,
+                                cookie: 0,
+                                command: FlowModCommand::Add,
+                                idle_timeout: 0,
+                                hard_timeout: 0,
+                                priority: 100,
+                                buffer_id: *buffer_id,
+                                out_port: OFPP_NONE,
+                                flags: 0,
+                                actions,
+                            };
+                            ctx.conn_send(conn, fm.encode(99));
+                        }
+                    }
+                    self.received.push((msg, xid));
+                }
+            }
+            StreamEvent::Closed => {}
+        }
+    }
+}
+
+/// Captures frames arriving at a sim port (plays the role of a host).
+#[derive(Default)]
+struct FrameSink {
+    pub frames: Vec<(u32, Bytes)>,
+    /// Frame to transmit at start: (port, frame, delay).
+    tx: Option<(u32, Bytes, Duration)>,
+}
+
+impl Agent for FrameSink {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.tx.is_some() {
+            ctx.schedule(self.tx.as_ref().unwrap().2, 1);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        if let Some((port, frame, _)) = self.tx.clone() {
+            ctx.send_frame(port, frame);
+        }
+    }
+    fn on_frame(&mut self, _ctx: &mut Ctx<'_>, port: u32, frame: Bytes) {
+        self.frames.push((port, frame));
+    }
+}
+
+fn udp_frame(dst: Ipv4Addr) -> Bytes {
+    let src = Ipv4Addr::new(192, 168, 0, 1);
+    let udp = UdpPacket::new(4000, 5000, Bytes::from_static(b"data"));
+    let ip = Ipv4Packet::new(src, dst, IpProtocol::UDP, udp.emit(src, dst));
+    EthernetFrame::new(
+        MacAddr([2, 0, 0, 0, 0, 9]),
+        MacAddr([2, 0, 0, 0, 0, 1]),
+        EtherType::IPV4,
+        ip.emit(),
+    )
+    .emit()
+}
+
+struct Bench {
+    sim: Sim,
+    ctrl: AgentId,
+    sw: AgentId,
+    host_a: AgentId,
+    host_b: AgentId,
+}
+
+/// Switch with 2 ports: port 1 ↔ host_a, port 2 ↔ host_b.
+fn bench(ctrl: MockController) -> Bench {
+    let mut sim = Sim::new(SimConfig::default());
+    let ctrl = sim.add_agent("controller", Box::new(ctrl));
+    let sw = sim.add_agent(
+        "sw1",
+        Box::new(OpenFlowSwitch::new(SwitchConfig::new(0x1C, 2, ctrl))),
+    );
+    let host_a = sim.add_agent("host_a", Box::new(FrameSink::default()));
+    let host_b = sim.add_agent("host_b", Box::new(FrameSink::default()));
+    sim.add_link((sw, 1), (host_a, 1), LinkProfile::default());
+    sim.add_link((sw, 2), (host_b, 1), LinkProfile::default());
+    Bench {
+        sim,
+        ctrl,
+        sw,
+        host_a,
+        host_b,
+    }
+}
+
+#[test]
+fn handshake_reports_features() {
+    let mut b = bench(MockController::default());
+    b.sim.run_until(rf_sim::Time::from_secs(1));
+    let ctrl = b.sim.agent_as::<MockController>(b.ctrl).unwrap();
+    assert_eq!(ctrl.features.len(), 1);
+    let f = &ctrl.features[0];
+    assert_eq!(f.datapath_id, 0x1C);
+    assert_eq!(f.ports.len(), 2);
+    assert_eq!(f.n_tables, 1);
+    assert!(b.sim.agent_as::<OpenFlowSwitch>(b.sw).unwrap().is_connected());
+}
+
+#[test]
+fn table_miss_sends_packet_in_with_buffer() {
+    let mut b = bench(MockController::default());
+    // Host A sends a frame after the handshake settles.
+    b.sim.agent_as_mut::<FrameSink>(b.host_a).unwrap().tx =
+        Some((1, udp_frame(Ipv4Addr::new(10, 0, 0, 5)), Duration::from_secs(1)));
+    b.sim.run_until(rf_sim::Time::from_secs(2));
+    let ctrl = b.sim.agent_as::<MockController>(b.ctrl).unwrap();
+    let pins: Vec<_> = ctrl
+        .received
+        .iter()
+        .filter_map(|(m, _)| match m {
+            OfMessage::PacketIn {
+                buffer_id,
+                in_port,
+                reason,
+                data,
+                total_len,
+            } => Some((*buffer_id, *in_port, *reason, data.len(), *total_len)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(pins.len(), 1);
+    let (buffer_id, in_port, reason, data_len, total_len) = pins[0];
+    assert_ne!(buffer_id, OFP_NO_BUFFER);
+    assert_eq!(in_port, 1);
+    assert_eq!(reason, PacketInReason::NoMatch);
+    assert!(data_len <= 128, "miss_send_len truncation");
+    assert!(total_len as usize >= data_len);
+}
+
+#[test]
+fn flow_mod_with_buffer_releases_packet() {
+    let mut ctrl = MockController::default();
+    ctrl.on_packet_in_install = Some((
+        OfMatch::ipv4_dst_prefix(Ipv4Addr::new(10, 0, 0, 0), 8),
+        vec![Action::output(2)],
+    ));
+    let mut b = bench(ctrl);
+    b.sim.agent_as_mut::<FrameSink>(b.host_a).unwrap().tx =
+        Some((1, udp_frame(Ipv4Addr::new(10, 0, 0, 5)), Duration::from_secs(1)));
+    b.sim.run_until(rf_sim::Time::from_secs(2));
+    // The buffered frame must come out of port 2 after the FLOW_MOD.
+    let host_b = b.sim.agent_as::<FrameSink>(b.host_b).unwrap();
+    assert_eq!(host_b.frames.len(), 1);
+    // And subsequent frames flow without further PACKET_INs.
+    b.sim.agent_as_mut::<FrameSink>(b.host_a).unwrap().tx =
+        Some((1, udp_frame(Ipv4Addr::new(10, 0, 0, 6)), Duration::from_millis(100)));
+    // re-trigger the tx timer by scheduling through a fresh run window
+    b.sim.run_until(rf_sim::Time::from_secs(3));
+    let sw = b.sim.agent_as::<OpenFlowSwitch>(b.sw).unwrap();
+    assert_eq!(sw.flow_count(), 1);
+}
+
+#[test]
+fn packet_out_floods() {
+    let mut ctrl = MockController::default();
+    ctrl.script = vec![(
+        Duration::from_secs(1),
+        OfMessage::PacketOut {
+            buffer_id: OFP_NO_BUFFER,
+            in_port: OFPP_NONE,
+            actions: vec![Action::output(rf_openflow::OFPP_FLOOD)],
+            data: udp_frame(Ipv4Addr::new(10, 1, 1, 1)),
+        },
+        42,
+    )];
+    let mut b = bench(ctrl);
+    b.sim.run_until(rf_sim::Time::from_secs(2));
+    assert_eq!(b.sim.agent_as::<FrameSink>(b.host_a).unwrap().frames.len(), 1);
+    assert_eq!(b.sim.agent_as::<FrameSink>(b.host_b).unwrap().frames.len(), 1);
+}
+
+#[test]
+fn echo_request_answered() {
+    let mut ctrl = MockController::default();
+    ctrl.script = vec![(
+        Duration::from_secs(1),
+        OfMessage::EchoRequest(Bytes::from_static(b"hello?")),
+        7,
+    )];
+    let mut b = bench(ctrl);
+    b.sim.run_until(rf_sim::Time::from_secs(2));
+    let ctrl = b.sim.agent_as::<MockController>(b.ctrl).unwrap();
+    assert!(ctrl
+        .received
+        .iter()
+        .any(|(m, xid)| matches!(m, OfMessage::EchoReply(d) if &d[..] == b"hello?") && *xid == 7));
+}
+
+#[test]
+fn barrier_answered_with_same_xid() {
+    let mut ctrl = MockController::default();
+    ctrl.script = vec![(Duration::from_secs(1), OfMessage::BarrierRequest, 0xAB)];
+    let mut b = bench(ctrl);
+    b.sim.run_until(rf_sim::Time::from_secs(2));
+    let ctrl = b.sim.agent_as::<MockController>(b.ctrl).unwrap();
+    assert!(ctrl
+        .received
+        .iter()
+        .any(|(m, xid)| matches!(m, OfMessage::BarrierReply) && *xid == 0xAB));
+}
+
+#[test]
+fn stats_desc_and_table() {
+    let mut ctrl = MockController::default();
+    ctrl.script = vec![
+        (
+            Duration::from_secs(1),
+            OfMessage::StatsRequest {
+                body: StatsBody::DescRequest,
+            },
+            1,
+        ),
+        (
+            Duration::from_secs(1),
+            OfMessage::StatsRequest {
+                body: StatsBody::TableRequest,
+            },
+            2,
+        ),
+    ];
+    let mut b = bench(ctrl);
+    b.sim.run_until(rf_sim::Time::from_secs(2));
+    let ctrl = b.sim.agent_as::<MockController>(b.ctrl).unwrap();
+    let desc = ctrl.received.iter().find_map(|(m, _)| match m {
+        OfMessage::StatsReply {
+            body: StatsBody::DescReply(d),
+        } => Some(d.clone()),
+        _ => None,
+    });
+    assert!(desc.unwrap().sw_desc.contains("rf-switch"));
+    let table = ctrl.received.iter().find_map(|(m, _)| match m {
+        OfMessage::StatsReply {
+            body: StatsBody::TableReply(t),
+        } => Some(t.clone()),
+        _ => None,
+    });
+    assert_eq!(table.unwrap()[0].active_count, 0);
+}
+
+#[test]
+fn hard_timeout_emits_flow_removed() {
+    let mut ctrl = MockController::default();
+    ctrl.script = vec![(
+        Duration::from_secs(1),
+        OfMessage::FlowMod {
+            of_match: OfMatch::any(),
+            cookie: 5,
+            command: FlowModCommand::Add,
+            idle_timeout: 0,
+            hard_timeout: 2,
+            priority: 1,
+            buffer_id: OFP_NO_BUFFER,
+            out_port: OFPP_NONE,
+            flags: rf_openflow::messages::OFPFF_SEND_FLOW_REM,
+            actions: vec![Action::output(2)],
+        },
+        1,
+    )];
+    let mut b = bench(ctrl);
+    b.sim.run_until(rf_sim::Time::from_secs(5));
+    let sw = b.sim.agent_as::<OpenFlowSwitch>(b.sw).unwrap();
+    assert_eq!(sw.flow_count(), 0, "entry must expire");
+    let ctrl = b.sim.agent_as::<MockController>(b.ctrl).unwrap();
+    let removed = ctrl.received.iter().find_map(|(m, _)| match m {
+        OfMessage::FlowRemoved { cookie, reason, .. } => Some((*cookie, *reason)),
+        _ => None,
+    });
+    let (cookie, reason) = removed.expect("FLOW_REMOVED must be sent");
+    assert_eq!(cookie, 5);
+    assert_eq!(reason, rf_openflow::FlowRemovedReason::HardTimeout);
+}
+
+#[test]
+fn switch_reconnects_after_controller_restart() {
+    // Controller that closes the first connection after 1 s.
+    #[derive(Default)]
+    struct FlakyController {
+        conns: Vec<ConnId>,
+        opens: u32,
+    }
+    impl Agent for FlakyController {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.listen(6633);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+            if let Some(&c) = self.conns.first() {
+                ctx.conn_close(c);
+            }
+        }
+        fn on_stream(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, event: StreamEvent) {
+            if let StreamEvent::Opened { .. } = event {
+                self.opens += 1;
+                self.conns.push(conn);
+                ctx.conn_send(conn, OfMessage::Hello.encode(1));
+                if self.opens == 1 {
+                    ctx.schedule(Duration::from_secs(1), 0);
+                }
+            }
+        }
+    }
+    let mut sim = Sim::new(SimConfig::default());
+    let ctrl = sim.add_agent("flaky", Box::new(FlakyController::default()));
+    let sw = sim.add_agent(
+        "sw",
+        Box::new(OpenFlowSwitch::new(SwitchConfig::new(1, 1, ctrl))),
+    );
+    let host = sim.add_agent("h", Box::new(FrameSink::default()));
+    sim.add_link((sw, 1), (host, 1), LinkProfile::default());
+    sim.run_until(rf_sim::Time::from_secs(5));
+    assert_eq!(
+        sim.agent_as::<FlakyController>(ctrl).unwrap().opens,
+        2,
+        "switch must redial after disconnect"
+    );
+    assert!(sim.agent_as::<OpenFlowSwitch>(sw).unwrap().is_connected());
+}
+
+#[test]
+fn port_admin_down_drops_traffic_and_reports_status() {
+    let mut b = bench(MockController::default());
+    b.sim.run_until(rf_sim::Time::from_secs(1));
+    b.sim
+        .agent_as_mut::<OpenFlowSwitch>(b.sw)
+        .unwrap()
+        .set_port_admin(1, true);
+    b.sim.agent_as_mut::<FrameSink>(b.host_a).unwrap().tx =
+        Some((1, udp_frame(Ipv4Addr::new(10, 0, 0, 5)), Duration::from_millis(100)));
+    b.sim.run_until(rf_sim::Time::from_secs(3));
+    let ctrl = b.sim.agent_as::<MockController>(b.ctrl).unwrap();
+    // No PACKET_IN (port is down) but a PORT_STATUS modify.
+    assert!(!ctrl
+        .received
+        .iter()
+        .any(|(m, _)| matches!(m, OfMessage::PacketIn { .. })));
+    assert!(ctrl.received.iter().any(|(m, _)| matches!(
+        m,
+        OfMessage::PortStatus { desc, .. } if !desc.is_link_up()
+    )));
+}

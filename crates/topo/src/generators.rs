@@ -1,0 +1,212 @@
+//! Deterministic topology generators.
+//!
+//! Fig. 3 of the paper sweeps **ring topologies with different numbers
+//! of switches**; the ablations additionally use lines, stars, grids,
+//! full meshes and two random-graph families. Random generators take an
+//! explicit RNG so experiments stay reproducible.
+
+use crate::graph::Topology;
+use rand::Rng;
+
+/// Ring of `n ≥ 3` nodes (the Fig. 3 workload).
+pub fn ring(n: usize) -> Topology {
+    assert!(n >= 3, "a ring needs at least 3 nodes, got {n}");
+    let mut t = Topology::new();
+    for i in 0..n {
+        let theta = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+        t.add_node(format!("s{i}"), (theta.cos(), theta.sin()));
+    }
+    for i in 0..n {
+        t.add_edge(i, (i + 1) % n);
+    }
+    t
+}
+
+/// Path graph of `n ≥ 2` nodes.
+pub fn line(n: usize) -> Topology {
+    assert!(n >= 2, "a line needs at least 2 nodes, got {n}");
+    let mut t = Topology::new();
+    for i in 0..n {
+        t.add_node(format!("s{i}"), (i as f64, 0.0));
+    }
+    for i in 0..n - 1 {
+        t.add_edge(i, i + 1);
+    }
+    t
+}
+
+/// Star: node 0 is the hub, nodes `1..n` are leaves.
+pub fn star(n: usize) -> Topology {
+    assert!(n >= 2, "a star needs at least 2 nodes, got {n}");
+    let mut t = Topology::new();
+    t.add_node("hub", (0.0, 0.0));
+    for i in 1..n {
+        let theta = 2.0 * std::f64::consts::PI * i as f64 / (n - 1) as f64;
+        t.add_node(format!("s{i}"), (theta.cos(), theta.sin()));
+        t.add_edge(0, i);
+    }
+    t
+}
+
+/// `w × h` grid with 4-neighbour connectivity.
+pub fn grid(w: usize, h: usize) -> Topology {
+    assert!(w >= 1 && h >= 1, "grid dimensions must be positive");
+    let mut t = Topology::new();
+    for y in 0..h {
+        for x in 0..w {
+            t.add_node(format!("s{x}_{y}"), (x as f64, y as f64));
+        }
+    }
+    let id = |x: usize, y: usize| y * w + x;
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                t.add_edge(id(x, y), id(x + 1, y));
+            }
+            if y + 1 < h {
+                t.add_edge(id(x, y), id(x, y + 1));
+            }
+        }
+    }
+    t
+}
+
+/// Complete graph on `n` nodes.
+pub fn full_mesh(n: usize) -> Topology {
+    assert!(n >= 2);
+    let mut t = Topology::new();
+    for i in 0..n {
+        let theta = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+        t.add_node(format!("s{i}"), (theta.cos(), theta.sin()));
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            t.add_edge(i, j);
+        }
+    }
+    t
+}
+
+/// Erdős–Rényi G(n, p), re-sampled until connected (up to 1000 tries).
+pub fn erdos_renyi<R: Rng>(n: usize, p: f64, rng: &mut R) -> Topology {
+    assert!(n >= 2);
+    assert!((0.0..=1.0).contains(&p));
+    for _ in 0..1000 {
+        let mut t = Topology::new();
+        for i in 0..n {
+            t.add_node(format!("s{i}"), (rng.gen::<f64>(), rng.gen::<f64>()));
+        }
+        for i in 0..n {
+            for j in i + 1..n {
+                if rng.gen_bool(p) {
+                    t.add_edge(i, j);
+                }
+            }
+        }
+        if t.is_connected() {
+            return t;
+        }
+    }
+    panic!("erdos_renyi({n}, {p}): could not draw a connected graph in 1000 tries");
+}
+
+/// Waxman random graph on the unit square: edge probability
+/// `alpha * exp(-d / (beta * L))` with `L = sqrt(2)`. Re-sampled until
+/// connected.
+pub fn waxman<R: Rng>(n: usize, alpha: f64, beta: f64, rng: &mut R) -> Topology {
+    assert!(n >= 2);
+    let l = std::f64::consts::SQRT_2;
+    for _ in 0..1000 {
+        let mut t = Topology::new();
+        for i in 0..n {
+            t.add_node(format!("s{i}"), (rng.gen::<f64>(), rng.gen::<f64>()));
+        }
+        for i in 0..n {
+            for j in i + 1..n {
+                let d = t.euclidean(i, j);
+                if rng.gen_bool((alpha * (-d / (beta * l)).exp()).clamp(0.0, 1.0)) {
+                    t.add_edge(i, j);
+                }
+            }
+        }
+        if t.is_connected() {
+            return t;
+        }
+    }
+    panic!("waxman({n}): could not draw a connected graph in 1000 tries");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ring_structure() {
+        for n in [3, 4, 8, 28] {
+            let t = ring(n);
+            assert_eq!(t.node_count(), n);
+            assert_eq!(t.edge_count(), n);
+            assert!(t.is_connected());
+            for i in 0..n {
+                assert_eq!(t.degree(i), 2, "ring node degree");
+            }
+            assert_eq!(t.diameter(), Some(n / 2));
+        }
+    }
+
+    #[test]
+    fn line_structure() {
+        let t = line(5);
+        assert_eq!(t.edge_count(), 4);
+        assert_eq!(t.degree(0), 1);
+        assert_eq!(t.degree(2), 2);
+        assert_eq!(t.diameter(), Some(4));
+    }
+
+    #[test]
+    fn star_structure() {
+        let t = star(9);
+        assert_eq!(t.edge_count(), 8);
+        assert_eq!(t.degree(0), 8);
+        assert_eq!(t.diameter(), Some(2));
+    }
+
+    #[test]
+    fn grid_structure() {
+        let t = grid(4, 3);
+        assert_eq!(t.node_count(), 12);
+        assert_eq!(t.edge_count(), 4 * 2 + 3 * 3); // 17: horizontal 3*3, vertical 4*2
+        assert!(t.is_connected());
+        assert_eq!(t.diameter(), Some(3 + 2));
+    }
+
+    #[test]
+    fn full_mesh_structure() {
+        let t = full_mesh(6);
+        assert_eq!(t.edge_count(), 15);
+        assert_eq!(t.diameter(), Some(1));
+    }
+
+    #[test]
+    fn erdos_renyi_connected_and_deterministic() {
+        let a = erdos_renyi(20, 0.25, &mut StdRng::seed_from_u64(1));
+        let b = erdos_renyi(20, 0.25, &mut StdRng::seed_from_u64(1));
+        assert!(a.is_connected());
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+
+    #[test]
+    fn waxman_connected() {
+        let t = waxman(20, 0.9, 0.4, &mut StdRng::seed_from_u64(2));
+        assert!(t.is_connected());
+        assert!(t.edge_count() >= 19);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn ring_too_small_panics() {
+        ring(2);
+    }
+}

@@ -1,0 +1,287 @@
+//! Undirected graph with named, positioned nodes.
+
+use std::collections::VecDeque;
+
+/// Index of a node within a [`Topology`].
+pub type NodeId = usize;
+
+/// A node: a future OpenFlow switch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeInfo {
+    /// Human-readable name (city name for pan-EU, `"s<i>"` otherwise).
+    pub name: String,
+    /// Layout position (longitude/latitude for pan-EU, abstract
+    /// coordinates for generated graphs). Used by the GUI and for
+    /// distance-derived latencies.
+    pub pos: (f64, f64),
+}
+
+/// An undirected edge between two nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Edge {
+    pub a: NodeId,
+    pub b: NodeId,
+}
+
+impl Edge {
+    pub fn new(a: NodeId, b: NodeId) -> Edge {
+        Edge { a, b }
+    }
+
+    /// The endpoint that is not `n` (panics if `n` is not an endpoint).
+    pub fn other(&self, n: NodeId) -> NodeId {
+        if n == self.a {
+            self.b
+        } else if n == self.b {
+            self.a
+        } else {
+            panic!("node {n} not on edge {self:?}")
+        }
+    }
+}
+
+/// An undirected network topology.
+#[derive(Clone, Debug, Default)]
+pub struct Topology {
+    nodes: Vec<NodeInfo>,
+    edges: Vec<Edge>,
+}
+
+impl Topology {
+    pub fn new() -> Topology {
+        Topology::default()
+    }
+
+    pub fn add_node(&mut self, name: impl Into<String>, pos: (f64, f64)) -> NodeId {
+        self.nodes.push(NodeInfo {
+            name: name.into(),
+            pos,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Add an undirected edge. Self-loops are rejected; parallel edges
+    /// are allowed by the type but rejected here because OpenFlow port
+    /// mapping in the experiments assumes simple graphs.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) {
+        assert!(a != b, "self-loop at node {a}");
+        assert!(a < self.nodes.len() && b < self.nodes.len(), "edge endpoint out of range");
+        assert!(
+            !self.has_edge(a, b),
+            "duplicate edge {a}-{b} (simple graphs only)"
+        );
+        self.edges.push(Edge::new(a, b));
+    }
+
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.edges
+            .iter()
+            .any(|e| (e.a == a && e.b == b) || (e.a == b && e.b == a))
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn node(&self, id: NodeId) -> &NodeInfo {
+        &self.nodes[id]
+    }
+
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &NodeInfo)> {
+        self.nodes.iter().enumerate()
+    }
+
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Neighbours of `n` in insertion order.
+    pub fn neighbors(&self, n: NodeId) -> Vec<NodeId> {
+        self.edges
+            .iter()
+            .filter_map(|e| {
+                if e.a == n {
+                    Some(e.b)
+                } else if e.b == n {
+                    Some(e.a)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.neighbors(n).len()
+    }
+
+    /// Euclidean distance between two node positions (degrees → km is
+    /// the caller's concern; pan-EU uses [`Topology::geo_distance_km`]).
+    pub fn euclidean(&self, a: NodeId, b: NodeId) -> f64 {
+        let (ax, ay) = self.nodes[a].pos;
+        let (bx, by) = self.nodes[b].pos;
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+
+    /// Great-circle distance in km when positions are (lon, lat) in
+    /// degrees (haversine, Earth radius 6371 km).
+    pub fn geo_distance_km(&self, a: NodeId, b: NodeId) -> f64 {
+        let (lon1, lat1) = self.nodes[a].pos;
+        let (lon2, lat2) = self.nodes[b].pos;
+        let (la1, la2) = (lat1.to_radians(), lat2.to_radians());
+        let dlat = (lat2 - lat1).to_radians();
+        let dlon = (lon2 - lon1).to_radians();
+        let h = (dlat / 2.0).sin().powi(2) + la1.cos() * la2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * 6371.0 * h.sqrt().asin()
+    }
+
+    /// Hop distances from `src` to every node (`usize::MAX` if
+    /// unreachable).
+    pub fn bfs_distances(&self, src: NodeId) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.nodes.len()];
+        dist[src] = 0;
+        let mut q = VecDeque::from([src]);
+        while let Some(u) = q.pop_front() {
+            for v in self.neighbors(u) {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// True when every node can reach every other.
+    pub fn is_connected(&self) -> bool {
+        if self.nodes.is_empty() {
+            return true;
+        }
+        self.bfs_distances(0).iter().all(|&d| d != usize::MAX)
+    }
+
+    /// Longest shortest path in hops (`None` for disconnected graphs).
+    pub fn diameter(&self) -> Option<usize> {
+        let mut best = 0;
+        for n in 0..self.nodes.len() {
+            let d = self.bfs_distances(n);
+            let m = *d.iter().max()?;
+            if m == usize::MAX {
+                return None;
+            }
+            best = best.max(m);
+        }
+        Some(best)
+    }
+
+    /// Pair of nodes realizing the diameter (useful for placing the
+    /// demo's video server and remote client as far apart as possible).
+    pub fn farthest_pair(&self) -> Option<(NodeId, NodeId)> {
+        let mut best = (0usize, (0, 0));
+        for n in 0..self.nodes.len() {
+            let d = self.bfs_distances(n);
+            for (m, &dm) in d.iter().enumerate() {
+                if dm != usize::MAX && dm > best.0 {
+                    best = (dm, (n, m));
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            None
+        } else {
+            Some(best.1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Topology {
+        let mut t = Topology::new();
+        let a = t.add_node("a", (0.0, 0.0));
+        let b = t.add_node("b", (1.0, 0.0));
+        let c = t.add_node("c", (0.0, 1.0));
+        t.add_edge(a, b);
+        t.add_edge(b, c);
+        t.add_edge(c, a);
+        t
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let t = triangle();
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.edge_count(), 3);
+        assert_eq!(t.degree(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", (0.0, 0.0));
+        t.add_edge(a, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn rejects_parallel_edge() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", (0.0, 0.0));
+        let b = t.add_node("b", (0.0, 0.0));
+        t.add_edge(a, b);
+        t.add_edge(b, a);
+    }
+
+    #[test]
+    fn bfs_distances_line() {
+        let mut t = Topology::new();
+        for i in 0..4 {
+            t.add_node(format!("n{i}"), (i as f64, 0.0));
+        }
+        t.add_edge(0, 1);
+        t.add_edge(1, 2);
+        t.add_edge(2, 3);
+        assert_eq!(t.bfs_distances(0), vec![0, 1, 2, 3]);
+        assert_eq!(t.diameter(), Some(3));
+        let (a, b) = t.farthest_pair().unwrap();
+        assert_eq!(t.bfs_distances(a)[b], 3);
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        let mut t = triangle();
+        assert!(t.is_connected());
+        t.add_node("island", (9.0, 9.0));
+        assert!(!t.is_connected());
+        assert_eq!(t.diameter(), None);
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let e = Edge::new(3, 7);
+        assert_eq!(e.other(3), 7);
+        assert_eq!(e.other(7), 3);
+    }
+
+    #[test]
+    fn geo_distance_plausible() {
+        let mut t = Topology::new();
+        // London and Paris: ~343 km apart.
+        let lon = t.add_node("London", (-0.13, 51.51));
+        let par = t.add_node("Paris", (2.35, 48.86));
+        let d = t.geo_distance_km(lon, par);
+        assert!((300.0..400.0).contains(&d), "got {d} km");
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        assert!(Topology::new().is_connected());
+    }
+}

@@ -1,0 +1,258 @@
+//! The RouteFlow client/server protocol (RFClient ↔ RFServer).
+//!
+//! Length-prefixed binary frames on a reliable stream, hand-rolled like
+//! every other codec in the repo.
+//!
+//! ```text
+//! +--------+--------+----------+
+//! | length | tag    | body ... |
+//! | u32    | u8     |          |
+//! +--------+--------+----------+
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rf_wire::Ipv4Cidr;
+use std::net::Ipv4Addr;
+
+/// Service the RF-controller listens on for VM (RFClient) connections.
+pub const RF_SERVICE: u16 = 7892;
+
+/// Protocol messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RfMessage {
+    /// VM → server: the VM finished booting and identifies itself.
+    Booted { dpid: u64 },
+    /// Server → VM: the current configuration files. The VM diffs and
+    /// applies (this is "the RPC server writes routing configuration
+    /// files" from the paper — delivered over the RFServer channel).
+    WriteConfigs {
+        zebra: String,
+        ospf: String,
+        bgp: String,
+    },
+    /// VM → server: a route entered the FIB.
+    RouteAdd {
+        prefix: Ipv4Cidr,
+        /// `None` for connected routes.
+        next_hop: Option<Ipv4Addr>,
+        out_iface: u16,
+        metric: u32,
+    },
+    /// VM → server: a prefix left the FIB.
+    RouteDel { prefix: Ipv4Cidr },
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(data: &mut &[u8]) -> Option<String> {
+    if data.remaining() < 4 {
+        return None;
+    }
+    let len = data.get_u32() as usize;
+    if data.remaining() < len {
+        return None;
+    }
+    let s = String::from_utf8(data[..len].to_vec()).ok()?;
+    data.advance(len);
+    Some(s)
+}
+
+impl RfMessage {
+    pub fn encode(&self) -> Bytes {
+        let mut body = BytesMut::new();
+        let tag: u8 = match self {
+            RfMessage::Booted { dpid } => {
+                body.put_u64(*dpid);
+                1
+            }
+            RfMessage::WriteConfigs { zebra, ospf, bgp } => {
+                put_string(&mut body, zebra);
+                put_string(&mut body, ospf);
+                put_string(&mut body, bgp);
+                2
+            }
+            RfMessage::RouteAdd {
+                prefix,
+                next_hop,
+                out_iface,
+                metric,
+            } => {
+                body.put_slice(&prefix.addr.octets());
+                body.put_u8(prefix.prefix_len);
+                body.put_u32(next_hop.map(u32::from).unwrap_or(0));
+                body.put_u16(*out_iface);
+                body.put_u32(*metric);
+                3
+            }
+            RfMessage::RouteDel { prefix } => {
+                body.put_slice(&prefix.addr.octets());
+                body.put_u8(prefix.prefix_len);
+                4
+            }
+        };
+        let mut out = BytesMut::with_capacity(5 + body.len());
+        out.put_u32(1 + body.len() as u32);
+        out.put_u8(tag);
+        out.put_slice(&body);
+        out.freeze()
+    }
+
+    pub fn decode(mut data: &[u8]) -> Option<RfMessage> {
+        if data.remaining() < 1 {
+            return None;
+        }
+        let tag = data.get_u8();
+        match tag {
+            1 => {
+                if data.remaining() < 8 {
+                    return None;
+                }
+                Some(RfMessage::Booted {
+                    dpid: data.get_u64(),
+                })
+            }
+            2 => {
+                let zebra = get_string(&mut data)?;
+                let ospf = get_string(&mut data)?;
+                let bgp = get_string(&mut data)?;
+                Some(RfMessage::WriteConfigs { zebra, ospf, bgp })
+            }
+            3 => {
+                if data.remaining() < 15 {
+                    return None;
+                }
+                let mut o = [0u8; 4];
+                data.copy_to_slice(&mut o);
+                let prefix_len = data.get_u8();
+                if prefix_len > 32 {
+                    return None;
+                }
+                let nh = data.get_u32();
+                let out_iface = data.get_u16();
+                let metric = data.get_u32();
+                Some(RfMessage::RouteAdd {
+                    prefix: Ipv4Cidr::new(Ipv4Addr::from(o), prefix_len),
+                    next_hop: if nh == 0 {
+                        None
+                    } else {
+                        Some(Ipv4Addr::from(nh))
+                    },
+                    out_iface,
+                    metric,
+                })
+            }
+            4 => {
+                if data.remaining() < 5 {
+                    return None;
+                }
+                let mut o = [0u8; 4];
+                data.copy_to_slice(&mut o);
+                let prefix_len = data.get_u8();
+                if prefix_len > 32 {
+                    return None;
+                }
+                Some(RfMessage::RouteDel {
+                    prefix: Ipv4Cidr::new(Ipv4Addr::from(o), prefix_len),
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Stream reassembler for RF frames.
+#[derive(Default)]
+pub struct RfFrameReader {
+    buf: BytesMut,
+}
+
+impl RfFrameReader {
+    pub fn new() -> RfFrameReader {
+        RfFrameReader::default()
+    }
+
+    pub fn push(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    pub fn next(&mut self) -> Option<RfMessage> {
+        if self.buf.len() < 4 {
+            return None;
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if self.buf.len() < 4 + len {
+            return None;
+        }
+        let frame = self.buf.split_to(4 + len);
+        RfMessage::decode(&frame[4..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<RfMessage> {
+        vec![
+            RfMessage::Booted { dpid: 0x1C },
+            RfMessage::WriteConfigs {
+                zebra: "hostname vm-1c\n".into(),
+                ospf: "router ospf\n".into(),
+                bgp: "router bgp 64512\n".into(),
+            },
+            RfMessage::RouteAdd {
+                prefix: "172.31.0.4/30".parse().unwrap(),
+                next_hop: Some("172.31.0.2".parse().unwrap()),
+                out_iface: 1,
+                metric: 20,
+            },
+            RfMessage::RouteAdd {
+                prefix: "172.31.0.0/30".parse().unwrap(),
+                next_hop: None,
+                out_iface: 2,
+                metric: 0,
+            },
+            RfMessage::RouteDel {
+                prefix: "172.31.0.4/30".parse().unwrap(),
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all() {
+        for m in samples() {
+            let enc = m.encode();
+            assert_eq!(RfMessage::decode(&enc[4..]), Some(m));
+        }
+    }
+
+    #[test]
+    fn reader_reassembles_fragments() {
+        let mut stream = Vec::new();
+        for m in samples() {
+            stream.extend_from_slice(&m.encode());
+        }
+        let mut r = RfFrameReader::new();
+        let mut out = Vec::new();
+        for chunk in stream.chunks(7) {
+            r.push(chunk);
+            while let Some(m) = r.next() {
+                out.push(m);
+            }
+        }
+        assert_eq!(out, samples());
+    }
+
+    #[test]
+    fn bad_prefix_len_rejected() {
+        let m = RfMessage::RouteDel {
+            prefix: "10.0.0.0/8".parse().unwrap(),
+        };
+        let mut enc = m.encode().to_vec();
+        enc[9] = 60; // prefix_len byte
+        assert_eq!(RfMessage::decode(&enc[4..]), None);
+    }
+}

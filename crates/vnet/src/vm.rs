@@ -1,0 +1,301 @@
+//! The VM agent: a simulated container running zebra + ospfd.
+
+use crate::rfproto::{RfFrameReader, RfMessage, RF_SERVICE};
+use bytes::Bytes;
+use rf_routed::config::{OspfConfig, ZebraConfig};
+use rf_routed::ospf::daemon::{OspfDaemon, OspfEvent};
+use rf_routed::ospf::ALL_SPF_ROUTERS;
+use rf_routed::rib::{Rib, RibChange, Route, RouteProto};
+use rf_sim::{Agent, AgentId, ConnId, ConnProfile, Ctx, StreamEvent, Time};
+use rf_wire::{EtherType, EthernetFrame, IpProtocol, Ipv4Cidr, Ipv4Packet, MacAddr, ArpPacket, ArpOp};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+const T_BOOT: u64 = 1;
+const T_OSPF: u64 = 2;
+
+/// MAC address for the AllSPFRouters IPv4 multicast group.
+const OSPF_MCAST_MAC: MacAddr = MacAddr([0x01, 0x00, 0x5E, 0x00, 0x00, 0x05]);
+
+/// One virtual machine of the virtual environment.
+pub struct VmAgent {
+    dpid: u64,
+    rf_server: AgentId,
+    boot_delay: Duration,
+    conn: Option<ConnId>,
+    reader: RfFrameReader,
+    booted: bool,
+    /// Configured interfaces: iface index → address.
+    ifaces: BTreeMap<u16, Ipv4Cidr>,
+    ospf: Option<OspfDaemon>,
+    rib: Rib,
+    ospf_deadline: Option<Time>,
+    /// Diagnostics: routes pushed to the RF-controller.
+    pub routes_announced: u64,
+    pub routes_withdrawn: u64,
+}
+
+/// Placeholder handle kept for API stability (configuration flows over
+/// the RFClient channel; direct handles are not needed).
+pub struct VmConfigHandle;
+
+impl VmAgent {
+    pub fn new(dpid: u64, rf_server: AgentId, boot_delay: Duration) -> VmAgent {
+        VmAgent {
+            dpid,
+            rf_server,
+            boot_delay,
+            conn: None,
+            reader: RfFrameReader::new(),
+            booted: false,
+            ifaces: BTreeMap::new(),
+            ospf: None,
+            rib: Rib::new(),
+            ospf_deadline: None,
+            routes_announced: 0,
+            routes_withdrawn: 0,
+        }
+    }
+
+    pub fn dpid(&self) -> u64 {
+        self.dpid
+    }
+
+    /// Number of FIB entries (test accessor).
+    pub fn fib_len(&self) -> usize {
+        self.rib.fib_len()
+    }
+
+    /// OSPF neighbor view (test accessor).
+    pub fn ospf_neighbors(&self) -> Vec<(u16, u32, rf_routed::ospf::NeighborState)> {
+        self.ospf.as_ref().map(|d| d.neighbors()).unwrap_or_default()
+    }
+
+    fn send_rf(&mut self, ctx: &mut Ctx<'_>, msg: RfMessage) {
+        if let Some(conn) = self.conn {
+            ctx.conn_send(conn, msg.encode());
+        }
+    }
+
+    fn push_rib_changes(&mut self, ctx: &mut Ctx<'_>, changes: Vec<RibChange>) {
+        for ch in changes {
+            match ch {
+                RibChange::Installed(r) => {
+                    self.routes_announced += 1;
+                    self.send_rf(
+                        ctx,
+                        RfMessage::RouteAdd {
+                            prefix: r.prefix,
+                            next_hop: r.next_hop,
+                            out_iface: r.out_iface,
+                            metric: r.metric,
+                        },
+                    );
+                }
+                RibChange::Withdrawn(prefix) => {
+                    self.routes_withdrawn += 1;
+                    self.send_rf(ctx, RfMessage::RouteDel { prefix });
+                }
+            }
+        }
+    }
+
+    fn process_ospf_events(&mut self, ctx: &mut Ctx<'_>, events: Vec<OspfEvent>) {
+        for ev in events {
+            match ev {
+                OspfEvent::Transmit { iface, dst, packet } => {
+                    let Some(addr) = self.ifaces.get(&iface).copied() else {
+                        continue;
+                    };
+                    let mut ip = Ipv4Packet::new(addr.addr, dst, IpProtocol::OSPF, packet);
+                    ip.ttl = 1;
+                    let frame = EthernetFrame::new(
+                        OSPF_MCAST_MAC,
+                        MacAddr::from_dpid_port(self.dpid, iface),
+                        EtherType::IPV4,
+                        ip.emit(),
+                    );
+                    ctx.send_frame(u32::from(iface), frame.emit());
+                }
+                OspfEvent::RoutesChanged(routes) => {
+                    let changes = self.rib.replace_protocol(RouteProto::Ospf, &routes);
+                    self.push_rib_changes(ctx, changes);
+                }
+            }
+        }
+        self.reschedule_ospf(ctx);
+    }
+
+    fn reschedule_ospf(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(d) = &self.ospf else { return };
+        let Some(at) = d.poll_at() else { return };
+        let need = match self.ospf_deadline {
+            Some(cur) => at < cur || cur <= ctx.now(),
+            None => true,
+        };
+        if need {
+            self.ospf_deadline = Some(at);
+            ctx.schedule_at(at, T_OSPF);
+        }
+    }
+
+    fn apply_configs(&mut self, ctx: &mut Ctx<'_>, zebra: &str, ospf_text: &str) {
+        let Ok(zcfg) = ZebraConfig::parse(zebra) else {
+            ctx.trace("vm.bad_config", "unparseable zebra.conf");
+            return;
+        };
+        let Ok(ocfg) = OspfConfig::parse(ospf_text) else {
+            ctx.trace("vm.bad_config", "unparseable ospfd.conf");
+            return;
+        };
+        // Desired interface set from zebra.conf ("ethN" → N).
+        let mut desired: BTreeMap<u16, Ipv4Cidr> = BTreeMap::new();
+        for (name, addr) in &zcfg.interfaces {
+            if let Some(idx) = name.strip_prefix("eth").and_then(|s| s.parse::<u16>().ok()) {
+                desired.insert(idx, *addr);
+            }
+        }
+        let now = ctx.now();
+        // Boot the OSPF daemon on first configuration.
+        if self.ospf.is_none() {
+            let ifaces: Vec<(u16, Ipv4Cidr)> = desired.iter().map(|(i, a)| (*i, *a)).collect();
+            let mut d = OspfDaemon::from_config(&ocfg, &ifaces);
+            let ev = d.start(now);
+            self.ospf = Some(d);
+            self.ifaces = desired.clone();
+            let changes: Vec<RibChange> = desired
+                .iter()
+                .flat_map(|(i, a)| {
+                    self.rib
+                        .add(Route::connected(Ipv4Cidr::new(a.network(), a.prefix_len), *i))
+                })
+                .collect();
+            self.push_rib_changes(ctx, changes);
+            self.process_ospf_events(ctx, ev);
+            ctx.trace("vm.configured", format!("dpid {:#x}: {} interfaces", self.dpid, self.ifaces.len()));
+            return;
+        }
+        // Incremental reconfiguration: diff interfaces.
+        let added: Vec<(u16, Ipv4Cidr)> = desired
+            .iter()
+            .filter(|(i, a)| self.ifaces.get(i) != Some(a))
+            .map(|(i, a)| (*i, *a))
+            .collect();
+        let removed: Vec<u16> = self
+            .ifaces
+            .keys()
+            .filter(|i| !desired.contains_key(i))
+            .copied()
+            .collect();
+        for (idx, addr) in added {
+            self.ifaces.insert(idx, addr);
+            let ch = self
+                .rib
+                .add(Route::connected(Ipv4Cidr::new(addr.network(), addr.prefix_len), idx));
+            self.push_rib_changes(ctx, ch);
+            let ev = self.ospf.as_mut().unwrap().add_interface(idx, addr, now);
+            self.process_ospf_events(ctx, ev);
+        }
+        for idx in removed {
+            if let Some(addr) = self.ifaces.remove(&idx) {
+                let ch = self
+                    .rib
+                    .remove(Ipv4Cidr::new(addr.network(), addr.prefix_len), RouteProto::Connected);
+                self.push_rib_changes(ctx, ch);
+                let ev = self.ospf.as_mut().unwrap().remove_interface(idx, now);
+                self.process_ospf_events(ctx, ev);
+            }
+        }
+        self.reschedule_ospf(ctx);
+    }
+}
+
+impl Agent for VmAgent {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // "Creating a VM" takes time — the boot delay models LXC
+        // provisioning (the paper's manual equivalent is 5 minutes).
+        ctx.schedule(self.boot_delay, T_BOOT);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            T_BOOT => {
+                self.booted = true;
+                self.conn = Some(ctx.connect(self.rf_server, RF_SERVICE, ConnProfile::default()));
+            }
+            T_OSPF => {
+                self.ospf_deadline = None;
+                if let Some(mut d) = self.ospf.take() {
+                    let ev = d.tick(ctx.now());
+                    self.ospf = Some(d);
+                    self.process_ospf_events(ctx, ev);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: u32, frame: Bytes) {
+        let iface = port as u16;
+        let Ok(eth) = EthernetFrame::parse(&frame) else {
+            return;
+        };
+        match eth.ethertype {
+            EtherType::ARP => {
+                let Ok(arp) = ArpPacket::parse(&eth.payload) else {
+                    return;
+                };
+                let Some(addr) = self.ifaces.get(&iface) else {
+                    return;
+                };
+                if arp.op == ArpOp::Request && arp.target_ip == addr.addr {
+                    let my_mac = MacAddr::from_dpid_port(self.dpid, iface);
+                    let reply = ArpPacket::reply_to(&arp, my_mac);
+                    let out =
+                        EthernetFrame::new(arp.sender_mac, my_mac, EtherType::ARP, reply.emit());
+                    ctx.send_frame(port, out.emit());
+                }
+            }
+            EtherType::IPV4 => {
+                let Ok(ip) = Ipv4Packet::parse(&eth.payload) else {
+                    return;
+                };
+                if ip.protocol == IpProtocol::OSPF
+                    && (ip.dst == ALL_SPF_ROUTERS
+                        || self.ifaces.get(&iface).is_some_and(|a| a.addr == ip.dst))
+                {
+                    if let Some(mut d) = self.ospf.take() {
+                        let ev = d.handle_packet(iface, ip.src, &ip.payload, ctx.now());
+                        self.ospf = Some(d);
+                        self.process_ospf_events(ctx, ev);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_stream(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, event: StreamEvent) {
+        if Some(conn) != self.conn {
+            return;
+        }
+        match event {
+            StreamEvent::Opened { .. } => {
+                let dpid = self.dpid;
+                self.send_rf(ctx, RfMessage::Booted { dpid });
+                ctx.trace("vm.booted", format!("dpid {dpid:#x}"));
+            }
+            StreamEvent::Data(data) => {
+                self.reader.push(&data);
+                while let Some(msg) = self.reader.next() {
+                    if let RfMessage::WriteConfigs { zebra, ospf, .. } = msg {
+                        self.apply_configs(ctx, &zebra, &ospf);
+                    }
+                }
+            }
+            StreamEvent::Closed => {
+                self.conn = None;
+            }
+        }
+    }
+}

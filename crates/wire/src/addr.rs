@@ -1,0 +1,237 @@
+//! Link-layer and network-layer addresses.
+//!
+//! IPv4 addresses reuse [`std::net::Ipv4Addr`]; this module adds the
+//! 48-bit [`MacAddr`] and [`Ipv4Cidr`] (address + prefix length), which
+//! the topology controller uses to carve per-link /30 subnets out of
+//! the administrator-provided virtual-environment range.
+
+use crate::WireError;
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// Implement `Debug` by forwarding to `Display` (addresses read better
+/// without struct noise in trace output).
+macro_rules! fmt_debug_via_display {
+    () => {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            fmt::Display::fmt(self, f)
+        }
+    };
+}
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xFF; 6]);
+    /// The all-zero address (unset).
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+    /// The LLDP multicast destination `01:80:c2:00:00:0e`.
+    pub const LLDP_MULTICAST: MacAddr = MacAddr([0x01, 0x80, 0xC2, 0x00, 0x00, 0x0E]);
+
+    /// Deterministic locally-administered MAC derived from a datapath id
+    /// and port number; used for switch and VM interfaces.
+    pub fn from_dpid_port(dpid: u64, port: u16) -> MacAddr {
+        let d = dpid.to_be_bytes();
+        // 0x02 = locally administered, unicast.
+        MacAddr([0x02, d[5], d[6], d[7], (port >> 8) as u8, port as u8])
+    }
+
+    /// True for group (multicast/broadcast) addresses.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    pub fn as_bytes(&self) -> &[u8; 6] {
+        &self.0
+    }
+
+    pub fn from_bytes(b: &[u8]) -> Result<MacAddr, WireError> {
+        if b.len() < 6 {
+            return Err(WireError::Truncated);
+        }
+        let mut m = [0u8; 6];
+        m.copy_from_slice(&b[..6]);
+        Ok(MacAddr(m))
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fmt_debug_via_display!();
+}
+
+impl FromStr for MacAddr {
+    type Err = WireError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split(':').collect();
+        if parts.len() != 6 {
+            return Err(WireError::Malformed);
+        }
+        let mut m = [0u8; 6];
+        for (i, p) in parts.iter().enumerate() {
+            m[i] = u8::from_str_radix(p, 16).map_err(|_| WireError::Malformed)?;
+        }
+        Ok(MacAddr(m))
+    }
+}
+
+/// An IPv4 address with a prefix length, e.g. `10.0.0.0/30`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ipv4Cidr {
+    pub addr: Ipv4Addr,
+    pub prefix_len: u8,
+}
+
+impl Ipv4Cidr {
+    pub fn new(addr: Ipv4Addr, prefix_len: u8) -> Ipv4Cidr {
+        assert!(prefix_len <= 32, "prefix length {prefix_len} > 32");
+        Ipv4Cidr { addr, prefix_len }
+    }
+
+    /// The netmask as a u32 (e.g. /30 → `0xFFFF_FFFC`).
+    pub fn mask(&self) -> u32 {
+        if self.prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - self.prefix_len)
+        }
+    }
+
+    /// The network address (host bits cleared).
+    pub fn network(&self) -> Ipv4Addr {
+        Ipv4Addr::from(u32::from(self.addr) & self.mask())
+    }
+
+    /// True if `other` falls inside this prefix.
+    pub fn contains(&self, other: Ipv4Addr) -> bool {
+        u32::from(other) & self.mask() == u32::from(self.network())
+    }
+
+    /// Number of addresses covered (including network/broadcast).
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.prefix_len)
+    }
+
+    /// The `i`-th address inside this prefix (0 = network address).
+    pub fn nth(&self, i: u32) -> Option<Ipv4Addr> {
+        if u64::from(i) >= self.size() {
+            return None;
+        }
+        Some(Ipv4Addr::from(u32::from(self.network()) + i))
+    }
+}
+
+impl fmt::Display for Ipv4Cidr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.prefix_len)
+    }
+}
+
+impl fmt::Debug for Ipv4Cidr {
+    fmt_debug_via_display!();
+}
+
+impl FromStr for Ipv4Cidr {
+    type Err = WireError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (a, p) = s.split_once('/').ok_or(WireError::Malformed)?;
+        let addr: Ipv4Addr = a.parse().map_err(|_| WireError::Malformed)?;
+        let prefix_len: u8 = p.parse().map_err(|_| WireError::Malformed)?;
+        if prefix_len > 32 {
+            return Err(WireError::Malformed);
+        }
+        Ok(Ipv4Cidr { addr, prefix_len })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_display_and_parse() {
+        let m: MacAddr = "02:00:00:00:01:0a".parse().unwrap();
+        assert_eq!(m.to_string(), "02:00:00:00:01:0a");
+        assert!("02:00:00".parse::<MacAddr>().is_err());
+        assert!("zz:00:00:00:00:00".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn mac_multicast_detection() {
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(MacAddr::LLDP_MULTICAST.is_multicast());
+        assert!(!MacAddr([0x02, 0, 0, 0, 0, 1]).is_multicast());
+    }
+
+    #[test]
+    fn mac_from_dpid_port_is_unique_and_local() {
+        let a = MacAddr::from_dpid_port(1, 1);
+        let b = MacAddr::from_dpid_port(1, 2);
+        let c = MacAddr::from_dpid_port(2, 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert!(!a.is_multicast());
+        assert_eq!(a.0[0], 0x02);
+    }
+
+    #[test]
+    fn mac_from_bytes_truncated() {
+        assert_eq!(MacAddr::from_bytes(&[1, 2, 3]), Err(WireError::Truncated));
+        assert!(MacAddr::from_bytes(&[1, 2, 3, 4, 5, 6, 7]).is_ok());
+    }
+
+    #[test]
+    fn cidr_mask_and_network() {
+        let c: Ipv4Cidr = "10.1.2.3/24".parse().unwrap();
+        assert_eq!(c.mask(), 0xFFFF_FF00);
+        assert_eq!(c.network(), Ipv4Addr::new(10, 1, 2, 0));
+        assert!(c.contains(Ipv4Addr::new(10, 1, 2, 200)));
+        assert!(!c.contains(Ipv4Addr::new(10, 1, 3, 1)));
+    }
+
+    #[test]
+    fn cidr_slash30_has_four_addrs() {
+        let c: Ipv4Cidr = "10.0.0.4/30".parse().unwrap();
+        assert_eq!(c.size(), 4);
+        assert_eq!(c.nth(1), Some(Ipv4Addr::new(10, 0, 0, 5)));
+        assert_eq!(c.nth(2), Some(Ipv4Addr::new(10, 0, 0, 6)));
+        assert_eq!(c.nth(4), None);
+    }
+
+    #[test]
+    fn cidr_zero_prefix() {
+        let c = Ipv4Cidr::new(Ipv4Addr::new(1, 2, 3, 4), 0);
+        assert_eq!(c.mask(), 0);
+        assert!(c.contains(Ipv4Addr::new(255, 255, 255, 255)));
+    }
+
+    #[test]
+    fn cidr_parse_rejects_garbage() {
+        assert!("10.0.0.0".parse::<Ipv4Cidr>().is_err());
+        assert!("10.0.0.0/33".parse::<Ipv4Cidr>().is_err());
+        assert!("x/8".parse::<Ipv4Cidr>().is_err());
+    }
+
+    #[test]
+    fn cidr_display() {
+        let c = Ipv4Cidr::new(Ipv4Addr::new(192, 168, 0, 1), 16);
+        assert_eq!(c.to_string(), "192.168.0.1/16");
+    }
+}

@@ -1,0 +1,175 @@
+//! ARP (RFC 826) for IPv4 over Ethernet.
+//!
+//! Hosts attached to the OpenFlow network resolve their first-hop
+//! gateway with ARP; in RouteFlow the controller answers these requests
+//! on behalf of the VM that owns the gateway address, so both request
+//! and reply encodings are exercised on the PACKET_IN / PACKET_OUT
+//! path.
+
+use crate::addr::MacAddr;
+use crate::WireError;
+use bytes::{BufMut, Bytes, BytesMut};
+use std::net::Ipv4Addr;
+
+/// ARP operation codes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArpOp {
+    Request,
+    Reply,
+}
+
+impl ArpOp {
+    fn to_u16(self) -> u16 {
+        match self {
+            ArpOp::Request => 1,
+            ArpOp::Reply => 2,
+        }
+    }
+    fn from_u16(v: u16) -> Result<ArpOp, WireError> {
+        match v {
+            1 => Ok(ArpOp::Request),
+            2 => Ok(ArpOp::Reply),
+            _ => Err(WireError::Unsupported),
+        }
+    }
+}
+
+/// An ARP packet for IPv4-over-Ethernet (the only combination we
+/// support; other hardware/protocol types are rejected).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArpPacket {
+    pub op: ArpOp,
+    pub sender_mac: MacAddr,
+    pub sender_ip: Ipv4Addr,
+    pub target_mac: MacAddr,
+    pub target_ip: Ipv4Addr,
+}
+
+pub const ARP_LEN: usize = 28;
+
+impl ArpPacket {
+    /// Build a broadcast who-has request.
+    pub fn request(sender_mac: MacAddr, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> ArpPacket {
+        ArpPacket {
+            op: ArpOp::Request,
+            sender_mac,
+            sender_ip,
+            target_mac: MacAddr::ZERO,
+            target_ip,
+        }
+    }
+
+    /// Build the reply answering `req` with `mac` owning `req.target_ip`.
+    pub fn reply_to(req: &ArpPacket, mac: MacAddr) -> ArpPacket {
+        ArpPacket {
+            op: ArpOp::Reply,
+            sender_mac: mac,
+            sender_ip: req.target_ip,
+            target_mac: req.sender_mac,
+            target_ip: req.sender_ip,
+        }
+    }
+
+    pub fn parse(data: &[u8]) -> Result<ArpPacket, WireError> {
+        if data.len() < ARP_LEN {
+            return Err(WireError::Truncated);
+        }
+        let htype = u16::from_be_bytes([data[0], data[1]]);
+        let ptype = u16::from_be_bytes([data[2], data[3]]);
+        let hlen = data[4];
+        let plen = data[5];
+        if htype != 1 || ptype != 0x0800 || hlen != 6 || plen != 4 {
+            return Err(WireError::Unsupported);
+        }
+        let op = ArpOp::from_u16(u16::from_be_bytes([data[6], data[7]]))?;
+        Ok(ArpPacket {
+            op,
+            sender_mac: MacAddr::from_bytes(&data[8..14])?,
+            sender_ip: Ipv4Addr::new(data[14], data[15], data[16], data[17]),
+            target_mac: MacAddr::from_bytes(&data[18..24])?,
+            target_ip: Ipv4Addr::new(data[24], data[25], data[26], data[27]),
+        })
+    }
+
+    pub fn emit(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(ARP_LEN);
+        buf.put_u16(1); // Ethernet
+        buf.put_u16(0x0800); // IPv4
+        buf.put_u8(6);
+        buf.put_u8(4);
+        buf.put_u16(self.op.to_u16());
+        buf.put_slice(self.sender_mac.as_bytes());
+        buf.put_slice(&self.sender_ip.octets());
+        buf.put_slice(self.target_mac.as_bytes());
+        buf.put_slice(&self.target_ip.octets());
+        buf.freeze()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_request() {
+        let p = ArpPacket::request(
+            MacAddr([2, 0, 0, 0, 0, 1]),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+        );
+        let wire = p.emit();
+        assert_eq!(wire.len(), ARP_LEN);
+        assert_eq!(ArpPacket::parse(&wire).unwrap(), p);
+    }
+
+    #[test]
+    fn roundtrip_reply() {
+        let req = ArpPacket::request(
+            MacAddr([2, 0, 0, 0, 0, 1]),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 254),
+        );
+        let rep = ArpPacket::reply_to(&req, MacAddr([2, 0, 0, 0, 0, 99]));
+        assert_eq!(rep.op, ArpOp::Reply);
+        assert_eq!(rep.sender_ip, Ipv4Addr::new(10, 0, 0, 254));
+        assert_eq!(rep.target_mac, req.sender_mac);
+        assert_eq!(rep.target_ip, req.sender_ip);
+        let parsed = ArpPacket::parse(&rep.emit()).unwrap();
+        assert_eq!(parsed, rep);
+    }
+
+    #[test]
+    fn rejects_non_ipv4_over_ethernet() {
+        let p = ArpPacket::request(MacAddr::ZERO, Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED);
+        let mut wire = p.emit().to_vec();
+        wire[0] = 0;
+        wire[1] = 6; // htype = IEEE 802 something
+        assert_eq!(ArpPacket::parse(&wire), Err(WireError::Unsupported));
+    }
+
+    #[test]
+    fn rejects_unknown_op() {
+        let p = ArpPacket::request(MacAddr::ZERO, Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED);
+        let mut wire = p.emit().to_vec();
+        wire[7] = 9;
+        assert_eq!(ArpPacket::parse(&wire), Err(WireError::Unsupported));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert_eq!(ArpPacket::parse(&[0u8; 27]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn tolerates_ethernet_padding() {
+        // ARP inside a padded 60-byte frame has trailing zeros.
+        let p = ArpPacket::request(
+            MacAddr([2, 0, 0, 0, 0, 1]),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+        );
+        let mut wire = p.emit().to_vec();
+        wire.extend_from_slice(&[0u8; 18]);
+        assert_eq!(ArpPacket::parse(&wire).unwrap(), p);
+    }
+}

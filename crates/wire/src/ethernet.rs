@@ -1,0 +1,138 @@
+//! Ethernet II framing.
+//!
+//! The data plane of the reproduction carries only Ethernet II frames
+//! (no 802.3 LLC, no 802.1Q VLAN tags — matching what the paper's
+//! Open vSwitch setup forwards and what the OF 1.0 match we implement
+//! can classify; see DESIGN.md's omitted-features list).
+
+use crate::addr::MacAddr;
+use crate::WireError;
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Well-known EtherType values used in the reproduction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EtherType(pub u16);
+
+impl EtherType {
+    pub const IPV4: EtherType = EtherType(0x0800);
+    pub const ARP: EtherType = EtherType(0x0806);
+    pub const LLDP: EtherType = EtherType(0x88CC);
+}
+
+/// Minimum payload so the frame reaches the classic 64-byte minimum
+/// (we do not model the 4-byte FCS, so 60 bytes on the wire).
+const MIN_FRAME_NO_FCS: usize = 60;
+/// Ethernet II header: dst(6) + src(6) + ethertype(2).
+pub const ETHERNET_HEADER_LEN: usize = 14;
+
+/// A parsed (owned) Ethernet II frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EthernetFrame {
+    pub dst: MacAddr,
+    pub src: MacAddr,
+    pub ethertype: EtherType,
+    pub payload: Bytes,
+}
+
+impl EthernetFrame {
+    /// Parse a frame from raw bytes. Padding added to reach the minimum
+    /// frame size is *kept* in `payload`; upper layers carry their own
+    /// length fields and must tolerate trailing padding, as on real
+    /// networks.
+    pub fn parse(data: &[u8]) -> Result<EthernetFrame, WireError> {
+        if data.len() < ETHERNET_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        Ok(EthernetFrame {
+            dst: MacAddr::from_bytes(&data[0..6])?,
+            src: MacAddr::from_bytes(&data[6..12])?,
+            ethertype: EtherType(u16::from_be_bytes([data[12], data[13]])),
+            payload: Bytes::copy_from_slice(&data[14..]),
+        })
+    }
+
+    /// Serialize to wire bytes, padding to the 60-byte minimum.
+    pub fn emit(&self) -> Bytes {
+        let len = ETHERNET_HEADER_LEN + self.payload.len();
+        let mut buf = BytesMut::with_capacity(len.max(MIN_FRAME_NO_FCS));
+        buf.put_slice(self.dst.as_bytes());
+        buf.put_slice(self.src.as_bytes());
+        buf.put_u16(self.ethertype.0);
+        buf.put_slice(&self.payload);
+        while buf.len() < MIN_FRAME_NO_FCS {
+            buf.put_u8(0);
+        }
+        buf.freeze()
+    }
+
+    /// Convenience constructor.
+    pub fn new(dst: MacAddr, src: MacAddr, ethertype: EtherType, payload: Bytes) -> Self {
+        EthernetFrame {
+            dst,
+            src,
+            ethertype,
+            payload,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EthernetFrame {
+        EthernetFrame::new(
+            MacAddr([1, 2, 3, 4, 5, 6]),
+            MacAddr([7, 8, 9, 10, 11, 12]),
+            EtherType::IPV4,
+            Bytes::from(vec![0xAB; 100]),
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let f = sample();
+        let wire = f.emit();
+        let parsed = EthernetFrame::parse(&wire).unwrap();
+        assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn short_payload_is_padded_to_minimum() {
+        let f = EthernetFrame::new(
+            MacAddr::BROADCAST,
+            MacAddr::ZERO,
+            EtherType::ARP,
+            Bytes::from_static(b"hi"),
+        );
+        let wire = f.emit();
+        assert_eq!(wire.len(), 60);
+        let parsed = EthernetFrame::parse(&wire).unwrap();
+        // Padding is retained in the payload.
+        assert_eq!(parsed.payload.len(), 60 - ETHERNET_HEADER_LEN);
+        assert_eq!(&parsed.payload[..2], b"hi");
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        assert_eq!(
+            EthernetFrame::parse(&[0u8; 13]),
+            Err(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn ethertype_constants() {
+        assert_eq!(EtherType::IPV4.0, 0x0800);
+        assert_eq!(EtherType::ARP.0, 0x0806);
+        assert_eq!(EtherType::LLDP.0, 0x88CC);
+    }
+
+    #[test]
+    fn header_fields_at_right_offsets() {
+        let wire = sample().emit();
+        assert_eq!(&wire[0..6], &[1, 2, 3, 4, 5, 6]);
+        assert_eq!(&wire[6..12], &[7, 8, 9, 10, 11, 12]);
+        assert_eq!(&wire[12..14], &[0x08, 0x00]);
+    }
+}

@@ -1,0 +1,163 @@
+//! UDP (RFC 768) with the IPv4 pseudo-header checksum.
+//!
+//! Carries the demo's video stream (server → remote client) and RIPv2
+//! in the virtual environment.
+
+use crate::{internet_checksum, IpProtocol, WireError};
+use bytes::{BufMut, Bytes, BytesMut};
+use std::net::Ipv4Addr;
+
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A parsed (owned) UDP datagram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UdpPacket {
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub payload: Bytes,
+}
+
+impl UdpPacket {
+    pub fn new(src_port: u16, dst_port: u16, payload: Bytes) -> Self {
+        UdpPacket {
+            src_port,
+            dst_port,
+            payload,
+        }
+    }
+
+    /// Parse, verifying the checksum against the pseudo-header built
+    /// from `src`/`dst` (pass the enclosing IPv4 addresses). A zero
+    /// checksum means "not computed" and is accepted, per RFC 768.
+    pub fn parse(data: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<UdpPacket, WireError> {
+        if data.len() < UDP_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let length = u16::from_be_bytes([data[4], data[5]]) as usize;
+        if length < UDP_HEADER_LEN || length > data.len() {
+            return Err(WireError::BadLength);
+        }
+        let wire_ck = u16::from_be_bytes([data[6], data[7]]);
+        if wire_ck != 0 {
+            let mut pseudo = Vec::with_capacity(12 + length);
+            pseudo.extend_from_slice(&src.octets());
+            pseudo.extend_from_slice(&dst.octets());
+            pseudo.push(0);
+            pseudo.push(IpProtocol::UDP.0);
+            pseudo.extend_from_slice(&(length as u16).to_be_bytes());
+            pseudo.extend_from_slice(&data[..length]);
+            if internet_checksum(&pseudo) != 0 {
+                return Err(WireError::BadChecksum);
+            }
+        }
+        Ok(UdpPacket {
+            src_port: u16::from_be_bytes([data[0], data[1]]),
+            dst_port: u16::from_be_bytes([data[2], data[3]]),
+            payload: Bytes::copy_from_slice(&data[UDP_HEADER_LEN..length]),
+        })
+    }
+
+    /// Serialize with the pseudo-header checksum computed from
+    /// `src`/`dst`.
+    pub fn emit(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Bytes {
+        let length = UDP_HEADER_LEN + self.payload.len();
+        assert!(length <= u16::MAX as usize, "UDP datagram too large");
+        let mut pseudo = BytesMut::with_capacity(12 + length);
+        pseudo.put_slice(&src.octets());
+        pseudo.put_slice(&dst.octets());
+        pseudo.put_u8(0);
+        pseudo.put_u8(IpProtocol::UDP.0);
+        pseudo.put_u16(length as u16);
+        let header_start = pseudo.len();
+        pseudo.put_u16(self.src_port);
+        pseudo.put_u16(self.dst_port);
+        pseudo.put_u16(length as u16);
+        pseudo.put_u16(0);
+        pseudo.put_slice(&self.payload);
+        let mut ck = internet_checksum(&pseudo);
+        if ck == 0 {
+            ck = 0xFFFF; // 0 is reserved for "no checksum"
+        }
+        let mut out = pseudo.split_off(header_start);
+        out[6..8].copy_from_slice(&ck.to_be_bytes());
+        out.freeze()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 2);
+
+    #[test]
+    fn roundtrip() {
+        let p = UdpPacket::new(5004, 5005, Bytes::from_static(b"video-frame"));
+        let wire = p.emit(SRC, DST);
+        assert_eq!(UdpPacket::parse(&wire, SRC, DST).unwrap(), p);
+    }
+
+    #[test]
+    fn checksum_catches_payload_corruption() {
+        let p = UdpPacket::new(1, 2, Bytes::from_static(b"payload"));
+        let mut wire = p.emit(SRC, DST).to_vec();
+        let last = wire.len() - 1;
+        wire[last] ^= 0x01;
+        assert_eq!(
+            UdpPacket::parse(&wire, SRC, DST),
+            Err(WireError::BadChecksum)
+        );
+    }
+
+    #[test]
+    fn checksum_binds_addresses() {
+        let p = UdpPacket::new(1, 2, Bytes::from_static(b"x"));
+        let wire = p.emit(SRC, DST);
+        assert_eq!(
+            UdpPacket::parse(&wire, SRC, Ipv4Addr::new(10, 0, 0, 9)),
+            Err(WireError::BadChecksum)
+        );
+    }
+
+    #[test]
+    fn zero_checksum_accepted() {
+        let p = UdpPacket::new(7, 8, Bytes::from_static(b"nochk"));
+        let mut wire = p.emit(SRC, DST).to_vec();
+        wire[6] = 0;
+        wire[7] = 0;
+        assert_eq!(UdpPacket::parse(&wire, SRC, DST).unwrap(), p);
+    }
+
+    #[test]
+    fn trailing_padding_ignored() {
+        let p = UdpPacket::new(68, 67, Bytes::from_static(b"dhcp?"));
+        let mut wire = p.emit(SRC, DST).to_vec();
+        wire.extend_from_slice(&[0u8; 11]);
+        assert_eq!(UdpPacket::parse(&wire, SRC, DST).unwrap(), p);
+    }
+
+    #[test]
+    fn truncated_and_bad_length() {
+        assert_eq!(
+            UdpPacket::parse(&[0u8; 7], SRC, DST),
+            Err(WireError::Truncated)
+        );
+        let p = UdpPacket::new(1, 2, Bytes::from_static(b"abc"));
+        let mut wire = p.emit(SRC, DST).to_vec();
+        wire[4] = 0xFF; // absurd length
+        wire[5] = 0xFF;
+        assert_eq!(
+            UdpPacket::parse(&wire, SRC, DST),
+            Err(WireError::BadLength)
+        );
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let p = UdpPacket::new(9999, 1, Bytes::new());
+        let wire = p.emit(SRC, DST);
+        assert_eq!(wire.len(), UDP_HEADER_LEN);
+        assert_eq!(UdpPacket::parse(&wire, SRC, DST).unwrap(), p);
+    }
+}

@@ -1,0 +1,58 @@
+//! # routeflow-autoconf
+//!
+//! A full reproduction of **"Automatic Configuration of Routing Control
+//! Platforms in OpenFlow Networks"** (Sharma, Staessens, Colle,
+//! Pickavet, Demeester — SIGCOMM 2013 demo) as a Rust workspace, built
+//! on a deterministic discrete-event network simulator.
+//!
+//! This facade crate re-exports the public API of every member crate;
+//! see `README.md` for the architecture tour, `DESIGN.md` for the
+//! system inventory and substitutions, and `EXPERIMENTS.md` for the
+//! paper-vs-measured results.
+//!
+//! ## The ninety-second tour
+//!
+//! ```
+//! use routeflow_autoconf::prelude::*;
+//! use std::time::Duration;
+//!
+//! // The Fig. 2 stack on a 4-switch ring, OSPF timers sped up so the
+//! // doctest stays fast.
+//! let mut cfg = DeploymentConfig::new(ring(4));
+//! cfg.ospf_hello = 1;
+//! cfg.ospf_dead = 4;
+//! cfg.probe_interval = Duration::from_millis(500);
+//! let mut dep = Deployment::build(cfg);
+//!
+//! // Run: discovery finds switches and links, the RPC path creates
+//! // VMs, writes Quagga configs, OSPF converges, flows appear.
+//! let done = dep.run_until_configured(Time::from_secs(120)).unwrap();
+//! assert_eq!(dep.configured_switches(), 4);
+//! assert!(done < Time::from_secs(60));
+//! ```
+
+pub use rf_apps as apps;
+pub use rf_core as core;
+pub use rf_discovery as discovery;
+pub use rf_flowvisor as flowvisor;
+pub use rf_gui as gui;
+pub use rf_openflow as openflow;
+pub use rf_routed as routed;
+pub use rf_rpc as rpc;
+pub use rf_sim as sim;
+pub use rf_switch as switch;
+pub use rf_topo as topo;
+pub use rf_vnet as vnet;
+pub use rf_wire as wire;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use rf_apps::{EchoHost, HostConfig, Pinger, VideoClient, VideoServer};
+    pub use rf_core::bootstrap::{Deployment, DeploymentConfig, HostAttachment};
+    pub use rf_core::manual::ManualConfigModel;
+    pub use rf_core::rfcontroller::RfController;
+    pub use rf_gui::NetworkView;
+    pub use rf_sim::{LinkProfile, Sim, SimConfig, Time};
+    pub use rf_topo::{line, pan_european, ring, Topology};
+    pub use rf_wire::{Ipv4Cidr, MacAddr};
+}
