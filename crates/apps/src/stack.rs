@@ -29,7 +29,11 @@ pub enum StackOutput {
         payload: Bytes,
     },
     /// An ICMP echo reply arrived (ident, seq).
-    EchoReply { from: Ipv4Addr, ident: u16, seq: u16 },
+    EchoReply {
+        from: Ipv4Addr,
+        ident: u16,
+        seq: u16,
+    },
 }
 
 /// The host stack.
@@ -73,8 +77,13 @@ impl HostStack {
             target_ip: self.cfg.addr.addr,
         };
         vec![StackOutput::Tx(
-            EthernetFrame::new(MacAddr::BROADCAST, self.cfg.mac, EtherType::ARP, garp.emit())
-                .emit(),
+            EthernetFrame::new(
+                MacAddr::BROADCAST,
+                self.cfg.mac,
+                EtherType::ARP,
+                garp.emit(),
+            )
+            .emit(),
         )]
     }
 
@@ -99,8 +108,13 @@ impl HostStack {
                 self.pending.push((nh, ip));
                 let req = ArpPacket::request(self.cfg.mac, self.cfg.addr.addr, nh);
                 vec![StackOutput::Tx(
-                    EthernetFrame::new(MacAddr::BROADCAST, self.cfg.mac, EtherType::ARP, req.emit())
-                        .emit(),
+                    EthernetFrame::new(
+                        MacAddr::BROADCAST,
+                        self.cfg.mac,
+                        EtherType::ARP,
+                        req.emit(),
+                    )
+                    .emit(),
                 )]
             }
         }
@@ -209,8 +223,12 @@ impl HostStack {
                 match icmp {
                     IcmpPacket::EchoRequest { .. } => {
                         let reply = IcmpPacket::reply_to(&icmp);
-                        let rip =
-                            Ipv4Packet::new(self.cfg.addr.addr, ip.src, IpProtocol::ICMP, reply.emit());
+                        let rip = Ipv4Packet::new(
+                            self.cfg.addr.addr,
+                            ip.src,
+                            IpProtocol::ICMP,
+                            reply.emit(),
+                        );
                         self.emit_ip(rip)
                     }
                     IcmpPacket::EchoReply { ident, seq, .. } => {
@@ -259,9 +277,16 @@ mod tests {
     #[test]
     fn off_link_udp_arps_gateway_then_flushes() {
         let mut h = host("10.9.0.2", "10.9.0.1");
-        let out = h.send_udp("10.8.0.5".parse().unwrap(), 1000, 2000, Bytes::from_static(b"x"));
+        let out = h.send_udp(
+            "10.8.0.5".parse().unwrap(),
+            1000,
+            2000,
+            Bytes::from_static(b"x"),
+        );
         // First an ARP request for the gateway.
-        let StackOutput::Tx(f) = &out[0] else { panic!() };
+        let StackOutput::Tx(f) = &out[0] else {
+            panic!()
+        };
         let eth = EthernetFrame::parse(f).unwrap();
         assert_eq!(eth.ethertype, EtherType::ARP);
         let arp = ArpPacket::parse(&eth.payload).unwrap();
@@ -272,7 +297,9 @@ mod tests {
         let rf = EthernetFrame::new(h.mac(), gw_mac, EtherType::ARP, reply.emit()).emit();
         let out = h.on_frame(&rf);
         assert_eq!(out.len(), 1);
-        let StackOutput::Tx(f) = &out[0] else { panic!() };
+        let StackOutput::Tx(f) = &out[0] else {
+            panic!()
+        };
         let eth = EthernetFrame::parse(f).unwrap();
         assert_eq!(eth.dst, gw_mac);
         assert_eq!(eth.ethertype, EtherType::IPV4);
@@ -282,7 +309,9 @@ mod tests {
     fn on_link_udp_arps_destination() {
         let mut h = host("10.9.0.2", "10.9.0.1");
         let out = h.send_udp("10.9.0.7".parse().unwrap(), 1, 2, Bytes::new());
-        let StackOutput::Tx(f) = &out[0] else { panic!() };
+        let StackOutput::Tx(f) = &out[0] else {
+            panic!()
+        };
         let arp = ArpPacket::parse(&EthernetFrame::parse(f).unwrap().payload).unwrap();
         assert_eq!(arp.target_ip, "10.9.0.7".parse::<Ipv4Addr>().unwrap());
     }
@@ -308,7 +337,11 @@ mod tests {
         let rip = Ipv4Packet::parse(&eth.payload).unwrap();
         assert!(matches!(
             IcmpPacket::parse(&rip.payload).unwrap(),
-            IcmpPacket::EchoReply { ident: 7, seq: 3, .. }
+            IcmpPacket::EchoReply {
+                ident: 7,
+                seq: 3,
+                ..
+            }
         ));
     }
 

@@ -99,7 +99,10 @@ impl Agent for VideoServer {
         let mut start_stream = false;
         for o in &outs {
             if let StackOutput::Udp {
-                src, src_port, payload, ..
+                src,
+                src_port,
+                payload,
+                ..
             } = o
             {
                 if &payload[..] == b"PLAY" && self.client.is_none() {
@@ -177,9 +180,12 @@ impl VideoClient {
         if self.report.requested_at.is_none() {
             self.report.requested_at = Some(ctx.now());
         }
-        let outs = self
-            .stack
-            .send_udp(self.server, CLIENT_PORT, VIDEO_PORT, Bytes::from_static(b"PLAY"));
+        let outs = self.stack.send_udp(
+            self.server,
+            CLIENT_PORT,
+            VIDEO_PORT,
+            Bytes::from_static(b"PLAY"),
+        );
         self.emit(ctx, outs);
         ctx.schedule(self.request_retry, T_REQ_RETRY);
     }

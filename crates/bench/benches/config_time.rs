@@ -15,10 +15,12 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for n in [4usize, 8] {
         g.bench_with_input(BenchmarkId::new("ring", n), &n, |b, &n| {
-            let mut p = ExpParams::default();
-            p.ospf_hello = 1;
-            p.ospf_dead = 4;
-            p.probe_interval = Duration::from_millis(500);
+            let p = ExpParams {
+                ospf_hello: 1,
+                ospf_dead: 4,
+                probe_interval: Duration::from_millis(500),
+                ..ExpParams::default()
+            };
             b.iter(|| black_box(auto_config_time(ring(n), &p)))
         });
     }

@@ -54,7 +54,12 @@ fn lsdb_for(topo: &Topology) -> (BTreeMap<u32, Lsa>, HashMap<u32, (u16, Ipv4Addr
     let db = links_of
         .into_iter()
         .enumerate()
-        .map(|(i, links)| ((i + 1) as u32, Lsa::router((i + 1) as u32, INITIAL_SEQ, 0, links)))
+        .map(|(i, links)| {
+            (
+                (i + 1) as u32,
+                Lsa::router((i + 1) as u32, INITIAL_SEQ, 0, links),
+            )
+        })
         .collect();
     (db, adjacent)
 }

@@ -15,8 +15,10 @@ use std::time::Duration;
 fn a1() {
     let mut rows = Vec::new();
     for ms in [100u64, 250, 500, 1000, 2000, 5000] {
-        let mut p = ExpParams::default();
-        p.probe_interval = Duration::from_millis(ms);
+        let p = ExpParams {
+            probe_interval: Duration::from_millis(ms),
+            ..ExpParams::default()
+        };
         let t = auto_config_time(ring(16), &p);
         rows.push(vec![format!("{ms}"), fmt_dur(t)]);
     }
@@ -32,9 +34,11 @@ fn a2() {
     let (a, b) = topo.farthest_pair().unwrap();
     let mut rows = Vec::new();
     for (hello, dead) in [(1u16, 4u16), (2, 8), (5, 20), (10, 40)] {
-        let mut p = ExpParams::default();
-        p.ospf_hello = hello;
-        p.ospf_dead = dead;
+        let p = ExpParams {
+            ospf_hello: hello,
+            ospf_dead: dead,
+            ..ExpParams::default()
+        };
         let r = video_demo(pan_european(), a, b, &p, Duration::from_secs(300));
         rows.push(vec![
             format!("{hello}/{dead}"),
@@ -52,8 +56,10 @@ fn a2() {
 fn a3() {
     let mut rows = Vec::new();
     for boot_ms in [500u64, 1000, 2000, 5000, 10000] {
-        let mut p = ExpParams::default();
-        p.vm_boot_delay = Duration::from_millis(boot_ms);
+        let p = ExpParams {
+            vm_boot_delay: Duration::from_millis(boot_ms),
+            ..ExpParams::default()
+        };
         let t = auto_config_time(ring(28), &p);
         rows.push(vec![format!("{:.1}", boot_ms as f64 / 1000.0), fmt_dur(t)]);
     }
@@ -66,9 +72,14 @@ fn a3() {
 
 fn a4() {
     let mut rows = Vec::new();
-    for (label, fv) in [("via FlowVisor (paper)", true), ("direct (OVS multi-controller)", false)] {
-        let mut p = ExpParams::default();
-        p.use_flowvisor = fv;
+    for (label, fv) in [
+        ("via FlowVisor (paper)", true),
+        ("direct (OVS multi-controller)", false),
+    ] {
+        let p = ExpParams {
+            use_flowvisor: fv,
+            ..ExpParams::default()
+        };
         let t = auto_config_time(ring(16), &p);
         rows.push(vec![label.into(), fmt_dur(t)]);
     }

@@ -19,14 +19,29 @@ fn main() {
     );
     // Default Quagga timers — the 4-minute bound must hold without any
     // timer tuning, as in the paper's demo.
-    let r = video_demo(pan_european(), a, b, &ExpParams::default(), Duration::from_secs(300));
+    let r = video_demo(
+        pan_european(),
+        a,
+        b,
+        &ExpParams::default(),
+        Duration::from_secs(300),
+    );
     print_table(
         "§3 demo — pan-European (28 nodes), cold start to video (seconds, simulated)",
         &["metric", "value"],
         &[
-            vec!["all switches configured (green)".into(), fmt_opt(r.configured_at)],
-            vec!["first video byte at client".into(), fmt_opt(r.first_byte_at)],
-            vec!["playback start (1 s jitter buffer)".into(), fmt_opt(r.playback_at)],
+            vec![
+                "all switches configured (green)".into(),
+                fmt_opt(r.configured_at),
+            ],
+            vec![
+                "first video byte at client".into(),
+                fmt_opt(r.first_byte_at),
+            ],
+            vec![
+                "playback start (1 s jitter buffer)".into(),
+                fmt_opt(r.playback_at),
+            ],
             vec!["packets received".into(), r.packets.to_string()],
             vec!["sequence gaps".into(), r.gaps.to_string()],
         ],

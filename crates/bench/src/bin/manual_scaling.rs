@@ -31,9 +31,16 @@ fn main() {
     ]);
     print_table(
         "§1 scaling — manual vs automatic configuration",
-        &["switches", "automatic (s, simulated)", "manual (hours)", "manual (days)"],
+        &[
+            "switches",
+            "automatic (s, simulated)",
+            "manual (hours)",
+            "manual (days)",
+        ],
         &rows,
     );
-    println!("\npaper: 28 switches ≈ 7 h manual; 1000 switches 'many days' (≈ {:.1} days in the model).",
-        manual1000.as_secs_f64() / 86_400.0);
+    println!(
+        "\npaper: 28 switches ≈ 7 h manual; 1000 switches 'many days' (≈ {:.1} days in the model).",
+        manual1000.as_secs_f64() / 86_400.0
+    );
 }

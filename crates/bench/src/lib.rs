@@ -1,16 +1,15 @@
 //! # rf-bench — the experiment harness
 //!
 //! One function per experiment, shared by the `--bin` table generators
-//! and the Criterion benches. See DESIGN.md §4 for the experiment
-//! index and EXPERIMENTS.md for recorded results.
+//! and the Criterion benches, all built on the composable
+//! [`ScenarioBuilder`](rf_core::scenario::ScenarioBuilder) API. See
+//! DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+//! recorded results.
 
-use rf_apps::video::{VideoClient, VideoServer};
-use rf_apps::HostConfig;
-use rf_core::bootstrap::{Deployment, DeploymentConfig};
 use rf_core::manual::ManualConfigModel;
-use rf_sim::{AgentId, LinkProfile, Time};
+use rf_core::scenario::{Scenario, ScenarioBuilder, ScenarioMetrics, Workload, WorkloadReport};
+use rf_sim::Time;
 use rf_topo::Topology;
-use rf_wire::{Ipv4Cidr, MacAddr};
 use std::time::Duration;
 
 /// Parameters shared by the configuration-time experiments.
@@ -37,26 +36,37 @@ impl Default for ExpParams {
     }
 }
 
-fn deployment(topo: Topology, p: &ExpParams) -> DeploymentConfig {
-    let mut cfg = DeploymentConfig::new(topo);
-    cfg.seed = p.seed;
-    cfg.probe_interval = p.probe_interval;
-    cfg.vm_boot_delay = p.vm_boot_delay;
-    cfg.ospf_hello = p.ospf_hello;
-    cfg.ospf_dead = p.ospf_dead;
-    cfg.use_flowvisor = p.use_flowvisor;
-    cfg.trace_level = rf_sim::TraceLevel::Off;
-    cfg
+/// A scenario builder pre-loaded with the experiment parameters.
+pub fn scenario(topo: Topology, p: &ExpParams) -> ScenarioBuilder {
+    let mut b = Scenario::on(topo)
+        .seed(p.seed)
+        .probe_interval(p.probe_interval)
+        .vm_boot_delay(p.vm_boot_delay)
+        .ospf_timers(p.ospf_hello, p.ospf_dead)
+        .trace_level(rf_sim::TraceLevel::Off);
+    if !p.use_flowvisor {
+        b = b.without_flowvisor();
+    }
+    b
 }
 
 /// E1 / Fig. 3: simulated time until every switch of `topo` is
 /// configured (has its VM), from a cold start.
 pub fn auto_config_time(topo: Topology, p: &ExpParams) -> Duration {
-    let mut dep = Deployment::build(deployment(topo, p));
-    let done = dep
+    let mut sc = scenario(topo, p).start();
+    let done = sc
         .run_until_configured(Time::from_secs(3600))
         .expect("configuration must complete within an hour");
     Duration::from_nanos(done.as_nanos())
+}
+
+/// E1 with the full metric set: run to completion, then snapshot
+/// per-switch configuration times and flow counts.
+pub fn auto_config_metrics(topo: Topology, p: &ExpParams) -> ScenarioMetrics {
+    let mut sc = scenario(topo, p).start();
+    sc.run_until_configured(Time::from_secs(3600))
+        .expect("configuration must complete within an hour");
+    sc.metrics()
 }
 
 /// The manual baseline for `n` switches (paper model).
@@ -76,54 +86,24 @@ pub struct VideoResult {
 
 /// E2 / §3 demo: cold-start the deployment with a video server and a
 /// remote client attached, stream, and report the timeline.
-pub fn video_demo(topo: Topology, server_node: usize, client_node: usize, p: &ExpParams, horizon: Duration) -> VideoResult {
-    let mut cfg = deployment(topo, p);
-    cfg.hosts.push(rf_core::bootstrap::HostAttachment {
-        node: server_node,
-        subnet: "10.1.0.0/24".parse().unwrap(),
-    });
-    cfg.hosts.push(rf_core::bootstrap::HostAttachment {
-        node: client_node,
-        subnet: "10.2.0.0/24".parse().unwrap(),
-    });
-    let mut dep = Deployment::build(cfg);
-    let s = dep.host_slots[0].clone();
-    let c = dep.host_slots[1].clone();
-    let server = dep.sim.add_agent(
-        "video-server",
-        Box::new(VideoServer::new(HostConfig {
-            mac: MacAddr([2, 0xAA, 0, 0, 0, 1]),
-            addr: Ipv4Cidr::new(s.host_ip, s.subnet.prefix_len),
-            gateway: s.gateway,
-        })),
-    );
-    let client: AgentId = dep.sim.add_agent(
-        "video-client",
-        Box::new(VideoClient::new(
-            HostConfig {
-                mac: MacAddr([2, 0xBB, 0, 0, 0, 1]),
-                addr: Ipv4Cidr::new(c.host_ip, c.subnet.prefix_len),
-                gateway: c.gateway,
-            },
-            s.host_ip,
-        )),
-    );
-    dep.sim.add_link(
-        (s.switch, u32::from(s.port)),
-        (server, 1),
-        LinkProfile::default(),
-    );
-    dep.sim.add_link(
-        (c.switch, u32::from(c.port)),
-        (client, 1),
-        LinkProfile::default(),
-    );
-    dep.sim
-        .run_until(Time::from_nanos(horizon.as_nanos() as u64));
-    let report = dep.sim.agent_as::<VideoClient>(client).unwrap().report;
+pub fn video_demo(
+    topo: Topology,
+    server_node: usize,
+    client_node: usize,
+    p: &ExpParams,
+    horizon: Duration,
+) -> VideoResult {
+    let mut sc = scenario(topo, p)
+        .with_workload(Workload::video(server_node, client_node))
+        .start();
+    sc.run_until(Time::from_nanos(horizon.as_nanos() as u64));
+    let reports = sc.workload_reports();
+    let WorkloadReport::Video(report) = &reports[0] else {
+        unreachable!("video workload attached above");
+    };
     let to_dur = |t: Option<Time>| t.map(|t| Duration::from_nanos(t.as_nanos()));
     VideoResult {
-        configured_at: to_dur(dep.all_configured_at()),
+        configured_at: to_dur(sc.all_configured_at()),
         first_byte_at: to_dur(report.first_byte_at),
         playback_at: to_dur(report.playback_at),
         packets: report.packets,
@@ -145,7 +125,10 @@ pub fn fmt_opt(d: Option<Duration>) -> String {
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n## {title}\n");
     println!("| {} |", headers.join(" | "));
-    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }
@@ -158,9 +141,11 @@ mod tests {
 
     #[test]
     fn auto_is_orders_of_magnitude_faster_than_manual() {
-        let mut p = ExpParams::default();
-        p.ospf_hello = 1;
-        p.ospf_dead = 4;
+        let p = ExpParams {
+            ospf_hello: 1,
+            ospf_dead: 4,
+            ..ExpParams::default()
+        };
         let auto = auto_config_time(ring(4), &p);
         let manual = manual_config_time(4);
         assert!(auto < Duration::from_secs(120));
@@ -170,12 +155,28 @@ mod tests {
 
     #[test]
     fn video_demo_smoke() {
-        let mut p = ExpParams::default();
-        p.ospf_hello = 1;
-        p.ospf_dead = 4;
-        p.probe_interval = Duration::from_millis(500);
+        let p = ExpParams {
+            ospf_hello: 1,
+            ospf_dead: 4,
+            probe_interval: Duration::from_millis(500),
+            ..ExpParams::default()
+        };
         let r = video_demo(ring(4), 0, 2, &p, Duration::from_secs(120));
         assert!(r.first_byte_at.is_some());
         assert!(r.packets > 0);
+    }
+
+    #[test]
+    fn metrics_report_per_switch_times() {
+        let p = ExpParams {
+            ospf_hello: 1,
+            ospf_dead: 4,
+            probe_interval: Duration::from_millis(500),
+            ..ExpParams::default()
+        };
+        let m = auto_config_metrics(ring(4), &p);
+        assert_eq!(m.configured_switches, 4);
+        assert_eq!(m.per_switch_config_time.len(), 4);
+        assert!(m.per_switch_config_time.iter().all(|(_, t)| t.is_some()));
     }
 }

@@ -1,0 +1,104 @@
+//! FIB → FLOW_MOD mirror: every route a VM's routing stack installs
+//! becomes a flow on the mirrored physical switch, with prefix length
+//! encoded in flow priority so OF 1.0's single table performs
+//! longest-prefix matching.
+
+use super::bus::{AppCtx, ControlApp, FibChange};
+use rf_openflow::{Action, FlowModCommand, OfMatch, OfMessage, OFPP_NONE, OFP_NO_BUFFER};
+use rf_wire::MacAddr;
+
+/// Flow priority encoding: longest-prefix-match via OF 1.0 priorities.
+/// A /32 lands at `0x1100`, still below [`HOST_FLOW_PRIORITY`].
+pub fn route_priority(prefix_len: u8) -> u16 {
+    0x1000 + u16::from(prefix_len) * 8
+}
+
+/// Host /32 delivery flows outrank every routed prefix.
+pub const HOST_FLOW_PRIORITY: u16 = 0x2000;
+
+/// Mirrors VM FIB changes onto the data plane.
+#[derive(Default)]
+pub struct FibMirrorApp {
+    _priv: (),
+}
+
+impl FibMirrorApp {
+    pub fn new() -> FibMirrorApp {
+        FibMirrorApp::default()
+    }
+}
+
+impl ControlApp for FibMirrorApp {
+    fn name(&self) -> &'static str {
+        "fib-mirror"
+    }
+
+    fn on_fib_update(&mut self, cx: &mut AppCtx<'_, '_>, change: &FibChange) {
+        match *change {
+            FibChange::Add {
+                dpid,
+                prefix,
+                next_hop,
+                out_iface,
+                metric: _,
+            } => {
+                if next_hop.is_none() {
+                    // Connected routes need no transit flow: traffic to
+                    // the hosts behind this switch is delivered by the
+                    // learned per-host /32 flows; traffic to the /30
+                    // router addresses stays in the VM environment.
+                    return;
+                }
+                let Some(&(peer_dpid, peer_port)) = cx.state.port_peer.get(&(dpid, out_iface))
+                else {
+                    return; // stale route onto a vanished link
+                };
+                let fm = OfMessage::FlowMod {
+                    of_match: OfMatch::ipv4_dst_prefix(prefix.network(), prefix.prefix_len),
+                    cookie: u64::from(u32::from(prefix.network())) << 8
+                        | u64::from(prefix.prefix_len),
+                    command: FlowModCommand::Add,
+                    idle_timeout: 0,
+                    hard_timeout: 0,
+                    priority: route_priority(prefix.prefix_len),
+                    buffer_id: OFP_NO_BUFFER,
+                    out_port: OFPP_NONE,
+                    flags: 0,
+                    actions: vec![
+                        Action::SetDlSrc(MacAddr::from_dpid_port(dpid, out_iface)),
+                        Action::SetDlDst(MacAddr::from_dpid_port(peer_dpid, peer_port)),
+                        Action::output(out_iface),
+                    ],
+                };
+                cx.state.installed.insert(
+                    (dpid, u32::from(prefix.network()), prefix.prefix_len),
+                    route_priority(prefix.prefix_len),
+                );
+                cx.state.flows_installed += 1;
+                cx.count("rf.flow_add", 1);
+                cx.send_of(dpid, fm);
+            }
+            FibChange::Del { dpid, prefix } => {
+                let key = (dpid, u32::from(prefix.network()), prefix.prefix_len);
+                let Some(priority) = cx.state.installed.remove(&key) else {
+                    return;
+                };
+                let fm = OfMessage::FlowMod {
+                    of_match: OfMatch::ipv4_dst_prefix(prefix.network(), prefix.prefix_len),
+                    cookie: 0,
+                    command: FlowModCommand::DeleteStrict,
+                    idle_timeout: 0,
+                    hard_timeout: 0,
+                    priority,
+                    buffer_id: OFP_NO_BUFFER,
+                    out_port: OFPP_NONE,
+                    flags: 0,
+                    actions: vec![],
+                };
+                cx.state.flows_removed += 1;
+                cx.count("rf.flow_del", 1);
+                cx.send_of(dpid, fm);
+            }
+        }
+    }
+}

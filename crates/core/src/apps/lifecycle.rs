@@ -1,0 +1,172 @@
+//! VM / Quagga lifecycle: provisions one container per detected switch,
+//! mirrors physical links in the virtual interconnect, and (re)writes
+//! each VM's routing configuration files.
+
+use super::bus::{AppCtx, ControlApp, ControlEvent, LinkChange, SwitchRec};
+use rf_routed::config::VmRouterConfig;
+use rf_vnet::rfproto::RfMessage;
+use rf_vnet::vm::VmAgent;
+use std::collections::VecDeque;
+
+/// Paper §2: "the RPC server creates a VM with an ID identical to the
+/// switch ID and the number of ports equivalent to the switch ports."
+/// Creation is queued — containers are provisioned one at a time, as in
+/// RouteFlow's rftest scripts — which is what makes automatic
+/// configuration time grow with switch count in Fig. 3.
+pub struct VmLifecycleApp {
+    vm_queue: VecDeque<(u64, u16)>,
+    vm_creating: Option<u64>,
+}
+
+impl VmLifecycleApp {
+    pub fn new() -> VmLifecycleApp {
+        VmLifecycleApp {
+            vm_queue: VecDeque::new(),
+            vm_creating: None,
+        }
+    }
+
+    /// Provision the next queued VM, if the creation pipeline is idle.
+    fn spawn_next_vm(&mut self, cx: &mut AppCtx<'_, '_>) {
+        if self.vm_creating.is_some() {
+            return;
+        }
+        let Some((dpid, num_ports)) = self.vm_queue.pop_front() else {
+            return;
+        };
+        let controller = cx.controller_id();
+        let boot_delay = cx.config().vm_boot_delay;
+        let vm = cx.spawn_agent(
+            &format!("vm-{dpid:x}"),
+            Box::new(VmAgent::new(dpid, controller, boot_delay)),
+        );
+        cx.trace(
+            "rf.vm_create",
+            format!("dpid {dpid:#x} ({num_ports} ports)"),
+        );
+        self.vm_creating = Some(dpid);
+        cx.state.switches.insert(
+            dpid,
+            SwitchRec {
+                num_ports,
+                vm: Some(vm),
+                vm_conn: None,
+                configured_at: None,
+            },
+        );
+        cx.raise(ControlEvent::VmSpawned { dpid });
+    }
+
+    /// Regenerate and push this VM's configuration files — "the RPC
+    /// server writes routing configuration files (e.g. ospf.conf,
+    /// zebra.conf, bgp.conf) using the information present in the
+    /// configuration message" (§2).
+    fn push_configs(&self, cx: &mut AppCtx<'_, '_>, dpid: u64) {
+        let Some(rec) = cx.state.switches.get(&dpid) else {
+            return;
+        };
+        if rec.vm_conn.is_none() {
+            return; // VM not booted yet; configs sent on VmUp
+        }
+        let ifaces = cx.state.vm_interfaces(cx.config, dpid);
+        let cfg = VmRouterConfig::generate_with_timers(
+            dpid,
+            &ifaces,
+            cx.config().ospf_hello,
+            cx.config().ospf_dead,
+        );
+        let (zebra, ospf, bgp) = cfg.render_all();
+        cx.send_to_vm(dpid, RfMessage::WriteConfigs { zebra, ospf, bgp });
+        cx.count("rf.configs_written", 1);
+    }
+}
+
+impl Default for VmLifecycleApp {
+    fn default() -> Self {
+        VmLifecycleApp::new()
+    }
+}
+
+impl ControlApp for VmLifecycleApp {
+    fn name(&self) -> &'static str {
+        "vm-lifecycle"
+    }
+
+    fn on_switch_up(&mut self, cx: &mut AppCtx<'_, '_>, dpid: u64, num_ports: u16) {
+        if cx.state.switches.contains_key(&dpid) || self.vm_queue.iter().any(|(d, _)| *d == dpid) {
+            return;
+        }
+        self.vm_queue.push_back((dpid, num_ports));
+        self.spawn_next_vm(cx);
+    }
+
+    fn on_switch_down(&mut self, cx: &mut AppCtx<'_, '_>, dpid: u64) {
+        if let Some(rec) = cx.state.switches.remove(&dpid) {
+            if let Some(vm) = rec.vm {
+                cx.kill_agent(vm);
+            }
+        }
+        self.vm_queue.retain(|(d, _)| *d != dpid);
+        if self.vm_creating == Some(dpid) {
+            self.vm_creating = None;
+            self.spawn_next_vm(cx);
+        }
+    }
+
+    fn on_link_event(&mut self, cx: &mut AppCtx<'_, '_>, change: &LinkChange) {
+        match *change {
+            LinkChange::Up { a, b, .. } => {
+                let (Some(va), Some(vb)) = (
+                    cx.state.switches.get(&a.0).and_then(|s| s.vm),
+                    cx.state.switches.get(&b.0).and_then(|s| s.vm),
+                ) else {
+                    return; // bridge only raises Up once both exist
+                };
+                // Mirror the physical link in the virtual environment.
+                let profile = cx.config().vm_link_profile;
+                let sim_link = cx.add_sim_link((va, u32::from(a.1)), (vb, u32::from(b.1)), profile);
+                if let Some(rec) = cx.state.links.iter_mut().find(|l| l.a == a && l.b == b) {
+                    rec.sim_link = Some(sim_link);
+                }
+                cx.trace(
+                    "rf.link_configured",
+                    format!("{:#x}:{} <-> {:#x}:{}", a.0, a.1, b.0, b.1),
+                );
+                // Rewrite both VMs' configuration files.
+                self.push_configs(cx, a.0);
+                self.push_configs(cx, b.0);
+            }
+            LinkChange::Down { a, b, sim_link } => {
+                if let Some(l) = sim_link {
+                    cx.remove_sim_link(l);
+                }
+                self.push_configs(cx, a.0);
+                self.push_configs(cx, b.0);
+            }
+            LinkChange::PortStatus { .. } => {
+                // Port flaps are handled by OSPF's dead-interval on the
+                // mirrored interface; nothing to do here.
+            }
+        }
+    }
+
+    fn on_vm_up(&mut self, cx: &mut AppCtx<'_, '_>, dpid: u64) {
+        let now = cx.now();
+        let newly_green = cx.state.switches.get_mut(&dpid).is_some_and(|rec| {
+            rec.configured_at.is_none() && {
+                rec.configured_at = Some(now);
+                true
+            }
+        });
+        if newly_green {
+            // The GUI's red → green transition.
+            cx.trace("rf.switch_configured", format!("dpid {dpid:#x}"));
+        }
+        self.push_configs(cx, dpid);
+        // The creation pipeline moves on to the next switch.
+        if self.vm_creating == Some(dpid) {
+            self.vm_creating = None;
+            self.spawn_next_vm(cx);
+        }
+    }
+}

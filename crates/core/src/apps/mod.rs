@@ -1,0 +1,33 @@
+//! Composable control-plane applications.
+//!
+//! The controller side of the framework is an event pipeline: the
+//! [`engine::ControlPlane`] agent owns the wire I/O and publishes
+//! [`bus::ControlEvent`]s to registered [`bus::ControlApp`]s. The four
+//! standard apps reproduce the paper's RF-controller:
+//!
+//! | app | subscribes to | does |
+//! |-----|---------------|------|
+//! | [`DiscoveryBridgeApp`] | `Rpc`, `VmSpawned` | refines raw topology-controller RPC into typed switch/link events; owns link records |
+//! | [`VmLifecycleApp`] | `SwitchUp/Down`, `Link`, `VmUp` | provisions one VM per switch (serially), mirrors links in the virtual interconnect, writes Quagga configs |
+//! | [`FibMirrorApp`] | `Fib` | turns VM FIB changes into FLOW_MODs with LPM priority encoding |
+//! | [`ArpProxyApp`] | `PacketIn` | answers gateway ARPs, learns hosts, installs /32 delivery flows |
+//!
+//! Anything else — a flow auditor, a latency monitor, an alternative
+//! route-to-flow policy — registers alongside them with
+//! [`engine::ControlPlane::register`] and sees the same event stream.
+
+pub mod arp_proxy;
+pub mod bus;
+pub mod discovery_bridge;
+pub mod engine;
+pub mod fib_mirror;
+pub mod lifecycle;
+
+pub use arp_proxy::ArpProxyApp;
+pub use bus::{
+    AppCtx, ControlApp, ControlEvent, ControlState, FibChange, LinkChange, LinkRec, SwitchRec,
+};
+pub use discovery_bridge::DiscoveryBridgeApp;
+pub use engine::ControlPlane;
+pub use fib_mirror::{route_priority, FibMirrorApp, HOST_FLOW_PRIORITY};
+pub use lifecycle::VmLifecycleApp;

@@ -1,4 +1,5 @@
-//! One-call assembly of the paper's Fig. 2 deployment.
+//! One-call assembly of the paper's Fig. 2 deployment — now a thin
+//! compatibility wrapper over [`crate::scenario::ScenarioBuilder`].
 //!
 //! ```text
 //!   switches ──> FlowVisor ──> topology controller ──> RPC client
@@ -6,13 +7,12 @@
 //!                    └────────> RF-controller  <── RPC ────┘
 //!                                (RPC server, VMs, RouteFlow)
 //! ```
+//!
+//! New code should prefer the fluent builder:
+//! `Scenario::on(topo).fast_timers().with_host(0, "10.1.0.0/24").start()`.
 
-use crate::rfcontroller::{HostPortConfig, RfController, RfControllerConfig};
-use rf_discovery::{TopologyController, TopologyControllerConfig};
-use rf_flowvisor::{FlowVisor, FlowVisorConfig, SlicePolicy};
-use rf_rpc::{RpcClientAgent, RpcClientConfig};
-use rf_sim::{AgentId, LinkProfile, Sim, SimConfig, Time};
-use rf_switch::{OpenFlowSwitch, SwitchConfig};
+use crate::scenario::ScenarioBuilder;
+use rf_sim::{AgentId, LinkProfile, Sim, Time};
 use rf_topo::Topology;
 use rf_wire::Ipv4Cidr;
 use std::net::Ipv4Addr;
@@ -92,7 +92,8 @@ impl DeploymentConfig {
     }
 }
 
-/// The assembled world.
+/// The assembled world (legacy shape; [`crate::scenario::Scenario`] is
+/// the richer handle).
 pub struct Deployment {
     pub sim: Sim,
     pub rf_ctrl: AgentId,
@@ -110,160 +111,34 @@ pub struct Deployment {
 impl Deployment {
     /// Build the whole Fig. 2 stack on `cfg.topology`.
     pub fn build(cfg: DeploymentConfig) -> Deployment {
-        let n = cfg.topology.node_count();
-        let mut sim = Sim::new(SimConfig {
-            seed: cfg.seed,
-            trace_level: cfg.trace_level,
-            max_time: None,
-        });
-
-        // Port plan: edges first, then host ports.
-        let mut next_port: Vec<u16> = vec![1; n];
-        let mut edge_ports: Vec<(usize, u16, usize, u16)> = Vec::new();
-        for e in cfg.topology.edges() {
-            let pa = next_port[e.a];
-            next_port[e.a] += 1;
-            let pb = next_port[e.b];
-            next_port[e.b] += 1;
-            edge_ports.push((e.a, pa, e.b, pb));
-        }
-        let mut host_port_cfgs = Vec::new();
-        let mut host_plan = Vec::new(); // (node, port, subnet, gw, host_ip)
-        for h in &cfg.hosts {
-            let port = next_port[h.node];
-            next_port[h.node] += 1;
-            let gw = h.subnet.nth(1).expect("subnet too small");
-            let host_ip = h.subnet.nth(2).expect("subnet too small");
-            host_port_cfgs.push(HostPortConfig {
-                dpid: (h.node + 1) as u64,
-                port,
-                subnet: h.subnet,
-                gateway: gw,
-            });
-            host_plan.push((h.node, port, h.subnet, gw, host_ip));
-        }
-
-        // Controllers.
-        let rf_ctrl = sim.add_agent(
-            "rf-controller",
-            Box::new(RfController::new(RfControllerConfig {
-                of_service: 6642,
-                vm_boot_delay: cfg.vm_boot_delay,
-                vm_link_profile: cfg.link_profile,
-                host_ports: host_port_cfgs,
-            })),
-        );
-        let rpc_client = sim.add_agent(
-            "rpc-client",
-            Box::new(RpcClientAgent::new(RpcClientConfig::new(rf_ctrl))),
-        );
-        let topo_ctrl = sim.add_agent(
-            "topology-controller",
-            Box::new(TopologyController::new(
-                TopologyControllerConfig {
-                    probe_interval: cfg.probe_interval,
-                    link_ttl: cfg.probe_interval * 3,
-                    ..TopologyControllerConfig::new(cfg.ip_range)
-                }
-                .with_rpc_client(rpc_client),
-            )),
-        );
-        let flowvisor = if cfg.use_flowvisor {
-            Some(sim.add_agent(
-                "flowvisor",
-                Box::new(FlowVisor::new(FlowVisorConfig::new(vec![
-                    SlicePolicy::lldp_slice("topology", topo_ctrl, 6641),
-                    SlicePolicy::ip_slice("routeflow", rf_ctrl, 6642),
-                ]))),
-            ))
-        } else {
-            None
-        };
-
-        // Switches.
-        let mut switches = Vec::with_capacity(n);
-        for i in 0..n {
-            let dpid = (i + 1) as u64;
-            let num_ports = next_port[i] - 1;
-            let swcfg = match flowvisor {
-                Some(fv) => SwitchConfig::new(dpid, num_ports, fv),
-                None => SwitchConfig::new(dpid, num_ports, topo_ctrl)
-                    .with_service(6641)
-                    .add_controller(rf_ctrl, 6642),
-            };
-            let name = cfg.topology.node(i).name.clone();
-            switches.push(sim.add_agent(&name, Box::new(OpenFlowSwitch::new(swcfg))));
-        }
-
-        // Physical links.
-        for (a, pa, b, pb) in edge_ports {
-            sim.add_link(
-                (switches[a], u32::from(pa)),
-                (switches[b], u32::from(pb)),
-                cfg.link_profile,
-            );
-        }
-
-        let host_slots = host_plan
-            .into_iter()
-            .map(|(node, port, subnet, gateway, host_ip)| HostSlot {
-                node,
-                switch: switches[node],
-                port,
-                subnet,
-                gateway,
-                host_ip,
-            })
-            .collect();
-
-        Deployment {
-            sim,
-            rf_ctrl,
-            topo_ctrl,
-            rpc_client,
-            flowvisor,
-            switches,
-            host_slots,
-            expected_switches: n,
-        }
+        ScenarioBuilder::from_deployment_config(cfg)
+            .start()
+            .into_deployment()
     }
 
     /// Switches whose VM is up (green in the paper's GUI).
     pub fn configured_switches(&self) -> usize {
-        self.sim
-            .agent_as::<RfController>(self.rf_ctrl)
-            .map(|c| c.configured_switches())
-            .unwrap_or(0)
+        crate::scenario::configured_switches(&self.sim, self.rf_ctrl)
     }
 
     /// When the last switch turned green, if all have.
     pub fn all_configured_at(&self) -> Option<Time> {
-        self.sim
-            .agent_as::<RfController>(self.rf_ctrl)?
-            .all_configured_at(self.expected_switches)
+        crate::scenario::all_configured_at(&self.sim, self.rf_ctrl, self.expected_switches)
     }
 
     /// Run until every switch is configured (or `deadline`); returns
     /// the configuration completion time.
     pub fn run_until_configured(&mut self, deadline: Time) -> Option<Time> {
-        // Step in 100 ms slices so we can observe the condition.
-        let mut t = self.sim.now();
-        while t < deadline {
-            t = (t + Duration::from_millis(100)).min(deadline);
-            self.sim.run_until(t);
-            if let Some(done) = self.all_configured_at() {
-                return Some(done);
-            }
-        }
-        None
+        crate::scenario::run_until_configured(
+            &mut self.sim,
+            self.rf_ctrl,
+            self.expected_switches,
+            deadline,
+        )
     }
 
     /// Total flow entries across all switches (diagnostics).
     pub fn total_flows(&self) -> usize {
-        self.switches
-            .iter()
-            .filter_map(|&s| self.sim.agent_as::<OpenFlowSwitch>(s))
-            .map(|s| s.flow_count())
-            .sum()
+        crate::scenario::total_flows(&self.sim, &self.switches)
     }
 }

@@ -1,43 +1,59 @@
 //! # rf-core — RouteFlow and its automatic-configuration framework
 //!
 //! The primary contribution of the paper, assembled from the substrate
-//! crates:
+//! crates and exposed as two composable layers:
 //!
-//! * [`rfcontroller::RfController`] — the RF-controller: an OpenFlow
-//!   slice controller hosting the **RPC server**. On `SwitchDetected`
-//!   it spawns a VM whose ID equals the switch's datapath id with the
-//!   same number of interfaces; on `LinkDetected` it builds the virtual
-//!   interconnect mirroring the physical link, assigns the addresses
-//!   the topology controller allocated, and (re)writes the Quagga
-//!   configuration files the VM boots from. Every FIB change a VM
-//!   reports becomes a `FLOW_MOD` on the mirrored physical switch
-//!   (match `nw_dst` prefix → rewrite MACs → output port), with prefix
-//!   length encoded in flow priority so OF 1.0's single table performs
-//!   longest-prefix matching. It also answers hosts' gateway ARPs and
-//!   learns host MACs to install per-host /32 delivery flows.
+//! * **Controller side** — [`apps`]: the RF-controller is an event-bus
+//!   engine ([`apps::ControlPlane`], still downcastable under its old
+//!   name [`rfcontroller::RfController`]) running pluggable
+//!   [`apps::ControlApp`]s. The four standard apps reproduce the
+//!   paper's behaviour: on `SwitchDetected` the lifecycle app spawns a
+//!   VM whose ID equals the switch's datapath id; on `LinkDetected` it
+//!   builds the virtual interconnect mirroring the physical link and
+//!   (re)writes the Quagga configuration files; every FIB change a VM
+//!   reports becomes a `FLOW_MOD` with prefix length encoded in flow
+//!   priority so OF 1.0's single table performs longest-prefix
+//!   matching; and the ARP proxy answers hosts' gateway ARPs and
+//!   installs per-host /32 delivery flows. Your own apps register on
+//!   the same bus and see the same events.
+//! * **Experiment side** — [`scenario`]: the fluent
+//!   [`scenario::ScenarioBuilder`] assembles the full Fig. 2 stack
+//!   (switches → FlowVisor → topology controller + RF-controller, RPC
+//!   client in between) on any [`rf_topo::Topology`], with hosts,
+//!   traffic workloads, fault schedules and extra control apps, and
+//!   hands back a [`scenario::Scenario`] with typed metrics.
+//!   [`bootstrap::Deployment`] wraps it for pre-redesign callers.
 //! * [`manual::ManualConfigModel`] — the paper's manual-baseline time
 //!   model (5 min VM creation + 2 min interface mapping + 8 min routing
 //!   configuration per switch) used in Fig. 3.
-//! * [`bootstrap`] — one-call assembly of the full Fig. 2 deployment
-//!   (switches → FlowVisor → topology controller + RF-controller, RPC
-//!   client in between) on any [`rf_topo::Topology`], with optional
-//!   host attachment points for end-to-end traffic.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use rf_core::bootstrap::{Deployment, DeploymentConfig};
+//! use rf_core::scenario::Scenario;
 //! use rf_sim::Time;
 //!
+//! let mut sc = Scenario::on(rf_topo::ring(4)).start();
+//! sc.run_until(Time::from_secs(60));
+//! assert_eq!(sc.metrics().configured_switches, 4);
+//!
+//! // The one-shot compatibility path:
+//! use rf_core::bootstrap::{Deployment, DeploymentConfig};
 //! let mut dep = Deployment::build(DeploymentConfig::new(rf_topo::ring(4)));
 //! dep.sim.run_until(Time::from_secs(60));
 //! assert_eq!(dep.configured_switches(), 4);
 //! ```
 
+pub mod apps;
 pub mod bootstrap;
 pub mod manual;
 pub mod rfcontroller;
+pub mod scenario;
 
+pub use apps::{
+    AppCtx, ControlApp, ControlEvent, ControlPlane, ControlState, FibChange, LinkChange,
+};
 pub use bootstrap::{Deployment, DeploymentConfig, HostAttachment};
 pub use manual::ManualConfigModel;
 pub use rfcontroller::{HostPortConfig, RfController, RfControllerConfig};
+pub use scenario::{Fault, Scenario, ScenarioBuilder, ScenarioMetrics, Workload, WorkloadReport};

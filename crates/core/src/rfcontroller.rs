@@ -1,19 +1,20 @@
-//! The RF-controller: RouteFlow + the RPC server.
+//! The RF-controller, as configuration plus a compatibility alias.
+//!
+//! Since the control-plane redesign the controller is the
+//! [`crate::apps::ControlPlane`] event-bus engine running four standard
+//! [`crate::apps::ControlApp`]s; this module keeps the original paths
+//! (`RfController`, `RfControllerConfig`, `HostPortConfig`) working so
+//! pre-redesign code and downcasts compile unchanged.
 
-use bytes::Bytes;
-use rf_openflow::{
-    Action, FlowModCommand, MessageReader, OfMatch, OfMessage, PortNumber, OFPP_NONE,
-    OFP_NO_BUFFER,
-};
-use rf_rpc::{RpcRequest, RpcServerEndpoint, RPC_SERVER_SERVICE};
-use rf_routed::config::VmRouterConfig;
-use rf_sim::{Agent, AgentId, ConnId, Ctx, LinkId, LinkProfile, StreamEvent, Time};
-use rf_vnet::rfproto::{RfFrameReader, RfMessage, RF_SERVICE};
-use rf_vnet::vm::VmAgent;
-use rf_wire::{ArpOp, ArpPacket, EtherType, EthernetFrame, Ipv4Cidr, MacAddr};
-use std::collections::{BTreeMap, HashMap};
+use rf_openflow::PortNumber;
+use rf_sim::LinkProfile;
+use rf_wire::Ipv4Cidr;
 use std::net::Ipv4Addr;
 use std::time::Duration;
+
+/// The RouteFlow controller agent: an alias for the event-bus engine,
+/// so `sim.agent_as::<RfController>(id)` still downcasts.
+pub type RfController = crate::apps::ControlPlane;
 
 /// Administrator-declared host attachment point: the one piece of edge
 /// configuration LLDP discovery cannot learn (hosts do not speak LLDP).
@@ -42,6 +43,10 @@ pub struct RfControllerConfig {
     pub vm_link_profile: LinkProfile,
     /// Host attachment points (edge configuration).
     pub host_ports: Vec<HostPortConfig>,
+    /// OSPF hello/dead intervals written into every VM's ospfd.conf
+    /// (defaults: Quagga's 10 s / 40 s).
+    pub ospf_hello: u16,
+    pub ospf_dead: u16,
 }
 
 impl Default for RfControllerConfig {
@@ -51,675 +56,8 @@ impl Default for RfControllerConfig {
             vm_boot_delay: Duration::from_secs(1),
             vm_link_profile: LinkProfile::default(),
             host_ports: Vec::new(),
+            ospf_hello: 10,
+            ospf_dead: 40,
         }
     }
 }
-
-/// Flow priority encoding: longest-prefix-match via OF 1.0 priorities.
-fn route_priority(prefix_len: u8) -> u16 {
-    0x1000 + u16::from(prefix_len) * 8
-}
-/// Host /32 delivery flows outrank every routed prefix.
-const HOST_FLOW_PRIORITY: u16 = 0x2000;
-
-#[derive(Clone, Debug)]
-struct SwitchRec {
-    num_ports: u16,
-    vm: Option<AgentId>,
-    vm_conn: Option<ConnId>,
-    configured_at: Option<Time>,
-}
-
-#[derive(Clone, Debug)]
-struct LinkRec {
-    a: (u64, u16),
-    b: (u64, u16),
-    subnet: Ipv4Cidr,
-    ip_a: Ipv4Addr,
-    ip_b: Ipv4Addr,
-    sim_link: Option<LinkId>,
-}
-
-/// The RouteFlow controller agent.
-pub struct RfController {
-    cfg: RfControllerConfig,
-    // OpenFlow side.
-    of_readers: HashMap<ConnId, MessageReader>,
-    of_dpid: HashMap<ConnId, u64>,
-    dpid_of: HashMap<u64, ConnId>,
-    // RPC side.
-    rpc: RpcServerEndpoint,
-    rpc_conns: Vec<ConnId>,
-    // VM side.
-    vm_readers: HashMap<ConnId, RfFrameReader>,
-    vm_dpid: HashMap<ConnId, u64>,
-    // RouteFlow state.
-    switches: BTreeMap<u64, SwitchRec>,
-    links: Vec<LinkRec>,
-    /// (dpid, port) → (peer dpid, peer port) for next-hop MACs.
-    port_peer: HashMap<(u64, u16), (u64, u16)>,
-    /// Learned hosts: ip → (dpid, port, mac).
-    hosts: HashMap<Ipv4Addr, (u64, u16, MacAddr)>,
-    /// Installed routed flows: (dpid, network, len) → priority.
-    installed: HashMap<(u64, u32, u8), u16>,
-    /// Pending FLOW_MODs for switches whose OF conn is not up yet.
-    pending_flows: HashMap<u64, Vec<OfMessage>>,
-    /// Links seen before both VMs existed.
-    pending_links: Vec<RpcRequest>,
-    /// VM-creation queue: the RPC server provisions containers one at
-    /// a time (LXC creation is serial in RouteFlow's rftest scripts),
-    /// which is what makes automatic configuration time grow with the
-    /// switch count in Fig. 3.
-    vm_queue: std::collections::VecDeque<(u64, u16)>,
-    vm_creating: Option<u64>,
-    xid: u32,
-    /// Diagnostics.
-    pub flows_installed: u64,
-    pub flows_removed: u64,
-    pub arp_replies: u64,
-}
-
-impl RfController {
-    pub fn new(cfg: RfControllerConfig) -> RfController {
-        RfController {
-            cfg,
-            of_readers: HashMap::new(),
-            of_dpid: HashMap::new(),
-            dpid_of: HashMap::new(),
-            rpc: RpcServerEndpoint::new(),
-            rpc_conns: Vec::new(),
-            vm_readers: HashMap::new(),
-            vm_dpid: HashMap::new(),
-            switches: BTreeMap::new(),
-            links: Vec::new(),
-            port_peer: HashMap::new(),
-            hosts: HashMap::new(),
-            installed: HashMap::new(),
-            pending_flows: HashMap::new(),
-            pending_links: Vec::new(),
-            vm_queue: std::collections::VecDeque::new(),
-            vm_creating: None,
-            xid: 1,
-            flows_installed: 0,
-            flows_removed: 0,
-            arp_replies: 0,
-        }
-    }
-
-    /// Per-switch configured state: the paper's GUI turns a switch
-    /// green "when it has a corresponding VM".
-    pub fn switch_states(&self) -> Vec<(u64, bool)> {
-        self.switches
-            .iter()
-            .map(|(d, s)| (*d, s.configured_at.is_some()))
-            .collect()
-    }
-
-    /// Port count recorded for each switch (the VM is created "with
-    /// the number of ports equivalent to the switch ports").
-    pub fn switch_port_counts(&self) -> Vec<(u64, u16)> {
-        self.switches
-            .iter()
-            .map(|(d, s)| (*d, s.num_ports))
-            .collect()
-    }
-
-    /// Number of switches whose VM is up (green in the GUI).
-    pub fn configured_switches(&self) -> usize {
-        self.switches
-            .values()
-            .filter(|s| s.configured_at.is_some())
-            .count()
-    }
-
-    /// Time each switch turned green.
-    pub fn configured_times(&self) -> Vec<(u64, Option<Time>)> {
-        self.switches
-            .iter()
-            .map(|(d, s)| (*d, s.configured_at))
-            .collect()
-    }
-
-    /// When the last of the first `n` switches turned green.
-    pub fn all_configured_at(&self, n: usize) -> Option<Time> {
-        if self.configured_switches() < n {
-            return None;
-        }
-        self.switches
-            .values()
-            .filter_map(|s| s.configured_at)
-            .max()
-    }
-
-    fn next_xid(&mut self) -> u32 {
-        self.xid = self.xid.wrapping_add(1);
-        self.xid
-    }
-
-    fn send_of(&mut self, ctx: &mut Ctx<'_>, dpid: u64, msg: OfMessage) {
-        let xid = self.next_xid();
-        if let Some(&conn) = self.dpid_of.get(&dpid) {
-            ctx.conn_send(conn, msg.encode(xid));
-        } else {
-            self.pending_flows.entry(dpid).or_default().push(msg);
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // RPC server: the automatic-configuration engine.
-    // ------------------------------------------------------------------
-
-    fn handle_rpc(&mut self, ctx: &mut Ctx<'_>, req: RpcRequest) {
-        match req {
-            RpcRequest::SwitchDetected { dpid, num_ports } => {
-                if self.switches.contains_key(&dpid)
-                    || self.vm_queue.iter().any(|(d, _)| *d == dpid)
-                {
-                    return;
-                }
-                // Paper §2: "the RPC server creates a VM with an ID
-                // identical to the switch ID and the number of ports
-                // equivalent to the switch ports." Creation is queued:
-                // containers are provisioned one at a time.
-                self.vm_queue.push_back((dpid, num_ports));
-                self.spawn_next_vm(ctx);
-            }
-            RpcRequest::SwitchRemoved { dpid } => {
-                if let Some(rec) = self.switches.remove(&dpid) {
-                    if let Some(vm) = rec.vm {
-                        ctx.kill(vm);
-                    }
-                }
-                self.port_peer.retain(|(d, _), (pd, _)| *d != dpid && *pd != dpid);
-                self.links.retain(|l| l.a.0 != dpid && l.b.0 != dpid);
-            }
-            RpcRequest::LinkDetected {
-                a_dpid,
-                a_port,
-                b_dpid,
-                b_port,
-                subnet,
-                ip_a,
-                ip_b,
-            } => {
-                let (Some(va), Some(vb)) = (
-                    self.switches.get(&a_dpid).and_then(|s| s.vm),
-                    self.switches.get(&b_dpid).and_then(|s| s.vm),
-                ) else {
-                    self.pending_links.push(RpcRequest::LinkDetected {
-                        a_dpid,
-                        a_port,
-                        b_dpid,
-                        b_port,
-                        subnet,
-                        ip_a,
-                        ip_b,
-                    });
-                    return;
-                };
-                if self
-                    .links
-                    .iter()
-                    .any(|l| l.a == (a_dpid, a_port) && l.b == (b_dpid, b_port))
-                {
-                    return; // duplicate
-                }
-                // Mirror the physical link in the virtual environment.
-                let sim_link = ctx.add_link(
-                    (va, u32::from(a_port)),
-                    (vb, u32::from(b_port)),
-                    self.cfg.vm_link_profile,
-                );
-                self.links.push(LinkRec {
-                    a: (a_dpid, a_port),
-                    b: (b_dpid, b_port),
-                    subnet,
-                    ip_a,
-                    ip_b,
-                    sim_link: Some(sim_link),
-                });
-                self.port_peer.insert((a_dpid, a_port), (b_dpid, b_port));
-                self.port_peer.insert((b_dpid, b_port), (a_dpid, a_port));
-                ctx.trace(
-                    "rf.link_configured",
-                    format!("{a_dpid:#x}:{a_port} <-> {b_dpid:#x}:{b_port} {subnet}"),
-                );
-                // Rewrite both VMs' configuration files.
-                self.push_configs(ctx, a_dpid);
-                self.push_configs(ctx, b_dpid);
-            }
-            RpcRequest::LinkRemoved {
-                a_dpid,
-                a_port,
-                b_dpid,
-                b_port,
-            } => {
-                if let Some(pos) = self
-                    .links
-                    .iter()
-                    .position(|l| l.a == (a_dpid, a_port) && l.b == (b_dpid, b_port))
-                {
-                    let rec = self.links.remove(pos);
-                    if let Some(l) = rec.sim_link {
-                        ctx.remove_link(l);
-                    }
-                }
-                self.port_peer.remove(&(a_dpid, a_port));
-                self.port_peer.remove(&(b_dpid, b_port));
-                self.push_configs(ctx, a_dpid);
-                self.push_configs(ctx, b_dpid);
-            }
-            RpcRequest::PortStatus { .. } => {
-                // Port flaps are handled by OSPF's dead-interval on the
-                // mirrored interface; nothing to do here.
-            }
-        }
-    }
-
-    /// Provision the next queued VM, if the creation pipeline is idle.
-    fn spawn_next_vm(&mut self, ctx: &mut Ctx<'_>) {
-        if self.vm_creating.is_some() {
-            return;
-        }
-        let Some((dpid, num_ports)) = self.vm_queue.pop_front() else {
-            return;
-        };
-        let vm = ctx.spawn(
-            &format!("vm-{dpid:x}"),
-            Box::new(VmAgent::new(dpid, ctx.self_id(), self.cfg.vm_boot_delay)),
-        );
-        ctx.trace("rf.vm_create", format!("dpid {dpid:#x} ({num_ports} ports)"));
-        self.vm_creating = Some(dpid);
-        self.switches.insert(
-            dpid,
-            SwitchRec {
-                num_ports,
-                vm: Some(vm),
-                vm_conn: None,
-                configured_at: None,
-            },
-        );
-        // Any links that arrived early can be wired now.
-        let pending = std::mem::take(&mut self.pending_links);
-        for p in pending {
-            self.handle_rpc(ctx, p);
-        }
-    }
-
-    /// Interface table for a VM: link interfaces + host-port gateways.
-    fn vm_interfaces(&self, dpid: u64) -> Vec<(u16, Ipv4Cidr)> {
-        let mut out = Vec::new();
-        for l in &self.links {
-            if l.a.0 == dpid {
-                out.push((l.a.1, Ipv4Cidr::new(l.ip_a, l.subnet.prefix_len)));
-            }
-            if l.b.0 == dpid {
-                out.push((l.b.1, Ipv4Cidr::new(l.ip_b, l.subnet.prefix_len)));
-            }
-        }
-        for h in &self.cfg.host_ports {
-            if h.dpid == dpid {
-                out.push((h.port, Ipv4Cidr::new(h.gateway, h.subnet.prefix_len)));
-            }
-        }
-        out.sort_by_key(|(p, _)| *p);
-        out
-    }
-
-    /// Regenerate and push this VM's configuration files — "the RPC
-    /// server writes routing configuration files (e.g. ospf.conf,
-    /// zebra.conf, bgp.conf) using the information present in the
-    /// configuration message" (§2).
-    fn push_configs(&mut self, ctx: &mut Ctx<'_>, dpid: u64) {
-        let Some(rec) = self.switches.get(&dpid) else {
-            return;
-        };
-        let Some(conn) = rec.vm_conn else {
-            return; // VM not booted yet; configs sent on Booted
-        };
-        let ifaces = self.vm_interfaces(dpid);
-        let cfg = VmRouterConfig::generate(dpid, &ifaces);
-        let (zebra, ospf, bgp) = cfg.render_all();
-        ctx.conn_send(conn, RfMessage::WriteConfigs { zebra, ospf, bgp }.encode());
-        ctx.count("rf.configs_written", 1);
-    }
-
-    // ------------------------------------------------------------------
-    // RouteFlow: route → flow translation.
-    // ------------------------------------------------------------------
-
-    fn handle_vm_msg(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, msg: RfMessage) {
-        match msg {
-            RfMessage::Booted { dpid } => {
-                self.vm_dpid.insert(conn, dpid);
-                if let Some(rec) = self.switches.get_mut(&dpid) {
-                    rec.vm_conn = Some(conn);
-                    if rec.configured_at.is_none() {
-                        rec.configured_at = Some(ctx.now());
-                        // The GUI's red → green transition.
-                        ctx.trace("rf.switch_configured", format!("dpid {dpid:#x}"));
-                    }
-                }
-                self.push_configs(ctx, dpid);
-                // The creation pipeline moves on to the next switch.
-                if self.vm_creating == Some(dpid) {
-                    self.vm_creating = None;
-                    self.spawn_next_vm(ctx);
-                }
-            }
-            RfMessage::RouteAdd {
-                prefix,
-                next_hop,
-                out_iface,
-                metric: _,
-            } => {
-                let Some(&dpid) = self.vm_dpid.get(&conn) else {
-                    return;
-                };
-                if next_hop.is_none() {
-                    // Connected routes need no transit flow: traffic to
-                    // the hosts behind this switch is delivered by the
-                    // learned per-host /32 flows; traffic to the /30
-                    // router addresses stays in the VM environment.
-                    return;
-                }
-                let Some(&(peer_dpid, peer_port)) = self.port_peer.get(&(dpid, out_iface)) else {
-                    return; // stale route onto a vanished link
-                };
-                let match_ = OfMatch::ipv4_dst_prefix(prefix.network(), prefix.prefix_len);
-                let fm = OfMessage::FlowMod {
-                    of_match: match_,
-                    cookie: u64::from(u32::from(prefix.network())) << 8
-                        | u64::from(prefix.prefix_len),
-                    command: FlowModCommand::Add,
-                    idle_timeout: 0,
-                    hard_timeout: 0,
-                    priority: route_priority(prefix.prefix_len),
-                    buffer_id: OFP_NO_BUFFER,
-                    out_port: OFPP_NONE,
-                    flags: 0,
-                    actions: vec![
-                        Action::SetDlSrc(MacAddr::from_dpid_port(dpid, out_iface)),
-                        Action::SetDlDst(MacAddr::from_dpid_port(peer_dpid, peer_port)),
-                        Action::output(out_iface),
-                    ],
-                };
-                self.installed.insert(
-                    (dpid, u32::from(prefix.network()), prefix.prefix_len),
-                    route_priority(prefix.prefix_len),
-                );
-                self.flows_installed += 1;
-                ctx.count("rf.flow_add", 1);
-                self.send_of(ctx, dpid, fm);
-            }
-            RfMessage::RouteDel { prefix } => {
-                let Some(&dpid) = self.vm_dpid.get(&conn) else {
-                    return;
-                };
-                let key = (dpid, u32::from(prefix.network()), prefix.prefix_len);
-                let Some(priority) = self.installed.remove(&key) else {
-                    return;
-                };
-                let fm = OfMessage::FlowMod {
-                    of_match: OfMatch::ipv4_dst_prefix(prefix.network(), prefix.prefix_len),
-                    cookie: 0,
-                    command: FlowModCommand::DeleteStrict,
-                    idle_timeout: 0,
-                    hard_timeout: 0,
-                    priority,
-                    buffer_id: OFP_NO_BUFFER,
-                    out_port: OFPP_NONE,
-                    flags: 0,
-                    actions: vec![],
-                };
-                self.flows_removed += 1;
-                ctx.count("rf.flow_del", 1);
-                self.send_of(ctx, dpid, fm);
-            }
-            RfMessage::WriteConfigs { .. } => {} // server → VM only
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // OpenFlow side: gateway ARP + host learning.
-    // ------------------------------------------------------------------
-
-    fn handle_of_msg(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, msg: OfMessage, xid: u32) {
-        match msg {
-            OfMessage::Hello => {}
-            OfMessage::EchoRequest(d) => {
-                ctx.conn_send(conn, OfMessage::EchoReply(d).encode(xid));
-            }
-            OfMessage::FeaturesReply(f) => {
-                self.of_dpid.insert(conn, f.datapath_id);
-                self.dpid_of.insert(f.datapath_id, conn);
-                // Flush flow mods queued before the channel came up.
-                if let Some(q) = self.pending_flows.remove(&f.datapath_id) {
-                    for fm in q {
-                        let xid = self.next_xid();
-                        ctx.conn_send(conn, fm.encode(xid));
-                    }
-                }
-            }
-            OfMessage::PacketIn { in_port, data, .. } => {
-                let Some(&dpid) = self.of_dpid.get(&conn) else {
-                    return;
-                };
-                let Ok(eth) = EthernetFrame::parse(&data) else {
-                    return;
-                };
-                if eth.ethertype == EtherType::IPV4 {
-                    // A punted IPv4 packet destined to a host we have
-                    // not learned yet: resolve it on demand, like a
-                    // router ARPs for a directly-connected next hop.
-                    // The punted packet itself is dropped (no ARP
-                    // queue); the sender's retry flows once the /32 is
-                    // installed.
-                    if let Ok(ip) = rf_wire::Ipv4Packet::parse(&eth.payload) {
-                        if !self.hosts.contains_key(&ip.dst) {
-                            let target = self
-                                .cfg
-                                .host_ports
-                                .iter()
-                                .find(|h| h.dpid == dpid && h.subnet.contains(ip.dst))
-                                .cloned();
-                            if let Some(h) = target {
-                                let gw_mac = MacAddr::from_dpid_port(h.dpid, h.port);
-                                let req = ArpPacket::request(gw_mac, h.gateway, ip.dst);
-                                let frame = EthernetFrame::new(
-                                    MacAddr::BROADCAST,
-                                    gw_mac,
-                                    EtherType::ARP,
-                                    req.emit(),
-                                );
-                                let po = OfMessage::PacketOut {
-                                    buffer_id: OFP_NO_BUFFER,
-                                    in_port: OFPP_NONE,
-                                    actions: vec![Action::output(h.port)],
-                                    data: frame.emit(),
-                                };
-                                ctx.count("rf.arp_probe", 1);
-                                let xid = self.next_xid();
-                                ctx.conn_send(conn, po.encode(xid));
-                            }
-                        }
-                    }
-                    return;
-                }
-                if eth.ethertype != EtherType::ARP {
-                    return;
-                }
-                let Ok(arp) = ArpPacket::parse(&eth.payload) else {
-                    return;
-                };
-                // Learn the sender if it is a host on a declared port.
-                let on_host_port = self
-                    .cfg
-                    .host_ports
-                    .iter()
-                    .any(|h| h.dpid == dpid && h.port == in_port && h.subnet.contains(arp.sender_ip));
-                if on_host_port && arp.sender_ip != Ipv4Addr::UNSPECIFIED {
-                    let newly = self
-                        .hosts
-                        .insert(arp.sender_ip, (dpid, in_port, arp.sender_mac))
-                        .is_none();
-                    if newly {
-                        ctx.trace(
-                            "rf.host_learned",
-                            format!("{} at {dpid:#x}:{in_port}", arp.sender_ip),
-                        );
-                        self.install_host_flow(ctx, arp.sender_ip, dpid, in_port, arp.sender_mac);
-                    }
-                }
-                // Answer gateway ARP requests on the VM's behalf.
-                if arp.op == ArpOp::Request {
-                    let gw = self
-                        .cfg
-                        .host_ports
-                        .iter()
-                        .find(|h| h.dpid == dpid && h.port == in_port && h.gateway == arp.target_ip);
-                    if let Some(h) = gw {
-                        let gw_mac = MacAddr::from_dpid_port(h.dpid, h.port);
-                        let reply = ArpPacket::reply_to(&arp, gw_mac);
-                        let frame = EthernetFrame::new(
-                            arp.sender_mac,
-                            gw_mac,
-                            EtherType::ARP,
-                            reply.emit(),
-                        );
-                        let po = OfMessage::PacketOut {
-                            buffer_id: OFP_NO_BUFFER,
-                            in_port: OFPP_NONE,
-                            actions: vec![Action::output(in_port)],
-                            data: frame.emit(),
-                        };
-                        self.arp_replies += 1;
-                        ctx.count("rf.arp_reply", 1);
-                        let xid = self.next_xid();
-                        ctx.conn_send(conn, po.encode(xid));
-                    }
-                }
-            }
-            _ => {}
-        }
-    }
-
-    fn install_host_flow(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        ip: Ipv4Addr,
-        dpid: u64,
-        port: u16,
-        mac: MacAddr,
-    ) {
-        let fm = OfMessage::FlowMod {
-            of_match: OfMatch::ipv4_dst_prefix(ip, 32),
-            cookie: 0x4F53_5400, // "HOST"
-            command: FlowModCommand::Add,
-            idle_timeout: 0,
-            hard_timeout: 0,
-            priority: HOST_FLOW_PRIORITY,
-            buffer_id: OFP_NO_BUFFER,
-            out_port: OFPP_NONE,
-            flags: 0,
-            actions: vec![
-                Action::SetDlSrc(MacAddr::from_dpid_port(dpid, port)),
-                Action::SetDlDst(mac),
-                Action::output(port),
-            ],
-        };
-        self.flows_installed += 1;
-        ctx.count("rf.flow_add", 1);
-        self.send_of(ctx, dpid, fm);
-    }
-}
-
-impl Agent for RfController {
-    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        ctx.listen(self.cfg.of_service);
-        ctx.listen(RPC_SERVER_SERVICE);
-        ctx.listen(RF_SERVICE);
-    }
-
-    fn on_stream(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, event: StreamEvent) {
-        match event {
-            StreamEvent::Opened {
-                service,
-                initiated_by_us,
-                ..
-            } => {
-                if initiated_by_us {
-                    return;
-                }
-                match service {
-                    s if s == RPC_SERVER_SERVICE => self.rpc_conns.push(conn),
-                    s if s == RF_SERVICE => {
-                        self.vm_readers.insert(conn, RfFrameReader::new());
-                    }
-                    _ => {
-                        // FlowVisor (or a switch directly) on the OF side.
-                        self.of_readers.insert(conn, MessageReader::new());
-                        ctx.conn_send(conn, OfMessage::Hello.encode(0));
-                        let xid = self.next_xid();
-                        ctx.conn_send(conn, OfMessage::FeaturesRequest.encode(xid));
-                    }
-                }
-            }
-            StreamEvent::Data(data) => {
-                if self.rpc_conns.contains(&conn) {
-                    let (fresh, acks) = self.rpc.feed(&data);
-                    for ack in acks {
-                        ctx.conn_send(conn, ack);
-                    }
-                    for req in fresh {
-                        self.handle_rpc(ctx, req);
-                    }
-                } else if self.vm_readers.contains_key(&conn) {
-                    let msgs = {
-                        let r = self.vm_readers.get_mut(&conn).unwrap();
-                        r.push(&data);
-                        let mut v = Vec::new();
-                        while let Some(m) = r.next() {
-                            v.push(m);
-                        }
-                        v
-                    };
-                    for m in msgs {
-                        self.handle_vm_msg(ctx, conn, m);
-                    }
-                } else if self.of_readers.contains_key(&conn) {
-                    let msgs = {
-                        let r = self.of_readers.get_mut(&conn).unwrap();
-                        r.push(&data);
-                        let mut v = Vec::new();
-                        while let Some(Ok(m)) = r.next() {
-                            v.push(m);
-                        }
-                        v
-                    };
-                    for (m, xid) in msgs {
-                        self.handle_of_msg(ctx, conn, m, xid);
-                    }
-                }
-            }
-            StreamEvent::Closed => {
-                self.rpc_conns.retain(|c| *c != conn);
-                self.vm_readers.remove(&conn);
-                self.of_readers.remove(&conn);
-                if let Some(dpid) = self.of_dpid.remove(&conn) {
-                    self.dpid_of.remove(&dpid);
-                }
-                if let Some(dpid) = self.vm_dpid.remove(&conn) {
-                    if let Some(rec) = self.switches.get_mut(&dpid) {
-                        rec.vm_conn = None;
-                    }
-                }
-            }
-        }
-    }
-}
-
-// Silence the unused-import lint for Bytes (used only in trait bounds
-// via encode() return values).
-#[allow(dead_code)]
-fn _bytes_witness(_: Bytes) {}

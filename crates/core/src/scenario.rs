@@ -1,0 +1,679 @@
+//! The experiment-side API: a fluent [`ScenarioBuilder`] that assembles
+//! the paper's Fig. 2 stack on any topology, with hosts, workloads,
+//! fault schedules and custom [`ControlApp`]s, and a [`Scenario`]
+//! handle exposing typed metrics.
+//!
+//! [`crate::bootstrap::Deployment`] is a thin compatibility wrapper
+//! over this module.
+//!
+//! ```
+//! use rf_core::scenario::{Scenario, Workload};
+//! use rf_sim::Time;
+//!
+//! // The ring-4 auto-configuration, end to end: discovery finds the
+//! // switches, VMs boot, OSPF converges, flows appear — and a ping
+//! // workload crosses the fabric.
+//! let mut sc = Scenario::on(rf_topo::ring(4))
+//!     .fast_timers()
+//!     .with_workload(Workload::ping(0, 2))
+//!     .start();
+//! let done = sc.run_until_configured(Time::from_secs(120)).unwrap();
+//! assert!(done < Time::from_secs(60), "configured in {done}");
+//!
+//! let m = sc.metrics();
+//! assert_eq!(m.configured_switches, 4);
+//! assert_eq!(m.per_switch_config_time.len(), 4);
+//! ```
+
+use crate::apps::{ControlApp, ControlPlane};
+use crate::bootstrap::{Deployment, DeploymentConfig, HostAttachment, HostSlot};
+use crate::rfcontroller::{HostPortConfig, RfControllerConfig};
+use rf_apps::video::{VideoClient, VideoClientReport, VideoServer};
+use rf_apps::{EchoHost, HostConfig, Pinger};
+use rf_discovery::{TopologyController, TopologyControllerConfig};
+use rf_flowvisor::{FlowVisor, FlowVisorConfig, SlicePolicy};
+use rf_rpc::{RpcClientAgent, RpcClientConfig};
+use rf_sim::{Agent, AgentId, Ctx, LinkId, LinkProfile, Sim, SimConfig, Time};
+use rf_switch::{OpenFlowSwitch, SwitchConfig};
+use rf_topo::Topology;
+use rf_wire::{Ipv4Cidr, MacAddr};
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+/// A scheduled disturbance, injected while the scenario runs.
+#[derive(Clone, Debug)]
+pub enum Fault {
+    /// Kill the switch at topology node `node` (its OF sessions drop,
+    /// discovery ages the links out, OSPF routes around it).
+    KillSwitch { node: usize, at: Duration },
+    /// Administratively take the `edge`-th topology link down.
+    LinkDown { edge: usize, at: Duration },
+    /// Bring the `edge`-th topology link back up.
+    LinkUp { edge: usize, at: Duration },
+}
+
+/// A traffic workload attached to the scenario's edge.
+#[derive(Clone, Debug)]
+pub enum Workload {
+    /// ICMP echo probing from a host on `client` to a host on `server`,
+    /// one ping per second.
+    Ping { client: usize, server: usize },
+    /// The paper's §3 demo: a CBR UDP video stream from a host on
+    /// `server` to a host on `client`.
+    Video { server: usize, client: usize },
+}
+
+impl Workload {
+    pub fn ping(client: usize, server: usize) -> Workload {
+        Workload::Ping { client, server }
+    }
+
+    pub fn video(server: usize, client: usize) -> Workload {
+        Workload::Video { server, client }
+    }
+}
+
+/// What a workload measured, harvested via [`Scenario::workload_reports`].
+#[derive(Clone, Debug)]
+pub enum WorkloadReport {
+    Ping {
+        /// Time of the first successful round trip.
+        first_reply_at: Option<Time>,
+        /// Completed round trips: (seq, rtt).
+        rtts: Vec<(u16, Duration)>,
+    },
+    Video(VideoClientReport),
+}
+
+/// Typed scenario metrics: the numbers the paper's figures are made of.
+#[derive(Clone, Debug)]
+pub struct ScenarioMetrics {
+    /// Switches in the topology.
+    pub expected_switches: usize,
+    /// Switches whose mirroring VM is up (green in the paper's GUI).
+    pub configured_switches: usize,
+    /// Per-switch configuration time (dpid → when it turned green).
+    pub per_switch_config_time: Vec<(u64, Option<Time>)>,
+    /// When the last switch turned green (Fig. 3's y-axis), if all did.
+    pub all_configured_at: Option<Time>,
+    /// FLOW_MODs pushed by the controller (adds, including host /32s).
+    pub flows_installed: u64,
+    /// FLOW_MOD deletions pushed by the controller.
+    pub flows_removed: u64,
+    /// Flow entries currently resident across all switch tables.
+    pub dataplane_flows: usize,
+    /// Gateway ARPs answered on the VMs' behalf.
+    pub arp_replies: u64,
+}
+
+/// Internal fault-scheduler agent: one timer per scheduled fault.
+struct ChaosAgent {
+    ops: Vec<(Duration, ChaosOp)>,
+}
+
+enum ChaosOp {
+    Kill(AgentId),
+    SetLink(LinkId, bool),
+}
+
+impl Agent for ChaosAgent {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for (i, (at, _)) in self.ops.iter().enumerate() {
+            ctx.schedule(*at, i as u64);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match self.ops[token as usize].1 {
+            ChaosOp::Kill(agent) => {
+                ctx.trace("chaos.kill", format!("{agent}"));
+                ctx.kill(agent);
+            }
+            ChaosOp::SetLink(link, up) => {
+                ctx.trace("chaos.link", format!("link {} -> {}", link.0, up));
+                ctx.set_link_up(link, up);
+            }
+        }
+    }
+}
+
+enum WorkloadHandle {
+    Ping { pinger: AgentId },
+    Video { client: AgentId },
+}
+
+/// Fluent assembly of a full experiment; start with [`Scenario::on`].
+pub struct ScenarioBuilder {
+    cfg: DeploymentConfig,
+    faults: Vec<Fault>,
+    workloads: Vec<Workload>,
+    extra_apps: Vec<Box<dyn ControlApp>>,
+}
+
+impl ScenarioBuilder {
+    /// Builder over an existing [`DeploymentConfig`] (the compatibility
+    /// path used by `Deployment::build`).
+    pub fn from_deployment_config(cfg: DeploymentConfig) -> ScenarioBuilder {
+        ScenarioBuilder {
+            cfg,
+            faults: Vec::new(),
+            workloads: Vec::new(),
+            extra_apps: Vec::new(),
+        }
+    }
+
+    /// Simulation seed (default `0xC0FFEE`).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// OSPF hello/dead intervals written into every ospfd.conf
+    /// (defaults: Quagga's 10 s / 40 s).
+    pub fn ospf_timers(mut self, hello: u16, dead: u16) -> Self {
+        self.cfg.ospf_hello = hello;
+        self.cfg.ospf_dead = dead;
+        self
+    }
+
+    /// LLDP probe period of the topology controller.
+    pub fn probe_interval(mut self, d: Duration) -> Self {
+        self.cfg.probe_interval = d;
+        self
+    }
+
+    /// 1 s hello / 4 s dead / 500 ms probes — the settings every fast
+    /// test uses.
+    pub fn fast_timers(self) -> Self {
+        self.ospf_timers(1, 4)
+            .probe_interval(Duration::from_millis(500))
+    }
+
+    /// Simulated VM provisioning time (default 1 s, LXC-like).
+    pub fn vm_boot_delay(mut self, d: Duration) -> Self {
+        self.cfg.vm_boot_delay = d;
+        self
+    }
+
+    /// Physical link profile (also used for the virtual interconnect).
+    pub fn link_profile(mut self, p: LinkProfile) -> Self {
+        self.cfg.link_profile = p;
+        self
+    }
+
+    /// Wire both controllers directly into every switch instead of
+    /// going through FlowVisor (the A4 ablation).
+    pub fn without_flowvisor(mut self) -> Self {
+        self.cfg.use_flowvisor = false;
+        self
+    }
+
+    /// Trace verbosity (default `Info`).
+    pub fn trace_level(mut self, level: rf_sim::TraceLevel) -> Self {
+        self.cfg.trace_level = level;
+        self
+    }
+
+    /// Attach a host subnet at a topology node; slots appear in
+    /// [`Scenario::host_slots`] in declaration order.
+    pub fn with_host(mut self, node: usize, subnet: &str) -> Self {
+        self.cfg.hosts.push(HostAttachment {
+            node,
+            subnet: subnet.parse().expect("valid subnet"),
+        });
+        self
+    }
+
+    /// Attach several hosts at once.
+    pub fn with_hosts<'a>(mut self, hosts: impl IntoIterator<Item = (usize, &'a str)>) -> Self {
+        for (node, subnet) in hosts {
+            self = self.with_host(node, subnet);
+        }
+        self
+    }
+
+    /// Schedule a fault.
+    pub fn with_fault(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Schedule several faults.
+    pub fn with_faults(mut self, faults: impl IntoIterator<Item = Fault>) -> Self {
+        self.faults.extend(faults);
+        self
+    }
+
+    /// Attach a traffic workload; its endpoints get auto-allocated
+    /// `10.200+k.0.0/24` host subnets.
+    pub fn with_workload(mut self, workload: Workload) -> Self {
+        self.workloads.push(workload);
+        self
+    }
+
+    /// Register an extra [`ControlApp`] on the controller's event bus,
+    /// after the four standard apps.
+    pub fn with_app(mut self, app: Box<dyn ControlApp>) -> Self {
+        self.extra_apps.push(app);
+        self
+    }
+
+    /// Register several extra apps.
+    pub fn with_apps(mut self, apps: impl IntoIterator<Item = Box<dyn ControlApp>>) -> Self {
+        self.extra_apps.extend(apps);
+        self
+    }
+
+    /// Assemble the world: switches → FlowVisor → topology controller +
+    /// RF-controller (RPC client in between), physical links, host
+    /// slots, workload agents and the fault schedule.
+    pub fn start(self) -> Scenario {
+        let ScenarioBuilder {
+            mut cfg,
+            faults,
+            workloads,
+            extra_apps,
+        } = self;
+
+        // Workload endpoints ride on auto-allocated host subnets,
+        // appended after user-declared hosts so explicit slot indices
+        // stay stable.
+        let user_hosts = cfg.hosts.len();
+        let mut workload_slots: Vec<(usize, usize)> = Vec::new(); // slot index of (first, second) endpoint
+        for (k, w) in workloads.iter().enumerate() {
+            let (first, second) = match *w {
+                Workload::Ping { client, server } => (client, server),
+                Workload::Video { server, client } => (server, client),
+            };
+            let base = cfg.hosts.len();
+            let oct = 200 + (k as u8 % 50);
+            cfg.hosts.push(HostAttachment {
+                node: first,
+                subnet: Ipv4Cidr::new(Ipv4Addr::new(10, oct, (2 * k) as u8, 0), 24),
+            });
+            cfg.hosts.push(HostAttachment {
+                node: second,
+                subnet: Ipv4Cidr::new(Ipv4Addr::new(10, oct, (2 * k + 1) as u8, 0), 24),
+            });
+            workload_slots.push((base, base + 1));
+        }
+
+        // No two host subnets (user-declared or workload-allocated) may
+        // overlap: duplicate gateway/host addresses would make ARP
+        // learning deliver one host's traffic to the other's switch.
+        for (i, a) in cfg.hosts.iter().enumerate() {
+            for b in &cfg.hosts[i + 1..] {
+                assert!(
+                    !a.subnet.contains(b.subnet.network())
+                        && !b.subnet.contains(a.subnet.network()),
+                    "host subnets overlap: {} (node {}) and {} (node {})",
+                    a.subnet,
+                    a.node,
+                    b.subnet,
+                    b.node
+                );
+            }
+        }
+
+        let n = cfg.topology.node_count();
+        let mut sim = Sim::new(SimConfig {
+            seed: cfg.seed,
+            trace_level: cfg.trace_level,
+            max_time: None,
+        });
+
+        // Port plan: edges first, then host ports.
+        let mut next_port: Vec<u16> = vec![1; n];
+        let mut edge_ports: Vec<(usize, u16, usize, u16)> = Vec::new();
+        for e in cfg.topology.edges() {
+            let pa = next_port[e.a];
+            next_port[e.a] += 1;
+            let pb = next_port[e.b];
+            next_port[e.b] += 1;
+            edge_ports.push((e.a, pa, e.b, pb));
+        }
+        let mut host_port_cfgs = Vec::new();
+        let mut host_plan = Vec::new(); // (node, port, subnet, gw, host_ip)
+        for h in &cfg.hosts {
+            let port = next_port[h.node];
+            next_port[h.node] += 1;
+            let gw = h.subnet.nth(1).expect("subnet too small");
+            let host_ip = h.subnet.nth(2).expect("subnet too small");
+            host_port_cfgs.push(HostPortConfig {
+                dpid: (h.node + 1) as u64,
+                port,
+                subnet: h.subnet,
+                gateway: gw,
+            });
+            host_plan.push((h.node, port, h.subnet, gw, host_ip));
+        }
+
+        // Controllers.
+        let mut engine = ControlPlane::new(RfControllerConfig {
+            of_service: 6642,
+            vm_boot_delay: cfg.vm_boot_delay,
+            vm_link_profile: cfg.link_profile,
+            host_ports: host_port_cfgs,
+            ospf_hello: cfg.ospf_hello,
+            ospf_dead: cfg.ospf_dead,
+        });
+        for app in extra_apps {
+            engine.register(app);
+        }
+        let rf_ctrl = sim.add_agent("rf-controller", Box::new(engine));
+        let rpc_client = sim.add_agent(
+            "rpc-client",
+            Box::new(RpcClientAgent::new(RpcClientConfig::new(rf_ctrl))),
+        );
+        let topo_ctrl = sim.add_agent(
+            "topology-controller",
+            Box::new(TopologyController::new(
+                TopologyControllerConfig {
+                    probe_interval: cfg.probe_interval,
+                    link_ttl: cfg.probe_interval * 3,
+                    ..TopologyControllerConfig::new(cfg.ip_range)
+                }
+                .with_rpc_client(rpc_client),
+            )),
+        );
+        let flowvisor = if cfg.use_flowvisor {
+            Some(sim.add_agent(
+                "flowvisor",
+                Box::new(FlowVisor::new(FlowVisorConfig::new(vec![
+                    SlicePolicy::lldp_slice("topology", topo_ctrl, 6641),
+                    SlicePolicy::ip_slice("routeflow", rf_ctrl, 6642),
+                ]))),
+            ))
+        } else {
+            None
+        };
+
+        // Switches.
+        let mut switches = Vec::with_capacity(n);
+        for (i, ports) in next_port.iter().enumerate() {
+            let dpid = (i + 1) as u64;
+            let num_ports = ports - 1;
+            let swcfg = match flowvisor {
+                Some(fv) => SwitchConfig::new(dpid, num_ports, fv),
+                None => SwitchConfig::new(dpid, num_ports, topo_ctrl)
+                    .with_service(6641)
+                    .add_controller(rf_ctrl, 6642),
+            };
+            let name = cfg.topology.node(i).name.clone();
+            switches.push(sim.add_agent(&name, Box::new(OpenFlowSwitch::new(swcfg))));
+        }
+
+        // Physical links (ids kept for the fault schedule).
+        let mut phys_links = Vec::with_capacity(edge_ports.len());
+        for (a, pa, b, pb) in edge_ports {
+            phys_links.push(sim.add_link(
+                (switches[a], u32::from(pa)),
+                (switches[b], u32::from(pb)),
+                cfg.link_profile,
+            ));
+        }
+
+        let host_slots: Vec<HostSlot> = host_plan
+            .into_iter()
+            .map(|(node, port, subnet, gateway, host_ip)| HostSlot {
+                node,
+                switch: switches[node],
+                port,
+                subnet,
+                gateway,
+                host_ip,
+            })
+            .collect();
+
+        // Workload endpoint agents.
+        let mut workload_handles = Vec::new();
+        for (k, w) in workloads.iter().enumerate() {
+            let (first_slot, second_slot) = workload_slots[k];
+            let a = host_slots[first_slot].clone();
+            let b = host_slots[second_slot].clone();
+            let mac = |which: u8| MacAddr([2, 0xE0 + which, k as u8, 0, 0, 1]);
+            let host_cfg = |slot: &HostSlot, which: u8| HostConfig {
+                mac: mac(which),
+                addr: Ipv4Cidr::new(slot.host_ip, slot.subnet.prefix_len),
+                gateway: slot.gateway,
+            };
+            let handle = match *w {
+                Workload::Ping { .. } => {
+                    let echo = sim.add_agent(
+                        &format!("echo-host-{k}"),
+                        Box::new(EchoHost::new(host_cfg(&b, 1))),
+                    );
+                    let pinger = sim.add_agent(
+                        &format!("pinger-{k}"),
+                        Box::new(Pinger::new(host_cfg(&a, 0), b.host_ip)),
+                    );
+                    sim.add_link((b.switch, u32::from(b.port)), (echo, 1), cfg.link_profile);
+                    sim.add_link((a.switch, u32::from(a.port)), (pinger, 1), cfg.link_profile);
+                    WorkloadHandle::Ping { pinger }
+                }
+                Workload::Video { .. } => {
+                    let server = sim.add_agent(
+                        &format!("video-server-{k}"),
+                        Box::new(VideoServer::new(host_cfg(&a, 0))),
+                    );
+                    let client = sim.add_agent(
+                        &format!("video-client-{k}"),
+                        Box::new(VideoClient::new(host_cfg(&b, 1), a.host_ip)),
+                    );
+                    sim.add_link((a.switch, u32::from(a.port)), (server, 1), cfg.link_profile);
+                    sim.add_link((b.switch, u32::from(b.port)), (client, 1), cfg.link_profile);
+                    WorkloadHandle::Video { client }
+                }
+            };
+            workload_handles.push(handle);
+        }
+
+        // Fault schedule.
+        if !faults.is_empty() {
+            let switch_of = |node: usize| {
+                *switches
+                    .get(node)
+                    .unwrap_or_else(|| panic!("fault references node {node}, topology has {n}"))
+            };
+            let link_of = |edge: usize| {
+                *phys_links.get(edge).unwrap_or_else(|| {
+                    panic!(
+                        "fault references edge {edge}, topology has {}",
+                        phys_links.len()
+                    )
+                })
+            };
+            let ops = faults
+                .iter()
+                .map(|f| match *f {
+                    Fault::KillSwitch { node, at } => (at, ChaosOp::Kill(switch_of(node))),
+                    Fault::LinkDown { edge, at } => (at, ChaosOp::SetLink(link_of(edge), false)),
+                    Fault::LinkUp { edge, at } => (at, ChaosOp::SetLink(link_of(edge), true)),
+                })
+                .collect();
+            sim.add_agent("chaos", Box::new(ChaosAgent { ops }));
+        }
+
+        Scenario {
+            sim,
+            rf_ctrl,
+            topo_ctrl,
+            rpc_client,
+            flowvisor,
+            switches,
+            phys_links,
+            host_slots,
+            expected_switches: n,
+            user_hosts,
+            workload_handles,
+        }
+    }
+}
+
+/// Switches whose VM is up, read off the controller agent (shared by
+/// [`Scenario`] and the legacy [`Deployment`] wrapper).
+pub(crate) fn configured_switches(sim: &Sim, rf_ctrl: AgentId) -> usize {
+    sim.agent_as::<ControlPlane>(rf_ctrl)
+        .map(|c| c.configured_switches())
+        .unwrap_or(0)
+}
+
+/// When the last of `expected` switches turned green, if all have.
+pub(crate) fn all_configured_at(sim: &Sim, rf_ctrl: AgentId, expected: usize) -> Option<Time> {
+    sim.agent_as::<ControlPlane>(rf_ctrl)?
+        .all_configured_at(expected)
+}
+
+/// Run until every switch is configured (or `deadline`), stepping in
+/// 100 ms slices so the condition is observable.
+pub(crate) fn run_until_configured(
+    sim: &mut Sim,
+    rf_ctrl: AgentId,
+    expected: usize,
+    deadline: Time,
+) -> Option<Time> {
+    let mut t = sim.now();
+    while t < deadline {
+        t = (t + Duration::from_millis(100)).min(deadline);
+        sim.run_until(t);
+        if let Some(done) = all_configured_at(sim, rf_ctrl, expected) {
+            return Some(done);
+        }
+    }
+    None
+}
+
+/// Flow entries currently resident across all switch tables.
+pub(crate) fn total_flows(sim: &Sim, switches: &[AgentId]) -> usize {
+    switches
+        .iter()
+        .filter_map(|&s| sim.agent_as::<OpenFlowSwitch>(s))
+        .map(|s| s.flow_count())
+        .sum()
+}
+
+/// A running experiment: the simulator plus handles to every layer of
+/// the Fig. 2 stack.
+pub struct Scenario {
+    pub sim: Sim,
+    pub rf_ctrl: AgentId,
+    pub topo_ctrl: AgentId,
+    pub rpc_client: AgentId,
+    pub flowvisor: Option<AgentId>,
+    /// Switch agents indexed by topology node.
+    pub switches: Vec<AgentId>,
+    /// Physical link ids, indexed like `topology.edges()`.
+    pub phys_links: Vec<LinkId>,
+    /// Reserved host ports: user-declared first, then two per workload.
+    pub host_slots: Vec<HostSlot>,
+    /// Number of switches in the topology.
+    pub expected_switches: usize,
+    /// How many of `host_slots` were declared via `with_host`.
+    user_hosts: usize,
+    workload_handles: Vec<WorkloadHandle>,
+}
+
+impl Scenario {
+    /// Start building a scenario on `topology`.
+    pub fn on(topology: Topology) -> ScenarioBuilder {
+        ScenarioBuilder::from_deployment_config(DeploymentConfig::new(topology))
+    }
+
+    /// The control-plane engine (state, app list, counters).
+    pub fn controller(&self) -> &ControlPlane {
+        self.sim
+            .agent_as::<ControlPlane>(self.rf_ctrl)
+            .expect("controller agent alive")
+    }
+
+    /// Host slots declared via `with_host` (excludes workload slots).
+    pub fn user_host_slots(&self) -> &[HostSlot] {
+        &self.host_slots[..self.user_hosts]
+    }
+
+    /// Run until simulated time `t`.
+    pub fn run_until(&mut self, t: Time) {
+        self.sim.run_until(t);
+    }
+
+    /// Switches whose VM is up (green in the paper's GUI).
+    pub fn configured_switches(&self) -> usize {
+        configured_switches(&self.sim, self.rf_ctrl)
+    }
+
+    /// When the last switch turned green, if all have.
+    pub fn all_configured_at(&self) -> Option<Time> {
+        all_configured_at(&self.sim, self.rf_ctrl, self.expected_switches)
+    }
+
+    /// Run until every switch is configured (or `deadline`); returns
+    /// the configuration completion time.
+    pub fn run_until_configured(&mut self, deadline: Time) -> Option<Time> {
+        run_until_configured(
+            &mut self.sim,
+            self.rf_ctrl,
+            self.expected_switches,
+            deadline,
+        )
+    }
+
+    /// Flow entries currently resident across all switch tables.
+    pub fn total_flows(&self) -> usize {
+        total_flows(&self.sim, &self.switches)
+    }
+
+    /// Snapshot the scenario's typed metrics.
+    pub fn metrics(&self) -> ScenarioMetrics {
+        let ctrl = self.controller();
+        ScenarioMetrics {
+            expected_switches: self.expected_switches,
+            configured_switches: ctrl.configured_switches(),
+            per_switch_config_time: ctrl.configured_times(),
+            all_configured_at: ctrl.all_configured_at(self.expected_switches),
+            flows_installed: ctrl.flows_installed(),
+            flows_removed: ctrl.flows_removed(),
+            dataplane_flows: self.total_flows(),
+            arp_replies: ctrl.arp_replies(),
+        }
+    }
+
+    /// Harvest each workload's measurements, in `with_workload` order.
+    pub fn workload_reports(&self) -> Vec<WorkloadReport> {
+        self.workload_handles
+            .iter()
+            .map(|h| match *h {
+                WorkloadHandle::Ping { pinger } => {
+                    let p = self
+                        .sim
+                        .agent_as::<Pinger>(pinger)
+                        .expect("pinger agent alive");
+                    WorkloadReport::Ping {
+                        first_reply_at: p.first_reply_at,
+                        rtts: p.rtts.clone(),
+                    }
+                }
+                WorkloadHandle::Video { client } => {
+                    let c = self
+                        .sim
+                        .agent_as::<VideoClient>(client)
+                        .expect("video client agent alive");
+                    WorkloadReport::Video(c.report)
+                }
+            })
+            .collect()
+    }
+
+    /// Tear the scenario down into the legacy [`Deployment`] shape.
+    pub fn into_deployment(self) -> Deployment {
+        Deployment {
+            sim: self.sim,
+            rf_ctrl: self.rf_ctrl,
+            topo_ctrl: self.topo_ctrl,
+            rpc_client: self.rpc_client,
+            flowvisor: self.flowvisor,
+            switches: self.switches,
+            host_slots: self.host_slots,
+            expected_switches: self.expected_switches,
+        }
+    }
+}

@@ -128,7 +128,7 @@ mod tests {
         a.release(b);
         assert!(a.alloc().is_some());
         assert!(a.alloc().is_some()); // only one extra slot, not two… but
-        // /28 has 4 blocks: one released twice must not double-count.
+                                      // /28 has 4 blocks: one released twice must not double-count.
         assert!(a.alloc().is_some());
         assert!(a.alloc().is_some());
         assert!(a.alloc().is_none());

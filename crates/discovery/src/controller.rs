@@ -61,10 +61,20 @@ impl TopologyControllerConfig {
 /// and the experiment harness).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DiscoveryEvent {
-    SwitchJoin { dpid: u64, num_ports: u16 },
-    SwitchLeave { dpid: u64 },
-    LinkUp { link: UndirectedLink, subnet: Ipv4Cidr },
-    LinkDown { link: UndirectedLink },
+    SwitchJoin {
+        dpid: u64,
+        num_ports: u16,
+    },
+    SwitchLeave {
+        dpid: u64,
+    },
+    LinkUp {
+        link: UndirectedLink,
+        subnet: Ipv4Cidr,
+    },
+    LinkDown {
+        link: UndirectedLink,
+    },
 }
 
 struct Session {
@@ -363,10 +373,8 @@ impl Agent for TopologyController {
                 }
                 ctx.schedule(self.cfg.link_ttl, T_AGE);
             }
-            T_RPC_RECONNECT => {
-                if self.rpc_conn.is_none() {
-                    self.connect_rpc(ctx);
-                }
+            T_RPC_RECONNECT if self.rpc_conn.is_none() => {
+                self.connect_rpc(ctx);
             }
             _ => {}
         }

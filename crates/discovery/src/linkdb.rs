@@ -51,14 +51,14 @@ impl LinkDb {
     pub fn observe(&mut self, from: EndPoint, to: EndPoint, now: Time) -> Option<UndirectedLink> {
         self.observations.insert(DirectedLink { from, to }, now);
         let link = UndirectedLink::canonical(from, to);
-        if self.up.contains_key(&link) {
-            None
-        } else {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.up.entry(link) {
             // NOX-style: a single direction is enough to declare the
             // link (the reverse probe typically confirms within one
             // period).
-            self.up.insert(link, ());
+            e.insert(());
             Some(link)
+        } else {
+            None
         }
     }
 

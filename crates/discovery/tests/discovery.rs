@@ -19,9 +19,7 @@ fn build(topo: &Topology, cfg: TopologyControllerConfig) -> (Sim, rf_sim::AgentI
     let tc = sim.add_agent("topo-ctrl", Box::new(TopologyController::new(cfg)));
     let mut port_next: Vec<u16> = vec![1; topo.node_count()];
     let mut swcfg: Vec<SwitchConfig> = (0..topo.node_count())
-        .map(|i| {
-            SwitchConfig::new((i + 1) as u64, 0, tc).with_service(6641)
-        })
+        .map(|i| SwitchConfig::new((i + 1) as u64, 0, tc).with_service(6641))
         .collect();
     let mut links: Vec<(usize, u16, usize, u16)> = Vec::new();
     for e in topo.edges() {
@@ -110,7 +108,10 @@ fn dead_switch_is_removed_with_its_links() {
     assert!(sim.agent_as::<OpenFlowSwitch>(victim).is_some());
     // Find the controller's view before the kill.
     assert_eq!(
-        sim.agent_as::<TopologyController>(tc).unwrap().links().len(),
+        sim.agent_as::<TopologyController>(tc)
+            .unwrap()
+            .links()
+            .len(),
         4
     );
     // Kill via a spawned one-shot agent.

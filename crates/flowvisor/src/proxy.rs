@@ -2,9 +2,7 @@
 
 use crate::slice::{FlowSpaceDecision, SlicePolicy};
 use bytes::Bytes;
-use rf_openflow::{
-    ErrorType, MessageReader, OfMessage, PacketKey, OFP_NO_BUFFER,
-};
+use rf_openflow::{ErrorType, MessageReader, OfMessage, PacketKey, OFP_NO_BUFFER};
 use rf_sim::{Agent, ConnId, ConnProfile, Ctx, StreamEvent};
 use std::collections::HashMap;
 use std::time::Duration;
@@ -100,8 +98,8 @@ impl FlowVisor {
         loop {
             let x = self.next_xid;
             self.next_xid = self.next_xid.wrapping_add(1).max(1);
-            if !self.xid_map.contains_key(&x) {
-                self.xid_map.insert(x, (sw, slice, orig));
+            if let std::collections::hash_map::Entry::Vacant(e) = self.xid_map.entry(x) {
+                e.insert((sw, slice, orig));
                 return x;
             }
         }
@@ -245,8 +243,7 @@ impl FlowVisor {
             return;
         };
         for slice_idx in 0..self.cfg.slices.len() {
-            let pend =
-                std::mem::take(&mut self.switches[sw].upstreams[slice_idx].pending_features);
+            let pend = std::mem::take(&mut self.switches[sw].upstreams[slice_idx].pending_features);
             for xid in pend {
                 self.send_to_slice(
                     ctx,
@@ -282,7 +279,9 @@ impl FlowVisor {
                 if let Some(f) = self.switches[sw].features.clone() {
                     self.send_to_slice(ctx, sw, slice, &OfMessage::FeaturesReply(f), xid);
                 } else {
-                    self.switches[sw].upstreams[slice].pending_features.push(xid);
+                    self.switches[sw].upstreams[slice]
+                        .pending_features
+                        .push(xid);
                 }
             }
             OfMessage::FlowMod {

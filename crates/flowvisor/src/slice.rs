@@ -36,7 +36,10 @@ impl SlicePolicy {
             name: name.into(),
             controller,
             service,
-            flowspace: vec![OfMatch::ipv4_dst_prefix(std::net::Ipv4Addr::UNSPECIFIED, 0), OfMatch::arp()],
+            flowspace: vec![
+                OfMatch::ipv4_dst_prefix(std::net::Ipv4Addr::UNSPECIFIED, 0),
+                OfMatch::arp(),
+            ],
         }
     }
 

@@ -4,8 +4,7 @@
 use bytes::Bytes;
 use rf_flowvisor::{FlowVisor, FlowVisorConfig, SlicePolicy};
 use rf_openflow::{
-    Action, FlowModCommand, MessageReader, OfMatch, OfMessage, StatsBody, OFPP_NONE,
-    OFP_NO_BUFFER,
+    Action, FlowModCommand, MessageReader, OfMatch, OfMessage, StatsBody, OFPP_NONE, OFP_NO_BUFFER,
 };
 use rf_sim::{Agent, AgentId, ConnId, Ctx, LinkProfile, Sim, SimConfig, StreamEvent, Time};
 use rf_switch::{OpenFlowSwitch, SwitchConfig};
@@ -166,8 +165,14 @@ fn both_slices_complete_handshake_with_cached_features() {
 fn packet_in_routed_by_flowspace() {
     let mut w = world(SliceController::new(6641), SliceController::new(6642));
     // Inject LLDP at t=2 and IPv4 at t=2 (same injector: re-point frame).
-    w.sim.agent_as_mut::<Injector>(rf_sim::AgentId(4)).unwrap().frame = lldp_frame();
-    w.sim.agent_as_mut::<Injector>(rf_sim::AgentId(4)).unwrap().at = Duration::from_secs(2);
+    w.sim
+        .agent_as_mut::<Injector>(rf_sim::AgentId(4))
+        .unwrap()
+        .frame = lldp_frame();
+    w.sim
+        .agent_as_mut::<Injector>(rf_sim::AgentId(4))
+        .unwrap()
+        .at = Duration::from_secs(2);
     w.sim.run_until(Time::from_secs(3));
     let topo = w.sim.agent_as::<SliceController>(w.topo_ctrl).unwrap();
     assert_eq!(
@@ -192,8 +197,14 @@ fn packet_in_routed_by_flowspace() {
 #[test]
 fn ipv4_packet_in_goes_to_rf_slice() {
     let mut w = world(SliceController::new(6641), SliceController::new(6642));
-    w.sim.agent_as_mut::<Injector>(rf_sim::AgentId(4)).unwrap().frame = ipv4_frame();
-    w.sim.agent_as_mut::<Injector>(rf_sim::AgentId(4)).unwrap().at = Duration::from_secs(2);
+    w.sim
+        .agent_as_mut::<Injector>(rf_sim::AgentId(4))
+        .unwrap()
+        .frame = ipv4_frame();
+    w.sim
+        .agent_as_mut::<Injector>(rf_sim::AgentId(4))
+        .unwrap()
+        .at = Duration::from_secs(2);
     w.sim.run_until(Time::from_secs(3));
     let rf = w.sim.agent_as::<SliceController>(w.rf_ctrl).unwrap();
     assert_eq!(
@@ -264,7 +275,11 @@ fn disjoint_flow_mod_rejected_with_eperm() {
     let mut w = world(topo, SliceController::new(6642));
     w.sim.run_until(Time::from_secs(2));
     let sw = w.sim.agent_as::<OpenFlowSwitch>(w.sw).unwrap();
-    assert_eq!(sw.flow_count(), 0, "denied FLOW_MOD must not reach the switch");
+    assert_eq!(
+        sw.flow_count(),
+        0,
+        "denied FLOW_MOD must not reach the switch"
+    );
     let topo = w.sim.agent_as::<SliceController>(w.topo_ctrl).unwrap();
     let got_err = topo.received.iter().zip(&topo.received_xids).any(|(m, x)| {
         matches!(

@@ -17,7 +17,10 @@ use std::net::Ipv4Addr;
 pub enum Action {
     /// Forward out a port; `max_len` caps bytes sent when the port is
     /// `OFPP_CONTROLLER`.
-    Output { port: PortNumber, max_len: u16 },
+    Output {
+        port: PortNumber,
+        max_len: u16,
+    },
     SetVlanVid(u16),
     SetVlanPcp(u8),
     StripVlan,
@@ -30,7 +33,10 @@ pub enum Action {
     SetTpDst(u16),
     /// Queue-based output; our datapath treats it as plain output
     /// (queues are out of scope, see DESIGN.md).
-    Enqueue { port: PortNumber, queue_id: u32 },
+    Enqueue {
+        port: PortNumber,
+        queue_id: u32,
+    },
 }
 
 impl Action {
@@ -129,7 +135,7 @@ impl Action {
         }
         let ty = u16::from_be_bytes([data[0], data[1]]);
         let len = u16::from_be_bytes([data[2], data[3]]) as usize;
-        if len < 8 || len % 8 != 0 {
+        if len < 8 || !len.is_multiple_of(8) {
             return Err(OfError::Malformed("action length"));
         }
         if data.len() < len {

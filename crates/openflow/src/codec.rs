@@ -28,6 +28,7 @@ impl MessageReader {
     /// Pop the next complete message, if any. Decoding errors consume
     /// the offending message's bytes (resynchronizing on the length
     /// field) and surface the error.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<Result<(OfMessage, u32), OfError>> {
         if self.buf.len() < OFP_HEADER_LEN {
             return None;

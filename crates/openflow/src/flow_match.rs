@@ -9,8 +9,9 @@
 use crate::ports::PortNumber;
 use crate::OfError;
 use bytes::{BufMut, BytesMut};
-use rf_wire::{ArpPacket, EtherType, EthernetFrame, IcmpPacket, IpProtocol, Ipv4Packet, MacAddr,
-    UdpPacket};
+use rf_wire::{
+    ArpPacket, EtherType, EthernetFrame, IcmpPacket, IpProtocol, Ipv4Packet, MacAddr, UdpPacket,
+};
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -339,9 +340,7 @@ impl PacketKey {
                                 let (ty, code) = match icmp {
                                     IcmpPacket::EchoRequest { .. } => (8u16, 0u16),
                                     IcmpPacket::EchoReply { .. } => (0, 0),
-                                    IcmpPacket::Other { ty, code, .. } => {
-                                        (ty as u16, code as u16)
-                                    }
+                                    IcmpPacket::Other { ty, code, .. } => (ty as u16, code as u16),
                                 };
                                 key.tp_src = ty;
                                 key.tp_dst = code;
@@ -515,12 +514,7 @@ mod tests {
         let src = Ipv4Addr::new(1, 1, 1, 1);
         let dst = Ipv4Addr::new(2, 2, 2, 2);
         let ip = Ipv4Packet::new(src, dst, IpProtocol::ICMP, icmp.emit());
-        let eth = EthernetFrame::new(
-            MacAddr::ZERO,
-            MacAddr::ZERO,
-            EtherType::IPV4,
-            ip.emit(),
-        );
+        let eth = EthernetFrame::new(MacAddr::ZERO, MacAddr::ZERO, EtherType::IPV4, ip.emit());
         let key = PacketKey::from_frame(1, &eth.emit()).unwrap();
         assert_eq!(key.nw_proto, 1);
         assert_eq!(key.tp_src, 8, "ICMP type in tp_src");

@@ -41,11 +41,12 @@ pub use messages::{
     ErrorCode, ErrorType, FlowModCommand, FlowRemovedReason, OfMessage, PacketInReason,
     PortStatusReason, SwitchFeatures,
 };
-pub use ports::{PhyPort, PortNumber, OFPP_ALL, OFPP_CONTROLLER, OFPP_FLOOD, OFPP_IN_PORT,
-    OFPP_LOCAL, OFPP_MAX, OFPP_NONE, OFPP_NORMAL, OFPP_TABLE};
+pub use ports::{
+    PhyPort, PortNumber, OFPP_ALL, OFPP_CONTROLLER, OFPP_FLOOD, OFPP_IN_PORT, OFPP_LOCAL, OFPP_MAX,
+    OFPP_NONE, OFPP_NORMAL, OFPP_TABLE,
+};
 pub use stats::{
-    AggregateStats, FlowStatsEntry, FlowStatsRequest, PortStats, StatsBody, SwitchDesc,
-    TableStats,
+    AggregateStats, FlowStatsEntry, FlowStatsRequest, PortStats, StatsBody, SwitchDesc, TableStats,
 };
 
 /// `buffer_id` value meaning "packet not buffered".

@@ -420,7 +420,7 @@ impl OfMessage {
             MsgType::FeaturesReply => {
                 need(24)?;
                 let ports_bytes = &body[24..];
-                if ports_bytes.len() % OFP_PHY_PORT_LEN != 0 {
+                if !ports_bytes.len().is_multiple_of(OFP_PHY_PORT_LEN) {
                     return Err(OfError::Malformed("features ports length"));
                 }
                 let mut ports = Vec::with_capacity(ports_bytes.len() / OFP_PHY_PORT_LEN);
@@ -733,7 +733,9 @@ mod tests {
             let len = (state % 128) as usize;
             let mut buf = Vec::with_capacity(len);
             for _ in 0..len {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 buf.push((state >> 33) as u8);
             }
             let _ = OfMessage::decode(&buf);

@@ -93,7 +93,7 @@ impl PhyPort {
         buf.put_u16(self.port_no);
         buf.put_slice(self.hw_addr.as_bytes());
         let mut name = [0u8; 16];
-        let n = self.name.as_bytes().len().min(15);
+        let n = self.name.len().min(15);
         name[..n].copy_from_slice(&self.name.as_bytes()[..n]);
         buf.put_slice(&name);
         buf.put_u32(self.config);

@@ -111,6 +111,12 @@ impl OspfDaemon {
         self.router_id
     }
 
+    /// Effective (hello, dead) intervals — diagnostics for checking
+    /// that deployment-level timer settings actually reached the VM.
+    pub fn timers(&self) -> (Duration, Duration) {
+        (self.hello_interval, self.dead_interval)
+    }
+
     /// `(neighbor router id, state)` per interface.
     pub fn neighbors(&self) -> Vec<(u16, u32, NeighborState)> {
         self.ifaces
@@ -129,6 +135,19 @@ impl OspfDaemon {
 
     pub fn lsdb_len(&self) -> usize {
         self.lsdb.len()
+    }
+
+    /// Outstanding link-state requests per interface (diagnostics: a
+    /// neighbor stuck in `Loading` has a non-empty list here).
+    pub fn pending_requests(&self) -> Vec<(u16, Vec<LsaKey>)> {
+        self.ifaces
+            .iter()
+            .filter_map(|(i, f)| {
+                f.neighbor
+                    .as_ref()
+                    .map(|n| (*i, n.ls_requests.iter().copied().collect()))
+            })
+            .collect()
     }
 
     /// Add an interface at runtime (a new virtual link was configured).
@@ -258,7 +277,9 @@ impl OspfDaemon {
             .lsdb
             .iter()
             .filter(|(k, (lsa, _))| {
-                k.ls_type == 1 && self.effective_age(k, now) < MAX_AGE && lsa.header.seq >= INITIAL_SEQ
+                k.ls_type == 1
+                    && self.effective_age(k, now) < MAX_AGE
+                    && lsa.header.seq >= INITIAL_SEQ
             })
             .map(|(k, (lsa, _))| (k.adv_router, lsa.clone()))
             .collect();
@@ -422,7 +443,13 @@ impl OspfDaemon {
         }
     }
 
-    fn enter_exchange_or_beyond(&mut self, idx: u16, requests: Vec<LsaKey>, now: Time, ev: &mut Vec<OspfEvent>) {
+    fn enter_exchange_or_beyond(
+        &mut self,
+        idx: u16,
+        requests: Vec<LsaKey>,
+        now: Time,
+        ev: &mut Vec<OspfEvent>,
+    ) {
         {
             let f = self.ifaces.get_mut(&idx).unwrap();
             let Some(n) = f.neighbor.as_mut() else { return };
@@ -432,6 +459,27 @@ impl OspfDaemon {
         }
         self.send_lsr(idx, ev);
         self.maybe_finish_loading(idx, now, ev);
+    }
+
+    /// RFC 2328 §13 step 7: a received LSA instance satisfies pending
+    /// link-state requests for that LSA on *every* adjacency, not just
+    /// the one it arrived on (the instance may be flooded in from the
+    /// other side of a ring while an LSR to the original neighbor is
+    /// still outstanding). Equal instances count: the request asked for
+    /// "at least this", and that is what arrived.
+    fn satisfy_requests(&mut self, key: &LsaKey, now: Time, ev: &mut Vec<OspfEvent>) {
+        let affected: Vec<u16> = self
+            .ifaces
+            .iter_mut()
+            .filter_map(|(i, f)| {
+                f.neighbor
+                    .as_mut()
+                    .and_then(|n| n.ls_requests.remove(key).then_some(*i))
+            })
+            .collect();
+        for idx in affected {
+            self.maybe_finish_loading(idx, now, ev);
+        }
     }
 
     fn kill_neighbor(&mut self, idx: u16, now: Time, ev: &mut Vec<OspfEvent>) {
@@ -610,8 +658,7 @@ impl OspfDaemon {
                             // Slave's final ack of our summary DBD.
                             let cur_seq = self.ifaces[&idx].neighbor.as_ref().unwrap().dd_seq;
                             if dd_seq == cur_seq {
-                                let state =
-                                    self.ifaces[&idx].neighbor.as_ref().unwrap().state;
+                                let state = self.ifaces[&idx].neighbor.as_ref().unwrap().state;
                                 if state == NeighborState::Exchange {
                                     self.enter_exchange_or_beyond(idx, Vec::new(), now, &mut ev);
                                 }
@@ -672,13 +719,7 @@ impl OspfDaemon {
                         acks.push(lsa.header);
                         self.flood(&lsa, Some(idx), now, &mut ev);
                         self.schedule_spf(now);
-                        // Satisfies a pending request?
-                        {
-                            let f = self.ifaces.get_mut(&idx).unwrap();
-                            if let Some(n) = f.neighbor.as_mut() {
-                                n.ls_requests.remove(&key);
-                            }
-                        }
+                        self.satisfy_requests(&key, now, &mut ev);
                         self.maybe_finish_loading(idx, now, &mut ev);
                     } else if have.map(|h| {
                         let mut cur = h;
@@ -691,6 +732,7 @@ impl OspfDaemon {
                         if let Some(n) = self.ifaces.get_mut(&idx).unwrap().neighbor.as_mut() {
                             n.retransmit.remove(&key);
                         }
+                        self.satisfy_requests(&key, now, &mut ev);
                     } else {
                         // We hold a newer instance: send it back.
                         if let Some((mine, _)) = self.lsdb.get(&key) {

@@ -383,10 +383,7 @@ mod tests {
                 neighbors: vec![],
             },
         );
-        let ip = p.to_ipv4(
-            Ipv4Addr::new(172, 31, 0, 1),
-            crate::ospf::ALL_SPF_ROUTERS,
-        );
+        let ip = p.to_ipv4(Ipv4Addr::new(172, 31, 0, 1), crate::ospf::ALL_SPF_ROUTERS);
         assert_eq!(ip.protocol, rf_wire::IpProtocol::OSPF);
         assert_eq!(ip.ttl, 1);
         let wire = ip.emit();

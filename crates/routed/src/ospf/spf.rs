@@ -9,8 +9,8 @@
 use super::lsa::{Lsa, LsaBody, RouterLinkType};
 use crate::rib::{Route, RouteProto};
 use rf_wire::Ipv4Cidr;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::net::Ipv4Addr;
 
 /// Input: the LSDB's router LSAs keyed by router id, the computing
@@ -34,9 +34,9 @@ pub fn compute(
                 // Check the reverse direction exists.
                 let reverse_ok = router_lsas.get(&to).is_some_and(|peer| {
                     let LsaBody::Router(pb) = &peer.body;
-                    pb.links.iter().any(|l| {
-                        l.link_type == RouterLinkType::PointToPoint && l.link_id == rid
-                    })
+                    pb.links
+                        .iter()
+                        .any(|l| l.link_type == RouterLinkType::PointToPoint && l.link_id == rid)
                 });
                 if reverse_ok {
                     edges.entry(rid).or_default().push((to, link.metric));
@@ -91,7 +91,7 @@ pub fn compute(
             if link.link_type != RouterLinkType::Stub {
                 continue;
             }
-            let prefix_len = 32 - u32::from(link.link_data).trailing_zeros() as u8;
+            let prefix_len = 32 - link.link_data.trailing_zeros() as u8;
             // A mask of 0 would be a default route; routers don't emit
             // those as stubs here, but guard anyway.
             let prefix = Ipv4Cidr::new(Ipv4Addr::from(link.link_id), prefix_len.min(32));
@@ -203,7 +203,10 @@ mod tests {
     fn unidirectional_links_are_ignored() {
         let mut db = line_db();
         // Router 3 stops advertising the link back to 2.
-        db.insert(3, rlsa(3, &[], &[(ip("10.0.0.4"), ip("255.255.255.252"), 10)]));
+        db.insert(
+            3,
+            rlsa(3, &[], &[(ip("10.0.0.4"), ip("255.255.255.252"), 10)]),
+        );
         let mut adj = HashMap::new();
         adj.insert(2u32, (1u16, "10.0.0.2".parse::<Ipv4Addr>().unwrap()));
         let routes = compute(&db, 1, &adj);
@@ -221,7 +224,9 @@ mod tests {
         );
         let routes2 = compute(&db2, 1, &adj);
         assert!(
-            !routes2.iter().any(|r| r.prefix.to_string().starts_with("192.168.99")),
+            !routes2
+                .iter()
+                .any(|r| r.prefix.to_string().starts_with("192.168.99")),
             "stub behind a one-way link must be unreachable"
         );
         let _ = routes;
@@ -233,11 +238,7 @@ mod tests {
         let mut db = BTreeMap::new();
         db.insert(
             1,
-            rlsa(
-                1,
-                &[(2, 10, ip("10.0.1.1")), (4, 1, ip("10.0.4.2"))],
-                &[],
-            ),
+            rlsa(1, &[(2, 10, ip("10.0.1.1")), (4, 1, ip("10.0.4.2"))], &[]),
         );
         db.insert(
             2,
@@ -280,14 +281,8 @@ mod tests {
         // Two equal paths; result must be stable across runs.
         let mut db = BTreeMap::new();
         db.insert(1, rlsa(1, &[(2, 10, 1), (3, 10, 2)], &[]));
-        db.insert(
-            2,
-            rlsa(2, &[(1, 10, 3), (4, 10, 4)], &[]),
-        );
-        db.insert(
-            3,
-            rlsa(3, &[(1, 10, 5), (4, 10, 6)], &[]),
-        );
+        db.insert(2, rlsa(2, &[(1, 10, 3), (4, 10, 4)], &[]));
+        db.insert(3, rlsa(3, &[(1, 10, 5), (4, 10, 6)], &[]));
         db.insert(
             4,
             rlsa(

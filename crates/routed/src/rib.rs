@@ -163,9 +163,7 @@ impl Rib {
         let stale: Vec<PrefixKey> = self
             .candidates
             .iter()
-            .filter(|(k, cands)| {
-                cands.iter().any(|r| r.proto == proto) && !new_keys.contains(*k)
-            })
+            .filter(|(k, cands)| cands.iter().any(|r| r.proto == proto) && !new_keys.contains(*k))
             .map(|(k, _)| *k)
             .collect();
         for k in stale {
@@ -246,7 +244,10 @@ mod tests {
         let conn = Route::connected(cidr("10.0.0.0/30"), 1);
         let ch = rib.add(conn);
         assert_eq!(ch, vec![RibChange::Installed(conn)]);
-        assert_eq!(rib.lookup("10.0.0.1".parse().unwrap()).unwrap().proto, RouteProto::Connected);
+        assert_eq!(
+            rib.lookup("10.0.0.1".parse().unwrap()).unwrap().proto,
+            RouteProto::Connected
+        );
     }
 
     #[test]
@@ -257,7 +258,10 @@ mod tests {
             proto: RouteProto::Rip,
             ..ospf("10.0.0.0/24", "2.2.2.2", 2, 3)
         });
-        assert_eq!(rib.lookup("10.0.0.1".parse().unwrap()).unwrap().proto, RouteProto::Ospf);
+        assert_eq!(
+            rib.lookup("10.0.0.1".parse().unwrap()).unwrap().proto,
+            RouteProto::Ospf
+        );
         let ch = rib.remove(cidr("10.0.0.0/24"), RouteProto::Ospf);
         assert_eq!(ch.len(), 1);
         assert!(matches!(ch[0], RibChange::Installed(r) if r.proto == RouteProto::Rip));
@@ -273,7 +277,10 @@ mod tests {
         // Same proto re-add replaces candidate.
         let ch = rib.add(ospf("10.1.0.0/16", "2.2.2.2", 2, 10));
         assert_eq!(ch.len(), 1);
-        assert_eq!(rib.lookup("10.1.0.1".parse().unwrap()).unwrap().out_iface, 2);
+        assert_eq!(
+            rib.lookup("10.1.0.1".parse().unwrap()).unwrap().out_iface,
+            2
+        );
     }
 
     #[test]

@@ -7,9 +7,12 @@ use rf_routed::ospf::daemon::{OspfDaemon, OspfEvent};
 use rf_routed::rib::RouteProto;
 use rf_sim::Time;
 use rf_wire::Ipv4Cidr;
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::net::Ipv4Addr;
+
+/// In-flight packet: (deliver at ns, seq, dst router, dst iface, bytes).
+type QueuedPacket = (u64, u64, usize, u16, Vec<u8>);
 
 /// (router index, iface) ↔ (router index, iface) wiring.
 struct Net {
@@ -18,7 +21,7 @@ struct Net {
     wires: Vec<std::collections::HashMap<u16, (usize, u16)>>,
     /// iface addrs for wrapping (unused beyond bookkeeping).
     addrs: Vec<std::collections::HashMap<u16, Ipv4Cidr>>,
-    queue: BinaryHeap<Reverse<(u64, u64, usize, u16, Vec<u8>)>>,
+    queue: BinaryHeap<Reverse<QueuedPacket>>,
     seq: u64,
     now: Time,
     latency_ns: u64,
@@ -63,10 +66,7 @@ impl Net {
                 OspfDaemon::from_config(&cfg, &ifaces[i])
             })
             .collect();
-        let addrs = ifaces
-            .iter()
-            .map(|v| v.iter().copied().collect())
-            .collect();
+        let addrs = ifaces.iter().map(|v| v.iter().copied().collect()).collect();
         Net {
             daemons,
             wires,
@@ -92,7 +92,7 @@ impl Net {
             }
             if let OspfEvent::Transmit { iface, packet, .. } = ev {
                 self.seq += 1;
-                if self.drop_modulo != 0 && self.seq % self.drop_modulo == 0 {
+                if self.drop_modulo != 0 && self.seq.is_multiple_of(self.drop_modulo) {
                     self.dropped += 1;
                     continue;
                 }
@@ -158,9 +158,29 @@ impl Net {
     }
 
     fn all_full(&self) -> bool {
-        self.daemons.iter().all(|d| {
-            d.all_adjacencies_full() && !d.neighbors().is_empty()
-        })
+        self.daemons
+            .iter()
+            .all(|d| d.all_adjacencies_full() && !d.neighbors().is_empty())
+    }
+
+    /// Plug a new link between `a` and `b` at the current time (the
+    /// runtime path a VM takes when the controller pushes a rewritten
+    /// config with an extra interface).
+    fn plug(&mut self, a: usize, b: usize, link_index: u32) {
+        let base = 0xAC1F_0000u32 + link_index * 4;
+        let pa = self.wires[a].keys().max().copied().unwrap_or(0) + 1;
+        let pb = self.wires[b].keys().max().copied().unwrap_or(0) + 1;
+        let addr_a = Ipv4Cidr::new(Ipv4Addr::from(base + 1), 30);
+        let addr_b = Ipv4Cidr::new(Ipv4Addr::from(base + 2), 30);
+        self.wires[a].insert(pa, (b, pb));
+        self.wires[b].insert(pb, (a, pa));
+        self.addrs[a].insert(pa, addr_a);
+        self.addrs[b].insert(pb, addr_b);
+        let now = self.now;
+        let ev = self.daemons[a].add_interface(pa, addr_a, now);
+        self.handle_events(a, ev);
+        let ev = self.daemons[b].add_interface(pb, addr_b, now);
+        self.handle_events(b, ev);
     }
 }
 
@@ -169,8 +189,12 @@ fn two_routers_reach_full_and_exchange_routes() {
     let mut net = Net::build(2, &[(0, 1)], 1, 4);
     net.start();
     net.run_until(Time::from_secs(10));
-    assert!(net.all_full(), "adjacency must reach Full: {:?} {:?}",
-        net.daemons[0].neighbors(), net.daemons[1].neighbors());
+    assert!(
+        net.all_full(),
+        "adjacency must reach Full: {:?} {:?}",
+        net.daemons[0].neighbors(),
+        net.daemons[1].neighbors()
+    );
     // Both have both router LSAs.
     assert_eq!(net.daemons[0].lsdb_len(), 2);
     assert_eq!(net.daemons[1].lsdb_len(), 2);
@@ -228,7 +252,11 @@ fn ring_converges_and_survives_node_death() {
     // After the dead interval, neighbors drop and LSAs re-originate.
     net.run_until(Time::from_secs(30));
     let n0: Vec<_> = net.daemons[0].neighbors();
-    assert_eq!(n0.len(), 1, "router 0 keeps only the neighbor toward 1: {n0:?}");
+    assert_eq!(
+        n0.len(),
+        1,
+        "router 0 keeps only the neighbor toward 1: {n0:?}"
+    );
 }
 
 #[test]
@@ -247,6 +275,42 @@ fn convergence_survives_packet_loss() {
     );
     for d in &net.daemons {
         assert_eq!(d.lsdb_len(), 3);
+    }
+}
+
+/// Regression (RFC 2328 §13 step 7): an LSA instance arriving from one
+/// neighbor must satisfy pending link-state requests for the same LSA
+/// on *other* adjacencies too. A fresh router plugged into two already
+/// converged peers at once requests the same LSAs over both new
+/// adjacencies; whichever LSU processes first used to clear only its
+/// own interface's request list, and the other peer's (now
+/// equal-instance) answer never cleared anything — that adjacency hung
+/// in Loading forever. This is exactly how the last-discovered link of
+/// a ring deployment got stuck.
+#[test]
+fn parallel_adjacencies_requesting_same_lsas_both_reach_full() {
+    let mut net = Net::build(3, &[(0, 1)], 1, 4);
+    net.start();
+    net.run_until(Time::from_secs(8));
+    // Routers 0 and 1 are converged; router 2 is isolated.
+    assert!(net.daemons[0].all_adjacencies_full());
+    assert_eq!(net.daemons[2].neighbors().len(), 0);
+    // Plug router 2 into both at the same instant: its LSR for the
+    // {router-0, router-1} LSAs goes out on both adjacencies, and the
+    // first answer races the second.
+    net.plug(0, 2, 1);
+    net.plug(1, 2, 2);
+    net.run_until(Time::from_secs(40));
+    assert!(
+        net.all_full(),
+        "both new adjacencies must leave Loading: {:?}",
+        net.daemons
+            .iter()
+            .map(|d| d.neighbors())
+            .collect::<Vec<_>>()
+    );
+    for d in &net.daemons {
+        assert_eq!(d.lsdb_len(), 3, "complete LSDB after the late plug");
     }
 }
 

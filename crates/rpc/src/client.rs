@@ -148,10 +148,8 @@ impl Agent for RpcClientAgent {
                 }
                 ctx.schedule(self.cfg.retransmit, T_RETX);
             }
-            T_RECONNECT => {
-                if self.server_conn.is_none() {
-                    self.connect_server(ctx);
-                }
+            T_RECONNECT if self.server_conn.is_none() => {
+                self.connect_server(ctx);
             }
             _ => {}
         }

@@ -92,6 +92,7 @@ impl RpcFrameReader {
     }
 
     /// Pop the next complete envelope if buffered.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<Result<Envelope, RpcError>> {
         if self.buf.len() < 6 {
             return None;
@@ -160,7 +161,13 @@ mod tests {
         let first = r.next().unwrap().unwrap();
         assert_eq!(first, sample());
         let second = r.next().unwrap().unwrap();
-        assert!(matches!(second, Envelope::Ack(RpcAck { req_id: 7, ok: false })));
+        assert!(matches!(
+            second,
+            Envelope::Ack(RpcAck {
+                req_id: 7,
+                ok: false
+            })
+        ));
         assert!(r.next().is_none());
     }
 

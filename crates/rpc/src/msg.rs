@@ -222,10 +222,7 @@ mod tests {
 
     #[test]
     fn bad_tag_rejected() {
-        assert_eq!(
-            RpcRequest::parse_body(99, &[]),
-            Err(RpcError::BadTag(99))
-        );
+        assert_eq!(RpcRequest::parse_body(99, &[]), Err(RpcError::BadTag(99)));
     }
 
     #[test]

@@ -115,11 +115,28 @@ impl Default for SimConfig {
 #[derive(Debug)]
 enum Ev {
     Start(AgentId),
-    Timer { agent: AgentId, token: u64 },
-    Frame { agent: AgentId, port: u32, frame: Bytes },
-    StreamOpen { conn: ConnId, to: AgentId },
-    StreamData { conn: ConnId, to: AgentId, data: Bytes },
-    StreamClosed { conn: ConnId, to: AgentId },
+    Timer {
+        agent: AgentId,
+        token: u64,
+    },
+    Frame {
+        agent: AgentId,
+        port: u32,
+        frame: Bytes,
+    },
+    StreamOpen {
+        conn: ConnId,
+        to: AgentId,
+    },
+    StreamData {
+        conn: ConnId,
+        to: AgentId,
+        data: Bytes,
+    },
+    StreamClosed {
+        conn: ConnId,
+        to: AgentId,
+    },
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -230,9 +247,19 @@ impl Inner {
         }
     }
 
-    fn connect_from(&mut self, from: AgentId, peer: AgentId, service: u16, profile: ConnProfile) -> ConnId {
+    fn connect_from(
+        &mut self,
+        from: AgentId,
+        peer: AgentId,
+        service: u16,
+        profile: ConnProfile,
+    ) -> ConnId {
         let conn = ConnId(self.conns.len());
-        let listening = self.listeners.get(&(peer, service)).copied().unwrap_or(false);
+        let listening = self
+            .listeners
+            .get(&(peer, service))
+            .copied()
+            .unwrap_or(false);
         let lat = profile.latency;
         let open_peer = self.now + lat;
         let open_init = self.now + lat + lat;
@@ -244,12 +271,15 @@ impl Inner {
             closed: !listening,
         });
         if listening {
-            self.queue.push(open_peer, Ev::StreamOpen { conn, to: peer });
-            self.queue.push(open_init, Ev::StreamOpen { conn, to: from });
+            self.queue
+                .push(open_peer, Ev::StreamOpen { conn, to: peer });
+            self.queue
+                .push(open_init, Ev::StreamOpen { conn, to: from });
             self.tracer.count("conn.opened", 1);
         } else {
             // Connection refused: initiator learns after one round trip.
-            self.queue.push(open_init, Ev::StreamClosed { conn, to: from });
+            self.queue
+                .push(open_init, Ev::StreamClosed { conn, to: from });
             self.tracer.count("conn.refused", 1);
         }
         conn
@@ -291,14 +321,15 @@ impl Inner {
         self.queue.push(deliver, Ev::StreamClosed { conn, to });
     }
 
-    fn add_link(
-        &mut self,
-        a: (AgentId, u32),
-        b: (AgentId, u32),
-        profile: LinkProfile,
-    ) -> LinkId {
-        let a = LinkEnd { agent: a.0, port: a.1 };
-        let b = LinkEnd { agent: b.0, port: b.1 };
+    fn add_link(&mut self, a: (AgentId, u32), b: (AgentId, u32), profile: LinkProfile) -> LinkId {
+        let a = LinkEnd {
+            agent: a.0,
+            port: a.1,
+        };
+        let b = LinkEnd {
+            agent: b.0,
+            port: b.1,
+        };
         assert!(
             !self.port_map.contains_key(&a),
             "port {}:{} already linked",
@@ -375,13 +406,25 @@ impl<'a> Ctx<'a> {
     /// Fire `on_timer(token)` after `delay`.
     pub fn schedule(&mut self, delay: Duration, token: u64) {
         let at = self.inner.now + delay;
-        self.inner.queue.push(at, Ev::Timer { agent: self.id, token });
+        self.inner.queue.push(
+            at,
+            Ev::Timer {
+                agent: self.id,
+                token,
+            },
+        );
     }
 
     /// Fire `on_timer(token)` at absolute time `at` (clamped to now).
     pub fn schedule_at(&mut self, at: Time, token: u64) {
         let at = at.max(self.inner.now);
-        self.inner.queue.push(at, Ev::Timer { agent: self.id, token });
+        self.inner.queue.push(
+            at,
+            Ev::Timer {
+                agent: self.id,
+                token,
+            },
+        );
     }
 
     /// Transmit an Ethernet frame out of `port`.
@@ -425,7 +468,12 @@ impl<'a> Ctx<'a> {
     }
 
     /// Create a packet link between two `(agent, port)` endpoints.
-    pub fn add_link(&mut self, a: (AgentId, u32), b: (AgentId, u32), profile: LinkProfile) -> LinkId {
+    pub fn add_link(
+        &mut self,
+        a: (AgentId, u32),
+        b: (AgentId, u32),
+        profile: LinkProfile,
+    ) -> LinkId {
         self.inner.add_link(a, b, profile)
     }
 
@@ -450,12 +498,14 @@ impl<'a> Ctx<'a> {
 
     /// Emit an info-level trace event attributed to this agent.
     pub fn trace(&mut self, kind: &str, detail: impl Into<String>) {
-        self.inner.emit(TraceLevel::Info, self.id, kind, detail.into());
+        self.inner
+            .emit(TraceLevel::Info, self.id, kind, detail.into());
     }
 
     /// Emit a debug-level trace event attributed to this agent.
     pub fn trace_debug(&mut self, kind: &str, detail: impl Into<String>) {
-        self.inner.emit(TraceLevel::Debug, self.id, kind, detail.into());
+        self.inner
+            .emit(TraceLevel::Debug, self.id, kind, detail.into());
     }
 
     /// Increment a named metric counter.
@@ -508,7 +558,12 @@ impl Sim {
     }
 
     /// Create a link between two `(agent, port)` endpoints.
-    pub fn add_link(&mut self, a: (AgentId, u32), b: (AgentId, u32), profile: LinkProfile) -> LinkId {
+    pub fn add_link(
+        &mut self,
+        a: (AgentId, u32),
+        b: (AgentId, u32),
+        profile: LinkProfile,
+    ) -> LinkId {
         self.inner.add_link(a, b, profile)
     }
 
@@ -565,16 +620,24 @@ impl Sim {
         }
         let kills: Vec<AgentId> = self.inner.pending_kill.drain(..).collect();
         for id in kills {
-            if self.agents.get_mut(id.0).map(|s| s.take()).flatten().is_some() {
+            if self.agents.get_mut(id.0).and_then(|s| s.take()).is_some() {
                 // Close this agent's connections so peers observe dead sockets.
                 for (cid, c) in self.inner.conns.iter_mut().enumerate() {
                     if !c.closed && (c.ends[0] == id || c.ends[1] == id) {
                         c.closed = true;
-                        let to = if c.ends[0] == id { c.ends[1] } else { c.ends[0] };
+                        let to = if c.ends[0] == id {
+                            c.ends[1]
+                        } else {
+                            c.ends[0]
+                        };
                         let at = self.inner.now + c.profile.latency;
-                        self.inner
-                            .queue
-                            .push(at, Ev::StreamClosed { conn: ConnId(cid), to });
+                        self.inner.queue.push(
+                            at,
+                            Ev::StreamClosed {
+                                conn: ConnId(cid),
+                                to,
+                            },
+                        );
                     }
                 }
                 // Drop its listeners.
@@ -606,7 +669,8 @@ impl Sim {
     }
 
     fn dispatch(&mut self, ev: Ev) {
-        let (target, call): (AgentId, Box<dyn FnOnce(&mut dyn Agent, &mut Ctx<'_>)>) = match ev {
+        type AgentCall = Box<dyn FnOnce(&mut dyn Agent, &mut Ctx<'_>)>;
+        let (target, call): (AgentId, AgentCall) = match ev {
             Ev::Start(a) => (a, Box::new(|ag, ctx| ag.on_start(ctx))),
             Ev::Timer { agent, token } => (agent, Box::new(move |ag, ctx| ag.on_timer(ctx, token))),
             Ev::Frame { agent, port, frame } => (
@@ -725,7 +789,9 @@ mod tests {
         }
         fn on_stream(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, ev: StreamEvent) {
             match ev {
-                StreamEvent::Opened { initiated_by_us, .. } => {
+                StreamEvent::Opened {
+                    initiated_by_us, ..
+                } => {
                     self.conn = Some(conn);
                     self.stream_log.push(format!("open:{initiated_by_us}"));
                     if !initiated_by_us {

@@ -124,10 +124,12 @@ impl LinkProfile {
 
     /// Serialization delay for a frame of `len` octets.
     pub fn serialization_delay(&self, len: usize) -> Duration {
-        if self.bandwidth_bps == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_nanos((len as u64 * 8).saturating_mul(1_000_000_000) / self.bandwidth_bps)
+        match (len as u64 * 8)
+            .saturating_mul(1_000_000_000)
+            .checked_div(self.bandwidth_bps)
+        {
+            Some(ns) => Duration::from_nanos(ns),
+            None => Duration::ZERO,
         }
     }
 }

@@ -120,7 +120,9 @@ impl Tracer {
 
     /// Events whose `kind` starts with `prefix`.
     pub fn events_with_kind<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
-        self.events.iter().filter(move |e| e.kind.starts_with(prefix))
+        self.events
+            .iter()
+            .filter(move |e| e.kind.starts_with(prefix))
     }
 
     /// Time of the first event matching `prefix`, if any.
@@ -144,7 +146,13 @@ mod tests {
     use super::*;
 
     fn ev(tr: &mut Tracer, s: u64, kind: &str) {
-        tr.emit(Time::from_secs(s), TraceLevel::Info, "t", kind, String::new());
+        tr.emit(
+            Time::from_secs(s),
+            TraceLevel::Info,
+            "t",
+            kind,
+            String::new(),
+        );
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! re-emitting the affected layers through `rf-wire`.
 
 use bytes::Bytes;
-use rf_openflow::{Action, PortNumber, OFPP_ALL, OFPP_CONTROLLER, OFPP_FLOOD, OFPP_IN_PORT,
-    OFPP_MAX, OFPP_TABLE};
+use rf_openflow::{
+    Action, PortNumber, OFPP_ALL, OFPP_CONTROLLER, OFPP_FLOOD, OFPP_IN_PORT, OFPP_MAX, OFPP_TABLE,
+};
 use rf_wire::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet, MacAddr, UdpPacket};
 use std::net::Ipv4Addr;
 
@@ -157,7 +158,7 @@ pub fn apply_actions(
                             }
                         }
                     }
-                    p if p <= OFPP_MAX && p >= 1 && p <= num_ports => {
+                    p if (1..=OFPP_MAX).contains(&p) && p <= num_ports => {
                         out.push(Egress::Port(p, bytes));
                     }
                     _ => { /* OFPP_NORMAL / LOCAL / NONE / invalid: drop */ }

@@ -1,8 +1,8 @@
 //! The OF 1.0 flow table: priority-ordered wildcard matching with
 //! idle/hard timeouts and per-entry counters.
 
-use rf_openflow::{FlowModCommand, FlowRemovedReason, OfMatch, PacketKey, Wildcards};
 use rf_openflow::{Action, FlowStatsEntry};
+use rf_openflow::{FlowModCommand, FlowRemovedReason, OfMatch, PacketKey, Wildcards};
 use rf_sim::Time;
 
 /// One installed flow entry.
@@ -122,6 +122,7 @@ impl FlowTable {
 
     /// Apply a FLOW_MOD. Returns entries removed as a side effect
     /// (DELETE commands), which may need FLOW_REMOVED notifications.
+    #[allow(clippy::too_many_arguments)]
     pub fn apply_flow_mod(
         &mut self,
         command: FlowModCommand,
@@ -286,12 +287,26 @@ mod tests {
     #[test]
     fn highest_priority_wins() {
         let mut t = FlowTable::new();
-        add(&mut t, OfMatch::ipv4_dst_prefix("10.0.0.0".parse().unwrap(), 8), 10, 1);
-        add(&mut t, OfMatch::ipv4_dst_prefix("10.2.0.0".parse().unwrap(), 16), 20, 2);
-        let e = t.lookup(&key("10.2.3.4".parse().unwrap()), 100, Time::ZERO).unwrap();
+        add(
+            &mut t,
+            OfMatch::ipv4_dst_prefix("10.0.0.0".parse().unwrap(), 8),
+            10,
+            1,
+        );
+        add(
+            &mut t,
+            OfMatch::ipv4_dst_prefix("10.2.0.0".parse().unwrap(), 16),
+            20,
+            2,
+        );
+        let e = t
+            .lookup(&key("10.2.3.4".parse().unwrap()), 100, Time::ZERO)
+            .unwrap();
         assert_eq!(e.actions, vec![Action::output(2)]);
         // Outside the /16, the /8 still matches.
-        let e = t.lookup(&key("10.9.0.1".parse().unwrap()), 100, Time::ZERO).unwrap();
+        let e = t
+            .lookup(&key("10.9.0.1".parse().unwrap()), 100, Time::ZERO)
+            .unwrap();
         assert_eq!(e.actions, vec![Action::output(1)]);
     }
 
@@ -313,7 +328,9 @@ mod tests {
     fn miss_returns_none_but_counts_lookup() {
         let mut t = FlowTable::new();
         add(&mut t, OfMatch::lldp(), 1, 1);
-        assert!(t.lookup(&key("9.9.9.9".parse().unwrap()), 1, Time::ZERO).is_none());
+        assert!(t
+            .lookup(&key("9.9.9.9".parse().unwrap()), 1, Time::ZERO)
+            .is_none());
         assert_eq!(t.lookup_count, 1);
         assert_eq!(t.matched_count, 0);
     }
@@ -332,8 +349,18 @@ mod tests {
     #[test]
     fn delete_loose_removes_subsets() {
         let mut t = FlowTable::new();
-        add(&mut t, OfMatch::ipv4_dst_prefix("10.1.0.0".parse().unwrap(), 16), 1, 1);
-        add(&mut t, OfMatch::ipv4_dst_prefix("10.2.0.0".parse().unwrap(), 16), 1, 2);
+        add(
+            &mut t,
+            OfMatch::ipv4_dst_prefix("10.1.0.0".parse().unwrap(), 16),
+            1,
+            1,
+        );
+        add(
+            &mut t,
+            OfMatch::ipv4_dst_prefix("10.2.0.0".parse().unwrap(), 16),
+            1,
+            2,
+        );
         add(&mut t, OfMatch::lldp(), 1, 3);
         let removed = t.apply_flow_mod(
             FlowModCommand::Delete,
@@ -358,12 +385,30 @@ mod tests {
         add(&mut t, m, 7, 1);
         // Wrong priority: no-op.
         let removed = t.apply_flow_mod(
-            FlowModCommand::DeleteStrict, m, 8, 0, 0, 0, 0, OFPP_NONE, vec![], Time::ZERO,
+            FlowModCommand::DeleteStrict,
+            m,
+            8,
+            0,
+            0,
+            0,
+            0,
+            OFPP_NONE,
+            vec![],
+            Time::ZERO,
         );
         assert!(removed.is_empty());
         assert_eq!(t.len(), 1);
         let removed = t.apply_flow_mod(
-            FlowModCommand::DeleteStrict, m, 7, 0, 0, 0, 0, OFPP_NONE, vec![], Time::ZERO,
+            FlowModCommand::DeleteStrict,
+            m,
+            7,
+            0,
+            0,
+            0,
+            0,
+            OFPP_NONE,
+            vec![],
+            Time::ZERO,
         );
         assert_eq!(removed.len(), 1);
         assert!(t.is_empty());
@@ -372,8 +417,18 @@ mod tests {
     #[test]
     fn delete_filters_by_out_port() {
         let mut t = FlowTable::new();
-        add(&mut t, OfMatch::ipv4_dst_prefix("10.1.0.0".parse().unwrap(), 16), 1, 1);
-        add(&mut t, OfMatch::ipv4_dst_prefix("10.2.0.0".parse().unwrap(), 16), 1, 2);
+        add(
+            &mut t,
+            OfMatch::ipv4_dst_prefix("10.1.0.0".parse().unwrap(), 16),
+            1,
+            1,
+        );
+        add(
+            &mut t,
+            OfMatch::ipv4_dst_prefix("10.2.0.0".parse().unwrap(), 16),
+            1,
+            2,
+        );
         let removed = t.apply_flow_mod(
             FlowModCommand::Delete,
             OfMatch::any(),
@@ -465,7 +520,10 @@ mod tests {
             Time::ZERO,
         );
         t.lookup(&key("1.1.1.1".parse().unwrap()), 1, Time::from_secs(2));
-        assert!(t.expire(Time::from_secs(4)).is_empty(), "traffic at t=2 defers expiry");
+        assert!(
+            t.expire(Time::from_secs(4)).is_empty(),
+            "traffic at t=2 defers expiry"
+        );
         let removed = t.expire(Time::from_secs(5));
         assert_eq!(removed.len(), 1);
         assert_eq!(removed[0].reason, FlowRemovedReason::IdleTimeout);
@@ -474,7 +532,12 @@ mod tests {
     #[test]
     fn stats_matching_filters() {
         let mut t = FlowTable::new();
-        add(&mut t, OfMatch::ipv4_dst_prefix("10.1.0.0".parse().unwrap(), 16), 1, 1);
+        add(
+            &mut t,
+            OfMatch::ipv4_dst_prefix("10.1.0.0".parse().unwrap(), 16),
+            1,
+            1,
+        );
         add(&mut t, OfMatch::lldp(), 1, 2);
         let all = t.stats_matching(&OfMatch::any(), OFPP_NONE);
         assert_eq!(all.len(), 2);

@@ -269,7 +269,13 @@ impl OpenFlowSwitch {
         }
     }
 
-    fn execute(&mut self, ctx: &mut Ctx<'_>, in_port: PortNumber, frame: Bytes, actions: &[Action]) {
+    fn execute(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        in_port: PortNumber,
+        frame: Bytes,
+        actions: &[Action],
+    ) {
         for egress in apply_actions(&frame, actions, in_port, self.cfg.num_ports) {
             match egress {
                 Egress::Port(p, bytes) => self.tx(ctx, p, bytes),

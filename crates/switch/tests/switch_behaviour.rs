@@ -114,8 +114,8 @@ struct FrameSink {
 
 impl Agent for FrameSink {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        if self.tx.is_some() {
-            ctx.schedule(self.tx.as_ref().unwrap().2, 1);
+        if let Some((_, _, delay)) = self.tx.as_ref() {
+            ctx.schedule(*delay, 1);
         }
     }
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
@@ -180,15 +180,22 @@ fn handshake_reports_features() {
     assert_eq!(f.datapath_id, 0x1C);
     assert_eq!(f.ports.len(), 2);
     assert_eq!(f.n_tables, 1);
-    assert!(b.sim.agent_as::<OpenFlowSwitch>(b.sw).unwrap().is_connected());
+    assert!(b
+        .sim
+        .agent_as::<OpenFlowSwitch>(b.sw)
+        .unwrap()
+        .is_connected());
 }
 
 #[test]
 fn table_miss_sends_packet_in_with_buffer() {
     let mut b = bench(MockController::default());
     // Host A sends a frame after the handshake settles.
-    b.sim.agent_as_mut::<FrameSink>(b.host_a).unwrap().tx =
-        Some((1, udp_frame(Ipv4Addr::new(10, 0, 0, 5)), Duration::from_secs(1)));
+    b.sim.agent_as_mut::<FrameSink>(b.host_a).unwrap().tx = Some((
+        1,
+        udp_frame(Ipv4Addr::new(10, 0, 0, 5)),
+        Duration::from_secs(1),
+    ));
     b.sim.run_until(rf_sim::Time::from_secs(2));
     let ctrl = b.sim.agent_as::<MockController>(b.ctrl).unwrap();
     let pins: Vec<_> = ctrl
@@ -216,21 +223,29 @@ fn table_miss_sends_packet_in_with_buffer() {
 
 #[test]
 fn flow_mod_with_buffer_releases_packet() {
-    let mut ctrl = MockController::default();
-    ctrl.on_packet_in_install = Some((
-        OfMatch::ipv4_dst_prefix(Ipv4Addr::new(10, 0, 0, 0), 8),
-        vec![Action::output(2)],
-    ));
+    let ctrl = MockController {
+        on_packet_in_install: Some((
+            OfMatch::ipv4_dst_prefix(Ipv4Addr::new(10, 0, 0, 0), 8),
+            vec![Action::output(2)],
+        )),
+        ..MockController::default()
+    };
     let mut b = bench(ctrl);
-    b.sim.agent_as_mut::<FrameSink>(b.host_a).unwrap().tx =
-        Some((1, udp_frame(Ipv4Addr::new(10, 0, 0, 5)), Duration::from_secs(1)));
+    b.sim.agent_as_mut::<FrameSink>(b.host_a).unwrap().tx = Some((
+        1,
+        udp_frame(Ipv4Addr::new(10, 0, 0, 5)),
+        Duration::from_secs(1),
+    ));
     b.sim.run_until(rf_sim::Time::from_secs(2));
     // The buffered frame must come out of port 2 after the FLOW_MOD.
     let host_b = b.sim.agent_as::<FrameSink>(b.host_b).unwrap();
     assert_eq!(host_b.frames.len(), 1);
     // And subsequent frames flow without further PACKET_INs.
-    b.sim.agent_as_mut::<FrameSink>(b.host_a).unwrap().tx =
-        Some((1, udp_frame(Ipv4Addr::new(10, 0, 0, 6)), Duration::from_millis(100)));
+    b.sim.agent_as_mut::<FrameSink>(b.host_a).unwrap().tx = Some((
+        1,
+        udp_frame(Ipv4Addr::new(10, 0, 0, 6)),
+        Duration::from_millis(100),
+    ));
     // re-trigger the tx timer by scheduling through a fresh run window
     b.sim.run_until(rf_sim::Time::from_secs(3));
     let sw = b.sim.agent_as::<OpenFlowSwitch>(b.sw).unwrap();
@@ -239,31 +254,41 @@ fn flow_mod_with_buffer_releases_packet() {
 
 #[test]
 fn packet_out_floods() {
-    let mut ctrl = MockController::default();
-    ctrl.script = vec![(
-        Duration::from_secs(1),
-        OfMessage::PacketOut {
-            buffer_id: OFP_NO_BUFFER,
-            in_port: OFPP_NONE,
-            actions: vec![Action::output(rf_openflow::OFPP_FLOOD)],
-            data: udp_frame(Ipv4Addr::new(10, 1, 1, 1)),
-        },
-        42,
-    )];
+    let ctrl = MockController {
+        script: vec![(
+            Duration::from_secs(1),
+            OfMessage::PacketOut {
+                buffer_id: OFP_NO_BUFFER,
+                in_port: OFPP_NONE,
+                actions: vec![Action::output(rf_openflow::OFPP_FLOOD)],
+                data: udp_frame(Ipv4Addr::new(10, 1, 1, 1)),
+            },
+            42,
+        )],
+        ..MockController::default()
+    };
     let mut b = bench(ctrl);
     b.sim.run_until(rf_sim::Time::from_secs(2));
-    assert_eq!(b.sim.agent_as::<FrameSink>(b.host_a).unwrap().frames.len(), 1);
-    assert_eq!(b.sim.agent_as::<FrameSink>(b.host_b).unwrap().frames.len(), 1);
+    assert_eq!(
+        b.sim.agent_as::<FrameSink>(b.host_a).unwrap().frames.len(),
+        1
+    );
+    assert_eq!(
+        b.sim.agent_as::<FrameSink>(b.host_b).unwrap().frames.len(),
+        1
+    );
 }
 
 #[test]
 fn echo_request_answered() {
-    let mut ctrl = MockController::default();
-    ctrl.script = vec![(
-        Duration::from_secs(1),
-        OfMessage::EchoRequest(Bytes::from_static(b"hello?")),
-        7,
-    )];
+    let ctrl = MockController {
+        script: vec![(
+            Duration::from_secs(1),
+            OfMessage::EchoRequest(Bytes::from_static(b"hello?")),
+            7,
+        )],
+        ..MockController::default()
+    };
     let mut b = bench(ctrl);
     b.sim.run_until(rf_sim::Time::from_secs(2));
     let ctrl = b.sim.agent_as::<MockController>(b.ctrl).unwrap();
@@ -275,8 +300,10 @@ fn echo_request_answered() {
 
 #[test]
 fn barrier_answered_with_same_xid() {
-    let mut ctrl = MockController::default();
-    ctrl.script = vec![(Duration::from_secs(1), OfMessage::BarrierRequest, 0xAB)];
+    let ctrl = MockController {
+        script: vec![(Duration::from_secs(1), OfMessage::BarrierRequest, 0xAB)],
+        ..MockController::default()
+    };
     let mut b = bench(ctrl);
     b.sim.run_until(rf_sim::Time::from_secs(2));
     let ctrl = b.sim.agent_as::<MockController>(b.ctrl).unwrap();
@@ -288,23 +315,25 @@ fn barrier_answered_with_same_xid() {
 
 #[test]
 fn stats_desc_and_table() {
-    let mut ctrl = MockController::default();
-    ctrl.script = vec![
-        (
-            Duration::from_secs(1),
-            OfMessage::StatsRequest {
-                body: StatsBody::DescRequest,
-            },
-            1,
-        ),
-        (
-            Duration::from_secs(1),
-            OfMessage::StatsRequest {
-                body: StatsBody::TableRequest,
-            },
-            2,
-        ),
-    ];
+    let ctrl = MockController {
+        script: vec![
+            (
+                Duration::from_secs(1),
+                OfMessage::StatsRequest {
+                    body: StatsBody::DescRequest,
+                },
+                1,
+            ),
+            (
+                Duration::from_secs(1),
+                OfMessage::StatsRequest {
+                    body: StatsBody::TableRequest,
+                },
+                2,
+            ),
+        ],
+        ..MockController::default()
+    };
     let mut b = bench(ctrl);
     b.sim.run_until(rf_sim::Time::from_secs(2));
     let ctrl = b.sim.agent_as::<MockController>(b.ctrl).unwrap();
@@ -326,23 +355,25 @@ fn stats_desc_and_table() {
 
 #[test]
 fn hard_timeout_emits_flow_removed() {
-    let mut ctrl = MockController::default();
-    ctrl.script = vec![(
-        Duration::from_secs(1),
-        OfMessage::FlowMod {
-            of_match: OfMatch::any(),
-            cookie: 5,
-            command: FlowModCommand::Add,
-            idle_timeout: 0,
-            hard_timeout: 2,
-            priority: 1,
-            buffer_id: OFP_NO_BUFFER,
-            out_port: OFPP_NONE,
-            flags: rf_openflow::messages::OFPFF_SEND_FLOW_REM,
-            actions: vec![Action::output(2)],
-        },
-        1,
-    )];
+    let ctrl = MockController {
+        script: vec![(
+            Duration::from_secs(1),
+            OfMessage::FlowMod {
+                of_match: OfMatch::any(),
+                cookie: 5,
+                command: FlowModCommand::Add,
+                idle_timeout: 0,
+                hard_timeout: 2,
+                priority: 1,
+                buffer_id: OFP_NO_BUFFER,
+                out_port: OFPP_NONE,
+                flags: rf_openflow::messages::OFPFF_SEND_FLOW_REM,
+                actions: vec![Action::output(2)],
+            },
+            1,
+        )],
+        ..MockController::default()
+    };
     let mut b = bench(ctrl);
     b.sim.run_until(rf_sim::Time::from_secs(5));
     let sw = b.sim.agent_as::<OpenFlowSwitch>(b.sw).unwrap();
@@ -410,8 +441,11 @@ fn port_admin_down_drops_traffic_and_reports_status() {
         .agent_as_mut::<OpenFlowSwitch>(b.sw)
         .unwrap()
         .set_port_admin(1, true);
-    b.sim.agent_as_mut::<FrameSink>(b.host_a).unwrap().tx =
-        Some((1, udp_frame(Ipv4Addr::new(10, 0, 0, 5)), Duration::from_millis(100)));
+    b.sim.agent_as_mut::<FrameSink>(b.host_a).unwrap().tx = Some((
+        1,
+        udp_frame(Ipv4Addr::new(10, 0, 0, 5)),
+        Duration::from_millis(100),
+    ));
     b.sim.run_until(rf_sim::Time::from_secs(3));
     let ctrl = b.sim.agent_as::<MockController>(b.ctrl).unwrap();
     // No PACKET_IN (port is down) but a PORT_STATUS modify.

@@ -65,7 +65,10 @@ impl Topology {
     /// mapping in the experiments assumes simple graphs.
     pub fn add_edge(&mut self, a: NodeId, b: NodeId) {
         assert!(a != b, "self-loop at node {a}");
-        assert!(a < self.nodes.len() && b < self.nodes.len(), "edge endpoint out of range");
+        assert!(
+            a < self.nodes.len() && b < self.nodes.len(),
+            "edge endpoint out of range"
+        );
         assert!(
             !self.has_edge(a, b),
             "duplicate edge {a}-{b} (simple graphs only)"

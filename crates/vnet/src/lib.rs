@@ -25,5 +25,5 @@
 pub mod rfproto;
 pub mod vm;
 
-pub use rfproto::{RfMessage, RfFrameReader, RF_SERVICE};
+pub use rfproto::{RfFrameReader, RfMessage, RF_SERVICE};
 pub use vm::{VmAgent, VmConfigHandle};

@@ -178,6 +178,7 @@ impl RfFrameReader {
         self.buf.extend_from_slice(data);
     }
 
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<RfMessage> {
         if self.buf.len() < 4 {
             return None;

@@ -7,7 +7,9 @@ use rf_routed::ospf::daemon::{OspfDaemon, OspfEvent};
 use rf_routed::ospf::ALL_SPF_ROUTERS;
 use rf_routed::rib::{Rib, RibChange, Route, RouteProto};
 use rf_sim::{Agent, AgentId, ConnId, ConnProfile, Ctx, StreamEvent, Time};
-use rf_wire::{EtherType, EthernetFrame, IpProtocol, Ipv4Cidr, Ipv4Packet, MacAddr, ArpPacket, ArpOp};
+use rf_wire::{
+    ArpOp, ArpPacket, EtherType, EthernetFrame, IpProtocol, Ipv4Cidr, Ipv4Packet, MacAddr,
+};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -66,9 +68,17 @@ impl VmAgent {
         self.rib.fib_len()
     }
 
+    /// Effective OSPF (hello, dead) intervals, once configured.
+    pub fn ospf_timers(&self) -> Option<(Duration, Duration)> {
+        self.ospf.as_ref().map(|d| d.timers())
+    }
+
     /// OSPF neighbor view (test accessor).
     pub fn ospf_neighbors(&self) -> Vec<(u16, u32, rf_routed::ospf::NeighborState)> {
-        self.ospf.as_ref().map(|d| d.neighbors()).unwrap_or_default()
+        self.ospf
+            .as_ref()
+            .map(|d| d.neighbors())
+            .unwrap_or_default()
     }
 
     fn send_rf(&mut self, ctx: &mut Ctx<'_>, msg: RfMessage) {
@@ -166,13 +176,18 @@ impl VmAgent {
             let changes: Vec<RibChange> = desired
                 .iter()
                 .flat_map(|(i, a)| {
-                    self.rib
-                        .add(Route::connected(Ipv4Cidr::new(a.network(), a.prefix_len), *i))
+                    self.rib.add(Route::connected(
+                        Ipv4Cidr::new(a.network(), a.prefix_len),
+                        *i,
+                    ))
                 })
                 .collect();
             self.push_rib_changes(ctx, changes);
             self.process_ospf_events(ctx, ev);
-            ctx.trace("vm.configured", format!("dpid {:#x}: {} interfaces", self.dpid, self.ifaces.len()));
+            ctx.trace(
+                "vm.configured",
+                format!("dpid {:#x}: {} interfaces", self.dpid, self.ifaces.len()),
+            );
             return;
         }
         // Incremental reconfiguration: diff interfaces.
@@ -189,18 +204,20 @@ impl VmAgent {
             .collect();
         for (idx, addr) in added {
             self.ifaces.insert(idx, addr);
-            let ch = self
-                .rib
-                .add(Route::connected(Ipv4Cidr::new(addr.network(), addr.prefix_len), idx));
+            let ch = self.rib.add(Route::connected(
+                Ipv4Cidr::new(addr.network(), addr.prefix_len),
+                idx,
+            ));
             self.push_rib_changes(ctx, ch);
             let ev = self.ospf.as_mut().unwrap().add_interface(idx, addr, now);
             self.process_ospf_events(ctx, ev);
         }
         for idx in removed {
             if let Some(addr) = self.ifaces.remove(&idx) {
-                let ch = self
-                    .rib
-                    .remove(Ipv4Cidr::new(addr.network(), addr.prefix_len), RouteProto::Connected);
+                let ch = self.rib.remove(
+                    Ipv4Cidr::new(addr.network(), addr.prefix_len),
+                    RouteProto::Connected,
+                );
                 self.push_rib_changes(ctx, ch);
                 let ev = self.ospf.as_mut().unwrap().remove_interface(idx, now);
                 self.process_ospf_events(ctx, ev);

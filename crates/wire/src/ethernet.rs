@@ -115,10 +115,7 @@ mod tests {
 
     #[test]
     fn truncated_header_rejected() {
-        assert_eq!(
-            EthernetFrame::parse(&[0u8; 13]),
-            Err(WireError::Truncated)
-        );
+        assert_eq!(EthernetFrame::parse(&[0u8; 13]), Err(WireError::Truncated));
     }
 
     #[test]

@@ -164,7 +164,7 @@ mod tests {
     fn rejects_wrong_version() {
         let mut wire = sample().emit().to_vec();
         wire[0] = 0x65; // version 6
-        // Checksum now wrong too, but version is checked first.
+                        // Checksum now wrong too, but version is checked first.
         assert_eq!(Ipv4Packet::parse(&wire), Err(WireError::Unsupported));
     }
 
@@ -173,7 +173,7 @@ mod tests {
         let p = sample();
         let mut wire = p.emit().to_vec();
         wire[6] = 0x20; // MF flag
-        // Re-fix checksum.
+                        // Re-fix checksum.
         wire[10] = 0;
         wire[11] = 0;
         let ck = internet_checksum(&wire[..IPV4_HEADER_LEN]);

@@ -22,13 +22,26 @@ pub const SUBTYPE_LOCAL: u8 = 7;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum LldpTlv {
     End,
-    ChassisId { subtype: u8, id: Bytes },
-    PortId { subtype: u8, id: Bytes },
+    ChassisId {
+        subtype: u8,
+        id: Bytes,
+    },
+    PortId {
+        subtype: u8,
+        id: Bytes,
+    },
     Ttl(u16),
     SystemName(String),
-    OrgSpecific { oui: [u8; 3], subtype: u8, info: Bytes },
+    OrgSpecific {
+        oui: [u8; 3],
+        subtype: u8,
+        info: Bytes,
+    },
     /// Any other TLV type, preserved opaquely.
-    Unknown { ty: u8, value: Bytes },
+    Unknown {
+        ty: u8,
+        value: Bytes,
+    },
 }
 
 impl LldpTlv {

@@ -147,10 +147,7 @@ mod tests {
         let mut wire = p.emit(SRC, DST).to_vec();
         wire[4] = 0xFF; // absurd length
         wire[5] = 0xFF;
-        assert_eq!(
-            UdpPacket::parse(&wire, SRC, DST),
-            Err(WireError::BadLength)
-        );
+        assert_eq!(UdpPacket::parse(&wire, SRC, DST), Err(WireError::BadLength));
     }
 
     #[test]

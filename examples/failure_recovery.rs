@@ -1,99 +1,62 @@
 //! Beyond the paper: kill a transit switch after the network is up and
 //! watch the framework heal — discovery notices the dead switch, OSPF
-//! routes around it, and RouteFlow reprograms the data plane.
+//! routes around it, and RouteFlow reprograms the data plane. The
+//! whole experiment is one builder chain: topology, workload, fault.
 //!
 //! ```sh
 //! cargo run --release --example failure_recovery
 //! ```
 
-use rf_apps::Pinger;
-use rf_sim::{Agent, LinkProfile};
 use routeflow_autoconf::prelude::*;
 use std::time::Duration;
 
-struct Killer {
-    victim: rf_sim::AgentId,
-    at: Duration,
-}
-impl Agent for Killer {
-    fn on_start(&mut self, ctx: &mut rf_sim::Ctx<'_>) {
-        ctx.schedule(self.at, 0);
-    }
-    fn on_timer(&mut self, ctx: &mut rf_sim::Ctx<'_>, _t: u64) {
-        ctx.trace("chaos.kill", "transit switch going down");
-        ctx.kill(self.victim);
-    }
-}
-
 fn main() {
-    // Ring of 5: two disjoint paths between any pair of switches.
-    let mut cfg = DeploymentConfig::new(ring(5))
-        .with_host(0, "10.1.0.0/24")
-        .with_host(2, "10.2.0.0/24");
-    cfg.ospf_hello = 1;
-    cfg.ospf_dead = 4;
-    cfg.probe_interval = Duration::from_millis(500);
-    let mut dep = Deployment::build(cfg);
-    let a = dep.host_slots[0].clone();
-    let b = dep.host_slots[1].clone();
-    let echo = dep.sim.add_agent(
-        "echo-host",
-        Box::new(EchoHost::new(HostConfig {
-            mac: MacAddr([2, 0xCC, 0, 0, 0, 1]),
-            addr: Ipv4Cidr::new(b.host_ip, b.subnet.prefix_len),
-            gateway: b.gateway,
-        })),
-    );
-    let pinger = dep.sim.add_agent(
-        "pinger",
-        Box::new(Pinger::new(
-            HostConfig {
-                mac: MacAddr([2, 0xDD, 0, 0, 0, 1]),
-                addr: Ipv4Cidr::new(a.host_ip, a.subnet.prefix_len),
-                gateway: a.gateway,
-            },
-            b.host_ip,
-        )),
-    );
-    dep.sim
-        .add_link((a.switch, u32::from(a.port)), (pinger, 1), LinkProfile::default());
-    dep.sim
-        .add_link((b.switch, u32::from(b.port)), (echo, 1), LinkProfile::default());
-
-    // Kill switch 1 (on the short arc between host switches 0 and 2)
-    // at t = 60 s, well after convergence.
-    let victim = dep.switches[1];
-    dep.sim.add_agent(
-        "chaos",
-        Box::new(Killer {
-            victim,
+    // Ring of 5: two disjoint paths between any pair of switches. The
+    // ping workload crosses the short arc through switch 1; the fault
+    // kills that switch at t = 60 s, well after convergence.
+    let mut sc = Scenario::on(ring(5))
+        .fast_timers()
+        .with_workload(Workload::ping(0, 2))
+        .with_fault(Fault::KillSwitch {
+            node: 1,
             at: Duration::from_secs(60),
-        }),
-    );
+        })
+        .start();
 
-    dep.sim.run_until(Time::from_secs(180));
+    sc.run_until(Time::from_secs(180));
 
-    let p = dep.sim.agent_as::<Pinger>(pinger).unwrap();
+    let reports = sc.workload_reports();
+    let WorkloadReport::Ping {
+        first_reply_at,
+        rtts,
+    } = &reports[0]
+    else {
+        unreachable!("ping workload");
+    };
     println!("ping timeline (1 ping per second):");
     let mut last_seq: i64 = -1;
     let mut outage: u64 = 0;
-    for &(seq, rtt) in &p.rtts {
+    for &(seq, rtt) in rtts {
         if i64::from(seq) != last_seq + 1 {
             let lost = i64::from(seq) - last_seq - 1;
             outage += lost as u64;
-            println!("  ... {lost} pings lost (seq {} to {})", last_seq + 1, seq - 1);
+            println!(
+                "  ... {lost} pings lost (seq {} to {})",
+                last_seq + 1,
+                seq - 1
+            );
         }
         last_seq = i64::from(seq);
         let _ = rtt;
     }
-    println!("\nreplies received: {}", p.rtts.len());
+    println!("\nreplies received: {}", rtts.len());
     println!("pings lost to the failure + reconvergence: {outage}");
     println!(
         "first reply after cold start: {:?}",
-        p.first_reply_at.expect("network converged")
+        first_reply_at.expect("network converged")
     );
     assert!(
-        p.rtts.iter().any(|(seq, _)| *seq > 70),
+        rtts.iter().any(|(seq, _)| *seq > 70),
         "pings must flow again after the failure"
     );
     println!("the ring healed: traffic flows around the dead switch.");

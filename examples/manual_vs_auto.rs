@@ -10,7 +10,10 @@ use routeflow_autoconf::prelude::*;
 
 fn main() {
     let manual = ManualConfigModel::default();
-    println!("{:>10} {:>16} {:>14} {:>10}", "switches", "automatic (s)", "manual (min)", "speedup");
+    println!(
+        "{:>10} {:>16} {:>14} {:>10}",
+        "switches", "automatic (s)", "manual (min)", "speedup"
+    );
     for n in [4usize, 8, 16, 28] {
         let mut dep = Deployment::build(DeploymentConfig::new(ring(n)));
         let done = dep

@@ -7,9 +7,6 @@
 //! cargo run --release --example pan_european_demo
 //! ```
 
-use rf_apps::video::{VideoClient, VideoServer};
-use rf_core::rfcontroller::RfController;
-use rf_sim::LinkProfile;
 use routeflow_autoconf::prelude::*;
 
 fn main() {
@@ -22,41 +19,9 @@ fn main() {
         topo.bfs_distances(server_node)[client_node],
     );
 
-    let cfg = DeploymentConfig::new(topo.clone())
-        .with_host(server_node, "10.1.0.0/24")
-        .with_host(client_node, "10.2.0.0/24");
-    let mut dep = Deployment::build(cfg);
-    let s = dep.host_slots[0].clone();
-    let c = dep.host_slots[1].clone();
-    let _server = dep.sim.add_agent(
-        "video-server",
-        Box::new(VideoServer::new(HostConfig {
-            mac: MacAddr([2, 0xAA, 0, 0, 0, 1]),
-            addr: Ipv4Cidr::new(s.host_ip, s.subnet.prefix_len),
-            gateway: s.gateway,
-        })),
-    );
-    let client = dep.sim.add_agent(
-        "video-client",
-        Box::new(VideoClient::new(
-            HostConfig {
-                mac: MacAddr([2, 0xBB, 0, 0, 0, 1]),
-                addr: Ipv4Cidr::new(c.host_ip, c.subnet.prefix_len),
-                gateway: c.gateway,
-            },
-            s.host_ip,
-        )),
-    );
-    dep.sim.add_link(
-        (s.switch, u32::from(s.port)),
-        (_server, 1),
-        LinkProfile::default(),
-    );
-    dep.sim.add_link(
-        (c.switch, u32::from(c.port)),
-        (client, 1),
-        LinkProfile::default(),
-    );
+    let mut sc = Scenario::on(topo.clone())
+        .with_workload(Workload::video(server_node, client_node))
+        .start();
 
     // Drive the simulation in 20-second slices, rendering the GUI after
     // each (the paper shows switches flipping red → green live).
@@ -64,17 +29,18 @@ fn main() {
     view.use_ansi = std::env::var("NO_COLOR").is_err();
     for slice in 1..=12u64 {
         let t = Time::from_secs(slice * 20);
-        dep.sim.run_until(t);
-        let states = dep
-            .sim
-            .agent_as::<RfController>(dep.rf_ctrl)
-            .unwrap()
-            .switch_states();
-        view.update(&states);
-        view.log(t.to_string(), format!("{} switches green", view.green_count()));
+        sc.run_until(t);
+        view.update(&sc.controller().switch_states());
+        view.log(
+            t.to_string(),
+            format!("{} switches green", view.green_count()),
+        );
         println!("t = {t}");
         println!("{}", view.render(90, 24));
-        let report = dep.sim.agent_as::<VideoClient>(client).unwrap().report;
+        let reports = sc.workload_reports();
+        let WorkloadReport::Video(report) = &reports[0] else {
+            unreachable!("video workload");
+        };
         if let Some(fb) = report.first_byte_at {
             println!("*** video reached the client at t = {fb} ***\n");
             if report.playback_at.is_some() {
@@ -82,12 +48,18 @@ fn main() {
             }
         }
     }
-    let report = dep.sim.agent_as::<VideoClient>(client).unwrap().report;
+    let reports = sc.workload_reports();
+    let WorkloadReport::Video(report) = &reports[0] else {
+        unreachable!("video workload");
+    };
     println!("\nfinal report:");
-    println!("  configured (all green): {:?}", dep.all_configured_at());
+    println!("  configured (all green): {:?}", sc.all_configured_at());
     println!("  first video byte:       {:?}", report.first_byte_at);
     println!("  playback start:         {:?}", report.playback_at);
-    println!("  packets / gaps:         {} / {}", report.packets, report.gaps);
+    println!(
+        "  packets / gaps:         {} / {}",
+        report.packets, report.gaps
+    );
     let ok = report
         .first_byte_at
         .map(|t| t < Time::from_secs(240))

@@ -1,70 +1,50 @@
-//! Quickstart: auto-configure a 4-switch ring and ping across it.
+//! Quickstart: auto-configure a 4-switch ring and ping across it,
+//! using the composable scenario API.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use rf_sim::LinkProfile;
 use routeflow_autoconf::prelude::*;
-use std::time::Duration;
 
 fn main() {
-    // 1. A physical topology: four OpenFlow switches in a ring, a host
-    //    on switch 0 and another on switch 2 (opposite side).
-    let mut cfg = DeploymentConfig::new(ring(4))
-        .with_host(0, "10.1.0.0/24")
-        .with_host(2, "10.2.0.0/24");
-    // Snappy timers so the quickstart finishes in seconds of simulated
-    // time (the defaults are Quagga's 10 s hello / 40 s dead).
-    cfg.ospf_hello = 1;
-    cfg.ospf_dead = 4;
-    cfg.probe_interval = Duration::from_millis(500);
+    // 1. A physical topology: four OpenFlow switches in a ring, with a
+    //    ping workload between hosts on opposite sides (the builder
+    //    attaches both endpoints and their subnets). Snappy timers so
+    //    the quickstart finishes in seconds of simulated time (the
+    //    defaults are Quagga's 10 s hello / 40 s dead).
+    let mut sc = Scenario::on(ring(4))
+        .fast_timers()
+        .with_workload(Workload::ping(0, 2))
+        .start();
 
-    // 2. Build the paper's Fig. 2 stack: switches → FlowVisor →
-    //    {topology controller, RF-controller}, RPC client in between.
-    let mut dep = Deployment::build(cfg);
-
-    // 3. Attach the two hosts.
-    let a = dep.host_slots[0].clone();
-    let b = dep.host_slots[1].clone();
-    let echo = dep.sim.add_agent(
-        "echo-host",
-        Box::new(EchoHost::new(HostConfig {
-            mac: MacAddr([2, 0xCC, 0, 0, 0, 1]),
-            addr: Ipv4Cidr::new(b.host_ip, b.subnet.prefix_len),
-            gateway: b.gateway,
-        })),
-    );
-    let pinger = dep.sim.add_agent(
-        "pinger",
-        Box::new(Pinger::new(
-            HostConfig {
-                mac: MacAddr([2, 0xDD, 0, 0, 0, 1]),
-                addr: Ipv4Cidr::new(a.host_ip, a.subnet.prefix_len),
-                gateway: a.gateway,
-            },
-            b.host_ip,
-        )),
-    );
-    dep.sim
-        .add_link((a.switch, u32::from(a.port)), (pinger, 1), LinkProfile::default());
-    dep.sim
-        .add_link((b.switch, u32::from(b.port)), (echo, 1), LinkProfile::default());
-
-    // 4. Cold start. No VM exists, no flow is installed, the pinger
+    // 2. Cold start. No VM exists, no flow is installed, the pinger
     //    starts pinging into the void.
-    dep.sim.run_until(Time::from_secs(60));
+    sc.run_until(Time::from_secs(60));
 
-    let configured = dep.all_configured_at().expect("configuration completes");
+    let metrics = sc.metrics();
+    let configured = metrics.all_configured_at.expect("configuration completes");
     println!("all 4 switches configured (green) at t = {configured}");
-    let p = dep.sim.agent_as::<Pinger>(pinger).unwrap();
-    let first = p.first_reply_at.expect("ping succeeds once routed");
+    println!(
+        "controller pushed {} flows ({} resident in the data plane)",
+        metrics.flows_installed, metrics.dataplane_flows
+    );
+
+    let reports = sc.workload_reports();
+    let WorkloadReport::Ping {
+        first_reply_at,
+        rtts,
+    } = &reports[0]
+    else {
+        unreachable!("ping workload");
+    };
+    let first = first_reply_at.expect("ping succeeds once routed");
     println!("first successful ping at        t = {first}");
-    let (seq, rtt) = p.rtts.last().unwrap();
+    let (seq, rtt) = rtts.last().unwrap();
     println!("steady-state rtt (seq {seq}):          {rtt:?}");
     println!(
         "\ntimeline: {} pings sent before the network came up, then {} round trips completed",
-        seq + 1 - p.rtts.len() as u16,
-        p.rtts.len()
+        seq + 1 - rtts.len() as u16,
+        rtts.len()
     );
 }

@@ -6,29 +6,45 @@
 //! on a deterministic discrete-event network simulator.
 //!
 //! This facade crate re-exports the public API of every member crate;
-//! see `README.md` for the architecture tour, `DESIGN.md` for the
-//! system inventory and substitutions, and `EXPERIMENTS.md` for the
-//! paper-vs-measured results.
+//! see `README.md` for the architecture tour. The API has two layers:
+//!
+//! * **Controller side** — the [`core::apps`] event pipeline: a
+//!   [`ControlPlane`](core::apps::ControlPlane) engine publishes typed
+//!   [`ControlEvent`](core::apps::ControlEvent)s to pluggable
+//!   [`ControlApp`](core::apps::ControlApp)s (discovery bridge, VM
+//!   lifecycle, FIB mirror, ARP proxy — plus yours).
+//! * **Experiment side** — the fluent
+//!   [`ScenarioBuilder`](core::scenario::ScenarioBuilder): topology in,
+//!   hosts/workloads/faults/apps composed on top, typed metrics out.
 //!
 //! ## The ninety-second tour
 //!
 //! ```
 //! use routeflow_autoconf::prelude::*;
-//! use std::time::Duration;
 //!
-//! // The Fig. 2 stack on a 4-switch ring, OSPF timers sped up so the
-//! // doctest stays fast.
-//! let mut cfg = DeploymentConfig::new(ring(4));
-//! cfg.ospf_hello = 1;
-//! cfg.ospf_dead = 4;
-//! cfg.probe_interval = Duration::from_millis(500);
-//! let mut dep = Deployment::build(cfg);
+//! // The Fig. 2 stack on a 4-switch ring with a ping workload across
+//! // it, OSPF timers sped up so the doctest stays fast.
+//! let mut sc = Scenario::on(ring(4))
+//!     .fast_timers()
+//!     .with_workload(Workload::ping(0, 2))
+//!     .start();
 //!
 //! // Run: discovery finds switches and links, the RPC path creates
 //! // VMs, writes Quagga configs, OSPF converges, flows appear.
-//! let done = dep.run_until_configured(Time::from_secs(120)).unwrap();
-//! assert_eq!(dep.configured_switches(), 4);
+//! let done = sc.run_until_configured(Time::from_secs(120)).unwrap();
 //! assert!(done < Time::from_secs(60));
+//!
+//! let metrics = sc.metrics();
+//! assert_eq!(metrics.configured_switches, 4);
+//! assert!(metrics.flows_installed > 0);
+//!
+//! // The pre-redesign one-shot entry point still works.
+//! let mut cfg = DeploymentConfig::new(ring(4));
+//! cfg.ospf_hello = 1;
+//! cfg.ospf_dead = 4;
+//! let mut dep = Deployment::build(cfg);
+//! dep.sim.run_until(Time::from_secs(1));
+//! assert_eq!(dep.configured_switches(), 0); // nothing green this early
 //! ```
 
 pub use rf_apps as apps;
@@ -48,9 +64,15 @@ pub use rf_wire as wire;
 /// The names most programs need.
 pub mod prelude {
     pub use rf_apps::{EchoHost, HostConfig, Pinger, VideoClient, VideoServer};
+    pub use rf_core::apps::{
+        AppCtx, ControlApp, ControlEvent, ControlPlane, ControlState, FibChange, LinkChange,
+    };
     pub use rf_core::bootstrap::{Deployment, DeploymentConfig, HostAttachment};
     pub use rf_core::manual::ManualConfigModel;
     pub use rf_core::rfcontroller::RfController;
+    pub use rf_core::scenario::{
+        Fault, Scenario, ScenarioBuilder, ScenarioMetrics, Workload, WorkloadReport,
+    };
     pub use rf_gui::NetworkView;
     pub use rf_sim::{LinkProfile, Sim, SimConfig, Time};
     pub use rf_topo::{line, pan_european, ring, Topology};

@@ -1,9 +1,9 @@
 //! Workspace-level end-to-end tests: hosts exchanging real traffic
 //! across the automatically configured network — the demo scenario.
 
-use routeflow_autoconf::prelude::*;
 use rf_apps::video::{VideoClient, VideoServer};
 use rf_sim::LinkProfile;
+use routeflow_autoconf::prelude::*;
 use std::time::Duration;
 
 /// Attach a video server at `server_node` and client at `client_node`,
@@ -44,10 +44,16 @@ fn video_world(
             s.host_ip,
         )),
     );
-    dep.sim
-        .add_link((s.switch, u32::from(s.port)), (server, 1), LinkProfile::default());
-    dep.sim
-        .add_link((c.switch, u32::from(c.port)), (client, 1), LinkProfile::default());
+    dep.sim.add_link(
+        (s.switch, u32::from(s.port)),
+        (server, 1),
+        LinkProfile::default(),
+    );
+    dep.sim.add_link(
+        (c.switch, u32::from(c.port)),
+        (client, 1),
+        LinkProfile::default(),
+    );
     (dep, server, client)
 }
 
@@ -55,11 +61,7 @@ fn video_world(
 fn video_crosses_ring4_after_autoconfig() {
     let (mut dep, _server, client) = video_world(ring(4), 0, 2, true);
     dep.sim.run_until(Time::from_secs(120));
-    let report = dep
-        .sim
-        .agent_as::<VideoClient>(client)
-        .unwrap()
-        .report;
+    let report = dep.sim.agent_as::<VideoClient>(client).unwrap().report;
     let first = report.first_byte_at.expect("video must arrive");
     assert!(
         first < Time::from_secs(120),
@@ -99,10 +101,16 @@ fn ping_works_between_hosts_after_autoconfig() {
             b.host_ip,
         )),
     );
-    dep.sim
-        .add_link((a.switch, u32::from(a.port)), (pinger, 1), LinkProfile::default());
-    dep.sim
-        .add_link((b.switch, u32::from(b.port)), (echo, 1), LinkProfile::default());
+    dep.sim.add_link(
+        (a.switch, u32::from(a.port)),
+        (pinger, 1),
+        LinkProfile::default(),
+    );
+    dep.sim.add_link(
+        (b.switch, u32::from(b.port)),
+        (echo, 1),
+        LinkProfile::default(),
+    );
     dep.sim.run_until(Time::from_secs(90));
     let p = dep.sim.agent_as::<Pinger>(pinger).unwrap();
     assert!(
