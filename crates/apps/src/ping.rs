@@ -15,9 +15,14 @@ pub struct Pinger {
     pub interval: Duration,
     pub ident: u16,
     next_seq: u16,
-    sent_at: Vec<(u16, Time)>,
+    /// When each ping went out: (seq, send time).
+    pub sent_at: Vec<(u16, Time)>,
     /// Completed round trips: (seq, rtt).
     pub rtts: Vec<(u16, Duration)>,
+    /// When each reply arrived: (seq, arrival time). The timeline a
+    /// recovery measurement needs — the first entry after a fault marks
+    /// the network healed.
+    pub replies: Vec<(u16, Time)>,
     /// Time of the first successful reply — "the network works now".
     pub first_reply_at: Option<Time>,
     pub max_pings: u16,
@@ -33,6 +38,7 @@ impl Pinger {
             next_seq: 0,
             sent_at: Vec::new(),
             rtts: Vec::new(),
+            replies: Vec::new(),
             first_reply_at: None,
             max_pings: 0,
         }
@@ -47,6 +53,7 @@ impl Pinger {
                         if let Some(&(_, at)) = self.sent_at.iter().find(|(s, _)| *s == seq) {
                             let rtt = ctx.now().since(at);
                             self.rtts.push((seq, rtt));
+                            self.replies.push((seq, ctx.now()));
                             if self.first_reply_at.is_none() {
                                 self.first_reply_at = Some(ctx.now());
                                 ctx.trace("ping.first_reply", format!("t = {}", ctx.now()));

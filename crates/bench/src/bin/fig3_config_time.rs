@@ -1,45 +1,58 @@
 //! E1 / Fig. 3 — automatic vs. manual configuration time on ring
-//! topologies of increasing size, via the `ScenarioBuilder` API.
+//! topologies of increasing size, swept through the `ScenarioMatrix`
+//! harness.
 //!
 //! The paper's Fig. 3 plots both curves for rings run on the OFELIA
 //! testbed; the manual curve is the 15-minutes-per-switch model. We
 //! reproduce the *shape*: automatic configuration stays within seconds
 //! to low minutes and grows gently, the manual model grows linearly at
 //! 900 s per switch, so the gap widens from ~2 orders of magnitude.
-//! The typed scenario metrics also give the per-switch trajectory (how
-//! the serial VM-creation pipeline stretches the tail) and the flow
-//! count at convergence.
+//!
+//! Cells run in parallel worker threads and land in the same stable
+//! [`MatrixReport`] JSON the CI sweep uses, so Fig. 3 runs can be
+//! diffed across commits like any other sweep.
 //!
 //! Run: `cargo run --release -p rf-bench --bin fig3_config_time`
+//! (add `--json FILE` to save the report, `--threads N` to override
+//! the worker count)
 
-use rf_bench::{auto_config_metrics, fmt_dur, manual_config_time, print_table, ExpParams};
-use rf_topo::ring;
+use rf_bench::{fmt_dur, manual_config_time, print_table, report_duration, sweep_args};
+use rf_core::scenario::{FaultSchedule, MatrixKnob, MatrixSpec, ScenarioMatrix};
 use std::time::Duration;
 
 fn main() {
-    let params = ExpParams::default();
+    let args = sweep_args();
     let sizes = [4usize, 8, 12, 16, 20, 24, 28, 40, 64];
+    let spec = MatrixSpec {
+        seeds: vec![0xC0FFEE],
+        topologies: sizes.iter().map(|n| format!("ring-{n}")).collect(),
+        schedules: vec![FaultSchedule::none()],
+        knobs: vec![MatrixKnob::paper("paper")],
+        configure_deadline: Duration::from_secs(3600),
+        post_fault_window: Duration::ZERO,
+        settle: Duration::from_secs(5),
+    };
+    let matrix = ScenarioMatrix::new(spec);
+    let report = matrix.run(args.threads);
+
     let mut rows = Vec::new();
-    for &n in &sizes {
-        let m = auto_config_metrics(ring(n), &params);
-        let auto = Duration::from_nanos(
-            m.all_configured_at
-                .expect("metrics taken after completion")
-                .as_nanos(),
-        );
-        let first_green = m
-            .per_switch_config_time
+    for (cell, n) in matrix.spec().cells().iter().zip(sizes) {
+        let rec = report
+            .cells
             .iter()
-            .filter_map(|(_, t)| *t)
-            .min()
-            .expect("all switches configured");
+            .find(|c| c.key == cell.key())
+            .expect("every cell reports");
+        let auto = report_duration(rec, "all_configured_ns")
+            .expect("configuration must complete within an hour");
+        let first_green = report_duration(rec, "green_first_ns").expect("switches configured");
+        let flows = rec.metrics["flows_installed"];
         let manual = manual_config_time(n);
         let speedup = manual.as_secs_f64() / auto.as_secs_f64();
         rows.push(vec![
             n.to_string(),
             fmt_dur(auto),
-            format!("{:.1}", first_green.as_secs_f64()),
-            m.flows_installed.to_string(),
+            fmt_dur(first_green),
+            flows.to_string(),
             manual.as_secs().to_string(),
             format!("{speedup:.0}x"),
         ]);
@@ -47,7 +60,7 @@ fn main() {
             "ring-{n}: auto {}s (first switch green {:.1}s, {} flows) manual {}s",
             fmt_dur(auto),
             first_green.as_secs_f64(),
-            m.flows_installed,
+            flows,
             manual.as_secs()
         );
     }
@@ -64,4 +77,8 @@ fn main() {
         &rows,
     );
     println!("\nManual model: 5 min VM + 2 min mapping + 8 min routing per switch (paper §2.1).");
+    if let Some(path) = args.json_out {
+        std::fs::write(&path, report.to_json()).expect("write report");
+        eprintln!("matrix report written to {path}");
+    }
 }

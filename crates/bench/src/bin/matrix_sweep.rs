@@ -1,0 +1,156 @@
+//! The scenario-matrix sweep harness: fan a (seed × topology ×
+//! fault-schedule × knob) grid out over worker threads and emit the
+//! stable [`MatrixReport`] JSON that CI diffs against a checked-in
+//! baseline.
+//!
+//! ```sh
+//! # CI smoke grid (seconds), report to stdout:
+//! cargo run --release -p rf-bench --bin matrix_sweep -- --smoke
+//!
+//! # Gate against the checked-in baseline (exit 1 on deviation):
+//! cargo run --release -p rf-bench --bin matrix_sweep -- --smoke \
+//!     --out report.json --check crates/bench/baselines/smoke.json
+//!
+//! # The long trend-tracking grid:
+//! cargo run --release -p rf-bench --bin matrix_sweep -- --full
+//! ```
+//!
+//! The report is byte-identical at any `--threads` value; see the
+//! `matrix determinism` tests and README §sweeps.
+
+use rf_core::scenario::{MatrixReport, MatrixSpec, ScenarioMatrix};
+use std::process::ExitCode;
+
+struct Args {
+    spec: MatrixSpec,
+    grid_name: &'static str,
+    threads: usize,
+    out: Option<String>,
+    check: Option<String>,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        spec: MatrixSpec::smoke(),
+        grid_name: "smoke",
+        threads: rf_bench::default_threads(),
+        out: None,
+        check: None,
+        tolerance: 0.2,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--smoke" => {
+                args.spec = MatrixSpec::smoke();
+                args.grid_name = "smoke";
+            }
+            "--full" => {
+                args.spec = MatrixSpec::full();
+                args.grid_name = "full";
+            }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--out" => args.out = Some(value("--out")?),
+            "--check" => args.check = Some(value("--check")?),
+            "--tolerance" => {
+                args.tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument {other}\n\
+                     usage: matrix_sweep [--smoke|--full] [--threads N] \
+                     [--out FILE] [--check BASELINE] [--tolerance FRAC]"
+                ))
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let cells = args.spec.cells().len();
+    eprintln!(
+        "sweeping the {} grid: {cells} cells on {} threads",
+        args.grid_name, args.threads
+    );
+    let started = std::time::Instant::now();
+    let report = ScenarioMatrix::new(args.spec).run(args.threads);
+    eprintln!(
+        "swept {cells} cells in {:.1}s wall clock",
+        started.elapsed().as_secs_f64()
+    );
+    for (name, s) in &report.summary {
+        eprintln!(
+            "  {name}: min {} / median {} / max {} (n={})",
+            s.min, s.median, s.max, s.count
+        );
+    }
+
+    let json = report.to_json();
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("writing {path}: {e}");
+                return ExitCode::from(2);
+            }
+            eprintln!("report written to {path}");
+        }
+        None => print!("{json}"),
+    }
+
+    if let Some(path) = &args.check {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("reading baseline {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = match MatrixReport::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("parsing baseline {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let diffs = report.diff_against(&baseline, args.tolerance);
+        if diffs.is_empty() {
+            eprintln!(
+                "baseline check passed: {} within ±{:.0}% of {path}",
+                report.cells.len(),
+                100.0 * args.tolerance
+            );
+        } else {
+            eprintln!(
+                "baseline check FAILED against {path} ({} deviations):",
+                diffs.len()
+            );
+            for d in &diffs {
+                eprintln!("  {d}");
+            }
+            eprintln!(
+                "if these changes are intended, refresh the baseline:\n  \
+                 cargo run --release -p rf-bench --bin matrix_sweep -- \
+                 --smoke --out {path}"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

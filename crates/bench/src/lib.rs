@@ -7,7 +7,9 @@
 //! recorded results.
 
 use rf_core::manual::ManualConfigModel;
-use rf_core::scenario::{Scenario, ScenarioBuilder, ScenarioMetrics, Workload, WorkloadReport};
+use rf_core::scenario::{
+    CellRecord, Scenario, ScenarioBuilder, ScenarioMetrics, Workload, WorkloadReport,
+};
 use rf_sim::Time;
 use rf_topo::Topology;
 use std::time::Duration;
@@ -109,6 +111,54 @@ pub fn video_demo(
         packets: report.packets,
         gaps: report.gaps,
     }
+}
+
+/// Shared CLI shape of the sweep-emitting table binaries: worker
+/// thread count (`--threads N`), report destination (`--json FILE`)
+/// and whatever positional arguments remain for the caller.
+pub struct SweepArgs {
+    pub threads: usize,
+    pub json_out: Option<String>,
+    pub rest: Vec<String>,
+}
+
+/// Default sweep worker count: one per core, capped — past the cap
+/// the single-threaded cells just contend for cache.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4)
+}
+
+/// Parse `--threads`/`--json` out of `std::env::args`, defaults
+/// matching `matrix_sweep`.
+pub fn sweep_args() -> SweepArgs {
+    let mut args = SweepArgs {
+        threads: default_threads(),
+        json_out: None,
+        rest: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number")
+            }
+            "--json" => args.json_out = Some(it.next().expect("--json needs a path")),
+            other => args.rest.push(other.to_string()),
+        }
+    }
+    args
+}
+
+/// Read a nanosecond metric off a matrix cell as a [`Duration`].
+pub fn report_duration(rec: &CellRecord, metric: &str) -> Option<Duration> {
+    rec.metrics
+        .get(metric)
+        .map(|&ns| Duration::from_nanos(ns as u64))
 }
 
 /// Render seconds for table output.

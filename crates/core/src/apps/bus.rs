@@ -291,8 +291,13 @@ impl AppCtx<'_, '_> {
 /// that only mirrors FIB entries overrides nothing but
 /// [`ControlApp::on_fib_update`]. Override `on_event` itself to observe
 /// the raw stream (loggers, invariant checkers).
+///
+/// Apps must be `Send`: the whole controller (and the `Sim` holding it)
+/// crosses thread boundaries when scenarios are swept in parallel by
+/// [`crate::scenario::ScenarioMatrix`]. App state is plain owned data
+/// in practice, so this costs nothing.
 #[allow(unused_variables)]
-pub trait ControlApp: 'static {
+pub trait ControlApp: 'static + Send {
     /// Stable name, for traces and diagnostics.
     fn name(&self) -> &'static str;
 

@@ -46,6 +46,7 @@
 
 pub mod apps;
 pub mod bootstrap;
+pub mod json;
 pub mod manual;
 pub mod rfcontroller;
 pub mod scenario;
@@ -56,4 +57,7 @@ pub use apps::{
 pub use bootstrap::{Deployment, DeploymentConfig, HostAttachment};
 pub use manual::ManualConfigModel;
 pub use rfcontroller::{HostPortConfig, RfController, RfControllerConfig};
-pub use scenario::{Fault, Scenario, ScenarioBuilder, ScenarioMetrics, Workload, WorkloadReport};
+pub use scenario::{
+    CellRecord, Fault, FaultSchedule, MatrixCell, MatrixKnob, MatrixReport, MatrixSpec, Scenario,
+    ScenarioBuilder, ScenarioMatrix, ScenarioMetrics, Workload, WorkloadReport,
+};

@@ -1,0 +1,538 @@
+//! `ScenarioMatrix` — a parallel sweep driver over scenario grids.
+//!
+//! The simulator is single-threaded, but scenarios are independent:
+//! each (seed × topology × fault-schedule × knob) cell builds its own
+//! [`Sim`] and runs to completion inside one worker thread. The
+//! [`Agent`](rf_sim::Agent) and [`ControlApp`](crate::apps::ControlApp)
+//! traits are `Send`, so the whole build path crosses the spawn
+//! boundary without ceremony.
+//!
+//! Determinism contract: a grid produces the *same report bytes* at
+//! any worker count. Cells are keyed and sorted, each cell's sim is
+//! seeded from the cell alone, and nothing wall-clock ever enters the
+//! report.
+//!
+//! ```no_run
+//! use rf_core::scenario::{MatrixSpec, ScenarioMatrix};
+//!
+//! let spec = MatrixSpec {
+//!     seeds: vec![1],
+//!     topologies: vec!["ring-4".into()],
+//!     ..MatrixSpec::smoke()
+//! };
+//! let report = ScenarioMatrix::new(spec).run(2);
+//! assert_eq!(report.cells.len(), 1 * 1 * 3); // seeds × topologies × schedules
+//! ```
+
+use super::report::{CellRecord, MatrixReport};
+use super::{Fault, Scenario, ScenarioBuilder, Workload, WorkloadReport};
+use rf_sim::Time;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A named fault schedule — one axis value of the grid.
+#[derive(Clone, Debug)]
+pub struct FaultSchedule {
+    /// Stable name, used in cell keys (`fault=<name>`).
+    pub name: String,
+    pub faults: Vec<Fault>,
+}
+
+impl FaultSchedule {
+    /// The empty schedule (`fault=none`).
+    pub fn none() -> FaultSchedule {
+        FaultSchedule {
+            name: "none".into(),
+            faults: Vec::new(),
+        }
+    }
+
+    pub fn new(name: impl Into<String>, faults: Vec<Fault>) -> FaultSchedule {
+        FaultSchedule {
+            name: name.into(),
+            faults,
+        }
+    }
+
+    /// Kill the switch at `node` at time `at`.
+    pub fn kill_switch(node: usize, at: Duration) -> FaultSchedule {
+        FaultSchedule {
+            name: format!("kill{node}@{}", fmt_at(at)),
+            faults: vec![Fault::KillSwitch { node, at }],
+        }
+    }
+
+    /// Flap topology link `edge`: down/up `cycles` times starting at
+    /// `first_down`, each phase lasting `half_period`. The soak ends
+    /// with the link up, so the network is expected to fully heal.
+    pub fn link_flap(
+        edge: usize,
+        first_down: Duration,
+        half_period: Duration,
+        cycles: u32,
+    ) -> FaultSchedule {
+        assert!(cycles >= 1);
+        let mut faults = Vec::new();
+        for k in 0..cycles {
+            let down = first_down + 2 * k * half_period;
+            faults.push(Fault::LinkDown { edge, at: down });
+            faults.push(Fault::LinkUp {
+                edge,
+                at: down + half_period,
+            });
+        }
+        FaultSchedule {
+            name: format!("flap{edge}x{cycles}@{}", fmt_at(first_down)),
+            faults,
+        }
+    }
+
+    /// When the last scheduled fault fires, if any. Recovery is
+    /// measured from this instant: after it, no further disturbance is
+    /// coming, so the next successful probe marks the healed network.
+    pub fn last_fault_at(&self) -> Option<Duration> {
+        self.faults
+            .iter()
+            .map(|f| match f {
+                Fault::KillSwitch { at, .. }
+                | Fault::LinkDown { at, .. }
+                | Fault::LinkUp { at, .. } => *at,
+            })
+            .max()
+    }
+}
+
+fn fmt_at(d: Duration) -> String {
+    if d.subsec_nanos() == 0 {
+        format!("{}s", d.as_secs())
+    } else {
+        format!("{}ms", d.as_millis())
+    }
+}
+
+/// A named bundle of scenario parameters — the `knob` axis.
+#[derive(Clone, Debug)]
+pub struct MatrixKnob {
+    /// Stable name, used in cell keys (`knob=<name>`).
+    pub name: String,
+    pub probe_interval: Duration,
+    pub vm_boot_delay: Duration,
+    pub ospf_hello: u16,
+    pub ospf_dead: u16,
+    pub use_flowvisor: bool,
+}
+
+impl MatrixKnob {
+    /// The fast-timer settings every quick test uses (1 s hello / 4 s
+    /// dead / 500 ms probes).
+    pub fn fast(name: impl Into<String>) -> MatrixKnob {
+        MatrixKnob {
+            name: name.into(),
+            probe_interval: Duration::from_millis(500),
+            vm_boot_delay: Duration::from_secs(1),
+            ospf_hello: 1,
+            ospf_dead: 4,
+            use_flowvisor: true,
+        }
+    }
+
+    /// The paper's defaults (Quagga 10 s / 40 s timers, 1 s probes).
+    pub fn paper(name: impl Into<String>) -> MatrixKnob {
+        MatrixKnob {
+            name: name.into(),
+            probe_interval: Duration::from_secs(1),
+            vm_boot_delay: Duration::from_secs(1),
+            ospf_hello: 10,
+            ospf_dead: 40,
+            use_flowvisor: true,
+        }
+    }
+
+    pub fn with_probe_interval(mut self, d: Duration) -> Self {
+        self.probe_interval = d;
+        self
+    }
+
+    pub fn with_vm_boot_delay(mut self, d: Duration) -> Self {
+        self.vm_boot_delay = d;
+        self
+    }
+
+    pub fn with_ospf_timers(mut self, hello: u16, dead: u16) -> Self {
+        self.ospf_hello = hello;
+        self.ospf_dead = dead;
+        self
+    }
+
+    pub fn without_flowvisor(mut self) -> Self {
+        self.use_flowvisor = false;
+        self
+    }
+
+    /// Apply this knob to a builder.
+    pub fn apply(&self, b: ScenarioBuilder) -> ScenarioBuilder {
+        let b = b
+            .probe_interval(self.probe_interval)
+            .vm_boot_delay(self.vm_boot_delay)
+            .ospf_timers(self.ospf_hello, self.ospf_dead);
+        if self.use_flowvisor {
+            b
+        } else {
+            b.without_flowvisor()
+        }
+    }
+}
+
+/// One grid point, handed to the builder closure.
+#[derive(Clone, Debug)]
+pub struct MatrixCell {
+    pub seed: u64,
+    /// Registry name ([`rf_topo::registry::resolve`]).
+    pub topology: String,
+    pub schedule: FaultSchedule,
+    pub knob: MatrixKnob,
+}
+
+impl MatrixCell {
+    /// The stable report key. Axis order is fixed; sorting keys groups
+    /// cells by topology first, which is how humans read the report.
+    pub fn key(&self) -> String {
+        format!(
+            "topo={}/fault={}/knob={}/seed={}",
+            self.topology, self.schedule.name, self.knob.name, self.seed
+        )
+    }
+}
+
+/// The grid definition plus the per-cell run policy.
+#[derive(Clone, Debug)]
+pub struct MatrixSpec {
+    pub seeds: Vec<u64>,
+    pub topologies: Vec<String>,
+    pub schedules: Vec<FaultSchedule>,
+    pub knobs: Vec<MatrixKnob>,
+    /// Give up on a cell's configuration phase after this much
+    /// simulated time (the cell still reports, without config metrics).
+    pub configure_deadline: Duration,
+    /// After configuration, keep the world running this long past the
+    /// last scheduled fault so recovery can be observed.
+    pub post_fault_window: Duration,
+    /// Fault-free settle time after configuration (lets the probe
+    /// workload log a few round trips).
+    pub settle: Duration,
+}
+
+impl MatrixSpec {
+    /// The CI smoke grid: two seeds × two small rings × three fault
+    /// schedules (none, transit-switch kill, link flap) × fast timers.
+    /// Seconds of wall clock, but every fault path is exercised.
+    pub fn smoke() -> MatrixSpec {
+        MatrixSpec {
+            seeds: vec![1, 2],
+            topologies: vec!["ring-4".into(), "ring-5".into()],
+            schedules: vec![
+                FaultSchedule::none(),
+                // Node 1 is transit between the standard probe pair on
+                // small rings; both rings route around its death.
+                FaultSchedule::kill_switch(1, Duration::from_secs(30)),
+                FaultSchedule::link_flap(0, Duration::from_secs(30), Duration::from_secs(8), 2),
+            ],
+            knobs: vec![MatrixKnob::fast("fast")],
+            configure_deadline: Duration::from_secs(120),
+            post_fault_window: Duration::from_secs(45),
+            settle: Duration::from_secs(10),
+        }
+    }
+
+    /// The full trend-tracking grid: more seeds, bigger rings, the
+    /// pan-European reference network, and a paper-timer knob.
+    pub fn full() -> MatrixSpec {
+        MatrixSpec {
+            seeds: vec![1, 2, 3, 4, 5],
+            topologies: vec![
+                "ring-4".into(),
+                "ring-8".into(),
+                "ring-16".into(),
+                "grid-4x4".into(),
+                "pan-european".into(),
+            ],
+            schedules: vec![
+                FaultSchedule::none(),
+                FaultSchedule::kill_switch(1, Duration::from_secs(120)),
+                FaultSchedule::link_flap(0, Duration::from_secs(120), Duration::from_secs(15), 3),
+            ],
+            knobs: vec![MatrixKnob::fast("fast"), MatrixKnob::paper("paper")],
+            configure_deadline: Duration::from_secs(1800),
+            post_fault_window: Duration::from_secs(120),
+            settle: Duration::from_secs(15),
+        }
+    }
+
+    /// Expand the axes into cells, topology-major. The order is
+    /// deterministic but irrelevant to the report, which sorts by key.
+    pub fn cells(&self) -> Vec<MatrixCell> {
+        let mut out = Vec::new();
+        for topology in &self.topologies {
+            for schedule in &self.schedules {
+                for knob in &self.knobs {
+                    for &seed in &self.seeds {
+                        out.push(MatrixCell {
+                            seed,
+                            topology: topology.clone(),
+                            schedule: schedule.clone(),
+                            knob: knob.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The grid axes as they appear in the report header.
+    pub fn grid_axes(&self) -> BTreeMap<String, Vec<String>> {
+        [
+            (
+                "seeds".to_string(),
+                self.seeds.iter().map(u64::to_string).collect(),
+            ),
+            ("topologies".to_string(), self.topologies.clone()),
+            (
+                "schedules".to_string(),
+                self.schedules.iter().map(|s| s.name.clone()).collect(),
+            ),
+            (
+                "knobs".to_string(),
+                self.knobs.iter().map(|k| k.name.clone()).collect(),
+            ),
+        ]
+        .into_iter()
+        .collect()
+    }
+}
+
+/// The sweep driver. Construct with a [`MatrixSpec`], then [`run`]
+/// (standard builder) or [`run_with`] (custom builder closure).
+///
+/// [`run`]: ScenarioMatrix::run
+/// [`run_with`]: ScenarioMatrix::run_with
+pub struct ScenarioMatrix {
+    spec: MatrixSpec,
+}
+
+impl ScenarioMatrix {
+    pub fn new(spec: MatrixSpec) -> ScenarioMatrix {
+        ScenarioMatrix { spec }
+    }
+
+    pub fn spec(&self) -> &MatrixSpec {
+        &self.spec
+    }
+
+    /// The default per-cell assembly: resolve the topology from the
+    /// registry, probe with a ping workload across the farthest switch
+    /// pair, apply the knob and the fault schedule.
+    pub fn standard_builder(cell: &MatrixCell) -> ScenarioBuilder {
+        let topo = rf_topo::registry::resolve(&cell.topology)
+            .unwrap_or_else(|| panic!("unknown topology name {:?}", cell.topology));
+        let (a, b) = topo
+            .farthest_pair()
+            .expect("topology has at least two nodes");
+        cell.knob
+            .apply(Scenario::on(topo))
+            .seed(cell.seed)
+            .trace_level(rf_sim::TraceLevel::Off)
+            .with_workload(Workload::ping(a, b))
+            .with_faults(cell.schedule.faults.iter().cloned())
+    }
+
+    /// Sweep the grid with the standard builder.
+    pub fn run(&self, threads: usize) -> MatrixReport {
+        self.run_with(threads, Self::standard_builder)
+    }
+
+    /// Sweep the grid, building each cell's scenario with `build`.
+    /// Cells are distributed over `threads` workers; the report is
+    /// identical whatever the count.
+    pub fn run_with<F>(&self, threads: usize, build: F) -> MatrixReport
+    where
+        F: Fn(&MatrixCell) -> ScenarioBuilder + Send + Sync,
+    {
+        let threads = threads.max(1);
+        let cells = self.spec.cells();
+        let next = AtomicUsize::new(0);
+        let records: Mutex<Vec<CellRecord>> = Mutex::new(Vec::with_capacity(cells.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(cells.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    let Some(cell) = cells.get(i) else { break };
+                    let rec = run_cell(&self.spec, cell, &build);
+                    records.lock().unwrap().push(rec);
+                });
+            }
+        });
+        let records = records.into_inner().unwrap();
+        MatrixReport::new(self.spec.grid_axes(), records)
+    }
+}
+
+/// Build, run and harvest one cell. All times are reported in
+/// nanoseconds of simulated time.
+fn run_cell<F>(spec: &MatrixSpec, cell: &MatrixCell, build: &F) -> CellRecord
+where
+    F: Fn(&MatrixCell) -> ScenarioBuilder,
+{
+    let mut sc = build(cell).start();
+    let deadline = Time::ZERO + spec.configure_deadline;
+    let configured_at = sc.run_until_configured(deadline);
+
+    // Keep the world running long enough to see the probe workload and
+    // every scheduled fault play out, whichever ends later.
+    let settle_until = sc.sim.now() + spec.settle;
+    let run_to = match cell.schedule.last_fault_at() {
+        Some(last) => settle_until.max(Time::ZERO + last + spec.post_fault_window),
+        None => settle_until,
+    };
+    sc.run_until(run_to);
+
+    let m = sc.metrics();
+    let mut metrics: BTreeMap<String, i64> = BTreeMap::new();
+    let mut put = |name: &str, v: i64| {
+        metrics.insert(name.to_string(), v);
+    };
+    put("switches", m.expected_switches as i64);
+    put("configured_switches_final", m.configured_switches as i64);
+    if let Some(t) = configured_at {
+        put("all_configured_ns", t.as_nanos() as i64);
+    }
+    let mut greens: Vec<i64> = m
+        .per_switch_config_time
+        .iter()
+        .filter_map(|(_, t)| t.map(|t| t.as_nanos() as i64))
+        .collect();
+    greens.sort_unstable();
+    if !greens.is_empty() {
+        put("green_first_ns", greens[0]);
+        put("green_median_ns", greens[(greens.len() - 1) / 2]);
+        put("green_last_ns", greens[greens.len() - 1]);
+    }
+    put("flows_installed", m.flows_installed as i64);
+    put("flows_removed", m.flows_removed as i64);
+    put("dataplane_flows", m.dataplane_flows as i64);
+    put("arp_replies", m.arp_replies as i64);
+
+    // Workloads: ping probes yield reply counts, first contact, and —
+    // when a fault schedule ran — recovery time from the last fault to
+    // the next successful round trip; video streams yield the paper's
+    // §3 timeline. Only the first workload of each kind reports.
+    let mut seen_ping = false;
+    let mut seen_video = false;
+    for report in sc.workload_reports() {
+        match report {
+            WorkloadReport::Ping {
+                first_reply_at,
+                sent,
+                replies,
+                ..
+            } if !seen_ping => {
+                seen_ping = true;
+                put("ping_replies", replies.len() as i64);
+                if let Some(t) = first_reply_at {
+                    put("ping_first_reply_ns", t.as_nanos() as i64);
+                }
+                if let Some(last) = cell.schedule.last_fault_at() {
+                    // Recovery counts only probes *sent* after the
+                    // last fault: a reply already in flight when the
+                    // fault fires would otherwise record a near-zero
+                    // recovery that says nothing about reconvergence.
+                    let fault_t = Time::ZERO + last;
+                    let answered = replies
+                        .iter()
+                        .filter(|(seq, _)| {
+                            sent.iter().any(|(s, sent_t)| s == seq && *sent_t > fault_t)
+                        })
+                        .map(|(_, t)| *t)
+                        .min();
+                    if let Some(t) = answered {
+                        put("recovery_ns", (t.as_nanos() - fault_t.as_nanos()) as i64);
+                    }
+                }
+            }
+            WorkloadReport::Video(v) if !seen_video => {
+                seen_video = true;
+                put("video_packets", v.packets as i64);
+                put("video_gaps", v.gaps as i64);
+                if let Some(t) = v.first_byte_at {
+                    put("video_first_byte_ns", t.as_nanos() as i64);
+                }
+                if let Some(t) = v.playback_at {
+                    put("video_playback_ns", t.as_nanos() as i64);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    CellRecord {
+        key: cell.key(),
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_build_path_is_send() {
+        // The whole point of the Send bounds: a builder closure and the
+        // scenarios it produces may cross into worker threads.
+        fn assert_send<T: Send>() {}
+        assert_send::<ScenarioBuilder>();
+        assert_send::<Scenario>();
+        assert_send::<MatrixCell>();
+    }
+
+    #[test]
+    fn cell_keys_are_stable_and_unique() {
+        let spec = MatrixSpec::smoke();
+        let cells = spec.cells();
+        assert_eq!(
+            cells.len(),
+            spec.seeds.len() * spec.topologies.len() * spec.schedules.len()
+        );
+        let mut keys: Vec<String> = cells.iter().map(MatrixCell::key).collect();
+        let total = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), total, "keys must be unique");
+        assert!(keys[0].starts_with("topo="), "{}", keys[0]);
+    }
+
+    #[test]
+    fn link_flap_schedule_shape() {
+        let s = FaultSchedule::link_flap(2, Duration::from_secs(10), Duration::from_secs(5), 2);
+        assert_eq!(s.faults.len(), 4);
+        assert_eq!(s.last_fault_at(), Some(Duration::from_secs(25)));
+        assert_eq!(s.name, "flap2x2@10s");
+        assert!(matches!(
+            s.faults[3],
+            Fault::LinkUp { edge: 2, at } if at == Duration::from_secs(25)
+        ));
+    }
+
+    #[test]
+    fn standard_builder_rejects_unknown_topology() {
+        let cell = MatrixCell {
+            seed: 1,
+            topology: "hypercube-9".into(),
+            schedule: FaultSchedule::none(),
+            knob: MatrixKnob::fast("fast"),
+        };
+        let err = std::panic::catch_unwind(|| ScenarioMatrix::standard_builder(&cell));
+        assert!(err.is_err());
+    }
+}

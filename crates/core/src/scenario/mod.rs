@@ -25,6 +25,12 @@
 //! assert_eq!(m.per_switch_config_time.len(), 4);
 //! ```
 
+pub mod matrix;
+pub mod report;
+
+pub use matrix::{FaultSchedule, MatrixCell, MatrixKnob, MatrixSpec, ScenarioMatrix};
+pub use report::{CellRecord, MatrixReport, MetricSummary};
+
 use crate::apps::{ControlApp, ControlPlane};
 use crate::bootstrap::{Deployment, DeploymentConfig, HostAttachment, HostSlot};
 use crate::rfcontroller::{HostPortConfig, RfControllerConfig};
@@ -81,6 +87,11 @@ pub enum WorkloadReport {
         first_reply_at: Option<Time>,
         /// Completed round trips: (seq, rtt).
         rtts: Vec<(u16, Duration)>,
+        /// Ping departure times: (seq, when sent).
+        sent: Vec<(u16, Time)>,
+        /// Reply arrival times: (seq, when) — together with `sent`,
+        /// the timeline recovery measurements are read off.
+        replies: Vec<(u16, Time)>,
     },
     Video(VideoClientReport),
 }
@@ -650,6 +661,8 @@ impl Scenario {
                     WorkloadReport::Ping {
                         first_reply_at: p.first_reply_at,
                         rtts: p.rtts.clone(),
+                        sent: p.sent_at.clone(),
+                        replies: p.replies.clone(),
                     }
                 }
                 WorkloadHandle::Video { client } => {

@@ -382,6 +382,31 @@ impl OspfDaemon {
         self.transmit(idx, &pkt, ev);
     }
 
+    /// Accept the peer as master of the DBD exchange: respond to its
+    /// INIT DBD with our full summary echoing its sequence number, and
+    /// enter Exchange as slave.
+    fn become_slave_of(&mut self, idx: u16, dd_seq: u32, now: Time, ev: &mut Vec<OspfEvent>) {
+        let summary = self.db_summary(now);
+        {
+            let f = self.ifaces.get_mut(&idx).unwrap();
+            let n = f.neighbor.as_mut().unwrap();
+            n.we_are_master = false;
+            n.dd_seq = dd_seq;
+            n.state = NeighborState::Exchange;
+            n.next_rxmt = now + self.rxmt_interval;
+        }
+        let pkt = OspfPacket::new(
+            self.router_id,
+            OspfPacketBody::DatabaseDescription {
+                mtu: 1500,
+                flags: 0, // not master, no more
+                dd_seq,
+                headers: summary,
+            },
+        );
+        self.transmit(idx, &pkt, ev);
+    }
+
     /// Current LSDB summary (all headers, with effective ages).
     fn db_summary(&self, now: Time) -> Vec<LsaHeader> {
         self.lsdb
@@ -545,6 +570,25 @@ impl OspfDaemon {
                 let state = self.ifaces[&idx].neighbor.as_ref().unwrap().state;
                 if sees_us && state == NeighborState::Init {
                     self.start_exstart(idx, &mut ev, now);
+                } else if !sees_us && state > NeighborState::Init {
+                    // RFC 2328 §10.5 1-WayReceived: the neighbor no
+                    // longer lists us in its hellos — it restarted or
+                    // lost our adjacency. Fall back to Init, discarding
+                    // all exchange state; the next 2-way hello restarts
+                    // the DBD sequence from scratch.
+                    {
+                        let f = self.ifaces.get_mut(&idx).unwrap();
+                        let n = f.neighbor.as_mut().unwrap();
+                        n.state = NeighborState::Init;
+                        n.db_summary.clear();
+                        n.peer_has_more = true;
+                        n.ls_requests.clear();
+                        n.retransmit.clear();
+                        n.next_rxmt = Time::MAX;
+                    }
+                    // The adjacency leaves our router LSA (only Full
+                    // adjacencies are advertised) and SPF reroutes.
+                    self.originate_router_lsa(now, &mut ev);
                 }
             }
             OspfPacketBody::DatabaseDescription {
@@ -562,27 +606,7 @@ impl OspfDaemon {
                         if flags & (DBD_INIT | DBD_MASTER) == (DBD_INIT | DBD_MASTER)
                             && their_id > self.router_id
                         {
-                            // They are master; we are slave. Respond
-                            // with our full summary echoing their seq.
-                            let summary = self.db_summary(now);
-                            {
-                                let f = self.ifaces.get_mut(&idx).unwrap();
-                                let n = f.neighbor.as_mut().unwrap();
-                                n.we_are_master = false;
-                                n.dd_seq = dd_seq;
-                                n.state = NeighborState::Exchange;
-                                n.next_rxmt = now + self.rxmt_interval;
-                            }
-                            let pkt = OspfPacket::new(
-                                self.router_id,
-                                OspfPacketBody::DatabaseDescription {
-                                    mtu: 1500,
-                                    flags: 0, // not master, no more
-                                    dd_seq,
-                                    headers: summary,
-                                },
-                            );
-                            self.transmit(idx, &pkt, &mut ev);
+                            self.become_slave_of(idx, dd_seq, now, &mut ev);
                         } else if flags & DBD_MASTER == 0 {
                             // A slave response: only meaningful if we
                             // are master and the seq matches ours.
@@ -617,6 +641,41 @@ impl OspfDaemon {
                         }
                     }
                     NeighborState::Exchange | NeighborState::Loading | NeighborState::Full => {
+                        if flags & DBD_INIT != 0 {
+                            // RFC 2328 §10.6 SeqNumberMismatch: an INIT
+                            // DBD in state >= Exchange means the peer
+                            // restarted the exchange (a rebooted VM
+                            // whose hellos never lapsed). Discard all
+                            // exchange state and renegotiate from
+                            // ExStart; if the sender is the higher
+                            // router id we can answer it as slave right
+                            // away, otherwise our own INIT DBD (sent by
+                            // `start_exstart`) triggers the peer's
+                            // mismatch handling symmetrically.
+                            {
+                                let f = self.ifaces.get_mut(&idx).unwrap();
+                                let n = f.neighbor.as_mut().unwrap();
+                                // Demote before re-originating: only
+                                // Full adjacencies are advertised, so
+                                // the state change must precede the
+                                // LSA build or the fresh LSA would
+                                // still carry the dead adjacency.
+                                n.state = NeighborState::ExStart;
+                                n.db_summary.clear();
+                                n.peer_has_more = true;
+                                n.ls_requests.clear();
+                                n.retransmit.clear();
+                            }
+                            // The adjacency leaves Full: stop
+                            // advertising it and reroute.
+                            self.originate_router_lsa(now, &mut ev);
+                            if flags & DBD_MASTER != 0 && their_id > self.router_id {
+                                self.become_slave_of(idx, dd_seq, now, &mut ev);
+                            } else {
+                                self.start_exstart(idx, &mut ev, now);
+                            }
+                            return ev;
+                        }
                         let we_master = self.ifaces[&idx]
                             .neighbor
                             .as_ref()
@@ -702,10 +761,17 @@ impl OspfDaemon {
                     if newer {
                         if key.adv_router == self.router_id {
                             // Someone has a newer copy of *our* LSA:
-                            // out-originate it (RFC 2328 §13.4).
+                            // out-originate it (RFC 2328 §13.4). This
+                            // also answers any pending request for that
+                            // LSA — after a restart our own pre-reboot
+                            // instance shows up in the peer's summary,
+                            // and without clearing the request here the
+                            // adjacency would sit in Loading forever.
                             self.my_seq = lsa.header.seq + 1;
                             acks.push(lsa.header);
                             self.originate_router_lsa(now, &mut ev);
+                            self.satisfy_requests(&key, now, &mut ev);
+                            self.maybe_finish_loading(idx, now, &mut ev);
                             continue;
                         }
                         if lsa.header.age >= MAX_AGE {

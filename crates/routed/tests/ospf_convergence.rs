@@ -163,6 +163,26 @@ impl Net {
             .all(|d| d.all_adjacencies_full() && !d.neighbors().is_empty())
     }
 
+    /// Replace router `i` with a freshly booted daemon on the same
+    /// addresses (a VM restart: all adjacency and LSDB state lost, the
+    /// wire untouched). The neighbors' daemons are not told — they must
+    /// notice from the protocol itself.
+    fn restart_router(&mut self, i: usize) {
+        let ifaces: Vec<(u16, Ipv4Cidr)> = self.addrs[i].iter().map(|(k, v)| (*k, *v)).collect();
+        let cfg = OspfConfig {
+            router_id: Ipv4Addr::from(0x0A00_0000u32 + i as u32 + 1),
+            networks: vec![("172.31.0.0/16".parse().unwrap(), 0)],
+            hello_interval: 1,
+            dead_interval: 4,
+            spf_timers: (200, 1000),
+            retransmit_interval: 5,
+        };
+        self.daemons[i] = OspfDaemon::from_config(&cfg, &ifaces);
+        let now = self.now;
+        let ev = self.daemons[i].start(now);
+        self.handle_events(i, ev);
+    }
+
     /// Plug a new link between `a` and `b` at the current time (the
     /// runtime path a VM takes when the controller pushes a rewritten
     /// config with an extra interface).
@@ -312,6 +332,78 @@ fn parallel_adjacencies_requesting_same_lsas_both_reach_full() {
     for d in &net.daemons {
         assert_eq!(d.lsdb_len(), 3, "complete LSDB after the late plug");
     }
+}
+
+/// RFC 2328 §10.5 1-WayReceived: when a neighbor's hello stops listing
+/// us, the adjacency must fall back to Init — the peer restarted and
+/// remembers nothing, so our Full state is a fiction. Injected
+/// directly, because over a live wire the restarted peer usually hears
+/// our hello first and its prompt reply already lists us again.
+#[test]
+fn hello_without_us_knocks_adjacency_back_to_init() {
+    use rf_routed::ospf::neighbor::NeighborState;
+    use rf_routed::ospf::packet::{OspfPacket, OspfPacketBody};
+
+    let mut net = Net::build(2, &[(0, 1)], 1, 4);
+    net.start();
+    net.run_until(Time::from_secs(10));
+    assert!(net.all_full(), "precondition: adjacency Full");
+
+    let peer_id = u32::from(Ipv4Addr::new(10, 0, 0, 2));
+    let hello = |neighbors: Vec<u32>| {
+        OspfPacket::new(
+            peer_id,
+            OspfPacketBody::Hello {
+                network_mask: 0xFFFF_FFFC,
+                hello_interval: 1,
+                dead_interval: 4,
+                neighbors,
+            },
+        )
+        .emit()
+    };
+    let src = net.iface_addr(1, 1);
+
+    // The 1-way hello: the peer no longer knows us.
+    let now = Time::from_millis(10_100);
+    net.daemons[0].handle_packet(1, src, &hello(vec![]), now);
+    let n0 = net.daemons[0].neighbors();
+    assert_eq!(
+        n0[0].2,
+        NeighborState::Init,
+        "hello without our router-id must knock the adjacency back to Init: {n0:?}"
+    );
+
+    // Bidirectionality restored: straight back into the DBD exchange
+    // (point-to-point links skip TwoWay).
+    let our_id = u32::from(Ipv4Addr::new(10, 0, 0, 1));
+    let now = Time::from_millis(10_200);
+    net.daemons[0].handle_packet(1, src, &hello(vec![our_id]), now);
+    let n0 = net.daemons[0].neighbors();
+    assert_eq!(n0[0].2, NeighborState::ExStart, "{n0:?}");
+}
+
+/// The scenario behind §10.5: a VM restarts, losing all OSPF state,
+/// while its neighbor still holds a Full adjacency. Hellos keep
+/// flowing, so the dead interval never fires — the 1-way fallback is
+/// what clears the stale state and lets the pair renegotiate.
+#[test]
+fn neighbor_restart_reconverges_within_dead_interval() {
+    let mut net = Net::build(2, &[(0, 1)], 1, 4);
+    net.start();
+    net.run_until(Time::from_secs(10));
+    assert!(net.all_full(), "precondition: adjacency Full");
+
+    net.restart_router(1);
+    net.run_until(Time::from_secs(14));
+    assert!(
+        net.all_full(),
+        "restart must reconverge: {:?} {:?}",
+        net.daemons[0].neighbors(),
+        net.daemons[1].neighbors()
+    );
+    assert_eq!(net.daemons[0].lsdb_len(), 2);
+    assert_eq!(net.daemons[1].lsdb_len(), 2);
 }
 
 #[test]

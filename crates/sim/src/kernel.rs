@@ -79,8 +79,11 @@ impl Default for ConnProfile {
 /// All methods have empty defaults so implementations only override the
 /// events they care about. The `Any` supertrait allows test code to
 /// downcast agents back to their concrete types via [`Sim::agent_as`].
+/// The `Send` supertrait makes a fully assembled [`Sim`] movable across
+/// threads, which is what lets scenario sweeps fan independent
+/// simulations out over worker threads.
 #[allow(unused_variables)]
-pub trait Agent: Any {
+pub trait Agent: Any + Send {
     /// Called once, when the agent enters the simulation.
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {}
     /// A timer scheduled via [`Ctx::schedule`] fired.
@@ -816,6 +819,15 @@ mod tests {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
             ctx.send_frame(self.port, self.payload.clone());
         }
+    }
+
+    #[test]
+    fn sim_is_send() {
+        // Sweeps move fully built simulations into worker threads; a
+        // non-Send field sneaking into the kernel must fail here, not
+        // at the distant ScenarioMatrix spawn site.
+        fn assert_send<T: Send>() {}
+        assert_send::<Sim>();
     }
 
     #[test]

@@ -18,7 +18,9 @@
 pub mod generators;
 pub mod graph;
 pub mod pan_european;
+pub mod registry;
 
 pub use generators::{erdos_renyi, full_mesh, grid, line, ring, star, waxman};
 pub use graph::{Edge, NodeId, NodeInfo, Topology};
 pub use pan_european::pan_european;
+pub use registry::resolve as resolve_topology;

@@ -1,0 +1,91 @@
+//! Named topology resolution for sweep grids.
+//!
+//! A scenario matrix is keyed by strings so its report diffs cleanly
+//! and its axes can come from a CLI flag or a CI config. This module
+//! turns those names back into [`Topology`] values:
+//!
+//! * `ring-N`, `line-N`, `star-N`, `mesh-N` — the deterministic
+//!   generator families, parameterized by node count;
+//! * `grid-WxH` — the W × H grid;
+//! * `pan-european` — the 28-node reference network.
+//!
+//! Random families (Erdős–Rényi, Waxman) are deliberately absent: they
+//! need an RNG and would tie a topology name to a seed. Sweeps that
+//! want them pass a custom builder closure instead.
+
+use crate::generators::{full_mesh, grid, line, ring, star};
+use crate::graph::Topology;
+use crate::pan_european::pan_european;
+
+/// Resolve a topology name; `None` if the name is not recognized or
+/// its parameters are out of range for the generator.
+pub fn resolve(name: &str) -> Option<Topology> {
+    if name == "pan-european" {
+        return Some(pan_european());
+    }
+    let (family, param) = name.split_once('-')?;
+    match family {
+        "ring" => Some(ring(checked(param, 3)?)),
+        "line" => Some(line(checked(param, 2)?)),
+        "star" => Some(star(checked(param, 2)?)),
+        "mesh" => Some(full_mesh(checked(param, 2)?)),
+        "grid" => {
+            let (w, h) = param.split_once('x')?;
+            Some(grid(checked(w, 1)?, checked(h, 1)?))
+        }
+        _ => None,
+    }
+}
+
+fn checked(s: &str, min: usize) -> Option<usize> {
+    let n: usize = s.parse().ok()?;
+    // Cap well above any realistic sweep so a typo like `ring-4000000`
+    // fails fast instead of allocating a city-sized graph.
+    (n >= min && n <= 10_000).then_some(n)
+}
+
+/// The names a generic sweep CLI offers, smallest instances first.
+pub fn standard_names() -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for n in [4usize, 8, 16, 28] {
+        names.push(format!("ring-{n}"));
+    }
+    names.push("line-8".into());
+    names.push("star-8".into());
+    names.push("grid-4x4".into());
+    names.push("pan-european".into());
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_every_family() {
+        assert_eq!(resolve("ring-8").unwrap().node_count(), 8);
+        assert_eq!(resolve("line-5").unwrap().node_count(), 5);
+        assert_eq!(resolve("star-9").unwrap().node_count(), 9);
+        assert_eq!(resolve("mesh-4").unwrap().edge_count(), 6);
+        let g = resolve("grid-3x2").unwrap();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(resolve("pan-european").unwrap().node_count(), 28);
+    }
+
+    #[test]
+    fn rejects_unknown_and_out_of_range() {
+        assert!(resolve("torus-4").is_none());
+        assert!(resolve("ring-2").is_none()); // generator needs >= 3
+        assert!(resolve("ring-x").is_none());
+        assert!(resolve("ring-4000000").is_none());
+        assert!(resolve("grid-3").is_none()); // missing WxH
+        assert!(resolve("ring").is_none());
+    }
+
+    #[test]
+    fn standard_names_all_resolve() {
+        for name in standard_names() {
+            assert!(resolve(&name).is_some(), "{name} must resolve");
+        }
+    }
+}

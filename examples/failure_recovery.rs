@@ -29,6 +29,7 @@ fn main() {
     let WorkloadReport::Ping {
         first_reply_at,
         rtts,
+        ..
     } = &reports[0]
     else {
         unreachable!("ping workload");
