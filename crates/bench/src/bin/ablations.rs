@@ -217,12 +217,19 @@ fn main() {
         "a3" => a3(&args),
         "a4" => a4(&args),
         "a5" => a5(&args),
-        _ => {
+        "" => {
             a1(&args);
             a2(&args);
             a3(&args);
             a4(&args);
             a5(&args);
+        }
+        other => {
+            eprintln!(
+                "unknown argument {other}\n\
+                 usage: ablations [a1|a2|a3|a4|a5] [--threads N] [--json PREFIX]"
+            );
+            std::process::exit(2);
         }
     }
 }

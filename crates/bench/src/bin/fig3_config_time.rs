@@ -1,6 +1,6 @@
 //! E1 / Fig. 3 — automatic vs. manual configuration time on ring
-//! topologies of increasing size, swept through the `ScenarioMatrix`
-//! harness.
+//! topologies of increasing size (plus the pan-European reference
+//! network), swept through the `ScenarioMatrix` harness.
 //!
 //! The paper's Fig. 3 plots both curves for rings run on the OFELIA
 //! testbed; the manual curve is the 15-minutes-per-switch model. We
@@ -8,26 +8,39 @@
 //! to low minutes and grows gently, the manual model grows linearly at
 //! 900 s per switch, so the gap widens from ~2 orders of magnitude.
 //!
-//! Cells run in parallel worker threads and land in the same stable
-//! [`MatrixReport`] JSON the CI sweep uses, so Fig. 3 runs can be
-//! diffed across commits like any other sweep.
+//! Beyond the paper, the sweep adds a `provision_width` axis: the
+//! paper's pipeline provisions VMs serially (k=1), and the k-wide
+//! pipeline (k=2/4/8) overlaps create/boot latency — the k=8 curve
+//! must sit strictly below the serial one. Cells run in parallel
+//! worker threads and land in the same stable [`MatrixReport`] JSON
+//! the CI sweep uses, so Fig. 3 runs can be diffed across commits.
 //!
 //! Run: `cargo run --release -p rf-bench --bin fig3_config_time`
 //! (add `--json FILE` to save the report, `--threads N` to override
 //! the worker count)
 
 use rf_bench::{fmt_dur, manual_config_time, print_table, report_duration, sweep_args};
-use rf_core::scenario::{FaultSchedule, MatrixKnob, MatrixSpec, ScenarioMatrix};
+use rf_core::scenario::{FaultSchedule, MatrixCell, MatrixKnob, MatrixSpec, ScenarioMatrix};
 use std::time::Duration;
+
+/// The provisioning-pipeline widths swept per topology.
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
 
 fn main() {
     let args = sweep_args();
-    let sizes = [4usize, 8, 12, 16, 20, 24, 28, 40, 64];
+    let mut topologies: Vec<String> = [4usize, 8, 12, 16, 20, 24, 28, 40, 64]
+        .iter()
+        .map(|n| format!("ring-{n}"))
+        .collect();
+    topologies.push("pan-european".into());
     let spec = MatrixSpec {
         seeds: vec![0xC0FFEE],
-        topologies: sizes.iter().map(|n| format!("ring-{n}")).collect(),
+        topologies: topologies.clone(),
         schedules: vec![FaultSchedule::none()],
-        knobs: vec![MatrixKnob::paper("paper")],
+        knobs: WIDTHS
+            .iter()
+            .map(|&k| MatrixKnob::paper(format!("paper-k{k}")).with_provision_width(k))
+            .collect(),
         configure_deadline: Duration::from_secs(3600),
         post_fault_window: Duration::ZERO,
         settle: Duration::from_secs(5),
@@ -35,48 +48,74 @@ fn main() {
     let matrix = ScenarioMatrix::new(spec);
     let report = matrix.run(args.threads);
 
-    let mut rows = Vec::new();
-    for (cell, n) in matrix.spec().cells().iter().zip(sizes) {
-        let rec = report
+    // Cell lookup by (topology, knob name).
+    let rec_of = |topology: &str, k: usize| {
+        let key = MatrixCell {
+            seed: 0xC0FFEE,
+            topology: topology.into(),
+            schedule: FaultSchedule::none(),
+            knob: MatrixKnob::paper(format!("paper-k{k}")),
+        }
+        .key();
+        report
             .cells
             .iter()
-            .find(|c| c.key == cell.key())
-            .expect("every cell reports");
-        let auto = report_duration(rec, "all_configured_ns")
-            .expect("configuration must complete within an hour");
-        let first_green = report_duration(rec, "green_first_ns").expect("switches configured");
-        let flows = rec.metrics["flows_installed"];
+            .find(|c| c.key == key)
+            .expect("every cell reports")
+    };
+
+    let mut rows = Vec::new();
+    for topology in &topologies {
+        let n = rf_topo::registry::resolve(topology)
+            .expect("registry name")
+            .node_count();
+        let mut cols = vec![topology.clone(), n.to_string()];
+        for &k in &WIDTHS {
+            let auto = report_duration(rec_of(topology, k), "all_configured_ns")
+                .expect("configuration must complete within an hour");
+            cols.push(fmt_dur(auto));
+        }
+        let median_k1 =
+            report_duration(rec_of(topology, 1), "green_median_ns").expect("switches configured");
+        let median_k8 =
+            report_duration(rec_of(topology, 8), "green_median_ns").expect("switches configured");
         let manual = manual_config_time(n);
-        let speedup = manual.as_secs_f64() / auto.as_secs_f64();
-        rows.push(vec![
-            n.to_string(),
-            fmt_dur(auto),
-            fmt_dur(first_green),
-            flows.to_string(),
-            manual.as_secs().to_string(),
-            format!("{speedup:.0}x"),
-        ]);
+        let auto_k8 = report_duration(rec_of(topology, 8), "all_configured_ns").unwrap();
+        cols.push(fmt_dur(median_k1));
+        cols.push(fmt_dur(median_k8));
+        cols.push(manual.as_secs().to_string());
+        cols.push(format!(
+            "{:.0}x",
+            manual.as_secs_f64() / auto_k8.as_secs_f64()
+        ));
+        rows.push(cols);
         eprintln!(
-            "ring-{n}: auto {}s (first switch green {:.1}s, {} flows) manual {}s",
-            fmt_dur(auto),
-            first_green.as_secs_f64(),
-            flows,
+            "{topology}: auto k=1 {}s / k=8 {}s (median green k=1 {}s -> k=8 {}s), manual {}s",
+            fmt_dur(report_duration(rec_of(topology, 1), "all_configured_ns").unwrap()),
+            fmt_dur(auto_k8),
+            fmt_dur(median_k1),
+            fmt_dur(median_k8),
             manual.as_secs()
         );
     }
     print_table(
-        "Fig. 3 — configuration time, ring topologies (seconds, simulated)",
+        "Fig. 3 — configuration time vs. provisioning width (seconds, simulated)",
         &[
+            "topology",
             "switches",
-            "automatic (s)",
-            "first green (s)",
-            "flows pushed",
+            "auto k=1 (s)",
+            "auto k=2 (s)",
+            "auto k=4 (s)",
+            "auto k=8 (s)",
+            "median green k=1 (s)",
+            "median green k=8 (s)",
             "manual (s)",
-            "speedup",
+            "speedup (k=8)",
         ],
         &rows,
     );
     println!("\nManual model: 5 min VM + 2 min mapping + 8 min routing per switch (paper §2.1).");
+    println!("k = provision_width: VM create/configure operations in flight at once (paper = 1).");
     if let Some(path) = args.json_out {
         std::fs::write(&path, report.to_json()).expect("write report");
         eprintln!("matrix report written to {path}");

@@ -28,6 +28,7 @@ struct Args {
     out: Option<String>,
     check: Option<String>,
     tolerance: f64,
+    summary_md: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +39,7 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         check: None,
         tolerance: 0.2,
+        summary_md: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -58,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = Some(value("--out")?),
             "--check" => args.check = Some(value("--check")?),
+            "--summary-md" => args.summary_md = Some(value("--summary-md")?),
             "--tolerance" => {
                 args.tolerance = value("--tolerance")?
                     .parse()
@@ -67,7 +70,8 @@ fn parse_args() -> Result<Args, String> {
                 return Err(format!(
                     "unknown argument {other}\n\
                      usage: matrix_sweep [--smoke|--full] [--threads N] \
-                     [--out FILE] [--check BASELINE] [--tolerance FRAC]"
+                     [--out FILE] [--check BASELINE] [--tolerance FRAC] \
+                     [--summary-md FILE]"
                 ))
             }
         }
@@ -100,6 +104,32 @@ fn main() -> ExitCode {
             "  {name}: min {} / median {} / max {} (n={})",
             s.min, s.median, s.max, s.count
         );
+    }
+
+    if let Some(path) = &args.summary_md {
+        // A GitHub-flavoured markdown trend summary, written for
+        // `$GITHUB_STEP_SUMMARY` in the scheduled sweep-full job.
+        let mut md = format!(
+            "## `{}` sweep — {} cells\n\n\
+             | metric | n | min | median | max |\n\
+             |---|---|---|---|---|\n",
+            args.grid_name,
+            report.cells.len()
+        );
+        for (name, s) in &report.summary {
+            md.push_str(&format!(
+                "| `{name}` | {} | {} | {} | {} |\n",
+                s.count, s.min, s.median, s.max
+            ));
+        }
+        md.push_str(
+            "\nTimes are nanoseconds of simulated time; byte/message counts are totals per cell.\n",
+        );
+        if let Err(e) = std::fs::write(path, md) {
+            eprintln!("writing {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("markdown summary written to {path}");
     }
 
     let json = report.to_json();

@@ -139,6 +139,18 @@ pub struct ControlState {
     pub flows_installed: u64,
     pub flows_removed: u64,
     pub arp_replies: u64,
+    /// OpenFlow messages actually written toward switches (FLOW_MODs,
+    /// PACKET_OUTs — transport chores like Hello/Echo excluded).
+    pub of_msgs_sent: u64,
+    /// Wire bytes of those messages.
+    pub of_bytes_sent: u64,
+    /// Transport writes carrying them. Equal to `of_msgs_sent` when
+    /// every message goes out alone; multi-message pushes make this
+    /// smaller — the number the FIB batching stage optimises.
+    pub of_pushes: u64,
+    /// Multi-message FLOW_MOD pushes flushed by the FIB-mirror batch
+    /// stage (0 when `fib_batch` is 1).
+    pub fib_batches: u64,
 }
 
 impl ControlState {
@@ -188,6 +200,13 @@ impl BusIo {
         self.xid = self.xid.wrapping_add(1);
         self.xid
     }
+
+    /// Reserve `n` consecutive xids; returns the first.
+    pub(crate) fn take_xids(&mut self, n: u32) -> u32 {
+        let first = self.xid.wrapping_add(1);
+        self.xid = self.xid.wrapping_add(n);
+        first
+    }
 }
 
 /// The handle an app uses while processing one event: simulator access,
@@ -228,9 +247,37 @@ impl AppCtx<'_, '_> {
     pub fn send_of(&mut self, dpid: u64, msg: OfMessage) {
         if let Some(&conn) = self.io.dpid_of.get(&dpid) {
             let xid = self.io.next_xid();
-            self.sim.conn_send(conn, msg.encode(xid));
+            let wire = msg.encode(xid);
+            self.state.of_msgs_sent += 1;
+            self.state.of_bytes_sent += wire.len() as u64;
+            self.state.of_pushes += 1;
+            self.sim.conn_send(conn, wire);
         } else {
             self.io.pending_flows.entry(dpid).or_default().push(msg);
+        }
+    }
+
+    /// Send several OpenFlow messages toward `dpid` as one
+    /// multi-message push (one transport write, consecutive xids; see
+    /// [`OfMessage::encode_batch`]). Queued like [`AppCtx::send_of`]
+    /// while the channel is down — the engine flushes the queue as a
+    /// single batch when the channel comes up. Returns `true` if the
+    /// push went to the wire now, `false` if it was queued.
+    pub fn send_of_batch(&mut self, dpid: u64, msgs: Vec<OfMessage>) -> bool {
+        if msgs.is_empty() {
+            return false;
+        }
+        if let Some(&conn) = self.io.dpid_of.get(&dpid) {
+            let first_xid = self.io.take_xids(msgs.len() as u32);
+            let wire = OfMessage::encode_batch(&msgs, first_xid);
+            self.state.of_msgs_sent += msgs.len() as u64;
+            self.state.of_bytes_sent += wire.len() as u64;
+            self.state.of_pushes += 1;
+            self.sim.conn_send(conn, wire);
+            true
+        } else {
+            self.io.pending_flows.entry(dpid).or_default().extend(msgs);
+            false
         }
     }
 

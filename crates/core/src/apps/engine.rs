@@ -167,6 +167,28 @@ impl ControlPlane {
         self.state.arp_replies
     }
 
+    /// OpenFlow messages written toward switches (excludes Hello/Echo
+    /// transport chores).
+    pub fn of_msgs_sent(&self) -> u64 {
+        self.state.of_msgs_sent
+    }
+
+    /// Wire bytes of those messages.
+    pub fn of_bytes_sent(&self) -> u64 {
+        self.state.of_bytes_sent
+    }
+
+    /// Transport writes carrying them (smaller than `of_msgs_sent`
+    /// when multi-message pushes coalesce bursts).
+    pub fn of_pushes(&self) -> u64 {
+        self.state.of_pushes
+    }
+
+    /// Multi-message FLOW_MOD pushes flushed by the FIB batching stage.
+    pub fn fib_batches(&self) -> u64 {
+        self.state.fib_batches
+    }
+
     // ------------------------------------------------------------------
     // Bus dispatch.
     // ------------------------------------------------------------------
@@ -210,11 +232,16 @@ impl ControlPlane {
                 let dpid = f.datapath_id;
                 self.of_dpid.insert(conn, dpid);
                 self.io.dpid_of.insert(dpid, conn);
-                // Flush messages queued before the channel came up.
+                // Flush messages queued before the channel came up, as
+                // one multi-message push.
                 if let Some(q) = self.io.pending_flows.remove(&dpid) {
-                    for fm in q {
-                        let xid = self.io.next_xid();
-                        ctx.conn_send(conn, fm.encode(xid));
+                    if !q.is_empty() {
+                        let first_xid = self.io.take_xids(q.len() as u32);
+                        let wire = OfMessage::encode_batch(&q, first_xid);
+                        self.state.of_msgs_sent += q.len() as u64;
+                        self.state.of_bytes_sent += wire.len() as u64;
+                        self.state.of_pushes += 1;
+                        ctx.conn_send(conn, wire);
                     }
                 }
                 self.publish(ctx, ControlEvent::ChannelUp { dpid });

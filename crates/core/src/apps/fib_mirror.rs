@@ -2,10 +2,20 @@
 //! becomes a flow on the mirrored physical switch, with prefix length
 //! encoded in flow priority so OF 1.0's single table performs
 //! longest-prefix matching.
+//!
+//! With `fib_batch > 1` the mirror adds a per-switch batching stage:
+//! FLOW_MODs coalesce in a per-dpid queue and go out as one
+//! multi-message push ([`OfMessage::encode_batch`]) when the queue
+//! reaches the batch threshold or the next flush tick fires — cutting
+//! controller transport writes on reconvergence bursts and cold
+//! starts. Per-switch message order is preserved, so the final FIB is
+//! identical to the unbatched run (see `tests/fib_batching.rs`).
 
 use super::bus::{AppCtx, ControlApp, FibChange};
 use rf_openflow::{Action, FlowModCommand, OfMatch, OfMessage, OFPP_NONE, OFP_NO_BUFFER};
 use rf_wire::MacAddr;
+use std::collections::BTreeMap;
+use std::time::Duration;
 
 /// Flow priority encoding: longest-prefix-match via OF 1.0 priorities.
 /// A /32 lands at `0x1100`, still below [`HOST_FLOW_PRIORITY`].
@@ -16,15 +26,61 @@ pub fn route_priority(prefix_len: u8) -> u16 {
 /// Host /32 delivery flows outrank every routed prefix.
 pub const HOST_FLOW_PRIORITY: u16 = 0x2000;
 
+/// Bus-timer token of the batch flush tick (timer tokens share one
+/// namespace across this controller's apps, so the prefix is the
+/// app's).
+const FIB_FLUSH_TOKEN: u64 = 0xF1B0_0000_0000_0000;
+
+/// How long a queued FLOW_MOD may wait for the batch to fill before
+/// the tick pushes it anyway.
+const FIB_FLUSH_TICK: Duration = Duration::from_millis(50);
+
 /// Mirrors VM FIB changes onto the data plane.
 #[derive(Default)]
 pub struct FibMirrorApp {
-    _priv: (),
+    /// FLOW_MODs queued per switch while a batch fills (`fib_batch > 1`
+    /// only; keyed deterministically so flush order never wobbles).
+    pending: BTreeMap<u64, Vec<OfMessage>>,
+    /// True while a flush tick is scheduled.
+    tick_armed: bool,
 }
 
 impl FibMirrorApp {
     pub fn new() -> FibMirrorApp {
         FibMirrorApp::default()
+    }
+
+    /// Hand a FLOW_MOD to the batching stage: immediate send at
+    /// `fib_batch <= 1` (paper-faithful), otherwise queue per switch
+    /// and flush on the size threshold.
+    fn emit(&mut self, cx: &mut AppCtx<'_, '_>, dpid: u64, fm: OfMessage) {
+        let batch = cx.config().fib_batch;
+        if batch <= 1 {
+            cx.send_of(dpid, fm);
+            return;
+        }
+        let q = self.pending.entry(dpid).or_default();
+        q.push(fm);
+        if q.len() >= batch {
+            self.flush_switch(cx, dpid);
+        } else if !self.tick_armed {
+            cx.schedule(FIB_FLUSH_TICK, FIB_FLUSH_TOKEN);
+            self.tick_armed = true;
+        }
+    }
+
+    /// Push one switch's queue as a single multi-message write. Only
+    /// counts a batch when the push actually reaches the wire — a
+    /// down channel queues the messages for the engine's channel-up
+    /// replay instead.
+    fn flush_switch(&mut self, cx: &mut AppCtx<'_, '_>, dpid: u64) {
+        let Some(msgs) = self.pending.remove(&dpid) else {
+            return;
+        };
+        if cx.send_of_batch(dpid, msgs) {
+            cx.count("rf.fib_batch_flush", 1);
+            cx.state.fib_batches += 1;
+        }
     }
 }
 
@@ -76,7 +132,7 @@ impl ControlApp for FibMirrorApp {
                 );
                 cx.state.flows_installed += 1;
                 cx.count("rf.flow_add", 1);
-                cx.send_of(dpid, fm);
+                self.emit(cx, dpid, fm);
             }
             FibChange::Del { dpid, prefix } => {
                 let key = (dpid, u32::from(prefix.network()), prefix.prefix_len);
@@ -97,8 +153,27 @@ impl ControlApp for FibMirrorApp {
                 };
                 cx.state.flows_removed += 1;
                 cx.count("rf.flow_del", 1);
-                cx.send_of(dpid, fm);
+                self.emit(cx, dpid, fm);
             }
         }
+    }
+
+    fn on_timer(&mut self, cx: &mut AppCtx<'_, '_>, token: u64) {
+        if token != FIB_FLUSH_TOKEN {
+            return;
+        }
+        self.tick_armed = false;
+        let dpids: Vec<u64> = self.pending.keys().copied().collect();
+        for dpid in dpids {
+            self.flush_switch(cx, dpid);
+        }
+    }
+
+    fn on_switch_down(&mut self, _cx: &mut AppCtx<'_, '_>, dpid: u64) {
+        // Drop FLOW_MODs still waiting in the dead switch's batch
+        // window: flushing them would only park stale routes in the
+        // engine's channel-up replay queue, to be installed if a
+        // switch ever re-attaches with this dpid.
+        self.pending.remove(&dpid);
     }
 }

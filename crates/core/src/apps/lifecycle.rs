@@ -6,55 +6,66 @@ use super::bus::{AppCtx, ControlApp, ControlEvent, LinkChange, SwitchRec};
 use rf_routed::config::VmRouterConfig;
 use rf_vnet::rfproto::RfMessage;
 use rf_vnet::vm::VmAgent;
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 /// Paper §2: "the RPC server creates a VM with an ID identical to the
 /// switch ID and the number of ports equivalent to the switch ports."
-/// Creation is queued — containers are provisioned one at a time, as in
-/// RouteFlow's rftest scripts — which is what makes automatic
-/// configuration time grow with switch count in Fig. 3.
+/// Creation is queued and at most `provision_width` containers are in
+/// flight at once. The paper-faithful default of 1 reproduces the
+/// serial rftest pipeline — what makes automatic configuration time
+/// grow with switch count in Fig. 3; wider pipelines overlap the
+/// create/boot latency and flatten that curve. Completion is tracked
+/// on the event bus: each [`ControlEvent::VmUp`] retires its dpid from
+/// the in-flight set and tops the pipeline back up, so there is no
+/// lockstep sequencing anywhere.
 pub struct VmLifecycleApp {
     vm_queue: VecDeque<(u64, u16)>,
-    vm_creating: Option<u64>,
+    /// Dpids whose VM was spawned but has not reported `VmUp` yet.
+    in_flight: BTreeSet<u64>,
 }
 
 impl VmLifecycleApp {
     pub fn new() -> VmLifecycleApp {
         VmLifecycleApp {
             vm_queue: VecDeque::new(),
-            vm_creating: None,
+            in_flight: BTreeSet::new(),
         }
     }
 
-    /// Provision the next queued VM, if the creation pipeline is idle.
-    fn spawn_next_vm(&mut self, cx: &mut AppCtx<'_, '_>) {
-        if self.vm_creating.is_some() {
-            return;
+    /// Provision queued VMs until the pipeline holds `provision_width`
+    /// in-flight creations (FIFO, so spawn order — and therefore the
+    /// whole run — stays deterministic at any width).
+    fn fill_pipeline(&mut self, cx: &mut AppCtx<'_, '_>) {
+        let width = cx.config().provision_width.max(1);
+        while self.in_flight.len() < width {
+            let Some((dpid, num_ports)) = self.vm_queue.pop_front() else {
+                return;
+            };
+            let controller = cx.controller_id();
+            let boot_delay = cx.config().vm_boot_delay;
+            let vm = cx.spawn_agent(
+                &format!("vm-{dpid:x}"),
+                Box::new(VmAgent::new(dpid, controller, boot_delay)),
+            );
+            cx.trace(
+                "rf.vm_create",
+                format!(
+                    "dpid {dpid:#x} ({num_ports} ports, {} in flight)",
+                    self.in_flight.len() + 1
+                ),
+            );
+            self.in_flight.insert(dpid);
+            cx.state.switches.insert(
+                dpid,
+                SwitchRec {
+                    num_ports,
+                    vm: Some(vm),
+                    vm_conn: None,
+                    configured_at: None,
+                },
+            );
+            cx.raise(ControlEvent::VmSpawned { dpid });
         }
-        let Some((dpid, num_ports)) = self.vm_queue.pop_front() else {
-            return;
-        };
-        let controller = cx.controller_id();
-        let boot_delay = cx.config().vm_boot_delay;
-        let vm = cx.spawn_agent(
-            &format!("vm-{dpid:x}"),
-            Box::new(VmAgent::new(dpid, controller, boot_delay)),
-        );
-        cx.trace(
-            "rf.vm_create",
-            format!("dpid {dpid:#x} ({num_ports} ports)"),
-        );
-        self.vm_creating = Some(dpid);
-        cx.state.switches.insert(
-            dpid,
-            SwitchRec {
-                num_ports,
-                vm: Some(vm),
-                vm_conn: None,
-                configured_at: None,
-            },
-        );
-        cx.raise(ControlEvent::VmSpawned { dpid });
     }
 
     /// Regenerate and push this VM's configuration files — "the RPC
@@ -97,7 +108,7 @@ impl ControlApp for VmLifecycleApp {
             return;
         }
         self.vm_queue.push_back((dpid, num_ports));
-        self.spawn_next_vm(cx);
+        self.fill_pipeline(cx);
     }
 
     fn on_switch_down(&mut self, cx: &mut AppCtx<'_, '_>, dpid: u64) {
@@ -107,9 +118,8 @@ impl ControlApp for VmLifecycleApp {
             }
         }
         self.vm_queue.retain(|(d, _)| *d != dpid);
-        if self.vm_creating == Some(dpid) {
-            self.vm_creating = None;
-            self.spawn_next_vm(cx);
+        if self.in_flight.remove(&dpid) {
+            self.fill_pipeline(cx);
         }
     }
 
@@ -163,10 +173,9 @@ impl ControlApp for VmLifecycleApp {
             cx.trace("rf.switch_configured", format!("dpid {dpid:#x}"));
         }
         self.push_configs(cx, dpid);
-        // The creation pipeline moves on to the next switch.
-        if self.vm_creating == Some(dpid) {
-            self.vm_creating = None;
-            self.spawn_next_vm(cx);
+        // The creation pipeline retires this dpid and tops back up.
+        if self.in_flight.remove(&dpid) {
+            self.fill_pipeline(cx);
         }
     }
 }

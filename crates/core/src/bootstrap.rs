@@ -62,6 +62,11 @@ pub struct DeploymentConfig {
     /// OSPF hello/dead intervals written into every ospfd.conf.
     pub ospf_hello: u16,
     pub ospf_dead: u16,
+    /// VM provisioning pipeline width (1 = the paper's serial rftest
+    /// behaviour).
+    pub provision_width: usize,
+    /// FIB-mirror FLOW_MOD batch size per switch (1 = unbatched).
+    pub fib_batch: usize,
     /// Trace verbosity.
     pub trace_level: rf_sim::TraceLevel,
 }
@@ -79,6 +84,8 @@ impl DeploymentConfig {
             hosts: Vec::new(),
             ospf_hello: 10,
             ospf_dead: 40,
+            provision_width: 1,
+            fib_batch: 1,
             trace_level: rf_sim::TraceLevel::Info,
         }
     }

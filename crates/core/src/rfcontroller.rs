@@ -47,6 +47,15 @@ pub struct RfControllerConfig {
     /// (defaults: Quagga's 10 s / 40 s).
     pub ospf_hello: u16,
     pub ospf_dead: u16,
+    /// How many VM create/configure operations may be in flight at
+    /// once. `1` reproduces the paper's serial rftest pipeline (the
+    /// Fig. 3 bottleneck); larger widths overlap provisioning.
+    pub provision_width: usize,
+    /// FIB-mirror batching: coalesce up to this many FLOW_MODs per
+    /// switch into one multi-message push. `1` sends each FLOW_MOD
+    /// immediately (paper-faithful); larger values flush on the batch
+    /// threshold or the next flush tick.
+    pub fib_batch: usize,
 }
 
 impl Default for RfControllerConfig {
@@ -58,6 +67,8 @@ impl Default for RfControllerConfig {
             host_ports: Vec::new(),
             ospf_hello: 10,
             ospf_dead: 40,
+            provision_width: 1,
+            fib_batch: 1,
         }
     }
 }

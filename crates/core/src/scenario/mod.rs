@@ -115,6 +115,16 @@ pub struct ScenarioMetrics {
     pub dataplane_flows: usize,
     /// Gateway ARPs answered on the VMs' behalf.
     pub arp_replies: u64,
+    /// OpenFlow messages the controller wrote toward switches
+    /// (FLOW_MODs and PACKET_OUTs; Hello/Echo chores excluded).
+    pub of_msgs_sent: u64,
+    /// Wire bytes of those messages.
+    pub of_bytes_sent: u64,
+    /// Transport writes carrying them (multi-message pushes make this
+    /// smaller than `of_msgs_sent`).
+    pub of_pushes: u64,
+    /// Multi-message FLOW_MOD pushes flushed by the FIB batch stage.
+    pub fib_batches: u64,
 }
 
 /// Internal fault-scheduler agent: one timer per scheduled fault.
@@ -203,6 +213,21 @@ impl ScenarioBuilder {
     /// Simulated VM provisioning time (default 1 s, LXC-like).
     pub fn vm_boot_delay(mut self, d: Duration) -> Self {
         self.cfg.vm_boot_delay = d;
+        self
+    }
+
+    /// VM provisioning pipeline width: up to `k` VM create/configure
+    /// operations in flight at once (default 1, the paper's serial
+    /// rftest behaviour — the Fig. 3 bottleneck).
+    pub fn provision_width(mut self, k: usize) -> Self {
+        self.cfg.provision_width = k.max(1);
+        self
+    }
+
+    /// FIB-mirror batching: coalesce up to `n` FLOW_MODs per switch
+    /// into one multi-message push (default 1 = send each immediately).
+    pub fn fib_batch(mut self, n: usize) -> Self {
+        self.cfg.fib_batch = n.max(1);
         self
     }
 
@@ -367,6 +392,8 @@ impl ScenarioBuilder {
             host_ports: host_port_cfgs,
             ospf_hello: cfg.ospf_hello,
             ospf_dead: cfg.ospf_dead,
+            provision_width: cfg.provision_width,
+            fib_batch: cfg.fib_batch,
         });
         for app in extra_apps {
             engine.register(app);
@@ -645,6 +672,10 @@ impl Scenario {
             flows_removed: ctrl.flows_removed(),
             dataplane_flows: self.total_flows(),
             arp_replies: ctrl.arp_replies(),
+            of_msgs_sent: ctrl.of_msgs_sent(),
+            of_bytes_sent: ctrl.of_bytes_sent(),
+            of_pushes: ctrl.of_pushes(),
+            fib_batches: ctrl.fib_batches(),
         }
     }
 

@@ -15,7 +15,10 @@ use crate::json::Json;
 use std::collections::BTreeMap;
 
 /// Version of the report shape; bump when fields change meaning.
-pub const SCHEMA_VERSION: i64 = 1;
+/// v2: controller-transport metrics (`of_msgs_sent`, `of_bytes_sent`,
+/// `of_pushes`, `fib_batches`) joined every cell, and grids may carry
+/// `provision_width`/`fib_batch` knob axes.
+pub const SCHEMA_VERSION: i64 = 2;
 
 /// One matrix cell's harvest: a key identifying the grid point and a
 /// flat name → integer metric map (times in nanoseconds).
@@ -227,14 +230,18 @@ impl MatrixReport {
                 out.push(format!("cell {key}: new (not in baseline)"));
                 continue;
             };
-            for name in base.metrics.keys() {
+            for (name, want) in &base.metrics {
                 if !cell.metrics.contains_key(name) {
-                    out.push(format!("cell {key}: metric {name} disappeared"));
+                    out.push(format!(
+                        "cell {key}: metric {name} disappeared (baseline {want})"
+                    ));
                 }
             }
             for (name, &value) in &cell.metrics {
                 let Some(&want) = base.metrics.get(name) else {
-                    out.push(format!("cell {key}: metric {name} is new"));
+                    out.push(format!(
+                        "cell {key}: metric {name} = {value} is new (not in baseline)"
+                    ));
                     continue;
                 };
                 let scale = value.abs().max(want.abs()).max(1) as f64;
@@ -307,9 +314,10 @@ mod tests {
 
     #[test]
     fn wrong_schema_version_is_rejected() {
-        let text = MatrixReport::new(grid(), vec![])
-            .to_json()
-            .replace("\"schema_version\": 1", "\"schema_version\": 999");
+        let text = MatrixReport::new(grid(), vec![]).to_json().replace(
+            &format!("\"schema_version\": {SCHEMA_VERSION}"),
+            "\"schema_version\": 999",
+        );
         let err = MatrixReport::parse(&text).unwrap_err();
         assert!(err.contains("regenerate"), "{err}");
     }

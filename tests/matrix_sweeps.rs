@@ -11,10 +11,13 @@ use rf_sim::Time;
 use rf_topo::ring;
 use std::time::Duration;
 
-/// A deliberately tiny grid: 2 cells on ring-4 with early faults, so
+/// A deliberately tiny grid: 4 cells on ring-4 with early faults, so
 /// the whole matrix runs three times (1/4/8 workers) within a debug
 /// test budget. Ring-4's standard probe pair is (0, 2), leaving node 1
-/// as genuine transit for the kill schedule to remove.
+/// as genuine transit for the kill schedule to remove. The second knob
+/// turns on the controller fast path (k-wide provisioning + FLOW_MOD
+/// batching), so the determinism contract is proven with the new axes
+/// enabled.
 fn tiny_spec() -> MatrixSpec {
     MatrixSpec {
         seeds: vec![7],
@@ -23,7 +26,12 @@ fn tiny_spec() -> MatrixSpec {
             FaultSchedule::kill_switch(1, Duration::from_secs(12)),
             FaultSchedule::link_flap(0, Duration::from_secs(12), Duration::from_secs(4), 1),
         ],
-        knobs: vec![MatrixKnob::fast("fast")],
+        knobs: vec![
+            MatrixKnob::fast("fast"),
+            MatrixKnob::fast("fast-k3b4")
+                .with_provision_width(3)
+                .with_fib_batch(4),
+        ],
         configure_deadline: Duration::from_secs(60),
         post_fault_window: Duration::from_secs(15),
         settle: Duration::from_secs(5),
@@ -53,7 +61,7 @@ fn matrix_cell_order_is_sorted_not_completion_order() {
     sorted.sort();
     assert_eq!(keys, sorted, "cells must be key-sorted");
     assert!(keys[0].contains("fault=flap"), "{}", keys[0]);
-    assert!(keys[1].contains("fault=kill"), "{}", keys[1]);
+    assert!(keys[2].contains("fault=kill"), "{}", keys[2]);
 }
 
 #[test]
@@ -112,6 +120,42 @@ fn matrix_records_recovery_metrics_for_fault_cells() {
         assert_eq!(cell.metrics["switches"], 4);
     }
     let s = report.summary["recovery_ns"];
-    assert_eq!(s.count, 2);
+    assert_eq!(s.count, 4);
     assert!(s.min <= s.median && s.median <= s.max);
+}
+
+#[test]
+fn matrix_cells_report_controller_transport_metrics() {
+    // Schema v2: every cell carries the controller byte/message/push
+    // counters, and the batched knob actually exercises the batch
+    // stage (fib_batches > 0, strictly fewer transport writes than
+    // messages) while the serial knob reports zero batches.
+    let report = ScenarioMatrix::new(tiny_spec()).run(2);
+    for cell in &report.cells {
+        for metric in ["of_msgs_sent", "of_bytes_sent", "of_pushes", "fib_batches"] {
+            assert!(
+                cell.metrics.contains_key(metric),
+                "cell {} must report {metric} (metrics: {:?})",
+                cell.key,
+                cell.metrics.keys().collect::<Vec<_>>()
+            );
+        }
+        assert!(cell.metrics["of_msgs_sent"] > 0, "{}", cell.key);
+        assert!(cell.metrics["of_bytes_sent"] > 0, "{}", cell.key);
+        if cell.key.contains("knob=fast-k3b4") {
+            assert!(cell.metrics["fib_batches"] > 0, "{}", cell.key);
+            assert!(
+                cell.metrics["of_pushes"] < cell.metrics["of_msgs_sent"],
+                "batched cell {} must coalesce pushes ({} pushes / {} msgs)",
+                cell.key,
+                cell.metrics["of_pushes"],
+                cell.metrics["of_msgs_sent"]
+            );
+        } else {
+            assert_eq!(cell.metrics["fib_batches"], 0, "{}", cell.key);
+        }
+    }
+    // The new metrics roll up into the summary like any other.
+    assert!(report.summary.contains_key("of_bytes_sent"));
+    assert_eq!(report.summary["of_pushes"].count, report.cells.len() as i64);
 }
