@@ -3,26 +3,71 @@
 //! per-host /32 delivery flows.
 
 use super::bus::{AppCtx, ControlApp};
+use super::channel::DeferBuffer;
 use super::fib_mirror::HOST_FLOW_PRIORITY;
 use bytes::Bytes;
 use rf_openflow::{Action, FlowModCommand, OfMatch, OfMessage, OFPP_NONE, OFP_NO_BUFFER};
 use rf_wire::{ArpOp, ArpPacket, EtherType, EthernetFrame, MacAddr};
 use std::net::Ipv4Addr;
+use std::time::Duration;
+
+/// Bus-timer token of the deferred host-flow retry tick. The scenario
+/// harness also fires it at harvest time so a backlog mid-retry cannot
+/// be left unsent in a short cell.
+pub(crate) const ARP_RETRY_TOKEN: u64 = 0xA4B0_0000_0000_0000;
+
+/// Retry cadence for host FLOW_MODs a bounded channel refused.
+const ARP_RETRY_TICK: Duration = Duration::from_millis(50);
 
 /// Edge behaviour for declared host ports (the one piece of
 /// configuration LLDP discovery cannot learn — hosts don't speak LLDP).
-#[derive(Default)]
+///
+/// Channel backpressure: host /32 FLOW_MODs are state and must land,
+/// so a deferred one goes into a per-switch [`DeferBuffer`] and
+/// retries on a tick. PACKET_OUTs (ARP replies and probes) are
+/// data-plane traffic — a deferred one is shed and the protocol's own
+/// retry recovers.
 pub struct ArpProxyApp {
-    _priv: (),
+    /// Host FLOW_MODs refused by a bounded channel, retried in order.
+    deferred: DeferBuffer,
+}
+
+impl Default for ArpProxyApp {
+    fn default() -> Self {
+        ArpProxyApp::new()
+    }
 }
 
 impl ArpProxyApp {
     pub fn new() -> ArpProxyApp {
-        ArpProxyApp::default()
+        ArpProxyApp {
+            deferred: DeferBuffer::new(ARP_RETRY_TOKEN, ARP_RETRY_TICK),
+        }
+    }
+
+    /// Offer a host FLOW_MOD; park the refused tail for the retry tick
+    /// (behind any existing backlog, preserving per-switch order).
+    fn offer_flow(&mut self, cx: &mut AppCtx<'_, '_>, dpid: u64, fm: OfMessage) {
+        if self.deferred.is_backlogged(dpid) {
+            self.deferred.park(cx, dpid, vec![fm]);
+            return;
+        }
+        let outcome = cx.send_of(dpid, fm);
+        let _ = self
+            .deferred
+            .absorb(cx, dpid, outcome, "rf.host_flow_deferred");
+    }
+
+    /// Offer a PACKET_OUT; shed it if the channel pushes back.
+    fn offer_packet_out(&mut self, cx: &mut AppCtx<'_, '_>, dpid: u64, po: OfMessage) {
+        let outcome = cx.send_of(dpid, po);
+        if !outcome.deferred.is_empty() {
+            cx.count("rf.packet_out_shed", outcome.deferred.len() as u64);
+        }
     }
 
     fn install_host_flow(
-        &self,
+        &mut self,
         cx: &mut AppCtx<'_, '_>,
         ip: Ipv4Addr,
         dpid: u64,
@@ -47,7 +92,7 @@ impl ArpProxyApp {
         };
         cx.state.flows_installed += 1;
         cx.count("rf.flow_add", 1);
-        cx.send_of(dpid, fm);
+        self.offer_flow(cx, dpid, fm);
     }
 }
 
@@ -90,7 +135,7 @@ impl ControlApp for ArpProxyApp {
                             data: frame.emit(),
                         };
                         cx.count("rf.arp_probe", 1);
-                        cx.send_of(dpid, po);
+                        self.offer_packet_out(cx, dpid, po);
                     }
                 }
             }
@@ -143,8 +188,25 @@ impl ControlApp for ArpProxyApp {
                 };
                 cx.state.arp_replies += 1;
                 cx.count("rf.arp_reply", 1);
-                cx.send_of(dpid, po);
+                self.offer_packet_out(cx, dpid, po);
             }
         }
+    }
+
+    fn on_timer(&mut self, cx: &mut AppCtx<'_, '_>, token: u64) {
+        if !self.deferred.on_tick(token) {
+            return;
+        }
+        for dpid in self.deferred.dpids() {
+            let msgs = self.deferred.take(dpid);
+            let outcome = cx.send_of_batch(dpid, msgs);
+            let _ = self
+                .deferred
+                .absorb(cx, dpid, outcome, "rf.host_flow_deferred");
+        }
+    }
+
+    fn on_switch_down(&mut self, _cx: &mut AppCtx<'_, '_>, dpid: u64) {
+        self.deferred.forget(dpid);
     }
 }

@@ -15,6 +15,7 @@
 //! [`ControlPlane::register`](super::engine::ControlPlane::register) or
 //! `ScenarioBuilder::with_app`.
 
+use super::channel::{ChannelLayer, SendOutcome, SwitchChannel, VmSendOutcome};
 use crate::rfcontroller::RfControllerConfig;
 use bytes::Bytes;
 use rf_openflow::OfMessage;
@@ -151,6 +152,22 @@ pub struct ControlState {
     /// Multi-message FLOW_MOD pushes flushed by the FIB-mirror batch
     /// stage (0 when `fib_batch` is 1).
     pub fib_batches: u64,
+    /// Refusal *events* under
+    /// [`super::channel::OverflowPolicy::Defer`]: incremented every
+    /// time a bounded channel bounces a message back to its producer,
+    /// including re-offers of the same message from a retry backlog.
+    /// It therefore measures how long and how hard producers leaned on
+    /// a full channel (scaling with stall duration × retry cadence),
+    /// not the count of distinct messages. Producers retry, so
+    /// deferral is pacing, not loss.
+    pub of_deferred: u64,
+    /// Queued messages evicted under
+    /// [`super::channel::OverflowPolicy::DropOldest`] — real loss,
+    /// visible as FIB divergence.
+    pub of_dropped: u64,
+    /// Deepest per-switch channel queue observed over the run: how
+    /// hard producers leaned on the bounded channels.
+    pub of_queue_hwm: u64,
 }
 
 impl ControlState {
@@ -179,11 +196,16 @@ impl ControlState {
 ///
 /// Keeping the connection maps out of [`ControlState`] means apps can
 /// never depend on transport details — everything they send goes
-/// through dpid-addressed helpers that queue while channels are down.
+/// through the dpid-addressed [`SwitchChannel`] layer, which bounds
+/// and meters the queues (and parks messages while channels are down).
 pub(crate) struct BusIo {
     pub(crate) dpid_of: HashMap<u64, ConnId>,
-    /// FLOW_MODs for switches whose OF channel is not up yet.
-    pub(crate) pending_flows: HashMap<u64, Vec<OfMessage>>,
+    /// Per-switch bounded send channels (keyed deterministically; the
+    /// drain tick iterates this map).
+    pub(crate) channels: BTreeMap<u64, SwitchChannel>,
+    /// True while a [`super::channel::CHANNEL_DRAIN_TOKEN`] tick is
+    /// scheduled.
+    pub(crate) drain_armed: bool,
     pub(crate) xid: u32,
 }
 
@@ -191,7 +213,8 @@ impl BusIo {
     pub(crate) fn new() -> BusIo {
         BusIo {
             dpid_of: HashMap::new(),
-            pending_flows: HashMap::new(),
+            channels: BTreeMap::new(),
+            drain_armed: false,
             xid: 1,
         }
     }
@@ -220,7 +243,16 @@ pub struct AppCtx<'a, 'b> {
     pub(crate) bus: &'a mut VecDeque<ControlEvent>,
 }
 
-impl AppCtx<'_, '_> {
+impl<'b> AppCtx<'_, 'b> {
+    fn channel_layer(&mut self) -> ChannelLayer<'_, 'b> {
+        ChannelLayer {
+            io: self.io,
+            state: self.state,
+            config: self.config,
+            sim: self.sim,
+        }
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> Time {
         self.sim.now()
@@ -242,50 +274,34 @@ impl AppCtx<'_, '_> {
         self.bus.push_back(ev);
     }
 
-    /// Send an OpenFlow message toward `dpid`, queueing it until the
-    /// channel is up if necessary.
-    pub fn send_of(&mut self, dpid: u64, msg: OfMessage) {
-        if let Some(&conn) = self.io.dpid_of.get(&dpid) {
-            let xid = self.io.next_xid();
-            let wire = msg.encode(xid);
-            self.state.of_msgs_sent += 1;
-            self.state.of_bytes_sent += wire.len() as u64;
-            self.state.of_pushes += 1;
-            self.sim.conn_send(conn, wire);
-        } else {
-            self.io.pending_flows.entry(dpid).or_default().push(msg);
-        }
+    /// Offer an OpenFlow message to `dpid`'s bounded send channel. The
+    /// message goes to the wire immediately when the channel is up,
+    /// un-stalled and has credits; otherwise it queues within the
+    /// capacity bound, and past the bound the configured
+    /// [`super::channel::OverflowPolicy`] decides. Consume the outcome:
+    /// a deferred message is the caller's to retry.
+    pub fn send_of(&mut self, dpid: u64, msg: OfMessage) -> SendOutcome {
+        self.channel_layer().offer(dpid, vec![msg])
     }
 
-    /// Send several OpenFlow messages toward `dpid` as one
-    /// multi-message push (one transport write, consecutive xids; see
-    /// [`OfMessage::encode_batch`]). Queued like [`AppCtx::send_of`]
-    /// while the channel is down — the engine flushes the queue as a
-    /// single batch when the channel comes up. Returns `true` if the
-    /// push went to the wire now, `false` if it was queued.
-    pub fn send_of_batch(&mut self, dpid: u64, msgs: Vec<OfMessage>) -> bool {
-        if msgs.is_empty() {
-            return false;
-        }
-        if let Some(&conn) = self.io.dpid_of.get(&dpid) {
-            let first_xid = self.io.take_xids(msgs.len() as u32);
-            let wire = OfMessage::encode_batch(&msgs, first_xid);
-            self.state.of_msgs_sent += msgs.len() as u64;
-            self.state.of_bytes_sent += wire.len() as u64;
-            self.state.of_pushes += 1;
-            self.sim.conn_send(conn, wire);
-            true
-        } else {
-            self.io.pending_flows.entry(dpid).or_default().extend(msgs);
-            false
-        }
+    /// Offer several OpenFlow messages to `dpid`'s channel at once.
+    /// Contiguous runs that clear the queue go out as one multi-message
+    /// push (one transport write, consecutive xids; see
+    /// [`OfMessage::encode_batch`]); a bounded channel may split the
+    /// run at its credit limit and defer or drop the tail.
+    pub fn send_of_batch(&mut self, dpid: u64, msgs: Vec<OfMessage>) -> SendOutcome {
+        self.channel_layer().offer(dpid, msgs)
     }
 
-    /// Send an RF-protocol message to the VM mirroring `dpid` (dropped
-    /// if the VM channel is not open).
-    pub fn send_to_vm(&mut self, dpid: u64, msg: RfMessage) {
+    /// Send an RF-protocol message to the VM mirroring `dpid`. Returns
+    /// [`VmSendOutcome::Deferred`] when the VM channel is not open —
+    /// the producer re-pushes on the next `VmUp`.
+    pub fn send_to_vm(&mut self, dpid: u64, msg: RfMessage) -> VmSendOutcome {
         if let Some(conn) = self.state.switches.get(&dpid).and_then(|s| s.vm_conn) {
             self.sim.conn_send(conn, msg.encode());
+            VmSendOutcome::Delivered
+        } else {
+            VmSendOutcome::Deferred
         }
     }
 

@@ -10,6 +10,7 @@
 //! dedup — are handled here.
 
 use super::bus::{AppCtx, BusIo, ControlApp, ControlEvent, ControlState, FibChange};
+use super::channel::{ChannelLayer, CHANNEL_DRAIN_TOKEN};
 use super::{ArpProxyApp, DiscoveryBridgeApp, FibMirrorApp, VmLifecycleApp};
 use crate::rfcontroller::RfControllerConfig;
 use rf_openflow::{MessageReader, OfMessage};
@@ -189,6 +190,27 @@ impl ControlPlane {
         self.state.fib_batches
     }
 
+    /// Messages refused back to producers by bounded channels (Defer).
+    pub fn of_deferred(&self) -> u64 {
+        self.state.of_deferred
+    }
+
+    /// Queued messages evicted by bounded channels (DropOldest).
+    pub fn of_dropped(&self) -> u64 {
+        self.state.of_dropped
+    }
+
+    /// Deepest switch-channel queue observed over the run.
+    pub fn of_queue_hwm(&self) -> u64 {
+        self.state.of_queue_hwm
+    }
+
+    /// Messages currently parked in switch-channel queues (stalled,
+    /// credit-capped, or waiting for their channel to come up).
+    pub fn channel_queued(&self) -> usize {
+        self.io.channels.values().map(|c| c.queue.len()).sum()
+    }
+
     // ------------------------------------------------------------------
     // Bus dispatch.
     // ------------------------------------------------------------------
@@ -232,18 +254,16 @@ impl ControlPlane {
                 let dpid = f.datapath_id;
                 self.of_dpid.insert(conn, dpid);
                 self.io.dpid_of.insert(dpid, conn);
-                // Flush messages queued before the channel came up, as
-                // one multi-message push.
-                if let Some(q) = self.io.pending_flows.remove(&dpid) {
-                    if !q.is_empty() {
-                        let first_xid = self.io.take_xids(q.len() as u32);
-                        let wire = OfMessage::encode_batch(&q, first_xid);
-                        self.state.of_msgs_sent += q.len() as u64;
-                        self.state.of_bytes_sent += wire.len() as u64;
-                        self.state.of_pushes += 1;
-                        ctx.conn_send(conn, wire);
-                    }
+                // Flush messages queued before the channel came up —
+                // one multi-message push, as far as credits and stall
+                // windows allow (the drain tick finishes the rest).
+                let _ = ChannelLayer {
+                    io: &mut self.io,
+                    state: &mut self.state,
+                    config: &self.cfg,
+                    sim: ctx,
                 }
+                .flush(dpid);
                 self.publish(ctx, ControlEvent::ChannelUp { dpid });
             }
             OfMessage::PacketIn { in_port, data, .. } => {
@@ -311,6 +331,18 @@ impl Agent for ControlPlane {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == CHANNEL_DRAIN_TOKEN {
+            // Engine-owned transport chore: replenish channel credits
+            // and flush what can move. Apps never see this tick.
+            ChannelLayer {
+                io: &mut self.io,
+                state: &mut self.state,
+                config: &self.cfg,
+                sim: ctx,
+            }
+            .drain_all();
+            return;
+        }
         self.publish(ctx, ControlEvent::Timer { token });
     }
 

@@ -12,6 +12,7 @@
 //! identical to the unbatched run (see `tests/fib_batching.rs`).
 
 use super::bus::{AppCtx, ControlApp, FibChange};
+use super::channel::DeferBuffer;
 use rf_openflow::{Action, FlowModCommand, OfMatch, OfMessage, OFPP_NONE, OFP_NO_BUFFER};
 use rf_wire::MacAddr;
 use std::collections::BTreeMap;
@@ -28,56 +29,87 @@ pub const HOST_FLOW_PRIORITY: u16 = 0x2000;
 
 /// Bus-timer token of the batch flush tick (timer tokens share one
 /// namespace across this controller's apps, so the prefix is the
-/// app's).
-const FIB_FLUSH_TOKEN: u64 = 0xF1B0_0000_0000_0000;
+/// app's). The scenario harness also fires it at harvest time so a
+/// sub-tick tail batch cannot be left unsent in a short cell.
+pub(crate) const FIB_FLUSH_TOKEN: u64 = 0xF1B0_0000_0000_0000;
 
 /// How long a queued FLOW_MOD may wait for the batch to fill before
 /// the tick pushes it anyway.
 const FIB_FLUSH_TICK: Duration = Duration::from_millis(50);
 
 /// Mirrors VM FIB changes onto the data plane.
-#[derive(Default)]
 pub struct FibMirrorApp {
     /// FLOW_MODs queued per switch while a batch fills (`fib_batch > 1`
     /// only; keyed deterministically so flush order never wobbles).
     pending: BTreeMap<u64, Vec<OfMessage>>,
-    /// True while a flush tick is scheduled.
+    /// FLOW_MODs a bounded switch channel refused under `Defer`,
+    /// retried on the flush tick. That retry loop is what makes
+    /// `Defer` lossless: the final FIB is byte-identical to the
+    /// unbounded run whenever nothing is dropped.
+    deferred: DeferBuffer,
+    /// True while a flush tick is scheduled for the *batch* stage (the
+    /// deferral backlog arms its own, sharing the same token).
     tick_armed: bool,
+}
+
+impl Default for FibMirrorApp {
+    fn default() -> Self {
+        FibMirrorApp::new()
+    }
 }
 
 impl FibMirrorApp {
     pub fn new() -> FibMirrorApp {
-        FibMirrorApp::default()
+        FibMirrorApp {
+            pending: BTreeMap::new(),
+            deferred: DeferBuffer::new(FIB_FLUSH_TOKEN, FIB_FLUSH_TICK),
+            tick_armed: false,
+        }
+    }
+
+    fn arm_tick(&mut self, cx: &mut AppCtx<'_, '_>) {
+        if !self.tick_armed {
+            cx.schedule(FIB_FLUSH_TICK, FIB_FLUSH_TOKEN);
+            self.tick_armed = true;
+        }
     }
 
     /// Hand a FLOW_MOD to the batching stage: immediate send at
     /// `fib_batch <= 1` (paper-faithful), otherwise queue per switch
-    /// and flush on the size threshold.
+    /// and flush on the size threshold. A switch with a deferral
+    /// backlog keeps accumulating behind it so per-switch order holds.
     fn emit(&mut self, cx: &mut AppCtx<'_, '_>, dpid: u64, fm: OfMessage) {
         let batch = cx.config().fib_batch;
         if batch <= 1 {
-            cx.send_of(dpid, fm);
+            if self.deferred.is_backlogged(dpid) {
+                self.deferred.park(cx, dpid, vec![fm]);
+                return;
+            }
+            let outcome = cx.send_of(dpid, fm);
+            let _ = self.deferred.absorb(cx, dpid, outcome, "rf.fib_deferred");
             return;
         }
         let q = self.pending.entry(dpid).or_default();
         q.push(fm);
         if q.len() >= batch {
             self.flush_switch(cx, dpid);
-        } else if !self.tick_armed {
-            cx.schedule(FIB_FLUSH_TICK, FIB_FLUSH_TOKEN);
-            self.tick_armed = true;
+        } else {
+            self.arm_tick(cx);
         }
     }
 
-    /// Push one switch's queue as a single multi-message write. Only
-    /// counts a batch when the push actually reaches the wire — a
-    /// down channel queues the messages for the engine's channel-up
-    /// replay instead.
+    /// Push one switch's backlog + pending batch as a single
+    /// multi-message offer. Only counts a batch when the push actually
+    /// reaches the wire — a down, stalled or credit-starved channel
+    /// queues (or defers) the messages instead.
     fn flush_switch(&mut self, cx: &mut AppCtx<'_, '_>, dpid: u64) {
-        let Some(msgs) = self.pending.remove(&dpid) else {
+        let mut msgs = self.deferred.take(dpid);
+        msgs.extend(self.pending.remove(&dpid).unwrap_or_default());
+        if msgs.is_empty() {
             return;
-        };
-        if cx.send_of_batch(dpid, msgs) {
+        }
+        let outcome = cx.send_of_batch(dpid, msgs);
+        if self.deferred.absorb(cx, dpid, outcome, "rf.fib_deferred") {
             cx.count("rf.fib_batch_flush", 1);
             cx.state.fib_batches += 1;
         }
@@ -159,11 +191,12 @@ impl ControlApp for FibMirrorApp {
     }
 
     fn on_timer(&mut self, cx: &mut AppCtx<'_, '_>, token: u64) {
-        if token != FIB_FLUSH_TOKEN {
-            return;
+        if !self.deferred.on_tick(token) {
+            return; // the buffer shares FIB_FLUSH_TOKEN with the batch stage
         }
         self.tick_armed = false;
-        let dpids: Vec<u64> = self.pending.keys().copied().collect();
+        let mut dpids: Vec<u64> = self.pending.keys().copied().collect();
+        dpids.extend(self.deferred.dpids());
         for dpid in dpids {
             self.flush_switch(cx, dpid);
         }
@@ -171,9 +204,10 @@ impl ControlApp for FibMirrorApp {
 
     fn on_switch_down(&mut self, _cx: &mut AppCtx<'_, '_>, dpid: u64) {
         // Drop FLOW_MODs still waiting in the dead switch's batch
-        // window: flushing them would only park stale routes in the
-        // engine's channel-up replay queue, to be installed if a
-        // switch ever re-attaches with this dpid.
+        // window or deferral backlog: flushing them would only park
+        // stale routes in the channel's replay queue, to be installed
+        // if a switch ever re-attaches with this dpid.
         self.pending.remove(&dpid);
+        self.deferred.forget(dpid);
     }
 }

@@ -3,6 +3,7 @@
 //! each VM's routing configuration files.
 
 use super::bus::{AppCtx, ControlApp, ControlEvent, LinkChange, SwitchRec};
+use super::channel::VmSendOutcome;
 use rf_routed::config::VmRouterConfig;
 use rf_vnet::rfproto::RfMessage;
 use rf_vnet::vm::VmAgent;
@@ -87,8 +88,13 @@ impl VmLifecycleApp {
             cx.config().ospf_dead,
         );
         let (zebra, ospf, bgp) = cfg.render_all();
-        cx.send_to_vm(dpid, RfMessage::WriteConfigs { zebra, ospf, bgp });
-        cx.count("rf.configs_written", 1);
+        match cx.send_to_vm(dpid, RfMessage::WriteConfigs { zebra, ospf, bgp }) {
+            VmSendOutcome::Delivered => cx.count("rf.configs_written", 1),
+            // Unreachable given the guard above, but the outcome is
+            // consumed explicitly: a deferred config push is re-sent by
+            // the next `VmUp` (the engine re-raises it on reconnect).
+            VmSendOutcome::Deferred => cx.count("rf.configs_deferred", 1),
+        }
     }
 }
 

@@ -15,9 +15,16 @@
 //! Anything else — a flow auditor, a latency monitor, an alternative
 //! route-to-flow policy — registers alongside them with
 //! [`engine::ControlPlane::register`] and sees the same event stream.
+//!
+//! Everything the apps send toward a switch passes through the
+//! bounded, credit-metered [`channel`] layer: per-dpid queues with a
+//! capacity knob, an explicit [`OverflowPolicy`], stall-fault support
+//! and full deferral/drop accounting — so a slow switch exerts
+//! backpressure instead of absorbing unbounded state.
 
 pub mod arp_proxy;
 pub mod bus;
+pub mod channel;
 pub mod discovery_bridge;
 pub mod engine;
 pub mod fib_mirror;
@@ -27,6 +34,7 @@ pub use arp_proxy::ArpProxyApp;
 pub use bus::{
     AppCtx, ControlApp, ControlEvent, ControlState, FibChange, LinkChange, LinkRec, SwitchRec,
 };
+pub use channel::{ChannelStallWindow, OverflowPolicy, SendOutcome, VmSendOutcome};
 pub use discovery_bridge::DiscoveryBridgeApp;
 pub use engine::ControlPlane;
 pub use fib_mirror::{route_priority, FibMirrorApp, HOST_FLOW_PRIORITY};

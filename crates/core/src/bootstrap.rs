@@ -67,6 +67,11 @@ pub struct DeploymentConfig {
     pub provision_width: usize,
     /// FIB-mirror FLOW_MOD batch size per switch (1 = unbatched).
     pub fib_batch: usize,
+    /// Switch-channel send-queue bound (`None` = unbounded, the
+    /// paper's fire-and-forget behaviour).
+    pub channel_capacity: Option<usize>,
+    /// What a full bounded channel does with overflow.
+    pub overflow: crate::apps::OverflowPolicy,
     /// Trace verbosity.
     pub trace_level: rf_sim::TraceLevel,
 }
@@ -86,6 +91,8 @@ impl DeploymentConfig {
             ospf_dead: 40,
             provision_width: 1,
             fib_batch: 1,
+            channel_capacity: None,
+            overflow: crate::apps::OverflowPolicy::Defer,
             trace_level: rf_sim::TraceLevel::Info,
         }
     }

@@ -56,6 +56,16 @@ pub struct RfControllerConfig {
     /// immediately (paper-faithful); larger values flush on the batch
     /// threshold or the next flush tick.
     pub fib_batch: usize,
+    /// Bound on each switch channel's send queue, which also sets the
+    /// per-drain-interval send credits. `None` (default) reproduces
+    /// the paper's unbounded fire-and-forget behaviour; `Some(0)`
+    /// refuses every message (the degenerate everything-defers case).
+    pub channel_capacity: Option<usize>,
+    /// What a full bounded channel does with the overflow.
+    pub overflow: crate::apps::OverflowPolicy,
+    /// Scheduled control-channel stalls (normally injected through
+    /// `Fault::ChannelStall` on a `ScenarioBuilder`).
+    pub channel_stalls: Vec<crate::apps::ChannelStallWindow>,
 }
 
 impl Default for RfControllerConfig {
@@ -69,6 +79,9 @@ impl Default for RfControllerConfig {
             ospf_dead: 40,
             provision_width: 1,
             fib_batch: 1,
+            channel_capacity: None,
+            overflow: crate::apps::OverflowPolicy::Defer,
+            channel_stalls: Vec::new(),
         }
     }
 }

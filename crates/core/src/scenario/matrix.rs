@@ -22,11 +22,12 @@
 //! };
 //! let report = ScenarioMatrix::new(spec).run(2);
 //! // seeds × topologies × schedules × knobs
-//! assert_eq!(report.cells.len(), 1 * 1 * 3 * 2);
+//! assert_eq!(report.cells.len(), 1 * 1 * 4 * 4);
 //! ```
 
 use super::report::{CellRecord, MatrixReport};
 use super::{Fault, Scenario, ScenarioBuilder, Workload, WorkloadReport};
+use crate::apps::OverflowPolicy;
 use rf_sim::Time;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -97,16 +98,55 @@ impl FaultSchedule {
         }
     }
 
-    /// When the last scheduled fault fires, if any. Recovery is
+    /// Stall the controller's channel to `dpid` over `from..until` —
+    /// the control-plane fault the bounded channel layer exists for.
+    pub fn channel_stall(dpid: u64, from: Duration, until: Duration) -> FaultSchedule {
+        FaultSchedule {
+            name: format!("stall{dpid}@{}-{}", fmt_at(from), fmt_at(until)),
+            faults: vec![Fault::ChannelStall { dpid, from, until }],
+        }
+    }
+
+    /// Sustained-loss soak: topology link `edge` drops `rate` percent
+    /// of frames for the `span` window, then heals. Both the loss
+    /// onset and the restore are scheduled faults, so recovery is
+    /// measured from the heal.
+    pub fn link_loss(edge: usize, rate: f64, span: std::ops::Range<Duration>) -> FaultSchedule {
+        assert!(span.start < span.end, "loss window must be non-empty");
+        FaultSchedule {
+            name: format!(
+                "loss{edge}x{rate}@{}-{}",
+                fmt_at(span.start),
+                fmt_at(span.end)
+            ),
+            faults: vec![
+                Fault::LinkLoss {
+                    edge,
+                    loss_pct: rate,
+                    at: span.start,
+                },
+                Fault::LinkLoss {
+                    edge,
+                    loss_pct: 0.0,
+                    at: span.end,
+                },
+            ],
+        }
+    }
+
+    /// When the last scheduled disturbance ends, if any. Recovery is
     /// measured from this instant: after it, no further disturbance is
     /// coming, so the next successful probe marks the healed network.
+    /// (A stall window "fires" when it closes.)
     pub fn last_fault_at(&self) -> Option<Duration> {
         self.faults
             .iter()
             .map(|f| match f {
                 Fault::KillSwitch { at, .. }
                 | Fault::LinkDown { at, .. }
-                | Fault::LinkUp { at, .. } => *at,
+                | Fault::LinkUp { at, .. }
+                | Fault::LinkLoss { at, .. } => *at,
+                Fault::ChannelStall { until, .. } => *until,
             })
             .max()
     }
@@ -118,6 +158,18 @@ fn fmt_at(d: Duration) -> String {
     } else {
         format!("{}ms", d.as_millis())
     }
+}
+
+/// The probe workload a knob attaches to each cell.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MatrixWorkload {
+    /// One pinger across the topology's farthest switch pair (the
+    /// historical default).
+    FarthestPing,
+    /// `clients` pingers converging on the farthest switch — fan-in
+    /// control-plane load (ARP answers and /32 flows all from one edge
+    /// switch).
+    PingFanIn { clients: usize },
 }
 
 /// A named bundle of scenario parameters — the `knob` axis.
@@ -134,6 +186,12 @@ pub struct MatrixKnob {
     pub provision_width: usize,
     /// FIB-mirror FLOW_MOD batch size per switch (1 = unbatched).
     pub fib_batch: usize,
+    /// Switch-channel send-queue bound (`None` = unbounded).
+    pub channel_capacity: Option<usize>,
+    /// Overflow policy of a bounded channel.
+    pub overflow: OverflowPolicy,
+    /// The probe workload built into each cell.
+    pub workload: MatrixWorkload,
 }
 
 impl MatrixKnob {
@@ -149,6 +207,9 @@ impl MatrixKnob {
             use_flowvisor: true,
             provision_width: 1,
             fib_batch: 1,
+            channel_capacity: None,
+            overflow: OverflowPolicy::Defer,
+            workload: MatrixWorkload::FarthestPing,
         }
     }
 
@@ -163,6 +224,9 @@ impl MatrixKnob {
             use_flowvisor: true,
             provision_width: 1,
             fib_batch: 1,
+            channel_capacity: None,
+            overflow: OverflowPolicy::Defer,
+            workload: MatrixWorkload::FarthestPing,
         }
     }
 
@@ -199,14 +263,38 @@ impl MatrixKnob {
         self
     }
 
+    /// Bound each switch channel's send queue (and per-interval send
+    /// credits) to `n` messages.
+    pub fn with_channel_capacity(mut self, n: usize) -> Self {
+        self.channel_capacity = Some(n);
+        self
+    }
+
+    /// Overflow policy of a bounded channel.
+    pub fn with_overflow(mut self, policy: OverflowPolicy) -> Self {
+        self.overflow = policy;
+        self
+    }
+
+    /// Replace the probe workload with an `n`-client fan-in.
+    pub fn with_fan_in(mut self, clients: usize) -> Self {
+        assert!(clients >= 1);
+        self.workload = MatrixWorkload::PingFanIn { clients };
+        self
+    }
+
     /// Apply this knob to a builder.
     pub fn apply(&self, b: ScenarioBuilder) -> ScenarioBuilder {
-        let b = b
+        let mut b = b
             .probe_interval(self.probe_interval)
             .vm_boot_delay(self.vm_boot_delay)
             .ospf_timers(self.ospf_hello, self.ospf_dead)
             .provision_width(self.provision_width)
-            .fib_batch(self.fib_batch);
+            .fib_batch(self.fib_batch)
+            .overflow_policy(self.overflow);
+        if let Some(cap) = self.channel_capacity {
+            b = b.channel_capacity(cap);
+        }
         if self.use_flowvisor {
             b
         } else {
@@ -255,11 +343,13 @@ pub struct MatrixSpec {
 }
 
 impl MatrixSpec {
-    /// The CI smoke grid: two seeds × two small rings × three fault
-    /// schedules (none, transit-switch kill, link flap) × two knobs
-    /// (paper-serial fast timers, and the k-wide + batched controller
-    /// fast path). Seconds of wall clock, but every fault path and
-    /// both controller pipelines are exercised.
+    /// The CI smoke grid: two seeds × two small rings × four fault
+    /// schedules (none, transit-switch kill, link flap, cold-start
+    /// channel stall) × four knobs (paper-serial fast timers, the
+    /// k-wide + batched fast path, a bounded capacity-2 channel with
+    /// deferral, and a 3-client fan-in). Seconds of wall clock, but
+    /// every fault path, both controller pipelines and the
+    /// backpressure machinery are exercised.
     pub fn smoke() -> MatrixSpec {
         MatrixSpec {
             seeds: vec![1, 2],
@@ -270,12 +360,17 @@ impl MatrixSpec {
                 // small rings; both rings route around its death.
                 FaultSchedule::kill_switch(1, Duration::from_secs(30)),
                 FaultSchedule::link_flap(0, Duration::from_secs(30), Duration::from_secs(8), 2),
+                // Stall a transit switch's control channel across the
+                // cold-start burst: FLOW_MODs queue, then converge.
+                FaultSchedule::channel_stall(2, Duration::from_secs(2), Duration::from_secs(30)),
             ],
             knobs: vec![
                 MatrixKnob::fast("fast"),
                 MatrixKnob::fast("fast-k4b8")
                     .with_provision_width(4)
                     .with_fib_batch(8),
+                MatrixKnob::fast("fast-cap2").with_channel_capacity(2),
+                MatrixKnob::fast("fast-fanin3").with_fan_in(3),
             ],
             configure_deadline: Duration::from_secs(120),
             post_fault_window: Duration::from_secs(45),
@@ -299,12 +394,14 @@ impl MatrixSpec {
                 FaultSchedule::none(),
                 FaultSchedule::kill_switch(1, Duration::from_secs(120)),
                 FaultSchedule::link_flap(0, Duration::from_secs(120), Duration::from_secs(15), 3),
+                FaultSchedule::channel_stall(2, Duration::from_secs(5), Duration::from_secs(120)),
             ],
             knobs: vec![
                 MatrixKnob::fast("fast"),
                 MatrixKnob::fast("fast-k8b16")
                     .with_provision_width(8)
                     .with_fib_batch(16),
+                MatrixKnob::fast("fast-cap8").with_channel_capacity(8),
                 MatrixKnob::paper("paper"),
             ],
             configure_deadline: Duration::from_secs(1800),
@@ -375,19 +472,36 @@ impl ScenarioMatrix {
     }
 
     /// The default per-cell assembly: resolve the topology from the
-    /// registry, probe with a ping workload across the farthest switch
-    /// pair, apply the knob and the fault schedule.
+    /// registry, attach the knob's probe workload (a ping across the
+    /// farthest switch pair, or a fan-in converging on it), apply the
+    /// knob and the fault schedule.
     pub fn standard_builder(cell: &MatrixCell) -> ScenarioBuilder {
         let topo = rf_topo::registry::resolve(&cell.topology)
             .unwrap_or_else(|| panic!("unknown topology name {:?}", cell.topology));
         let (a, b) = topo
             .farthest_pair()
             .expect("topology has at least two nodes");
+        let workload = match cell.knob.workload {
+            MatrixWorkload::FarthestPing => Workload::ping(a, b),
+            MatrixWorkload::PingFanIn { clients } => {
+                // The first `clients` nodes that are not the server,
+                // deterministically.
+                let picked: Vec<usize> = (0..topo.node_count())
+                    .filter(|&n| n != b)
+                    .take(clients)
+                    .collect();
+                assert!(
+                    picked.len() == clients,
+                    "topology too small for a {clients}-client fan-in"
+                );
+                Workload::ping_fan_in(picked, b)
+            }
+        };
         cell.knob
             .apply(Scenario::on(topo))
             .seed(cell.seed)
             .trace_level(rf_sim::TraceLevel::Off)
-            .with_workload(Workload::ping(a, b))
+            .with_workload(workload)
             .with_faults(cell.schedule.faults.iter().cloned())
     }
 
@@ -472,6 +586,11 @@ where
     put("of_bytes_sent", m.of_bytes_sent as i64);
     put("of_pushes", m.of_pushes as i64);
     put("fib_batches", m.fib_batches as i64);
+    // Backpressure accounting (schema v3): deferral pacing, drop loss,
+    // and the deepest channel queue the run provoked.
+    put("of_deferred", m.of_deferred as i64);
+    put("of_dropped", m.of_dropped as i64);
+    put("of_queue_hwm", m.of_queue_hwm as i64);
 
     // Workloads: ping probes yield reply counts, first contact, and —
     // when a fault schedule ran — recovery time from the last fault to
@@ -479,6 +598,7 @@ where
     // §3 timeline. Only the first workload of each kind reports.
     let mut seen_ping = false;
     let mut seen_video = false;
+    let mut seen_fanin = false;
     for report in sc.workload_reports() {
         match report {
             WorkloadReport::Ping {
@@ -507,6 +627,59 @@ where
                         .min();
                     if let Some(t) = answered {
                         put("recovery_ns", (t.as_nanos() - fault_t.as_nanos()) as i64);
+                    }
+                }
+            }
+            WorkloadReport::PingFanIn { clients } if !seen_fanin => {
+                seen_fanin = true;
+                put("fanin_clients", clients.len() as i64);
+                put(
+                    "fanin_replies",
+                    clients.iter().map(|c| c.replies.len() as i64).sum(),
+                );
+                put(
+                    "fanin_clients_served",
+                    clients
+                        .iter()
+                        .filter(|c| c.first_reply_at.is_some())
+                        .count() as i64,
+                );
+                // The fan-in's "everyone is through" instant: the last
+                // client's first successful round trip.
+                if let Some(worst) = clients
+                    .iter()
+                    .map(|c| c.first_reply_at)
+                    .collect::<Option<Vec<_>>>()
+                    .and_then(|ts| ts.into_iter().max())
+                {
+                    put("fanin_all_served_ns", worst.as_nanos() as i64);
+                }
+                if let Some(last) = cell.schedule.last_fault_at() {
+                    // Worst-client recovery: every client must heal.
+                    let fault_t = Time::ZERO + last;
+                    let per_client: Vec<Option<Time>> = clients
+                        .iter()
+                        .map(|c| {
+                            c.replies
+                                .iter()
+                                .filter(|(seq, _)| {
+                                    c.sent
+                                        .iter()
+                                        .any(|(s, sent_t)| s == seq && *sent_t > fault_t)
+                                })
+                                .map(|(_, t)| *t)
+                                .min()
+                        })
+                        .collect();
+                    if let Some(worst) = per_client
+                        .into_iter()
+                        .collect::<Option<Vec<_>>>()
+                        .and_then(|ts| ts.into_iter().max())
+                    {
+                        put(
+                            "fanin_recovery_ns",
+                            (worst.as_nanos() - fault_t.as_nanos()) as i64,
+                        );
                     }
                 }
             }

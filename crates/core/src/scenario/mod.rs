@@ -28,10 +28,15 @@
 pub mod matrix;
 pub mod report;
 
-pub use matrix::{FaultSchedule, MatrixCell, MatrixKnob, MatrixSpec, ScenarioMatrix};
+pub use matrix::{
+    FaultSchedule, MatrixCell, MatrixKnob, MatrixSpec, MatrixWorkload, ScenarioMatrix,
+};
 pub use report::{CellRecord, MatrixReport, MetricSummary};
 
-use crate::apps::{ControlApp, ControlPlane};
+use crate::apps::arp_proxy::ARP_RETRY_TOKEN;
+use crate::apps::channel::CHANNEL_DRAIN_TOKEN;
+use crate::apps::fib_mirror::FIB_FLUSH_TOKEN;
+use crate::apps::{ChannelStallWindow, ControlApp, ControlPlane, OverflowPolicy};
 use crate::bootstrap::{Deployment, DeploymentConfig, HostAttachment, HostSlot};
 use crate::rfcontroller::{HostPortConfig, RfControllerConfig};
 use rf_apps::video::{VideoClient, VideoClientReport, VideoServer};
@@ -56,6 +61,26 @@ pub enum Fault {
     LinkDown { edge: usize, at: Duration },
     /// Bring the `edge`-th topology link back up.
     LinkUp { edge: usize, at: Duration },
+    /// Set the `edge`-th topology link's per-frame drop probability to
+    /// `loss_pct` percent at `at` (0 restores a clean link) — the
+    /// sustained-loss soak primitive.
+    LinkLoss {
+        edge: usize,
+        loss_pct: f64,
+        at: Duration,
+    },
+    /// Stall the controller's OpenFlow channel to `dpid` between
+    /// `from` and `until`: nothing the control plane sends that switch
+    /// reaches the wire inside the window. Queues fill, the overflow
+    /// policy engages, and the drain tick releases the backlog when
+    /// the window closes. (Injected into the controller's
+    /// configuration, not the chaos agent — the stall is a
+    /// control-plane condition, not a data-plane one.)
+    ChannelStall {
+        dpid: u64,
+        from: Duration,
+        until: Duration,
+    },
 }
 
 /// A traffic workload attached to the scenario's edge.
@@ -67,6 +92,11 @@ pub enum Workload {
     /// The paper's §3 demo: a CBR UDP video stream from a host on
     /// `server` to a host on `client`.
     Video { server: usize, client: usize },
+    /// Many pingers converging on one server — the fan-in pattern that
+    /// turns a stalled or bounded control channel into visible
+    /// backpressure (every client needs ARP answers and /32 flows from
+    /// the same edge switch).
+    PingFanIn { clients: Vec<usize>, server: usize },
 }
 
 impl Workload {
@@ -77,6 +107,40 @@ impl Workload {
     pub fn video(server: usize, client: usize) -> Workload {
         Workload::Video { server, client }
     }
+
+    pub fn ping_fan_in(clients: Vec<usize>, server: usize) -> Workload {
+        assert!(!clients.is_empty(), "fan-in needs at least one client");
+        Workload::PingFanIn { clients, server }
+    }
+
+    /// Topology nodes hosting this workload's endpoints, in host-slot
+    /// allocation order.
+    fn endpoint_nodes(&self) -> Vec<usize> {
+        match self {
+            Workload::Ping { client, server } => vec![*client, *server],
+            Workload::Video { server, client } => vec![*server, *client],
+            Workload::PingFanIn { clients, server } => {
+                let mut v = clients.clone();
+                v.push(*server);
+                v
+            }
+        }
+    }
+}
+
+/// One pinger's timeline (used standalone by [`WorkloadReport::Ping`]
+/// and per client by [`WorkloadReport::PingFanIn`]).
+#[derive(Clone, Debug)]
+pub struct PingProbeReport {
+    /// Time of the first successful round trip.
+    pub first_reply_at: Option<Time>,
+    /// Completed round trips: (seq, rtt).
+    pub rtts: Vec<(u16, Duration)>,
+    /// Ping departure times: (seq, when sent).
+    pub sent: Vec<(u16, Time)>,
+    /// Reply arrival times: (seq, when) — together with `sent`, the
+    /// timeline recovery measurements are read off.
+    pub replies: Vec<(u16, Time)>,
 }
 
 /// What a workload measured, harvested via [`Scenario::workload_reports`].
@@ -94,6 +158,11 @@ pub enum WorkloadReport {
         replies: Vec<(u16, Time)>,
     },
     Video(VideoClientReport),
+    /// Per-client timelines of a fan-in, in `clients` declaration
+    /// order.
+    PingFanIn {
+        clients: Vec<PingProbeReport>,
+    },
 }
 
 /// Typed scenario metrics: the numbers the paper's figures are made of.
@@ -125,6 +194,15 @@ pub struct ScenarioMetrics {
     pub of_pushes: u64,
     /// Multi-message FLOW_MOD pushes flushed by the FIB batch stage.
     pub fib_batches: u64,
+    /// Deferral events: every time a bounded channel refused a
+    /// message back to its producer (`Defer` pacing — producers
+    /// retried them, and each re-refusal counts again, so this scales
+    /// with how long the channel stayed full).
+    pub of_deferred: u64,
+    /// Queued messages bounded channels evicted (`DropOldest` loss).
+    pub of_dropped: u64,
+    /// Deepest per-switch channel queue observed over the run.
+    pub of_queue_hwm: u64,
 }
 
 /// Internal fault-scheduler agent: one timer per scheduled fault.
@@ -135,6 +213,7 @@ struct ChaosAgent {
 enum ChaosOp {
     Kill(AgentId),
     SetLink(LinkId, bool),
+    SetLinkLoss(LinkId, f64),
 }
 
 impl Agent for ChaosAgent {
@@ -154,6 +233,10 @@ impl Agent for ChaosAgent {
                 ctx.trace("chaos.link", format!("link {} -> {}", link.0, up));
                 ctx.set_link_up(link, up);
             }
+            ChaosOp::SetLinkLoss(link, pct) => {
+                ctx.trace("chaos.loss", format!("link {} -> {pct}% loss", link.0));
+                ctx.set_link_loss(link, pct);
+            }
         }
     }
 }
@@ -161,6 +244,7 @@ impl Agent for ChaosAgent {
 enum WorkloadHandle {
     Ping { pinger: AgentId },
     Video { client: AgentId },
+    PingFanIn { pingers: Vec<AgentId> },
 }
 
 /// Fluent assembly of a full experiment; start with [`Scenario::on`].
@@ -228,6 +312,23 @@ impl ScenarioBuilder {
     /// into one multi-message push (default 1 = send each immediately).
     pub fn fib_batch(mut self, n: usize) -> Self {
         self.cfg.fib_batch = n.max(1);
+        self
+    }
+
+    /// Bound each switch channel's send queue to `n` messages, which
+    /// also sets the channel's per-drain-interval send credits. The
+    /// default is unbounded (the paper's fire-and-forget behaviour);
+    /// `0` is the degenerate everything-defers channel.
+    pub fn channel_capacity(mut self, n: usize) -> Self {
+        self.cfg.channel_capacity = Some(n);
+        self
+    }
+
+    /// What a full bounded channel does with overflow (default
+    /// [`OverflowPolicy::Defer`], which is lossless with the standard
+    /// retrying apps).
+    pub fn overflow_policy(mut self, policy: OverflowPolicy) -> Self {
+        self.cfg.overflow = policy;
         self
     }
 
@@ -313,25 +414,28 @@ impl ScenarioBuilder {
 
         // Workload endpoints ride on auto-allocated host subnets,
         // appended after user-declared hosts so explicit slot indices
-        // stay stable.
+        // stay stable. Two-endpoint workloads keep the historical
+        // 10.(200+k).(2k)/((2k)+1) scheme; fan-ins extend the third
+        // octet past it (the overlap assertion below catches any
+        // pathological combination).
         let user_hosts = cfg.hosts.len();
-        let mut workload_slots: Vec<(usize, usize)> = Vec::new(); // slot index of (first, second) endpoint
+        let mut workload_slots: Vec<Vec<usize>> = Vec::new(); // per workload: host-slot indices
         for (k, w) in workloads.iter().enumerate() {
-            let (first, second) = match *w {
-                Workload::Ping { client, server } => (client, server),
-                Workload::Video { server, client } => (server, client),
-            };
+            let nodes = w.endpoint_nodes();
             let base = cfg.hosts.len();
             let oct = 200 + (k as u8 % 50);
-            cfg.hosts.push(HostAttachment {
-                node: first,
-                subnet: Ipv4Cidr::new(Ipv4Addr::new(10, oct, (2 * k) as u8, 0), 24),
-            });
-            cfg.hosts.push(HostAttachment {
-                node: second,
-                subnet: Ipv4Cidr::new(Ipv4Addr::new(10, oct, (2 * k + 1) as u8, 0), 24),
-            });
-            workload_slots.push((base, base + 1));
+            for (j, &node) in nodes.iter().enumerate() {
+                let third = 2 * k + j;
+                assert!(
+                    third < 256,
+                    "workload {k} endpoint {j}: subnet space exhausted"
+                );
+                cfg.hosts.push(HostAttachment {
+                    node,
+                    subnet: Ipv4Cidr::new(Ipv4Addr::new(10, oct, third as u8, 0), 24),
+                });
+            }
+            workload_slots.push((base..base + nodes.len()).collect());
         }
 
         // No two host subnets (user-declared or workload-allocated) may
@@ -384,6 +488,19 @@ impl ScenarioBuilder {
             host_plan.push((h.node, port, h.subnet, gw, host_ip));
         }
 
+        // Channel stalls are a controller-side condition: they ride in
+        // the engine configuration, not the chaos agent.
+        let channel_stalls: Vec<ChannelStallWindow> = faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::ChannelStall { dpid, from, until } => {
+                    assert!(from < until, "stall window must be non-empty");
+                    Some(ChannelStallWindow { dpid, from, until })
+                }
+                _ => None,
+            })
+            .collect();
+
         // Controllers.
         let mut engine = ControlPlane::new(RfControllerConfig {
             of_service: 6642,
@@ -394,6 +511,9 @@ impl ScenarioBuilder {
             ospf_dead: cfg.ospf_dead,
             provision_width: cfg.provision_width,
             fib_batch: cfg.fib_batch,
+            channel_capacity: cfg.channel_capacity,
+            overflow: cfg.overflow,
+            channel_stalls,
         });
         for app in extra_apps {
             engine.register(app);
@@ -466,9 +586,7 @@ impl ScenarioBuilder {
         // Workload endpoint agents.
         let mut workload_handles = Vec::new();
         for (k, w) in workloads.iter().enumerate() {
-            let (first_slot, second_slot) = workload_slots[k];
-            let a = host_slots[first_slot].clone();
-            let b = host_slots[second_slot].clone();
+            let slots = &workload_slots[k];
             let mac = |which: u8| MacAddr([2, 0xE0 + which, k as u8, 0, 0, 1]);
             let host_cfg = |slot: &HostSlot, which: u8| HostConfig {
                 mac: mac(which),
@@ -477,6 +595,8 @@ impl ScenarioBuilder {
             };
             let handle = match *w {
                 Workload::Ping { .. } => {
+                    let a = host_slots[slots[0]].clone();
+                    let b = host_slots[slots[1]].clone();
                     let echo = sim.add_agent(
                         &format!("echo-host-{k}"),
                         Box::new(EchoHost::new(host_cfg(&b, 1))),
@@ -490,6 +610,8 @@ impl ScenarioBuilder {
                     WorkloadHandle::Ping { pinger }
                 }
                 Workload::Video { .. } => {
+                    let a = host_slots[slots[0]].clone();
+                    let b = host_slots[slots[1]].clone();
                     let server = sim.add_agent(
                         &format!("video-server-{k}"),
                         Box::new(VideoServer::new(host_cfg(&a, 0))),
@@ -501,6 +623,34 @@ impl ScenarioBuilder {
                     sim.add_link((a.switch, u32::from(a.port)), (server, 1), cfg.link_profile);
                     sim.add_link((b.switch, u32::from(b.port)), (client, 1), cfg.link_profile);
                     WorkloadHandle::Video { client }
+                }
+                Workload::PingFanIn { ref clients, .. } => {
+                    assert!(
+                        clients.len() <= 30,
+                        "fan-in wider than 30 exhausts the MAC scheme"
+                    );
+                    // The server slot is allocated last.
+                    let srv = host_slots[*slots.last().expect("server slot")].clone();
+                    let echo = sim.add_agent(
+                        &format!("echo-host-{k}"),
+                        Box::new(EchoHost::new(host_cfg(&srv, 0))),
+                    );
+                    sim.add_link(
+                        (srv.switch, u32::from(srv.port)),
+                        (echo, 1),
+                        cfg.link_profile,
+                    );
+                    let mut pingers = Vec::with_capacity(clients.len());
+                    for (j, _) in clients.iter().enumerate() {
+                        let c = host_slots[slots[j]].clone();
+                        let pinger = sim.add_agent(
+                            &format!("pinger-{k}-{j}"),
+                            Box::new(Pinger::new(host_cfg(&c, 1 + j as u8), srv.host_ip)),
+                        );
+                        sim.add_link((c.switch, u32::from(c.port)), (pinger, 1), cfg.link_profile);
+                        pingers.push(pinger);
+                    }
+                    WorkloadHandle::PingFanIn { pingers }
                 }
             };
             workload_handles.push(handle);
@@ -521,15 +671,24 @@ impl ScenarioBuilder {
                     )
                 })
             };
-            let ops = faults
+            let ops: Vec<(Duration, ChaosOp)> = faults
                 .iter()
-                .map(|f| match *f {
-                    Fault::KillSwitch { node, at } => (at, ChaosOp::Kill(switch_of(node))),
-                    Fault::LinkDown { edge, at } => (at, ChaosOp::SetLink(link_of(edge), false)),
-                    Fault::LinkUp { edge, at } => (at, ChaosOp::SetLink(link_of(edge), true)),
+                .filter_map(|f| match *f {
+                    Fault::KillSwitch { node, at } => Some((at, ChaosOp::Kill(switch_of(node)))),
+                    Fault::LinkDown { edge, at } => {
+                        Some((at, ChaosOp::SetLink(link_of(edge), false)))
+                    }
+                    Fault::LinkUp { edge, at } => Some((at, ChaosOp::SetLink(link_of(edge), true))),
+                    Fault::LinkLoss { edge, loss_pct, at } => {
+                        Some((at, ChaosOp::SetLinkLoss(link_of(edge), loss_pct)))
+                    }
+                    // Handled above, in the controller configuration.
+                    Fault::ChannelStall { .. } => None,
                 })
                 .collect();
-            sim.add_agent("chaos", Box::new(ChaosAgent { ops }));
+            if !ops.is_empty() {
+                sim.add_agent("chaos", Box::new(ChaosAgent { ops }));
+            }
         }
 
         Scenario {
@@ -660,8 +819,47 @@ impl Scenario {
         total_flows(&self.sim, &self.switches)
     }
 
-    /// Snapshot the scenario's typed metrics.
-    pub fn metrics(&self) -> ScenarioMetrics {
+    /// Drain the controller's buffered output so a harvest observes a
+    /// settled control plane: a FIB batch waiting out its 50 ms tick,
+    /// a deferral backlog mid-retry, or a credit-capped channel queue
+    /// would otherwise leave the last FLOW_MODs unsent in a cell that
+    /// stops inside the window. Fires the flush/drain timers and runs
+    /// short slices until the counters stop moving (stalled channels
+    /// cannot move, so a mid-stall harvest converges too). Bounded, so
+    /// it terminates even with a producer that keeps deferring.
+    pub fn drain_pending_output(&mut self) {
+        for _ in 0..64 {
+            let ctrl = self.controller();
+            let before = (ctrl.of_pushes(), ctrl.of_msgs_sent(), ctrl.channel_queued());
+            self.sim
+                .schedule_timer(self.rf_ctrl, Duration::ZERO, FIB_FLUSH_TOKEN);
+            self.sim
+                .schedule_timer(self.rf_ctrl, Duration::ZERO, ARP_RETRY_TOKEN);
+            self.sim
+                .schedule_timer(self.rf_ctrl, Duration::from_millis(1), CHANNEL_DRAIN_TOKEN);
+            // Long enough for the pushes to traverse the FlowVisor hop
+            // and land in the switch tables.
+            let t = self.sim.now() + Duration::from_millis(10);
+            self.sim.run_until(t);
+            let ctrl = self.controller();
+            let after = (ctrl.of_pushes(), ctrl.of_msgs_sent(), ctrl.channel_queued());
+            if after == before {
+                break;
+            }
+        }
+    }
+
+    /// Snapshot the scenario's typed metrics. Drains buffered
+    /// controller output first (see [`Scenario::drain_pending_output`])
+    /// so short cells cannot under-report their own FLOW_MODs.
+    pub fn metrics(&mut self) -> ScenarioMetrics {
+        self.drain_pending_output();
+        self.metrics_undrained()
+    }
+
+    /// The raw snapshot, without the tail drain (for callers probing
+    /// mid-run state).
+    pub fn metrics_undrained(&self) -> ScenarioMetrics {
         let ctrl = self.controller();
         ScenarioMetrics {
             expected_switches: self.expected_switches,
@@ -676,6 +874,9 @@ impl Scenario {
             of_bytes_sent: ctrl.of_bytes_sent(),
             of_pushes: ctrl.of_pushes(),
             fib_batches: ctrl.fib_batches(),
+            of_deferred: ctrl.of_deferred(),
+            of_dropped: ctrl.of_dropped(),
+            of_queue_hwm: ctrl.of_queue_hwm(),
         }
     }
 
@@ -703,6 +904,23 @@ impl Scenario {
                         .expect("video client agent alive");
                     WorkloadReport::Video(c.report)
                 }
+                WorkloadHandle::PingFanIn { ref pingers } => WorkloadReport::PingFanIn {
+                    clients: pingers
+                        .iter()
+                        .map(|&id| {
+                            let p = self
+                                .sim
+                                .agent_as::<Pinger>(id)
+                                .expect("fan-in pinger agent alive");
+                            PingProbeReport {
+                                first_reply_at: p.first_reply_at,
+                                rtts: p.rtts.clone(),
+                                sent: p.sent_at.clone(),
+                                replies: p.replies.clone(),
+                            }
+                        })
+                        .collect(),
+                },
             })
             .collect()
     }

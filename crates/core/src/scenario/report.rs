@@ -18,7 +18,11 @@ use std::collections::BTreeMap;
 /// v2: controller-transport metrics (`of_msgs_sent`, `of_bytes_sent`,
 /// `of_pushes`, `fib_batches`) joined every cell, and grids may carry
 /// `provision_width`/`fib_batch` knob axes.
-pub const SCHEMA_VERSION: i64 = 2;
+/// v3: backpressure metrics (`of_deferred`, `of_dropped`,
+/// `of_queue_hwm`) joined every cell; grids may carry
+/// `channel_capacity`/`overflow` knob axes, `stall*` fault schedules
+/// and fan-in workload knobs (`fanin_*` metrics).
+pub const SCHEMA_VERSION: i64 = 3;
 
 /// One matrix cell's harvest: a key identifying the grid point and a
 /// flat name → integer metric map (times in nanoseconds).

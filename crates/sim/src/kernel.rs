@@ -371,6 +371,14 @@ impl Inner {
         }
     }
 
+    fn set_link_loss(&mut self, id: LinkId, pct: f64) {
+        if let Some(l) = self.links.get_mut(id.0) {
+            if !l.removed {
+                l.profile.faults.drop_chance = (pct / 100.0).clamp(0.0, 1.0);
+            }
+        }
+    }
+
     fn spawn(&mut self, name: &str, agent: Box<dyn Agent>) -> AgentId {
         let id = AgentId(self.next_agent);
         self.next_agent += 1;
@@ -494,6 +502,13 @@ impl<'a> Ctx<'a> {
         }
     }
 
+    /// Set a link's per-frame drop probability (both directions) —
+    /// sustained-loss fault injection at run time. `pct` is a
+    /// percentage; 0 restores a clean link.
+    pub fn set_link_loss(&mut self, id: LinkId, pct: f64) {
+        self.inner.set_link_loss(id, pct);
+    }
+
     /// Deterministic RNG shared by the whole simulation.
     pub fn rng(&mut self) -> &mut StdRng {
         &mut self.inner.rng
@@ -577,6 +592,22 @@ impl Sim {
                 l.up = up;
             }
         }
+    }
+
+    /// Set a link's per-frame drop probability (percentage, both
+    /// directions); 0 restores a clean link.
+    pub fn set_link_loss(&mut self, id: LinkId, pct: f64) {
+        self.inner.set_link_loss(id, pct);
+    }
+
+    /// Schedule a timer for `agent` from outside the simulation — the
+    /// hook a harness uses to poke an agent's housekeeping (e.g. "flush
+    /// buffered output before I harvest metrics") without waiting for
+    /// the agent's own cadence. Delivered through the ordinary event
+    /// queue, so determinism is untouched.
+    pub fn schedule_timer(&mut self, agent: AgentId, delay: Duration, token: u64) {
+        let at = self.inner.now + delay;
+        self.inner.queue.push(at, Ev::Timer { agent, token });
     }
 
     pub fn now(&self) -> Time {

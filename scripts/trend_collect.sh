@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# trend_collect.sh — fold matrix_sweep reports into the committed
+# medians-over-time table (crates/bench/baselines/trend.md).
+#
+# Usage:
+#   scripts/trend_collect.sh append TREND_MD REPORT_JSON LABEL
+#       Append one row for REPORT_JSON under LABEL (idempotent: a row
+#       whose label already exists is skipped).
+#   scripts/trend_collect.sh fetch TREND_MD [LIMIT]
+#       In CI: download up to LIMIT (default 12) prior sweep-full
+#       artifacts via `gh`, append a row per report (oldest first),
+#       labelled by the commit that produced it. Requires GH_TOKEN and
+#       GH_REPO; degrades to a no-op outside CI.
+#
+# The table tracks the summary *median* of a fixed metric set — the
+# first cut of the ROADMAP "plot medians over time" dashboard. Times
+# are nanoseconds of simulated time.
+set -euo pipefail
+
+METRICS=(all_configured_ns recovery_ns ping_replies of_bytes_sent of_pushes of_deferred of_queue_hwm dataplane_flows)
+
+header() {
+    local md=$1
+    if [ ! -s "$md" ]; then
+        {
+            printf '# sweep-full trend — summary medians per run\n\n'
+            printf 'Appended by `scripts/trend_collect.sh` (see `.github/workflows/sweep-full.yml`).\n'
+            printf 'Times are nanoseconds of simulated time; `-` means the metric was absent.\n\n'
+            printf '| run | cells |'
+            printf ' %s |' "${METRICS[@]}"
+            printf '\n|---|---|'
+            printf '%s' "$(printf -- '---|%.0s' "${METRICS[@]}")"
+            printf '\n'
+        } >"$md"
+    fi
+}
+
+row_for() {
+    local report=$1 label=$2
+    python3 - "$report" "$label" "${METRICS[@]}" <<'PY'
+import json, sys
+report, label, metrics = sys.argv[1], sys.argv[2], sys.argv[3:]
+with open(report) as f:
+    doc = json.load(f)
+cells = doc.get("cells", [])
+summary = doc.get("summary", {})
+cols = [label, str(len(cells))]
+for m in metrics:
+    s = summary.get(m)
+    cols.append(str(s["median"]) if s else "-")
+print("| " + " | ".join(cols) + " |")
+PY
+}
+
+append_row() {
+    local md=$1 report=$2 label=$3
+    header "$md"
+    if grep -q "^| ${label} |" "$md"; then
+        echo "trend: row '${label}' already present, skipping" >&2
+        return 0
+    fi
+    row_for "$report" "$label" >>"$md"
+    echo "trend: appended '${label}' from ${report}" >&2
+}
+
+case "${1:-}" in
+append)
+    [ $# -eq 4 ] || { echo "usage: $0 append TREND_MD REPORT_JSON LABEL" >&2; exit 2; }
+    append_row "$2" "$3" "$4"
+    ;;
+fetch)
+    [ $# -ge 2 ] || { echo "usage: $0 fetch TREND_MD [LIMIT]" >&2; exit 2; }
+    md=$2
+    limit=${3:-12}
+    if ! command -v gh >/dev/null; then
+        echo "trend: gh CLI not available, skipping artifact fetch" >&2
+        exit 0
+    fi
+    header "$md"
+    # Oldest first, so the table reads chronologically.
+    gh run list --workflow sweep-full --status success --limit "$limit" \
+        --json databaseId,headSha --jq 'reverse | .[] | "\(.databaseId) \(.headSha)"' |
+        while read -r run_id sha; do
+            dir=$(mktemp -d)
+            if gh run download "$run_id" --name "sweep-full-report-${sha}" --dir "$dir" 2>/dev/null ||
+                gh run download "$run_id" --pattern 'sweep-full-report-*' --dir "$dir" 2>/dev/null; then
+                report=$(find "$dir" -name 'sweep-full.json' | head -1)
+                if [ -n "$report" ]; then
+                    append_row "$md" "$report" "${sha:0:7}" || true
+                fi
+            else
+                echo "trend: no artifact for run ${run_id}, skipping" >&2
+            fi
+            rm -rf "$dir"
+        done
+    ;;
+*)
+    echo "usage: $0 {append TREND_MD REPORT_JSON LABEL | fetch TREND_MD [LIMIT]}" >&2
+    exit 2
+    ;;
+esac

@@ -66,6 +66,7 @@ pub mod prelude {
     pub use rf_apps::{EchoHost, HostConfig, Pinger, VideoClient, VideoServer};
     pub use rf_core::apps::{
         AppCtx, ControlApp, ControlEvent, ControlPlane, ControlState, FibChange, LinkChange,
+        OverflowPolicy, SendOutcome,
     };
     pub use rf_core::bootstrap::{Deployment, DeploymentConfig, HostAttachment};
     pub use rf_core::manual::ManualConfigModel;

@@ -99,6 +99,47 @@ fn batching_coalesces_transport_writes_without_changing_traffic() {
 }
 
 #[test]
+fn harvest_flushes_a_sub_tick_tail_batch() {
+    // Regression: with `fib_batch > 1`, FLOW_MODs wait up to 50 ms for
+    // the flush tick. A cell that stops inside that window used to
+    // harvest metrics with the last batch still unsent — short cells
+    // silently under-reported their own FLOW_MODs and flow tables.
+    // `Scenario::metrics` now drains pending output first. Scan the
+    // convergence window for an instant where a tail batch is pending
+    // and prove the drained harvest includes it.
+    let mut caught = false;
+    for step in 0..300 {
+        let t = Time::from_millis(5_000 + step * 10);
+        let mut sc = Scenario::on(ring(6))
+            .fast_timers()
+            .seed(21)
+            .fib_batch(64) // threshold never reached: everything rides the tick
+            .trace_level(rf_sim::TraceLevel::Off)
+            .start();
+        sc.run_until(t);
+        let before = sc.metrics_undrained();
+        let after = sc.metrics();
+        assert!(
+            after.of_msgs_sent >= before.of_msgs_sent,
+            "draining can only add wire traffic"
+        );
+        if after.of_msgs_sent > before.of_msgs_sent {
+            caught = true;
+            assert!(
+                after.dataplane_flows >= before.dataplane_flows,
+                "the flushed batch must reach the switch tables"
+            );
+            break;
+        }
+    }
+    assert!(
+        caught,
+        "the scan must find an instant with a sub-tick tail batch pending \
+         (otherwise this regression test is vacuous)"
+    );
+}
+
+#[test]
 fn k_wide_provisioning_flattens_the_config_curve() {
     // The Fig. 3 bottleneck: serial VM creation makes the i-th switch
     // wait for i-1 boots. A k=8 pipeline overlaps them, so both the

@@ -11,13 +11,15 @@ use rf_sim::Time;
 use rf_topo::ring;
 use std::time::Duration;
 
-/// A deliberately tiny grid: 4 cells on ring-4 with early faults, so
+/// A deliberately tiny grid: 6 cells on ring-4 with early faults, so
 /// the whole matrix runs three times (1/4/8 workers) within a debug
 /// test budget. Ring-4's standard probe pair is (0, 2), leaving node 1
 /// as genuine transit for the kill schedule to remove. The second knob
 /// turns on the controller fast path (k-wide provisioning + FLOW_MOD
-/// batching), so the determinism contract is proven with the new axes
-/// enabled.
+/// batching) *and* a bounded capacity-8 channel, and the third
+/// schedule stalls a transit switch's control channel across the
+/// cold-start burst — so the determinism contract is proven with the
+/// schema-v3 backpressure axes enabled.
 fn tiny_spec() -> MatrixSpec {
     MatrixSpec {
         seeds: vec![7],
@@ -25,12 +27,14 @@ fn tiny_spec() -> MatrixSpec {
         schedules: vec![
             FaultSchedule::kill_switch(1, Duration::from_secs(12)),
             FaultSchedule::link_flap(0, Duration::from_secs(12), Duration::from_secs(4), 1),
+            FaultSchedule::channel_stall(2, Duration::from_secs(4), Duration::from_secs(14)),
         ],
         knobs: vec![
             MatrixKnob::fast("fast"),
-            MatrixKnob::fast("fast-k3b4")
+            MatrixKnob::fast("fast-k3b4c8")
                 .with_provision_width(3)
-                .with_fib_batch(4),
+                .with_fib_batch(4)
+                .with_channel_capacity(8),
         ],
         configure_deadline: Duration::from_secs(60),
         post_fault_window: Duration::from_secs(15),
@@ -120,7 +124,7 @@ fn matrix_records_recovery_metrics_for_fault_cells() {
         assert_eq!(cell.metrics["switches"], 4);
     }
     let s = report.summary["recovery_ns"];
-    assert_eq!(s.count, 4);
+    assert_eq!(s.count, 6);
     assert!(s.min <= s.median && s.median <= s.max);
 }
 
@@ -132,7 +136,17 @@ fn matrix_cells_report_controller_transport_metrics() {
     // messages) while the serial knob reports zero batches.
     let report = ScenarioMatrix::new(tiny_spec()).run(2);
     for cell in &report.cells {
-        for metric in ["of_msgs_sent", "of_bytes_sent", "of_pushes", "fib_batches"] {
+        // Schema v3: transport counters plus the backpressure triple
+        // in every cell.
+        for metric in [
+            "of_msgs_sent",
+            "of_bytes_sent",
+            "of_pushes",
+            "fib_batches",
+            "of_deferred",
+            "of_dropped",
+            "of_queue_hwm",
+        ] {
             assert!(
                 cell.metrics.contains_key(metric),
                 "cell {} must report {metric} (metrics: {:?})",
@@ -142,6 +156,11 @@ fn matrix_cells_report_controller_transport_metrics() {
         }
         assert!(cell.metrics["of_msgs_sent"] > 0, "{}", cell.key);
         assert!(cell.metrics["of_bytes_sent"] > 0, "{}", cell.key);
+        assert_eq!(
+            cell.metrics["of_dropped"], 0,
+            "Defer cells never drop: {}",
+            cell.key
+        );
         if cell.key.contains("knob=fast-k3b4") {
             assert!(cell.metrics["fib_batches"] > 0, "{}", cell.key);
             assert!(
@@ -154,8 +173,110 @@ fn matrix_cells_report_controller_transport_metrics() {
         } else {
             assert_eq!(cell.metrics["fib_batches"], 0, "{}", cell.key);
         }
+        if cell.key.contains("fault=stall") {
+            assert!(
+                cell.metrics["of_queue_hwm"] > 0,
+                "a stalled channel must show queue depth: {}",
+                cell.key
+            );
+        }
     }
     // The new metrics roll up into the summary like any other.
     assert!(report.summary.contains_key("of_bytes_sent"));
+    assert!(report.summary.contains_key("of_queue_hwm"));
     assert_eq!(report.summary["of_pushes"].count, report.cells.len() as i64);
+}
+
+#[test]
+fn sustained_loss_soak_degrades_then_heals() {
+    // ROADMAP "sustained-loss soak": link 0 (on the ring-4 probe
+    // path) drops 40% of frames for a 20 s window, then heals. The
+    // probe must log replies before, lose some during, and stream
+    // cleanly again after — exercising Fault::LinkLoss end to end
+    // (chaos agent → Sim::set_link_loss → per-frame fault model).
+    let loss = FaultSchedule::link_loss(0, 40.0, Duration::from_secs(20)..Duration::from_secs(40));
+    assert_eq!(loss.faults.len(), 2, "onset and heal");
+    assert_eq!(loss.last_fault_at(), Some(Duration::from_secs(40)));
+    let heal_at = Time::ZERO + loss.last_fault_at().unwrap();
+    let mut sc = Scenario::on(ring(4))
+        .fast_timers()
+        .seed(11)
+        .trace_level(rf_sim::TraceLevel::Off)
+        .with_workload(Workload::ping(0, 2))
+        .with_faults(loss.faults.iter().cloned())
+        .start();
+    sc.run_until(heal_at + Duration::from_secs(30));
+
+    let reports = sc.workload_reports();
+    let WorkloadReport::Ping { sent, replies, .. } = &reports[0] else {
+        unreachable!("ping workload attached above");
+    };
+    assert!(
+        replies.iter().any(|(_, t)| *t < Time::from_secs(20)),
+        "network must converge before the loss window"
+    );
+    // Inside the window both the echo and its reply cross the lossy
+    // link: at 40% per frame some round trips must fail...
+    let window_sent: Vec<u16> = sent
+        .iter()
+        .filter(|(_, t)| *t > Time::from_secs(20) && *t < Time::from_secs(38))
+        .map(|(s, _)| *s)
+        .collect();
+    let window_answered = window_sent
+        .iter()
+        .filter(|s| replies.iter().any(|(r, _)| r == *s))
+        .count();
+    assert!(
+        window_answered < window_sent.len(),
+        "a 40% lossy path must cost round trips ({window_answered}/{})",
+        window_sent.len()
+    );
+    // ... and after the heal the loss profile is really gone: once
+    // routing has resettled (the window can trip OSPF's dead interval,
+    // so allow a reconvergence margin), every probe completes.
+    let healed_sent: Vec<u16> = sent
+        .iter()
+        .filter(|(_, t)| {
+            // ... and not so late that the reply outruns the run end.
+            *t > heal_at + Duration::from_secs(15) && *t < heal_at + Duration::from_secs(29)
+        })
+        .map(|(s, _)| *s)
+        .collect();
+    assert!(!healed_sent.is_empty());
+    assert!(
+        healed_sent
+            .iter()
+            .all(|s| replies.iter().any(|(r, _)| r == s)),
+        "after the heal every probe must complete"
+    );
+    // The loss window may or may not trip OSPF's dead interval (it is
+    // seed-dependent); either way no switch dies.
+    assert_eq!(sc.metrics().configured_switches, 4);
+}
+
+#[test]
+fn fan_in_knob_reports_per_client_metrics() {
+    // The smoke grid's fan-in knob in miniature: one cell, 3 clients
+    // converging on the farthest switch, no faults.
+    let spec = MatrixSpec {
+        seeds: vec![5],
+        topologies: vec!["ring-4".into()],
+        schedules: vec![FaultSchedule::none()],
+        knobs: vec![MatrixKnob::fast("fast-fanin3").with_fan_in(3)],
+        configure_deadline: Duration::from_secs(60),
+        post_fault_window: Duration::from_secs(10),
+        settle: Duration::from_secs(8),
+    };
+    let report = ScenarioMatrix::new(spec).run(1);
+    assert_eq!(report.cells.len(), 1);
+    let m = &report.cells[0].metrics;
+    assert_eq!(m["fanin_clients"], 3);
+    assert_eq!(
+        m["fanin_clients_served"], 3,
+        "every client must get through"
+    );
+    assert!(m["fanin_replies"] >= 3 * 3, "a few round trips per client");
+    assert!(m.contains_key("fanin_all_served_ns"));
+    // The plain-ping metrics stay absent — the fan-in replaces them.
+    assert!(!m.contains_key("ping_replies"));
 }
