@@ -146,9 +146,10 @@ impl HostStack {
         self.emit_ip(ip)
     }
 
-    /// Process a received frame.
-    pub fn on_frame(&mut self, frame: &[u8]) -> Vec<StackOutput> {
-        let Ok(eth) = EthernetFrame::parse(frame) else {
+    /// Process a received frame (zero-copy: inner layers slice the
+    /// caller's buffer).
+    pub fn on_frame(&mut self, frame: &Bytes) -> Vec<StackOutput> {
+        let Ok(eth) = EthernetFrame::parse_bytes(frame) else {
             return Vec::new();
         };
         if !eth.dst.is_broadcast() && eth.dst != self.cfg.mac && !eth.dst.is_multicast() {
@@ -197,7 +198,7 @@ impl HostStack {
     }
 
     fn on_ip(&mut self, eth: &EthernetFrame) -> Vec<StackOutput> {
-        let Ok(ip) = Ipv4Packet::parse(&eth.payload) else {
+        let Ok(ip) = Ipv4Packet::parse_bytes(&eth.payload) else {
             return Vec::new();
         };
         if ip.dst != self.cfg.addr.addr {
@@ -205,7 +206,7 @@ impl HostStack {
         }
         match ip.protocol {
             IpProtocol::UDP => {
-                let Ok(udp) = UdpPacket::parse(&ip.payload, ip.src, ip.dst) else {
+                let Ok(udp) = UdpPacket::parse_bytes(&ip.payload, ip.src, ip.dst) else {
                     return Vec::new();
                 };
                 self.udp_rx += 1;
@@ -217,7 +218,7 @@ impl HostStack {
                 }]
             }
             IpProtocol::ICMP => {
-                let Ok(icmp) = IcmpPacket::parse(&ip.payload) else {
+                let Ok(icmp) = IcmpPacket::parse_bytes(&ip.payload) else {
                     return Vec::new();
                 };
                 match icmp {

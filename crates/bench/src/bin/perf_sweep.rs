@@ -1,0 +1,259 @@
+//! `perf_sweep` — the wall-clock performance harness.
+//!
+//! Everything else in this repo measures *simulated* time, which is
+//! deterministic and machine-independent; nothing measured how many
+//! simulated cells the machine pushes through per wall-clock second —
+//! the quantity that actually gates bigger grids and more topologies.
+//! This binary runs the smoke/full matrix grids several times through
+//! [`ScenarioMatrix::run_instrumented`] and emits `BENCH_perf.json`:
+//! cells/sec, events/sec, per-cell wall-time percentiles and
+//! thread-scaling efficiency — the first point of a perf trajectory CI
+//! can trend (see README § Performance).
+//!
+//! ```sh
+//! # Full harness (smoke + full grids, 3 runs per config, 1/4/8 threads):
+//! cargo run --release -p rf-bench --bin perf_sweep
+//!
+//! # CI-sized: smoke grid only, 2 runs, 1/4 threads:
+//! cargo run --release -p rf-bench --bin perf_sweep -- --quick --out BENCH_perf.json
+//! ```
+//!
+//! Wall-clock numbers are machine-dependent by nature; the emitted
+//! file is a trajectory point, not a determinism artifact. As a side
+//! effect the harness *does* re-prove the determinism contract: every
+//! run of a grid must produce byte-identical `MatrixReport` JSON at
+//! every thread count, or the harness exits non-zero.
+
+use rf_core::json::Json;
+use rf_core::scenario::{MatrixSpec, ScenarioMatrix, SweepStats};
+use std::process::ExitCode;
+use std::time::Duration;
+
+/// Bump when the emitted shape changes.
+const PERF_SCHEMA_VERSION: i64 = 1;
+
+struct Args {
+    grids: Vec<(&'static str, MatrixSpec)>,
+    runs: usize,
+    threads: Vec<usize>,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        grids: vec![("smoke", MatrixSpec::smoke()), ("full", MatrixSpec::full())],
+        runs: 3,
+        threads: vec![1, 4, 8],
+        out: "BENCH_perf.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--quick" => {
+                args.grids = vec![("smoke", MatrixSpec::smoke())];
+                args.runs = 2;
+                args.threads = vec![1, 4];
+            }
+            "--smoke-only" => args.grids = vec![("smoke", MatrixSpec::smoke())],
+            "--full-only" => args.grids = vec![("full", MatrixSpec::full())],
+            "--runs" => {
+                args.runs = value("--runs")?
+                    .parse()
+                    .map_err(|e| format!("--runs: {e}"))?;
+                if args.runs == 0 {
+                    return Err("--runs must be at least 1".into());
+                }
+            }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .split(',')
+                    .map(|t| t.parse().map_err(|e| format!("--threads: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if args.threads.is_empty() {
+                    return Err("--threads needs at least one value".into());
+                }
+            }
+            "--out" => args.out = value("--out")?,
+            other => {
+                return Err(format!(
+                    "unknown argument {other}\n\
+                     usage: perf_sweep [--quick] [--smoke-only|--full-only] \
+                     [--runs N] [--threads 1,4,8] [--out FILE]"
+                ))
+            }
+        }
+    }
+    Ok(args)
+}
+
+/// Best (minimum-wall) stats across `runs` repetitions at `threads`,
+/// plus the report JSON for the determinism cross-check.
+fn best_of(
+    matrix: &ScenarioMatrix,
+    threads: usize,
+    runs: usize,
+) -> Result<(SweepStats, String), String> {
+    let mut best: Option<SweepStats> = None;
+    let mut report_json: Option<String> = None;
+    for run in 0..runs {
+        let (report, stats) = matrix.run_instrumented(threads, ScenarioMatrix::standard_builder);
+        let json = report.to_json();
+        if let Some(prev) = &report_json {
+            if *prev != json {
+                return Err(format!(
+                    "DETERMINISM VIOLATION: report bytes differ between runs \
+                     (threads={threads}, run={run})"
+                ));
+            }
+        } else {
+            report_json = Some(json);
+        }
+        if best.as_ref().is_none_or(|b| stats.wall < b.wall) {
+            best = Some(stats);
+        }
+    }
+    Ok((best.expect("runs >= 1"), report_json.expect("runs >= 1")))
+}
+
+/// `p`-th percentile (0..=100, nearest-rank) of sorted `sorted_us`.
+fn percentile_us(sorted_us: &[u64], p: usize) -> i64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = (p * sorted_us.len()).div_ceil(100).max(1) - 1;
+    sorted_us[rank.min(sorted_us.len() - 1)] as i64
+}
+
+fn per_sec(count: u64, wall: Duration) -> i64 {
+    (count as f64 / wall.as_secs_f64().max(1e-9)) as i64
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut grids_json = std::collections::BTreeMap::new();
+    for (name, spec) in &args.grids {
+        let matrix = ScenarioMatrix::new(spec.clone());
+        let cells = spec.cells().len();
+        eprintln!(
+            "perf_sweep: {name} grid — {cells} cells × {} runs × threads {:?}",
+            args.runs, args.threads
+        );
+
+        // Single-threaded pass first: its best run anchors cells/sec,
+        // events/sec and the per-cell percentiles.
+        let (single, single_report) = match best_of(&matrix, 1, args.runs) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut cell_us: Vec<u64> = single
+            .cells
+            .iter()
+            .map(|c| c.wall.as_micros() as u64)
+            .collect();
+        cell_us.sort_unstable();
+        let events = single.total_events();
+        eprintln!(
+            "  1 thread: {:.2}s wall, {} cells/sec, {} events/sec",
+            single.wall.as_secs_f64(),
+            per_sec(cells as u64, single.wall),
+            per_sec(events, single.wall),
+        );
+
+        let mut scaling = Vec::new();
+        for &t in &args.threads {
+            let (stats, report) = if t == 1 {
+                (single.clone(), single_report.clone())
+            } else {
+                match best_of(&matrix, t, args.runs) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            };
+            if report != single_report {
+                eprintln!(
+                    "DETERMINISM VIOLATION: {name} grid report at {t} threads \
+                     differs from the single-threaded report"
+                );
+                return ExitCode::FAILURE;
+            }
+            let speedup_x1000 =
+                (1000.0 * single.wall.as_secs_f64() / stats.wall.as_secs_f64().max(1e-9)) as i64;
+            let efficiency_x1000 = speedup_x1000 / t as i64;
+            eprintln!(
+                "  {t} threads: {:.2}s wall (speedup {:.2}x, efficiency {:.0}%)",
+                stats.wall.as_secs_f64(),
+                speedup_x1000 as f64 / 1000.0,
+                efficiency_x1000 as f64 / 10.0,
+            );
+            scaling.push(Json::obj([
+                ("threads".to_string(), Json::Int(t as i64)),
+                (
+                    "wall_ms".to_string(),
+                    Json::Int(stats.wall.as_millis() as i64),
+                ),
+                ("speedup_x1000".to_string(), Json::Int(speedup_x1000)),
+                ("efficiency_x1000".to_string(), Json::Int(efficiency_x1000)),
+            ]));
+        }
+
+        grids_json.insert(
+            name.to_string(),
+            Json::obj([
+                ("cells".to_string(), Json::Int(cells as i64)),
+                ("runs_per_config".to_string(), Json::Int(args.runs as i64)),
+                ("events_per_run".to_string(), Json::Int(events as i64)),
+                (
+                    "single_thread".to_string(),
+                    Json::obj([
+                        (
+                            "wall_ms".to_string(),
+                            Json::Int(single.wall.as_millis() as i64),
+                        ),
+                        (
+                            "cells_per_sec".to_string(),
+                            Json::Int(per_sec(cells as u64, single.wall)),
+                        ),
+                        (
+                            "events_per_sec".to_string(),
+                            Json::Int(per_sec(events, single.wall)),
+                        ),
+                        (
+                            "cell_wall_us_p50".to_string(),
+                            Json::Int(percentile_us(&cell_us, 50)),
+                        ),
+                        (
+                            "cell_wall_us_p95".to_string(),
+                            Json::Int(percentile_us(&cell_us, 95)),
+                        ),
+                    ]),
+                ),
+                ("thread_scaling".to_string(), Json::Arr(scaling)),
+            ]),
+        );
+    }
+
+    let doc = Json::obj([
+        ("schema_version".to_string(), Json::Int(PERF_SCHEMA_VERSION)),
+        ("grids".to_string(), Json::Obj(grids_json)),
+    ]);
+    if let Err(e) = std::fs::write(&args.out, doc.render()) {
+        eprintln!("writing {}: {e}", args.out);
+        return ExitCode::from(2);
+    }
+    eprintln!("perf trajectory written to {}", args.out);
+    ExitCode::SUCCESS
+}

@@ -102,7 +102,7 @@ impl ControlApp for ArpProxyApp {
     }
 
     fn on_packet_in(&mut self, cx: &mut AppCtx<'_, '_>, dpid: u64, in_port: u16, data: &Bytes) {
-        let Ok(eth) = EthernetFrame::parse(data) else {
+        let Ok(eth) = EthernetFrame::parse_bytes(data) else {
             return;
         };
         if eth.ethertype == EtherType::IPV4 {
@@ -111,7 +111,7 @@ impl ControlApp for ArpProxyApp {
             // a directly-connected next hop. The punted packet itself
             // is dropped (no ARP queue); the sender's retry flows once
             // the /32 is installed.
-            if let Ok(ip) = rf_wire::Ipv4Packet::parse(&eth.payload) {
+            if let Ok(ip) = rf_wire::Ipv4Packet::parse_bytes(&eth.payload) {
                 if !cx.state.hosts.contains_key(&ip.dst) {
                     let target = cx
                         .config()

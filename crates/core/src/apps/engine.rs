@@ -38,6 +38,8 @@ pub struct ControlPlane {
     rpc_conns: Vec<ConnId>,
     vm_readers: HashMap<ConnId, RfFrameReader>,
     vm_dpid: HashMap<ConnId, u64>,
+    /// Reused per-event decode buffer (capacity persists across events).
+    of_scratch: Vec<(OfMessage, u32)>,
 }
 
 impl ControlPlane {
@@ -69,6 +71,7 @@ impl ControlPlane {
             rpc_conns: Vec::new(),
             vm_readers: HashMap::new(),
             vm_dpid: HashMap::new(),
+            of_scratch: Vec::new(),
         }
     }
 
@@ -372,7 +375,7 @@ impl Agent for ControlPlane {
             }
             StreamEvent::Data(data) => {
                 if self.rpc_conns.contains(&conn) {
-                    let (fresh, acks) = self.rpc.feed(&data);
+                    let (fresh, acks) = self.rpc.feed_bytes(data);
                     for ack in acks {
                         ctx.conn_send(conn, ack);
                     }
@@ -392,19 +395,17 @@ impl Agent for ControlPlane {
                     for m in msgs {
                         self.handle_vm_msg(ctx, conn, m);
                     }
-                } else if self.of_readers.contains_key(&conn) {
-                    let msgs = {
-                        let r = self.of_readers.get_mut(&conn).unwrap();
-                        r.push(&data);
-                        let mut v = Vec::new();
-                        while let Some(Ok(m)) = r.next() {
-                            v.push(m);
-                        }
-                        v
-                    };
-                    for (m, xid) in msgs {
+                } else if let Some(r) = self.of_readers.get_mut(&conn) {
+                    let mut msgs = std::mem::take(&mut self.of_scratch);
+                    msgs.clear();
+                    r.push_bytes(data);
+                    while let Some(Ok(m)) = r.next() {
+                        msgs.push(m);
+                    }
+                    for (m, xid) in msgs.drain(..) {
                         self.handle_of_msg(ctx, conn, m, xid);
                     }
+                    self.of_scratch = msgs;
                 }
             }
             StreamEvent::Closed => {

@@ -32,7 +32,7 @@ use rf_sim::Time;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A named fault schedule — one axis value of the grid.
 #[derive(Clone, Debug)]
@@ -453,6 +453,36 @@ impl MatrixSpec {
     }
 }
 
+/// Wall-clock observations for one cell of an instrumented sweep.
+/// Never part of the [`MatrixReport`] — wall time is machine noise,
+/// and the report is a determinism artifact.
+#[derive(Clone, Debug)]
+pub struct CellStat {
+    /// The cell's report key.
+    pub key: String,
+    /// Wall-clock time to build, run and harvest the cell.
+    pub wall: Duration,
+    /// Kernel events dispatched by the cell's simulation
+    /// (deterministic — same cell, same count, any machine).
+    pub events: u64,
+}
+
+/// Aggregate wall-clock observations from an instrumented sweep.
+#[derive(Clone, Debug)]
+pub struct SweepStats {
+    /// End-to-end wall time of the sweep (all workers).
+    pub wall: Duration,
+    /// Per-cell observations, sorted by cell key.
+    pub cells: Vec<CellStat>,
+}
+
+impl SweepStats {
+    /// Total events dispatched across all cells.
+    pub fn total_events(&self) -> u64 {
+        self.cells.iter().map(|c| c.events).sum()
+    }
+}
+
 /// The sweep driver. Construct with a [`MatrixSpec`], then [`run`]
 /// (standard builder) or [`run_with`] (custom builder closure).
 ///
@@ -460,6 +490,32 @@ impl MatrixSpec {
 /// [`run_with`]: ScenarioMatrix::run_with
 pub struct ScenarioMatrix {
     spec: MatrixSpec,
+}
+
+/// Deterministic relative cost estimate for longest-expected-first
+/// scheduling: cells whose simulations run longest (big topologies,
+/// slow timers, late faults with long post-fault windows) should
+/// start first, so the sweep's tail is never one straggler cell that
+/// happened to be picked last. Only the *ordering* depends on this —
+/// the report is identical for any schedule.
+fn expected_cost(spec: &MatrixSpec, cell: &MatrixCell) -> u64 {
+    let nodes = rf_topo::registry::resolve(&cell.topology)
+        .map(|t| t.node_count() as u64)
+        .unwrap_or(8);
+    // Configuration phase: serial provisioning scales with n/k, and
+    // slow OSPF timers stretch convergence.
+    let config_est = cell.knob.vm_boot_delay.as_secs()
+        + u64::from(cell.knob.ospf_hello) * 4
+        + nodes / cell.knob.provision_width.max(1) as u64;
+    // Post-configuration horizon (see run_cell's run_to).
+    let run_window = spec.settle.as_secs()
+        + cell
+            .schedule
+            .last_fault_at()
+            .map(|l| l.as_secs() + spec.post_fault_window.as_secs())
+            .unwrap_or(0);
+    // Event volume scales roughly with nodes × simulated seconds.
+    nodes * (config_est + run_window)
 }
 
 impl ScenarioMatrix {
@@ -517,28 +573,62 @@ impl ScenarioMatrix {
     where
         F: Fn(&MatrixCell) -> ScenarioBuilder + Send + Sync,
     {
+        self.run_instrumented(threads, build).0
+    }
+
+    /// [`ScenarioMatrix::run_with`] plus wall-clock/event-count
+    /// observations per cell — the substrate of the `perf_sweep`
+    /// harness. Work is pulled from a shared atomic cursor over a
+    /// longest-expected-first cell order (work stealing: a worker that
+    /// lands a cheap cell immediately takes another; the expensive
+    /// cells all start early).
+    pub fn run_instrumented<F>(&self, threads: usize, build: F) -> (MatrixReport, SweepStats)
+    where
+        F: Fn(&MatrixCell) -> ScenarioBuilder + Send + Sync,
+    {
         let threads = threads.max(1);
         let cells = self.spec.cells();
+        // Longest-expected-first order; ties keep declaration order so
+        // the schedule is fully deterministic.
+        let mut order: Vec<usize> = (0..cells.len()).collect();
+        let cost: Vec<u64> = cells.iter().map(|c| expected_cost(&self.spec, c)).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(cost[i]), i));
         let next = AtomicUsize::new(0);
-        let records: Mutex<Vec<CellRecord>> = Mutex::new(Vec::with_capacity(cells.len()));
+        type Bucket = (CellRecord, CellStat);
+        let results: Mutex<Vec<Bucket>> = Mutex::new(Vec::with_capacity(cells.len()));
+        let started = Instant::now();
         std::thread::scope(|scope| {
             for _ in 0..threads.min(cells.len()) {
                 scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::SeqCst);
-                    let Some(cell) = cells.get(i) else { break };
-                    let rec = run_cell(&self.spec, cell, &build);
-                    records.lock().unwrap().push(rec);
+                    let pos = next.fetch_add(1, Ordering::SeqCst);
+                    let Some(&i) = order.get(pos) else { break };
+                    let cell = &cells[i];
+                    let cell_start = Instant::now();
+                    let (rec, events) = run_cell(&self.spec, cell, &build);
+                    let stat = CellStat {
+                        key: rec.key.clone(),
+                        wall: cell_start.elapsed(),
+                        events,
+                    };
+                    results.lock().unwrap().push((rec, stat));
                 });
             }
         });
-        let records = records.into_inner().unwrap();
-        MatrixReport::new(self.spec.grid_axes(), records)
+        let wall = started.elapsed();
+        let (records, mut stats): (Vec<CellRecord>, Vec<CellStat>) =
+            results.into_inner().unwrap().into_iter().unzip();
+        stats.sort_by(|a, b| a.key.cmp(&b.key));
+        (
+            MatrixReport::new(self.spec.grid_axes(), records),
+            SweepStats { wall, cells: stats },
+        )
     }
 }
 
 /// Build, run and harvest one cell. All times are reported in
-/// nanoseconds of simulated time.
-fn run_cell<F>(spec: &MatrixSpec, cell: &MatrixCell, build: &F) -> CellRecord
+/// nanoseconds of simulated time; the second return is the number of
+/// kernel events the cell dispatched (for the perf harness).
+fn run_cell<F>(spec: &MatrixSpec, cell: &MatrixCell, build: &F) -> (CellRecord, u64)
 where
     F: Fn(&MatrixCell) -> ScenarioBuilder,
 {
@@ -698,10 +788,13 @@ where
         }
     }
 
-    CellRecord {
-        key: cell.key(),
-        metrics,
-    }
+    (
+        CellRecord {
+            key: cell.key(),
+            metrics,
+        },
+        sc.sim.events_dispatched(),
+    )
 }
 
 #[cfg(test)]

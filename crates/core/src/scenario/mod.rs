@@ -29,7 +29,8 @@ pub mod matrix;
 pub mod report;
 
 pub use matrix::{
-    FaultSchedule, MatrixCell, MatrixKnob, MatrixSpec, MatrixWorkload, ScenarioMatrix,
+    CellStat, FaultSchedule, MatrixCell, MatrixKnob, MatrixSpec, MatrixWorkload, ScenarioMatrix,
+    SweepStats,
 };
 pub use report::{CellRecord, MatrixReport, MetricSummary};
 

@@ -81,6 +81,11 @@ struct Session {
     reader: MessageReader,
     dpid: Option<u64>,
     num_ports: u16,
+    /// Pre-encoded LLDP PACKET_OUT per port (index `port - 1`), xid 0.
+    /// The probe bytes per (dpid, port) never change, so each round
+    /// re-frames the template with a fresh xid instead of rebuilding
+    /// LLDP TLVs, an Ethernet frame and a PACKET_OUT from scratch.
+    probe_cache: Vec<Bytes>,
 }
 
 /// The topology controller: LLDP discovery plus configuration-message
@@ -103,6 +108,8 @@ pub struct TopologyController {
     pub events: Vec<DiscoveryEvent>,
     /// Probe rounds completed (diagnostics).
     pub probe_rounds: u64,
+    /// Reused per-event decode buffer (capacity persists across events).
+    msg_scratch: Vec<(OfMessage, u32)>,
 }
 
 impl TopologyController {
@@ -122,6 +129,7 @@ impl TopologyController {
             xid: 1,
             events: Vec::new(),
             probe_rounds: 0,
+            msg_scratch: Vec::new(),
         }
     }
 
@@ -274,16 +282,14 @@ impl TopologyController {
                 let Some(dpid) = self.sessions.get(&conn).and_then(|s| s.dpid) else {
                     return;
                 };
-                let Ok(eth) = EthernetFrame::parse(&data) else {
+                let Ok(eth) = EthernetFrame::parse_bytes(&data) else {
                     return;
                 };
                 if eth.ethertype != EtherType::LLDP {
                     return;
                 }
-                let Ok(lldp) = LldpPacket::parse(&eth.payload) else {
-                    return;
-                };
-                let Some((origin_dpid, origin_port)) = lldp.decode_discovery() else {
+                let Some((origin_dpid, origin_port)) = LldpPacket::parse_discovery(&eth.payload)
+                else {
                     return;
                 };
                 if origin_dpid == dpid {
@@ -315,26 +321,36 @@ impl TopologyController {
     }
 
     fn probe_switch(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
-        let Some(s) = self.sessions.get(&conn) else {
+        // Split borrows: the xid counter advances inside the loop while
+        // the session's template cache stays borrowed.
+        let Self { sessions, xid, .. } = self;
+        let Some(s) = sessions.get_mut(&conn) else {
             return;
         };
         let Some(dpid) = s.dpid else { return };
         let num_ports = s.num_ports;
-        for port in 1..=num_ports {
-            let probe = EthernetFrame::new(
-                MacAddr::LLDP_MULTICAST,
-                MacAddr::from_dpid_port(dpid, port),
-                EtherType::LLDP,
-                LldpPacket::discovery_probe(dpid, port).emit(),
-            );
-            let xid = self.next_xid();
-            let po = OfMessage::PacketOut {
-                buffer_id: OFP_NO_BUFFER,
-                in_port: OFPP_NONE,
-                actions: vec![Action::output(port)],
-                data: probe.emit(),
-            };
-            ctx.conn_send(conn, po.encode(xid));
+        if s.probe_cache.len() != num_ports as usize {
+            s.probe_cache = (1..=num_ports)
+                .map(|port| {
+                    let probe = EthernetFrame::new(
+                        MacAddr::LLDP_MULTICAST,
+                        MacAddr::from_dpid_port(dpid, port),
+                        EtherType::LLDP,
+                        LldpPacket::discovery_probe(dpid, port).emit(),
+                    );
+                    OfMessage::PacketOut {
+                        buffer_id: OFP_NO_BUFFER,
+                        in_port: OFPP_NONE,
+                        actions: vec![Action::output(port)],
+                        data: probe.emit(),
+                    }
+                    .encode(0)
+                })
+                .collect();
+        }
+        for template in &s.probe_cache {
+            *xid = xid.wrapping_add(1);
+            ctx.conn_send(conn, rf_openflow::reframe_with_xid(template, *xid));
             ctx.count("topo.lldp_out", 1);
         }
     }
@@ -388,7 +404,7 @@ impl Agent for TopologyController {
                     self.flush_rpc(ctx);
                 }
                 StreamEvent::Data(data) => {
-                    self.rpc_reader.push(&data);
+                    self.rpc_reader.push_bytes(data);
                     while let Some(Ok(Envelope::Ack(ack))) = self.rpc_reader.next() {
                         self.rpc_backlog.retain(|(id, _)| *id != ack.req_id);
                     }
@@ -414,6 +430,7 @@ impl Agent for TopologyController {
                         reader: MessageReader::new(),
                         dpid: None,
                         num_ports: 0,
+                        probe_cache: Vec::new(),
                     },
                 );
                 ctx.conn_send(conn, OfMessage::Hello.encode(0));
@@ -432,22 +449,24 @@ impl Agent for TopologyController {
                 );
             }
             StreamEvent::Data(data) => {
-                let msgs = {
+                let mut msgs = std::mem::take(&mut self.msg_scratch);
+                msgs.clear();
+                {
                     let Some(s) = self.sessions.get_mut(&conn) else {
+                        self.msg_scratch = msgs;
                         return;
                     };
-                    s.reader.push(&data);
-                    let mut v = Vec::new();
+                    s.reader.push_bytes(data);
                     while let Some(r) = s.reader.next() {
                         if let Ok(m) = r {
-                            v.push(m);
+                            msgs.push(m);
                         }
                     }
-                    v
-                };
-                for (msg, xid) in msgs {
+                }
+                for (msg, xid) in msgs.drain(..) {
                     self.handle_of(ctx, conn, msg, xid);
                 }
+                self.msg_scratch = msgs;
             }
             StreamEvent::Closed => {
                 if let Some(s) = self.sessions.remove(&conn) {

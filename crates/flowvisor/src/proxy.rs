@@ -2,7 +2,9 @@
 
 use crate::slice::{FlowSpaceDecision, SlicePolicy};
 use bytes::Bytes;
-use rf_openflow::{ErrorType, MessageReader, OfMessage, PacketKey, OFP_NO_BUFFER};
+use rf_openflow::{
+    reframe_with_xid, ErrorType, MessageReader, OfMessage, PacketKey, OFP_NO_BUFFER,
+};
 use rf_sim::{Agent, ConnId, ConnProfile, Ctx, StreamEvent};
 use std::collections::HashMap;
 use std::time::Duration;
@@ -73,6 +75,8 @@ pub struct FlowVisor {
     pub denied_flow_mods: u64,
     /// FLOW_MODs narrowed to the slice's flowspace.
     pub rewritten_flow_mods: u64,
+    /// Reused per-event decode buffer (capacity persists across events).
+    scratch: Vec<(OfMessage, u32, bytes::Bytes)>,
 }
 
 impl FlowVisor {
@@ -86,6 +90,7 @@ impl FlowVisor {
             cookie_owner: HashMap::new(),
             denied_flow_mods: 0,
             rewritten_flow_mods: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -141,7 +146,35 @@ impl FlowVisor {
         }
     }
 
-    fn handle_switch_msg(&mut self, ctx: &mut Ctx<'_>, sw: usize, msg: OfMessage, xid: u32) {
+    /// Forward an already-encoded message to the switch unchanged
+    /// except for its xid. The encoder is canonical, so this is
+    /// byte-identical to re-encoding the decoded message — without the
+    /// re-encode.
+    fn forward_raw_to_switch(&self, ctx: &mut Ctx<'_>, sw: usize, raw: &Bytes, xid: u32) {
+        let s = &self.switches[sw];
+        if s.alive {
+            ctx.conn_send(s.conn, reframe_with_xid(raw, xid));
+        }
+    }
+
+    /// Forward an already-encoded message to a slice controller,
+    /// verbatim (the xid is unchanged on the switch→controller path).
+    fn forward_raw_to_slice(&self, ctx: &mut Ctx<'_>, sw: usize, slice: usize, raw: Bytes) {
+        if let Some(conn) = self.switches[sw].upstreams[slice].conn {
+            if self.switches[sw].upstreams[slice].ready {
+                ctx.conn_send(conn, raw);
+            }
+        }
+    }
+
+    fn handle_switch_msg(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        sw: usize,
+        msg: OfMessage,
+        xid: u32,
+        raw: Bytes,
+    ) {
         match msg {
             OfMessage::Hello => {}
             OfMessage::EchoRequest(data) => {
@@ -173,24 +206,14 @@ impl FlowVisor {
                 ref data,
             } => {
                 ctx.count("fv.packet_in", 1);
-                let Some(key) = PacketKey::from_frame(in_port, data) else {
+                let Some(key) = PacketKey::from_frame_bytes(in_port, data) else {
                     return;
                 };
+                let _ = (buffer_id, total_len, reason);
                 for slice_idx in 0..self.cfg.slices.len() {
                     if self.cfg.slices[slice_idx].owns_packet(&key) {
-                        self.send_to_slice(
-                            ctx,
-                            sw,
-                            slice_idx,
-                            &OfMessage::PacketIn {
-                                buffer_id,
-                                total_len,
-                                in_port,
-                                reason,
-                                data: data.clone(),
-                            },
-                            xid,
-                        );
+                        // Same bytes, same xid: hand the wire frame on.
+                        self.forward_raw_to_slice(ctx, sw, slice_idx, raw);
                         // Exactly one slice owns a packet in this
                         // framework (flowspaces are disjoint).
                         break;
@@ -198,25 +221,17 @@ impl FlowVisor {
                 }
             }
             OfMessage::PortStatus { reason, desc } => {
+                let _ = (reason, desc, xid);
                 for slice_idx in 0..self.cfg.slices.len() {
-                    self.send_to_slice(
-                        ctx,
-                        sw,
-                        slice_idx,
-                        &OfMessage::PortStatus {
-                            reason,
-                            desc: desc.clone(),
-                        },
-                        xid,
-                    );
+                    self.forward_raw_to_slice(ctx, sw, slice_idx, raw.clone());
                 }
             }
             OfMessage::FlowRemoved { cookie, .. } => {
                 if let Some(&slice) = self.cookie_owner.get(&(sw, cookie)) {
-                    self.send_to_slice(ctx, sw, slice, &msg, xid);
+                    self.forward_raw_to_slice(ctx, sw, slice, raw);
                 } else {
                     for slice_idx in 0..self.cfg.slices.len() {
-                        self.send_to_slice(ctx, sw, slice_idx, &msg, xid);
+                        self.forward_raw_to_slice(ctx, sw, slice_idx, raw.clone());
                     }
                 }
             }
@@ -228,7 +243,8 @@ impl FlowVisor {
                 if let Some(&(s, slice, orig)) = self.xid_map.get(&xid) {
                     self.xid_map.remove(&xid);
                     if slice != FV_SELF {
-                        self.send_to_slice(ctx, s, slice, &msg, orig);
+                        let _ = msg;
+                        self.forward_raw_to_slice(ctx, s, slice, reframe_with_xid(&raw, orig));
                     }
                 }
             }
@@ -263,6 +279,7 @@ impl FlowVisor {
         slice: usize,
         msg: OfMessage,
         xid: u32,
+        raw: Bytes,
     ) {
         let up_conn = self.switches[sw].upstreams[slice].conn;
         match msg {
@@ -319,19 +336,24 @@ impl FlowVisor {
                 };
                 self.cookie_owner.insert((sw, cookie), slice);
                 let new_xid = self.alloc_xid(sw, slice, xid);
-                let fm = OfMessage::FlowMod {
-                    of_match: effective_match,
-                    cookie,
-                    command,
-                    idle_timeout,
-                    hard_timeout,
-                    priority,
-                    buffer_id,
-                    out_port,
-                    flags,
-                    actions,
-                };
-                self.send_to_switch(ctx, sw, &fm, new_xid);
+                if matches!(decision, FlowSpaceDecision::Allow) {
+                    // Untouched flowspace: only the xid changes.
+                    self.forward_raw_to_switch(ctx, sw, &raw, new_xid);
+                } else {
+                    let fm = OfMessage::FlowMod {
+                        of_match: effective_match,
+                        cookie,
+                        command,
+                        idle_timeout,
+                        hard_timeout,
+                        priority,
+                        buffer_id,
+                        out_port,
+                        flags,
+                        actions,
+                    };
+                    self.send_to_switch(ctx, sw, &fm, new_xid);
+                }
             }
             OfMessage::PacketOut {
                 buffer_id,
@@ -341,7 +363,7 @@ impl FlowVisor {
             } => {
                 // Policy-check the payload when we can see it.
                 if buffer_id == OFP_NO_BUFFER && !data.is_empty() {
-                    if let Some(key) = PacketKey::from_frame(in_port, &data) {
+                    if let Some(key) = PacketKey::from_frame_bytes(in_port, &data) {
                         if !self.cfg.slices[slice].owns_packet(&key) {
                             ctx.count("fv.packet_out_denied", 1);
                             if let Some(c) = up_conn {
@@ -356,30 +378,21 @@ impl FlowVisor {
                         }
                     }
                 }
+                let _ = (actions, data);
                 let new_xid = self.alloc_xid(sw, slice, xid);
-                self.send_to_switch(
-                    ctx,
-                    sw,
-                    &OfMessage::PacketOut {
-                        buffer_id,
-                        in_port,
-                        actions,
-                        data,
-                    },
-                    new_xid,
-                );
+                self.forward_raw_to_switch(ctx, sw, &raw, new_xid);
             }
             // Forwarded requests that expect a reply: remap the xid.
             OfMessage::BarrierRequest
             | OfMessage::GetConfigRequest
             | OfMessage::StatsRequest { .. } => {
                 let new_xid = self.alloc_xid(sw, slice, xid);
-                self.send_to_switch(ctx, sw, &msg, new_xid);
+                self.forward_raw_to_switch(ctx, sw, &raw, new_xid);
             }
             // SET_CONFIG is fire-and-forget; last writer wins (doc'd).
             OfMessage::SetConfig { .. } => {
                 let new_xid = self.alloc_xid(sw, slice, xid);
-                self.send_to_switch(ctx, sw, &msg, new_xid);
+                self.forward_raw_to_switch(ctx, sw, &raw, new_xid);
             }
             _ => {
                 ctx.count("fv.unexpected_from_controller", 1);
@@ -450,40 +463,39 @@ impl Agent for FlowVisor {
                 let Some(role) = self.roles.get(&conn).copied() else {
                     return;
                 };
+                let mut msgs = std::mem::take(&mut self.scratch);
+                msgs.clear();
                 match role {
                     Role::Switch(sw) => {
-                        let msgs = {
+                        {
                             let reader = &mut self.switches[sw].reader;
-                            reader.push(&data);
-                            let mut v = Vec::new();
-                            while let Some(r) = reader.next() {
+                            reader.push_bytes(data);
+                            while let Some(r) = reader.next_raw() {
                                 if let Ok(m) = r {
-                                    v.push(m);
+                                    msgs.push(m);
                                 }
                             }
-                            v
-                        };
-                        for (msg, xid) in msgs {
-                            self.handle_switch_msg(ctx, sw, msg, xid);
+                        }
+                        for (msg, xid, raw) in msgs.drain(..) {
+                            self.handle_switch_msg(ctx, sw, msg, xid, raw);
                         }
                     }
                     Role::Upstream { sw, slice } => {
-                        let msgs = {
+                        {
                             let reader = &mut self.switches[sw].upstreams[slice].reader;
-                            reader.push(&data);
-                            let mut v = Vec::new();
-                            while let Some(r) = reader.next() {
+                            reader.push_bytes(data);
+                            while let Some(r) = reader.next_raw() {
                                 if let Ok(m) = r {
-                                    v.push(m);
+                                    msgs.push(m);
                                 }
                             }
-                            v
-                        };
-                        for (msg, xid) in msgs {
-                            self.handle_controller_msg(ctx, sw, slice, msg, xid);
+                        }
+                        for (msg, xid, raw) in msgs.drain(..) {
+                            self.handle_controller_msg(ctx, sw, slice, msg, xid, raw);
                         }
                     }
                 }
+                self.scratch = msgs;
             }
             StreamEvent::Closed => {
                 let Some(role) = self.roles.remove(&conn) else {

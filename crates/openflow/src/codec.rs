@@ -7,11 +7,35 @@
 use crate::header::{OfHeader, OFP_HEADER_LEN};
 use crate::messages::OfMessage;
 use crate::OfError;
-use bytes::{Buf, BytesMut};
+use bytes::{Bytes, BytesMut};
+
+/// Re-frame `raw` — a complete encoded message — under a different
+/// transaction id: one copy, one patched field. Because the encoder is
+/// canonical (every message in the simulation was produced by
+/// [`OfMessage::encode`]), this equals `decode(raw)` re-encoded with
+/// `xid`, which is exactly what a proxy rewriting xids needs.
+pub fn reframe_with_xid(raw: &Bytes, xid: u32) -> Bytes {
+    debug_assert!(raw.len() >= OFP_HEADER_LEN);
+    let mut out = BytesMut::with_capacity(raw.len());
+    out.extend_from_slice(raw);
+    out[4..8].copy_from_slice(&xid.to_be_bytes());
+    out.freeze()
+}
 
 /// Incremental OpenFlow message reassembler.
+///
+/// Two representations, one at a time: the common case — each stream
+/// chunk carrying whole messages — keeps the chunk as [`Bytes`] and
+/// yields zero-copy slices of it; only a chunk ending mid-message
+/// falls back to the accumulation buffer (`buf`), which pays the
+/// copies exactly as the old single-buffer reader did. The observable
+/// message sequence is identical either way.
 #[derive(Default)]
 pub struct MessageReader {
+    /// Unconsumed tail of the most recent chunk (fast path). Invariant:
+    /// non-empty only while `buf` is empty.
+    chunk: Bytes,
+    /// Reassembly buffer for fragmented input (slow path).
     buf: BytesMut,
 }
 
@@ -22,7 +46,28 @@ impl MessageReader {
 
     /// Feed raw bytes from the stream.
     pub fn push(&mut self, data: &[u8]) {
+        self.spill();
         self.buf.extend_from_slice(data);
+    }
+
+    /// Feed a whole stream chunk, keeping it zero-copy when the reader
+    /// is drained (the overwhelmingly common case: one `conn_send` per
+    /// message, delivered as one chunk).
+    pub fn push_bytes(&mut self, data: Bytes) {
+        if self.buf.is_empty() && self.chunk.is_empty() {
+            self.chunk = data;
+        } else {
+            self.spill();
+            self.buf.extend_from_slice(&data);
+        }
+    }
+
+    /// Move any fast-path remainder into the accumulation buffer.
+    fn spill(&mut self) {
+        if !self.chunk.is_empty() {
+            self.buf.extend_from_slice(&self.chunk);
+            self.chunk = Bytes::new();
+        }
     }
 
     /// Pop the next complete message, if any. Decoding errors consume
@@ -30,28 +75,56 @@ impl MessageReader {
     /// field) and surface the error.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<Result<(OfMessage, u32), OfError>> {
-        if self.buf.len() < OFP_HEADER_LEN {
-            return None;
+        self.next_raw().map(|r| r.map(|(msg, xid, _)| (msg, xid)))
+    }
+
+    /// Like [`MessageReader::next`], but also returns the message's
+    /// exact wire bytes. A proxy that forwards a message unmodified
+    /// (or with only a patched xid) can reuse them instead of paying a
+    /// re-encode; our encoder is canonical, so `raw` always equals
+    /// `msg.encode(xid)`.
+    pub fn next_raw(&mut self) -> Option<Result<(OfMessage, u32, Bytes), OfError>> {
+        let raw = match self.take_frame() {
+            Ok(Some(raw)) => raw,
+            Ok(None) => return None,
+            Err(e) => return Some(Err(e)),
+        };
+        Some(OfMessage::decode_bytes(&raw).map(|(msg, xid)| (msg, xid, raw)))
+    }
+
+    /// Split the next length-delimited frame off the stream.
+    fn take_frame(&mut self) -> Result<Option<Bytes>, OfError> {
+        let avail = if self.chunk.is_empty() {
+            &self.buf[..]
+        } else {
+            &self.chunk[..]
+        };
+        if avail.len() < OFP_HEADER_LEN {
+            return Ok(None);
         }
-        let header = match OfHeader::parse(&self.buf) {
+        let header = match OfHeader::parse(avail) {
             Ok(h) => h,
             Err(e) => {
                 // Unrecoverable framing: drop the connection's buffer.
+                self.chunk = Bytes::new();
                 self.buf.clear();
-                return Some(Err(e));
+                return Err(e);
             }
         };
         let need = header.length as usize;
-        if self.buf.len() < need {
-            return None;
+        if avail.len() < need {
+            return Ok(None);
         }
-        let msg_bytes = self.buf.split_to(need);
-        Some(OfMessage::decode(&msg_bytes))
+        if self.chunk.is_empty() {
+            Ok(Some(self.buf.split_to(need).freeze()))
+        } else {
+            Ok(Some(self.chunk.split_to(need)))
+        }
     }
 
     /// Bytes currently buffered (diagnostics).
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        self.chunk.len() + self.buf.len()
     }
 
     /// Drain all complete messages, stopping at the first error.
@@ -62,12 +135,6 @@ impl MessageReader {
         }
         Ok(out)
     }
-}
-
-/// Consume `n` bytes (test helper for Buf-style use).
-#[allow(dead_code)]
-fn advance(buf: &mut BytesMut, n: usize) {
-    buf.advance(n);
 }
 
 #[cfg(test)]

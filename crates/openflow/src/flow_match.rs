@@ -8,7 +8,7 @@
 
 use crate::ports::PortNumber;
 use crate::OfError;
-use bytes::{BufMut, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use rf_wire::{
     ArpPacket, EtherType, EthernetFrame, IcmpPacket, IpProtocol, Ipv4Packet, MacAddr, UdpPacket,
 };
@@ -308,7 +308,18 @@ impl PacketKey {
     /// Unparseable inner layers simply leave the deeper fields zero,
     /// matching how a hardware parser degrades.
     pub fn from_frame(in_port: PortNumber, frame: &[u8]) -> Option<PacketKey> {
-        let eth = EthernetFrame::parse(frame).ok()?;
+        Self::from_parsed(in_port, EthernetFrame::parse(frame).ok()?)
+    }
+
+    /// [`PacketKey::from_frame`] over [`Bytes`]: the layer parses are
+    /// zero-copy slices, so classifying a frame allocates nothing.
+    /// This runs per frame per switch hop — the data plane's hottest
+    /// classification path.
+    pub fn from_frame_bytes(in_port: PortNumber, frame: &Bytes) -> Option<PacketKey> {
+        Self::from_parsed(in_port, EthernetFrame::parse_bytes(frame).ok()?)
+    }
+
+    fn from_parsed(in_port: PortNumber, eth: EthernetFrame) -> Option<PacketKey> {
         let mut key = PacketKey {
             in_port,
             dl_src: eth.src,
@@ -323,20 +334,20 @@ impl PacketKey {
         };
         match eth.ethertype {
             EtherType::IPV4 => {
-                if let Ok(ip) = Ipv4Packet::parse(&eth.payload) {
+                if let Ok(ip) = Ipv4Packet::parse_bytes(&eth.payload) {
                     key.nw_tos = ip.dscp << 2;
                     key.nw_proto = ip.protocol.0;
                     key.nw_src = ip.src;
                     key.nw_dst = ip.dst;
                     match ip.protocol {
                         IpProtocol::UDP => {
-                            if let Ok(udp) = UdpPacket::parse(&ip.payload, ip.src, ip.dst) {
+                            if let Ok(udp) = UdpPacket::parse_bytes(&ip.payload, ip.src, ip.dst) {
                                 key.tp_src = udp.src_port;
                                 key.tp_dst = udp.dst_port;
                             }
                         }
                         IpProtocol::ICMP => {
-                            if let Ok(icmp) = IcmpPacket::parse(&ip.payload) {
+                            if let Ok(icmp) = IcmpPacket::parse_bytes(&ip.payload) {
                                 let (ty, code) = match icmp {
                                     IcmpPacket::EchoRequest { .. } => (8u16, 0u16),
                                     IcmpPacket::EchoReply { .. } => (0, 0),

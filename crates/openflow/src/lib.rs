@@ -34,7 +34,7 @@ pub mod ports;
 pub mod stats;
 
 pub use actions::Action;
-pub use codec::MessageReader;
+pub use codec::{reframe_with_xid, MessageReader};
 pub use flow_match::{OfMatch, PacketKey, Wildcards};
 pub use header::{MsgType, OfHeader, OFP_HEADER_LEN, OFP_VERSION};
 pub use messages::{

@@ -233,17 +233,19 @@ impl OfMessage {
     /// [`encode`]: OfMessage::encode
     /// [`encode_batch`]: OfMessage::encode_batch
     fn encode_into(&self, out: &mut BytesMut, xid: u32) {
-        let mut body = BytesMut::new();
-        self.emit_body(&mut body);
-        let header = OfHeader {
-            version: OFP_VERSION,
-            msg_type: self.msg_type(),
-            length: (OFP_HEADER_LEN + body.len()) as u16,
-            xid,
-        };
-        out.reserve(OFP_HEADER_LEN + body.len());
-        out.put_slice(&header.emit());
-        out.put_slice(&body);
+        // One buffer, one pass: emit a header with a zero length, the
+        // body straight after it, then backpatch the length — the
+        // bytes are identical to building the body separately, minus
+        // that buffer's allocation.
+        let start = out.len();
+        out.reserve(OFP_HEADER_LEN + self.body_size_hint());
+        out.put_u8(OFP_VERSION);
+        out.put_u8(self.msg_type() as u8);
+        out.put_u16(0); // length, patched below
+        out.put_u32(xid);
+        self.emit_body(out);
+        let length = (out.len() - start) as u16;
+        out[start + 2..start + 4].copy_from_slice(&length.to_be_bytes());
     }
 
     /// Encode several messages into one wire buffer — a multi-message
@@ -259,6 +261,29 @@ impl OfMessage {
             m.encode_into(&mut out, first_xid.wrapping_add(i as u32));
         }
         out.freeze()
+    }
+
+    /// Upper-bound body size for pre-reserving the encode buffer (only
+    /// a capacity hint — never affects the emitted bytes).
+    fn body_size_hint(&self) -> usize {
+        match self {
+            OfMessage::Hello
+            | OfMessage::FeaturesRequest
+            | OfMessage::GetConfigRequest
+            | OfMessage::BarrierRequest
+            | OfMessage::BarrierReply => 0,
+            OfMessage::Error { data, .. } => 4 + data.len(),
+            OfMessage::EchoRequest(d) | OfMessage::EchoReply(d) => d.len(),
+            OfMessage::FeaturesReply(f) => 24 + f.ports.len() * 48,
+            OfMessage::GetConfigReply { .. } | OfMessage::SetConfig { .. } => 4,
+            OfMessage::PacketIn { data, .. } => 10 + data.len(),
+            OfMessage::FlowRemoved { .. } => 80,
+            OfMessage::PortStatus { .. } => 56,
+            OfMessage::PacketOut { actions, data, .. } => 8 + actions.len() * 16 + data.len(),
+            OfMessage::FlowMod { actions, .. } => 64 + actions.len() * 16,
+            OfMessage::StatsRequest { .. } | OfMessage::StatsReply { .. } => 96,
+            OfMessage::Vendor { data, .. } => 4 + data.len(),
+        }
     }
 
     fn emit_body(&self, buf: &mut BytesMut) {
@@ -403,6 +428,28 @@ impl OfMessage {
     /// Decode a complete message (exactly `header.length` bytes).
     /// Returns the message and its xid.
     pub fn decode(data: &[u8]) -> Result<(OfMessage, u32), OfError> {
+        Self::decode_impl(data, |body: &[u8], start: usize| {
+            Bytes::copy_from_slice(&body[start..])
+        })
+    }
+
+    /// [`OfMessage::decode`] with zero-copy payloads: variable-length
+    /// tails (PACKET_IN/PACKET_OUT data, echo payloads, error context)
+    /// become slices of the caller's [`Bytes`] instead of fresh
+    /// allocations. Identical decoding semantics.
+    pub fn decode_bytes(data: &Bytes) -> Result<(OfMessage, u32), OfError> {
+        Self::decode_impl(data, |body: &[u8], start: usize| {
+            // `body` is a reborrow of `data`; translate the suffix
+            // back to absolute offsets for a zero-copy slice.
+            let end = OFP_HEADER_LEN + body.len();
+            data.slice(OFP_HEADER_LEN + start..end)
+        })
+    }
+
+    fn decode_impl(
+        data: &[u8],
+        grab: impl Fn(&[u8], usize) -> Bytes,
+    ) -> Result<(OfMessage, u32), OfError> {
         let header = OfHeader::parse(data)?;
         if data.len() < header.length as usize {
             return Err(OfError::Truncated);
@@ -429,16 +476,16 @@ impl OfMessage {
                 OfMessage::Error {
                     err_type: ErrorType::from_u16(be16(0))?,
                     code: be16(2),
-                    data: Bytes::copy_from_slice(&body[4..]),
+                    data: grab(body, 4),
                 }
             }
-            MsgType::EchoRequest => OfMessage::EchoRequest(Bytes::copy_from_slice(body)),
-            MsgType::EchoReply => OfMessage::EchoReply(Bytes::copy_from_slice(body)),
+            MsgType::EchoRequest => OfMessage::EchoRequest(grab(body, 0)),
+            MsgType::EchoReply => OfMessage::EchoReply(grab(body, 0)),
             MsgType::Vendor => {
                 need(4)?;
                 OfMessage::Vendor {
                     vendor: be32(0),
-                    data: Bytes::copy_from_slice(&body[4..]),
+                    data: grab(body, 4),
                 }
             }
             MsgType::FeaturesRequest => OfMessage::FeaturesRequest,
@@ -487,7 +534,7 @@ impl OfMessage {
                         1 => PacketInReason::Action,
                         _ => return Err(OfError::Malformed("packet_in reason")),
                     },
-                    data: Bytes::copy_from_slice(&body[10..]),
+                    data: grab(body, 10),
                 }
             }
             MsgType::FlowRemoved => {
@@ -533,7 +580,7 @@ impl OfMessage {
                     buffer_id: be32(0),
                     in_port: be16(4),
                     actions: Action::parse_list(&body[8..8 + actions_len])?,
-                    data: Bytes::copy_from_slice(&body[8 + actions_len..]),
+                    data: grab(body, 8 + actions_len),
                 }
             }
             MsgType::FlowMod => {

@@ -35,11 +35,100 @@ pub enum OspfEvent {
     RoutesChanged(Vec<Route>),
 }
 
+/// Interface table: a sorted-by-ifindex vector behind a BTreeMap-like
+/// surface. Routers here have a handful of interfaces and
+/// `handle_packet` consults the table several times per received
+/// packet, so flat scans beat tree walks; iteration order (ascending
+/// ifindex) is identical to the `BTreeMap` this replaces.
+struct IfaceTable {
+    entries: Vec<(u16, Iface)>,
+}
+
+impl IfaceTable {
+    fn new() -> IfaceTable {
+        IfaceTable {
+            entries: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, idx: u16, iface: Iface) {
+        match self.entries.binary_search_by_key(&idx, |e| e.0) {
+            Ok(i) => self.entries[i].1 = iface,
+            Err(i) => self.entries.insert(i, (idx, iface)),
+        }
+    }
+
+    fn remove(&mut self, idx: &u16) -> Option<Iface> {
+        match self.entries.binary_search_by_key(idx, |e| e.0) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    fn get(&self, idx: &u16) -> Option<&Iface> {
+        self.entries
+            .binary_search_by_key(idx, |e| e.0)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    fn get_mut(&mut self, idx: &u16) -> Option<&mut Iface> {
+        self.entries
+            .binary_search_by_key(idx, |e| e.0)
+            .ok()
+            .map(|i| &mut self.entries[i].1)
+    }
+
+    fn contains_key(&self, idx: &u16) -> bool {
+        self.get(idx).is_some()
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (&u16, &Iface)> {
+        self.entries.iter().map(|(i, f)| (i, f))
+    }
+
+    fn iter_mut(&mut self) -> impl Iterator<Item = (&u16, &mut Iface)> {
+        self.entries.iter_mut().map(|(i, f)| (&*i, f))
+    }
+
+    fn values(&self) -> impl Iterator<Item = &Iface> {
+        self.entries.iter().map(|e| &e.1)
+    }
+
+    fn values_mut(&mut self) -> impl Iterator<Item = &mut Iface> {
+        self.entries.iter_mut().map(|e| &mut e.1)
+    }
+}
+
+impl std::ops::Index<&u16> for IfaceTable {
+    type Output = Iface;
+    fn index(&self, idx: &u16) -> &Iface {
+        self.get(idx).expect("interface exists")
+    }
+}
+
+impl<'a> IntoIterator for &'a IfaceTable {
+    type Item = (&'a u16, &'a Iface);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (u16, Iface)>,
+        fn(&'a (u16, Iface)) -> (&'a u16, &'a Iface),
+    >;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter().map(|(i, f)| (i, f))
+    }
+}
+
 struct Iface {
     addr: Ipv4Cidr,
     cost: u16,
     next_hello: Time,
     neighbor: Option<Neighbor>,
+    /// Cached emitted hello payload, keyed by the neighbor id it
+    /// lists. Steady-state hellos are identical every interval; the
+    /// payload is a pure function of fixed daemon parameters plus that
+    /// key, so the cache can only ever reproduce what a fresh emit
+    /// would.
+    hello_cache: Option<(Option<u32>, Bytes)>,
 }
 
 /// The OSPF daemon for one router.
@@ -50,9 +139,15 @@ pub struct OspfDaemon {
     rxmt_interval: Duration,
     spf_delay: Duration,
     spf_hold: Duration,
-    ifaces: BTreeMap<u16, Iface>,
+    ifaces: IfaceTable,
     /// LSDB: key → (LSA as received/originated, install time).
     lsdb: BTreeMap<LsaKey, (Lsa, Time)>,
+    /// Exact earliest MaxAge expiry across the LSDB (`Time::MAX` when
+    /// empty). `poll_at` runs after every received packet, and scanning
+    /// the whole LSDB there dominated the VM agents' event cost; all
+    /// LSDB mutations go through [`Self::lsdb_set`]/[`Self::lsdb_unset`]
+    /// to keep this cache exact (never early, never late).
+    lsdb_min_expiry: Time,
     my_seq: i32,
     my_lsa_originated: Time,
     spf_due: Option<Time>,
@@ -76,8 +171,9 @@ impl OspfDaemon {
             rxmt_interval: Duration::from_secs(u64::from(cfg.retransmit_interval)),
             spf_delay: Duration::from_millis(u64::from(cfg.spf_timers.0)),
             spf_hold: Duration::from_millis(u64::from(cfg.spf_timers.1)),
-            ifaces: BTreeMap::new(),
+            ifaces: IfaceTable::new(),
             lsdb: BTreeMap::new(),
+            lsdb_min_expiry: Time::MAX,
             my_seq: INITIAL_SEQ,
             my_lsa_originated: Time::ZERO,
             spf_due: None,
@@ -100,6 +196,7 @@ impl OspfDaemon {
                         cost: 10,
                         next_hello: Time::ZERO,
                         neighbor: None,
+                        hello_cache: None,
                     },
                 );
             }
@@ -159,6 +256,7 @@ impl OspfDaemon {
                 cost: 10,
                 next_hello: now,
                 neighbor: None,
+                hello_cache: None,
             },
         );
         let mut ev = Vec::new();
@@ -204,16 +302,49 @@ impl OspfDaemon {
         }
         // Own-LSA refresh.
         t = t.min(self.my_lsa_originated + Duration::from_secs(LS_REFRESH_TIME));
-        // Earliest foreign-LSA MaxAge expiry.
-        for (lsa, installed) in self.lsdb.values() {
-            let remaining = MAX_AGE.saturating_sub(lsa.header.age);
-            t = t.min(*installed + Duration::from_secs(u64::from(remaining)));
-        }
+        // Earliest LSA MaxAge expiry (cached; kept exact by lsdb_set/unset).
+        t = t.min(self.lsdb_min_expiry);
         if t == Time::MAX {
             None
         } else {
             Some(t)
         }
+    }
+
+    /// When this entry's effective age reaches MaxAge.
+    fn entry_expiry(lsa: &Lsa, installed: Time) -> Time {
+        installed + Duration::from_secs(u64::from(MAX_AGE.saturating_sub(lsa.header.age)))
+    }
+
+    /// Insert/replace an LSDB entry, keeping the min-expiry cache exact.
+    fn lsdb_set(&mut self, key: LsaKey, lsa: Lsa, now: Time) {
+        let new_exp = Self::entry_expiry(&lsa, now);
+        let old = self.lsdb.insert(key, (lsa, now));
+        if let Some((old_lsa, old_t)) = old {
+            if Self::entry_expiry(&old_lsa, old_t) <= self.lsdb_min_expiry {
+                // The replaced entry may have defined the minimum.
+                self.recompute_min_expiry();
+                return;
+            }
+        }
+        self.lsdb_min_expiry = self.lsdb_min_expiry.min(new_exp);
+    }
+
+    /// Remove an LSDB entry, keeping the min-expiry cache exact.
+    fn lsdb_unset(&mut self, key: &LsaKey) {
+        if let Some((lsa, t)) = self.lsdb.remove(key) {
+            if Self::entry_expiry(&lsa, t) <= self.lsdb_min_expiry {
+                self.recompute_min_expiry();
+            }
+        }
+    }
+
+    fn recompute_min_expiry(&mut self) {
+        self.lsdb_min_expiry = self
+            .lsdb
+            .values()
+            .map(|(l, t)| Self::entry_expiry(l, *t))
+            .fold(Time::MAX, Time::min);
     }
 
     fn effective_age(&self, key: &LsaKey, now: Time) -> u16 {
@@ -257,7 +388,7 @@ impl OspfDaemon {
         let lsa = Lsa::router(self.router_id, self.my_seq, 0, links);
         self.my_seq += 1;
         self.my_lsa_originated = now;
-        self.lsdb.insert(self.my_key(), (lsa.clone(), now));
+        self.lsdb_set(self.my_key(), lsa.clone(), now);
         self.flood(&lsa, None, now, ev);
         self.schedule_spf(now);
     }
@@ -307,18 +438,34 @@ impl OspfDaemon {
     }
 
     fn send_hello(&mut self, idx: u16, ev: &mut Vec<OspfEvent>) {
-        let f = &self.ifaces[&idx];
-        let neighbors = f.neighbor.as_ref().map(|n| vec![n.id]).unwrap_or_default();
+        let f = self.ifaces.get_mut(&idx).unwrap();
+        let key = f.neighbor.as_ref().map(|n| n.id);
+        if let Some((cached_key, payload)) = &f.hello_cache {
+            if *cached_key == key {
+                ev.push(OspfEvent::Transmit {
+                    iface: idx,
+                    dst: ALL_SPF_ROUTERS,
+                    packet: payload.clone(),
+                });
+                return;
+            }
+        }
         let pkt = OspfPacket::new(
             self.router_id,
             OspfPacketBody::Hello {
                 network_mask: f.addr.mask(),
                 hello_interval: self.hello_interval.as_secs() as u16,
                 dead_interval: self.dead_interval.as_secs() as u32,
-                neighbors,
+                neighbors: key.map(|id| vec![id]).unwrap_or_default(),
             },
         );
-        self.transmit(idx, &pkt, ev);
+        let payload = pkt.emit();
+        self.ifaces.get_mut(&idx).unwrap().hello_cache = Some((key, payload.clone()));
+        ev.push(OspfEvent::Transmit {
+            iface: idx,
+            dst: ALL_SPF_ROUTERS,
+            packet: payload,
+        });
     }
 
     /// Flood `lsa` on every adjacency except `except_iface`, adding it
@@ -776,12 +923,12 @@ impl OspfDaemon {
                         }
                         if lsa.header.age >= MAX_AGE {
                             // Premature aging: remove if present.
-                            self.lsdb.remove(&key);
+                            self.lsdb_unset(&key);
                             acks.push(lsa.header);
                             self.schedule_spf(now);
                             continue;
                         }
-                        self.lsdb.insert(key, (lsa.clone(), now));
+                        self.lsdb_set(key, lsa.clone(), now);
                         acks.push(lsa.header);
                         self.flood(&lsa, Some(idx), now, &mut ev);
                         self.schedule_spf(now);
@@ -937,19 +1084,23 @@ impl OspfDaemon {
         if now.since(self.my_lsa_originated).as_secs() >= LS_REFRESH_TIME {
             self.originate_router_lsa(now, &mut ev);
         }
-        // Age out foreign LSAs.
-        let expired: Vec<LsaKey> = self
-            .lsdb
-            .keys()
-            .filter(|k| k.adv_router != self.router_id)
-            .filter(|k| self.effective_age(k, now) >= MAX_AGE)
-            .copied()
-            .collect();
-        if !expired.is_empty() {
-            for k in expired {
-                self.lsdb.remove(&k);
+        // Age out foreign LSAs. An entry can only have expired once
+        // `now` reaches the cached earliest expiry, so the common tick
+        // skips the scan entirely.
+        if now >= self.lsdb_min_expiry {
+            let expired: Vec<LsaKey> = self
+                .lsdb
+                .keys()
+                .filter(|k| k.adv_router != self.router_id)
+                .filter(|k| self.effective_age(k, now) >= MAX_AGE)
+                .copied()
+                .collect();
+            if !expired.is_empty() {
+                for k in expired {
+                    self.lsdb_unset(&k);
+                }
+                self.schedule_spf(now);
             }
-            self.schedule_spf(now);
         }
         // SPF.
         if self.spf_due.is_some_and(|t| t <= now) {

@@ -167,7 +167,7 @@ impl Agent for RpcClientAgent {
                     self.flush(ctx);
                 }
                 StreamEvent::Data(data) => {
-                    self.server_reader.push(&data);
+                    self.server_reader.push_bytes(data);
                     while let Some(Ok(env)) = self.server_reader.next() {
                         if let Envelope::Ack(ack) = env {
                             self.handle_ack(ack.req_id);
@@ -192,7 +192,7 @@ impl Agent for RpcClientAgent {
                 if let Some((_, reader)) =
                     self.upstream_readers.iter_mut().find(|(c, _)| *c == conn)
                 {
-                    reader.push(&data);
+                    reader.push_bytes(data);
                     while let Some(Ok(env)) = reader.next() {
                         if let Envelope::Request { req_id, request } = env {
                             incoming.push((req_id, request));

@@ -79,6 +79,10 @@ pub fn decode_envelope(mut data: &[u8]) -> Result<Envelope, RpcError> {
 /// Incremental frame reassembler for the RPC stream.
 #[derive(Default)]
 pub struct RpcFrameReader {
+    /// Unconsumed tail of the last chunk (zero-copy fast path);
+    /// non-empty only while `buf` is empty.
+    chunk: Bytes,
+    /// Reassembly buffer for fragmented input.
     buf: BytesMut,
 }
 
@@ -88,27 +92,55 @@ impl RpcFrameReader {
     }
 
     pub fn push(&mut self, data: &[u8]) {
+        self.spill();
         self.buf.extend_from_slice(data);
+    }
+
+    /// Feed a whole stream chunk without copying when drained.
+    pub fn push_bytes(&mut self, data: Bytes) {
+        if self.buf.is_empty() && self.chunk.is_empty() {
+            self.chunk = data;
+        } else {
+            self.spill();
+            self.buf.extend_from_slice(&data);
+        }
+    }
+
+    fn spill(&mut self) {
+        if !self.chunk.is_empty() {
+            self.buf.extend_from_slice(&self.chunk);
+            self.chunk = Bytes::new();
+        }
     }
 
     /// Pop the next complete envelope if buffered.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<Result<Envelope, RpcError>> {
-        if self.buf.len() < 6 {
+        let avail: &[u8] = if self.chunk.is_empty() {
+            &self.buf
+        } else {
+            &self.chunk
+        };
+        if avail.len() < 6 {
             return None;
         }
-        let magic = u16::from_be_bytes([self.buf[0], self.buf[1]]);
+        let magic = u16::from_be_bytes([avail[0], avail[1]]);
         if magic != MAGIC {
+            self.chunk = Bytes::new();
             self.buf.clear();
             return Some(Err(RpcError::BadMagic));
         }
-        let length =
-            u32::from_be_bytes([self.buf[2], self.buf[3], self.buf[4], self.buf[5]]) as usize;
-        if self.buf.len() < 6 + length {
+        let length = u32::from_be_bytes([avail[2], avail[3], avail[4], avail[5]]) as usize;
+        if avail.len() < 6 + length {
             return None;
         }
-        let frame = self.buf.split_to(6 + length);
-        Some(decode_envelope(&frame))
+        if self.chunk.is_empty() {
+            let frame = self.buf.split_to(6 + length);
+            Some(decode_envelope(&frame))
+        } else {
+            let frame = self.chunk.split_to(6 + length);
+            Some(decode_envelope(&frame))
+        }
     }
 }
 

@@ -34,6 +34,16 @@ impl RpcServerEndpoint {
     /// first-delivery requests appear in `fresh_requests`.
     pub fn feed(&mut self, data: &[u8]) -> (Vec<RpcRequest>, Vec<Bytes>) {
         self.reader.push(data);
+        self.drain_frames()
+    }
+
+    /// [`RpcServerEndpoint::feed`] over an owned chunk (zero-copy).
+    pub fn feed_bytes(&mut self, data: Bytes) -> (Vec<RpcRequest>, Vec<Bytes>) {
+        self.reader.push_bytes(data);
+        self.drain_frames()
+    }
+
+    fn drain_frames(&mut self) -> (Vec<RpcRequest>, Vec<Bytes>) {
         let mut fresh = Vec::new();
         let mut acks = Vec::new();
         loop {

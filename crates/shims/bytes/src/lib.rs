@@ -30,11 +30,22 @@ macro_rules! fmt_bytes_debug {
 }
 
 /// Cheaply cloneable, immutable byte buffer (a view into shared storage).
+///
+/// The storage is `Arc<Vec<u8>>`, not `Arc<[u8]>`: converting a `Vec`
+/// into `Arc<[u8]>` re-allocates and copies the contents (the refcount
+/// header must precede the data), which made every `freeze()` — i.e.
+/// every emitted frame and encoded message in the simulator — pay a
+/// second full copy. Wrapping the `Vec` moves it instead; the price is
+/// one extra pointer hop on reads, which profiles far cheaper.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
-    start: usize,
-    end: usize,
+    data: Arc<Vec<u8>>,
+    /// u32 offsets keep `Bytes` at 16 bytes — it rides inside every
+    /// queued simulator event, so its size is part of the event
+    /// queue's cache footprint. 4 GiB per buffer is far beyond any
+    /// frame or message this workspace constructs.
+    start: u32,
+    end: u32,
 }
 
 impl Bytes {
@@ -51,7 +62,7 @@ impl Bytes {
     }
 
     pub fn len(&self) -> usize {
-        self.end - self.start
+        (self.end - self.start) as usize
     }
 
     pub fn is_empty(&self) -> bool {
@@ -63,10 +74,10 @@ impl Bytes {
         assert!(at <= self.len());
         let tail = Bytes {
             data: Arc::clone(&self.data),
-            start: self.start + at,
+            start: self.start + at as u32,
             end: self.end,
         };
-        self.end = self.start + at;
+        self.end = self.start + at as u32;
         tail
     }
 
@@ -76,9 +87,9 @@ impl Bytes {
         let head = Bytes {
             data: Arc::clone(&self.data),
             start: self.start,
-            end: self.start + at,
+            end: self.start + at as u32,
         };
-        self.start += at;
+        self.start += at as u32;
         head
     }
 
@@ -97,8 +108,8 @@ impl Bytes {
         assert!(lo <= hi && hi <= self.len());
         Bytes {
             data: Arc::clone(&self.data),
-            start: self.start + lo,
-            end: self.start + hi,
+            start: self.start + lo as u32,
+            end: self.start + hi as u32,
         }
     }
 
@@ -110,7 +121,7 @@ impl Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        &self.data[self.start as usize..self.end as usize]
     }
 }
 
@@ -122,9 +133,10 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        let end = v.len();
+        assert!(v.len() <= u32::MAX as usize, "Bytes buffer too large");
+        let end = v.len() as u32;
         Bytes {
-            data: v.into(),
+            data: Arc::new(v),
             start: 0,
             end,
         }
@@ -367,7 +379,7 @@ impl Buf for Bytes {
     }
     fn advance(&mut self, cnt: usize) {
         assert!(cnt <= self.len(), "buffer underflow");
-        self.start += cnt;
+        self.start += cnt as u32;
     }
 }
 

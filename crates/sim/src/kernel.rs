@@ -10,7 +10,7 @@
 use crate::link::{FaultOutcome, LinkProfile};
 use crate::queue::EventQueue;
 use crate::time::Time;
-use crate::trace::{TraceLevel, Tracer};
+use crate::trace::{KernelCounter, TraceLevel, Tracer};
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -173,7 +173,10 @@ pub(crate) struct Inner {
     now: Time,
     queue: EventQueue<Ev>,
     links: Vec<LinkState>,
-    port_map: HashMap<LinkEnd, LinkId>,
+    /// Dense per-agent port tables: `ports[agent][port]` is the link
+    /// wired there. Built at wiring time, so the per-send lookup is
+    /// two indexed loads instead of a `HashMap` probe.
+    ports: Vec<Vec<Option<LinkId>>>,
     conns: Vec<ConnState>,
     listeners: HashMap<(AgentId, u16), bool>,
     pub(crate) rng: StdRng,
@@ -186,8 +189,34 @@ pub(crate) struct Inner {
 }
 
 impl Inner {
+    #[inline]
     fn link_of(&self, end: LinkEnd) -> Option<LinkId> {
-        self.port_map.get(&end).copied()
+        self.ports
+            .get(end.agent.0)?
+            .get(end.port as usize)
+            .copied()
+            .flatten()
+    }
+
+    /// Port-table slot for `end`, growing the tables as needed.
+    fn port_slot(&mut self, end: LinkEnd) -> &mut Option<LinkId> {
+        // The table is dense in the port number; an absurd port would
+        // allocate proportionally. Real switches here have tens of
+        // ports — catch typos (e.g. a dpid passed as a port) loudly.
+        assert!(
+            end.port < 4096,
+            "port {} on {} out of range for the dense port table",
+            end.port,
+            end.agent
+        );
+        if self.ports.len() <= end.agent.0 {
+            self.ports.resize_with(end.agent.0 + 1, Vec::new);
+        }
+        let row = &mut self.ports[end.agent.0];
+        if row.len() <= end.port as usize {
+            row.resize(end.port as usize + 1, None);
+        }
+        &mut row[end.port as usize]
     }
 
     fn name(&self, id: AgentId) -> &str {
@@ -195,6 +224,11 @@ impl Inner {
     }
 
     fn emit(&mut self, level: TraceLevel, source: AgentId, kind: &str, detail: String) {
+        // Same filter the tracer applies — checked here first so a
+        // filtered event never pays for the source-name copy.
+        if level == TraceLevel::Off || level > self.tracer.level() {
+            return;
+        }
         let src = self.name(source).to_string();
         self.tracer.emit(self.now, level, &src, kind, detail);
     }
@@ -202,7 +236,7 @@ impl Inner {
     fn send_frame_from(&mut self, from: AgentId, port: u32, frame: Bytes) {
         let end = LinkEnd { agent: from, port };
         let Some(lid) = self.link_of(end) else {
-            self.tracer.count("link.tx_no_link", 1);
+            self.tracer.count_kernel(KernelCounter::TxNoLink, 1);
             return;
         };
         let (other, dir, profile, up, removed) = {
@@ -212,7 +246,7 @@ impl Inner {
             (other, dir, l.profile, l.up, l.removed)
         };
         if !up || removed {
-            self.tracer.count("link.tx_down", 1);
+            self.tracer.count_kernel(KernelCounter::TxDown, 1);
             return;
         }
         let ser = profile.serialization_delay(frame.len());
@@ -220,23 +254,27 @@ impl Inner {
         let done = start + ser;
         self.links[lid.0].busy[dir] = done;
         let arrival = done + profile.latency;
-        self.tracer.count("link.tx_frames", 1);
-        self.tracer.count("link.tx_bytes", frame.len() as u64);
+        self.tracer.count_kernel(KernelCounter::TxFrames, 1);
+        self.tracer
+            .count_kernel(KernelCounter::TxBytes, frame.len() as u64);
         match profile.faults.apply(&mut self.rng, &frame) {
             FaultOutcome::Dropped => {
-                self.tracer.count("link.dropped", 1);
+                self.tracer.count_kernel(KernelCounter::Dropped, 1);
             }
             FaultOutcome::Deliver { frame, duplicate } => {
+                // Clone only when a duplicate must actually be queued;
+                // the common single-delivery path moves the frame.
+                let dup = duplicate.then(|| frame.clone());
                 self.queue.push(
                     arrival,
                     Ev::Frame {
                         agent: other.agent,
                         port: other.port,
-                        frame: frame.clone(),
+                        frame,
                     },
                 );
-                if duplicate {
-                    self.tracer.count("link.duplicated", 1);
+                if let Some(frame) = dup {
+                    self.tracer.count_kernel(KernelCounter::Duplicated, 1);
                     self.queue.push(
                         arrival,
                         Ev::Frame {
@@ -278,12 +316,12 @@ impl Inner {
                 .push(open_peer, Ev::StreamOpen { conn, to: peer });
             self.queue
                 .push(open_init, Ev::StreamOpen { conn, to: from });
-            self.tracer.count("conn.opened", 1);
+            self.tracer.count_kernel(KernelCounter::ConnOpened, 1);
         } else {
             // Connection refused: initiator learns after one round trip.
             self.queue
                 .push(open_init, Ev::StreamClosed { conn, to: from });
-            self.tracer.count("conn.refused", 1);
+            self.tracer.count_kernel(KernelCounter::ConnRefused, 1);
         }
         conn
     }
@@ -293,7 +331,7 @@ impl Inner {
             return;
         };
         if c.closed {
-            self.tracer.count("conn.tx_closed", 1);
+            self.tracer.count_kernel(KernelCounter::ConnTxClosed, 1);
             return;
         }
         let side = if c.ends[0] == from {
@@ -306,7 +344,8 @@ impl Inner {
         let to = c.ends[1 - side];
         let deliver = (self.now + c.profile.latency).max(c.deliver_clock[side]);
         c.deliver_clock[side] = deliver;
-        self.tracer.count("conn.tx_bytes", data.len() as u64);
+        self.tracer
+            .count_kernel(KernelCounter::ConnTxBytes, data.len() as u64);
         self.queue.push(deliver, Ev::StreamData { conn, to, data });
     }
 
@@ -334,20 +373,20 @@ impl Inner {
             port: b.1,
         };
         assert!(
-            !self.port_map.contains_key(&a),
+            self.link_of(a).is_none(),
             "port {}:{} already linked",
             a.agent,
             a.port
         );
         assert!(
-            !self.port_map.contains_key(&b),
+            self.link_of(b).is_none(),
             "port {}:{} already linked",
             b.agent,
             b.port
         );
         let id = LinkId(self.links.len());
-        self.port_map.insert(a, id);
-        self.port_map.insert(b, id);
+        *self.port_slot(a) = Some(id);
+        *self.port_slot(b) = Some(id);
         self.links.push(LinkState {
             a,
             b,
@@ -365,8 +404,8 @@ impl Inner {
                 l.removed = true;
                 l.up = false;
                 let (a, b) = (l.a, l.b);
-                self.port_map.remove(&a);
-                self.port_map.remove(&b);
+                *self.port_slot(a) = None;
+                *self.port_slot(b) = None;
             }
         }
     }
@@ -542,6 +581,8 @@ pub struct Sim {
     agents: Vec<Option<Box<dyn Agent>>>,
     inner: Inner,
     cfg: SimConfig,
+    /// Events dispatched so far (the perf harness's events/sec basis).
+    events_dispatched: u64,
 }
 
 impl Sim {
@@ -552,7 +593,7 @@ impl Sim {
                 now: Time::ZERO,
                 queue: EventQueue::new(),
                 links: Vec::new(),
-                port_map: HashMap::new(),
+                ports: Vec::new(),
                 conns: Vec::new(),
                 listeners: HashMap::new(),
                 rng: StdRng::seed_from_u64(cfg.seed),
@@ -564,6 +605,7 @@ impl Sim {
                 stopped: false,
             },
             cfg,
+            events_dispatched: 0,
         }
     }
 
@@ -646,6 +688,10 @@ impl Sim {
     }
 
     fn apply_pending(&mut self) {
+        // Runs after every event; almost always a no-op.
+        if self.inner.pending_spawn.is_empty() && self.inner.pending_kill.is_empty() {
+            return;
+        }
         for (id, agent) in self.inner.pending_spawn.drain(..) {
             while self.agents.len() <= id.0 {
                 self.agents.push(None);
@@ -697,50 +743,33 @@ impl Sim {
         }
         let (at, ev) = self.inner.queue.pop().expect("peeked");
         self.inner.now = at;
+        self.events_dispatched += 1;
         self.dispatch(ev);
         self.apply_pending();
         true
     }
 
     fn dispatch(&mut self, ev: Ev) {
-        type AgentCall = Box<dyn FnOnce(&mut dyn Agent, &mut Ctx<'_>)>;
-        let (target, call): (AgentId, AgentCall) = match ev {
-            Ev::Start(a) => (a, Box::new(|ag, ctx| ag.on_start(ctx))),
-            Ev::Timer { agent, token } => (agent, Box::new(move |ag, ctx| ag.on_timer(ctx, token))),
-            Ev::Frame { agent, port, frame } => (
-                agent,
-                Box::new(move |ag, ctx| ag.on_frame(ctx, port, frame)),
-            ),
-            Ev::StreamOpen { conn, to } => {
-                let Some(c) = self.inner.conns.get(conn.0) else {
-                    return;
-                };
-                let initiated = c.ends[0] == to;
-                let peer = if initiated { c.ends[1] } else { c.ends[0] };
-                let service = c.service;
-                (
-                    to,
-                    Box::new(move |ag, ctx| {
-                        ag.on_stream(
-                            ctx,
-                            conn,
-                            StreamEvent::Opened {
-                                peer,
-                                service,
-                                initiated_by_us: initiated,
-                            },
-                        )
-                    }),
-                )
+        // Resolve the target (and, for stream opens, the connection
+        // metadata) before taking the agent out of its slot, so every
+        // early return leaves the table intact. Handlers are invoked
+        // directly from the match — no per-event closure allocation.
+        let target = match &ev {
+            Ev::Start(a) => *a,
+            Ev::Timer { agent, .. } | Ev::Frame { agent, .. } => *agent,
+            Ev::StreamOpen { to, .. } | Ev::StreamData { to, .. } | Ev::StreamClosed { to, .. } => {
+                *to
             }
-            Ev::StreamData { conn, to, data } => (
-                to,
-                Box::new(move |ag, ctx| ag.on_stream(ctx, conn, StreamEvent::Data(data))),
-            ),
-            Ev::StreamClosed { conn, to } => (
-                to,
-                Box::new(move |ag, ctx| ag.on_stream(ctx, conn, StreamEvent::Closed)),
-            ),
+        };
+        let open_info = if let Ev::StreamOpen { conn, to } = &ev {
+            let Some(c) = self.inner.conns.get(conn.0) else {
+                return;
+            };
+            let initiated = c.ends[0] == *to;
+            let peer = if initiated { c.ends[1] } else { c.ends[0] };
+            Some((peer, c.service, initiated))
+        } else {
+            None
         };
         let Some(slot) = self.agents.get_mut(target.0) else {
             return;
@@ -753,7 +782,27 @@ impl Sim {
             inner: &mut self.inner,
             id: target,
         };
-        call(agent.as_mut(), &mut ctx);
+        match ev {
+            Ev::Start(_) => agent.on_start(&mut ctx),
+            Ev::Timer { token, .. } => agent.on_timer(&mut ctx, token),
+            Ev::Frame { port, frame, .. } => agent.on_frame(&mut ctx, port, frame),
+            Ev::StreamOpen { conn, .. } => {
+                let (peer, service, initiated_by_us) = open_info.expect("resolved above");
+                agent.on_stream(
+                    &mut ctx,
+                    conn,
+                    StreamEvent::Opened {
+                        peer,
+                        service,
+                        initiated_by_us,
+                    },
+                )
+            }
+            Ev::StreamData { conn, data, .. } => {
+                agent.on_stream(&mut ctx, conn, StreamEvent::Data(data))
+            }
+            Ev::StreamClosed { conn, .. } => agent.on_stream(&mut ctx, conn, StreamEvent::Closed),
+        }
         // The slot cannot have been reused: ids are never recycled.
         self.agents[target.0] = Some(agent);
     }
@@ -786,6 +835,13 @@ impl Sim {
     /// Pending event count (diagnostics).
     pub fn pending_events(&self) -> usize {
         self.inner.queue.len()
+    }
+
+    /// Total events dispatched since construction — the denominator of
+    /// the perf harness's events/sec figures. Monotonic, wall-clock
+    /// free, and identical across runs of the same scenario.
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
     }
 }
 
@@ -1146,6 +1202,107 @@ mod tests {
         sim.add_agent("tick", Box::new(Ticker));
         sim.run();
         assert_eq!(sim.now(), Time::from_secs(10));
+    }
+
+    #[test]
+    fn counters_identical_across_counting_levels() {
+        // Verbosity chooses which *events* are stored; the counters
+        // must say exactly the same thing at every counting level —
+        // and stay untouched at Off (the release-sweep fast path).
+        fn counters_at(level: TraceLevel) -> std::collections::BTreeMap<String, u64> {
+            let mut sim = Sim::new(SimConfig {
+                trace_level: level,
+                ..Default::default()
+            });
+            let a = sim.add_agent(
+                "a",
+                Box::new(Sender {
+                    port: 1,
+                    payload: Bytes::from(vec![0u8; 64]),
+                }),
+            );
+            let b = sim.add_agent(
+                "b",
+                Box::new(Probe {
+                    autoreply: true,
+                    listen_service: Some(7),
+                    ..Default::default()
+                }),
+            );
+            sim.add_link(
+                (a, 1),
+                (b, 1),
+                LinkProfile {
+                    latency: Duration::from_millis(2),
+                    bandwidth_bps: 10_000_000,
+                    faults: crate::link::FaultProfile::lossy(30.0),
+                },
+            );
+            sim.run();
+            sim.tracer().counters()
+        }
+        let info = counters_at(TraceLevel::Info);
+        let debug = counters_at(TraceLevel::Debug);
+        let trace = counters_at(TraceLevel::Trace);
+        assert!(info.contains_key("link.tx_frames"), "{info:?}");
+        assert_eq!(info, debug);
+        assert_eq!(debug, trace);
+        assert!(counters_at(TraceLevel::Off).is_empty());
+    }
+
+    #[test]
+    fn duplicate_fault_delivers_original_before_copy() {
+        // The single-clone restructure must keep the delivery order:
+        // original first, duplicate second, both at the same instant.
+        let mut sim = Sim::new(SimConfig {
+            seed: 11,
+            ..Default::default()
+        });
+        let a = sim.add_agent(
+            "a",
+            Box::new(Sender {
+                port: 1,
+                payload: Bytes::from_static(b"dup"),
+            }),
+        );
+        let b = sim.add_agent("b", Box::new(Probe::default()));
+        sim.add_link(
+            (a, 1),
+            (b, 1),
+            LinkProfile {
+                latency: Duration::from_millis(1),
+                bandwidth_bps: 1_000_000_000,
+                faults: crate::link::FaultProfile {
+                    duplicate_chance: 1.0,
+                    ..Default::default()
+                },
+            },
+        );
+        sim.run();
+        let probe = sim.agent_as::<Probe>(b).unwrap();
+        assert_eq!(probe.frames.len(), 2);
+        assert_eq!(probe.frames[0].0, probe.frames[1].0);
+        assert_eq!(&probe.frames[0].2[..], b"dup");
+        assert_eq!(&probe.frames[1].2[..], b"dup");
+        assert_eq!(sim.tracer().counter("link.duplicated"), 1);
+        assert_eq!(sim.tracer().counter("link.tx_frames"), 1);
+    }
+
+    #[test]
+    fn events_dispatched_counts_steps() {
+        let mut sim = Sim::new(SimConfig::default());
+        let a = sim.add_agent(
+            "a",
+            Box::new(Sender {
+                port: 1,
+                payload: Bytes::from_static(b"x"),
+            }),
+        );
+        let b = sim.add_agent("b", Box::new(Probe::default()));
+        sim.add_link((a, 1), (b, 1), LinkProfile::default());
+        sim.run();
+        // Two Start events plus one Frame delivery.
+        assert_eq!(sim.events_dispatched(), 3);
     }
 
     #[test]

@@ -57,4 +57,4 @@ pub mod trace;
 pub use kernel::{Agent, AgentId, ConnId, ConnProfile, Ctx, LinkId, Sim, SimConfig, StreamEvent};
 pub use link::{FaultProfile, LinkProfile};
 pub use time::Time;
-pub use trace::{TraceEvent, TraceLevel, Tracer};
+pub use trace::{KernelCounter, TraceEvent, TraceLevel, Tracer};

@@ -60,10 +60,16 @@ impl Time {
 
     /// Saturating add of a duration.
     pub fn saturating_add(self, d: Duration) -> Time {
-        Time(
-            self.0
-                .saturating_add(d.as_nanos().min(u64::MAX as u128) as u64),
-        )
+        // In u64 throughout: `Duration::as_nanos` returns u128, and the
+        // 128-bit multiply showed up in profiles of the hot path (every
+        // schedule and every link-busy update lands here). A duration
+        // whose seconds alone overflow u64 nanoseconds saturates, which
+        // is what the u128 path produced too.
+        let d_nanos = match d.as_secs().checked_mul(1_000_000_000) {
+            Some(s) => s.saturating_add(u64::from(d.subsec_nanos())),
+            None => u64::MAX,
+        };
+        Time(self.0.saturating_add(d_nanos))
     }
 }
 

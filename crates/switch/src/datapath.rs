@@ -32,12 +32,12 @@ struct FrameEditor {
 
 impl FrameEditor {
     fn new(frame: &Bytes) -> Option<FrameEditor> {
-        let eth = EthernetFrame::parse(frame).ok()?;
+        let eth = EthernetFrame::parse_bytes(frame).ok()?;
         let (ip, udp) = if eth.ethertype == EtherType::IPV4 {
-            match Ipv4Packet::parse(&eth.payload) {
+            match Ipv4Packet::parse_bytes(&eth.payload) {
                 Ok(ip) => {
                     let udp = if ip.protocol == IpProtocol::UDP {
-                        UdpPacket::parse(&ip.payload, ip.src, ip.dst).ok()
+                        UdpPacket::parse_bytes(&ip.payload, ip.src, ip.dst).ok()
                     } else {
                         None
                     };
@@ -132,6 +132,57 @@ pub fn apply_actions(
     in_port: PortNumber,
     num_ports: u16,
 ) -> Vec<Egress> {
+    // Fast path: an action list without header rewrites (the
+    // overwhelmingly common case — plain forwarding, floods, punts)
+    // leaves the frame byte-identical, so the parse → re-emit round
+    // trip below is pure overhead. `emit` pads to the 60-byte minimum,
+    // so only already-padded frames are guaranteed to round-trip to
+    // themselves; shorter ones (never produced by `emit`, but possible
+    // via hand-built PACKET_OUT data) take the slow path, which pads
+    // exactly as before.
+    let mutates = actions.iter().any(|a| {
+        matches!(
+            a,
+            Action::SetDlSrc(_)
+                | Action::SetDlDst(_)
+                | Action::SetNwSrc(_)
+                | Action::SetNwDst(_)
+                | Action::SetNwTos(_)
+                | Action::SetTpSrc(_)
+                | Action::SetTpDst(_)
+        )
+    });
+    if !mutates && frame.len() >= rf_wire::MIN_FRAME_NO_FCS {
+        let mut out = Vec::new();
+        for action in actions {
+            match action {
+                Action::Output { port, max_len } => match *port {
+                    OFPP_CONTROLLER => out.push(Egress::Controller {
+                        max_len: *max_len,
+                        frame: frame.clone(),
+                    }),
+                    OFPP_IN_PORT => out.push(Egress::Port(in_port, frame.clone())),
+                    OFPP_TABLE => out.push(Egress::Table(frame.clone())),
+                    OFPP_FLOOD | OFPP_ALL => {
+                        for p in 1..=num_ports {
+                            if p != in_port {
+                                out.push(Egress::Port(p, frame.clone()));
+                            }
+                        }
+                    }
+                    p if (1..=OFPP_MAX).contains(&p) && p <= num_ports => {
+                        out.push(Egress::Port(p, frame.clone()));
+                    }
+                    _ => { /* OFPP_NORMAL / LOCAL / NONE / invalid: drop */ }
+                },
+                Action::Enqueue { port, .. } if *port >= 1 && *port <= num_ports => {
+                    out.push(Egress::Port(*port, frame.clone()));
+                }
+                _ => { /* dropped Enqueue / VLAN actions: accepted and ignored */ }
+            }
+        }
+        return out;
+    }
     let mut editor = FrameEditor::new(frame);
     let mut out = Vec::new();
     let render = |e: &Option<FrameEditor>| -> Bytes {
@@ -217,7 +268,7 @@ pub fn apply_actions(
 
 /// Dedicated MAC pair used by tests and RouteFlow translation.
 pub fn rewrite_macs(frame: &Bytes, src: MacAddr, dst: MacAddr) -> Option<Bytes> {
-    let mut eth = EthernetFrame::parse(frame).ok()?;
+    let mut eth = EthernetFrame::parse_bytes(frame).ok()?;
     eth.src = src;
     eth.dst = dst;
     Some(eth.emit())

@@ -106,6 +106,15 @@ pub struct OpenFlowSwitch {
     pending_port_status: Vec<PortNumber>,
     /// Copies of ERROR messages we sent (for tests/diagnostics).
     pub errors_sent: u64,
+    /// Reused per-event decode buffer (capacity persists across events).
+    msg_scratch: Vec<Option<(OfMessage, u32)>>,
+    /// Per-port template of the last action-punt PACKET_IN:
+    /// `(punted frame, cut, encoded message)`. LLDP probes punt the
+    /// identical frame every round; on a match the wire bytes are the
+    /// template with a fresh xid (the encoder is canonical, so that
+    /// equals re-encoding). Keyed by content, so any other frame just
+    /// misses and refreshes the entry.
+    punt_cache: HashMap<PortNumber, (Bytes, usize, Bytes)>,
 }
 
 impl OpenFlowSwitch {
@@ -139,6 +148,8 @@ impl OpenFlowSwitch {
             xid: 1,
             pending_port_status: Vec::new(),
             errors_sent: 0,
+            msg_scratch: Vec::new(),
+            punt_cache: HashMap::new(),
         }
     }
 
@@ -197,6 +208,11 @@ impl OpenFlowSwitch {
     /// Broadcast an asynchronous message to every ready controller.
     fn send(&mut self, ctx: &mut Ctx<'_>, msg: OfMessage, xid: u32) {
         let encoded = msg.encode(xid);
+        self.send_raw(ctx, encoded);
+    }
+
+    /// Send pre-encoded bytes to every ready control channel.
+    fn send_raw(&mut self, ctx: &mut Ctx<'_>, encoded: Bytes) {
         for c in &self.ctrls {
             if c.state == ConnState::Ready {
                 if let Some(conn) = c.conn {
@@ -255,7 +271,7 @@ impl OpenFlowSwitch {
 
     /// Run a frame through the flow table and execute the result.
     fn pipeline(&mut self, ctx: &mut Ctx<'_>, in_port: PortNumber, frame: Bytes) {
-        let Some(key) = PacketKey::from_frame(in_port, &frame) else {
+        let Some(key) = PacketKey::from_frame_bytes(in_port, &frame) else {
             ctx.count("switch.unparseable", 1);
             return;
         };
@@ -287,17 +303,32 @@ impl OpenFlowSwitch {
                         frame.len().min(max_len as usize)
                     };
                     let xid = self.next_xid();
-                    self.send(
-                        ctx,
-                        OfMessage::PacketIn {
+                    // Template fast path for small repeated punts (the
+                    // LLDP probe cycle); bounded compare, same bytes.
+                    let cached = frame.len() <= 128
+                        && self
+                            .punt_cache
+                            .get(&in_port)
+                            .is_some_and(|(f, c, _)| *c == cut && *f == frame);
+                    if cached {
+                        let (_, _, template) = &self.punt_cache[&in_port];
+                        let encoded = rf_openflow::reframe_with_xid(template, xid);
+                        self.send_raw(ctx, encoded);
+                    } else {
+                        let encoded = OfMessage::PacketIn {
                             buffer_id: OFP_NO_BUFFER,
                             total_len,
                             in_port,
                             reason: PacketInReason::Action,
                             data: frame.slice(..cut),
-                        },
-                        xid,
-                    );
+                        }
+                        .encode(xid);
+                        if frame.len() <= 128 {
+                            self.punt_cache
+                                .insert(in_port, (frame.clone(), cut, encoded.clone()));
+                        }
+                        self.send_raw(ctx, encoded);
+                    }
                 }
                 Egress::Table(bytes) => self.pipeline(ctx, in_port, bytes),
             }
@@ -625,25 +656,26 @@ impl Agent for OpenFlowSwitch {
                 self.send_to(ctx, idx, OfMessage::Hello, xid);
             }
             StreamEvent::Data(data) => {
-                let msgs = {
+                let mut msgs = std::mem::take(&mut self.msg_scratch);
+                msgs.clear();
+                {
                     let reader = &mut self.ctrls[idx].reader;
-                    reader.push(&data);
-                    let mut v = Vec::new();
+                    reader.push_bytes(data);
                     loop {
                         match reader.next() {
-                            Some(Ok(m)) => v.push(Some(m)),
-                            Some(Err(_)) => v.push(None),
+                            Some(Ok(m)) => msgs.push(Some(m)),
+                            Some(Err(_)) => msgs.push(None),
                             None => break,
                         }
                     }
-                    v
-                };
-                for m in msgs {
+                }
+                for m in msgs.drain(..) {
                     match m {
                         Some((msg, xid)) => self.handle_message(ctx, idx, msg, xid),
                         None => ctx.count("switch.decode_error", 1),
                     }
                 }
+                self.msg_scratch = msgs;
             }
             StreamEvent::Closed => {
                 ctx.trace("of.disconnected", "control channel lost; will reconnect");

@@ -166,6 +166,10 @@ impl RfMessage {
 /// Stream reassembler for RF frames.
 #[derive(Default)]
 pub struct RfFrameReader {
+    /// Unconsumed tail of the last chunk (zero-copy fast path);
+    /// non-empty only while `buf` is empty.
+    chunk: Bytes,
+    /// Reassembly buffer for fragmented input.
     buf: BytesMut,
 }
 
@@ -175,20 +179,48 @@ impl RfFrameReader {
     }
 
     pub fn push(&mut self, data: &[u8]) {
+        self.spill();
         self.buf.extend_from_slice(data);
+    }
+
+    /// Feed a whole stream chunk without copying when drained.
+    pub fn push_bytes(&mut self, data: Bytes) {
+        if self.buf.is_empty() && self.chunk.is_empty() {
+            self.chunk = data;
+        } else {
+            self.spill();
+            self.buf.extend_from_slice(&data);
+        }
+    }
+
+    fn spill(&mut self) {
+        if !self.chunk.is_empty() {
+            self.buf.extend_from_slice(&self.chunk);
+            self.chunk = Bytes::new();
+        }
     }
 
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<RfMessage> {
-        if self.buf.len() < 4 {
+        let avail: &[u8] = if self.chunk.is_empty() {
+            &self.buf
+        } else {
+            &self.chunk
+        };
+        if avail.len() < 4 {
             return None;
         }
-        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
-        if self.buf.len() < 4 + len {
+        let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if avail.len() < 4 + len {
             return None;
         }
-        let frame = self.buf.split_to(4 + len);
-        RfMessage::decode(&frame[4..])
+        if self.chunk.is_empty() {
+            let frame = self.buf.split_to(4 + len);
+            RfMessage::decode(&frame[4..])
+        } else {
+            let frame = self.chunk.split_to(4 + len);
+            RfMessage::decode(&frame[4..])
+        }
     }
 }
 

@@ -32,6 +32,13 @@ pub struct VmAgent {
     ospf: Option<OspfDaemon>,
     rib: Rib,
     ospf_deadline: Option<Time>,
+    /// Per-iface cache of the last multicast OSPF transmit:
+    /// `payload → emitted frame`. Steady-state hellos repeat the same
+    /// payload every interval; comparing ~48 bytes beats re-emitting
+    /// OSPF + IPv4 (checksum included) + Ethernet each time. The frame
+    /// is a pure function of `(dpid, iface, iface address, payload)`,
+    /// and the cache is dropped whenever the interface table changes.
+    tx_cache: BTreeMap<u16, (Bytes, Bytes)>,
     /// Diagnostics: routes pushed to the RF-controller.
     pub routes_announced: u64,
     pub routes_withdrawn: u64,
@@ -54,6 +61,7 @@ impl VmAgent {
             ospf: None,
             rib: Rib::new(),
             ospf_deadline: None,
+            tx_cache: BTreeMap::new(),
             routes_announced: 0,
             routes_withdrawn: 0,
         }
@@ -117,15 +125,28 @@ impl VmAgent {
                     let Some(addr) = self.ifaces.get(&iface).copied() else {
                         continue;
                     };
-                    let mut ip = Ipv4Packet::new(addr.addr, dst, IpProtocol::OSPF, packet);
+                    if let Some((cached_payload, cached_frame)) = self.tx_cache.get(&iface) {
+                        // Cache applies to the multicast path only (all
+                        // current daemon output; a unicast dst would
+                        // produce a different IP header).
+                        if dst == ALL_SPF_ROUTERS && *cached_payload == packet {
+                            ctx.send_frame(u32::from(iface), cached_frame.clone());
+                            continue;
+                        }
+                    }
+                    let mut ip = Ipv4Packet::new(addr.addr, dst, IpProtocol::OSPF, packet.clone());
                     ip.ttl = 1;
                     let frame = EthernetFrame::new(
                         OSPF_MCAST_MAC,
                         MacAddr::from_dpid_port(self.dpid, iface),
                         EtherType::IPV4,
                         ip.emit(),
-                    );
-                    ctx.send_frame(u32::from(iface), frame.emit());
+                    )
+                    .emit();
+                    if dst == ALL_SPF_ROUTERS {
+                        self.tx_cache.insert(iface, (packet, frame.clone()));
+                    }
+                    ctx.send_frame(u32::from(iface), frame);
                 }
                 OspfEvent::RoutesChanged(routes) => {
                     let changes = self.rib.replace_protocol(RouteProto::Ospf, &routes);
@@ -204,6 +225,7 @@ impl VmAgent {
             .collect();
         for (idx, addr) in added {
             self.ifaces.insert(idx, addr);
+            self.tx_cache.remove(&idx);
             let ch = self.rib.add(Route::connected(
                 Ipv4Cidr::new(addr.network(), addr.prefix_len),
                 idx,
@@ -213,6 +235,7 @@ impl VmAgent {
             self.process_ospf_events(ctx, ev);
         }
         for idx in removed {
+            self.tx_cache.remove(&idx);
             if let Some(addr) = self.ifaces.remove(&idx) {
                 let ch = self.rib.remove(
                     Ipv4Cidr::new(addr.network(), addr.prefix_len),
@@ -254,7 +277,7 @@ impl Agent for VmAgent {
 
     fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: u32, frame: Bytes) {
         let iface = port as u16;
-        let Ok(eth) = EthernetFrame::parse(&frame) else {
+        let Ok(eth) = EthernetFrame::parse_bytes(&frame) else {
             return;
         };
         match eth.ethertype {
@@ -274,7 +297,7 @@ impl Agent for VmAgent {
                 }
             }
             EtherType::IPV4 => {
-                let Ok(ip) = Ipv4Packet::parse(&eth.payload) else {
+                let Ok(ip) = Ipv4Packet::parse_bytes(&eth.payload) else {
                     return;
                 };
                 if ip.protocol == IpProtocol::OSPF
@@ -303,7 +326,7 @@ impl Agent for VmAgent {
                 ctx.trace("vm.booted", format!("dpid {dpid:#x}"));
             }
             StreamEvent::Data(data) => {
-                self.reader.push(&data);
+                self.reader.push_bytes(data);
                 while let Some(msg) = self.reader.next() {
                     if let RfMessage::WriteConfigs { zebra, ospf, .. } = msg {
                         self.apply_configs(ctx, &zebra, &ospf);

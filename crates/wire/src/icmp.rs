@@ -53,18 +53,37 @@ impl IcmpPacket {
     }
 
     pub fn parse(data: &[u8]) -> Result<IcmpPacket, WireError> {
+        Self::parse_validated(data)?;
+        Ok(Self::assemble(
+            data,
+            Bytes::copy_from_slice(&data[8..]),
+            Bytes::copy_from_slice(&data[4..]),
+        ))
+    }
+
+    /// [`IcmpPacket::parse`] with zero-copy payload slices of the
+    /// caller's [`Bytes`]. Identical semantics, checksum included.
+    pub fn parse_bytes(data: &Bytes) -> Result<IcmpPacket, WireError> {
+        Self::parse_validated(data)?;
+        Ok(Self::assemble(data, data.slice(8..), data.slice(4..)))
+    }
+
+    fn parse_validated(data: &[u8]) -> Result<(), WireError> {
         if data.len() < ICMP_HEADER_LEN {
             return Err(WireError::Truncated);
         }
         if internet_checksum(data) != 0 {
             return Err(WireError::BadChecksum);
         }
+        Ok(())
+    }
+
+    fn assemble(data: &[u8], payload: Bytes, rest: Bytes) -> IcmpPacket {
         let ty = data[0];
         let code = data[1];
         let ident = u16::from_be_bytes([data[4], data[5]]);
         let seq = u16::from_be_bytes([data[6], data[7]]);
-        let payload = Bytes::copy_from_slice(&data[8..]);
-        Ok(match (ty, code) {
+        match (ty, code) {
             (8, 0) => IcmpPacket::EchoRequest {
                 ident,
                 seq,
@@ -75,12 +94,8 @@ impl IcmpPacket {
                 seq,
                 payload,
             },
-            _ => IcmpPacket::Other {
-                ty,
-                code,
-                rest: Bytes::copy_from_slice(&data[4..]),
-            },
-        })
+            _ => IcmpPacket::Other { ty, code, rest },
+        }
     }
 
     pub fn emit(&self) -> Bytes {

@@ -35,7 +35,29 @@ pub struct Ipv4Packet {
     pub payload: Bytes,
 }
 
+/// Parsed header fields, shared by the copying and zero-copy parsers.
+struct HeaderFields {
+    dscp: u8,
+    identification: u16,
+    ttl: u8,
+    protocol: IpProtocol,
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+}
+
 impl Ipv4Packet {
+    fn from_fields(f: HeaderFields, payload: Bytes) -> Self {
+        Ipv4Packet {
+            dscp: f.dscp,
+            identification: f.identification,
+            ttl: f.ttl,
+            protocol: f.protocol,
+            src: f.src,
+            dst: f.dst,
+            payload,
+        }
+    }
+
     /// Standard constructor with TTL 64.
     pub fn new(src: Ipv4Addr, dst: Ipv4Addr, protocol: IpProtocol, payload: Bytes) -> Self {
         Ipv4Packet {
@@ -52,6 +74,22 @@ impl Ipv4Packet {
     /// Parse and verify the header checksum. Trailing bytes beyond
     /// `total_length` (Ethernet padding) are discarded.
     pub fn parse(data: &[u8]) -> Result<Ipv4Packet, WireError> {
+        let (fields, payload_range) = Self::parse_header(data)?;
+        Ok(Ipv4Packet::from_fields(
+            fields,
+            Bytes::copy_from_slice(&data[payload_range]),
+        ))
+    }
+
+    /// [`Ipv4Packet::parse`] without copying the payload — a zero-copy
+    /// slice of the caller's [`Bytes`]. Identical semantics (including
+    /// checksum verification), minus one allocation per packet.
+    pub fn parse_bytes(data: &Bytes) -> Result<Ipv4Packet, WireError> {
+        let (fields, payload_range) = Self::parse_header(data)?;
+        Ok(Ipv4Packet::from_fields(fields, data.slice(payload_range)))
+    }
+
+    fn parse_header(data: &[u8]) -> Result<(HeaderFields, std::ops::Range<usize>), WireError> {
         if data.len() < IPV4_HEADER_LEN {
             return Err(WireError::Truncated);
         }
@@ -75,15 +113,17 @@ impl Ipv4Packet {
             // MF set or fragment offset non-zero: we don't reassemble.
             return Err(WireError::Unsupported);
         }
-        Ok(Ipv4Packet {
-            dscp: data[1] >> 2,
-            identification: u16::from_be_bytes([data[4], data[5]]),
-            ttl: data[8],
-            protocol: IpProtocol(data[9]),
-            src: Ipv4Addr::new(data[12], data[13], data[14], data[15]),
-            dst: Ipv4Addr::new(data[16], data[17], data[18], data[19]),
-            payload: Bytes::copy_from_slice(&data[ihl..total_len]),
-        })
+        Ok((
+            HeaderFields {
+                dscp: data[1] >> 2,
+                identification: u16::from_be_bytes([data[4], data[5]]),
+                ttl: data[8],
+                protocol: IpProtocol(data[9]),
+                src: Ipv4Addr::new(data[12], data[13], data[14], data[15]),
+                dst: Ipv4Addr::new(data[16], data[17], data[18], data[19]),
+            },
+            ihl..total_len,
+        ))
     }
 
     /// Serialize with a freshly computed header checksum.

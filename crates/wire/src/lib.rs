@@ -29,7 +29,7 @@ pub mod udp;
 
 pub use addr::{Ipv4Cidr, MacAddr};
 pub use arp::{ArpOp, ArpPacket};
-pub use ethernet::{EtherType, EthernetFrame};
+pub use ethernet::{EtherType, EthernetFrame, MIN_FRAME_NO_FCS};
 pub use icmp::IcmpPacket;
 pub use ipv4::{IpProtocol, Ipv4Packet};
 pub use lldp::{LldpPacket, LldpTlv};
@@ -69,6 +69,26 @@ impl std::error::Error for WireError {}
 
 /// Internet checksum (RFC 1071) over `data`.
 pub fn internet_checksum(data: &[u8]) -> u16 {
+    fold_checksum(accumulate_checksum(data))
+}
+
+/// Internet checksum over the logical concatenation of `parts`. Every
+/// part except the last must be even-length so the 16-bit word
+/// boundaries line up with the concatenated buffer — ones-complement
+/// addition is associative, so the result is bit-identical to
+/// checksumming one contiguous copy (this is how the UDP pseudo-header
+/// check avoids materializing that copy per datagram).
+pub fn internet_checksum_parts(parts: &[&[u8]]) -> u16 {
+    debug_assert!(parts
+        .iter()
+        .rev()
+        .skip(1)
+        .all(|p| p.len().is_multiple_of(2)));
+    fold_checksum(parts.iter().map(|p| accumulate_checksum(p)).sum())
+}
+
+/// Unfolded 16-bit-word sum of `data` (RFC 1071's inner loop).
+fn accumulate_checksum(data: &[u8]) -> u32 {
     let mut sum: u32 = 0;
     let mut chunks = data.chunks_exact(2);
     for c in &mut chunks {
@@ -77,6 +97,11 @@ pub fn internet_checksum(data: &[u8]) -> u16 {
     if let [last] = chunks.remainder() {
         sum += u32::from(u16::from_be_bytes([*last, 0]));
     }
+    sum
+}
+
+/// Fold the carries and complement (RFC 1071's final step).
+fn fold_checksum(mut sum: u32) -> u16 {
     while sum > 0xFFFF {
         sum = (sum & 0xFFFF) + (sum >> 16);
     }

@@ -127,6 +127,58 @@ impl LldpPacket {
         Some((dpid?, port?))
     }
 
+    /// Allocation-free equivalent of `parse(data)` followed by
+    /// [`LldpPacket::decode_discovery`]: walks the TLVs in place and
+    /// returns exactly what that pair would — `None` whenever `parse`
+    /// would error *or* the LLDPDU is not a discovery probe. This is
+    /// the per-probe hot path of topology discovery; the TLV vector
+    /// only exists for callers that inspect arbitrary LLDPDUs.
+    pub fn parse_discovery(data: &[u8]) -> Option<(u64, u16)> {
+        let mut dpid = None;
+        let mut port = None;
+        let mut off = 0usize;
+        loop {
+            if off + 2 > data.len() {
+                return None; // parse: Truncated
+            }
+            let hdr = u16::from_be_bytes([data[off], data[off + 1]]);
+            let ty = (hdr >> 9) as u8;
+            let len = (hdr & 0x1FF) as usize;
+            off += 2;
+            if off + len > data.len() {
+                return None; // parse: Malformed
+            }
+            let value = &data[off..off + len];
+            off += len;
+            match ty {
+                0 => break,
+                1 => {
+                    if value.is_empty() {
+                        return None; // parse: Malformed
+                    }
+                    if value[0] == SUBTYPE_LOCAL && value.len() == 9 {
+                        let mut b = [0u8; 8];
+                        b.copy_from_slice(&value[1..]);
+                        dpid = Some(u64::from_be_bytes(b));
+                    }
+                }
+                2 => {
+                    if value.is_empty() {
+                        return None; // parse: Malformed
+                    }
+                    if value[0] == SUBTYPE_LOCAL && value.len() == 3 {
+                        port = Some(u16::from_be_bytes([value[1], value[2]]));
+                    }
+                }
+                3 if value.len() < 2 => return None, // parse: Malformed
+                5 if std::str::from_utf8(value).is_err() => return None, // parse: Malformed
+                127 if value.len() < 4 => return None, // parse: Malformed
+                _ => {}
+            }
+        }
+        Some((dpid?, port?))
+    }
+
     pub fn parse(data: &[u8]) -> Result<LldpPacket, WireError> {
         let mut tlvs = Vec::new();
         let mut off = 0usize;
@@ -321,5 +373,33 @@ mod tests {
             .iter()
             .any(|t| matches!(t, LldpTlv::Unknown { ty: 8, .. })));
         assert_eq!(parsed.decode_discovery(), Some((3, 4)));
+    }
+
+    #[test]
+    fn parse_discovery_matches_parse_plus_decode() {
+        // The fused hot-path parser must agree with parse + decode on
+        // probes, non-probes, and malformed input alike.
+        let probe = LldpPacket::discovery_probe(0x1234_5678_9ABC_DEF0, 42).emit();
+        assert_eq!(
+            LldpPacket::parse_discovery(&probe),
+            Some((0x1234_5678_9ABC_DEF0, 42))
+        );
+        let cases: Vec<Vec<u8>> = vec![
+            probe.to_vec(),
+            probe[..probe.len() - 1].to_vec(), // truncated
+            vec![],
+            vec![0xFF; 16],
+            LldpPacket {
+                tlvs: vec![LldpTlv::Ttl(9), LldpTlv::SystemName("x".into())],
+            }
+            .emit()
+            .to_vec(),
+        ];
+        for wire in cases {
+            let slow = LldpPacket::parse(&wire)
+                .ok()
+                .and_then(|p| p.decode_discovery());
+            assert_eq!(LldpPacket::parse_discovery(&wire), slow, "{wire:02x?}");
+        }
     }
 }

@@ -30,6 +30,30 @@ impl UdpPacket {
     /// from `src`/`dst` (pass the enclosing IPv4 addresses). A zero
     /// checksum means "not computed" and is accepted, per RFC 768.
     pub fn parse(data: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<UdpPacket, WireError> {
+        let (src_port, dst_port, length) = Self::parse_header(data, src, dst)?;
+        Ok(UdpPacket {
+            src_port,
+            dst_port,
+            payload: Bytes::copy_from_slice(&data[UDP_HEADER_LEN..length]),
+        })
+    }
+
+    /// [`UdpPacket::parse`] with a zero-copy payload slice of the
+    /// caller's [`Bytes`]. Identical semantics, checksum included.
+    pub fn parse_bytes(data: &Bytes, src: Ipv4Addr, dst: Ipv4Addr) -> Result<UdpPacket, WireError> {
+        let (src_port, dst_port, length) = Self::parse_header(data, src, dst)?;
+        Ok(UdpPacket {
+            src_port,
+            dst_port,
+            payload: data.slice(UDP_HEADER_LEN..length),
+        })
+    }
+
+    fn parse_header(
+        data: &[u8],
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+    ) -> Result<(u16, u16, usize), WireError> {
         if data.len() < UDP_HEADER_LEN {
             return Err(WireError::Truncated);
         }
@@ -39,22 +63,22 @@ impl UdpPacket {
         }
         let wire_ck = u16::from_be_bytes([data[6], data[7]]);
         if wire_ck != 0 {
-            let mut pseudo = Vec::with_capacity(12 + length);
-            pseudo.extend_from_slice(&src.octets());
-            pseudo.extend_from_slice(&dst.octets());
-            pseudo.push(0);
-            pseudo.push(IpProtocol::UDP.0);
-            pseudo.extend_from_slice(&(length as u16).to_be_bytes());
-            pseudo.extend_from_slice(&data[..length]);
-            if internet_checksum(&pseudo) != 0 {
+            // Pseudo-header words on the stack; the datagram itself is
+            // checksummed in place (no concatenated copy per packet).
+            let mut pseudo = [0u8; 12];
+            pseudo[0..4].copy_from_slice(&src.octets());
+            pseudo[4..8].copy_from_slice(&dst.octets());
+            pseudo[9] = IpProtocol::UDP.0;
+            pseudo[10..12].copy_from_slice(&(length as u16).to_be_bytes());
+            if crate::internet_checksum_parts(&[&pseudo, &data[..length]]) != 0 {
                 return Err(WireError::BadChecksum);
             }
         }
-        Ok(UdpPacket {
-            src_port: u16::from_be_bytes([data[0], data[1]]),
-            dst_port: u16::from_be_bytes([data[2], data[3]]),
-            payload: Bytes::copy_from_slice(&data[UDP_HEADER_LEN..length]),
-        })
+        Ok((
+            u16::from_be_bytes([data[0], data[1]]),
+            u16::from_be_bytes([data[2], data[3]]),
+            length,
+        ))
     }
 
     /// Serialize with the pseudo-header checksum computed from

@@ -3,9 +3,12 @@
 # medians-over-time table (crates/bench/baselines/trend.md).
 #
 # Usage:
-#   scripts/trend_collect.sh append TREND_MD REPORT_JSON LABEL
+#   scripts/trend_collect.sh append TREND_MD REPORT_JSON LABEL [PERF_JSON]
 #       Append one row for REPORT_JSON under LABEL (idempotent: a row
-#       whose label already exists is skipped).
+#       whose label already exists is skipped). When PERF_JSON (a
+#       BENCH_perf.json from perf_sweep) is given, the wall-clock
+#       cells/sec of its full (falling back to smoke) grid fills the
+#       last column; otherwise the column reads "-".
 #   scripts/trend_collect.sh fetch TREND_MD [LIMIT]
 #       In CI: download up to LIMIT (default 12) prior sweep-full
 #       artifacts via `gh`, append a row per report (oldest first),
@@ -14,7 +17,8 @@
 #
 # The table tracks the summary *median* of a fixed metric set — the
 # first cut of the ROADMAP "plot medians over time" dashboard. Times
-# are nanoseconds of simulated time.
+# are nanoseconds of simulated time; the trailing wall_cells_per_sec
+# column is wall-clock (machine-dependent), from BENCH_perf.json.
 set -euo pipefail
 
 METRICS=(all_configured_ns recovery_ns ping_replies of_bytes_sent of_pushes of_deferred of_queue_hwm dataplane_flows)
@@ -28,18 +32,20 @@ header() {
             printf 'Times are nanoseconds of simulated time; `-` means the metric was absent.\n\n'
             printf '| run | cells |'
             printf ' %s |' "${METRICS[@]}"
+            printf ' wall_cells_per_sec |'
             printf '\n|---|---|'
             printf '%s' "$(printf -- '---|%.0s' "${METRICS[@]}")"
+            printf -- '---|'
             printf '\n'
         } >"$md"
     fi
 }
 
 row_for() {
-    local report=$1 label=$2
-    python3 - "$report" "$label" "${METRICS[@]}" <<'PY'
+    local report=$1 label=$2 perf=$3
+    python3 - "$report" "$label" "$perf" "${METRICS[@]}" <<'PY'
 import json, sys
-report, label, metrics = sys.argv[1], sys.argv[2], sys.argv[3:]
+report, label, perf, metrics = sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4:]
 with open(report) as f:
     doc = json.load(f)
 cells = doc.get("cells", [])
@@ -48,25 +54,38 @@ cols = [label, str(len(cells))]
 for m in metrics:
     s = summary.get(m)
     cols.append(str(s["median"]) if s else "-")
+cps = "-"
+if perf:
+    try:
+        with open(perf) as f:
+            grids = json.load(f).get("grids", {})
+        grid = grids.get("full") or grids.get("smoke") or {}
+        cps = str(grid.get("single_thread", {}).get("cells_per_sec", "-"))
+    except (OSError, ValueError):
+        pass  # missing or malformed perf file: leave the column "-"
+cols.append(cps)
 print("| " + " | ".join(cols) + " |")
 PY
 }
 
 append_row() {
-    local md=$1 report=$2 label=$3
+    local md=$1 report=$2 label=$3 perf=${4:-}
     header "$md"
     if grep -q "^| ${label} |" "$md"; then
         echo "trend: row '${label}' already present, skipping" >&2
         return 0
     fi
-    row_for "$report" "$label" >>"$md"
+    row_for "$report" "$label" "$perf" >>"$md"
     echo "trend: appended '${label}' from ${report}" >&2
 }
 
 case "${1:-}" in
 append)
-    [ $# -eq 4 ] || { echo "usage: $0 append TREND_MD REPORT_JSON LABEL" >&2; exit 2; }
-    append_row "$2" "$3" "$4"
+    [ $# -eq 4 ] || [ $# -eq 5 ] || {
+        echo "usage: $0 append TREND_MD REPORT_JSON LABEL [PERF_JSON]" >&2
+        exit 2
+    }
+    append_row "$2" "$3" "$4" "${5:-}"
     ;;
 fetch)
     [ $# -ge 2 ] || { echo "usage: $0 fetch TREND_MD [LIMIT]" >&2; exit 2; }
@@ -95,7 +114,7 @@ fetch)
         done
     ;;
 *)
-    echo "usage: $0 {append TREND_MD REPORT_JSON LABEL | fetch TREND_MD [LIMIT]}" >&2
+    echo "usage: $0 {append TREND_MD REPORT_JSON LABEL [PERF_JSON] | fetch TREND_MD [LIMIT]}" >&2
     exit 2
     ;;
 esac

@@ -53,6 +53,28 @@ fn matrix_report_bytes_identical_across_worker_counts() {
 }
 
 #[test]
+fn instrumented_sweep_matches_plain_run_and_counts_events() {
+    // The perf harness rides run_instrumented; its report must be the
+    // exact bytes run() produces (work-stealing order and wall-clock
+    // probes must not leak into the artifact), its stats keyed like
+    // the report, and event counts deterministic.
+    let matrix = ScenarioMatrix::new(tiny_spec());
+    let plain = matrix.run(2).to_json();
+    let (report, stats) = matrix.run_instrumented(2, ScenarioMatrix::standard_builder);
+    assert_eq!(report.to_json(), plain);
+    assert_eq!(stats.cells.len(), report.cells.len());
+    for (stat, cell) in stats.cells.iter().zip(&report.cells) {
+        assert_eq!(stat.key, cell.key);
+        assert!(stat.events > 0, "cell {} dispatched no events?", stat.key);
+    }
+    let (_, stats2) = matrix.run_instrumented(4, ScenarioMatrix::standard_builder);
+    let ev1: Vec<u64> = stats.cells.iter().map(|c| c.events).collect();
+    let ev2: Vec<u64> = stats2.cells.iter().map(|c| c.events).collect();
+    assert_eq!(ev1, ev2, "event counts must be thread-count independent");
+    assert!(stats.wall.as_nanos() > 0);
+}
+
+#[test]
 fn matrix_cell_order_is_sorted_not_completion_order() {
     // With more workers than cells, completion order is scheduler
     // noise; the report must come out keyed and sorted regardless. The
