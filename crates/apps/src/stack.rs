@@ -120,6 +120,25 @@ impl HostStack {
         }
     }
 
+    /// Is the next hop for `dst` already in the ARP cache?
+    pub fn is_resolved(&self, dst: Ipv4Addr) -> bool {
+        self.arp_cache.contains_key(&self.next_hop(dst))
+    }
+
+    /// Kick off ARP resolution of `dst`'s next hop without queueing
+    /// any data. Bulk senders warm the cache with one request instead
+    /// of emitting a request per queued datagram.
+    pub fn resolve(&mut self, dst: Ipv4Addr) -> Vec<StackOutput> {
+        let nh = self.next_hop(dst);
+        if self.arp_cache.contains_key(&nh) {
+            return Vec::new();
+        }
+        let req = ArpPacket::request(self.cfg.mac, self.cfg.addr.addr, nh);
+        vec![StackOutput::Tx(
+            EthernetFrame::new(MacAddr::BROADCAST, self.cfg.mac, EtherType::ARP, req.emit()).emit(),
+        )]
+    }
+
     /// Send a UDP datagram.
     pub fn send_udp(
         &mut self,

@@ -101,11 +101,12 @@ fn a2(args: &SweepArgs) {
     let report = matrix.run_with(args.threads, |cell| {
         let topo = rf_topo::resolve_topology(&cell.topology).expect("registry name");
         let (server, client) = topo.farthest_pair().expect("non-trivial topology");
-        cell.knob
+        Ok(cell
+            .knob
             .apply(Scenario::on(topo))
             .seed(cell.seed)
             .trace_level(rf_sim::TraceLevel::Off)
-            .with_workload(Workload::video(server, client))
+            .with_workload(Workload::video(server, client)))
     });
     let rows = matrix
         .spec()

@@ -4,8 +4,8 @@
 //! deterministic and machine-independent; nothing measured how many
 //! simulated cells the machine pushes through per wall-clock second —
 //! the quantity that actually gates bigger grids and more topologies.
-//! This binary runs the smoke/full matrix grids several times through
-//! [`ScenarioMatrix::run_instrumented`] and emits `BENCH_perf.json`:
+//! This binary runs the smoke/traffic/full matrix grids several times
+//! through [`ScenarioMatrix::run_instrumented`] and emits `BENCH_perf.json`:
 //! cells/sec, events/sec, per-cell wall-time percentiles and
 //! thread-scaling efficiency — the first point of a perf trajectory CI
 //! can trend (see README § Performance).
@@ -14,7 +14,8 @@
 //! # Full harness (smoke + full grids, 3 runs per config, 1/4/8 threads):
 //! cargo run --release -p rf-bench --bin perf_sweep
 //!
-//! # CI-sized: smoke grid only, 2 runs, 1/4 threads:
+//! # CI-sized: smoke + traffic grids, 2 runs, 1/4 threads (the traffic
+//! # grid tracks events/sec under stochastic packet/flow load):
 //! cargo run --release -p rf-bench --bin perf_sweep -- --quick --out BENCH_perf.json
 //! ```
 //!
@@ -41,7 +42,11 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        grids: vec![("smoke", MatrixSpec::smoke()), ("full", MatrixSpec::full())],
+        grids: vec![
+            ("smoke", MatrixSpec::smoke()),
+            ("traffic", MatrixSpec::traffic()),
+            ("full", MatrixSpec::full()),
+        ],
         runs: 3,
         threads: vec![1, 4, 8],
         out: "BENCH_perf.json".to_string(),
@@ -51,11 +56,15 @@ fn parse_args() -> Result<Args, String> {
         let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
         match arg.as_str() {
             "--quick" => {
-                args.grids = vec![("smoke", MatrixSpec::smoke())];
+                args.grids = vec![
+                    ("smoke", MatrixSpec::smoke()),
+                    ("traffic", MatrixSpec::traffic()),
+                ];
                 args.runs = 2;
                 args.threads = vec![1, 4];
             }
             "--smoke-only" => args.grids = vec![("smoke", MatrixSpec::smoke())],
+            "--traffic-only" => args.grids = vec![("traffic", MatrixSpec::traffic())],
             "--full-only" => args.grids = vec![("full", MatrixSpec::full())],
             "--runs" => {
                 args.runs = value("--runs")?
@@ -78,7 +87,8 @@ fn parse_args() -> Result<Args, String> {
             other => {
                 return Err(format!(
                     "unknown argument {other}\n\
-                     usage: perf_sweep [--quick] [--smoke-only|--full-only] \
+                     usage: perf_sweep [--quick] \
+                     [--smoke-only|--traffic-only|--full-only] \
                      [--runs N] [--threads 1,4,8] [--out FILE]"
                 ))
             }

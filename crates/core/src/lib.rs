@@ -50,6 +50,7 @@ pub mod json;
 pub mod manual;
 pub mod rfcontroller;
 pub mod scenario;
+pub mod traffic;
 
 pub use apps::{
     AppCtx, ControlApp, ControlEvent, ControlPlane, ControlState, FibChange, LinkChange,
@@ -60,4 +61,7 @@ pub use rfcontroller::{HostPortConfig, RfController, RfControllerConfig};
 pub use scenario::{
     CellRecord, Fault, FaultSchedule, MatrixCell, MatrixKnob, MatrixReport, MatrixSpec, Scenario,
     ScenarioBuilder, ScenarioMatrix, ScenarioMetrics, Workload, WorkloadReport,
+};
+pub use traffic::{
+    TrafficConfig, TrafficMode, TrafficPattern, TrafficReport, TrafficSpec, WorkloadError,
 };

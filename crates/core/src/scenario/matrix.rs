@@ -28,6 +28,7 @@
 use super::report::{CellRecord, MatrixReport};
 use super::{Fault, Scenario, ScenarioBuilder, Workload, WorkloadReport};
 use crate::apps::OverflowPolicy;
+use crate::traffic::{FlowSize, TrafficSpec, WorkloadError};
 use rf_sim::Time;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -161,7 +162,7 @@ fn fmt_at(d: Duration) -> String {
 }
 
 /// The probe workload a knob attaches to each cell.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum MatrixWorkload {
     /// One pinger across the topology's farthest switch pair (the
     /// historical default).
@@ -170,6 +171,9 @@ pub enum MatrixWorkload {
     /// control-plane load (ARP answers and /32 flows all from one edge
     /// switch).
     PingFanIn { clients: usize },
+    /// A stochastic traffic workload, placed on the concrete topology
+    /// at cell build time (see [`TrafficSpec::instantiate`]).
+    Traffic(TrafficSpec),
 }
 
 /// A named bundle of scenario parameters — the `knob` axis.
@@ -283,6 +287,12 @@ impl MatrixKnob {
         self
     }
 
+    /// Replace the probe workload with a stochastic traffic workload.
+    pub fn with_traffic(mut self, spec: TrafficSpec) -> Self {
+        self.workload = MatrixWorkload::Traffic(spec);
+        self
+    }
+
     /// Apply this knob to a builder.
     pub fn apply(&self, b: ScenarioBuilder) -> ScenarioBuilder {
         let mut b = b
@@ -345,11 +355,13 @@ pub struct MatrixSpec {
 impl MatrixSpec {
     /// The CI smoke grid: two seeds × two small rings × four fault
     /// schedules (none, transit-switch kill, link flap, cold-start
-    /// channel stall) × four knobs (paper-serial fast timers, the
+    /// channel stall) × six knobs (paper-serial fast timers, the
     /// k-wide + batched fast path, a bounded capacity-2 channel with
-    /// deferral, and a 3-client fan-in). Seconds of wall clock, but
-    /// every fault path, both controller pipelines and the
-    /// backpressure machinery are exercised.
+    /// deferral, a 3-client fan-in, a packet-level Poisson
+    /// request/response load, and a flow-level incast). Seconds of
+    /// wall clock, but every fault path, both controller pipelines,
+    /// the backpressure machinery and both traffic granularities are
+    /// exercised.
     pub fn smoke() -> MatrixSpec {
         MatrixSpec {
             seeds: vec![1, 2],
@@ -371,6 +383,18 @@ impl MatrixSpec {
                     .with_fib_batch(8),
                 MatrixKnob::fast("fast-cap2").with_channel_capacity(2),
                 MatrixKnob::fast("fast-fanin3").with_fan_in(3),
+                // Stochastic load rides the same grid: a packet-level
+                // Poisson request/response mix and a flow-level incast,
+                // both offering inside the post-config window.
+                MatrixKnob::fast("fast-poisson").with_traffic(
+                    TrafficSpec::poisson(2, 4.0, FlowSize::fixed(40_000))
+                        .window(Duration::from_secs(25), Duration::from_secs(15)),
+                ),
+                MatrixKnob::fast("fast-incast3f").with_traffic(
+                    TrafficSpec::incast(3, FlowSize::fixed(60_000), Duration::from_secs(2), 5)
+                        .flow_level()
+                        .window(Duration::from_secs(25), Duration::from_secs(15)),
+                ),
             ],
             configure_deadline: Duration::from_secs(120),
             post_fault_window: Duration::from_secs(45),
@@ -403,10 +427,73 @@ impl MatrixSpec {
                     .with_fib_batch(16),
                 MatrixKnob::fast("fast-cap8").with_channel_capacity(8),
                 MatrixKnob::paper("paper"),
+                // The stochastic block: heavy-tailed request/response,
+                // a wide packet-level incast and a flow-level multicast
+                // fan-out, all offering after even pan-european has
+                // configured on the k-wide pipeline.
+                MatrixKnob::fast("fast-rrP")
+                    .with_provision_width(8)
+                    .with_traffic(
+                        TrafficSpec::poisson(4, 5.0, FlowSize::pareto(2_000, 200_000))
+                            .window(Duration::from_secs(120), Duration::from_secs(30)),
+                    ),
+                MatrixKnob::fast("fast-incast6")
+                    .with_provision_width(8)
+                    .with_traffic(
+                        TrafficSpec::incast(6, FlowSize::fixed(80_000), Duration::from_secs(3), 8)
+                            .window(Duration::from_secs(120), Duration::from_secs(30)),
+                    ),
+                MatrixKnob::fast("fast-mcast6f")
+                    .with_provision_width(8)
+                    .with_traffic(
+                        TrafficSpec::multicast(6, 2_000_000)
+                            .flow_level()
+                            .window(Duration::from_secs(120), Duration::from_secs(30)),
+                    ),
             ],
             configure_deadline: Duration::from_secs(1800),
             post_fault_window: Duration::from_secs(120),
             settle: Duration::from_secs(15),
+        }
+    }
+
+    /// The traffic-engine perf grid: fault-free, two topologies whose
+    /// bottlenecks differ (ring vs star hub), each shape at both
+    /// granularities — the events/sec comparison that justifies the
+    /// flow-level fast path rides on this.
+    pub fn traffic() -> MatrixSpec {
+        let window = |s: TrafficSpec| s.window(Duration::from_secs(25), Duration::from_secs(15));
+        let rr = || {
+            window(TrafficSpec::poisson(
+                3,
+                8.0,
+                FlowSize::pareto(2_000, 100_000),
+            ))
+        };
+        let incast = || {
+            window(TrafficSpec::incast(
+                4,
+                FlowSize::fixed(60_000),
+                Duration::from_secs(2),
+                6,
+            ))
+        };
+        let mcast = || window(TrafficSpec::multicast(4, 2_000_000));
+        MatrixSpec {
+            seeds: vec![1, 2],
+            topologies: vec!["ring-8".into(), "star-8".into()],
+            schedules: vec![FaultSchedule::none()],
+            knobs: vec![
+                MatrixKnob::fast("rr-pkt").with_traffic(rr()),
+                MatrixKnob::fast("rr-flow").with_traffic(rr().flow_level()),
+                MatrixKnob::fast("incast-pkt").with_traffic(incast()),
+                MatrixKnob::fast("incast-flow").with_traffic(incast().flow_level()),
+                MatrixKnob::fast("mcast-pkt").with_traffic(mcast()),
+                MatrixKnob::fast("mcast-flow").with_traffic(mcast().flow_level()),
+            ],
+            configure_deadline: Duration::from_secs(120),
+            post_fault_window: Duration::from_secs(45),
+            settle: Duration::from_secs(10),
         }
     }
 
@@ -507,13 +594,24 @@ fn expected_cost(spec: &MatrixSpec, cell: &MatrixCell) -> u64 {
     let config_est = cell.knob.vm_boot_delay.as_secs()
         + u64::from(cell.knob.ospf_hello) * 4
         + nodes / cell.knob.provision_width.max(1) as u64;
-    // Post-configuration horizon (see run_cell's run_to).
-    let run_window = spec.settle.as_secs()
+    // Post-configuration horizon (see run_cell's run_to). Traffic
+    // knobs extend the run to the end of their offered-load window —
+    // and packet-level cells are far denser per simulated second than
+    // flow-level ones, which the weight reflects.
+    let mut run_window = spec.settle.as_secs()
         + cell
             .schedule
             .last_fault_at()
             .map(|l| l.as_secs() + spec.post_fault_window.as_secs())
             .unwrap_or(0);
+    if let MatrixWorkload::Traffic(ref tspec) = cell.knob.workload {
+        let weight = match tspec.mode {
+            crate::traffic::TrafficMode::Packet => 4,
+            crate::traffic::TrafficMode::Flow => 1,
+        };
+        run_window =
+            run_window.max(tspec.stop_at().as_secs() + 2) + weight * tspec.duration.as_secs();
+    }
     // Event volume scales roughly with nodes × simulated seconds.
     nodes * (config_est + run_window)
 }
@@ -529,9 +627,18 @@ impl ScenarioMatrix {
 
     /// The default per-cell assembly: resolve the topology from the
     /// registry, attach the knob's probe workload (a ping across the
-    /// farthest switch pair, or a fan-in converging on it), apply the
-    /// knob and the fault schedule.
-    pub fn standard_builder(cell: &MatrixCell) -> ScenarioBuilder {
+    /// farthest switch pair, a fan-in converging on it, or a traffic
+    /// spec placed on the topology), apply the knob and the fault
+    /// schedule.
+    ///
+    /// An unknown topology name still panics — that is a typo in the
+    /// grid definition, not a cell-local condition. Workload
+    /// constructors, by contrast, return [`WorkloadError`], which
+    /// [`run_with`] records as a `build_error` cell so one bad axis
+    /// value cannot take down the rest of the sweep.
+    ///
+    /// [`run_with`]: ScenarioMatrix::run_with
+    pub fn standard_builder(cell: &MatrixCell) -> Result<ScenarioBuilder, WorkloadError> {
         let topo = rf_topo::registry::resolve(&cell.topology)
             .unwrap_or_else(|| panic!("unknown topology name {:?}", cell.topology));
         let (a, b) = topo
@@ -546,19 +653,23 @@ impl ScenarioMatrix {
                     .filter(|&n| n != b)
                     .take(clients)
                     .collect();
-                assert!(
-                    picked.len() == clients,
-                    "topology too small for a {clients}-client fan-in"
-                );
-                Workload::ping_fan_in(picked, b)
+                if picked.len() < clients {
+                    return Err(WorkloadError::TopologyTooSmall {
+                        need: clients + 1,
+                        have: topo.node_count(),
+                    });
+                }
+                Workload::ping_fan_in(picked, b)?
             }
+            MatrixWorkload::Traffic(ref spec) => Workload::traffic(spec.instantiate(&topo)?)?,
         };
-        cell.knob
+        Ok(cell
+            .knob
             .apply(Scenario::on(topo))
             .seed(cell.seed)
             .trace_level(rf_sim::TraceLevel::Off)
             .with_workload(workload)
-            .with_faults(cell.schedule.faults.iter().cloned())
+            .with_faults(cell.schedule.faults.iter().cloned()))
     }
 
     /// Sweep the grid with the standard builder.
@@ -568,10 +679,11 @@ impl ScenarioMatrix {
 
     /// Sweep the grid, building each cell's scenario with `build`.
     /// Cells are distributed over `threads` workers; the report is
-    /// identical whatever the count.
+    /// identical whatever the count. A cell whose builder returns an
+    /// error reports `build_error = 1` and nothing else.
     pub fn run_with<F>(&self, threads: usize, build: F) -> MatrixReport
     where
-        F: Fn(&MatrixCell) -> ScenarioBuilder + Send + Sync,
+        F: Fn(&MatrixCell) -> Result<ScenarioBuilder, WorkloadError> + Send + Sync,
     {
         self.run_instrumented(threads, build).0
     }
@@ -584,7 +696,7 @@ impl ScenarioMatrix {
     /// cells all start early).
     pub fn run_instrumented<F>(&self, threads: usize, build: F) -> (MatrixReport, SweepStats)
     where
-        F: Fn(&MatrixCell) -> ScenarioBuilder + Send + Sync,
+        F: Fn(&MatrixCell) -> Result<ScenarioBuilder, WorkloadError> + Send + Sync,
     {
         let threads = threads.max(1);
         let cells = self.spec.cells();
@@ -630,19 +742,38 @@ impl ScenarioMatrix {
 /// kernel events the cell dispatched (for the perf harness).
 fn run_cell<F>(spec: &MatrixSpec, cell: &MatrixCell, build: &F) -> (CellRecord, u64)
 where
-    F: Fn(&MatrixCell) -> ScenarioBuilder,
+    F: Fn(&MatrixCell) -> Result<ScenarioBuilder, WorkloadError>,
 {
-    let mut sc = build(cell).start();
+    let mut sc = match build(cell) {
+        Ok(b) => b.start(),
+        Err(_) => {
+            // A bad axis value marks this cell, not the sweep: the
+            // record carries the flag and nothing else, so `--check`
+            // diffs surface exactly which cells failed to assemble.
+            let metrics = BTreeMap::from([("build_error".to_string(), 1)]);
+            return (
+                CellRecord {
+                    key: cell.key(),
+                    metrics,
+                },
+                0,
+            );
+        }
+    };
     let deadline = Time::ZERO + spec.configure_deadline;
     let configured_at = sc.run_until_configured(deadline);
 
     // Keep the world running long enough to see the probe workload and
-    // every scheduled fault play out, whichever ends later.
+    // every scheduled fault play out, whichever ends later — and, for
+    // traffic knobs, the whole offered-load window plus a drain tail.
     let settle_until = sc.sim.now() + spec.settle;
-    let run_to = match cell.schedule.last_fault_at() {
+    let mut run_to = match cell.schedule.last_fault_at() {
         Some(last) => settle_until.max(Time::ZERO + last + spec.post_fault_window),
         None => settle_until,
     };
+    if let MatrixWorkload::Traffic(ref tspec) = cell.knob.workload {
+        run_to = run_to.max(Time::ZERO + tspec.stop_at() + Duration::from_secs(2));
+    }
     sc.run_until(run_to);
 
     let m = sc.metrics();
@@ -689,17 +820,13 @@ where
     let mut seen_ping = false;
     let mut seen_video = false;
     let mut seen_fanin = false;
+    let mut seen_traffic = false;
     for report in sc.workload_reports() {
         match report {
-            WorkloadReport::Ping {
-                first_reply_at,
-                sent,
-                replies,
-                ..
-            } if !seen_ping => {
+            WorkloadReport::Ping(probe) if !seen_ping => {
                 seen_ping = true;
-                put("ping_replies", replies.len() as i64);
-                if let Some(t) = first_reply_at {
+                put("ping_replies", probe.replies.len() as i64);
+                if let Some(t) = probe.first_reply_at {
                     put("ping_first_reply_ns", t.as_nanos() as i64);
                 }
                 if let Some(last) = cell.schedule.last_fault_at() {
@@ -708,10 +835,14 @@ where
                     // fault fires would otherwise record a near-zero
                     // recovery that says nothing about reconvergence.
                     let fault_t = Time::ZERO + last;
-                    let answered = replies
+                    let answered = probe
+                        .replies
                         .iter()
                         .filter(|(seq, _)| {
-                            sent.iter().any(|(s, sent_t)| s == seq && *sent_t > fault_t)
+                            probe
+                                .sent
+                                .iter()
+                                .any(|(s, sent_t)| s == seq && *sent_t > fault_t)
                         })
                         .map(|(_, t)| *t)
                         .min();
@@ -782,6 +913,30 @@ where
                 }
                 if let Some(t) = v.playback_at {
                     put("video_playback_ns", t.as_nanos() as i64);
+                }
+            }
+            // Traffic metrics (schema v4): offered vs delivered load,
+            // flow completion times, loss and latency percentiles —
+            // integer nanoseconds/bytes only, so reports stay
+            // byte-stable.
+            WorkloadReport::Traffic(t) if !seen_traffic => {
+                seen_traffic = true;
+                put("traffic_offered_bytes", t.offered_bytes as i64);
+                put("traffic_delivered_bytes", t.delivered_bytes as i64);
+                put("traffic_flows_started", t.flows_started as i64);
+                put("traffic_flows_completed", t.flows_completed as i64);
+                put("traffic_frames_lost", t.frames_lost() as i64);
+                if let Some(p) = t.fct_percentile(50) {
+                    put("traffic_fct_p50_ns", p.as_nanos() as i64);
+                }
+                if let Some(p) = t.fct_percentile(95) {
+                    put("traffic_fct_p95_ns", p.as_nanos() as i64);
+                }
+                if let Some(p) = t.latency_percentile(50) {
+                    put("traffic_lat_p50_ns", p.as_nanos() as i64);
+                }
+                if let Some(p) = t.latency_percentile(95) {
+                    put("traffic_lat_p95_ns", p.as_nanos() as i64);
                 }
             }
             _ => {}

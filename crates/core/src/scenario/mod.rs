@@ -40,6 +40,13 @@ use crate::apps::fib_mirror::FIB_FLUSH_TOKEN;
 use crate::apps::{ChannelStallWindow, ControlApp, ControlPlane, OverflowPolicy};
 use crate::bootstrap::{Deployment, DeploymentConfig, HostAttachment, HostSlot};
 use crate::rfcontroller::{HostPortConfig, RfControllerConfig};
+use crate::traffic::packet::{
+    IncastSender, PacedSource, TrafficClient, TrafficServer, TrafficSink,
+};
+use crate::traffic::{
+    paced_interval, ArrivalStream, FlowLevelEngine, TrafficConfig, TrafficMode, TrafficPattern,
+    TrafficReport, WaveStream, WorkloadError,
+};
 use rf_apps::video::{VideoClient, VideoClientReport, VideoServer};
 use rf_apps::{EchoHost, HostConfig, Pinger};
 use rf_discovery::{TopologyController, TopologyControllerConfig};
@@ -98,7 +105,14 @@ pub enum Workload {
     /// backpressure (every client needs ARP answers and /32 flows from
     /// the same edge switch).
     PingFanIn { clients: Vec<usize>, server: usize },
+    /// A stochastic traffic workload (see [`crate::traffic`]): seeded
+    /// arrival processes, incast/multicast patterns, at packet or flow
+    /// granularity.
+    Traffic(TrafficConfig),
 }
+
+/// Widest fan-in the `[2, 0xE1.., k, 0, 0, 1]` MAC scheme can address.
+const MAX_FAN_IN: usize = 30;
 
 impl Workload {
     pub fn ping(client: usize, server: usize) -> Workload {
@@ -109,9 +123,25 @@ impl Workload {
         Workload::Video { server, client }
     }
 
-    pub fn ping_fan_in(clients: Vec<usize>, server: usize) -> Workload {
-        assert!(!clients.is_empty(), "fan-in needs at least one client");
-        Workload::PingFanIn { clients, server }
+    /// A fan-in of pingers. Fails typed (instead of panicking) so a bad
+    /// matrix axis marks one cell, not the whole sweep.
+    pub fn ping_fan_in(clients: Vec<usize>, server: usize) -> Result<Workload, WorkloadError> {
+        if clients.is_empty() {
+            return Err(WorkloadError::NoEndpoints("fan-in needs clients"));
+        }
+        if clients.len() > MAX_FAN_IN {
+            return Err(WorkloadError::TooManyEndpoints {
+                given: clients.len(),
+                max: MAX_FAN_IN,
+            });
+        }
+        Ok(Workload::PingFanIn { clients, server })
+    }
+
+    /// A validated stochastic traffic workload.
+    pub fn traffic(cfg: TrafficConfig) -> Result<Workload, WorkloadError> {
+        cfg.validate()?;
+        Ok(Workload::Traffic(cfg))
     }
 
     /// Topology nodes hosting this workload's endpoints, in host-slot
@@ -125,6 +155,7 @@ impl Workload {
                 v.push(*server);
                 v
             }
+            Workload::Traffic(cfg) => cfg.pattern.endpoint_nodes(),
         }
     }
 }
@@ -147,23 +178,29 @@ pub struct PingProbeReport {
 /// What a workload measured, harvested via [`Scenario::workload_reports`].
 #[derive(Clone, Debug)]
 pub enum WorkloadReport {
-    Ping {
-        /// Time of the first successful round trip.
-        first_reply_at: Option<Time>,
-        /// Completed round trips: (seq, rtt).
-        rtts: Vec<(u16, Duration)>,
-        /// Ping departure times: (seq, when sent).
-        sent: Vec<(u16, Time)>,
-        /// Reply arrival times: (seq, when) — together with `sent`,
-        /// the timeline recovery measurements are read off.
-        replies: Vec<(u16, Time)>,
-    },
+    /// A lone pinger's timeline.
+    Ping(PingProbeReport),
     Video(VideoClientReport),
     /// Per-client timelines of a fan-in, in `clients` declaration
     /// order.
     PingFanIn {
         clients: Vec<PingProbeReport>,
     },
+    /// Aggregated traffic accounting, merged across the workload's
+    /// agents (or produced whole by the flow-level engine).
+    Traffic(TrafficReport),
+}
+
+impl PingProbeReport {
+    /// Read a pinger's timeline off the live agent.
+    fn harvest(p: &Pinger) -> PingProbeReport {
+        PingProbeReport {
+            first_reply_at: p.first_reply_at,
+            rtts: p.rtts.clone(),
+            sent: p.sent_at.clone(),
+            replies: p.replies.clone(),
+        }
+    }
 }
 
 /// Typed scenario metrics: the numbers the paper's figures are made of.
@@ -242,10 +279,22 @@ impl Agent for ChaosAgent {
     }
 }
 
+/// Which traffic agent type lives behind an [`AgentId`], so the
+/// harvest can downcast to the right concrete type.
+enum TrafficPart {
+    Client(AgentId),
+    Server(AgentId),
+    IncastSender(AgentId),
+    PacedSource(AgentId),
+    Sink(AgentId),
+    FlowEngine(AgentId),
+}
+
 enum WorkloadHandle {
     Ping { pinger: AgentId },
     Video { client: AgentId },
     PingFanIn { pingers: Vec<AgentId> },
+    Traffic { parts: Vec<TrafficPart> },
 }
 
 /// Fluent assembly of a full experiment; start with [`Scenario::on`].
@@ -653,6 +702,9 @@ impl ScenarioBuilder {
                     }
                     WorkloadHandle::PingFanIn { pingers }
                 }
+                Workload::Traffic(ref tcfg) => WorkloadHandle::Traffic {
+                    parts: wire_traffic(&mut sim, &cfg, k, tcfg, slots, &host_slots),
+                },
             };
             workload_handles.push(handle);
         }
@@ -706,6 +758,210 @@ impl ScenarioBuilder {
             workload_handles,
         }
     }
+}
+
+/// Wire one traffic workload into the simulation: real host agents at
+/// packet granularity, or a single timer-driven engine at flow
+/// granularity (same demand seeds either way — see [`crate::traffic`]).
+/// Returns typed handles for the harvest.
+fn wire_traffic(
+    sim: &mut Sim,
+    cfg: &DeploymentConfig,
+    k: usize,
+    tcfg: &TrafficConfig,
+    slots: &[usize],
+    host_slots: &[HostSlot],
+) -> Vec<TrafficPart> {
+    use crate::traffic::endpoint_seed;
+    let host_cfg = |j: usize| {
+        let slot = &host_slots[slots[j]];
+        HostConfig {
+            mac: MacAddr([2, 0xD0, k as u8, (j >> 8) as u8, j as u8, 1]),
+            addr: Ipv4Cidr::new(slot.host_ip, slot.subnet.prefix_len),
+            gateway: slot.gateway,
+        }
+    };
+    let ip_of = |j: usize| host_slots[slots[j]].host_ip;
+    let attach = |sim: &mut Sim, name: String, agent: Box<dyn Agent>, j: usize| -> AgentId {
+        let id = sim.add_agent(&name, agent);
+        let slot = &host_slots[slots[j]];
+        sim.add_link(
+            (slot.switch, u32::from(slot.port)),
+            (id, 1),
+            cfg.link_profile,
+        );
+        id
+    };
+    let mut parts = Vec::new();
+
+    if tcfg.mode == TrafficMode::Flow {
+        // The endpoints' host slots stay allocated (the control plane
+        // configures the same ports either way), but no host agents
+        // exist — one engine replays the whole workload on timers.
+        let topo = &cfg.topology;
+        let engine = FlowLevelEngine::from_config(
+            tcfg,
+            cfg.seed,
+            k,
+            cfg.link_profile.bandwidth_bps,
+            cfg.link_profile.latency,
+            |a, b| {
+                if a == b {
+                    return 2; // host → shared switch → host
+                }
+                let d = topo.bfs_distances(a)[b];
+                if d == usize::MAX {
+                    2
+                } else {
+                    d as u32 + 2 // fabric hops plus both access links
+                }
+            },
+        );
+        let id = sim.add_agent(&format!("traffic-flow-{k}"), Box::new(engine));
+        parts.push(TrafficPart::FlowEngine(id));
+        return parts;
+    }
+
+    match &tcfg.pattern {
+        TrafficPattern::RequestResponse {
+            clients,
+            arrivals,
+            response,
+            ..
+        } => {
+            // The server slot is allocated last, like a fan-in's.
+            let server_j = clients.len();
+            let server_ip = ip_of(server_j);
+            let sid = attach(
+                sim,
+                format!("traffic-server-{k}"),
+                Box::new(TrafficServer::new(host_cfg(server_j), tcfg.start_at)),
+                server_j,
+            );
+            parts.push(TrafficPart::Server(sid));
+            for j in 0..clients.len() {
+                let stream = ArrivalStream::new(
+                    endpoint_seed(cfg.seed, k, j),
+                    *arrivals,
+                    *response,
+                    tcfg.start_at,
+                    tcfg.stop_at,
+                );
+                let id = attach(
+                    sim,
+                    format!("traffic-client-{k}-{j}"),
+                    Box::new(TrafficClient::new(
+                        host_cfg(j),
+                        server_ip,
+                        stream,
+                        j,
+                        tcfg.start_at,
+                    )),
+                    j,
+                );
+                parts.push(TrafficPart::Client(id));
+            }
+        }
+        TrafficPattern::CbrMix { streams } => {
+            for (i, s) in streams.iter().enumerate() {
+                let (src_j, sink_j) = (2 * i, 2 * i + 1);
+                let sink_id = attach(
+                    sim,
+                    format!("traffic-sink-{k}-{i}"),
+                    Box::new(TrafficSink::new(host_cfg(sink_j), tcfg.start_at)),
+                    sink_j,
+                );
+                parts.push(TrafficPart::Sink(sink_id));
+                let src_id = attach(
+                    sim,
+                    format!("traffic-cbr-{k}-{i}"),
+                    Box::new(PacedSource::new(
+                        host_cfg(src_j),
+                        vec![ip_of(sink_j)],
+                        paced_interval(s.rate_bps),
+                        src_j,
+                        tcfg.start_at,
+                        tcfg.stop_at,
+                    )),
+                    src_j,
+                );
+                parts.push(TrafficPart::PacedSource(src_id));
+            }
+        }
+        TrafficPattern::Incast {
+            senders,
+            flow,
+            period,
+            waves,
+            ..
+        } => {
+            let recv_j = senders.len();
+            let recv_ip = ip_of(recv_j);
+            let sink_id = attach(
+                sim,
+                format!("traffic-sink-{k}"),
+                Box::new(TrafficSink::new(host_cfg(recv_j), tcfg.start_at)),
+                recv_j,
+            );
+            parts.push(TrafficPart::Sink(sink_id));
+            for j in 0..senders.len() {
+                let stream = WaveStream::new(
+                    endpoint_seed(cfg.seed, k, j),
+                    *flow,
+                    tcfg.start_at,
+                    *period,
+                    *waves,
+                );
+                let id = attach(
+                    sim,
+                    format!("traffic-incast-{k}-{j}"),
+                    Box::new(IncastSender::new(
+                        host_cfg(j),
+                        recv_ip,
+                        stream,
+                        j,
+                        tcfg.start_at,
+                    )),
+                    j,
+                );
+                parts.push(TrafficPart::IncastSender(id));
+            }
+        }
+        TrafficPattern::Multicast {
+            receivers,
+            rate_bps,
+            ..
+        } => {
+            // Source at slot 0, receivers after.
+            let mut dsts = Vec::with_capacity(receivers.len());
+            for r in 0..receivers.len() {
+                let sink_j = 1 + r;
+                dsts.push(ip_of(sink_j));
+                let sink_id = attach(
+                    sim,
+                    format!("traffic-sink-{k}-{r}"),
+                    Box::new(TrafficSink::new(host_cfg(sink_j), tcfg.start_at)),
+                    sink_j,
+                );
+                parts.push(TrafficPart::Sink(sink_id));
+            }
+            let src_id = attach(
+                sim,
+                format!("traffic-mcast-{k}"),
+                Box::new(PacedSource::new(
+                    host_cfg(0),
+                    dsts,
+                    paced_interval(*rate_bps),
+                    0,
+                    tcfg.start_at,
+                    tcfg.stop_at,
+                )),
+                0,
+            );
+            parts.push(TrafficPart::PacedSource(src_id));
+        }
+    }
+    parts
 }
 
 /// Switches whose VM is up, read off the controller agent (shared by
@@ -891,12 +1147,7 @@ impl Scenario {
                         .sim
                         .agent_as::<Pinger>(pinger)
                         .expect("pinger agent alive");
-                    WorkloadReport::Ping {
-                        first_reply_at: p.first_reply_at,
-                        rtts: p.rtts.clone(),
-                        sent: p.sent_at.clone(),
-                        replies: p.replies.clone(),
-                    }
+                    WorkloadReport::Ping(PingProbeReport::harvest(p))
                 }
                 WorkloadHandle::Video { client } => {
                     let c = self
@@ -913,15 +1164,49 @@ impl Scenario {
                                 .sim
                                 .agent_as::<Pinger>(id)
                                 .expect("fan-in pinger agent alive");
-                            PingProbeReport {
-                                first_reply_at: p.first_reply_at,
-                                rtts: p.rtts.clone(),
-                                sent: p.sent_at.clone(),
-                                replies: p.replies.clone(),
-                            }
+                            PingProbeReport::harvest(p)
                         })
                         .collect(),
                 },
+                WorkloadHandle::Traffic { ref parts } => {
+                    let mut total = TrafficReport::default();
+                    for part in parts {
+                        let partial = match *part {
+                            TrafficPart::Client(id) => self
+                                .sim
+                                .agent_as::<TrafficClient>(id)
+                                .expect("traffic client alive")
+                                .report(),
+                            TrafficPart::Server(id) => self
+                                .sim
+                                .agent_as::<TrafficServer>(id)
+                                .expect("traffic server alive")
+                                .report(),
+                            TrafficPart::IncastSender(id) => self
+                                .sim
+                                .agent_as::<IncastSender>(id)
+                                .expect("incast sender alive")
+                                .report(),
+                            TrafficPart::PacedSource(id) => self
+                                .sim
+                                .agent_as::<PacedSource>(id)
+                                .expect("paced source alive")
+                                .report(),
+                            TrafficPart::Sink(id) => self
+                                .sim
+                                .agent_as::<TrafficSink>(id)
+                                .expect("traffic sink alive")
+                                .report(),
+                            TrafficPart::FlowEngine(id) => self
+                                .sim
+                                .agent_as::<FlowLevelEngine>(id)
+                                .expect("flow engine alive")
+                                .report_at(self.sim.now()),
+                        };
+                        total.merge(&partial);
+                    }
+                    WorkloadReport::Traffic(total)
+                }
             })
             .collect()
     }

@@ -22,7 +22,11 @@ use std::collections::BTreeMap;
 /// `of_queue_hwm`) joined every cell; grids may carry
 /// `channel_capacity`/`overflow` knob axes, `stall*` fault schedules
 /// and fan-in workload knobs (`fanin_*` metrics).
-pub const SCHEMA_VERSION: i64 = 3;
+/// v4: traffic-engine knobs joined the grids (`traffic_*` metrics:
+/// offered/delivered bytes, flow counts, frame loss, FCT and latency
+/// percentiles), and a cell whose workload constructor rejects its
+/// axes reports `build_error = 1` instead of panicking the sweep.
+pub const SCHEMA_VERSION: i64 = 4;
 
 /// One matrix cell's harvest: a key identifying the grid point and a
 /// flat name → integer metric map (times in nanoseconds).

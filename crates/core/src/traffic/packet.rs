@@ -1,0 +1,582 @@
+//! Packet-level traffic agents: real host stacks blasting UDP frames
+//! through the simulated fabric. Congestion is not modeled here — it
+//! *emerges* from the link layer's serialization horizons, which is
+//! exactly what the flow-level abstraction is validated against.
+//!
+//! Wire format (UDP payload):
+//!
+//! * data frame, port [`DATA_PORT`]: 32-byte header
+//!   `[flow_id][flow_bytes][flow_start_ns][send_ns]` + chunk payload.
+//!   `flow_bytes == 0` marks a paced (unbounded) stream: sinks record
+//!   per-frame latency instead of completion times.
+//! * request frame, port [`REQ_PORT`]: `[flow_id][flow_bytes]` — "send
+//!   me a `flow_bytes` response".
+
+use super::demand::{ArrivalStream, WaveStream};
+use super::report::TrafficReport;
+use super::{frames_for, CHUNK_BYTES, DATA_PORT, HEADER_BYTES, REQ_PORT};
+use bytes::{BufMut, Bytes, BytesMut};
+use rf_apps::{HostConfig, HostStack, StackOutput};
+use rf_sim::{Agent, Ctx, Time};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+const T_ARRIVAL: u64 = 1;
+const T_TICK: u64 = 2;
+const T_WAVE: u64 = 3;
+const T_WARM: u64 = 4;
+
+/// Build one data frame's payload.
+fn data_frame(
+    flow_id: u64,
+    flow_bytes: u64,
+    flow_start_ns: u64,
+    send_ns: u64,
+    chunk: u64,
+) -> Bytes {
+    let mut b = BytesMut::with_capacity((HEADER_BYTES + chunk) as usize);
+    b.put_u64(flow_id);
+    b.put_u64(flow_bytes);
+    b.put_u64(flow_start_ns);
+    b.put_u64(send_ns);
+    b.put_bytes(b'T', chunk as usize);
+    b.freeze()
+}
+
+fn read_u64(p: &Bytes, at: usize) -> u64 {
+    u64::from_be_bytes(p[at..at + 8].try_into().expect("bounds checked"))
+}
+
+/// Shared sink-side accounting: per-flow reassembly, completion times
+/// for bounded flows, per-frame latency for paced streams.
+#[derive(Default)]
+struct SinkCore {
+    flows: HashMap<u64, FlowRx>,
+    delivered_bytes: u64,
+    frames_delivered: u64,
+    flows_completed: u64,
+    fct_ns: Vec<u64>,
+    frame_latency_ns: Vec<u64>,
+}
+
+struct FlowRx {
+    total: u64,
+    received: u64,
+}
+
+impl SinkCore {
+    fn on_data(&mut self, now: Time, payload: &Bytes) {
+        if payload.len() < HEADER_BYTES as usize {
+            return;
+        }
+        let flow_id = read_u64(payload, 0);
+        let total = read_u64(payload, 8);
+        let start_ns = read_u64(payload, 16);
+        let send_ns = read_u64(payload, 24);
+        let chunk = (payload.len() - HEADER_BYTES as usize) as u64;
+        self.delivered_bytes += chunk;
+        self.frames_delivered += 1;
+        if total == 0 {
+            // Paced stream: latency sample, no completion.
+            self.frame_latency_ns
+                .push(now.as_nanos().saturating_sub(send_ns));
+            return;
+        }
+        let rx = self
+            .flows
+            .entry(flow_id)
+            .or_insert(FlowRx { total, received: 0 });
+        rx.received += chunk;
+        if rx.received >= rx.total {
+            self.flows_completed += 1;
+            self.fct_ns.push(now.as_nanos().saturating_sub(start_ns));
+            self.flows.remove(&flow_id);
+        }
+    }
+
+    fn fold_into(&self, r: &mut TrafficReport) {
+        r.delivered_bytes += self.delivered_bytes;
+        r.frames_delivered += self.frames_delivered;
+        r.flows_completed += self.flows_completed;
+        r.fct_ns.extend_from_slice(&self.fct_ns);
+        r.frame_latency_ns.extend_from_slice(&self.frame_latency_ns);
+    }
+}
+
+/// Emit stack outputs, feeding received datagrams to `sink`.
+fn pump(ctx: &mut Ctx<'_>, sink: Option<&mut SinkCore>, outs: Vec<StackOutput>) {
+    let mut sink = sink;
+    for o in outs {
+        match o {
+            StackOutput::Tx(f) => ctx.send_frame(1, f),
+            StackOutput::Udp {
+                dst_port, payload, ..
+            } => {
+                if dst_port == DATA_PORT {
+                    if let Some(s) = sink.as_deref_mut() {
+                        s.on_data(ctx.now(), &payload);
+                    }
+                }
+            }
+            StackOutput::EchoReply { .. } => {}
+        }
+    }
+}
+
+/// Schedule the pre-window ARP warm-ups (resolve the gateway before
+/// the first blast, so a thousand queued frames don't each broadcast
+/// their own request).
+fn schedule_warm(ctx: &mut Ctx<'_>, start_at: Duration) {
+    for lead in [Duration::from_millis(1500), Duration::from_millis(300)] {
+        ctx.schedule_at(Time::ZERO + start_at.saturating_sub(lead), T_WARM);
+    }
+}
+
+/// Chunk a bounded flow onto the wire toward `(dst, DATA_PORT)`.
+fn blast(
+    stack: &mut HostStack,
+    ctx: &mut Ctx<'_>,
+    sink: Option<&mut SinkCore>,
+    dst: Ipv4Addr,
+    flow_id: u64,
+    bytes: u64,
+) -> u64 {
+    let frames = frames_for(bytes);
+    let now_ns = ctx.now().as_nanos();
+    let mut outs = Vec::new();
+    for i in 0..frames {
+        let chunk = if i + 1 == frames {
+            bytes - i * CHUNK_BYTES
+        } else {
+            CHUNK_BYTES
+        };
+        outs.extend(stack.send_udp(
+            dst,
+            DATA_PORT,
+            DATA_PORT,
+            data_frame(flow_id, bytes, now_ns, now_ns, chunk),
+        ));
+    }
+    pump(ctx, sink, outs);
+    frames
+}
+
+/// Request/response client: draws arrivals from its seeded stream,
+/// asks the server for each response flow, and sinks the data.
+pub struct TrafficClient {
+    stack: HostStack,
+    server: Ipv4Addr,
+    stream: ArrivalStream,
+    pending: Option<(Duration, u64)>,
+    flow_tag: u64,
+    flow_seq: u64,
+    start_at: Duration,
+    pub offered_bytes: u64,
+    pub flows_started: u64,
+    sink: SinkCore,
+}
+
+impl TrafficClient {
+    pub fn new(
+        cfg: HostConfig,
+        server: Ipv4Addr,
+        stream: ArrivalStream,
+        endpoint_idx: usize,
+        start_at: Duration,
+    ) -> TrafficClient {
+        TrafficClient {
+            stack: HostStack::new(cfg),
+            server,
+            stream,
+            pending: None,
+            flow_tag: (endpoint_idx as u64 + 1) << 32,
+            flow_seq: 0,
+            start_at,
+            offered_bytes: 0,
+            flows_started: 0,
+            sink: SinkCore::default(),
+        }
+    }
+
+    pub fn report(&self) -> TrafficReport {
+        let mut r = TrafficReport {
+            offered_bytes: self.offered_bytes,
+            flows_started: self.flows_started,
+            ..TrafficReport::default()
+        };
+        self.sink.fold_into(&mut r);
+        r
+    }
+
+    fn arm_next(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some((at, bytes)) = self.stream.next() {
+            self.pending = Some((at, bytes));
+            ctx.schedule_at(Time::ZERO + at, T_ARRIVAL);
+        }
+    }
+}
+
+impl Agent for TrafficClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let outs = self.stack.boot();
+        pump(ctx, Some(&mut self.sink), outs);
+        schedule_warm(ctx, self.start_at);
+        self.arm_next(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            T_WARM => {
+                let outs = self.stack.resolve(self.server);
+                pump(ctx, Some(&mut self.sink), outs);
+            }
+            T_ARRIVAL => {
+                let Some((_, bytes)) = self.pending.take() else {
+                    return;
+                };
+                self.flows_started += 1;
+                self.offered_bytes += bytes;
+                let flow_id = self.flow_tag | self.flow_seq;
+                self.flow_seq += 1;
+                let mut req = BytesMut::with_capacity(16);
+                req.put_u64(flow_id);
+                req.put_u64(bytes);
+                let outs = self
+                    .stack
+                    .send_udp(self.server, REQ_PORT, REQ_PORT, req.freeze());
+                pump(ctx, Some(&mut self.sink), outs);
+                self.arm_next(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, _port: u32, frame: Bytes) {
+        let outs = self.stack.on_frame(&frame);
+        pump(ctx, Some(&mut self.sink), outs);
+    }
+}
+
+/// Request/response server: answers each request by blasting the
+/// requested number of bytes back at the asking client.
+pub struct TrafficServer {
+    stack: HostStack,
+    start_at: Duration,
+    pub frames_sent: u64,
+}
+
+impl TrafficServer {
+    pub fn new(cfg: HostConfig, start_at: Duration) -> TrafficServer {
+        TrafficServer {
+            stack: HostStack::new(cfg),
+            start_at,
+            frames_sent: 0,
+        }
+    }
+
+    pub fn report(&self) -> TrafficReport {
+        TrafficReport {
+            frames_sent: self.frames_sent,
+            ..TrafficReport::default()
+        }
+    }
+}
+
+impl Agent for TrafficServer {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let outs = self.stack.boot();
+        pump(ctx, None, outs);
+        schedule_warm(ctx, self.start_at);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == T_WARM {
+            // Any off-subnet destination resolves the gateway.
+            let outs = self.stack.resolve(Ipv4Addr::new(10, 255, 255, 254));
+            pump(ctx, None, outs);
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, _port: u32, frame: Bytes) {
+        let outs = self.stack.on_frame(&frame);
+        let mut requests = Vec::new();
+        for o in outs {
+            match o {
+                StackOutput::Tx(f) => ctx.send_frame(1, f),
+                StackOutput::Udp {
+                    src,
+                    dst_port,
+                    payload,
+                    ..
+                } if dst_port == REQ_PORT && payload.len() >= 16 => {
+                    requests.push((src, read_u64(&payload, 0), read_u64(&payload, 8)));
+                }
+                _ => {}
+            }
+        }
+        for (client, flow_id, bytes) in requests {
+            self.frames_sent += blast(&mut self.stack, ctx, None, client, flow_id, bytes);
+        }
+    }
+}
+
+/// Incast sender: blasts one drawn flow at the receiver per wave.
+pub struct IncastSender {
+    stack: HostStack,
+    receiver: Ipv4Addr,
+    waves: WaveStream,
+    pending: Option<(Duration, u64)>,
+    flow_tag: u64,
+    flow_seq: u64,
+    start_at: Duration,
+    pub offered_bytes: u64,
+    pub flows_started: u64,
+    pub frames_sent: u64,
+}
+
+impl IncastSender {
+    pub fn new(
+        cfg: HostConfig,
+        receiver: Ipv4Addr,
+        waves: WaveStream,
+        endpoint_idx: usize,
+        start_at: Duration,
+    ) -> IncastSender {
+        IncastSender {
+            stack: HostStack::new(cfg),
+            receiver,
+            waves,
+            pending: None,
+            flow_tag: (endpoint_idx as u64 + 1) << 32,
+            flow_seq: 0,
+            start_at,
+            offered_bytes: 0,
+            flows_started: 0,
+            frames_sent: 0,
+        }
+    }
+
+    pub fn report(&self) -> TrafficReport {
+        TrafficReport {
+            offered_bytes: self.offered_bytes,
+            flows_started: self.flows_started,
+            frames_sent: self.frames_sent,
+            ..TrafficReport::default()
+        }
+    }
+
+    fn arm_next(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some((at, bytes)) = self.waves.next() {
+            self.pending = Some((at, bytes));
+            ctx.schedule_at(Time::ZERO + at, T_WAVE);
+        }
+    }
+}
+
+impl Agent for IncastSender {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let outs = self.stack.boot();
+        pump(ctx, None, outs);
+        schedule_warm(ctx, self.start_at);
+        self.arm_next(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            T_WARM => {
+                let outs = self.stack.resolve(self.receiver);
+                pump(ctx, None, outs);
+            }
+            T_WAVE => {
+                let Some((_, bytes)) = self.pending.take() else {
+                    return;
+                };
+                self.flows_started += 1;
+                self.offered_bytes += bytes;
+                let flow_id = self.flow_tag | self.flow_seq;
+                self.flow_seq += 1;
+                self.frames_sent +=
+                    blast(&mut self.stack, ctx, None, self.receiver, flow_id, bytes);
+                self.arm_next(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, _port: u32, frame: Bytes) {
+        let outs = self.stack.on_frame(&frame);
+        pump(ctx, None, outs);
+    }
+}
+
+/// Paced source: one full-chunk frame per destination per tick — CBR
+/// unicast with a single destination, multicast fan-out with many
+/// (replication happens at this source's access link, SRMCA-style).
+pub struct PacedSource {
+    stack: HostStack,
+    dsts: Vec<Ipv4Addr>,
+    interval: Duration,
+    start_at: Duration,
+    stop_at: Duration,
+    flow_tag: u64,
+    pub offered_bytes: u64,
+    pub frames_sent: u64,
+}
+
+impl PacedSource {
+    pub fn new(
+        cfg: HostConfig,
+        dsts: Vec<Ipv4Addr>,
+        interval: Duration,
+        endpoint_idx: usize,
+        start_at: Duration,
+        stop_at: Duration,
+    ) -> PacedSource {
+        PacedSource {
+            stack: HostStack::new(cfg),
+            dsts,
+            interval,
+            start_at,
+            stop_at,
+            flow_tag: (endpoint_idx as u64 + 1) << 32,
+            offered_bytes: 0,
+            frames_sent: 0,
+        }
+    }
+
+    pub fn report(&self) -> TrafficReport {
+        TrafficReport {
+            offered_bytes: self.offered_bytes,
+            frames_sent: self.frames_sent,
+            ..TrafficReport::default()
+        }
+    }
+}
+
+impl Agent for PacedSource {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let outs = self.stack.boot();
+        pump(ctx, None, outs);
+        schedule_warm(ctx, self.start_at);
+        ctx.schedule_at(Time::ZERO + self.start_at, T_TICK);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            T_WARM => {
+                for dst in self.dsts.clone() {
+                    let outs = self.stack.resolve(dst);
+                    pump(ctx, None, outs);
+                }
+            }
+            T_TICK => {
+                let now = ctx.now();
+                if now >= Time::ZERO + self.stop_at {
+                    return;
+                }
+                let now_ns = now.as_nanos();
+                let start_ns = self.start_at.as_nanos() as u64;
+                for (d, dst) in self.dsts.clone().into_iter().enumerate() {
+                    let flow_id = self.flow_tag | d as u64;
+                    let outs = self.stack.send_udp(
+                        dst,
+                        DATA_PORT,
+                        DATA_PORT,
+                        data_frame(flow_id, 0, start_ns, now_ns, CHUNK_BYTES),
+                    );
+                    pump(ctx, None, outs);
+                    self.offered_bytes += CHUNK_BYTES;
+                    self.frames_sent += 1;
+                }
+                ctx.schedule(self.interval, T_TICK);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, _port: u32, frame: Bytes) {
+        let outs = self.stack.on_frame(&frame);
+        pump(ctx, None, outs);
+    }
+}
+
+/// Pure sink: receives data frames and accounts for them.
+pub struct TrafficSink {
+    stack: HostStack,
+    sink: SinkCore,
+    start_at: Duration,
+}
+
+impl TrafficSink {
+    pub fn new(cfg: HostConfig, start_at: Duration) -> TrafficSink {
+        TrafficSink {
+            stack: HostStack::new(cfg),
+            sink: SinkCore::default(),
+            start_at,
+        }
+    }
+
+    pub fn report(&self) -> TrafficReport {
+        let mut r = TrafficReport::default();
+        self.sink.fold_into(&mut r);
+        r
+    }
+}
+
+impl Agent for TrafficSink {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let outs = self.stack.boot();
+        pump(ctx, Some(&mut self.sink), outs);
+        schedule_warm(ctx, self.start_at);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == T_WARM {
+            // A sink never transmits, so nothing would ever teach the
+            // controller where it lives: the resulting gateway ARP is
+            // what gets its /32 delivery flow installed before the
+            // first data frame arrives (a cold edge drops the frames
+            // that race the on-demand probe).
+            let outs = self.stack.resolve(Ipv4Addr::new(10, 255, 255, 254));
+            pump(ctx, Some(&mut self.sink), outs);
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, _port: u32, frame: Bytes) {
+        let outs = self.stack.on_frame(&frame);
+        pump(ctx, Some(&mut self.sink), outs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_frame_round_trips_header() {
+        let f = data_frame(0x0000_0001_0000_0007, 5000, 111, 222, 512);
+        assert_eq!(f.len(), 32 + 512);
+        assert_eq!(read_u64(&f, 0), 0x0000_0001_0000_0007);
+        assert_eq!(read_u64(&f, 8), 5000);
+        assert_eq!(read_u64(&f, 16), 111);
+        assert_eq!(read_u64(&f, 24), 222);
+    }
+
+    #[test]
+    fn sink_completes_bounded_flows_and_times_paced_frames() {
+        let mut s = SinkCore::default();
+        let t1 = Time::ZERO + Duration::from_millis(5);
+        s.on_data(t1, &data_frame(1, 2048, 1_000_000, 1_000_000, 1024));
+        assert_eq!(s.flows_completed, 0);
+        s.on_data(t1, &data_frame(1, 2048, 1_000_000, 1_000_000, 1024));
+        assert_eq!(s.flows_completed, 1);
+        assert_eq!(s.fct_ns, vec![4_000_000]);
+        assert_eq!(s.delivered_bytes, 2048);
+        // A paced frame (total = 0) records latency, not completion.
+        s.on_data(t1, &data_frame(9, 0, 0, 4_000_000, 1024));
+        assert_eq!(s.flows_completed, 1);
+        assert_eq!(s.frame_latency_ns, vec![1_000_000]);
+        assert_eq!(s.frames_delivered, 3);
+    }
+}

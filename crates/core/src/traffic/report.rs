@@ -1,0 +1,126 @@
+//! What a traffic workload measured.
+
+use std::time::Duration;
+
+/// Aggregated traffic accounting, merged across every agent of one
+/// workload (or produced whole by the flow-level engine). All byte
+/// counts are *payload* bytes — framing overhead is the same in both
+/// granularities, so excluding it keeps offered/delivered comparable
+/// to the configured rates.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TrafficReport {
+    /// Payload bytes sources injected (or would have, had the fabric
+    /// accepted them).
+    pub offered_bytes: u64,
+    /// Payload bytes sinks accepted.
+    pub delivered_bytes: u64,
+    /// Bounded flows started (request arrivals, incast blasts).
+    pub flows_started: u64,
+    /// Bounded flows fully delivered.
+    pub flows_completed: u64,
+    /// Data frames sources put on the wire.
+    pub frames_sent: u64,
+    /// Data frames sinks accepted.
+    pub frames_delivered: u64,
+    /// Per-flow completion times in nanoseconds (unsorted; sort before
+    /// taking percentiles). Measured from the instant the source
+    /// starts transmitting the flow to the last byte's arrival.
+    pub fct_ns: Vec<u64>,
+    /// One-way frame latencies of paced (unbounded) streams, in
+    /// nanoseconds. Packet level records every frame; the flow model
+    /// contributes its single modeled per-stream latency.
+    pub frame_latency_ns: Vec<u64>,
+}
+
+impl TrafficReport {
+    /// Fold another agent's accounting into this one.
+    pub fn merge(&mut self, other: &TrafficReport) {
+        self.offered_bytes += other.offered_bytes;
+        self.delivered_bytes += other.delivered_bytes;
+        self.flows_started += other.flows_started;
+        self.flows_completed += other.flows_completed;
+        self.frames_sent += other.frames_sent;
+        self.frames_delivered += other.frames_delivered;
+        self.fct_ns.extend_from_slice(&other.fct_ns);
+        self.frame_latency_ns
+            .extend_from_slice(&other.frame_latency_ns);
+    }
+
+    /// Frames that left a source but never reached a sink (in-flight
+    /// tail at harvest included — a cell that stops mid-window counts
+    /// its unfinished frames as lost).
+    pub fn frames_lost(&self) -> u64 {
+        self.frames_sent.saturating_sub(self.frames_delivered)
+    }
+
+    /// Flow-completion-time percentile, if any flow completed.
+    pub fn fct_percentile(&self, p: u64) -> Option<Duration> {
+        let mut v = self.fct_ns.clone();
+        v.sort_unstable();
+        percentile(&v, p).map(Duration::from_nanos)
+    }
+
+    /// Frame-latency percentile across paced streams, if any frame
+    /// was delivered.
+    pub fn latency_percentile(&self, p: u64) -> Option<Duration> {
+        let mut v = self.frame_latency_ns.clone();
+        v.sort_unstable();
+        percentile(&v, p).map(Duration::from_nanos)
+    }
+}
+
+/// Nearest-rank percentile over a *sorted* slice: the smallest element
+/// with at least `p` percent of the mass at or below it. Integer-only,
+/// always an observed value — safe for byte-stable reports.
+pub fn percentile(sorted: &[u64], p: u64) -> Option<u64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let p = p.min(100);
+    let rank = (p * sorted.len() as u64).div_ceil(100).max(1);
+    Some(sorted[(rank - 1) as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let v = [10, 20, 30, 40];
+        assert_eq!(percentile(&v, 50), Some(20));
+        assert_eq!(percentile(&v, 95), Some(40));
+        assert_eq!(percentile(&v, 100), Some(40));
+        assert_eq!(percentile(&v, 0), Some(10));
+        assert_eq!(percentile(&[], 50), None);
+        assert_eq!(percentile(&[7], 95), Some(7));
+    }
+
+    #[test]
+    fn merge_sums_and_concatenates() {
+        let mut a = TrafficReport {
+            offered_bytes: 100,
+            delivered_bytes: 80,
+            flows_started: 2,
+            flows_completed: 1,
+            frames_sent: 5,
+            frames_delivered: 4,
+            fct_ns: vec![7],
+            frame_latency_ns: vec![1, 2],
+        };
+        let b = TrafficReport {
+            offered_bytes: 50,
+            delivered_bytes: 50,
+            flows_started: 1,
+            flows_completed: 1,
+            frames_sent: 2,
+            frames_delivered: 2,
+            fct_ns: vec![3],
+            frame_latency_ns: vec![],
+        };
+        a.merge(&b);
+        assert_eq!(a.offered_bytes, 150);
+        assert_eq!(a.frames_lost(), 1);
+        assert_eq!(a.fct_ns, vec![7, 3]);
+    }
+}

@@ -97,6 +97,72 @@ pub trait SeedableRng: Sized {
     fn seed_from_u64(seed: u64) -> Self;
 }
 
+/// Non-uniform samplers used by the traffic engine. Inverse-transform
+/// only: one `next_u64` per draw, so stream positions stay easy to
+/// reason about when replaying a seed.
+pub mod distributions {
+    use super::{RngCore, Standard};
+
+    fn unit<R: RngCore>(rng: &mut R) -> f64 {
+        f64::sample(rng)
+    }
+
+    /// Exponential distribution with rate `lambda` (mean `1/lambda`).
+    /// The inter-arrival law of a Poisson process.
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    pub struct Exp {
+        lambda: f64,
+    }
+
+    impl Exp {
+        /// `lambda` must be positive and finite.
+        pub fn new(lambda: f64) -> Result<Exp, &'static str> {
+            if lambda.is_finite() && lambda > 0.0 {
+                Ok(Exp { lambda })
+            } else {
+                Err("Exp rate must be positive and finite")
+            }
+        }
+
+        pub fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+            // 1 - U keeps the argument in (0, 1]: ln never sees zero.
+            -(1.0 - unit(rng)).ln() / self.lambda
+        }
+    }
+
+    /// Pareto distribution truncated to `[min, max]` with shape
+    /// `alpha` — the classic heavy-tailed flow-size / burst-gap law,
+    /// bounded so a single draw cannot run a cell forever.
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    pub struct BoundedPareto {
+        alpha: f64,
+        min: f64,
+        max: f64,
+    }
+
+    impl BoundedPareto {
+        /// Requires `0 < min < max` and a positive finite `alpha`.
+        pub fn new(alpha: f64, min: f64, max: f64) -> Result<BoundedPareto, &'static str> {
+            if !(alpha.is_finite() && alpha > 0.0) {
+                Err("BoundedPareto shape must be positive and finite")
+            } else if !(min.is_finite() && max.is_finite() && 0.0 < min && min < max) {
+                Err("BoundedPareto needs 0 < min < max")
+            } else {
+                Ok(BoundedPareto { alpha, min, max })
+            }
+        }
+
+        pub fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+            // Inverse CDF of the bounded Pareto: U=0 -> min, U->1 -> max.
+            let u = unit(rng);
+            let la = self.min.powf(self.alpha);
+            let ha = self.max.powf(self.alpha);
+            let x = (ha + u * (la - ha)) / (ha * la);
+            x.powf(-1.0 / self.alpha).clamp(self.min, self.max)
+        }
+    }
+}
+
 pub mod rngs {
     use super::{RngCore, SeedableRng};
 
@@ -148,6 +214,49 @@ mod tests {
             let v = r.gen_range(3usize..10);
             assert!((3..10).contains(&v));
         }
+    }
+
+    #[test]
+    fn exp_mean_and_determinism() {
+        use distributions::Exp;
+        let d = Exp::new(4.0).unwrap();
+        let mut r = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!(
+            (mean - 0.25).abs() < 0.01,
+            "Exp(4) mean should be ~0.25, got {mean}"
+        );
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds_and_skews_low() {
+        use distributions::BoundedPareto;
+        let d = BoundedPareto::new(1.2, 1_000.0, 1_000_000.0).unwrap();
+        let mut r = StdRng::seed_from_u64(11);
+        let mut below_10k = 0usize;
+        for _ in 0..10_000 {
+            let x = d.sample(&mut r);
+            assert!((1_000.0..=1_000_000.0).contains(&x), "out of bounds: {x}");
+            if x < 10_000.0 {
+                below_10k += 1;
+            }
+        }
+        // Shape 1.2 over three decades: the bulk of the mass sits in
+        // the lowest decade (heavy tail = rare elephants, many mice).
+        assert!(
+            below_10k > 8_000,
+            "expected mouse-dominated draw, got {below_10k}/10000 below 10k"
+        );
+        assert!(BoundedPareto::new(1.0, 10.0, 10.0).is_err());
+        assert!(BoundedPareto::new(-1.0, 1.0, 2.0).is_err());
     }
 
     #[test]

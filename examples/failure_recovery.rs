@@ -26,14 +26,10 @@ fn main() {
     sc.run_until(Time::from_secs(180));
 
     let reports = sc.workload_reports();
-    let WorkloadReport::Ping {
-        first_reply_at,
-        rtts,
-        ..
-    } = &reports[0]
-    else {
+    let WorkloadReport::Ping(probe) = &reports[0] else {
         unreachable!("ping workload");
     };
+    let (first_reply_at, rtts) = (&probe.first_reply_at, &probe.rtts);
     println!("ping timeline (1 ping per second):");
     let mut last_seq: i64 = -1;
     let mut outage: u64 = 0;

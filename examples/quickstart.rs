@@ -31,14 +31,10 @@ fn main() {
     );
 
     let reports = sc.workload_reports();
-    let WorkloadReport::Ping {
-        first_reply_at,
-        rtts,
-        ..
-    } = &reports[0]
-    else {
+    let WorkloadReport::Ping(probe) = &reports[0] else {
         unreachable!("ping workload");
     };
+    let (first_reply_at, rtts) = (&probe.first_reply_at, &probe.rtts);
     let first = first_reply_at.expect("ping succeeds once routed");
     println!("first successful ping at        t = {first}");
     let (seq, rtt) = rtts.last().unwrap();

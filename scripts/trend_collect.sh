@@ -21,7 +21,9 @@
 # column is wall-clock (machine-dependent), from BENCH_perf.json.
 set -euo pipefail
 
-METRICS=(all_configured_ns recovery_ns ping_replies of_bytes_sent of_pushes of_deferred of_queue_hwm dataplane_flows)
+# traffic_* columns arrived with report schema v4 (the stochastic
+# traffic engine); rows collected before then carry "-" there.
+METRICS=(all_configured_ns recovery_ns ping_replies of_bytes_sent of_pushes of_deferred of_queue_hwm dataplane_flows traffic_offered_bytes traffic_delivered_bytes traffic_fct_p95_ns)
 
 header() {
     local md=$1

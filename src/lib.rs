@@ -74,6 +74,10 @@ pub mod prelude {
     pub use rf_core::scenario::{
         Fault, Scenario, ScenarioBuilder, ScenarioMetrics, Workload, WorkloadReport,
     };
+    pub use rf_core::traffic::{
+        ArrivalProcess, FlowSize, TrafficConfig, TrafficMode, TrafficPattern, TrafficReport,
+        TrafficShape, TrafficSpec, WorkloadError,
+    };
     pub use rf_gui::NetworkView;
     pub use rf_sim::{LinkProfile, Sim, SimConfig, Time};
     pub use rf_topo::{line, pan_european, ring, Topology};

@@ -232,9 +232,10 @@ fn stalled_bounded_channel_recovers_traffic_after_release() {
     let m = sc.metrics();
     assert_eq!(m.of_dropped, 0);
     let reports = sc.workload_reports();
-    let WorkloadReport::Ping { replies, .. } = &reports[0] else {
+    let WorkloadReport::Ping(probe) = &reports[0] else {
         unreachable!("ping workload attached above");
     };
+    let replies = &probe.replies;
     assert!(
         replies.iter().any(|(_, t)| *t > Time::ZERO + stall_until),
         "pings must flow after the stall clears (got {} replies)",
@@ -250,7 +251,7 @@ fn fan_in_workload_reports_every_client() {
         .fast_timers()
         .seed(9)
         .trace_level(rf_sim::TraceLevel::Off)
-        .with_workload(Workload::ping_fan_in(vec![0, 1, 3], 2))
+        .with_workload(Workload::ping_fan_in(vec![0, 1, 3], 2).expect("valid fan-in"))
         .start();
     sc.run_until_configured(Time::from_secs(120))
         .expect("ring-4 must configure");

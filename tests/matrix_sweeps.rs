@@ -110,9 +110,10 @@ fn link_flap_soak_heals_end_to_end() {
     sc.run_until(last_fault + Duration::from_secs(30));
 
     let reports = sc.workload_reports();
-    let WorkloadReport::Ping { replies, .. } = &reports[0] else {
+    let WorkloadReport::Ping(probe) = &reports[0] else {
         unreachable!("ping workload attached above");
     };
+    let replies = &probe.replies;
     assert!(
         replies.iter().any(|(_, t)| *t < Time::from_secs(20)),
         "network must converge before the first flap"
@@ -230,9 +231,10 @@ fn sustained_loss_soak_degrades_then_heals() {
     sc.run_until(heal_at + Duration::from_secs(30));
 
     let reports = sc.workload_reports();
-    let WorkloadReport::Ping { sent, replies, .. } = &reports[0] else {
+    let WorkloadReport::Ping(probe) = &reports[0] else {
         unreachable!("ping workload attached above");
     };
+    let (sent, replies) = (&probe.sent, &probe.replies);
     assert!(
         replies.iter().any(|(_, t)| *t < Time::from_secs(20)),
         "network must converge before the loss window"

@@ -1,0 +1,236 @@
+//! Workspace tests for the stochastic traffic engine: the determinism
+//! contract over stochastic cells (identical `MatrixReport` bytes at
+//! any worker-thread count), seed behaviour (same seed reproduces the
+//! exact report, different seeds diverge), flow-level vs packet-level
+//! agreement on small topologies, and the typed builder errors that
+//! replace the old workload `assert!`s.
+
+use rf_core::scenario::{
+    FaultSchedule, MatrixKnob, MatrixSpec, Scenario, ScenarioMatrix, Workload, WorkloadReport,
+};
+use rf_core::traffic::{FlowSize, TrafficReport, TrafficSpec, WorkloadError};
+use rf_sim::{LinkProfile, Time};
+use rf_topo::{ring, star, Topology};
+use std::time::Duration;
+
+/// 20 Mbps access links: one 1098-byte data chunk serializes in
+/// ~439 µs, so congestion — not propagation — dominates flow timing.
+/// That is the regime where the fluid model's max-min share is the
+/// interesting claim to check against the packet-level truth.
+fn slow_links() -> LinkProfile {
+    LinkProfile {
+        bandwidth_bps: 20_000_000,
+        ..LinkProfile::default()
+    }
+}
+
+/// Run `spec` as the sole workload on `topo` and harvest its report.
+fn run_traffic(
+    topo: Topology,
+    seed: u64,
+    spec: &TrafficSpec,
+    profile: LinkProfile,
+) -> TrafficReport {
+    let cfg = spec.instantiate(&topo).expect("spec fits the topology");
+    let mut sc = Scenario::on(topo)
+        .fast_timers()
+        .seed(seed)
+        .trace_level(rf_sim::TraceLevel::Off)
+        .link_profile(profile)
+        .with_workload(Workload::traffic(cfg).expect("validated config"))
+        .start();
+    sc.run_until(Time::ZERO + spec.stop_at() + Duration::from_secs(2));
+    let reports = sc.workload_reports();
+    let WorkloadReport::Traffic(r) = &reports[0] else {
+        unreachable!("traffic workload attached above");
+    };
+    r.clone()
+}
+
+fn pct_diff(a: u64, b: u64) -> f64 {
+    if a == 0 && b == 0 {
+        return 0.0;
+    }
+    (a as f64 - b as f64).abs() / (a.max(b) as f64) * 100.0
+}
+
+#[test]
+fn same_seed_reproduces_different_seed_diverges() {
+    let spec = TrafficSpec::poisson(3, 6.0, FlowSize::pareto(2_000, 100_000))
+        .window(Duration::from_secs(25), Duration::from_secs(10));
+    let a = run_traffic(ring(4), 5, &spec, LinkProfile::default());
+    let b = run_traffic(ring(4), 5, &spec, LinkProfile::default());
+    assert_eq!(a, b, "same seed must reproduce the exact report");
+    assert!(a.flows_started > 0, "poisson arrivals must fire");
+    assert_eq!(a.frames_lost(), 0, "reliable links lose nothing");
+
+    let c = run_traffic(ring(4), 6, &spec, LinkProfile::default());
+    assert_ne!(
+        a, c,
+        "a different seed must draw different arrivals and sizes"
+    );
+}
+
+#[test]
+fn flow_level_matches_packet_level_incast_on_ring() {
+    // Four synchronized waves of 3 senders × 60 KB onto one receiver:
+    // the receiver's 20 Mbps access link is the bottleneck in both
+    // models. Offered load is guaranteed identical (same WaveStream),
+    // so the check is delivery and completion timing.
+    let spec = TrafficSpec::incast(3, FlowSize::fixed(60_000), Duration::from_secs(2), 4)
+        .window(Duration::from_secs(25), Duration::from_secs(10));
+    let pkt = run_traffic(ring(4), 7, &spec, slow_links());
+    let flow = run_traffic(ring(4), 7, &spec.clone().flow_level(), slow_links());
+
+    eprintln!("incast pkt:  {pkt:?}");
+    eprintln!("incast flow: {flow:?}");
+    assert_eq!(pkt.offered_bytes, flow.offered_bytes, "same demand stream");
+    assert_eq!(pkt.flows_started, flow.flows_started);
+    assert_eq!(pkt.flows_completed, flow.flows_completed);
+    let d = pct_diff(pkt.delivered_bytes, flow.delivered_bytes);
+    assert!(d <= 10.0, "delivered bytes differ by {d:.1}% (> 10%)");
+    let p50 = pct_diff(
+        pkt.fct_percentile(50).unwrap().as_nanos() as u64,
+        flow.fct_percentile(50).unwrap().as_nanos() as u64,
+    );
+    assert!(p50 <= 25.0, "FCT p50 differs by {p50:.1}% (> 25%)");
+    let p95 = pct_diff(
+        pkt.fct_percentile(95).unwrap().as_nanos() as u64,
+        flow.fct_percentile(95).unwrap().as_nanos() as u64,
+    );
+    assert!(p95 <= 25.0, "FCT p95 differs by {p95:.1}% (> 25%)");
+}
+
+#[test]
+fn flow_level_matches_packet_level_request_response_on_star() {
+    // Poisson request/response against the hub-adjacent far leaf: the
+    // server's tx access link serializes every response. Moderate
+    // utilization (~25%), so flows mostly run alone — the fluid FCT
+    // should track the packet-level store-and-forward pipeline.
+    let spec = TrafficSpec::poisson(3, 5.0, FlowSize::fixed(40_000))
+        .window(Duration::from_secs(25), Duration::from_secs(10));
+    let pkt = run_traffic(star(5), 11, &spec, slow_links());
+    let flow = run_traffic(star(5), 11, &spec.clone().flow_level(), slow_links());
+
+    eprintln!("rr pkt:  {pkt:?}");
+    eprintln!("rr flow: {flow:?}");
+    assert_eq!(pkt.offered_bytes, flow.offered_bytes, "same demand stream");
+    assert_eq!(pkt.flows_started, flow.flows_started);
+    let d = pct_diff(pkt.delivered_bytes, flow.delivered_bytes);
+    assert!(d <= 10.0, "delivered bytes differ by {d:.1}% (> 10%)");
+    let p50 = pct_diff(
+        pkt.fct_percentile(50).unwrap().as_nanos() as u64,
+        flow.fct_percentile(50).unwrap().as_nanos() as u64,
+    );
+    assert!(p50 <= 25.0, "FCT p50 differs by {p50:.1}% (> 25%)");
+}
+
+/// A small stochastic grid mixing packet and flow cells across every
+/// pattern family — the determinism contract must hold with PRNG-driven
+/// workloads exactly as it does for the deterministic ping cells.
+fn stochastic_spec() -> MatrixSpec {
+    let window = (Duration::from_secs(25), Duration::from_secs(8));
+    MatrixSpec {
+        seeds: vec![3],
+        topologies: vec!["ring-4".into()],
+        schedules: vec![FaultSchedule::none()],
+        knobs: vec![
+            MatrixKnob::fast("rr-pkt").with_traffic(
+                TrafficSpec::poisson(2, 4.0, FlowSize::pareto(2_000, 60_000))
+                    .window(window.0, window.1),
+            ),
+            MatrixKnob::fast("incast-flow").with_traffic(
+                TrafficSpec::incast(3, FlowSize::fixed(50_000), Duration::from_secs(2), 3)
+                    .flow_level()
+                    .window(window.0, window.1),
+            ),
+            MatrixKnob::fast("mcast-pkt")
+                .with_traffic(TrafficSpec::multicast(3, 1_000_000).window(window.0, window.1)),
+            MatrixKnob::fast("mcast-flow").with_traffic(
+                TrafficSpec::multicast(3, 1_000_000)
+                    .flow_level()
+                    .window(window.0, window.1),
+            ),
+        ],
+        configure_deadline: Duration::from_secs(60),
+        post_fault_window: Duration::ZERO,
+        settle: Duration::from_secs(5),
+    }
+}
+
+#[test]
+fn stochastic_matrix_bytes_identical_across_worker_counts() {
+    let matrix = ScenarioMatrix::new(stochastic_spec());
+    let one = matrix.run(1).to_json();
+    let four = matrix.run(4).to_json();
+    let eight = matrix.run(8).to_json();
+    assert_eq!(one, four, "1-thread and 4-thread reports must match");
+    assert_eq!(four, eight, "4-thread and 8-thread reports must match");
+    // The artifact must actually carry the new metrics, not just agree.
+    assert!(one.contains("traffic_delivered_bytes"));
+    assert!(one.contains("traffic_fct_p95_ns"));
+}
+
+#[test]
+fn bad_cell_fails_alone_not_the_sweep() {
+    // A fan-in wider than the topology used to assert! inside the
+    // worker and poison the whole sweep; now the one cell records
+    // build_error and every other cell still reports.
+    let spec = MatrixSpec {
+        seeds: vec![1],
+        topologies: vec!["ring-4".into()],
+        schedules: vec![FaultSchedule::none()],
+        knobs: vec![
+            MatrixKnob::fast("fast"),
+            MatrixKnob::fast("fan9").with_fan_in(9),
+        ],
+        configure_deadline: Duration::from_secs(60),
+        post_fault_window: Duration::ZERO,
+        settle: Duration::from_secs(5),
+    };
+    let report = ScenarioMatrix::new(spec).run(2);
+    assert_eq!(report.cells.len(), 2);
+    let bad = report
+        .cells
+        .iter()
+        .find(|c| c.key.contains("knob=fan9"))
+        .expect("failed cell still present");
+    assert_eq!(bad.metrics.get("build_error"), Some(&1));
+    let good = report
+        .cells
+        .iter()
+        .find(|c| c.key.contains("knob=fast"))
+        .expect("good cell present");
+    assert!(good.metrics.contains_key("all_configured_ns"));
+}
+
+#[test]
+fn workload_constructors_return_typed_errors() {
+    assert!(matches!(
+        Workload::ping_fan_in(vec![], 2),
+        Err(WorkloadError::NoEndpoints(_))
+    ));
+    assert!(matches!(
+        Workload::ping_fan_in((0..40).collect(), 41),
+        Err(WorkloadError::TooManyEndpoints { given: 40, .. })
+    ));
+
+    // Traffic spec errors surface through instantiate/validate instead
+    // of panicking mid-sweep.
+    assert!(TrafficSpec::poisson(0, 4.0, FlowSize::fixed(1_000))
+        .instantiate(&ring(4))
+        .is_err());
+    assert!(TrafficSpec::poisson(2, 0.0, FlowSize::fixed(1_000))
+        .instantiate(&ring(4))
+        .is_err());
+    assert!(matches!(
+        TrafficSpec::multicast(3, 0).instantiate(&ring(4)),
+        Err(WorkloadError::ZeroRate(_))
+    ));
+    let mut one = Topology::new();
+    one.add_node("s0", (0.0, 0.0));
+    assert!(matches!(
+        TrafficSpec::incast(3, FlowSize::fixed(1_000), Duration::from_secs(1), 2).instantiate(&one),
+        Err(WorkloadError::TopologyTooSmall { .. })
+    ));
+}
