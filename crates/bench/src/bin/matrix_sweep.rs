@@ -13,6 +13,10 @@
 //!
 //! # The long trend-tracking grid:
 //! cargo run --release -p rf-bench --bin matrix_sweep -- --full
+//!
+//! # The topology-corpus breadth grid (50+ named topologies, with a
+//! # per-topology configuration-median table on stderr):
+//! cargo run --release -p rf-bench --bin matrix_sweep -- --corpus
 //! ```
 //!
 //! The report is byte-identical at any `--threads` value; see the
@@ -53,6 +57,14 @@ fn parse_args() -> Result<Args, String> {
                 args.spec = MatrixSpec::full();
                 args.grid_name = "full";
             }
+            "--corpus" => {
+                args.spec = MatrixSpec::corpus();
+                args.grid_name = "corpus";
+            }
+            "--corpus-smoke" => {
+                args.spec = MatrixSpec::corpus_smoke();
+                args.grid_name = "corpus-smoke";
+            }
             "--threads" => {
                 args.threads = value("--threads")?
                     .parse()
@@ -69,9 +81,9 @@ fn parse_args() -> Result<Args, String> {
             other => {
                 return Err(format!(
                     "unknown argument {other}\n\
-                     usage: matrix_sweep [--smoke|--full] [--threads N] \
-                     [--out FILE] [--check BASELINE] [--tolerance FRAC] \
-                     [--summary-md FILE]"
+                     usage: matrix_sweep [--smoke|--full|--corpus|--corpus-smoke] \
+                     [--threads N] [--out FILE] [--check BASELINE] \
+                     [--tolerance FRAC] [--summary-md FILE]"
                 ))
             }
         }
@@ -105,6 +117,27 @@ fn main() -> ExitCode {
             s.min, s.median, s.max, s.count
         );
     }
+    let corpus_grid = args.grid_name.starts_with("corpus");
+    if corpus_grid {
+        // The corpus grids are read per topology, not per metric: the
+        // whole point is how configuration scales across shapes.
+        eprintln!("per-topology configuration medians (ns of simulated time):");
+        for (topo, s) in report.per_topology_medians("all_configured_ns") {
+            eprintln!("  {topo}: median {} (n={})", s.median, s.count);
+        }
+        let failed: Vec<&str> = report
+            .cells
+            .iter()
+            .filter(|c| c.metrics.get("build_error") == Some(&1))
+            .map(|c| c.key.as_str())
+            .collect();
+        if !failed.is_empty() {
+            eprintln!("build errors in {} cells:", failed.len());
+            for key in failed {
+                eprintln!("  {key}");
+            }
+        }
+    }
 
     if let Some(path) = &args.summary_md {
         // A GitHub-flavoured markdown trend summary, written for
@@ -121,6 +154,25 @@ fn main() -> ExitCode {
                 "| `{name}` | {} | {} | {} | {} |\n",
                 s.count, s.min, s.median, s.max
             ));
+        }
+        if corpus_grid {
+            md.push_str(
+                "\n### Per-topology configuration medians\n\n\
+                 | topology | n | median `all_configured_ns` | median `green_median_ns` |\n\
+                 |---|---|---|---|\n",
+            );
+            let greens = report.per_topology_medians("green_median_ns");
+            for (topo, s) in report.per_topology_medians("all_configured_ns") {
+                let green = greens
+                    .iter()
+                    .find(|(t, _)| *t == topo)
+                    .map(|(_, g)| g.median.to_string())
+                    .unwrap_or_else(|| "-".into());
+                md.push_str(&format!(
+                    "| `{topo}` | {} | {} | {green} |\n",
+                    s.count, s.median
+                ));
+            }
         }
         md.push_str(
             "\nTimes are nanoseconds of simulated time; byte/message counts are totals per cell.\n",

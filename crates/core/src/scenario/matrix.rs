@@ -30,6 +30,7 @@ use super::{Fault, Scenario, ScenarioBuilder, Workload, WorkloadReport};
 use crate::apps::OverflowPolicy;
 use crate::traffic::{FlowSize, TrafficSpec, WorkloadError};
 use rf_sim::Time;
+use rf_topo::TopoSpec;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -317,13 +318,40 @@ impl MatrixKnob {
 #[derive(Clone, Debug)]
 pub struct MatrixCell {
     pub seed: u64,
-    /// Registry name ([`rf_topo::registry::resolve`]).
+    /// Topology name. Kept as the spelled-out string (not a parsed
+    /// [`TopoSpec`]) because it is part of the cell key and because a
+    /// *malformed* name must still form a cell — one that reports
+    /// `build_error = 1` — rather than be rejected at grid-assembly
+    /// time. `TopoSpec`'s `Display` emits exactly these names, so
+    /// typed construction via [`MatrixCell::new`] is lossless.
     pub topology: String,
     pub schedule: FaultSchedule,
     pub knob: MatrixKnob,
 }
 
 impl MatrixCell {
+    /// Typed construction: any `impl Into<TopoSpec>` names the
+    /// topology; the key string comes from the spec's `Display`, which
+    /// round-trips through `FromStr`, so keys stay byte-stable.
+    pub fn new(
+        seed: u64,
+        topology: impl Into<TopoSpec>,
+        schedule: FaultSchedule,
+        knob: MatrixKnob,
+    ) -> MatrixCell {
+        MatrixCell {
+            seed,
+            topology: topology.into().to_string(),
+            schedule,
+            knob,
+        }
+    }
+
+    /// The cell's topology as a typed spec, if the name parses.
+    pub fn topo_spec(&self) -> Result<TopoSpec, rf_topo::TopoParseError> {
+        self.topology.parse()
+    }
+
     /// The stable report key. Axis order is fixed; sorting keys groups
     /// cells by topology first, which is how humans read the report.
     pub fn key(&self) -> String {
@@ -457,6 +485,90 @@ impl MatrixSpec {
         }
     }
 
+    /// Replace the topology axis with typed specs. `Display` spells
+    /// each spec exactly as its registry name, so cell keys are
+    /// byte-identical to spelling the strings out by hand.
+    pub fn with_topologies<I, T>(mut self, topologies: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<TopoSpec>,
+    {
+        self.topologies = topologies
+            .into_iter()
+            .map(|t| t.into().to_string())
+            .collect();
+        self
+    }
+
+    /// The corpus breadth grid: every checked-in WAN shape plus the
+    /// classic parametric families at both ends of the scale — rings,
+    /// a grid, pan-european, fat-trees (k=4 and the 80-switch k=8),
+    /// leaf-spines, and seeded random graphs. Fault-free with a single
+    /// wide-pipeline knob: this grid measures *configuration across
+    /// shapes* (per-topology medians in the trend table), not fault
+    /// recovery, which the smoke/full grids already soak.
+    pub fn corpus() -> MatrixSpec {
+        let mut topologies: Vec<String> = rf_topo::corpus::names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        topologies.extend(
+            [
+                "ring-16",
+                "grid-8x8",
+                "pan-european",
+                "fat-tree-k4",
+                "fat-tree-k8",
+                "leaf-spine-4x8x0",
+                "leaf-spine-8x16x0",
+                "er-32-s7",
+                "waxman-32-s7",
+            ]
+            .map(String::from),
+        );
+        MatrixSpec {
+            seeds: vec![1, 2],
+            topologies,
+            schedules: vec![FaultSchedule::none()],
+            knobs: vec![MatrixKnob::fast("fast-k8b16")
+                .with_provision_width(8)
+                .with_fib_batch(16)],
+            configure_deadline: Duration::from_secs(900),
+            post_fault_window: Duration::from_secs(45),
+            settle: Duration::from_secs(10),
+        }
+    }
+
+    /// A CI-sized slice of [`MatrixSpec::corpus`]: a handful of WAN
+    /// files spanning the corpus alphabet plus one of each datacenter
+    /// family, one seed each — eight cells, seconds of wall clock,
+    /// exercising the corpus loader and both parametric generators
+    /// end-to-end under `--check`.
+    pub fn corpus_smoke() -> MatrixSpec {
+        MatrixSpec {
+            seeds: vec![1],
+            topologies: [
+                "abilene",
+                "geant",
+                "nsfnet",
+                "sprint",
+                "uninett",
+                "fat-tree-k4",
+                "leaf-spine-2x4x1",
+                "er-16-s3",
+            ]
+            .map(String::from)
+            .to_vec(),
+            schedules: vec![FaultSchedule::none()],
+            knobs: vec![MatrixKnob::fast("fast-k8b16")
+                .with_provision_width(8)
+                .with_fib_batch(16)],
+            configure_deadline: Duration::from_secs(300),
+            post_fault_window: Duration::from_secs(45),
+            settle: Duration::from_secs(10),
+        }
+    }
+
     /// The traffic-engine perf grid: fault-free, two topologies whose
     /// bottlenecks differ (ring vs star hub), each shape at both
     /// granularities — the events/sec comparison that justifies the
@@ -586,8 +698,12 @@ pub struct ScenarioMatrix {
 /// happened to be picked last. Only the *ordering* depends on this —
 /// the report is identical for any schedule.
 fn expected_cost(spec: &MatrixSpec, cell: &MatrixCell) -> u64 {
-    let nodes = rf_topo::registry::resolve(&cell.topology)
-        .map(|t| t.node_count() as u64)
+    // The estimate never builds the topology: `node_count_estimate`
+    // is closed-form (or a corpus line count), which matters when the
+    // corpus grid schedules a hundred cells.
+    let nodes = cell
+        .topo_spec()
+        .map(|s| s.node_count_estimate() as u64)
         .unwrap_or(8);
     // Configuration phase: serial provisioning scales with n/k, and
     // slow OSPF timers stretch convergence.
@@ -625,22 +741,21 @@ impl ScenarioMatrix {
         &self.spec
     }
 
-    /// The default per-cell assembly: resolve the topology from the
-    /// registry, attach the knob's probe workload (a ping across the
-    /// farthest switch pair, a fan-in converging on it, or a traffic
-    /// spec placed on the topology), apply the knob and the fault
-    /// schedule.
+    /// The default per-cell assembly: parse the topology name into a
+    /// [`TopoSpec`] and build it, attach the knob's probe workload (a
+    /// ping across the farthest switch pair, a fan-in converging on
+    /// it, or a traffic spec placed on the topology), apply the knob
+    /// and the fault schedule.
     ///
-    /// An unknown topology name still panics — that is a typo in the
-    /// grid definition, not a cell-local condition. Workload
-    /// constructors, by contrast, return [`WorkloadError`], which
-    /// [`run_with`] records as a `build_error` cell so one bad axis
-    /// value cannot take down the rest of the sweep.
+    /// A malformed or unknown topology name returns
+    /// [`WorkloadError::BadTopology`] naming the offending token, and
+    /// [`run_with`] records it as a `build_error` cell — same as any
+    /// workload-constructor rejection — so one bad axis value cannot
+    /// take down the rest of the sweep.
     ///
     /// [`run_with`]: ScenarioMatrix::run_with
     pub fn standard_builder(cell: &MatrixCell) -> Result<ScenarioBuilder, WorkloadError> {
-        let topo = rf_topo::registry::resolve(&cell.topology)
-            .unwrap_or_else(|| panic!("unknown topology name {:?}", cell.topology));
+        let topo = cell.topo_spec()?.build();
         let (a, b) = topo
             .farthest_pair()
             .expect("topology has at least two nodes");
@@ -998,14 +1113,83 @@ mod tests {
     }
 
     #[test]
-    fn standard_builder_rejects_unknown_topology() {
-        let cell = MatrixCell {
-            seed: 1,
-            topology: "hypercube-9".into(),
+    fn standard_builder_rejects_unknown_topology_as_build_error() {
+        // An unknown family and a malformed parameterization both come
+        // back as typed errors naming the offending token — the cell
+        // reports `build_error = 1`, the sweep never panics.
+        for (name, token) in [("hypercube-9", "hypercube-9"), ("grid-4x", "")] {
+            let cell = MatrixCell {
+                seed: 1,
+                topology: name.into(),
+                schedule: FaultSchedule::none(),
+                knob: MatrixKnob::fast("fast"),
+            };
+            match ScenarioMatrix::standard_builder(&cell) {
+                Err(WorkloadError::BadTopology(err)) => {
+                    assert_eq!(err.name, name);
+                    assert_eq!(err.token, token);
+                }
+                Err(other) => panic!("expected BadTopology for {name:?}, got {other:?}"),
+                Ok(_) => panic!("expected BadTopology for {name:?}, got Ok"),
+            }
+        }
+    }
+
+    #[test]
+    fn typed_cells_match_stringly_keys() {
+        let typed = MatrixCell::new(
+            7,
+            TopoSpec::Grid { w: 4, h: 4 },
+            FaultSchedule::none(),
+            MatrixKnob::fast("fast"),
+        );
+        let stringly = MatrixCell {
+            seed: 7,
+            topology: "grid-4x4".into(),
             schedule: FaultSchedule::none(),
             knob: MatrixKnob::fast("fast"),
         };
-        let err = std::panic::catch_unwind(|| ScenarioMatrix::standard_builder(&cell));
-        assert!(err.is_err());
+        assert_eq!(typed.key(), stringly.key());
+        let spec = MatrixSpec::smoke().with_topologies([
+            TopoSpec::Ring(4),
+            TopoSpec::FatTree { k: 4 },
+            TopoSpec::Corpus("abilene"),
+        ]);
+        assert_eq!(
+            spec.topologies,
+            vec!["ring-4", "fat-tree-k4", "abilene"],
+            "Display must spell registry names exactly"
+        );
+    }
+
+    #[test]
+    fn corpus_grid_is_wide_enough() {
+        let spec = MatrixSpec::corpus();
+        assert!(
+            spec.topologies.len() >= 50,
+            "corpus grid sweeps {} topologies",
+            spec.topologies.len()
+        );
+        assert!(spec.topologies.iter().any(|t| t == "fat-tree-k8"));
+        let mut unique = spec.topologies.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(
+            unique.len(),
+            spec.topologies.len(),
+            "no duplicate topologies"
+        );
+        for name in &spec.topologies {
+            assert!(
+                name.parse::<TopoSpec>().is_ok(),
+                "corpus grid name {name:?} must parse"
+            );
+        }
+        for name in &MatrixSpec::corpus_smoke().topologies {
+            assert!(
+                name.parse::<TopoSpec>().is_ok(),
+                "corpus smoke name {name:?} must parse"
+            );
+        }
     }
 }

@@ -1033,6 +1033,13 @@ impl Scenario {
         ScenarioBuilder::from_deployment_config(DeploymentConfig::new(topology))
     }
 
+    /// Start building a scenario on a typed topology spec — anything
+    /// convertible into an [`rf_topo::TopoSpec`]. Building a spec is
+    /// infallible; parse names with `str::parse::<TopoSpec>()` first.
+    pub fn on_spec(spec: impl Into<rf_topo::TopoSpec>) -> ScenarioBuilder {
+        Scenario::on(spec.into().build())
+    }
+
     /// The control-plane engine (state, app list, counters).
     pub fn controller(&self) -> &ControlPlane {
         self.sim

@@ -214,6 +214,45 @@ impl MatrixReport {
         Ok(MatrixReport::new(grid, cells))
     }
 
+    /// Lower-median of `metric` per topology, in the cells' sorted
+    /// order. The topology is read back out of the cell key
+    /// (`topo=<name>/...`), so this works on parsed baselines too; a
+    /// cell without the metric (e.g. a `build_error` cell) simply does
+    /// not contribute. Computed on demand — never serialized — so the
+    /// report schema and checked-in baselines are unaffected.
+    pub fn per_topology_medians(&self, metric: &str) -> Vec<(String, MetricSummary)> {
+        let mut by_topo: Vec<(String, Vec<i64>)> = Vec::new();
+        for cell in &self.cells {
+            let Some(topo) = cell
+                .key
+                .strip_prefix("topo=")
+                .and_then(|rest| rest.split('/').next())
+            else {
+                continue;
+            };
+            let Some(&value) = cell.metrics.get(metric) else {
+                continue;
+            };
+            match by_topo.last_mut() {
+                Some((name, vals)) if name == topo => vals.push(value),
+                _ => by_topo.push((topo.to_string(), vec![value])),
+            }
+        }
+        by_topo
+            .into_iter()
+            .map(|(name, mut vals)| {
+                vals.sort_unstable();
+                let s = MetricSummary {
+                    count: vals.len() as i64,
+                    min: vals[0],
+                    median: vals[(vals.len() - 1) / 2],
+                    max: vals[vals.len() - 1],
+                };
+                (name, s)
+            })
+            .collect()
+    }
+
     /// Compare against a baseline with per-metric relative tolerance.
     ///
     /// Returns human-readable deviations: cells or metrics present on
@@ -368,5 +407,31 @@ mod tests {
     #[should_panic(expected = "duplicate cell key")]
     fn duplicate_keys_panic() {
         MatrixReport::new(grid(), vec![rec("a", &[]), rec("a", &[])]);
+    }
+
+    #[test]
+    fn per_topology_medians_group_contiguous_cells() {
+        let r = MatrixReport::new(
+            grid(),
+            vec![
+                rec("topo=abilene/fault=none/knob=f/seed=1", &[("t", 30)]),
+                rec("topo=abilene/fault=none/knob=f/seed=2", &[("t", 10)]),
+                rec("topo=ring-4/fault=none/knob=f/seed=1", &[("t", 7)]),
+                // A build_error cell contributes nothing to `t`.
+                rec(
+                    "topo=zzz-bad/fault=none/knob=f/seed=1",
+                    &[("build_error", 1)],
+                ),
+            ],
+        );
+        let med = r.per_topology_medians("t");
+        assert_eq!(med.len(), 2);
+        assert_eq!(med[0].0, "abilene");
+        assert_eq!(
+            (med[0].1.count, med[0].1.min, med[0].1.median, med[0].1.max),
+            (2, 10, 10, 30)
+        );
+        assert_eq!(med[1].0, "ring-4");
+        assert_eq!(med[1].1.median, 7);
     }
 }

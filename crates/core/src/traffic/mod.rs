@@ -308,6 +308,10 @@ pub enum WorkloadError {
     BadDistribution(&'static str),
     /// The topology cannot host the requested endpoint placement.
     TopologyTooSmall { need: usize, have: usize },
+    /// A topology name that does not parse (see
+    /// [`rf_topo::TopoParseError`]) — carried here so a malformed grid
+    /// axis value fails its cells, not the whole sweep.
+    BadTopology(rf_topo::TopoParseError),
 }
 
 impl fmt::Display for WorkloadError {
@@ -323,11 +327,18 @@ impl fmt::Display for WorkloadError {
             WorkloadError::TopologyTooSmall { need, have } => {
                 write!(f, "workload needs {need} nodes, topology has {have}")
             }
+            WorkloadError::BadTopology(err) => write!(f, "{err}"),
         }
     }
 }
 
 impl std::error::Error for WorkloadError {}
+
+impl From<rf_topo::TopoParseError> for WorkloadError {
+    fn from(err: rf_topo::TopoParseError) -> WorkloadError {
+        WorkloadError::BadTopology(err)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -289,7 +289,7 @@ impl OfMatch {
 /// matches are evaluated. Mirrors the OF 1.0 parse rules, including the
 /// ARP quirk (nw_proto = ARP opcode, nw_src/dst = ARP IPs) and the ICMP
 /// quirk (tp_src/dst = ICMP type/code).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct PacketKey {
     pub in_port: PortNumber,
     pub dl_src: MacAddr,

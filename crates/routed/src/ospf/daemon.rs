@@ -7,7 +7,7 @@
 //! the next instant `tick` needs to run (smoltcp's `poll_at` idiom), so
 //! the embedding VM schedules exactly one timer.
 
-use super::lsa::{Lsa, LsaHeader, LsaKey, RouterLink, RouterLinkType, INITIAL_SEQ};
+use super::lsa::{Lsa, LsaBody, LsaHeader, LsaKey, RouterLink, RouterLinkType, INITIAL_SEQ};
 use super::neighbor::{Neighbor, NeighborState};
 use super::packet::{OspfPacket, OspfPacketBody, DBD_INIT, DBD_MASTER, DBD_MORE};
 use super::spf;
@@ -153,10 +153,29 @@ pub struct OspfDaemon {
     spf_due: Option<Time>,
     last_spf: Time,
     last_routes: Vec<Route>,
+    /// Content hash of the previous SPF's inputs (live router LSAs +
+    /// Full adjacencies). When a scheduled SPF sees the same
+    /// fingerprint, the Dijkstra pass is skipped: identical inputs
+    /// give identical routes, which are already in `last_routes`.
+    /// LSA *refreshes* (same links, new seq) hit this cache, so on
+    /// corpus-scale topologies most periodic SPF triggers are free.
+    spf_fingerprint: Option<u64>,
     dd_counter: u32,
     /// Diagnostics.
     pub spf_runs: u64,
+    /// SPF triggers answered from the fingerprint cache.
+    pub spf_skipped: u64,
     pub lsas_flooded: u64,
+}
+
+/// One splitmix64 step — the fingerprint accumulator. Deterministic
+/// across platforms and processes (unlike `DefaultHasher`, whose
+/// algorithm is unspecified).
+fn fp_mix(h: u64, v: u64) -> u64 {
+    let mut z = (h ^ v).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl OspfDaemon {
@@ -179,8 +198,10 @@ impl OspfDaemon {
             spf_due: None,
             last_spf: Time::ZERO,
             last_routes: Vec::new(),
+            spf_fingerprint: None,
             dd_counter: 0x1000,
             spf_runs: 0,
+            spf_skipped: 0,
             lsas_flooded: 0,
         };
         for (idx, addr) in interfaces {
@@ -400,28 +421,59 @@ impl OspfDaemon {
         }
     }
 
+    /// True when `key`'s LSA participates in SPF right `now`.
+    fn spf_live(&self, key: &LsaKey, lsa: &Lsa, now: Time) -> bool {
+        key.ls_type == 1 && self.effective_age(key, now) < MAX_AGE && lsa.header.seq >= INITIAL_SEQ
+    }
+
     fn run_spf(&mut self, now: Time, ev: &mut Vec<OspfEvent>) {
         self.spf_due = None;
         self.last_spf = now;
         self.spf_runs += 1;
-        let router_lsas: BTreeMap<u32, Lsa> = self
-            .lsdb
-            .iter()
-            .filter(|(k, (lsa, _))| {
-                k.ls_type == 1
-                    && self.effective_age(k, now) < MAX_AGE
-                    && lsa.header.seq >= INITIAL_SEQ
-            })
-            .map(|(k, (lsa, _))| (k.adv_router, lsa.clone()))
-            .collect();
+        // Fingerprint everything `spf::compute` consumes — the content
+        // of the live router LSAs (in LSDB order) and the Full
+        // adjacencies (in ifindex order). Sequence numbers and ages are
+        // deliberately excluded: they change on every refresh without
+        // moving a single route.
+        let mut fp: u64 = 0x243F_6A88_85A3_08D3;
+        for (k, (lsa, _)) in &self.lsdb {
+            if !self.spf_live(k, lsa, now) {
+                continue;
+            }
+            fp = fp_mix(fp, u64::from(k.adv_router));
+            let LsaBody::Router(body) = &lsa.body;
+            for l in &body.links {
+                let lt = match l.link_type {
+                    RouterLinkType::PointToPoint => 1u64,
+                    RouterLinkType::Stub => 2,
+                };
+                fp = fp_mix(fp, (u64::from(l.link_id) << 32) | u64::from(l.link_data));
+                fp = fp_mix(fp, (lt << 16) | u64::from(l.metric));
+            }
+        }
         let mut adjacent: HashMap<u32, (u16, Ipv4Addr)> = HashMap::new();
         for (idx, f) in &self.ifaces {
             if let Some(n) = &f.neighbor {
                 if n.state == NeighborState::Full {
+                    fp = fp_mix(fp, (u64::from(n.id) << 16) | u64::from(*idx));
+                    fp = fp_mix(fp, u64::from(u32::from(n.addr)));
                     adjacent.insert(n.id, (*idx, n.addr));
                 }
             }
         }
+        if self.spf_fingerprint == Some(fp) {
+            // Same inputs ⇒ same routes ⇒ `routes != last_routes` is
+            // false and no event would fire. Skip the Dijkstra pass.
+            self.spf_skipped += 1;
+            return;
+        }
+        self.spf_fingerprint = Some(fp);
+        let router_lsas: BTreeMap<u32, Lsa> = self
+            .lsdb
+            .iter()
+            .filter(|(k, (lsa, _))| self.spf_live(k, lsa, now))
+            .map(|(k, (lsa, _))| (k.adv_router, lsa.clone()))
+            .collect();
         let routes = spf::compute(&router_lsas, self.router_id, &adjacent);
         if routes != self.last_routes {
             self.last_routes = routes.clone();

@@ -406,6 +406,35 @@ fn neighbor_restart_reconverges_within_dead_interval() {
     assert_eq!(net.daemons[1].lsdb_len(), 2);
 }
 
+/// Periodic LSA refreshes (same links, new sequence number) must not
+/// cost a Dijkstra pass: the SPF input fingerprint is unchanged, so
+/// the daemon answers from its cache — and the route set must not
+/// move while it does.
+#[test]
+fn lsa_refresh_hits_spf_fingerprint_cache() {
+    let mut net = Net::build(3, &[(0, 1), (1, 2)], 1, 4);
+    net.start();
+    net.run_until(Time::from_secs(20));
+    assert!(net.all_full());
+    let routes_before = net.routes.clone();
+    let runs_before: Vec<u64> = net.daemons.iter().map(|d| d.spf_runs).collect();
+    // Past LS_REFRESH_TIME every router re-originates its LSA with
+    // identical content; each flood schedules an SPF on the receivers.
+    net.run_until(Time::from_secs(2000));
+    assert!(net.all_full());
+    for (i, d) in net.daemons.iter().enumerate() {
+        assert!(
+            d.spf_runs > runs_before[i],
+            "refresh floods must still trigger SPF on router {i}"
+        );
+        assert!(
+            d.spf_skipped > 0,
+            "content-identical refresh must hit the fingerprint cache on router {i}"
+        );
+    }
+    assert_eq!(net.routes, routes_before, "routes must not move");
+}
+
 #[test]
 fn pan_european_scale_converges() {
     // 28 routers, 41 links (same shape as the paper's demo topology).

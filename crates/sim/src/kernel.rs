@@ -43,6 +43,9 @@ impl fmt::Display for ConnId {
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct LinkId(pub usize);
 
+/// Sentinel for an unwired port-table slot (see [`Inner::ports`]).
+const NO_LINK: u32 = u32::MAX;
+
 /// Events delivered to an agent about one of its stream connections.
 #[derive(Clone, Debug)]
 pub enum StreamEvent {
@@ -174,9 +177,13 @@ pub(crate) struct Inner {
     queue: EventQueue<Ev>,
     links: Vec<LinkState>,
     /// Dense per-agent port tables: `ports[agent][port]` is the link
-    /// wired there. Built at wiring time, so the per-send lookup is
-    /// two indexed loads instead of a `HashMap` probe.
-    ports: Vec<Vec<Option<LinkId>>>,
+    /// wired there, or [`NO_LINK`] for an empty port. Built at wiring
+    /// time, so the per-send lookup is two indexed loads instead of a
+    /// `HashMap` probe. Stored as `u32` rather than `Option<LinkId>`
+    /// (16 bytes per slot): at fat-tree scale a corpus cell carries
+    /// thousands of agents × tens of ports, and these rows dominate
+    /// the kernel's resident wiring state.
+    ports: Vec<Vec<u32>>,
     conns: Vec<ConnState>,
     listeners: HashMap<(AgentId, u16), bool>,
     pub(crate) rng: StdRng,
@@ -191,15 +198,13 @@ pub(crate) struct Inner {
 impl Inner {
     #[inline]
     fn link_of(&self, end: LinkEnd) -> Option<LinkId> {
-        self.ports
-            .get(end.agent.0)?
-            .get(end.port as usize)
-            .copied()
-            .flatten()
+        let raw = *self.ports.get(end.agent.0)?.get(end.port as usize)?;
+        (raw != NO_LINK).then_some(LinkId(raw as usize))
     }
 
-    /// Port-table slot for `end`, growing the tables as needed.
-    fn port_slot(&mut self, end: LinkEnd) -> &mut Option<LinkId> {
+    /// Port-table slot for `end`, growing the tables as needed. The
+    /// slot holds a raw link index, [`NO_LINK`] when the port is free.
+    fn port_slot(&mut self, end: LinkEnd) -> &mut u32 {
         // The table is dense in the port number; an absurd port would
         // allocate proportionally. Real switches here have tens of
         // ports — catch typos (e.g. a dpid passed as a port) loudly.
@@ -214,7 +219,7 @@ impl Inner {
         }
         let row = &mut self.ports[end.agent.0];
         if row.len() <= end.port as usize {
-            row.resize(end.port as usize + 1, None);
+            row.resize(end.port as usize + 1, NO_LINK);
         }
         &mut row[end.port as usize]
     }
@@ -385,8 +390,12 @@ impl Inner {
             b.port
         );
         let id = LinkId(self.links.len());
-        *self.port_slot(a) = Some(id);
-        *self.port_slot(b) = Some(id);
+        assert!(
+            id.0 < NO_LINK as usize,
+            "link table exceeded the u32 port-slot encoding"
+        );
+        *self.port_slot(a) = id.0 as u32;
+        *self.port_slot(b) = id.0 as u32;
         self.links.push(LinkState {
             a,
             b,
@@ -404,8 +413,8 @@ impl Inner {
                 l.removed = true;
                 l.up = false;
                 let (a, b) = (l.a, l.b);
-                *self.port_slot(a) = None;
-                *self.port_slot(b) = None;
+                *self.port_slot(a) = NO_LINK;
+                *self.port_slot(b) = NO_LINK;
             }
         }
     }

@@ -13,7 +13,8 @@
 //! `BinaryHeap` pays `O(log n)` pointer-chasing for each of them
 //! against the whole future-event set. Instead, the near future — a
 //! [`WHEEL_SPAN`]-wide window starting at the last dispatched instant —
-//! is a circular array of [`WHEEL_SLOTS`] buckets, each covering
+//! is a circular array of buckets ([`MIN_WHEEL_SLOTS`] at first,
+//! doubling on demand up to [`MAX_WHEEL_SLOTS`]), each covering
 //! 2^[`SLOT_NS_SHIFT`] ns. Pushing into the window indexes a bucket
 //! directly; popping scans an occupancy bitmap for the first live
 //! bucket. Buckets are `Vec`s sorted lazily (descending) on first
@@ -36,12 +37,16 @@ use std::collections::BinaryHeap;
 /// from the currently-draining instant land in *later* slots and
 /// rarely dirty a sorted slot mid-drain.
 const SLOT_NS_SHIFT: u32 = 18;
-/// Number of wheel slots; must be a power of two.
-const WHEEL_SLOTS: usize = 8192;
-/// The wheel's window width: ≈ 2.15 s of simulated time.
-const WHEEL_SPAN: u64 = (WHEEL_SLOTS as u64) << SLOT_NS_SHIFT;
-/// Words in the slot-occupancy bitmap.
-const BITMAP_WORDS: usize = WHEEL_SLOTS / 64;
+/// Initial number of wheel slots (a power of two): ≈ 134 ms of window.
+/// Corpus sweeps build one simulator per matrix cell — and a fat-tree
+/// cell holds hundreds of switch agents each owning timer state — so
+/// the queue starts small and [grows](EventQueue::grow_to_cover) only
+/// when a push actually needs a wider window.
+const MIN_WHEEL_SLOTS: usize = 512;
+/// Maximum number of wheel slots; must be a power of two.
+const MAX_WHEEL_SLOTS: usize = 8192;
+/// The wheel's maximum window width: ≈ 2.15 s of simulated time.
+const WHEEL_SPAN: u64 = (MAX_WHEEL_SLOTS as u64) << SLOT_NS_SHIFT;
 
 /// An entry in the event queue. `T` is the kernel's event payload.
 struct Entry<T> {
@@ -102,12 +107,14 @@ impl<T> Slot<T> {
 
 /// Deterministic future-event list (tick wheel + overflow heap).
 pub struct EventQueue<T> {
-    /// Near-future buckets, indexed by `(at >> SLOT_NS_SHIFT) % WHEEL_SLOTS`.
-    wheel: Box<[Slot<T>]>,
-    /// One bit per non-empty wheel slot.
-    occupied: [u64; BITMAP_WORDS],
+    /// Near-future buckets, indexed by
+    /// `(at >> SLOT_NS_SHIFT) % wheel.len()`. The length is a power of
+    /// two between [`MIN_WHEEL_SLOTS`] and [`MAX_WHEEL_SLOTS`].
+    wheel: Vec<Slot<T>>,
+    /// One bit per non-empty wheel slot (`wheel.len() / 64` words).
+    occupied: Vec<u64>,
     /// Slot-aligned start of the wheel window. Invariant: every wheel
-    /// entry's time lies in `[window_start, window_start + WHEEL_SPAN)`,
+    /// entry's time lies in `[window_start, window_start + span())`,
     /// so the global slot mapping never collides across window cycles.
     window_start: u64,
     /// Events at or beyond the window's end (and the rare push into
@@ -131,19 +138,62 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     pub fn new() -> Self {
         EventQueue {
-            wheel: (0..WHEEL_SLOTS)
+            wheel: (0..MIN_WHEEL_SLOTS)
                 .map(|_| Slot {
                     entries: Vec::new(),
                     sorted: true,
                 })
                 .collect(),
-            occupied: [0; BITMAP_WORDS],
+            occupied: vec![0; MIN_WHEEL_SLOTS / 64],
             window_start: 0,
             overflow: BinaryHeap::new(),
             cached_min: None,
             next_seq: 0,
             len: 0,
         }
+    }
+
+    /// Current width of the wheel window in nanoseconds.
+    fn span(&self) -> u64 {
+        (self.wheel.len() as u64) << SLOT_NS_SHIFT
+    }
+
+    /// Double the slot count until the window covers `offset` (or the
+    /// wheel hits [`MAX_WHEEL_SLOTS`]), re-bucketing existing entries
+    /// under the widened slot mapping. `cached_min` may name a wheel
+    /// slot by index, so it is invalidated.
+    fn grow_to_cover(&mut self, offset: u64) {
+        let mut slots = self.wheel.len();
+        while slots < MAX_WHEEL_SLOTS && (slots as u64) << SLOT_NS_SHIFT <= offset {
+            slots *= 2;
+        }
+        if slots == self.wheel.len() {
+            return;
+        }
+        let old: Vec<Entry<T>> = self
+            .wheel
+            .iter_mut()
+            .flat_map(|s| s.entries.drain(..))
+            .collect();
+        self.wheel = (0..slots)
+            .map(|_| Slot {
+                entries: Vec::new(),
+                sorted: true,
+            })
+            .collect();
+        self.occupied = vec![0; slots / 64];
+        for entry in old {
+            let slot_idx = ((entry.at.as_nanos() >> SLOT_NS_SHIFT) as usize) & (slots - 1);
+            let slot = &mut self.wheel[slot_idx];
+            if let Some(last) = slot.entries.last() {
+                if (last.at, last.seq) < (entry.at, entry.seq) {
+                    slot.sorted = false;
+                }
+            }
+            slot.entries.push(entry);
+            self.occupied[slot_idx / 64] |= 1 << (slot_idx % 64);
+        }
+        self.cached_min = None;
     }
 
     /// Schedule `payload` at absolute time `at`.
@@ -157,9 +207,18 @@ impl<T> EventQueue<T> {
             self.window_start = (t >> SLOT_NS_SHIFT) << SLOT_NS_SHIFT;
         }
         self.len += 1;
+        if t >= self.window_start {
+            let offset = t - self.window_start;
+            // In the full window but past the current capacity: widen
+            // the wheel rather than spill to overflow, so routing (and
+            // memory ceiling) match a fixed max-size wheel.
+            if offset >= self.span() && offset < WHEEL_SPAN {
+                self.grow_to_cover(offset);
+            }
+        }
         let entry = Entry { at, seq, payload };
-        let loc = if t >= self.window_start && t - self.window_start < WHEEL_SPAN {
-            let slot_idx = ((t >> SLOT_NS_SHIFT) as usize) & (WHEEL_SLOTS - 1);
+        let loc = if t >= self.window_start && t - self.window_start < self.span() {
+            let slot_idx = ((t >> SLOT_NS_SHIFT) as usize) & (self.wheel.len() - 1);
             let slot = &mut self.wheel[slot_idx];
             // Appending keeps descending order only if the new key is
             // smaller than the current tail's.
@@ -187,7 +246,8 @@ impl<T> EventQueue<T> {
     /// First occupied wheel slot in circular time order from the
     /// window start — the slot holding the wheel's earliest entry.
     fn first_occupied_slot(&self) -> Option<usize> {
-        let start = ((self.window_start >> SLOT_NS_SHIFT) as usize) & (WHEEL_SLOTS - 1);
+        let words = self.occupied.len();
+        let start = ((self.window_start >> SLOT_NS_SHIFT) as usize) & (self.wheel.len() - 1);
         let (word0, bit0) = (start / 64, start % 64);
         // Scan the partial first word, the remaining words wrapping
         // around, then the first word's low bits again.
@@ -195,8 +255,8 @@ impl<T> EventQueue<T> {
         if masked != 0 {
             return Some(word0 * 64 + masked.trailing_zeros() as usize);
         }
-        for i in 1..BITMAP_WORDS {
-            let w = (word0 + i) % BITMAP_WORDS;
+        for i in 1..words {
+            let w = (word0 + i) % words;
             if self.occupied[w] != 0 {
                 return Some(w * 64 + self.occupied[w].trailing_zeros() as usize);
             }
@@ -362,6 +422,53 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, "late-but-earlier");
         assert_eq!(q.pop().unwrap().1, "far");
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn wheel_grows_on_demand_and_stays_ordered() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.wheel.len(), MIN_WHEEL_SLOTS);
+        // Fill the minimal window, then push progressively farther out
+        // so the wheel must re-bucket live entries as it doubles.
+        let mut expected = Vec::new();
+        for i in 0..64u64 {
+            let at = Time::from_nanos(i * ((MIN_WHEEL_SLOTS as u64) << SLOT_NS_SHIFT) / 64);
+            q.push(at, i);
+            expected.push((at, i));
+        }
+        let min_span = (MIN_WHEEL_SLOTS as u64) << SLOT_NS_SHIFT;
+        for i in 64..128u64 {
+            let at = Time::from_nanos(min_span + (i - 64) * (WHEEL_SPAN - min_span) / 64);
+            q.push(at, i);
+            expected.push((at, i));
+        }
+        assert_eq!(q.wheel.len(), MAX_WHEEL_SLOTS);
+        assert_eq!(q.occupied.len(), MAX_WHEEL_SLOTS / 64);
+        // Beyond the maximum span the overflow heap still catches it.
+        q.push(Time::from_nanos(WHEEL_SPAN * 3), 128);
+        expected.push((Time::from_nanos(WHEEL_SPAN * 3), 128));
+        assert_eq!(q.wheel.len(), MAX_WHEEL_SLOTS);
+        expected.sort_by_key(|&(at, i)| (at, i));
+        for want in expected {
+            assert_eq!(q.pop(), Some(want));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn growth_preserves_cached_min_correctness() {
+        // Peek (priming the memoized minimum, which names a wheel slot
+        // index), then force a growth that shifts slot indices; the
+        // next pop must still return the true minimum.
+        let mut q = EventQueue::new();
+        q.push(Time::from_millis(1), 1);
+        q.push(Time::from_millis(2), 2);
+        assert_eq!(q.peek_time(), Some(Time::from_millis(1)));
+        q.push(Time::from_millis(500), 3); // beyond the 134 ms minimal window
+        assert!(q.wheel.len() > MIN_WHEEL_SLOTS);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use rf_openflow::{Action, FlowStatsEntry};
 use rf_openflow::{FlowModCommand, FlowRemovedReason, OfMatch, PacketKey, Wildcards};
 use rf_sim::Time;
+use std::collections::HashMap;
 
 /// One installed flow entry.
 #[derive(Clone, Debug, PartialEq)]
@@ -80,9 +81,25 @@ pub struct Removed {
 
 /// The single flow table of an OF 1.0 switch (`n_tables = 1`, matching
 /// Open vSwitch 1.4's userspace datapath as the paper used it).
+///
+/// Lookups are indexed: exact entries (RouteFlow installs one per
+/// learned host pair) live in a hash map keyed by the [`PacketKey`]
+/// they match, and wildcard entries in a list pre-sorted by effective
+/// priority. The index is rebuilt lazily after table mutations, so a
+/// burst of FLOW_MODs costs one rebuild, and a corpus-scale table of
+/// 10k exact routes answers a lookup in O(1) instead of O(n).
 #[derive(Default)]
 pub struct FlowTable {
     entries: Vec<FlowEntry>,
+    /// Exact entries by the one key they match → index in `entries`.
+    /// Built in index order with overwrite, so among duplicate exact
+    /// matches the *highest* index wins — exactly the entry the
+    /// historical linear `max_by_key` scan returned.
+    exact: HashMap<PacketKey, usize>,
+    /// Wildcard entries sorted by (priority desc, index desc): the
+    /// first match in this order is the linear scan's winner.
+    wild: Vec<usize>,
+    dirty: bool,
     pub lookup_count: u64,
     pub matched_count: u64,
 }
@@ -104,20 +121,70 @@ impl FlowTable {
         &self.entries
     }
 
+    /// The single packet an exact match covers. Exactness means every
+    /// field [`OfMatch::matches`] consults is pinned, so this is a
+    /// plain field copy.
+    fn exact_key(m: &OfMatch) -> PacketKey {
+        PacketKey {
+            in_port: m.in_port,
+            dl_src: m.dl_src,
+            dl_dst: m.dl_dst,
+            dl_type: m.dl_type,
+            nw_tos: m.nw_tos,
+            nw_proto: m.nw_proto,
+            nw_src: m.nw_src,
+            nw_dst: m.nw_dst,
+            tp_src: m.tp_src,
+            tp_dst: m.tp_dst,
+        }
+    }
+
+    fn rebuild_index(&mut self) {
+        let Self {
+            entries,
+            exact,
+            wild,
+            dirty,
+            ..
+        } = self;
+        exact.clear();
+        wild.clear();
+        for (i, e) in entries.iter().enumerate() {
+            if e.is_exact() {
+                exact.insert(Self::exact_key(&e.of_match), i);
+            } else {
+                wild.push(i);
+            }
+        }
+        wild.sort_unstable_by(|&a, &b| {
+            (entries[b].effective_priority(), b).cmp(&(entries[a].effective_priority(), a))
+        });
+        *dirty = false;
+    }
+
     /// Find the highest-priority entry matching `key` and update its
     /// counters.
     pub fn lookup(&mut self, key: &PacketKey, len: usize, now: Time) -> Option<&FlowEntry> {
         self.lookup_count += 1;
-        let best = self
-            .entries
-            .iter_mut()
-            .filter(|e| e.of_match.matches(key))
-            .max_by_key(|e| e.effective_priority())?;
-        best.packet_count += 1;
-        best.byte_count += len as u64;
-        best.last_matched = now;
+        if self.dirty {
+            self.rebuild_index();
+        }
+        // Exact entries outrank every wildcard entry (OF 1.0), so a
+        // hash hit short-circuits the priority-ordered wildcard scan.
+        let best = match self.exact.get(key) {
+            Some(&i) => i,
+            None => self
+                .wild
+                .iter()
+                .copied()
+                .find(|&i| self.entries[i].of_match.matches(key))?,
+        };
+        let e = &mut self.entries[best];
+        e.packet_count += 1;
+        e.byte_count += len as u64;
+        e.last_matched = now;
         self.matched_count += 1;
-        Some(best)
+        Some(&self.entries[best])
     }
 
     /// Apply a FLOW_MOD. Returns entries removed as a side effect
@@ -155,9 +222,13 @@ impl FlowTable {
                     installed_at: now,
                     last_matched: now,
                 });
+                self.dirty = true;
                 Vec::new()
             }
             FlowModCommand::Modify | FlowModCommand::ModifyStrict => {
+                // Only actions and cookie change: entry positions,
+                // exactness and priorities — everything the lookup
+                // index depends on — stay put, so no rebuild needed.
                 let strict = command == FlowModCommand::ModifyStrict;
                 let mut touched = false;
                 for e in &mut self.entries {
@@ -206,6 +277,9 @@ impl FlowTable {
                     }
                     !hit
                 });
+                if !removed.is_empty() {
+                    self.dirty = true;
+                }
                 removed
             }
         }
@@ -235,6 +309,9 @@ impl FlowTable {
             }
             true
         });
+        if !removed.is_empty() {
+            self.dirty = true;
+        }
         removed
     }
 
@@ -527,6 +604,123 @@ mod tests {
         let removed = t.expire(Time::from_secs(5));
         assert_eq!(removed.len(), 1);
         assert_eq!(removed[0].reason, FlowRemovedReason::IdleTimeout);
+    }
+
+    /// The pre-index lookup semantics, verbatim: linear scan, last
+    /// maximal effective priority wins.
+    fn reference_lookup(entries: &[FlowEntry], key: &PacketKey) -> Option<u64> {
+        entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.of_match.matches(key))
+            .max_by_key(|(i, e)| (e.effective_priority(), *i))
+            .map(|(_, e)| e.cookie)
+    }
+
+    fn exact_of(key: &PacketKey) -> OfMatch {
+        OfMatch {
+            wildcards: Wildcards(0),
+            in_port: key.in_port,
+            dl_src: key.dl_src,
+            dl_dst: key.dl_dst,
+            dl_vlan: 0xFFFF,
+            dl_vlan_pcp: 0,
+            dl_type: key.dl_type,
+            nw_tos: key.nw_tos,
+            nw_proto: key.nw_proto,
+            nw_src: key.nw_src,
+            nw_dst: key.nw_dst,
+            tp_src: key.tp_src,
+            tp_dst: key.tp_dst,
+        }
+    }
+
+    #[test]
+    fn indexed_lookup_matches_linear_reference() {
+        // Drive the real table through a random mix of adds, deletes,
+        // expiries and lookups, checking every lookup against the
+        // historical linear scan. Cookies are unique per install, so
+        // "same entry" is checked exactly, not structurally.
+        for seed in 1u64..=8 {
+            let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut rng = move || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            let mut t = FlowTable::new();
+            let some_key = |r: u64| PacketKey {
+                in_port: (r % 2) as u16 + 1,
+                dl_src: MacAddr::ZERO,
+                dl_dst: MacAddr::ZERO,
+                dl_type: 0x0800,
+                nw_tos: 0,
+                nw_proto: 17,
+                nw_src: Ipv4Addr::new(1, 1, 1, (r % 3) as u8),
+                nw_dst: Ipv4Addr::new(10, (r % 2) as u8, (r % 5) as u8, 1),
+                tp_src: 10,
+                tp_dst: (r % 2) as u16,
+            };
+            for step in 0..2500u64 {
+                let now = Time::from_secs(step / 100);
+                match rng() % 10 {
+                    0..=3 => {
+                        // Install: exact entries and assorted wildcard
+                        // shapes, colliding priorities on purpose.
+                        let r = rng();
+                        let m = match r % 5 {
+                            0 => exact_of(&some_key(rng())),
+                            1 => {
+                                OfMatch::ipv4_dst_prefix(Ipv4Addr::new(10, (r % 2) as u8, 0, 0), 16)
+                            }
+                            2 => OfMatch::ipv4_dst_prefix(Ipv4Addr::new(10, 0, 0, 0), 8),
+                            3 => OfMatch::any(),
+                            _ => OfMatch::lldp(),
+                        };
+                        t.apply_flow_mod(
+                            FlowModCommand::Add,
+                            m,
+                            (rng() % 4) as u16,
+                            step + 1, // unique cookie
+                            (rng() % 3) as u16,
+                            (rng() % 20) as u16,
+                            0,
+                            OFPP_NONE,
+                            vec![Action::output((rng() % 4) as u16)],
+                            now,
+                        );
+                    }
+                    4 => {
+                        t.apply_flow_mod(
+                            FlowModCommand::Delete,
+                            OfMatch::ipv4_dst_prefix(
+                                Ipv4Addr::new(10, (rng() % 2) as u8, 0, 0),
+                                16,
+                            ),
+                            0,
+                            0,
+                            0,
+                            0,
+                            0,
+                            OFPP_NONE,
+                            vec![],
+                            now,
+                        );
+                    }
+                    5 => {
+                        t.expire(now);
+                    }
+                    _ => {
+                        let key = some_key(rng());
+                        let expected = reference_lookup(t.entries(), &key);
+                        let got = t.lookup(&key, 64, now).map(|e| e.cookie);
+                        assert_eq!(got, expected, "seed {seed} step {step}");
+                    }
+                }
+            }
+            assert!(t.lookup_count > 0 && t.matched_count > 0);
+        }
     }
 
     #[test]

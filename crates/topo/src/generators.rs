@@ -87,6 +87,68 @@ pub fn full_mesh(n: usize) -> Topology {
     t
 }
 
+/// Three-tier fat-tree of radix `k` (k even, ≥ 2): `(k/2)²` core
+/// switches and `k` pods of `k/2` aggregation + `k/2` edge switches —
+/// `5k²/4` switches total, `k³/2` links. Aggregation switch `a` of a
+/// pod uplinks to core group `a` (cores `a·k/2 .. (a+1)·k/2`); every
+/// edge switch connects to all aggregation switches of its pod. This
+/// is the full-bisection datacenter shape (Al-Fares et al.): k=8 is
+/// the 80-switch corpus entry, k=16 already 320 switches.
+pub fn fat_tree(k: usize) -> Topology {
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree radix must be even, got {k}"
+    );
+    let half = k / 2;
+    let mut t = Topology::new();
+    // Cores first, then per-pod agg and edge layers; positions are an
+    // abstract layered layout (x spreads the layer, y is the tier).
+    let core: Vec<usize> = (0..half * half)
+        .map(|i| t.add_node(format!("core{i}"), (i as f64, 0.0)))
+        .collect();
+    for p in 0..k {
+        let agg: Vec<usize> = (0..half)
+            .map(|a| t.add_node(format!("agg{p}_{a}"), ((p * half + a) as f64, 1.0)))
+            .collect();
+        let edge: Vec<usize> = (0..half)
+            .map(|e| t.add_node(format!("edge{p}_{e}"), ((p * half + e) as f64, 2.0)))
+            .collect();
+        for (a, &agg_id) in agg.iter().enumerate() {
+            for j in 0..half {
+                t.add_edge(agg_id, core[a * half + j]);
+            }
+            for &edge_id in &edge {
+                t.add_edge(agg_id, edge_id);
+            }
+        }
+    }
+    t
+}
+
+/// Two-tier leaf–spine (Clos) fabric: every leaf connects to every
+/// spine, plus `hosts_per_leaf` stub nodes per leaf standing in for
+/// the rack below it. `spines + leaves·(1 + hosts_per_leaf)` nodes,
+/// `spines·leaves + leaves·hosts_per_leaf` links.
+pub fn leaf_spine(spines: usize, leaves: usize, hosts_per_leaf: usize) -> Topology {
+    assert!(spines >= 1, "need at least one spine");
+    assert!(leaves >= 2, "need at least two leaves, got {leaves}");
+    let mut t = Topology::new();
+    let spine: Vec<usize> = (0..spines)
+        .map(|s| t.add_node(format!("spine{s}"), (s as f64, 0.0)))
+        .collect();
+    for l in 0..leaves {
+        let leaf = t.add_node(format!("leaf{l}"), (l as f64, 1.0));
+        for &s in &spine {
+            t.add_edge(leaf, s);
+        }
+        for h in 0..hosts_per_leaf {
+            let host = t.add_node(format!("h{l}_{h}"), ((l * hosts_per_leaf + h) as f64, 2.0));
+            t.add_edge(leaf, host);
+        }
+    }
+    t
+}
+
 /// Erdős–Rényi G(n, p), re-sampled until connected (up to 1000 tries).
 pub fn erdos_renyi<R: Rng>(n: usize, p: f64, rng: &mut R) -> Topology {
     assert!(n >= 2);
@@ -187,6 +249,64 @@ mod tests {
         let t = full_mesh(6);
         assert_eq!(t.edge_count(), 15);
         assert_eq!(t.diameter(), Some(1));
+    }
+
+    #[test]
+    fn fat_tree_structure() {
+        // Switch/link counts are closed-form functions of the radix:
+        // 5k²/4 switches, k³/2 links, diameter 4 between distinct
+        // pods' edge switches, and uniform per-tier degrees.
+        for k in [2usize, 4, 8, 16] {
+            let half = k / 2;
+            let t = fat_tree(k);
+            assert_eq!(t.node_count(), 5 * k * k / 4, "k={k} switch count");
+            assert_eq!(t.edge_count(), k * k * k / 2, "k={k} link count");
+            assert!(t.is_connected());
+            // Cores see one agg per pod; aggs see k/2 cores + k/2
+            // edges; edge switches see their pod's k/2 aggs (their
+            // other k/2 ports face hosts, which this generator omits).
+            for c in 0..half * half {
+                assert_eq!(t.degree(c), k, "core degree at k={k}");
+            }
+            for p in 0..k {
+                let pod = half * half + p * k;
+                for a in pod..pod + half {
+                    assert_eq!(t.degree(a), k, "agg degree at k={k}");
+                }
+                for e in pod + half..pod + k {
+                    assert_eq!(t.degree(e), half, "edge degree at k={k}");
+                }
+            }
+            if k >= 4 {
+                assert_eq!(t.diameter(), Some(4), "k={k} diameter");
+            }
+        }
+        // The corpus's headline instance: fat-tree-k8 is 80 switches.
+        assert_eq!(fat_tree(8).node_count(), 80);
+    }
+
+    #[test]
+    fn leaf_spine_structure() {
+        let (s, l, h) = (4, 8, 3);
+        let t = leaf_spine(s, l, h);
+        assert_eq!(t.node_count(), s + l * (1 + h));
+        assert_eq!(t.edge_count(), s * l + l * h);
+        assert!(t.is_connected());
+        for spine in 0..s {
+            assert_eq!(t.degree(spine), l, "spine sees every leaf");
+        }
+        // Host-to-host across racks: host → leaf → spine → leaf → host.
+        assert_eq!(t.diameter(), Some(4));
+        // Hostless fabrics are valid (pure switch sweeps).
+        let bare = leaf_spine(2, 4, 0);
+        assert_eq!(bare.node_count(), 6);
+        assert_eq!(bare.diameter(), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn fat_tree_odd_radix_panics() {
+        fat_tree(5);
     }
 
     #[test]

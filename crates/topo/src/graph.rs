@@ -45,6 +45,12 @@ impl Edge {
 pub struct Topology {
     nodes: Vec<NodeInfo>,
     edges: Vec<Edge>,
+    /// Adjacency index, maintained by `add_edge`: `adj[n]` lists n's
+    /// neighbours in edge-insertion order. Keeps `has_edge` (and
+    /// therefore graph construction) and BFS linear for the corpus's
+    /// thousand-switch fat-trees, where the edge-list scan was O(E)
+    /// per query.
+    adj: Vec<Vec<NodeId>>,
 }
 
 impl Topology {
@@ -57,6 +63,7 @@ impl Topology {
             name: name.into(),
             pos,
         });
+        self.adj.push(Vec::new());
         self.nodes.len() - 1
     }
 
@@ -74,12 +81,17 @@ impl Topology {
             "duplicate edge {a}-{b} (simple graphs only)"
         );
         self.edges.push(Edge::new(a, b));
+        self.adj[a].push(b);
+        self.adj[b].push(a);
     }
 
     pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
-        self.edges
-            .iter()
-            .any(|e| (e.a == a && e.b == b) || (e.a == b && e.b == a))
+        let (probe, target) = if self.adj[a].len() <= self.adj[b].len() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.adj[probe].contains(&target)
     }
 
     pub fn node_count(&self) -> usize {
@@ -103,23 +115,12 @@ impl Topology {
     }
 
     /// Neighbours of `n` in insertion order.
-    pub fn neighbors(&self, n: NodeId) -> Vec<NodeId> {
-        self.edges
-            .iter()
-            .filter_map(|e| {
-                if e.a == n {
-                    Some(e.b)
-                } else if e.b == n {
-                    Some(e.a)
-                } else {
-                    None
-                }
-            })
-            .collect()
+    pub fn neighbors(&self, n: NodeId) -> &[NodeId] {
+        &self.adj[n]
     }
 
     pub fn degree(&self, n: NodeId) -> usize {
-        self.neighbors(n).len()
+        self.adj[n].len()
     }
 
     /// Euclidean distance between two node positions (degrees → km is
@@ -149,7 +150,7 @@ impl Topology {
         dist[src] = 0;
         let mut q = VecDeque::from([src]);
         while let Some(u) = q.pop_front() {
-            for v in self.neighbors(u) {
+            for &v in self.neighbors(u) {
                 if dist[v] == usize::MAX {
                     dist[v] = dist[u] + 1;
                     q.push_back(v);

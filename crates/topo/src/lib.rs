@@ -9,18 +9,27 @@
 //!   the experiments need (connectivity, degrees, BFS distances,
 //!   diameter);
 //! * deterministic generators ([`generators`]): ring, line, star, grid,
-//!   full mesh, Erdős–Rényi and Waxman random graphs;
+//!   full mesh, fat-tree and leaf–spine fabrics, Erdős–Rényi and
+//!   Waxman random graphs;
 //! * the 28-node / 41-link pan-European reference network
 //!   ([`pan_european::pan_european`]) with city names and geographic
 //!   coordinates, from which per-link propagation latencies are derived
-//!   (fiber at ~200 km/ms).
+//!   (fiber at ~200 km/ms);
+//! * a checked-in corpus of classic WAN topologies ([`corpus`]) and a
+//!   typed, name-round-tripping specification API ([`spec::TopoSpec`])
+//!   that reaches every family above.
 
+pub mod corpus;
 pub mod generators;
 pub mod graph;
 pub mod pan_european;
 pub mod registry;
+pub mod spec;
 
-pub use generators::{erdos_renyi, full_mesh, grid, line, ring, star, waxman};
+pub use generators::{
+    erdos_renyi, fat_tree, full_mesh, grid, leaf_spine, line, ring, star, waxman,
+};
 pub use graph::{Edge, NodeId, NodeInfo, Topology};
 pub use pan_european::pan_european;
 pub use registry::resolve as resolve_topology;
+pub use spec::{SeededKind, TopoParseError, TopoSpec};

@@ -1,47 +1,33 @@
 //! Named topology resolution for sweep grids.
 //!
 //! A scenario matrix is keyed by strings so its report diffs cleanly
-//! and its axes can come from a CLI flag or a CI config. This module
-//! turns those names back into [`Topology`] values:
+//! and its axes can come from a CLI flag or a CI config. The grammar
+//! and the builders live in [`crate::spec::TopoSpec`]; this module is
+//! the thin compatibility shim older call sites use:
 //!
-//! * `ring-N`, `line-N`, `star-N`, `mesh-N` — the deterministic
-//!   generator families, parameterized by node count;
-//! * `grid-WxH` — the W × H grid;
-//! * `pan-european` — the 28-node reference network.
+//! * [`try_resolve`] — parse + build with a typed error naming the
+//!   offending token;
+//! * [`resolve`] — the historical `Option` form.
 //!
-//! Random families (Erdős–Rényi, Waxman) are deliberately absent: they
-//! need an RNG and would tie a topology name to a seed. Sweeps that
-//! want them pass a custom builder closure instead.
+//! Every family is reachable by name, including the seeded random
+//! graphs (`er-64-s7`, `waxman-64-s7`), the datacenter fabrics
+//! (`fat-tree-k8`, `leaf-spine-4x16x2`) and the checked-in WAN corpus
+//! (bare slugs like `abilene`, `geant`).
 
-use crate::generators::{full_mesh, grid, line, ring, star};
 use crate::graph::Topology;
-use crate::pan_european::pan_european;
+use crate::spec::{TopoParseError, TopoSpec};
 
-/// Resolve a topology name; `None` if the name is not recognized or
-/// its parameters are out of range for the generator.
-pub fn resolve(name: &str) -> Option<Topology> {
-    if name == "pan-european" {
-        return Some(pan_european());
-    }
-    let (family, param) = name.split_once('-')?;
-    match family {
-        "ring" => Some(ring(checked(param, 3)?)),
-        "line" => Some(line(checked(param, 2)?)),
-        "star" => Some(star(checked(param, 2)?)),
-        "mesh" => Some(full_mesh(checked(param, 2)?)),
-        "grid" => {
-            let (w, h) = param.split_once('x')?;
-            Some(grid(checked(w, 1)?, checked(h, 1)?))
-        }
-        _ => None,
-    }
+/// Resolve a topology name, with a typed error describing what part
+/// of the name was malformed or out of range.
+pub fn try_resolve(name: &str) -> Result<Topology, TopoParseError> {
+    name.parse::<TopoSpec>().map(|spec| spec.build())
 }
 
-fn checked(s: &str, min: usize) -> Option<usize> {
-    let n: usize = s.parse().ok()?;
-    // Cap well above any realistic sweep so a typo like `ring-4000000`
-    // fails fast instead of allocating a city-sized graph.
-    (n >= min && n <= 10_000).then_some(n)
+/// Resolve a topology name; `None` if the name is not recognized or
+/// its parameters are out of range. Prefer [`try_resolve`]: it says
+/// *why*.
+pub fn resolve(name: &str) -> Option<Topology> {
+    try_resolve(name).ok()
 }
 
 /// The names a generic sweep CLI offers, smallest instances first.
@@ -54,6 +40,11 @@ pub fn standard_names() -> Vec<String> {
     names.push("star-8".into());
     names.push("grid-4x4".into());
     names.push("pan-european".into());
+    names.push("abilene".into());
+    names.push("fat-tree-k4".into());
+    names.push("leaf-spine-4x8x0".into());
+    names.push("er-24-s1".into());
+    names.push("waxman-24-s1".into());
     names
 }
 
@@ -70,6 +61,13 @@ mod tests {
         let g = resolve("grid-3x2").unwrap();
         assert_eq!(g.node_count(), 6);
         assert_eq!(resolve("pan-european").unwrap().node_count(), 28);
+        // Families the registry could not reach before the TopoSpec
+        // redesign: datacenter fabrics, seeded randoms, the corpus.
+        assert_eq!(resolve("fat-tree-k4").unwrap().node_count(), 20);
+        assert_eq!(resolve("leaf-spine-2x4x1").unwrap().node_count(), 10);
+        assert!(resolve("er-24-s1").unwrap().is_connected());
+        assert!(resolve("waxman-24-s1").unwrap().is_connected());
+        assert_eq!(resolve("abilene").unwrap().node_count(), 11);
     }
 
     #[test]
@@ -80,6 +78,14 @@ mod tests {
         assert!(resolve("ring-4000000").is_none());
         assert!(resolve("grid-3").is_none()); // missing WxH
         assert!(resolve("ring").is_none());
+    }
+
+    #[test]
+    fn try_resolve_names_the_offending_token() {
+        let e = try_resolve("grid-4x").unwrap_err();
+        assert_eq!(e.name, "grid-4x");
+        let e = try_resolve("ring-x").unwrap_err();
+        assert_eq!(e.token, "x");
     }
 
     #[test]

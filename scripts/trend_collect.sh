@@ -3,12 +3,15 @@
 # medians-over-time table (crates/bench/baselines/trend.md).
 #
 # Usage:
-#   scripts/trend_collect.sh append TREND_MD REPORT_JSON LABEL [PERF_JSON]
+#   scripts/trend_collect.sh append TREND_MD REPORT_JSON LABEL [PERF_JSON] [CORPUS_JSON]
 #       Append one row for REPORT_JSON under LABEL (idempotent: a row
 #       whose label already exists is skipped). When PERF_JSON (a
 #       BENCH_perf.json from perf_sweep) is given, the wall-clock
-#       cells/sec of its full (falling back to smoke) grid fills the
-#       last column; otherwise the column reads "-".
+#       cells/sec of its full (falling back to smoke) grid fills that
+#       column; when CORPUS_JSON (a `matrix_sweep --corpus` report) is
+#       given, the trailing columns carry the corpus breadth (distinct
+#       topologies) and the median across per-topology configuration
+#       medians. Absent inputs read "-".
 #   scripts/trend_collect.sh fetch TREND_MD [LIMIT]
 #       In CI: download up to LIMIT (default 12) prior sweep-full
 #       artifacts via `gh`, append a row per report (oldest first),
@@ -34,20 +37,21 @@ header() {
             printf 'Times are nanoseconds of simulated time; `-` means the metric was absent.\n\n'
             printf '| run | cells |'
             printf ' %s |' "${METRICS[@]}"
-            printf ' wall_cells_per_sec |'
+            printf ' wall_cells_per_sec | corpus_topos | corpus_config_median_ns |'
             printf '\n|---|---|'
             printf '%s' "$(printf -- '---|%.0s' "${METRICS[@]}")"
-            printf -- '---|'
+            printf -- '---|---|---|'
             printf '\n'
         } >"$md"
     fi
 }
 
 row_for() {
-    local report=$1 label=$2 perf=$3
-    python3 - "$report" "$label" "$perf" "${METRICS[@]}" <<'PY'
+    local report=$1 label=$2 perf=$3 corpus=$4
+    python3 - "$report" "$label" "$perf" "$corpus" "${METRICS[@]}" <<'PY'
 import json, sys
-report, label, perf, metrics = sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4:]
+report, label, perf, corpus, metrics = (
+    sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4], sys.argv[5:])
 with open(report) as f:
     doc = json.load(f)
 cells = doc.get("cells", [])
@@ -66,28 +70,52 @@ if perf:
     except (OSError, ValueError):
         pass  # missing or malformed perf file: leave the column "-"
 cols.append(cps)
+# Corpus breadth columns: distinct topologies in the corpus report and
+# the median across per-topology configuration medians (lower median
+# throughout, matching MatrixReport::per_topology_medians).
+topos, corpus_median = "-", "-"
+if corpus:
+    try:
+        with open(corpus) as f:
+            ccells = json.load(f).get("cells", [])
+        by_topo = {}
+        for c in ccells:
+            key = c.get("key", "")
+            if not key.startswith("topo="):
+                continue
+            topo = key[len("topo="):].split("/", 1)[0]
+            v = c.get("metrics", {}).get("all_configured_ns")
+            if v is not None:
+                by_topo.setdefault(topo, []).append(v)
+        if by_topo:
+            meds = sorted(sorted(vs)[(len(vs) - 1) // 2] for vs in by_topo.values())
+            topos = str(len(by_topo))
+            corpus_median = str(meds[(len(meds) - 1) // 2])
+    except (OSError, ValueError):
+        pass  # missing or malformed corpus report: leave "-"
+cols += [topos, corpus_median]
 print("| " + " | ".join(cols) + " |")
 PY
 }
 
 append_row() {
-    local md=$1 report=$2 label=$3 perf=${4:-}
+    local md=$1 report=$2 label=$3 perf=${4:-} corpus=${5:-}
     header "$md"
     if grep -q "^| ${label} |" "$md"; then
         echo "trend: row '${label}' already present, skipping" >&2
         return 0
     fi
-    row_for "$report" "$label" "$perf" >>"$md"
+    row_for "$report" "$label" "$perf" "$corpus" >>"$md"
     echo "trend: appended '${label}' from ${report}" >&2
 }
 
 case "${1:-}" in
 append)
-    [ $# -eq 4 ] || [ $# -eq 5 ] || {
-        echo "usage: $0 append TREND_MD REPORT_JSON LABEL [PERF_JSON]" >&2
+    [ $# -ge 4 ] && [ $# -le 6 ] || {
+        echo "usage: $0 append TREND_MD REPORT_JSON LABEL [PERF_JSON] [CORPUS_JSON]" >&2
         exit 2
     }
-    append_row "$2" "$3" "$4" "${5:-}"
+    append_row "$2" "$3" "$4" "${5:-}" "${6:-}"
     ;;
 fetch)
     [ $# -ge 2 ] || { echo "usage: $0 fetch TREND_MD [LIMIT]" >&2; exit 2; }
@@ -116,7 +144,7 @@ fetch)
         done
     ;;
 *)
-    echo "usage: $0 {append TREND_MD REPORT_JSON LABEL [PERF_JSON] | fetch TREND_MD [LIMIT]}" >&2
+    echo "usage: $0 {append TREND_MD REPORT_JSON LABEL [PERF_JSON] [CORPUS_JSON] | fetch TREND_MD [LIMIT]}" >&2
     exit 2
     ;;
 esac

@@ -80,6 +80,8 @@ pub mod prelude {
     };
     pub use rf_gui::NetworkView;
     pub use rf_sim::{LinkProfile, Sim, SimConfig, Time};
-    pub use rf_topo::{line, pan_european, ring, Topology};
+    pub use rf_topo::{
+        fat_tree, leaf_spine, line, pan_european, ring, TopoParseError, TopoSpec, Topology,
+    };
     pub use rf_wire::{Ipv4Cidr, MacAddr};
 }

@@ -304,3 +304,79 @@ fn fan_in_knob_reports_per_client_metrics() {
     // The plain-ping metrics stay absent — the fan-in replaces them.
     assert!(!m.contains_key("ping_replies"));
 }
+
+#[test]
+fn corpus_slice_is_deterministic_across_worker_counts() {
+    // A miniature of the `--corpus` grid: two WAN corpus files, a
+    // fat-tree and a seeded random graph, fault-free. The determinism
+    // contract must hold with the corpus loader and both parametric
+    // generator families in the build path.
+    let spec = MatrixSpec {
+        seeds: vec![3],
+        topologies: ["abilene", "nordu", "fat-tree-k4", "er-12-s5"]
+            .map(String::from)
+            .to_vec(),
+        schedules: vec![FaultSchedule::none()],
+        knobs: vec![MatrixKnob::fast("fast-k8b16")
+            .with_provision_width(8)
+            .with_fib_batch(16)],
+        configure_deadline: Duration::from_secs(120),
+        post_fault_window: Duration::from_secs(10),
+        settle: Duration::from_secs(5),
+    };
+    let matrix = ScenarioMatrix::new(spec);
+    let one = matrix.run(1);
+    let four = matrix.run(4).to_json();
+    let eight = matrix.run(8).to_json();
+    assert_eq!(
+        one.to_json(),
+        four,
+        "1-thread and 4-thread reports must match"
+    );
+    assert_eq!(four, eight, "4-thread and 8-thread reports must match");
+    // Every topology configured and answered probes.
+    for cell in &one.cells {
+        assert!(
+            cell.metrics.contains_key("all_configured_ns"),
+            "cell {} never configured",
+            cell.key
+        );
+        assert!(cell.metrics["ping_replies"] > 0, "{}", cell.key);
+    }
+    let medians = one.per_topology_medians("all_configured_ns");
+    assert_eq!(medians.len(), 4, "one median row per topology");
+}
+
+#[test]
+fn malformed_topology_records_build_error_cell() {
+    // A typo'd axis value (`grid-4x`) must not panic the sweep or
+    // silently vanish: its cells report `build_error = 1` and nothing
+    // else, while the well-formed topology's cells run normally.
+    let spec = MatrixSpec {
+        seeds: vec![1],
+        topologies: vec!["ring-4".into(), "grid-4x".into()],
+        schedules: vec![FaultSchedule::none()],
+        knobs: vec![MatrixKnob::fast("fast")],
+        configure_deadline: Duration::from_secs(60),
+        post_fault_window: Duration::from_secs(10),
+        settle: Duration::from_secs(5),
+    };
+    let report = ScenarioMatrix::new(spec).run(2);
+    assert_eq!(report.cells.len(), 2);
+    let bad = report
+        .cells
+        .iter()
+        .find(|c| c.key.starts_with("topo=grid-4x/"))
+        .expect("malformed topology still forms a cell");
+    assert_eq!(
+        bad.metrics,
+        std::collections::BTreeMap::from([("build_error".to_string(), 1)])
+    );
+    let good = report
+        .cells
+        .iter()
+        .find(|c| c.key.starts_with("topo=ring-4/"))
+        .unwrap();
+    assert!(!good.metrics.contains_key("build_error"));
+    assert!(good.metrics["ping_replies"] > 0);
+}
