@@ -9,6 +9,7 @@ use std::time::Duration;
 const T_PING: u64 = 1;
 
 /// Sends pings to a target on an interval and records round trips.
+#[derive(Clone)]
 pub struct Pinger {
     stack: HostStack,
     pub target: Ipv4Addr,
@@ -96,6 +97,7 @@ impl Agent for Pinger {
 }
 
 /// A passive host that simply answers pings (and ARPs).
+#[derive(Clone)]
 pub struct EchoHost {
     stack: HostStack,
 }

@@ -37,6 +37,7 @@ pub enum StackOutput {
 }
 
 /// The host stack.
+#[derive(Clone)]
 pub struct HostStack {
     cfg: HostConfig,
     arp_cache: HashMap<Ipv4Addr, MacAddr>,

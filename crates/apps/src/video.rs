@@ -23,6 +23,7 @@ const T_BOOT: u64 = 2;
 const T_REQ_RETRY: u64 = 3;
 
 /// The streaming server host.
+#[derive(Clone)]
 pub struct VideoServer {
     stack: HostStack,
     /// Stream bitrate in bits per second.
@@ -135,6 +136,7 @@ pub struct VideoClientReport {
 }
 
 /// The measuring video client.
+#[derive(Clone)]
 pub struct VideoClient {
     stack: HostStack,
     server: Ipv4Addr,

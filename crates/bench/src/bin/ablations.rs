@@ -99,7 +99,7 @@ fn a2(args: &SweepArgs) {
     // The §3 demo probe: a video stream across the farthest city pair
     // instead of the standard ping.
     let report = matrix.run_with(args.threads, |cell| {
-        let topo = rf_topo::resolve_topology(&cell.topology).expect("registry name");
+        let topo = cell.topo_spec().expect("registry name").build();
         let (server, client) = topo.farthest_pair().expect("non-trivial topology");
         Ok(cell
             .knob
@@ -192,8 +192,10 @@ fn a5(args: &SweepArgs) {
         "pan-european".into(),
     ];
     let (report, rows) = sweep_rows(args, spec, |cell, rec| {
-        let links = rf_topo::resolve_topology(&cell.topology)
+        let links = cell
+            .topo_spec()
             .expect("registry name")
+            .build()
             .edge_count();
         vec![
             cell.topology.clone(),

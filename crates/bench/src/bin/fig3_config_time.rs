@@ -99,8 +99,10 @@ fn main() {
 
     let mut rows = Vec::new();
     for topology in &topologies {
-        let n = rf_topo::registry::resolve(topology)
+        let n = topology
+            .parse::<rf_topo::TopoSpec>()
             .expect("registry name")
+            .build()
             .node_count();
         let mut cols = vec![topology.clone(), n.to_string()];
         for &k in &WIDTHS {

@@ -14,6 +14,12 @@
 //! # The long trend-tracking grid:
 //! cargo run --release -p rf-bench --bin matrix_sweep -- --full
 //!
+//! # Checkpoint/fork execution: cells sharing a (topology × knob ×
+//! # seed) group run their convergence prefix once and fork. The
+//! # report is byte-identical to the cold run's — CI gates on that:
+//! cargo run --release -p rf-bench --bin matrix_sweep -- --smoke --fork \
+//!     --check crates/bench/baselines/smoke.json --tolerance 0
+//!
 //! # The topology-corpus breadth grid (50+ named topologies, with a
 //! # per-topology configuration-median table on stderr):
 //! cargo run --release -p rf-bench --bin matrix_sweep -- --corpus
@@ -33,6 +39,7 @@ struct Args {
     check: Option<String>,
     tolerance: f64,
     summary_md: Option<String>,
+    fork: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -44,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
         check: None,
         tolerance: 0.2,
         summary_md: None,
+        fork: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -70,6 +78,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?
             }
+            "--fork" => args.fork = true,
             "--out" => args.out = Some(value("--out")?),
             "--check" => args.check = Some(value("--check")?),
             "--summary-md" => args.summary_md = Some(value("--summary-md")?),
@@ -82,7 +91,7 @@ fn parse_args() -> Result<Args, String> {
                 return Err(format!(
                     "unknown argument {other}\n\
                      usage: matrix_sweep [--smoke|--full|--corpus|--corpus-smoke] \
-                     [--threads N] [--out FILE] [--check BASELINE] \
+                     [--fork] [--threads N] [--out FILE] [--check BASELINE] \
                      [--tolerance FRAC] [--summary-md FILE]"
                 ))
             }
@@ -102,11 +111,18 @@ fn main() -> ExitCode {
 
     let cells = args.spec.cells().len();
     eprintln!(
-        "sweeping the {} grid: {cells} cells on {} threads",
-        args.grid_name, args.threads
+        "sweeping the {} grid: {cells} cells on {} threads{}",
+        args.grid_name,
+        args.threads,
+        if args.fork { " (checkpoint/fork)" } else { "" }
     );
     let started = std::time::Instant::now();
-    let report = ScenarioMatrix::new(args.spec).run(args.threads);
+    let matrix = ScenarioMatrix::new(args.spec);
+    let report = if args.fork {
+        matrix.run_forked(args.threads)
+    } else {
+        matrix.run(args.threads)
+    };
     eprintln!(
         "swept {cells} cells in {:.1}s wall clock",
         started.elapsed().as_secs_f64()

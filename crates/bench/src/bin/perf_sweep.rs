@@ -23,15 +23,21 @@
 //! file is a trajectory point, not a determinism artifact. As a side
 //! effect the harness *does* re-prove the determinism contract: every
 //! run of a grid must produce byte-identical `MatrixReport` JSON at
-//! every thread count, or the harness exits non-zero.
+//! every thread count — and the checkpoint/fork execution mode
+//! (`ScenarioMatrix::run_forked`, which runs each (topology × knob ×
+//! seed) group's convergence prefix once and forks the divergent
+//! fault cells) must reproduce the cold report byte-for-byte too, or
+//! the harness exits non-zero. The fork pass's wall ratio is emitted
+//! as `fork.speedup_x1000`, the trended `fork_speedup` number.
 
 use rf_core::json::Json;
 use rf_core::scenario::{MatrixSpec, ScenarioMatrix, SweepStats};
 use std::process::ExitCode;
 use std::time::Duration;
 
-/// Bump when the emitted shape changes.
-const PERF_SCHEMA_VERSION: i64 = 1;
+/// Bump when the emitted shape changes. v2 added the per-grid `fork`
+/// block (checkpoint/fork wall, speedup and forked-cell count).
+const PERF_SCHEMA_VERSION: i64 = 2;
 
 struct Args {
     grids: Vec<(&'static str, MatrixSpec)>,
@@ -98,22 +104,29 @@ fn parse_args() -> Result<Args, String> {
 }
 
 /// Best (minimum-wall) stats across `runs` repetitions at `threads`,
-/// plus the report JSON for the determinism cross-check.
-fn best_of(
+/// plus the report JSON for the determinism cross-check. With
+/// `forked`, the repetitions go through the checkpoint/fork executor
+/// instead of the cold one.
+fn best_of_with(
     matrix: &ScenarioMatrix,
     threads: usize,
     runs: usize,
+    forked: bool,
 ) -> Result<(SweepStats, String), String> {
     let mut best: Option<SweepStats> = None;
     let mut report_json: Option<String> = None;
     for run in 0..runs {
-        let (report, stats) = matrix.run_instrumented(threads, ScenarioMatrix::standard_builder);
+        let (report, stats) = if forked {
+            matrix.run_instrumented_forked(threads, ScenarioMatrix::standard_builder)
+        } else {
+            matrix.run_instrumented(threads, ScenarioMatrix::standard_builder)
+        };
         let json = report.to_json();
         if let Some(prev) = &report_json {
             if *prev != json {
                 return Err(format!(
                     "DETERMINISM VIOLATION: report bytes differ between runs \
-                     (threads={threads}, run={run})"
+                     (threads={threads}, forked={forked}, run={run})"
                 ));
             }
         } else {
@@ -124,6 +137,14 @@ fn best_of(
         }
     }
     Ok((best.expect("runs >= 1"), report_json.expect("runs >= 1")))
+}
+
+fn best_of(
+    matrix: &ScenarioMatrix,
+    threads: usize,
+    runs: usize,
+) -> Result<(SweepStats, String), String> {
+    best_of_with(matrix, threads, runs, false)
 }
 
 /// `p`-th percentile (0..=100, nearest-rank) of sorted `sorted_us`.
@@ -220,10 +241,54 @@ fn main() -> ExitCode {
             ]));
         }
 
+        // Checkpoint/fork pass, single-threaded (the clean total-compute
+        // ratio, un-muddied by scheduling): every repeat must reproduce
+        // the cold report byte-for-byte — the tentpole identity
+        // contract, re-proven on every perf run — and the wall ratio is
+        // the trended fork_speedup.
+        let (fork, fork_report) = match best_of_with(&matrix, 1, args.runs, true) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if fork_report != single_report {
+            eprintln!(
+                "DETERMINISM VIOLATION: {name} grid checkpoint/fork report \
+                 differs from the cold report"
+            );
+            return ExitCode::FAILURE;
+        }
+        let fork_speedup_x1000 =
+            (1000.0 * single.wall.as_secs_f64() / fork.wall.as_secs_f64().max(1e-9)) as i64;
+        eprintln!(
+            "  fork (1 thread): {:.2}s wall (speedup {:.2}x, {} of {} cells forked)",
+            fork.wall.as_secs_f64(),
+            fork_speedup_x1000 as f64 / 1000.0,
+            fork.forked,
+            cells,
+        );
+
         grids_json.insert(
             name.to_string(),
             Json::obj([
                 ("cells".to_string(), Json::Int(cells as i64)),
+                (
+                    "fork".to_string(),
+                    Json::obj([
+                        (
+                            "wall_ms".to_string(),
+                            Json::Int(fork.wall.as_millis() as i64),
+                        ),
+                        ("speedup_x1000".to_string(), Json::Int(fork_speedup_x1000)),
+                        ("forked_cells".to_string(), Json::Int(fork.forked as i64)),
+                        (
+                            "cold_cells".to_string(),
+                            Json::Int(cells as i64 - fork.forked as i64),
+                        ),
+                    ]),
+                ),
                 ("runs_per_config".to_string(), Json::Int(args.runs as i64)),
                 ("events_per_run".to_string(), Json::Int(events as i64)),
                 (

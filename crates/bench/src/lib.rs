@@ -68,7 +68,7 @@ pub fn auto_config_metrics(topo: Topology, p: &ExpParams) -> ScenarioMetrics {
     let mut sc = scenario(topo, p).start();
     sc.run_until_configured(Time::from_secs(3600))
         .expect("configuration must complete within an hour");
-    sc.metrics()
+    sc.finish()
 }
 
 /// The manual baseline for `n` switches (paper model).

@@ -27,6 +27,7 @@ const ARP_RETRY_TICK: Duration = Duration::from_millis(50);
 /// retries on a tick. PACKET_OUTs (ARP replies and probes) are
 /// data-plane traffic — a deferred one is shed and the protocol's own
 /// retry recovers.
+#[derive(Clone)]
 pub struct ArpProxyApp {
     /// Host FLOW_MODs refused by a bounded channel, retried in order.
     deferred: DeferBuffer,

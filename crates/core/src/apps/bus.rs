@@ -124,7 +124,7 @@ pub struct LinkRec {
 /// here. The split mirrors the paper's architecture — switches/links
 /// come from discovery, hosts from the edge, `installed` from the
 /// route-to-flow mirror.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct ControlState {
     /// Known switches (keyed by dpid; present once a VM is provisioned).
     pub switches: BTreeMap<u64, SwitchRec>,
@@ -192,12 +192,35 @@ impl ControlState {
     }
 }
 
+/// Object-safe cloning for boxed control apps; blanket-implemented for
+/// every `ControlApp + Clone` type, making `Box<dyn ControlApp>: Clone`
+/// (the controller-side mirror of [`rf_sim::CloneAgent`]).
+pub trait CloneControlApp {
+    fn clone_app(&self) -> Box<dyn ControlApp>;
+}
+
+impl<T> CloneControlApp for T
+where
+    T: 'static + ControlApp + Clone,
+{
+    fn clone_app(&self) -> Box<dyn ControlApp> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn ControlApp> {
+    fn clone(&self) -> Self {
+        self.clone_app()
+    }
+}
+
 /// Engine-owned I/O surface the apps reach through [`AppCtx`].
 ///
 /// Keeping the connection maps out of [`ControlState`] means apps can
 /// never depend on transport details — everything they send goes
 /// through the dpid-addressed [`SwitchChannel`] layer, which bounds
 /// and meters the queues (and parks messages while channels are down).
+#[derive(Clone)]
 pub(crate) struct BusIo {
     pub(crate) dpid_of: HashMap<u64, ConnId>,
     /// Per-switch bounded send channels (keyed deterministically; the
@@ -358,9 +381,12 @@ impl<'b> AppCtx<'_, 'b> {
 /// Apps must be `Send`: the whole controller (and the `Sim` holding it)
 /// crosses thread boundaries when scenarios are swept in parallel by
 /// [`crate::scenario::ScenarioMatrix`]. App state is plain owned data
-/// in practice, so this costs nothing.
+/// in practice, so this costs nothing. They must also be `Clone` (the
+/// [`CloneControlApp`] supertrait, satisfied by `#[derive(Clone)]`): a
+/// converged controller is deep-copied wholesale when a scenario is
+/// checkpointed for fork (see `Scenario::snapshot`).
 #[allow(unused_variables)]
-pub trait ControlApp: 'static + Send {
+pub trait ControlApp: 'static + Send + CloneControlApp {
     /// Stable name, for traces and diagnostics.
     fn name(&self) -> &'static str;
 

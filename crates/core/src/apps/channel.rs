@@ -135,6 +135,7 @@ pub(crate) const CHANNEL_DRAIN_TICK: Duration = Duration::from_millis(25);
 /// a backlog every new message for it joins the tail — so the wire
 /// never sees reordering within one switch. One implementation, two
 /// apps: the retry logic cannot diverge between them.
+#[derive(Clone)]
 pub(crate) struct DeferBuffer {
     /// Bus-timer token of the retry tick (tokens share one namespace
     /// across a controller's apps, so each buffer gets its owner's).
@@ -223,7 +224,7 @@ impl DeferBuffer {
 }
 
 /// Per-switch bounded send state.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct SwitchChannel {
     /// Messages accepted but not yet on the wire.
     pub(crate) queue: VecDeque<OfMessage>,
@@ -399,6 +400,7 @@ mod tests {
     /// Exercise the channel layer from inside a real dispatch (a `Ctx`
     /// only exists there). The harness agent runs `f` once on start and
     /// publishes the outcome through shared state.
+    #[derive(Clone)]
     struct Harness {
         cfg: RfControllerConfig,
         out: Arc<Mutex<Vec<SendOutcome>>>,

@@ -16,6 +16,7 @@ use std::collections::HashSet;
 ///   [`ControlEvent::VmSpawned`]);
 /// * `LinkRemoved` → [`LinkChange::Down`];
 /// * `PortStatus` → [`LinkChange::PortStatus`].
+#[derive(Clone)]
 pub struct DiscoveryBridgeApp {
     /// Switches already announced on the bus.
     known: HashSet<u64>,

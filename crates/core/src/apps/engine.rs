@@ -22,6 +22,7 @@ use std::collections::{HashMap, VecDeque};
 /// The RouteFlow controller as an event-bus engine hosting pluggable
 /// control apps. [`crate::rfcontroller::RfController`] is an alias for
 /// this type, so existing deployments and downcasts keep working.
+#[derive(Clone)]
 pub struct ControlPlane {
     cfg: RfControllerConfig,
     apps: Vec<Box<dyn ControlApp>>,
@@ -101,6 +102,15 @@ impl ControlPlane {
     /// Controller configuration.
     pub fn config(&self) -> &RfControllerConfig {
         &self.cfg
+    }
+
+    /// Append a channel-stall window to the configuration at runtime.
+    /// A window that lies entirely in the future is indistinguishable
+    /// from one declared at construction (stalls only act through
+    /// `covers(now)` checks at send/drain time), which is what lets a
+    /// forked scenario inject a cell's stall schedule post-fork.
+    pub fn add_channel_stall(&mut self, window: crate::apps::ChannelStallWindow) {
+        self.cfg.channel_stalls.push(window);
     }
 
     // ------------------------------------------------------------------

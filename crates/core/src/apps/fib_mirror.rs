@@ -38,6 +38,7 @@ pub(crate) const FIB_FLUSH_TOKEN: u64 = 0xF1B0_0000_0000_0000;
 const FIB_FLUSH_TICK: Duration = Duration::from_millis(50);
 
 /// Mirrors VM FIB changes onto the data plane.
+#[derive(Clone)]
 pub struct FibMirrorApp {
     /// FLOW_MODs queued per switch while a batch fills (`fib_batch > 1`
     /// only; keyed deterministically so flush order never wobbles).

@@ -19,6 +19,7 @@ use std::collections::{BTreeSet, VecDeque};
 /// on the event bus: each [`ControlEvent::VmUp`] retires its dpid from
 /// the in-flight set and tops the pipeline back up, so there is no
 /// lockstep sequencing anywhere.
+#[derive(Clone)]
 pub struct VmLifecycleApp {
     vm_queue: VecDeque<(u64, u16)>,
     /// Dpids whose VM was spawned but has not reported `VmUp` yet.

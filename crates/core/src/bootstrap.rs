@@ -1,113 +1,31 @@
-//! One-call assembly of the paper's Fig. 2 deployment — now a thin
-//! compatibility wrapper over [`crate::scenario::ScenarioBuilder`].
+//! Deprecated compatibility shim over [`crate::scenario`].
 //!
-//! ```text
-//!   switches ──> FlowVisor ──> topology controller ──> RPC client
-//!                    │                                     │
-//!                    └────────> RF-controller  <── RPC ────┘
-//!                                (RPC server, VMs, RouteFlow)
-//! ```
-//!
-//! New code should prefer the fluent builder:
+//! The one-call `Deployment::build` assembly predates the fluent
+//! [`crate::scenario::ScenarioBuilder`]; the builder is now the single
+//! build path (checkpoint/fork capture it, see
+//! [`crate::scenario::Scenario::snapshot`]), and everything here
+//! delegates to it. New code should write
 //! `Scenario::on(topo).fast_timers().with_host(0, "10.1.0.0/24").start()`.
+//!
+//! Migration map:
+//!
+//! | legacy                        | replacement                              |
+//! |-------------------------------|------------------------------------------|
+//! | `DeploymentConfig`            | [`crate::scenario::ScenarioConfig`]      |
+//! | `Deployment::build(cfg)`      | `ScenarioBuilder::from_config(cfg).start()` |
+//! | `Deployment` field access     | the same fields on [`crate::scenario::Scenario`] |
 
-use crate::scenario::ScenarioBuilder;
-use rf_sim::{AgentId, LinkProfile, Sim, Time};
-use rf_topo::Topology;
-use rf_wire::Ipv4Cidr;
-use std::net::Ipv4Addr;
-use std::time::Duration;
+use rf_sim::{AgentId, Sim, Time};
 
-/// Where to attach a host (edge configuration, declared up front).
-#[derive(Clone, Debug)]
-pub struct HostAttachment {
-    /// Topology node the host hangs off.
-    pub node: usize,
-    /// The host subnet (a /24 by convention).
-    pub subnet: Ipv4Cidr,
-}
+pub use crate::scenario::{HostAttachment, HostSlot};
 
-/// A reserved host port, returned to the caller for wiring host agents.
-#[derive(Clone, Debug)]
-pub struct HostSlot {
-    pub node: usize,
-    pub switch: AgentId,
-    pub port: u16,
-    pub subnet: Ipv4Cidr,
-    /// The VM-side gateway address (first host address of the subnet).
-    pub gateway: Ipv4Addr,
-    /// A free address for the host itself (second host address).
-    pub host_ip: Ipv4Addr,
-}
-
-/// Deployment parameters.
-#[derive(Clone)]
-pub struct DeploymentConfig {
-    pub topology: Topology,
-    pub seed: u64,
-    /// Administrator IP range for the virtual environment.
-    pub ip_range: Ipv4Cidr,
-    /// LLDP probe period.
-    pub probe_interval: Duration,
-    /// Simulated VM provisioning time.
-    pub vm_boot_delay: Duration,
-    /// Physical link profile (also used for the virtual interconnect).
-    pub link_profile: LinkProfile,
-    /// Put FlowVisor between switches and controllers (the paper's
-    /// layout). `false` wires both controllers directly into every
-    /// switch (OVS multi-controller mode) for the A4 ablation.
-    pub use_flowvisor: bool,
-    /// Host attachment points.
-    pub hosts: Vec<HostAttachment>,
-    /// OSPF hello/dead intervals written into every ospfd.conf.
-    pub ospf_hello: u16,
-    pub ospf_dead: u16,
-    /// VM provisioning pipeline width (1 = the paper's serial rftest
-    /// behaviour).
-    pub provision_width: usize,
-    /// FIB-mirror FLOW_MOD batch size per switch (1 = unbatched).
-    pub fib_batch: usize,
-    /// Switch-channel send-queue bound (`None` = unbounded, the
-    /// paper's fire-and-forget behaviour).
-    pub channel_capacity: Option<usize>,
-    /// What a full bounded channel does with overflow.
-    pub overflow: crate::apps::OverflowPolicy,
-    /// Trace verbosity.
-    pub trace_level: rf_sim::TraceLevel,
-}
-
-impl DeploymentConfig {
-    pub fn new(topology: Topology) -> DeploymentConfig {
-        DeploymentConfig {
-            topology,
-            seed: 0xC0FFEE,
-            ip_range: Ipv4Cidr::new(Ipv4Addr::new(172, 31, 0, 0), 16),
-            probe_interval: Duration::from_secs(1),
-            vm_boot_delay: Duration::from_secs(1),
-            link_profile: LinkProfile::default(),
-            use_flowvisor: true,
-            hosts: Vec::new(),
-            ospf_hello: 10,
-            ospf_dead: 40,
-            provision_width: 1,
-            fib_batch: 1,
-            channel_capacity: None,
-            overflow: crate::apps::OverflowPolicy::Defer,
-            trace_level: rf_sim::TraceLevel::Info,
-        }
-    }
-
-    pub fn with_host(mut self, node: usize, subnet: &str) -> Self {
-        self.hosts.push(HostAttachment {
-            node,
-            subnet: subnet.parse().expect("valid subnet"),
-        });
-        self
-    }
-}
+/// Renamed to [`crate::scenario::ScenarioConfig`].
+#[deprecated(note = "renamed to rf_core::scenario::ScenarioConfig")]
+pub type DeploymentConfig = crate::scenario::ScenarioConfig;
 
 /// The assembled world (legacy shape; [`crate::scenario::Scenario`] is
-/// the richer handle).
+/// the richer handle, and the only one snapshot/fork works on).
+#[deprecated(note = "use rf_core::scenario::Scenario (ScenarioBuilder::start)")]
 pub struct Deployment {
     pub sim: Sim,
     pub rf_ctrl: AgentId,
@@ -122,10 +40,11 @@ pub struct Deployment {
     pub expected_switches: usize,
 }
 
+#[allow(deprecated)]
 impl Deployment {
     /// Build the whole Fig. 2 stack on `cfg.topology`.
-    pub fn build(cfg: DeploymentConfig) -> Deployment {
-        ScenarioBuilder::from_deployment_config(cfg)
+    pub fn build(cfg: crate::scenario::ScenarioConfig) -> Deployment {
+        crate::scenario::ScenarioBuilder::from_config(cfg)
             .start()
             .into_deployment()
     }

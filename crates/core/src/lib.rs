@@ -21,8 +21,12 @@
 //!   (switches → FlowVisor → topology controller + RF-controller, RPC
 //!   client in between) on any [`rf_topo::Topology`], with hosts,
 //!   traffic workloads, fault schedules and extra control apps, and
-//!   hands back a [`scenario::Scenario`] with typed metrics.
-//!   [`bootstrap::Deployment`] wraps it for pre-redesign callers.
+//!   hands back a [`scenario::Scenario`] with typed metrics. A
+//!   converged scenario can be checkpointed with
+//!   [`scenario::Scenario::snapshot`] and forked into divergent
+//!   continuations with [`scenario::Scenario::fork`] — the sweep's
+//!   shared-prefix mechanism. (The pre-redesign `bootstrap::Deployment`
+//!   wrapper is deprecated.)
 //! * [`manual::ManualConfigModel`] — the paper's manual-baseline time
 //!   model (5 min VM creation + 2 min interface mapping + 8 min routing
 //!   configuration per switch) used in Fig. 3.
@@ -35,13 +39,7 @@
 //!
 //! let mut sc = Scenario::on(rf_topo::ring(4)).start();
 //! sc.run_until(Time::from_secs(60));
-//! assert_eq!(sc.metrics().configured_switches, 4);
-//!
-//! // The one-shot compatibility path:
-//! use rf_core::bootstrap::{Deployment, DeploymentConfig};
-//! let mut dep = Deployment::build(DeploymentConfig::new(rf_topo::ring(4)));
-//! dep.sim.run_until(Time::from_secs(60));
-//! assert_eq!(dep.configured_switches(), 4);
+//! assert_eq!(sc.finish().configured_switches, 4);
 //! ```
 
 pub mod apps;
@@ -55,12 +53,14 @@ pub mod traffic;
 pub use apps::{
     AppCtx, ControlApp, ControlEvent, ControlPlane, ControlState, FibChange, LinkChange,
 };
-pub use bootstrap::{Deployment, DeploymentConfig, HostAttachment};
+#[allow(deprecated)]
+pub use bootstrap::{Deployment, DeploymentConfig};
 pub use manual::ManualConfigModel;
 pub use rfcontroller::{HostPortConfig, RfController, RfControllerConfig};
 pub use scenario::{
-    CellRecord, Fault, FaultSchedule, MatrixCell, MatrixKnob, MatrixReport, MatrixSpec, Scenario,
-    ScenarioBuilder, ScenarioMatrix, ScenarioMetrics, Workload, WorkloadReport,
+    CellRecord, Fault, FaultSchedule, ForkError, HostAttachment, HostSlot, MatrixCell, MatrixKnob,
+    MatrixReport, MatrixSpec, Scenario, ScenarioBuilder, ScenarioConfig, ScenarioMatrix,
+    ScenarioMetrics, Snapshot, SnapshotError, Workload, WorkloadReport,
 };
 pub use traffic::{
     TrafficConfig, TrafficMode, TrafficPattern, TrafficReport, TrafficSpec, WorkloadError,

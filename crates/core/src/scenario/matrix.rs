@@ -26,7 +26,7 @@
 //! ```
 
 use super::report::{CellRecord, MatrixReport};
-use super::{Fault, Scenario, ScenarioBuilder, Workload, WorkloadReport};
+use super::{Fault, Scenario, ScenarioBuilder, Snapshot, SnapshotError, Workload, WorkloadReport};
 use crate::apps::OverflowPolicy;
 use crate::traffic::{FlowSize, TrafficSpec, WorkloadError};
 use rf_sim::Time;
@@ -673,6 +673,10 @@ pub struct SweepStats {
     pub wall: Duration,
     /// Per-cell observations, sorted by cell key.
     pub cells: Vec<CellStat>,
+    /// How many cells ran as forks of a shared prefix snapshot (always
+    /// zero for the cold sweep entry points; in forked mode, the rest
+    /// of the cells fell back to a cold start).
+    pub forked: usize,
 }
 
 impl SweepStats {
@@ -847,9 +851,239 @@ impl ScenarioMatrix {
         stats.sort_by(|a, b| a.key.cmp(&b.key));
         (
             MatrixReport::new(self.spec.grid_axes(), records),
-            SweepStats { wall, cells: stats },
+            SweepStats {
+                wall,
+                cells: stats,
+                forked: 0,
+            },
         )
     }
+
+    /// Sweep the grid with the standard builder, sharing each
+    /// (topology × knob × seed) group's convergence prefix via
+    /// checkpoint/fork. Byte-identical report to [`run`], at a
+    /// fraction of the wall clock (see [`run_with_forked`]).
+    ///
+    /// [`run`]: ScenarioMatrix::run
+    /// [`run_with_forked`]: ScenarioMatrix::run_with_forked
+    pub fn run_forked(&self, threads: usize) -> MatrixReport {
+        self.run_with_forked(threads, Self::standard_builder)
+    }
+
+    /// Like [`run_with`], but cells that differ only in fault schedule
+    /// share their expensive prefix: each (topology × knob × seed)
+    /// group builds one fault-free scenario, runs it to configuration,
+    /// [`Scenario::snapshot`]s at a quiesce point and
+    /// [`Scenario::fork`]s every member from the capture, injecting
+    /// the member's fault schedule post-fork. Members whose faults
+    /// fire at or before the snapshot instant (the smoke grid's early
+    /// channel stalls, say) fall back to a cold start — as does the
+    /// whole group if its prefix never converges or never quiesces —
+    /// so the mode is a pure optimisation, never a semantics change.
+    ///
+    /// Determinism contract: the report is **byte-identical** to
+    /// [`run_with`]'s, at any thread count. The builder closure must
+    /// derive all fault wiring from `cell.schedule.faults` alone (as
+    /// [`standard_builder`] does), because the prefix is built from a
+    /// schedule-less copy of the cell.
+    ///
+    /// [`run_with`]: ScenarioMatrix::run_with
+    /// [`standard_builder`]: ScenarioMatrix::standard_builder
+    pub fn run_with_forked<F>(&self, threads: usize, build: F) -> MatrixReport
+    where
+        F: Fn(&MatrixCell) -> Result<ScenarioBuilder, WorkloadError> + Send + Sync,
+    {
+        self.run_instrumented_forked(threads, build).0
+    }
+
+    /// [`ScenarioMatrix::run_with_forked`] plus per-cell wall-clock and
+    /// event-count observations. Workers pull whole *groups* from the
+    /// shared cursor (a group's forks reuse its snapshot, so the group
+    /// is the scheduling unit), costliest group first.
+    pub fn run_instrumented_forked<F>(&self, threads: usize, build: F) -> (MatrixReport, SweepStats)
+    where
+        F: Fn(&MatrixCell) -> Result<ScenarioBuilder, WorkloadError> + Send + Sync,
+    {
+        let threads = threads.max(1);
+        let cells = self.spec.cells();
+        let cost: Vec<u64> = cells.iter().map(|c| expected_cost(&self.spec, c)).collect();
+        // Group cells sharing (topology, knob, seed) — the fault
+        // schedule is the divergent axis. BTreeMap keeps group
+        // assembly deterministic; members keep declaration order.
+        let mut by_prefix: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, c) in cells.iter().enumerate() {
+            by_prefix
+                .entry(format!("{}|{}|{}", c.topology, c.knob.name, c.seed))
+                .or_default()
+                .push(i);
+        }
+        let mut groups: Vec<Vec<usize>> = by_prefix.into_values().collect();
+        groups.sort_by_key(|g| {
+            (
+                std::cmp::Reverse(g.iter().map(|&i| cost[i]).sum::<u64>()),
+                g[0],
+            )
+        });
+        let next = AtomicUsize::new(0);
+        let forked = AtomicUsize::new(0);
+        type Bucket = (CellRecord, CellStat);
+        let results: Mutex<Vec<Bucket>> = Mutex::new(Vec::with_capacity(cells.len()));
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(groups.len()) {
+                scope.spawn(|| loop {
+                    let pos = next.fetch_add(1, Ordering::SeqCst);
+                    let Some(group) = groups.get(pos) else { break };
+                    let (out, group_forked) = run_group(&self.spec, &cells, group, &build);
+                    forked.fetch_add(group_forked, Ordering::SeqCst);
+                    results.lock().unwrap().extend(out);
+                });
+            }
+        });
+        let wall = started.elapsed();
+        let (records, mut stats): (Vec<CellRecord>, Vec<CellStat>) =
+            results.into_inner().unwrap().into_iter().unzip();
+        stats.sort_by(|a, b| a.key.cmp(&b.key));
+        (
+            MatrixReport::new(self.spec.grid_axes(), records),
+            SweepStats {
+                wall,
+                cells: stats,
+                forked: forked.into_inner(),
+            },
+        )
+    }
+}
+
+/// Can `schedule` still be injected after a snapshot taken at `t`?
+/// Every fault's *first* effect (`at`, or `from` for a stall window)
+/// must lie strictly in the future: anything at or before the capture
+/// would already have dispatched in a cold run.
+fn forkable(schedule: &FaultSchedule, taken_at: Time) -> bool {
+    schedule.faults.iter().all(|f| {
+        let eff = match *f {
+            Fault::KillSwitch { at, .. }
+            | Fault::LinkDown { at, .. }
+            | Fault::LinkUp { at, .. }
+            | Fault::LinkLoss { at, .. } => at,
+            Fault::ChannelStall { from, .. } => from,
+        };
+        Time::ZERO + eff > taken_at
+    })
+}
+
+/// Cold-start one cell and wrap its record in a [`CellStat`].
+fn cold_stat<F>(spec: &MatrixSpec, cell: &MatrixCell, build: &F) -> (CellRecord, CellStat)
+where
+    F: Fn(&MatrixCell) -> Result<ScenarioBuilder, WorkloadError>,
+{
+    let t0 = Instant::now();
+    let (rec, events) = run_cell(spec, cell, build);
+    let stat = CellStat {
+        key: rec.key.clone(),
+        wall: t0.elapsed(),
+        events,
+    };
+    (rec, stat)
+}
+
+/// Run one (topology × knob × seed) group: the shared fault-free
+/// prefix once, a fork per member whose divergence lies in the future,
+/// cold starts for the rest. The second return counts the members
+/// that actually forked.
+fn run_group<F>(
+    spec: &MatrixSpec,
+    cells: &[MatrixCell],
+    group: &[usize],
+    build: &F,
+) -> (Vec<(CellRecord, CellStat)>, usize)
+where
+    F: Fn(&MatrixCell) -> Result<ScenarioBuilder, WorkloadError>,
+{
+    let all_cold = |g: &[usize]| -> (Vec<(CellRecord, CellStat)>, usize) {
+        (
+            g.iter()
+                .map(|&i| cold_stat(spec, &cells[i], build))
+                .collect(),
+            0,
+        )
+    };
+    // A singleton group has no prefix worth sharing.
+    if group.len() < 2 {
+        return all_cold(group);
+    }
+    // The prefix is the first member with its fault schedule erased:
+    // every member builds the identical world apart from that axis
+    // (the chaos agent is present either way, with an empty op list
+    // here), so one converged capture serves them all.
+    let prefix_cell = MatrixCell {
+        schedule: FaultSchedule::none(),
+        ..cells[group[0]].clone()
+    };
+    let Ok(b) = build(&prefix_cell) else {
+        // A builder that rejects the axes marks each cell through the
+        // cold path (`build_error` records).
+        return all_cold(group);
+    };
+    let mut prefix = b.start();
+    let deadline = Time::ZERO + spec.configure_deadline;
+    let configured_at = prefix.run_until_configured(deadline);
+    // The instant a cold run's settle window starts from; forks must
+    // measure from here, not from any later quiesce-probe instant.
+    let config_now = prefix.sim.now();
+    if configured_at.is_none() {
+        return all_cold(group);
+    }
+    // Quiesce probing: the capture is refused while a tail batch waits
+    // out its tick, so step in short slices — bounded well inside the
+    // settle window every member runs through anyway, which keeps the
+    // probe invisible to the determinism contract.
+    let probe_limit = config_now + spec.settle;
+    let snap: Option<Snapshot> = loop {
+        match prefix.snapshot() {
+            Ok(s) => break Some(s),
+            Err(SnapshotError::UndrainedChannels { .. })
+                if prefix.sim.now() + Duration::from_millis(100) <= probe_limit =>
+            {
+                let t = prefix.sim.now() + Duration::from_millis(100);
+                prefix.run_until(t);
+            }
+            Err(_) => break None,
+        }
+    };
+    let Some(snap) = snap else {
+        return all_cold(group);
+    };
+
+    // The prefix scenario *is* the snapshot state — hand it to the
+    // first fork instead of cloning a fourth copy of the world.
+    let mut prefix_sc = Some(prefix);
+    let mut out = Vec::with_capacity(group.len());
+    let mut forked_count = 0;
+    for &i in group {
+        let cell = &cells[i];
+        if !forkable(&cell.schedule, snap.taken_at()) {
+            out.push(cold_stat(spec, cell, build));
+            continue;
+        }
+        let t0 = Instant::now();
+        let mut sc = prefix_sc.take().unwrap_or_else(|| Scenario::fork(&snap));
+        if sc.inject_faults(&cell.schedule.faults).is_err() {
+            // Unreachable given the forkable() gate, but a cold start
+            // is always a correct answer.
+            out.push(cold_stat(spec, cell, build));
+            continue;
+        }
+        let (rec, events) = finish_cell(spec, cell, sc, configured_at, config_now);
+        let stat = CellStat {
+            key: rec.key.clone(),
+            wall: t0.elapsed(),
+            events,
+        };
+        out.push((rec, stat));
+        forked_count += 1;
+    }
+    (out, forked_count)
 }
 
 /// Build, run and harvest one cell. All times are reported in
@@ -877,11 +1111,27 @@ where
     };
     let deadline = Time::ZERO + spec.configure_deadline;
     let configured_at = sc.run_until_configured(deadline);
+    let config_now = sc.sim.now();
+    finish_cell(spec, cell, sc, configured_at, config_now)
+}
 
+/// The post-configuration half of a cell run: settle, play out faults
+/// and workloads, harvest. Shared verbatim by the cold path
+/// ([`run_cell`]) and the fork path ([`run_group`]); `config_now` is
+/// the instant the configuration phase handed the scenario over (the
+/// forked scenario's clock may already be slightly past it from
+/// quiesce probing, which the horizon arithmetic must not see).
+fn finish_cell(
+    spec: &MatrixSpec,
+    cell: &MatrixCell,
+    mut sc: Scenario,
+    configured_at: Option<Time>,
+    config_now: Time,
+) -> (CellRecord, u64) {
     // Keep the world running long enough to see the probe workload and
     // every scheduled fault play out, whichever ends later — and, for
     // traffic knobs, the whole offered-load window plus a drain tail.
-    let settle_until = sc.sim.now() + spec.settle;
+    let settle_until = config_now + spec.settle;
     let mut run_to = match cell.schedule.last_fault_at() {
         Some(last) => settle_until.max(Time::ZERO + last + spec.post_fault_window),
         None => settle_until,
@@ -891,7 +1141,7 @@ where
     }
     sc.run_until(run_to);
 
-    let m = sc.metrics();
+    let m = sc.finish();
     let mut metrics: BTreeMap<String, i64> = BTreeMap::new();
     let mut put = |name: &str, v: i64| {
         metrics.insert(name.to_string(), v);

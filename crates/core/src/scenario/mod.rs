@@ -3,8 +3,12 @@
 //! fault schedules and custom [`ControlApp`]s, and a [`Scenario`]
 //! handle exposing typed metrics.
 //!
-//! [`crate::bootstrap::Deployment`] is a thin compatibility wrapper
-//! over this module.
+//! This module is the single build path: the legacy
+//! `crate::bootstrap::Deployment` wrapper is deprecated and delegates
+//! here. A converged scenario can be captured with
+//! [`Scenario::snapshot`] and resumed any number of times with
+//! [`Scenario::fork`] — the checkpoint/fork mechanism the matrix sweep
+//! uses to run each (topology × knob × seed) convergence prefix once.
 //!
 //! ```
 //! use rf_core::scenario::{Scenario, Workload};
@@ -20,7 +24,7 @@
 //! let done = sc.run_until_configured(Time::from_secs(120)).unwrap();
 //! assert!(done < Time::from_secs(60), "configured in {done}");
 //!
-//! let m = sc.metrics();
+//! let m = sc.finish();
 //! assert_eq!(m.configured_switches, 4);
 //! assert_eq!(m.per_switch_config_time.len(), 4);
 //! ```
@@ -38,7 +42,6 @@ use crate::apps::arp_proxy::ARP_RETRY_TOKEN;
 use crate::apps::channel::CHANNEL_DRAIN_TOKEN;
 use crate::apps::fib_mirror::FIB_FLUSH_TOKEN;
 use crate::apps::{ChannelStallWindow, ControlApp, ControlPlane, OverflowPolicy};
-use crate::bootstrap::{Deployment, DeploymentConfig, HostAttachment, HostSlot};
 use crate::rfcontroller::{HostPortConfig, RfControllerConfig};
 use crate::traffic::packet::{
     IncastSender, PacedSource, TrafficClient, TrafficServer, TrafficSink,
@@ -58,6 +61,96 @@ use rf_topo::Topology;
 use rf_wire::{Ipv4Cidr, MacAddr};
 use std::net::Ipv4Addr;
 use std::time::Duration;
+
+/// Where to attach a host (edge configuration, declared up front).
+#[derive(Clone, Debug)]
+pub struct HostAttachment {
+    /// Topology node the host hangs off.
+    pub node: usize,
+    /// The host subnet (a /24 by convention).
+    pub subnet: Ipv4Cidr,
+}
+
+/// A reserved host port, returned to the caller for wiring host agents.
+#[derive(Clone, Debug)]
+pub struct HostSlot {
+    pub node: usize,
+    pub switch: AgentId,
+    pub port: u16,
+    pub subnet: Ipv4Cidr,
+    /// The VM-side gateway address (first host address of the subnet).
+    pub gateway: Ipv4Addr,
+    /// A free address for the host itself (second host address).
+    pub host_ip: Ipv4Addr,
+}
+
+/// Scenario parameters — everything [`ScenarioBuilder`]'s fluent
+/// methods write into. (Formerly `bootstrap::DeploymentConfig`, which
+/// remains as a deprecated alias.)
+#[derive(Clone)]
+pub struct ScenarioConfig {
+    pub topology: Topology,
+    pub seed: u64,
+    /// Administrator IP range for the virtual environment.
+    pub ip_range: Ipv4Cidr,
+    /// LLDP probe period.
+    pub probe_interval: Duration,
+    /// Simulated VM provisioning time.
+    pub vm_boot_delay: Duration,
+    /// Physical link profile (also used for the virtual interconnect).
+    pub link_profile: LinkProfile,
+    /// Put FlowVisor between switches and controllers (the paper's
+    /// layout). `false` wires both controllers directly into every
+    /// switch (OVS multi-controller mode) for the A4 ablation.
+    pub use_flowvisor: bool,
+    /// Host attachment points.
+    pub hosts: Vec<HostAttachment>,
+    /// OSPF hello/dead intervals written into every ospfd.conf.
+    pub ospf_hello: u16,
+    pub ospf_dead: u16,
+    /// VM provisioning pipeline width (1 = the paper's serial rftest
+    /// behaviour).
+    pub provision_width: usize,
+    /// FIB-mirror FLOW_MOD batch size per switch (1 = unbatched).
+    pub fib_batch: usize,
+    /// Switch-channel send-queue bound (`None` = unbounded, the
+    /// paper's fire-and-forget behaviour).
+    pub channel_capacity: Option<usize>,
+    /// What a full bounded channel does with overflow.
+    pub overflow: OverflowPolicy,
+    /// Trace verbosity.
+    pub trace_level: rf_sim::TraceLevel,
+}
+
+impl ScenarioConfig {
+    pub fn new(topology: Topology) -> ScenarioConfig {
+        ScenarioConfig {
+            topology,
+            seed: 0xC0FFEE,
+            ip_range: Ipv4Cidr::new(Ipv4Addr::new(172, 31, 0, 0), 16),
+            probe_interval: Duration::from_secs(1),
+            vm_boot_delay: Duration::from_secs(1),
+            link_profile: LinkProfile::default(),
+            use_flowvisor: true,
+            hosts: Vec::new(),
+            ospf_hello: 10,
+            ospf_dead: 40,
+            provision_width: 1,
+            fib_batch: 1,
+            channel_capacity: None,
+            overflow: OverflowPolicy::Defer,
+            trace_level: rf_sim::TraceLevel::Info,
+        }
+    }
+
+    pub fn with_host(mut self, node: usize, subnet: &str) -> Self {
+        self.hosts.push(HostAttachment {
+            node,
+            subnet: subnet.parse().expect("valid subnet"),
+        });
+        self
+    }
+}
 
 /// A scheduled disturbance, injected while the scenario runs.
 #[derive(Clone, Debug)]
@@ -244,10 +337,12 @@ pub struct ScenarioMetrics {
 }
 
 /// Internal fault-scheduler agent: one timer per scheduled fault.
+#[derive(Clone)]
 struct ChaosAgent {
     ops: Vec<(Duration, ChaosOp)>,
 }
 
+#[derive(Clone)]
 enum ChaosOp {
     Kill(AgentId),
     SetLink(LinkId, bool),
@@ -256,8 +351,12 @@ enum ChaosOp {
 
 impl Agent for ChaosAgent {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // Reserved-lane timers: a fault fires before every ordinarily
+        // scheduled event at its instant, whether it was armed here at
+        // t=0 or injected into a forked scenario mid-run — so cold and
+        // forked runs dispatch identically around fault instants.
         for (i, (at, _)) in self.ops.iter().enumerate() {
-            ctx.schedule(*at, i as u64);
+            ctx.schedule_reserved(*at, i as u64);
         }
     }
 
@@ -281,6 +380,7 @@ impl Agent for ChaosAgent {
 
 /// Which traffic agent type lives behind an [`AgentId`], so the
 /// harvest can downcast to the right concrete type.
+#[derive(Clone)]
 enum TrafficPart {
     Client(AgentId),
     Server(AgentId),
@@ -290,6 +390,7 @@ enum TrafficPart {
     FlowEngine(AgentId),
 }
 
+#[derive(Clone)]
 enum WorkloadHandle {
     Ping { pinger: AgentId },
     Video { client: AgentId },
@@ -299,22 +400,27 @@ enum WorkloadHandle {
 
 /// Fluent assembly of a full experiment; start with [`Scenario::on`].
 pub struct ScenarioBuilder {
-    cfg: DeploymentConfig,
+    cfg: ScenarioConfig,
     faults: Vec<Fault>,
     workloads: Vec<Workload>,
     extra_apps: Vec<Box<dyn ControlApp>>,
 }
 
 impl ScenarioBuilder {
-    /// Builder over an existing [`DeploymentConfig`] (the compatibility
-    /// path used by `Deployment::build`).
-    pub fn from_deployment_config(cfg: DeploymentConfig) -> ScenarioBuilder {
+    /// Builder over an existing [`ScenarioConfig`].
+    pub fn from_config(cfg: ScenarioConfig) -> ScenarioBuilder {
         ScenarioBuilder {
             cfg,
             faults: Vec::new(),
             workloads: Vec::new(),
             extra_apps: Vec::new(),
         }
+    }
+
+    /// Renamed to [`ScenarioBuilder::from_config`].
+    #[deprecated(note = "use ScenarioBuilder::from_config")]
+    pub fn from_deployment_config(cfg: ScenarioConfig) -> ScenarioBuilder {
+        ScenarioBuilder::from_config(cfg)
     }
 
     /// Simulation seed (default `0xC0FFEE`).
@@ -709,40 +815,15 @@ impl ScenarioBuilder {
             workload_handles.push(handle);
         }
 
-        // Fault schedule.
-        if !faults.is_empty() {
-            let switch_of = |node: usize| {
-                *switches
-                    .get(node)
-                    .unwrap_or_else(|| panic!("fault references node {node}, topology has {n}"))
-            };
-            let link_of = |edge: usize| {
-                *phys_links.get(edge).unwrap_or_else(|| {
-                    panic!(
-                        "fault references edge {edge}, topology has {}",
-                        phys_links.len()
-                    )
-                })
-            };
-            let ops: Vec<(Duration, ChaosOp)> = faults
-                .iter()
-                .filter_map(|f| match *f {
-                    Fault::KillSwitch { node, at } => Some((at, ChaosOp::Kill(switch_of(node)))),
-                    Fault::LinkDown { edge, at } => {
-                        Some((at, ChaosOp::SetLink(link_of(edge), false)))
-                    }
-                    Fault::LinkUp { edge, at } => Some((at, ChaosOp::SetLink(link_of(edge), true))),
-                    Fault::LinkLoss { edge, loss_pct, at } => {
-                        Some((at, ChaosOp::SetLinkLoss(link_of(edge), loss_pct)))
-                    }
-                    // Handled above, in the controller configuration.
-                    Fault::ChannelStall { .. } => None,
-                })
-                .collect();
-            if !ops.is_empty() {
-                sim.add_agent("chaos", Box::new(ChaosAgent { ops }));
-            }
-        }
+        // Fault schedule. The chaos agent is *always* present — with an
+        // empty schedule when no faults were declared — so every world
+        // built from the same (topology, knob, seed) has an identical
+        // agent table regardless of its fault axis. That structural
+        // identity is what lets a fork of a fault-free prefix inject a
+        // cell's faults ([`Scenario::inject_faults`]) and still match a
+        // cold run byte for byte.
+        let ops = chaos_ops(&faults, &switches, &phys_links);
+        let chaos = sim.add_agent("chaos", Box::new(ChaosAgent { ops }));
 
         Scenario {
             sim,
@@ -756,8 +837,48 @@ impl ScenarioBuilder {
             expected_switches: n,
             user_hosts,
             workload_handles,
+            chaos,
         }
     }
+}
+
+/// Map a fault schedule onto chaos-agent operations against already
+/// constructed switch agents and physical links. (`ChannelStall` is a
+/// controller-side condition and is handled in the engine
+/// configuration, not here.)
+fn chaos_ops(
+    faults: &[Fault],
+    switches: &[AgentId],
+    phys_links: &[LinkId],
+) -> Vec<(Duration, ChaosOp)> {
+    let switch_of = |node: usize| {
+        *switches.get(node).unwrap_or_else(|| {
+            panic!(
+                "fault references node {node}, topology has {}",
+                switches.len()
+            )
+        })
+    };
+    let link_of = |edge: usize| {
+        *phys_links.get(edge).unwrap_or_else(|| {
+            panic!(
+                "fault references edge {edge}, topology has {}",
+                phys_links.len()
+            )
+        })
+    };
+    faults
+        .iter()
+        .filter_map(|f| match *f {
+            Fault::KillSwitch { node, at } => Some((at, ChaosOp::Kill(switch_of(node)))),
+            Fault::LinkDown { edge, at } => Some((at, ChaosOp::SetLink(link_of(edge), false))),
+            Fault::LinkUp { edge, at } => Some((at, ChaosOp::SetLink(link_of(edge), true))),
+            Fault::LinkLoss { edge, loss_pct, at } => {
+                Some((at, ChaosOp::SetLinkLoss(link_of(edge), loss_pct)))
+            }
+            Fault::ChannelStall { .. } => None,
+        })
+        .collect()
 }
 
 /// Wire one traffic workload into the simulation: real host agents at
@@ -766,7 +887,7 @@ impl ScenarioBuilder {
 /// Returns typed handles for the harvest.
 fn wire_traffic(
     sim: &mut Sim,
-    cfg: &DeploymentConfig,
+    cfg: &ScenarioConfig,
     k: usize,
     tcfg: &TrafficConfig,
     slots: &[usize],
@@ -965,7 +1086,7 @@ fn wire_traffic(
 }
 
 /// Switches whose VM is up, read off the controller agent (shared by
-/// [`Scenario`] and the legacy [`Deployment`] wrapper).
+/// [`Scenario`] and the legacy `Deployment` wrapper).
 pub(crate) fn configured_switches(sim: &Sim, rf_ctrl: AgentId) -> usize {
     sim.agent_as::<ControlPlane>(rf_ctrl)
         .map(|c| c.configured_switches())
@@ -1008,6 +1129,12 @@ pub(crate) fn total_flows(sim: &Sim, switches: &[AgentId]) -> usize {
 
 /// A running experiment: the simulator plus handles to every layer of
 /// the Fig. 2 stack.
+///
+/// `Clone` performs a deep copy of the entire world — kernel event
+/// queue, every agent's state, links, streams and the seeded RNG
+/// mid-stream — which is what [`Scenario::snapshot`] and
+/// [`Scenario::fork`] are built on.
+#[derive(Clone)]
 pub struct Scenario {
     pub sim: Sim,
     pub rf_ctrl: AgentId,
@@ -1025,12 +1152,91 @@ pub struct Scenario {
     /// How many of `host_slots` were declared via `with_host`.
     user_hosts: usize,
     workload_handles: Vec<WorkloadHandle>,
+    /// The always-present fault scheduler (possibly with an empty
+    /// schedule); the fork path injects faults into it.
+    chaos: AgentId,
+}
+
+/// Why [`Scenario::snapshot`] refused to capture at the current
+/// instant. A snapshot is only meaningful at a quiesce point — the
+/// control plane converged and nothing buffered in flight — because a
+/// fork taken mid-transient would bake half-delivered state into every
+/// descendant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Not every switch has turned green yet.
+    NotConverged { configured: usize, expected: usize },
+    /// The controller still holds queued channel output (a FIB batch
+    /// waiting out its tick, a deferral backlog, credit-capped
+    /// messages). Run further — e.g. another
+    /// [`Scenario::run_until`] slice — and retry; snapshotting never
+    /// force-drains, because a drain mutates the very state being
+    /// captured.
+    UndrainedChannels { queued: usize },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            SnapshotError::NotConverged {
+                configured,
+                expected,
+            } => write!(
+                f,
+                "scenario not converged: {configured}/{expected} switches configured"
+            ),
+            SnapshotError::UndrainedChannels { queued } => {
+                write!(f, "controller holds {queued} undrained channel message(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Why [`Scenario::inject_faults`] refused a fault.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ForkError {
+    /// The fault's (first) effect is not strictly after the fork
+    /// point; a cold run would already have dispatched it, so the fork
+    /// could never match.
+    FaultNotAfterFork { at: Duration, now: Time },
+}
+
+impl std::fmt::Display for ForkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ForkError::FaultNotAfterFork { at, now } => write!(
+                f,
+                "fault at {at:?} is not strictly after the fork point {now}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ForkError {}
+
+/// A deep capture of a converged [`Scenario`], taken by
+/// [`Scenario::snapshot`]. Fork as many divergent continuations from
+/// it as you like with [`Scenario::fork`]; the snapshot itself stays
+/// immutable.
+#[derive(Clone)]
+pub struct Snapshot {
+    scenario: Scenario,
+    taken_at: Time,
+}
+
+impl Snapshot {
+    /// Simulated time at which the capture was taken.
+    pub fn taken_at(&self) -> Time {
+        self.taken_at
+    }
 }
 
 impl Scenario {
     /// Start building a scenario on `topology`.
     pub fn on(topology: Topology) -> ScenarioBuilder {
-        ScenarioBuilder::from_deployment_config(DeploymentConfig::new(topology))
+        ScenarioBuilder::from_config(ScenarioConfig::new(topology))
     }
 
     /// Start building a scenario on a typed topology spec — anything
@@ -1083,6 +1289,111 @@ impl Scenario {
         total_flows(&self.sim, &self.switches)
     }
 
+    /// Capture the whole world — kernel queue, agents, streams, RNG —
+    /// at the current instant, for later [`Scenario::fork`]s.
+    ///
+    /// ## Quiesce contract
+    ///
+    /// The capture is refused (typed, not panicking) unless the
+    /// scenario is at a quiesce point:
+    ///
+    /// * every switch is configured ([`SnapshotError::NotConverged`]
+    ///   otherwise) — forks diverge *after* the shared convergence
+    ///   prefix, never during it;
+    /// * the controller's channel queues are empty
+    ///   ([`SnapshotError::UndrainedChannels`] otherwise) — a buffered
+    ///   tail batch would be replayed into every fork from a state the
+    ///   producer apps no longer agree with. Snapshotting never
+    ///   force-drains; run further and retry instead.
+    ///
+    /// Pending *timers* (probes, hellos, workload arrivals) are part of
+    /// the capture — they must be, for forks to continue the run
+    /// rather than restart it.
+    pub fn snapshot(&self) -> Result<Snapshot, SnapshotError> {
+        let configured = self.configured_switches();
+        if self.all_configured_at().is_none() {
+            return Err(SnapshotError::NotConverged {
+                configured,
+                expected: self.expected_switches,
+            });
+        }
+        let queued = self.controller().channel_queued();
+        if queued > 0 {
+            return Err(SnapshotError::UndrainedChannels { queued });
+        }
+        Ok(Snapshot {
+            scenario: self.clone(),
+            taken_at: self.sim.now(),
+        })
+    }
+
+    /// Resume a fresh, independent scenario from a [`Snapshot`]. The
+    /// fork continues exactly where the capture stopped — same pending
+    /// events, same RNG stream position — so a fork that receives no
+    /// further intervention behaves byte-identically to the captured
+    /// run continuing. Diverge it with [`Scenario::inject_faults`] or
+    /// any other mutation.
+    pub fn fork(snapshot: &Snapshot) -> Scenario {
+        snapshot.scenario.clone()
+    }
+
+    /// Schedule `faults` into a running (typically just-forked)
+    /// scenario, exactly as if they had been declared on the builder:
+    /// data-plane faults go to the resident chaos agent through the
+    /// event queue's reserved lane (so dispatch order at each fault
+    /// instant matches a cold run that armed the same schedule at t=0),
+    /// and [`Fault::ChannelStall`] windows are appended to the
+    /// controller's configuration.
+    ///
+    /// Every fault's first effect (`at`, or `from` for a stall) must
+    /// lie strictly after the current instant — a cold run would
+    /// already have dispatched anything earlier, so such a fork could
+    /// never match one. Nothing is scheduled unless all faults pass.
+    pub fn inject_faults(&mut self, faults: &[Fault]) -> Result<(), ForkError> {
+        let now = self.sim.now();
+        for f in faults {
+            let effective = match *f {
+                Fault::KillSwitch { at, .. }
+                | Fault::LinkDown { at, .. }
+                | Fault::LinkUp { at, .. }
+                | Fault::LinkLoss { at, .. } => at,
+                Fault::ChannelStall { from, until, .. } => {
+                    assert!(from < until, "stall window must be non-empty");
+                    from
+                }
+            };
+            if Time::ZERO + effective <= now {
+                return Err(ForkError::FaultNotAfterFork { at: effective, now });
+            }
+        }
+
+        let ops = chaos_ops(faults, &self.switches, &self.phys_links);
+        let base = {
+            let chaos = self
+                .sim
+                .agent_as_mut::<ChaosAgent>(self.chaos)
+                .expect("chaos agent alive");
+            let base = chaos.ops.len();
+            chaos.ops.extend(ops.iter().cloned());
+            base
+        };
+        for (i, (at, _)) in ops.iter().enumerate() {
+            let delay = Duration::from_nanos((Time::ZERO + *at).as_nanos() - now.as_nanos());
+            self.sim
+                .schedule_timer_reserved(self.chaos, delay, (base + i) as u64);
+        }
+
+        for f in faults {
+            if let Fault::ChannelStall { dpid, from, until } = *f {
+                self.sim
+                    .agent_as_mut::<ControlPlane>(self.rf_ctrl)
+                    .expect("controller agent alive")
+                    .add_channel_stall(ChannelStallWindow { dpid, from, until });
+            }
+        }
+        Ok(())
+    }
+
     /// Drain the controller's buffered output so a harvest observes a
     /// settled control plane: a FIB batch waiting out its 50 ms tick,
     /// a deferral backlog mid-retry, or a credit-capped channel queue
@@ -1113,17 +1424,32 @@ impl Scenario {
         }
     }
 
-    /// Snapshot the scenario's typed metrics. Drains buffered
-    /// controller output first (see [`Scenario::drain_pending_output`])
-    /// so short cells cannot under-report their own FLOW_MODs.
-    pub fn metrics(&mut self) -> ScenarioMetrics {
+    /// Finish the measurement: drain buffered controller output (see
+    /// [`Scenario::drain_pending_output`]) and harvest the scenario's
+    /// typed metrics. The drain *advances the simulation* a bounded
+    /// amount, so short cells cannot under-report their own FLOW_MODs
+    /// — which also means `finish()` is a terminal read: never take a
+    /// [`Scenario::snapshot`] after it, the drain ticks it fired are
+    /// not part of any cold run. For a non-mutating mid-run probe use
+    /// [`Scenario::peek_metrics`].
+    pub fn finish(&mut self) -> ScenarioMetrics {
         self.drain_pending_output();
-        self.metrics_undrained()
+        self.peek_metrics()
     }
 
-    /// The raw snapshot, without the tail drain (for callers probing
-    /// mid-run state).
-    pub fn metrics_undrained(&self) -> ScenarioMetrics {
+    /// Renamed to [`Scenario::finish`] (the name now says that it
+    /// mutates: the pre-harvest drain advances the simulation).
+    #[deprecated(note = "renamed to Scenario::finish")]
+    pub fn metrics(&mut self) -> ScenarioMetrics {
+        self.finish()
+    }
+
+    /// Read the scenario's typed metrics as they stand, without the
+    /// tail drain: pure observation, no simulation step, safe at any
+    /// instant (including just before a [`Scenario::snapshot`]). A
+    /// FIB batch still waiting out its tick or a deferral backlog
+    /// mid-retry is simply not counted yet.
+    pub fn peek_metrics(&self) -> ScenarioMetrics {
         let ctrl = self.controller();
         ScenarioMetrics {
             expected_switches: self.expected_switches,
@@ -1142,6 +1468,12 @@ impl Scenario {
             of_dropped: ctrl.of_dropped(),
             of_queue_hwm: ctrl.of_queue_hwm(),
         }
+    }
+
+    /// Renamed to [`Scenario::peek_metrics`].
+    #[deprecated(note = "renamed to Scenario::peek_metrics")]
+    pub fn metrics_undrained(&self) -> ScenarioMetrics {
+        self.peek_metrics()
     }
 
     /// Harvest each workload's measurements, in `with_workload` order.
@@ -1218,9 +1550,12 @@ impl Scenario {
             .collect()
     }
 
-    /// Tear the scenario down into the legacy [`Deployment`] shape.
-    pub fn into_deployment(self) -> Deployment {
-        Deployment {
+    /// Tear the scenario down into the legacy
+    /// [`crate::bootstrap::Deployment`] shape.
+    #[deprecated(note = "use Scenario directly; Deployment is a compatibility shim")]
+    #[allow(deprecated)]
+    pub fn into_deployment(self) -> crate::bootstrap::Deployment {
+        crate::bootstrap::Deployment {
             sim: self.sim,
             rf_ctrl: self.rf_ctrl,
             topo_ctrl: self.topo_ctrl,

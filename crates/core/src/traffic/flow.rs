@@ -417,6 +417,7 @@ impl Core {
 
 /// The flow-level traffic engine: a single agent driving the whole
 /// workload on timers, with no host stacks and no frames.
+#[derive(Clone)]
 pub struct FlowLevelEngine {
     core: Core,
 }

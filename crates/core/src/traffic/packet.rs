@@ -50,7 +50,7 @@ fn read_u64(p: &Bytes, at: usize) -> u64 {
 
 /// Shared sink-side accounting: per-flow reassembly, completion times
 /// for bounded flows, per-frame latency for paced streams.
-#[derive(Default)]
+#[derive(Default, Clone)]
 struct SinkCore {
     flows: HashMap<u64, FlowRx>,
     delivered_bytes: u64,
@@ -60,6 +60,7 @@ struct SinkCore {
     frame_latency_ns: Vec<u64>,
 }
 
+#[derive(Clone)]
 struct FlowRx {
     total: u64,
     received: u64,
@@ -164,6 +165,7 @@ fn blast(
 
 /// Request/response client: draws arrivals from its seeded stream,
 /// asks the server for each response flow, and sinks the data.
+#[derive(Clone)]
 pub struct TrafficClient {
     stack: HostStack,
     server: Ipv4Addr,
@@ -260,6 +262,7 @@ impl Agent for TrafficClient {
 
 /// Request/response server: answers each request by blasting the
 /// requested number of bytes back at the asking client.
+#[derive(Clone)]
 pub struct TrafficServer {
     stack: HostStack,
     start_at: Duration,
@@ -322,6 +325,7 @@ impl Agent for TrafficServer {
 }
 
 /// Incast sender: blasts one drawn flow at the receiver per wave.
+#[derive(Clone)]
 pub struct IncastSender {
     stack: HostStack,
     receiver: Ipv4Addr,
@@ -413,6 +417,7 @@ impl Agent for IncastSender {
 /// Paced source: one full-chunk frame per destination per tick — CBR
 /// unicast with a single destination, multicast fan-out with many
 /// (replication happens at this source's access link, SRMCA-style).
+#[derive(Clone)]
 pub struct PacedSource {
     stack: HostStack,
     dsts: Vec<Ipv4Addr>,
@@ -502,6 +507,7 @@ impl Agent for PacedSource {
 }
 
 /// Pure sink: receives data frames and accounts for them.
+#[derive(Clone)]
 pub struct TrafficSink {
     stack: HostStack,
     sink: SinkCore,

@@ -1,0 +1,219 @@
+//! The converged-state checkpoint/fork contract at scenario level:
+//! quiesce-point preconditions are typed errors (never force-drains,
+//! never panics), past faults are refused at injection, and a fork
+//! continues byte-identically to the captured run — with or without
+//! divergent faults. The matrix-level byte-identity contract rides on
+//! these in `tests/matrix_sweeps.rs`.
+
+use rf_core::scenario::{Fault, ForkError, Scenario, SnapshotError};
+use rf_sim::Time;
+use rf_topo::ring;
+use std::time::Duration;
+
+/// Run to convergence, then step in 100 ms slices until the snapshot
+/// is accepted (a FIB batch waiting out its tick refuses the capture;
+/// the matrix's fork path probes the same way).
+fn converge_and_snapshot(sc: &mut Scenario) -> rf_core::scenario::Snapshot {
+    sc.run_until_configured(Time::from_secs(120))
+        .expect("ring-4 converges");
+    loop {
+        match sc.snapshot() {
+            Ok(s) => return s,
+            Err(SnapshotError::UndrainedChannels { .. }) => {
+                let t = sc.sim.now() + Duration::from_millis(100);
+                sc.run_until(t);
+            }
+            Err(e) => panic!("unexpected snapshot refusal: {e}"),
+        }
+    }
+}
+
+#[test]
+fn snapshot_before_convergence_is_a_typed_refusal() {
+    let mut sc = Scenario::on(ring(4)).fast_timers().seed(3).start();
+    sc.run_until(Time::from_millis(500));
+    match sc.snapshot() {
+        Err(SnapshotError::NotConverged {
+            configured,
+            expected,
+        }) => {
+            assert_eq!(expected, 4);
+            assert!(configured < 4, "nothing converges in 500 ms");
+        }
+        Err(e) => panic!("expected NotConverged, got {e:?}"),
+        Ok(_) => panic!("expected NotConverged, got a capture"),
+    }
+}
+
+#[test]
+fn snapshot_never_force_drains_queued_channel_output() {
+    // A credit-capped (capacity 1), batch-8 channel on ring-6 holds
+    // queued FLOW_MODs for a stretch shortly after the configured
+    // instant, while the routed burst squeezes through one credit at a
+    // time. Captures attempted inside that stretch must be refused
+    // with the queue depth — and the refusal must be a pure
+    // observation: asking twice yields the same answer, and the
+    // backlog drains on its own schedule, after which the same call
+    // succeeds.
+    let mut sc = Scenario::on(ring(6))
+        .fast_timers()
+        .seed(3)
+        .channel_capacity(1)
+        .fib_batch(8)
+        .start();
+    sc.run_until_configured(Time::from_secs(120))
+        .expect("a capacity-1 Defer channel still converges");
+    let mut saw_refusal = false;
+    for _ in 0..100 {
+        match sc.snapshot() {
+            Ok(_) => {}
+            Err(SnapshotError::UndrainedChannels { queued }) => {
+                assert!(queued > 0);
+                // Pure observation: an immediate retry sees the exact
+                // same state, nothing was drained to answer.
+                assert_eq!(
+                    sc.snapshot().err(),
+                    Some(SnapshotError::UndrainedChannels { queued })
+                );
+                saw_refusal = true;
+            }
+            Err(e) => panic!("unexpected snapshot refusal: {e}"),
+        }
+        let t = sc.sim.now() + Duration::from_millis(50);
+        sc.run_until(t);
+    }
+    assert!(
+        saw_refusal,
+        "the credit-capped burst must refuse at least one capture"
+    );
+    assert!(
+        sc.snapshot().is_ok(),
+        "once the backlog drains the capture succeeds"
+    );
+}
+
+#[test]
+fn inject_faults_refuses_past_faults_atomically() {
+    let mut sc = Scenario::on(ring(4)).fast_timers().seed(3).start();
+    let snap = converge_and_snapshot(&mut sc);
+    let now = snap.taken_at();
+    let mut fork = Scenario::fork(&snap);
+
+    // One future fault, one already-elapsed fault: the batch is
+    // refused naming the elapsed one, and *nothing* is scheduled.
+    let past = Duration::from_secs(1);
+    let err = fork
+        .inject_faults(&[
+            Fault::KillSwitch {
+                node: 1,
+                at: Duration::from_secs(600),
+            },
+            Fault::KillSwitch { node: 2, at: past },
+        ])
+        .unwrap_err();
+    assert_eq!(err, ForkError::FaultNotAfterFork { at: past, now });
+
+    // The refused batch left no trace: the fork still matches the
+    // captured run continuing undisturbed.
+    let mut undisturbed = Scenario::fork(&snap);
+    let horizon = now + Duration::from_secs(30);
+    fork.run_until(horizon);
+    undisturbed.run_until(horizon);
+    assert_eq!(
+        format!("{:?}", fork.peek_metrics()),
+        format!("{:?}", undisturbed.peek_metrics()),
+        "a refused injection must not perturb the fork"
+    );
+}
+
+#[test]
+fn unforked_continuation_matches_the_original_run() {
+    // Fork with no intervention ≡ the captured scenario continuing:
+    // same pending timers, same RNG stream position, same metrics at
+    // every later instant.
+    let mut sc = Scenario::on(ring(4)).fast_timers().seed(3).start();
+    let snap = converge_and_snapshot(&mut sc);
+    let mut fork = Scenario::fork(&snap);
+    let horizon = snap.taken_at() + Duration::from_secs(40);
+    sc.run_until(horizon);
+    fork.run_until(horizon);
+    assert_eq!(
+        format!("{:?}", sc.peek_metrics()),
+        format!("{:?}", fork.peek_metrics())
+    );
+    assert_eq!(sc.total_flows(), fork.total_flows());
+}
+
+#[test]
+fn forked_fault_run_matches_the_cold_run_with_the_same_schedule() {
+    // The tentpole equivalence in miniature: declaring a kill at build
+    // time and injecting the same kill into a fork of the fault-free
+    // prefix must be observationally identical — same recovery, same
+    // flow tables, same metrics.
+    let kill_at = Duration::from_secs(25);
+    let horizon = Time::from_secs(50);
+
+    let mut cold = Scenario::on(ring(4))
+        .fast_timers()
+        .seed(3)
+        .with_faults([Fault::KillSwitch {
+            node: 1,
+            at: kill_at,
+        }])
+        .start();
+    cold.run_until(horizon);
+
+    let mut prefix = Scenario::on(ring(4)).fast_timers().seed(3).start();
+    let snap = converge_and_snapshot(&mut prefix);
+    assert!(
+        snap.taken_at() < Time::ZERO + kill_at,
+        "the capture must precede the divergence point"
+    );
+    let mut fork = Scenario::fork(&snap);
+    fork.inject_faults(&[Fault::KillSwitch {
+        node: 1,
+        at: kill_at,
+    }])
+    .expect("a strictly-future fault injects");
+    fork.run_until(horizon);
+
+    assert_eq!(
+        format!("{:?}", cold.peek_metrics()),
+        format!("{:?}", fork.peek_metrics()),
+        "fork-injected kill must be indistinguishable from a cold-declared one"
+    );
+    assert_eq!(cold.total_flows(), fork.total_flows());
+}
+
+#[test]
+fn many_forks_from_one_snapshot_are_independent() {
+    // The snapshot is immutable: fork twice, disturb one, and the
+    // other still matches the undisturbed continuation.
+    let mut sc = Scenario::on(ring(4)).fast_timers().seed(3).start();
+    let snap = converge_and_snapshot(&mut sc);
+    let horizon = snap.taken_at() + Duration::from_secs(35);
+
+    let mut disturbed = Scenario::fork(&snap);
+    disturbed
+        .inject_faults(&[Fault::KillSwitch {
+            node: 1,
+            at: Duration::from_secs(25),
+        }])
+        .unwrap();
+    disturbed.run_until(horizon);
+
+    let mut calm = Scenario::fork(&snap);
+    calm.run_until(horizon);
+    sc.run_until(horizon);
+
+    assert_eq!(
+        format!("{:?}", sc.peek_metrics()),
+        format!("{:?}", calm.peek_metrics()),
+        "the calm fork must not see the disturbed fork's kill"
+    );
+    assert_ne!(
+        format!("{:?}", calm.peek_metrics()),
+        format!("{:?}", disturbed.peek_metrics()),
+        "the kill must actually change the disturbed fork"
+    );
+}

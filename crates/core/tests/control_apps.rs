@@ -11,6 +11,7 @@ use std::sync::{Arc, Mutex};
 
 /// Records a compact tag for every event it sees, into a log shared
 /// with the test.
+#[derive(Clone)]
 struct Recorder {
     log: Arc<Mutex<Vec<String>>>,
     tag: &'static str,
@@ -55,6 +56,7 @@ impl ControlApp for Recorder {
 /// A custom app exercising the full extension surface: it watches for
 /// switches coming up, raises a follow-up event, and counts FIB
 /// traffic — without touching any rf-core internals.
+#[derive(Clone)]
 struct Auditor {
     log: Arc<Mutex<Vec<String>>>,
     fib_adds: Arc<Mutex<u64>>,

@@ -77,6 +77,7 @@ pub enum DiscoveryEvent {
     },
 }
 
+#[derive(Clone)]
 struct Session {
     reader: MessageReader,
     dpid: Option<u64>,
@@ -90,6 +91,7 @@ struct Session {
 
 /// The topology controller: LLDP discovery plus configuration-message
 /// generation.
+#[derive(Clone)]
 pub struct TopologyController {
     cfg: TopologyControllerConfig,
     sessions: HashMap<ConnId, Session>,

@@ -33,7 +33,7 @@ impl UndirectedLink {
 
 /// Tracks directed observations, derives undirected link up/down
 /// events, and ages out silent links.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct LinkDb {
     /// Directed observation → last time a probe confirmed it.
     observations: HashMap<DirectedLink, Time>,

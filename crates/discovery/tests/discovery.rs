@@ -115,6 +115,7 @@ fn dead_switch_is_removed_with_its_links() {
         4
     );
     // Kill via a spawned one-shot agent.
+    #[derive(Clone)]
     struct Killer(rf_sim::AgentId);
     impl rf_sim::Agent for Killer {
         fn on_start(&mut self, ctx: &mut rf_sim::Ctx<'_>) {

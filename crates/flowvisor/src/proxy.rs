@@ -38,6 +38,7 @@ impl FlowVisorConfig {
     }
 }
 
+#[derive(Clone)]
 struct Upstream {
     conn: Option<ConnId>,
     ready: bool,
@@ -46,6 +47,7 @@ struct Upstream {
     pending_features: Vec<u32>,
 }
 
+#[derive(Clone)]
 struct SwitchSession {
     conn: ConnId,
     reader: MessageReader,
@@ -62,6 +64,7 @@ enum Role {
 
 /// The FlowVisor agent: one per deployment, proxying any number of
 /// switches to a fixed set of slice controllers.
+#[derive(Clone)]
 pub struct FlowVisor {
     cfg: FlowVisorConfig,
     switches: Vec<SwitchSession>,

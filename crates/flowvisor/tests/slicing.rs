@@ -13,7 +13,7 @@ use std::net::Ipv4Addr;
 use std::time::Duration;
 
 /// A slice controller that performs the handshake and records traffic.
-#[derive(Default)]
+#[derive(Default, Clone)]
 struct SliceController {
     service: u16,
     conns: Vec<(ConnId, MessageReader)>,
@@ -73,6 +73,7 @@ impl Agent for SliceController {
 }
 
 /// Injects a frame into the switch's data port at a given time.
+#[derive(Clone)]
 struct Injector {
     frame: Bytes,
     at: Duration,

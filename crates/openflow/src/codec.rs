@@ -30,7 +30,7 @@ pub fn reframe_with_xid(raw: &Bytes, xid: u32) -> Bytes {
 /// falls back to the accumulation buffer (`buf`), which pays the
 /// copies exactly as the old single-buffer reader did. The observable
 /// message sequence is identical either way.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct MessageReader {
     /// Unconsumed tail of the most recent chunk (fast path). Invariant:
     /// non-empty only while `buf` is empty.

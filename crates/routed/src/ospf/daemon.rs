@@ -40,6 +40,7 @@ pub enum OspfEvent {
 /// `handle_packet` consults the table several times per received
 /// packet, so flat scans beat tree walks; iteration order (ascending
 /// ifindex) is identical to the `BTreeMap` this replaces.
+#[derive(Clone)]
 struct IfaceTable {
     entries: Vec<(u16, Iface)>,
 }
@@ -118,6 +119,7 @@ impl<'a> IntoIterator for &'a IfaceTable {
     }
 }
 
+#[derive(Clone)]
 struct Iface {
     addr: Ipv4Cidr,
     cost: u16,
@@ -132,6 +134,7 @@ struct Iface {
 }
 
 /// The OSPF daemon for one router.
+#[derive(Clone)]
 pub struct OspfDaemon {
     router_id: u32,
     hello_interval: Duration,

@@ -19,7 +19,7 @@ pub enum NeighborState {
 }
 
 /// Per-neighbor adjacency state.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Neighbor {
     /// The neighbor's router id.
     pub id: u32,

@@ -88,7 +88,7 @@ fn key(p: Ipv4Cidr) -> PrefixKey {
 }
 
 /// The routing information base.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct Rib {
     /// All candidate routes per prefix.
     candidates: BTreeMap<PrefixKey, Vec<Route>>,

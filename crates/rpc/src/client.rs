@@ -41,6 +41,7 @@ impl RpcClientConfig {
     }
 }
 
+#[derive(Clone)]
 struct Pending {
     req_id: u64,
     request: RpcRequest,
@@ -53,6 +54,7 @@ struct Pending {
 /// from the topology controller (req_ids assigned by the client are
 /// authoritative; upstream ids are remapped). Downstream: dials the RPC
 /// server on [`RPC_SERVER_SERVICE`].
+#[derive(Clone)]
 pub struct RpcClientAgent {
     cfg: RpcClientConfig,
     upstream_readers: Vec<(ConnId, RpcFrameReader)>,

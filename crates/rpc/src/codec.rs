@@ -77,7 +77,7 @@ pub fn decode_envelope(mut data: &[u8]) -> Result<Envelope, RpcError> {
 }
 
 /// Incremental frame reassembler for the RPC stream.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct RpcFrameReader {
     /// Unconsumed tail of the last chunk (zero-copy fast path);
     /// non-empty only while `buf` is empty.

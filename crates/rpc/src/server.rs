@@ -16,7 +16,7 @@ use std::collections::HashSet;
 /// duplicates by request id so the combination is exactly-once from the
 /// configuration logic's point of view (duplicates are re-acked but not
 /// re-delivered).
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct RpcServerEndpoint {
     reader: RpcFrameReader,
     seen: HashSet<u64>,

@@ -77,6 +77,30 @@ impl Default for ConnProfile {
     }
 }
 
+/// Object-safe cloning for boxed agents. Implemented automatically for
+/// every `Agent + Clone` type via the blanket impl below, so agent
+/// authors only write `#[derive(Clone)]` — the trait itself is an
+/// implementation detail of `Box<dyn Agent>: Clone`, which is what
+/// makes a whole [`Sim`] deep-copyable for checkpoint/fork.
+pub trait CloneAgent {
+    fn clone_agent(&self) -> Box<dyn Agent>;
+}
+
+impl<T> CloneAgent for T
+where
+    T: 'static + Agent + Clone,
+{
+    fn clone_agent(&self) -> Box<dyn Agent> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn Agent> {
+    fn clone(&self) -> Self {
+        self.clone_agent()
+    }
+}
+
 /// Behaviour of a simulated network element.
 ///
 /// All methods have empty defaults so implementations only override the
@@ -84,9 +108,11 @@ impl Default for ConnProfile {
 /// downcast agents back to their concrete types via [`Sim::agent_as`].
 /// The `Send` supertrait makes a fully assembled [`Sim`] movable across
 /// threads, which is what lets scenario sweeps fan independent
-/// simulations out over worker threads.
+/// simulations out over worker threads. The [`CloneAgent`] supertrait
+/// (satisfied by deriving `Clone`) makes the assembled [`Sim`] deep
+/// *clonable* too — the substrate of converged-state checkpoint/fork.
 #[allow(unused_variables)]
-pub trait Agent: Any + Send {
+pub trait Agent: Any + Send + CloneAgent {
     /// Called once, when the agent enters the simulation.
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {}
     /// A timer scheduled via [`Ctx::schedule`] fired.
@@ -118,7 +144,7 @@ impl Default for SimConfig {
     }
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum Ev {
     Start(AgentId),
     Timer {
@@ -151,6 +177,7 @@ struct LinkEnd {
     port: u32,
 }
 
+#[derive(Clone)]
 struct LinkState {
     a: LinkEnd,
     b: LinkEnd,
@@ -161,6 +188,7 @@ struct LinkState {
     removed: bool,
 }
 
+#[derive(Clone)]
 struct ConnState {
     ends: [AgentId; 2],
     service: u16,
@@ -172,6 +200,7 @@ struct ConnState {
 
 /// Everything in the simulation except the agent table; [`Ctx`] borrows
 /// this during dispatch.
+#[derive(Clone)]
 pub(crate) struct Inner {
     now: Time,
     queue: EventQueue<Ev>,
@@ -474,6 +503,25 @@ impl<'a> Ctx<'a> {
         );
     }
 
+    /// Fire `on_timer(token)` after `delay`, in the event queue's
+    /// *reserved* lane: the timer dispatches before every ordinarily
+    /// scheduled event at the same instant, and reserved timers order
+    /// among themselves by scheduling order — independent of *when*
+    /// they were scheduled. Harness-level injectors (fault schedules
+    /// that must order identically whether armed at t=0 or injected
+    /// into a forked simulation mid-run) use this; protocol agents
+    /// should use [`schedule`](Self::schedule).
+    pub fn schedule_reserved(&mut self, delay: Duration, token: u64) {
+        let at = self.inner.now + delay;
+        self.inner.queue.push_reserved(
+            at,
+            Ev::Timer {
+                agent: self.id,
+                token,
+            },
+        );
+    }
+
     /// Fire `on_timer(token)` at absolute time `at` (clamped to now).
     pub fn schedule_at(&mut self, at: Time, token: u64) {
         let at = at.max(self.inner.now);
@@ -586,6 +634,12 @@ impl<'a> Ctx<'a> {
 }
 
 /// A complete simulation instance.
+///
+/// `Clone` is a *deep copy*: the agent table (via [`CloneAgent`]), the
+/// event queue with its exact `(time, seq)` order and sequence counter,
+/// link/port/connection state, the RNG mid-stream, and the tracer all
+/// duplicate, so the copy replays byte-identically to the original.
+#[derive(Clone)]
 pub struct Sim {
     agents: Vec<Option<Box<dyn Agent>>>,
     inner: Inner,
@@ -659,6 +713,20 @@ impl Sim {
     pub fn schedule_timer(&mut self, agent: AgentId, delay: Duration, token: u64) {
         let at = self.inner.now + delay;
         self.inner.queue.push(at, Ev::Timer { agent, token });
+    }
+
+    /// Like [`schedule_timer`](Self::schedule_timer), but in the event
+    /// queue's reserved lane (see [`Ctx::schedule_reserved`]): the
+    /// timer dispatches before every ordinarily scheduled event at the
+    /// same instant, ordered among reserved timers by scheduling order.
+    /// This is the fork-side fault-injection hook — a fault timer
+    /// injected into a cloned simulation lands in exactly the dispatch
+    /// position it would have had if armed at t=0 in a cold run.
+    pub fn schedule_timer_reserved(&mut self, agent: AgentId, delay: Duration, token: u64) {
+        let at = self.inner.now + delay;
+        self.inner
+            .queue
+            .push_reserved(at, Ev::Timer { agent, token });
     }
 
     pub fn now(&self) -> Time {
@@ -860,7 +928,7 @@ mod tests {
     use std::time::Duration;
 
     /// Agent that records everything it sees.
-    #[derive(Default)]
+    #[derive(Clone, Default)]
     struct Probe {
         timers: Vec<(Time, u64)>,
         frames: Vec<(Time, u32, Bytes)>,
@@ -907,6 +975,7 @@ mod tests {
     }
 
     /// Agent that sends a frame at start.
+    #[derive(Clone)]
     struct Sender {
         port: u32,
         payload: Bytes,
@@ -927,7 +996,71 @@ mod tests {
     }
 
     #[test]
+    fn sim_is_clone() {
+        // Checkpoint/fork deep-copies whole simulations; a non-Clone
+        // field sneaking into the kernel must fail here, not at the
+        // distant Scenario::snapshot site.
+        fn assert_clone<T: Clone>() {}
+        assert_clone::<Sim>();
+    }
+
+    #[test]
+    fn cloned_sim_replays_identically() {
+        // Clone mid-run, then drive both copies to completion: same
+        // delivery schedule, same event count, same RNG draws (the link
+        // is lossy, so divergent RNG state would change what arrives).
+        fn harvest(sim: &Sim, b: AgentId) -> (Vec<(Time, u32)>, u64) {
+            (
+                sim.agent_as::<Probe>(b)
+                    .unwrap()
+                    .frames
+                    .iter()
+                    .map(|(t, p, _)| (*t, *p))
+                    .collect(),
+                sim.events_dispatched(),
+            )
+        }
+        #[derive(Clone)]
+        struct Sprayer {
+            left: u32,
+        }
+        impl Agent for Sprayer {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.schedule(Duration::from_millis(10), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+                if self.left > 0 {
+                    self.left -= 1;
+                    ctx.send_frame(1, Bytes::from(vec![0u8; 64]));
+                    ctx.schedule(Duration::from_millis(10), 0);
+                }
+            }
+        }
+        let mut sim = Sim::new(SimConfig {
+            seed: 99,
+            ..Default::default()
+        });
+        let a = sim.add_agent("a", Box::new(Sprayer { left: 40 }));
+        let b = sim.add_agent("b", Box::new(Probe::default()));
+        sim.add_link(
+            (a, 1),
+            (b, 1),
+            LinkProfile {
+                latency: Duration::from_millis(3),
+                bandwidth_bps: 10_000_000,
+                faults: crate::link::FaultProfile::lossy(50.0),
+            },
+        );
+        sim.run_until(Time::from_millis(200));
+        let mut fork = sim.clone();
+        sim.run();
+        fork.run();
+        assert_eq!(harvest(&sim, b), harvest(&fork, b));
+    }
+
+    #[test]
     fn timer_fires_at_right_time() {
+        #[derive(Clone)]
         struct T;
         impl Agent for T {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -971,6 +1104,7 @@ mod tests {
 
     #[test]
     fn bandwidth_serializes_back_to_back_frames() {
+        #[derive(Clone)]
         struct Burst;
         impl Agent for Burst {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -1001,6 +1135,7 @@ mod tests {
 
     #[test]
     fn stream_handshake_and_data() {
+        #[derive(Clone)]
         struct Dialer {
             peer: AgentId,
             log: Vec<String>,
@@ -1044,6 +1179,7 @@ mod tests {
 
     #[test]
     fn connect_to_non_listener_is_refused() {
+        #[derive(Clone)]
         struct Dialer {
             peer: AgentId,
             refused: bool,
@@ -1073,6 +1209,7 @@ mod tests {
 
     #[test]
     fn stream_data_is_in_order() {
+        #[derive(Clone)]
         struct Blast {
             peer: AgentId,
         }
@@ -1110,6 +1247,7 @@ mod tests {
 
     #[test]
     fn spawn_at_runtime_starts_agent() {
+        #[derive(Clone)]
         struct Spawner;
         impl Agent for Spawner {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -1127,6 +1265,7 @@ mod tests {
 
     #[test]
     fn kill_closes_peer_connections() {
+        #[derive(Clone)]
         struct Killer {
             victim: AgentId,
         }
@@ -1177,6 +1316,7 @@ mod tests {
 
     #[test]
     fn run_until_stops_at_time() {
+        #[derive(Clone)]
         struct Ticker;
         impl Agent for Ticker {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -1195,6 +1335,7 @@ mod tests {
 
     #[test]
     fn max_time_caps_run() {
+        #[derive(Clone)]
         struct Ticker;
         impl Agent for Ticker {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -1351,6 +1492,7 @@ mod tests {
 
     #[test]
     fn stop_sim_halts_immediately() {
+        #[derive(Clone)]
         struct Stopper;
         impl Agent for Stopper {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {

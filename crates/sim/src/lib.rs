@@ -31,6 +31,7 @@
 //! use rf_sim::{Sim, Agent, Ctx, SimConfig};
 //! use std::time::Duration;
 //!
+//! #[derive(Clone)]
 //! struct Echo;
 //! impl Agent for Echo {
 //!     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -54,7 +55,9 @@ pub mod queue;
 pub mod time;
 pub mod trace;
 
-pub use kernel::{Agent, AgentId, ConnId, ConnProfile, Ctx, LinkId, Sim, SimConfig, StreamEvent};
+pub use kernel::{
+    Agent, AgentId, CloneAgent, ConnId, ConnProfile, Ctx, LinkId, Sim, SimConfig, StreamEvent,
+};
 pub use link::{FaultProfile, LinkProfile};
 pub use time::Time;
 pub use trace::{KernelCounter, TraceEvent, TraceLevel, Tracer};

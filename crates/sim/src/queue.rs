@@ -48,7 +48,17 @@ const MAX_WHEEL_SLOTS: usize = 8192;
 /// The wheel's maximum window width: ≈ 2.15 s of simulated time.
 const WHEEL_SPAN: u64 = (MAX_WHEEL_SLOTS as u64) << SLOT_NS_SHIFT;
 
+/// Sequence numbers below this bound are handed out by
+/// [`EventQueue::push_reserved`]; ordinary pushes start above it. A
+/// reserved entry therefore sorts *before* every ordinary entry at the
+/// same instant, no matter when either was scheduled — which is what
+/// lets a forked scenario inject a fault timer mid-run and still match
+/// a cold run that scheduled the same timer at t=0 (see
+/// `rf-core::scenario::Snapshot`).
+const RESERVED_SEQS: u64 = 1 << 32;
+
 /// An entry in the event queue. `T` is the kernel's event payload.
+#[derive(Clone)]
 struct Entry<T> {
     at: Time,
     seq: u64,
@@ -90,6 +100,7 @@ enum Loc {
 /// `sorted` holds, so the minimum pops from the back in O(1). A push
 /// that lands out of order just clears the flag; the next read
 /// re-sorts once.
+#[derive(Clone)]
 struct Slot<T> {
     entries: Vec<Entry<T>>,
     sorted: bool,
@@ -106,6 +117,7 @@ impl<T> Slot<T> {
 }
 
 /// Deterministic future-event list (tick wheel + overflow heap).
+#[derive(Clone)]
 pub struct EventQueue<T> {
     /// Near-future buckets, indexed by
     /// `(at >> SLOT_NS_SHIFT) % wheel.len()`. The length is a power of
@@ -126,6 +138,9 @@ pub struct EventQueue<T> {
     /// minimum (compared directly), a pop invalidates it.
     cached_min: Option<(Time, u64, Loc)>,
     next_seq: u64,
+    /// Next sequence in the reserved (always-first-at-an-instant) lane;
+    /// stays below [`RESERVED_SEQS`].
+    next_reserved: u64,
     len: usize,
 }
 
@@ -148,7 +163,8 @@ impl<T> EventQueue<T> {
             window_start: 0,
             overflow: BinaryHeap::new(),
             cached_min: None,
-            next_seq: 0,
+            next_seq: RESERVED_SEQS,
+            next_reserved: 0,
             len: 0,
         }
     }
@@ -200,6 +216,22 @@ impl<T> EventQueue<T> {
     pub fn push(&mut self, at: Time, payload: T) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.push_with_seq(at, seq, payload);
+    }
+
+    /// Schedule `payload` at `at` in the reserved lane: it dispatches
+    /// before every [`push`](Self::push)ed entry at the same instant,
+    /// and reserved entries order among themselves by reservation
+    /// order. Insertion *time* is irrelevant to the resulting order,
+    /// which is what checkpoint/fork relies on.
+    pub fn push_reserved(&mut self, at: Time, payload: T) {
+        let seq = self.next_reserved;
+        assert!(seq < RESERVED_SEQS, "reserved sequence lane exhausted");
+        self.next_reserved += 1;
+        self.push_with_seq(at, seq, payload);
+    }
+
+    fn push_with_seq(&mut self, at: Time, seq: u64, payload: T) {
         let t = at.as_nanos();
         if self.len == 0 {
             // Empty queue: re-anchor the window so a long quiet gap
@@ -371,6 +403,29 @@ mod tests {
         for i in 0..100 {
             assert_eq!(q.pop(), Some((t, i)));
         }
+    }
+
+    #[test]
+    fn reserved_entries_sort_first_at_an_instant() {
+        let mut q = EventQueue::new();
+        let t = Time::from_secs(1);
+        q.push(t, "normal-0");
+        q.push_reserved(t, "reserved-0");
+        q.push(t, "normal-1");
+        q.push_reserved(t, "reserved-1");
+        // Reserved entries beat ordinary ones at the same instant
+        // regardless of insertion order, and order among themselves by
+        // reservation order.
+        assert_eq!(q.pop(), Some((t, "reserved-0")));
+        assert_eq!(q.pop(), Some((t, "reserved-1")));
+        assert_eq!(q.pop(), Some((t, "normal-0")));
+        assert_eq!(q.pop(), Some((t, "normal-1")));
+        // Time still dominates: an earlier ordinary entry beats a later
+        // reserved one.
+        q.push_reserved(Time::from_secs(3), "late-reserved");
+        q.push(Time::from_secs(2), "early-normal");
+        assert_eq!(q.pop(), Some((Time::from_secs(2), "early-normal")));
+        assert_eq!(q.pop(), Some((Time::from_secs(3), "late-reserved")));
     }
 
     #[test]

@@ -128,7 +128,7 @@ impl fmt::Display for TraceEvent {
 /// frozen, so the hot path pays one branch and nothing else. At every
 /// counting level the values are exact and identical — verbosity only
 /// changes which *events* are stored, never what the counters say.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct Tracer {
     level: TraceLevel,
     events: Vec<TraceEvent>,

@@ -23,6 +23,7 @@ pub enum Egress {
 }
 
 /// Working copy of a frame that applies header rewrites lazily.
+#[derive(Clone)]
 struct FrameEditor {
     eth: EthernetFrame,
     ip: Option<Ipv4Packet>,

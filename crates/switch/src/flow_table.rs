@@ -88,7 +88,7 @@ pub struct Removed {
 /// priority. The index is rebuilt lazily after table mutations, so a
 /// burst of FLOW_MODs costs one rebuild, and a corpus-scale table of
 /// 10k exact routes answers a lookup in O(1) instead of O(n).
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct FlowTable {
     entries: Vec<FlowEntry>,
     /// Exact entries by the one key they match → index in `entries`.

@@ -80,6 +80,7 @@ enum ConnState {
 }
 
 /// One control-channel leg toward a controller.
+#[derive(Clone)]
 struct CtrlConn {
     target: (rf_sim::AgentId, u16),
     conn: Option<ConnId>,
@@ -88,6 +89,7 @@ struct CtrlConn {
 }
 
 /// An OpenFlow 1.0 switch agent.
+#[derive(Clone)]
 pub struct OpenFlowSwitch {
     cfg: SwitchConfig,
     ctrls: Vec<CtrlConn>,

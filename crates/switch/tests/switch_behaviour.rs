@@ -15,7 +15,7 @@ use std::time::Duration;
 
 /// A scripted controller for testing: completes the handshake, records
 /// everything, and sends canned messages on timers.
-#[derive(Default)]
+#[derive(Default, Clone)]
 struct MockController {
     conns: Vec<ConnId>,
     readers: Vec<(ConnId, MessageReader)>,
@@ -105,7 +105,7 @@ impl Agent for MockController {
 }
 
 /// Captures frames arriving at a sim port (plays the role of a host).
-#[derive(Default)]
+#[derive(Default, Clone)]
 struct FrameSink {
     pub frames: Vec<(u32, Bytes)>,
     /// Frame to transmit at start: (port, frame, delay).
@@ -391,7 +391,7 @@ fn hard_timeout_emits_flow_removed() {
 #[test]
 fn switch_reconnects_after_controller_restart() {
     // Controller that closes the first connection after 1 s.
-    #[derive(Default)]
+    #[derive(Default, Clone)]
     struct FlakyController {
         conns: Vec<ConnId>,
         opens: u32,

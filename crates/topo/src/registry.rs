@@ -24,8 +24,13 @@ pub fn try_resolve(name: &str) -> Result<Topology, TopoParseError> {
 }
 
 /// Resolve a topology name; `None` if the name is not recognized or
-/// its parameters are out of range. Prefer [`try_resolve`]: it says
-/// *why*.
+/// its parameters are out of range.
+///
+/// Deprecated: the `Option` swallows *why* the name was rejected. Use
+/// [`try_resolve`] for the typed error, or go through the spec layer
+/// directly — `name.parse::<TopoSpec>()?.build()` — when you want the
+/// parsed parameters too.
+#[deprecated(note = "use try_resolve (typed error) or name.parse::<TopoSpec>()?.build()")]
 pub fn resolve(name: &str) -> Option<Topology> {
     try_resolve(name).ok()
 }
@@ -54,30 +59,30 @@ mod tests {
 
     #[test]
     fn resolves_every_family() {
-        assert_eq!(resolve("ring-8").unwrap().node_count(), 8);
-        assert_eq!(resolve("line-5").unwrap().node_count(), 5);
-        assert_eq!(resolve("star-9").unwrap().node_count(), 9);
-        assert_eq!(resolve("mesh-4").unwrap().edge_count(), 6);
-        let g = resolve("grid-3x2").unwrap();
+        assert_eq!(try_resolve("ring-8").unwrap().node_count(), 8);
+        assert_eq!(try_resolve("line-5").unwrap().node_count(), 5);
+        assert_eq!(try_resolve("star-9").unwrap().node_count(), 9);
+        assert_eq!(try_resolve("mesh-4").unwrap().edge_count(), 6);
+        let g = try_resolve("grid-3x2").unwrap();
         assert_eq!(g.node_count(), 6);
-        assert_eq!(resolve("pan-european").unwrap().node_count(), 28);
+        assert_eq!(try_resolve("pan-european").unwrap().node_count(), 28);
         // Families the registry could not reach before the TopoSpec
         // redesign: datacenter fabrics, seeded randoms, the corpus.
-        assert_eq!(resolve("fat-tree-k4").unwrap().node_count(), 20);
-        assert_eq!(resolve("leaf-spine-2x4x1").unwrap().node_count(), 10);
-        assert!(resolve("er-24-s1").unwrap().is_connected());
-        assert!(resolve("waxman-24-s1").unwrap().is_connected());
-        assert_eq!(resolve("abilene").unwrap().node_count(), 11);
+        assert_eq!(try_resolve("fat-tree-k4").unwrap().node_count(), 20);
+        assert_eq!(try_resolve("leaf-spine-2x4x1").unwrap().node_count(), 10);
+        assert!(try_resolve("er-24-s1").unwrap().is_connected());
+        assert!(try_resolve("waxman-24-s1").unwrap().is_connected());
+        assert_eq!(try_resolve("abilene").unwrap().node_count(), 11);
     }
 
     #[test]
     fn rejects_unknown_and_out_of_range() {
-        assert!(resolve("torus-4").is_none());
-        assert!(resolve("ring-2").is_none()); // generator needs >= 3
-        assert!(resolve("ring-x").is_none());
-        assert!(resolve("ring-4000000").is_none());
-        assert!(resolve("grid-3").is_none()); // missing WxH
-        assert!(resolve("ring").is_none());
+        assert!(try_resolve("torus-4").is_err());
+        assert!(try_resolve("ring-2").is_err()); // generator needs >= 3
+        assert!(try_resolve("ring-x").is_err());
+        assert!(try_resolve("ring-4000000").is_err());
+        assert!(try_resolve("grid-3").is_err()); // missing WxH
+        assert!(try_resolve("ring").is_err());
     }
 
     #[test]
@@ -91,7 +96,14 @@ mod tests {
     #[test]
     fn standard_names_all_resolve() {
         for name in standard_names() {
-            assert!(resolve(&name).is_some(), "{name} must resolve");
+            assert!(try_resolve(&name).is_ok(), "{name} must resolve");
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_option_shim_still_works() {
+        assert_eq!(resolve("ring-8").unwrap().node_count(), 8);
+        assert!(resolve("torus-4").is_none());
     }
 }

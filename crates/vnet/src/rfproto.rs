@@ -164,7 +164,7 @@ impl RfMessage {
 }
 
 /// Stream reassembler for RF frames.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct RfFrameReader {
     /// Unconsumed tail of the last chunk (zero-copy fast path);
     /// non-empty only while `buf` is empty.

@@ -20,6 +20,7 @@ const T_OSPF: u64 = 2;
 const OSPF_MCAST_MAC: MacAddr = MacAddr([0x01, 0x00, 0x5E, 0x00, 0x00, 0x05]);
 
 /// One virtual machine of the virtual environment.
+#[derive(Clone)]
 pub struct VmAgent {
     dpid: u64,
     rf_server: AgentId,

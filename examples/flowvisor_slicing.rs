@@ -18,6 +18,7 @@ use std::time::Duration;
 
 /// A controller that tries to install one in-space and one out-of-space
 /// flow and records what comes back.
+#[derive(Clone)]
 struct Greedy {
     service: u16,
     conn: Option<ConnId>,
@@ -76,6 +77,7 @@ impl Agent for Greedy {
 }
 
 /// Passive controller for the second slice.
+#[derive(Clone)]
 struct Passive {
     service: u16,
 }

@@ -15,8 +15,8 @@ fn main() {
         "switches", "automatic (s)", "manual (min)", "speedup"
     );
     for n in [4usize, 8, 16, 28] {
-        let mut dep = Deployment::build(DeploymentConfig::new(ring(n)));
-        let done = dep
+        let mut sc = Scenario::on(ring(n)).start();
+        let done = sc
             .run_until_configured(Time::from_secs(1800))
             .expect("must configure");
         let auto_s = done.as_secs_f64();

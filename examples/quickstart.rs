@@ -22,7 +22,7 @@ fn main() {
     //    starts pinging into the void.
     sc.run_until(Time::from_secs(60));
 
-    let metrics = sc.metrics();
+    let metrics = sc.finish();
     let configured = metrics.all_configured_at.expect("configuration completes");
     println!("all 4 switches configured (green) at t = {configured}");
     println!(

@@ -8,7 +8,9 @@
 #       whose label already exists is skipped). When PERF_JSON (a
 #       BENCH_perf.json from perf_sweep) is given, the wall-clock
 #       cells/sec of its full (falling back to smoke) grid fills that
-#       column; when CORPUS_JSON (a `matrix_sweep --corpus` report) is
+#       column, and fork_speedup carries the same grid's
+#       checkpoint/fork wall ratio (perf schema v2, `fork.speedup_x1000`,
+#       printed as a decimal); when CORPUS_JSON (a `matrix_sweep --corpus` report) is
 #       given, the trailing columns carry the corpus breadth (distinct
 #       topologies) and the median across per-topology configuration
 #       medians. Absent inputs read "-".
@@ -37,10 +39,10 @@ header() {
             printf 'Times are nanoseconds of simulated time; `-` means the metric was absent.\n\n'
             printf '| run | cells |'
             printf ' %s |' "${METRICS[@]}"
-            printf ' wall_cells_per_sec | corpus_topos | corpus_config_median_ns |'
+            printf ' wall_cells_per_sec | fork_speedup | corpus_topos | corpus_config_median_ns |'
             printf '\n|---|---|'
             printf '%s' "$(printf -- '---|%.0s' "${METRICS[@]}")"
-            printf -- '---|---|---|'
+            printf -- '---|---|---|---|'
             printf '\n'
         } >"$md"
     fi
@@ -60,16 +62,21 @@ cols = [label, str(len(cells))]
 for m in metrics:
     s = summary.get(m)
     cols.append(str(s["median"]) if s else "-")
-cps = "-"
+cps, fork_speedup = "-", "-"
 if perf:
     try:
         with open(perf) as f:
             grids = json.load(f).get("grids", {})
         grid = grids.get("full") or grids.get("smoke") or {}
         cps = str(grid.get("single_thread", {}).get("cells_per_sec", "-"))
+        # Perf schema v2: the checkpoint/fork wall ratio of the same
+        # grid, stored x1000, printed as a decimal ("1.29").
+        x1000 = grid.get("fork", {}).get("speedup_x1000")
+        if x1000 is not None:
+            fork_speedup = f"{x1000 / 1000:.2f}"
     except (OSError, ValueError):
         pass  # missing or malformed perf file: leave the column "-"
-cols.append(cps)
+cols += [cps, fork_speedup]
 # Corpus breadth columns: distinct topologies in the corpus report and
 # the median across per-topology configuration medians (lower median
 # throughout, matching MatrixReport::per_topology_medians).

@@ -34,18 +34,24 @@
 //! let done = sc.run_until_configured(Time::from_secs(120)).unwrap();
 //! assert!(done < Time::from_secs(60));
 //!
-//! let metrics = sc.metrics();
+//! let metrics = sc.finish();
 //! assert_eq!(metrics.configured_switches, 4);
 //! assert!(metrics.flows_installed > 0);
 //!
-//! // The pre-redesign one-shot entry point still works.
-//! let mut cfg = DeploymentConfig::new(ring(4));
+//! // Programmatic configuration: build the parameter struct directly
+//! // (formerly `DeploymentConfig`) and hand it to the builder.
+//! let mut cfg = ScenarioConfig::new(ring(4));
 //! cfg.ospf_hello = 1;
 //! cfg.ospf_dead = 4;
-//! let mut dep = Deployment::build(cfg);
-//! dep.sim.run_until(Time::from_secs(1));
-//! assert_eq!(dep.configured_switches(), 0); // nothing green this early
+//! let mut sc = ScenarioBuilder::from_config(cfg).start();
+//! sc.run_until(Time::from_secs(1));
+//! assert_eq!(sc.configured_switches(), 0); // nothing green this early
 //! ```
+//!
+//! Parameter sweeps that share a convergence prefix can snapshot the
+//! converged world once and fork divergent continuations from it —
+//! see [`Scenario::snapshot`](core::scenario::Scenario::snapshot) and
+//! the README's "Checkpoint + fork" section.
 
 pub use rf_apps as apps;
 pub use rf_core as core;
@@ -68,11 +74,15 @@ pub mod prelude {
         AppCtx, ControlApp, ControlEvent, ControlPlane, ControlState, FibChange, LinkChange,
         OverflowPolicy, SendOutcome,
     };
-    pub use rf_core::bootstrap::{Deployment, DeploymentConfig, HostAttachment};
+    // Deprecated shims for the pre-redesign one-shot API; migrate to
+    // `Scenario`/`ScenarioConfig`.
+    #[allow(deprecated)]
+    pub use rf_core::bootstrap::{Deployment, DeploymentConfig};
     pub use rf_core::manual::ManualConfigModel;
     pub use rf_core::rfcontroller::RfController;
     pub use rf_core::scenario::{
-        Fault, Scenario, ScenarioBuilder, ScenarioMetrics, Workload, WorkloadReport,
+        Fault, ForkError, HostAttachment, HostSlot, Scenario, ScenarioBuilder, ScenarioConfig,
+        ScenarioMetrics, Snapshot, SnapshotError, Workload, WorkloadReport,
     };
     pub use rf_core::traffic::{
         ArrivalProcess, FlowSize, TrafficConfig, TrafficMode, TrafficPattern, TrafficReport,

@@ -6,16 +6,11 @@ use rf_discovery::TopologyController;
 use rf_flowvisor::FlowVisor;
 use rf_vnet::vm::VmAgent;
 use routeflow_autoconf::prelude::*;
-use std::time::Duration;
 
 /// The Fig. 1 topology: OF-A — OF-B — OF-C — OF-D in a line, mirrored
 /// by VM-A … VM-D.
-fn fig1() -> Deployment {
-    let mut cfg = DeploymentConfig::new(line(4));
-    cfg.ospf_hello = 1;
-    cfg.ospf_dead = 4;
-    cfg.probe_interval = Duration::from_millis(500);
-    Deployment::build(cfg)
+fn fig1() -> Scenario {
+    Scenario::on(line(4)).fast_timers().start()
 }
 
 #[test]

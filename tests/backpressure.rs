@@ -62,7 +62,7 @@ fn defer_with_finite_capacity_converges_to_unbounded_fibs() {
     let mut unbounded = run_to_steady(base(31).start());
     let baseline = flow_tables(&unbounded);
     assert!(baseline.iter().all(|t| !t.is_empty()));
-    let um = unbounded.metrics();
+    let um = unbounded.finish();
     assert_eq!(um.of_dropped, 0);
 
     for capacity in [1, 2, 4] {
@@ -72,7 +72,7 @@ fn defer_with_finite_capacity_converges_to_unbounded_fibs() {
                 .overflow_policy(OverflowPolicy::Defer)
                 .start(),
         );
-        let m = sc.metrics();
+        let m = sc.finish();
         assert_eq!(m.of_dropped, 0, "Defer never drops (capacity {capacity})");
         assert_eq!(
             flow_tables(&sc),
@@ -95,7 +95,7 @@ fn tight_capacity_defers_and_still_converges() {
     // Capacity 1 on a 5-switch cold start has to push back: the
     // reconvergence burst cannot fit a 1-slot credit window.
     let mut sc = run_to_steady(base(31).channel_capacity(1).start());
-    let m = sc.metrics();
+    let m = sc.finish();
     assert!(
         m.of_deferred > 0,
         "a 1-slot channel must defer under the cold-start burst"
@@ -109,7 +109,7 @@ fn capacity_zero_defers_everything() {
     // message ever reaches any switch — and the accounting says why.
     let mut sc = base(7).channel_capacity(0).start();
     sc.run_until(Time::from_secs(40));
-    let m = sc.metrics();
+    let m = sc.finish();
     assert_eq!(
         m.of_msgs_sent, 0,
         "nothing can pass a zero-capacity channel"
@@ -140,7 +140,7 @@ fn capacity_one_with_batching_converges_identically() {
     let unbatched = run_to_steady(base(13).start());
     let baseline = flow_tables(&unbatched);
     let mut sc = run_to_steady(base(13).fib_batch(4).channel_capacity(1).start());
-    let m = sc.metrics();
+    let m = sc.finish();
     assert_eq!(m.of_dropped, 0);
     assert!(m.of_deferred > 0, "batches of 4 into capacity 1 must defer");
     assert_eq!(
@@ -163,7 +163,7 @@ fn drop_oldest_loses_messages_and_accounts_for_them() {
             .overflow_policy(OverflowPolicy::DropOldest)
             .start(),
     );
-    let m = sc.metrics();
+    let m = sc.finish();
     assert!(m.of_dropped > 0, "a 1-slot DropOldest channel must evict");
     assert_eq!(m.of_deferred, 0, "DropOldest never defers");
     let lossy_flows: usize = flow_tables(&sc).iter().map(Vec::len).sum();
@@ -194,14 +194,14 @@ fn channel_stall_queues_then_releases() {
         })
         .start();
     sc.run_until(Time::ZERO + (stall_until - Duration::from_secs(1)));
-    let mid = sc.metrics_undrained();
+    let mid = sc.peek_metrics();
     assert!(
         mid.of_queue_hwm > 0,
         "the stalled channel must have queued FLOW_MODs"
     );
     let sc = run_to_steady(sc);
     let mut sc = sc;
-    let m = sc.metrics();
+    let m = sc.finish();
     assert_eq!(m.of_dropped, 0, "an unbounded stalled queue loses nothing");
     assert_eq!(
         flow_tables(&sc),
@@ -229,7 +229,7 @@ fn stalled_bounded_channel_recovers_traffic_after_release() {
         })
         .start();
     sc.run_until(Time::ZERO + stall_until + Duration::from_secs(30));
-    let m = sc.metrics();
+    let m = sc.finish();
     assert_eq!(m.of_dropped, 0);
     let reports = sc.workload_reports();
     let WorkloadReport::Ping(probe) = &reports[0] else {
@@ -272,6 +272,6 @@ fn fan_in_workload_reports_every_client() {
     // Fan-in concentrates edge state on the controller: one gateway
     // ARP answered per client (the echo server replies via the MAC it
     // learned from the incoming frame, so it never asks).
-    let m = sc.metrics();
+    let m = sc.finish();
     assert!(m.arp_replies >= 3, "one gateway ARP per fan-in client");
 }

@@ -7,22 +7,20 @@ use routeflow_autoconf::prelude::*;
 use std::time::Duration;
 
 /// Attach a video server at `server_node` and client at `client_node`,
-/// then return (deployment, server agent, client agent).
+/// then return (scenario, server agent, client agent).
 fn video_world(
     topo: Topology,
     server_node: usize,
     client_node: usize,
-    fast_timers: bool,
-) -> (Deployment, rf_sim::AgentId, rf_sim::AgentId) {
-    let mut cfg = DeploymentConfig::new(topo)
+    fast: bool,
+) -> (Scenario, rf_sim::AgentId, rf_sim::AgentId) {
+    let mut b = Scenario::on(topo)
         .with_host(server_node, "10.1.0.0/24")
         .with_host(client_node, "10.2.0.0/24");
-    if fast_timers {
-        cfg.ospf_hello = 1;
-        cfg.ospf_dead = 4;
-        cfg.probe_interval = Duration::from_millis(500);
+    if fast {
+        b = b.fast_timers();
     }
-    let mut dep = Deployment::build(cfg);
+    let mut dep = b.start();
     let s = dep.host_slots[0].clone();
     let c = dep.host_slots[1].clone();
     let server = dep.sim.add_agent(
@@ -73,13 +71,11 @@ fn video_crosses_ring4_after_autoconfig() {
 
 #[test]
 fn ping_works_between_hosts_after_autoconfig() {
-    let mut cfg = DeploymentConfig::new(line(3))
+    let mut dep = Scenario::on(line(3))
         .with_host(0, "10.1.0.0/24")
-        .with_host(2, "10.2.0.0/24");
-    cfg.ospf_hello = 1;
-    cfg.ospf_dead = 4;
-    cfg.probe_interval = Duration::from_millis(500);
-    let mut dep = Deployment::build(cfg);
+        .with_host(2, "10.2.0.0/24")
+        .fast_timers()
+        .start();
     let a = dep.host_slots[0].clone();
     let b = dep.host_slots[1].clone();
     let echo = dep.sim.add_agent(

@@ -78,7 +78,7 @@ fn batching_coalesces_transport_writes_without_changing_traffic() {
             .expect("ring-6 must configure");
         let settle = sc.sim.now() + Duration::from_secs(30);
         sc.run_until(settle);
-        sc.metrics()
+        sc.finish()
     };
     let serial = run(1);
     let batched = run(8);
@@ -117,8 +117,8 @@ fn harvest_flushes_a_sub_tick_tail_batch() {
             .trace_level(rf_sim::TraceLevel::Off)
             .start();
         sc.run_until(t);
-        let before = sc.metrics_undrained();
-        let after = sc.metrics();
+        let before = sc.peek_metrics();
+        let after = sc.finish();
         assert!(
             after.of_msgs_sent >= before.of_msgs_sent,
             "draining can only add wire traffic"
@@ -155,7 +155,7 @@ fn k_wide_provisioning_flattens_the_config_curve() {
             .run_until_configured(Time::from_secs(300))
             .expect("ring-8 must configure");
         let mut greens: Vec<u64> = sc
-            .metrics()
+            .finish()
             .per_switch_config_time
             .iter()
             .filter_map(|(_, t)| t.map(|t| t.as_nanos()))

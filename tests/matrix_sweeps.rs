@@ -7,6 +7,7 @@
 use rf_core::scenario::{
     FaultSchedule, MatrixKnob, MatrixSpec, Scenario, ScenarioMatrix, Workload, WorkloadReport,
 };
+use rf_core::traffic::{FlowSize, TrafficSpec};
 use rf_sim::Time;
 use rf_topo::ring;
 use std::time::Duration;
@@ -40,6 +41,99 @@ fn tiny_spec() -> MatrixSpec {
         post_fault_window: Duration::from_secs(15),
         settle: Duration::from_secs(5),
     }
+}
+
+/// A grid shaped for the checkpoint/fork path: every fault fires well
+/// after ring-4 converges (fast timers configure in single-digit
+/// seconds), so each (topology × knob × seed) group's kill, flap and
+/// late-stall members all fork from the shared converged snapshot.
+/// Two stochastic-traffic knobs ride along — one packet-level Poisson
+/// mix, one flow-level incast, both offering *after* the fork point —
+/// so the identity contract covers RNG streams continuing across a
+/// fork, at both traffic granularities.
+fn forky_spec() -> MatrixSpec {
+    MatrixSpec {
+        seeds: vec![7, 8],
+        topologies: vec!["ring-4".into()],
+        schedules: vec![
+            FaultSchedule::none(),
+            FaultSchedule::kill_switch(1, Duration::from_secs(25)),
+            FaultSchedule::link_flap(0, Duration::from_secs(25), Duration::from_secs(4), 1),
+            FaultSchedule::channel_stall(2, Duration::from_secs(24), Duration::from_secs(34)),
+        ],
+        knobs: vec![
+            MatrixKnob::fast("fast"),
+            MatrixKnob::fast("fast-poisson").with_traffic(
+                TrafficSpec::poisson(2, 3.0, FlowSize::fixed(30_000))
+                    .window(Duration::from_secs(20), Duration::from_secs(10)),
+            ),
+            MatrixKnob::fast("fast-incast3f").with_traffic(
+                TrafficSpec::incast(3, FlowSize::fixed(50_000), Duration::from_secs(2), 3)
+                    .flow_level()
+                    .window(Duration::from_secs(20), Duration::from_secs(10)),
+            ),
+        ],
+        configure_deadline: Duration::from_secs(60),
+        post_fault_window: Duration::from_secs(12),
+        settle: Duration::from_secs(5),
+    }
+}
+
+#[test]
+fn forked_sweep_bytes_identical_to_cold_at_1_4_8_threads() {
+    // THE determinism contract of the checkpoint/fork tentpole: the
+    // forked sweep's report must be byte-for-byte the cold report, at
+    // every worker count — including stochastic-traffic cells whose
+    // RNG streams must continue across the fork exactly as they would
+    // have run uninterrupted.
+    let matrix = ScenarioMatrix::new(forky_spec());
+    let cold = matrix.run(2).to_json();
+    for threads in [1, 4, 8] {
+        let forked = matrix.run_forked(threads).to_json();
+        assert_eq!(
+            forked, cold,
+            "forked report at {threads} threads must be byte-identical to cold"
+        );
+    }
+}
+
+#[test]
+fn forked_sweep_actually_forks_the_late_fault_cells() {
+    // Guard against the fork path silently degrading to all-cold (in
+    // which case the identity test above proves nothing): with every
+    // fault after the snapshot instant, all members of every
+    // multi-cell group fork. 2 seeds × 3 knobs = 6 groups of 4.
+    let matrix = ScenarioMatrix::new(forky_spec());
+    let (report, stats) = matrix.run_instrumented_forked(2, ScenarioMatrix::standard_builder);
+    assert_eq!(report.cells.len(), 24);
+    assert_eq!(
+        stats.forked, 24,
+        "every cell in every group must run as a fork"
+    );
+    // The cold entry points never fork.
+    let (_, cold_stats) = matrix.run_instrumented(2, ScenarioMatrix::standard_builder);
+    assert_eq!(cold_stats.forked, 0);
+}
+
+#[test]
+fn forked_sweep_with_early_faults_falls_back_cold_and_stays_identical() {
+    // tiny_spec's channel stall opens at 4 s — *before* the serial
+    // knob's world converges (≈4.02 s), making that cell unforkable.
+    // The forked sweep must detect that per cell, fall back to a cold
+    // start and still emit the cold bytes.
+    let matrix = ScenarioMatrix::new(tiny_spec());
+    let cold = matrix.run(2).to_json();
+    let (report, stats) = matrix.run_instrumented_forked(4, ScenarioMatrix::standard_builder);
+    assert_eq!(report.to_json(), cold);
+    // Kill (12 s) and flap (12 s) fork in both knob groups. The stall
+    // splits them: the k-wide knob configures in ≈1 s, before the
+    // window opens, so its stall cell forks; the serial knob snapshots
+    // after 4 s, so its stall cell must go cold.
+    assert_eq!(stats.forked, 5, "2 × (kill + flap) + the k-wide stall");
+    assert!(
+        stats.forked < report.cells.len(),
+        "at least one cell must exercise the cold fallback"
+    );
 }
 
 #[test]
@@ -124,7 +218,7 @@ fn link_flap_soak_heals_end_to_end() {
     );
     // The victim link comes back: the dataplane must still hold a
     // full mesh of routed flows (no permanent blackhole).
-    let m = sc.metrics();
+    let m = sc.finish();
     assert_eq!(m.configured_switches, 4, "no switch may die in a flap");
     assert!(
         m.flows_removed > 0,
@@ -275,7 +369,7 @@ fn sustained_loss_soak_degrades_then_heals() {
     );
     // The loss window may or may not trip OSPF's dead interval (it is
     // seed-dependent); either way no switch dies.
-    assert_eq!(sc.metrics().configured_switches, 4);
+    assert_eq!(sc.finish().configured_switches, 4);
 }
 
 #[test]
