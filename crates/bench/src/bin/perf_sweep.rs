@@ -29,6 +29,16 @@
 //! fault cells) must reproduce the cold report byte-for-byte too, or
 //! the harness exits non-zero. The fork pass's wall ratio is emitted
 //! as `fork.speedup_x1000`, the trended `fork_speedup` number.
+//!
+//! Schema v3 adds the intra-scenario axis: `host_cores` at the top
+//! level, and per grid a `parallel` block — the grid's costliest
+//! fault-free cell re-run serially and with the conservative parallel
+//! kernel (`parallel_cores = 4`). The two single-cell reports must be
+//! byte-identical (the kernel's core contract) or the harness exits
+//! non-zero; the wall ratio is the trended `parallel_speedup`. On
+//! hosts with fewer than four cores the probe is skipped and the
+//! block records why, so flat scaling on small runners never reads as
+//! a regression.
 
 use rf_core::json::Json;
 use rf_core::scenario::{MatrixSpec, ScenarioMatrix, SweepStats};
@@ -36,14 +46,23 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 /// Bump when the emitted shape changes. v2 added the per-grid `fork`
-/// block (checkpoint/fork wall, speedup and forked-cell count).
-const PERF_SCHEMA_VERSION: i64 = 2;
+/// block (checkpoint/fork wall, speedup and forked-cell count); v3
+/// added `host_cores` and the per-grid `parallel` block (serial vs
+/// 4-core parallel-kernel wall on the costliest fault-free cell).
+const PERF_SCHEMA_VERSION: i64 = 3;
+
+/// Cores granted to the parallel-kernel probe. Matches the 4-thread
+/// point of the thread-scaling table so the two axes are comparable.
+const PROBE_CORES: usize = 4;
 
 struct Args {
     grids: Vec<(&'static str, MatrixSpec)>,
     runs: usize,
     threads: Vec<usize>,
     out: String,
+    /// Cores granted to the parallel-kernel probe; `None` means
+    /// auto (`PROBE_CORES`, skipped when the host has fewer).
+    probe_cores: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -56,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
         runs: 3,
         threads: vec![1, 4, 8],
         out: "BENCH_perf.json".to_string(),
+        probe_cores: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -90,12 +110,21 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--out" => args.out = value("--out")?,
+            "--probe-cores" => {
+                let n: usize = value("--probe-cores")?
+                    .parse()
+                    .map_err(|e| format!("--probe-cores: {e}"))?;
+                if n < 2 {
+                    return Err("--probe-cores must be at least 2".into());
+                }
+                args.probe_cores = Some(n);
+            }
             other => {
                 return Err(format!(
                     "unknown argument {other}\n\
                      usage: perf_sweep [--quick] \
                      [--smoke-only|--traffic-only|--full-only] \
-                     [--runs N] [--threads 1,4,8] [--out FILE]"
+                     [--runs N] [--threads 1,4,8] [--probe-cores N] [--out FILE]"
                 ))
             }
         }
@@ -160,6 +189,98 @@ fn per_sec(count: u64, wall: Duration) -> i64 {
     (count as f64 / wall.as_secs_f64().max(1e-9)) as i64
 }
 
+/// Wall-clock of one run of `cell` as a single-cell grid with the
+/// knob granting `cores` to the intra-scenario parallel kernel,
+/// plus the report JSON for the identity cross-check.
+fn run_probe_cell(
+    spec: &MatrixSpec,
+    cell: &rf_core::scenario::MatrixCell,
+    cores: usize,
+) -> (Duration, String) {
+    let single = MatrixSpec {
+        seeds: vec![cell.seed],
+        topologies: vec![cell.topology.clone()],
+        schedules: vec![cell.schedule.clone()],
+        knobs: vec![cell.knob.clone().with_parallel_cores(cores)],
+        configure_deadline: spec.configure_deadline,
+        post_fault_window: spec.post_fault_window,
+        settle: spec.settle,
+    };
+    let matrix = ScenarioMatrix::new(single);
+    let (report, stats) = matrix.run_instrumented(1, ScenarioMatrix::standard_builder);
+    (stats.wall, report.to_json())
+}
+
+/// The per-grid parallel-kernel probe: pick the grid's costliest
+/// fault-free cell (by the matrix's own cost model, key as the
+/// deterministic tie-break), run it serially and with `cores` regions,
+/// and demand byte-identical reports. Fault-free because faults force
+/// the kernel's serial fallback, which would probe nothing.
+fn parallel_probe(
+    name: &str,
+    spec: &MatrixSpec,
+    matrix: &ScenarioMatrix,
+    cores: Option<usize>,
+    host_cores: usize,
+) -> Result<Json, String> {
+    let skip = |reason: String| {
+        eprintln!("  parallel probe: skipped — {reason}");
+        Ok(Json::obj([("skipped".to_string(), Json::Str(reason))]))
+    };
+    // An explicit --probe-cores overrides the host-size skip (useful
+    // for exercising the probe on small machines; the identity check
+    // is meaningful at any core count, only the speedup isn't).
+    let cores = match cores {
+        Some(n) => n,
+        None if host_cores < PROBE_CORES => {
+            return skip(format!(
+                "host has {host_cores} cores, probe wants {PROBE_CORES}"
+            ));
+        }
+        None => PROBE_CORES,
+    };
+    let cells = spec.cells();
+    let Some(probe) = cells
+        .iter()
+        .filter(|c| c.schedule.faults.is_empty())
+        .max_by_key(|c| (matrix.expected_cell_cost(c), std::cmp::Reverse(c.key())))
+    else {
+        return skip("no fault-free cell in grid".to_string());
+    };
+    let (serial_wall, serial_report) = run_probe_cell(spec, probe, 1);
+    let (parallel_wall, parallel_report) = run_probe_cell(spec, probe, cores);
+    if serial_report != parallel_report {
+        return Err(format!(
+            "PARALLEL-KERNEL IDENTITY VIOLATION: {name} grid probe cell \
+             {} differs between serial and {cores}-core reports",
+            probe.key()
+        ));
+    }
+    let speedup_x1000 =
+        (1000.0 * serial_wall.as_secs_f64() / parallel_wall.as_secs_f64().max(1e-9)) as i64;
+    eprintln!(
+        "  parallel probe ({}): serial {:.2}s vs {cores}-core {:.2}s \
+         (speedup {:.2}x, reports byte-identical)",
+        probe.key(),
+        serial_wall.as_secs_f64(),
+        parallel_wall.as_secs_f64(),
+        speedup_x1000 as f64 / 1000.0,
+    );
+    Ok(Json::obj([
+        ("cell".to_string(), Json::Str(probe.key())),
+        ("cores".to_string(), Json::Int(cores as i64)),
+        (
+            "serial_wall_ms".to_string(),
+            Json::Int(serial_wall.as_millis() as i64),
+        ),
+        (
+            "parallel_wall_ms".to_string(),
+            Json::Int(parallel_wall.as_millis() as i64),
+        ),
+        ("speedup_x1000".to_string(), Json::Int(speedup_x1000)),
+    ]))
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -168,6 +289,12 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    // Recorded so downstream gates (CI thread-scaling step,
+    // trend_collect) can tell "flat because small runner" from "flat
+    // because regression".
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!("perf_sweep: host has {host_cores} cores");
 
     let mut grids_json = std::collections::BTreeMap::new();
     for (name, spec) in &args.grids {
@@ -270,10 +397,23 @@ fn main() -> ExitCode {
             cells,
         );
 
+        // Intra-scenario parallel-kernel probe: serial vs
+        // `probe_cores`-region wall on the costliest fault-free cell,
+        // byte-identity enforced. Skipped (with the reason recorded)
+        // on hosts too small for it to mean anything.
+        let parallel = match parallel_probe(name, spec, &matrix, args.probe_cores, host_cores) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+
         grids_json.insert(
             name.to_string(),
             Json::obj([
                 ("cells".to_string(), Json::Int(cells as i64)),
+                ("parallel".to_string(), parallel),
                 (
                     "fork".to_string(),
                     Json::obj([
@@ -323,6 +463,7 @@ fn main() -> ExitCode {
 
     let doc = Json::obj([
         ("schema_version".to_string(), Json::Int(PERF_SCHEMA_VERSION)),
+        ("host_cores".to_string(), Json::Int(host_cores as i64)),
         ("grids".to_string(), Json::Obj(grids_json)),
     ]);
     if let Err(e) = std::fs::write(&args.out, doc.render()) {

@@ -197,6 +197,13 @@ pub struct MatrixKnob {
     pub overflow: OverflowPolicy,
     /// The probe workload built into each cell.
     pub workload: MatrixWorkload,
+    /// Worker threads for the cell's post-convergence spans (1 =
+    /// sequential). Deliberately *not* part of the cell key: the
+    /// parallel kernel is byte-identical to the sequential one, so the
+    /// same cell at any core count is the same experiment. The matrix
+    /// scheduler may raise this at run time with spare cores
+    /// ([`ScenarioMatrix::run_instrumented`]).
+    pub parallel_cores: usize,
 }
 
 impl MatrixKnob {
@@ -215,6 +222,7 @@ impl MatrixKnob {
             channel_capacity: None,
             overflow: OverflowPolicy::Defer,
             workload: MatrixWorkload::FarthestPing,
+            parallel_cores: 1,
         }
     }
 
@@ -232,6 +240,7 @@ impl MatrixKnob {
             channel_capacity: None,
             overflow: OverflowPolicy::Defer,
             workload: MatrixWorkload::FarthestPing,
+            parallel_cores: 1,
         }
     }
 
@@ -294,6 +303,13 @@ impl MatrixKnob {
         self
     }
 
+    /// Step the cell's post-convergence spans on the parallel kernel
+    /// with up to `n` regions.
+    pub fn with_parallel_cores(mut self, n: usize) -> Self {
+        self.parallel_cores = n.max(1);
+        self
+    }
+
     /// Apply this knob to a builder.
     pub fn apply(&self, b: ScenarioBuilder) -> ScenarioBuilder {
         let mut b = b
@@ -302,7 +318,8 @@ impl MatrixKnob {
             .ospf_timers(self.ospf_hello, self.ospf_dead)
             .provision_width(self.provision_width)
             .fib_batch(self.fib_batch)
-            .overflow_policy(self.overflow);
+            .overflow_policy(self.overflow)
+            .parallel_cores(self.parallel_cores);
         if let Some(cap) = self.channel_capacity {
             b = b.channel_capacity(cap);
         }
@@ -431,7 +448,11 @@ impl MatrixSpec {
     }
 
     /// The full trend-tracking grid: more seeds, bigger rings, the
-    /// pan-European reference network, and a paper-timer knob.
+    /// pan-European reference network, the two largest corpus WANs,
+    /// the 320-switch fat-tree, and a paper-timer knob. The giant
+    /// cells are tractable because the sweep hands its spare threads
+    /// to the costliest cells' parallel kernels
+    /// ([`ScenarioMatrix::run_instrumented`]).
     pub fn full() -> MatrixSpec {
         MatrixSpec {
             seeds: vec![1, 2, 3, 4, 5],
@@ -441,6 +462,9 @@ impl MatrixSpec {
                 "ring-16".into(),
                 "grid-4x4".into(),
                 "pan-european".into(),
+                "geant".into(),
+                "att-na".into(),
+                "fat-tree-k16".into(),
             ],
             schedules: vec![
                 FaultSchedule::none(),
@@ -703,12 +727,25 @@ pub struct ScenarioMatrix {
 /// the report is identical for any schedule.
 fn expected_cost(spec: &MatrixSpec, cell: &MatrixCell) -> u64 {
     // The estimate never builds the topology: `node_count_estimate`
-    // is closed-form (or a corpus line count), which matters when the
-    // corpus grid schedules a hundred cells.
-    let nodes = cell
+    // and `edge_count_estimate` are closed-form (or a corpus line
+    // count), which matters when the corpus grid schedules a hundred
+    // cells.
+    let (nodes, edges) = cell
         .topo_spec()
-        .map(|s| s.node_count_estimate() as u64)
-        .unwrap_or(8);
+        .map(|s| {
+            (
+                s.node_count_estimate() as u64,
+                s.edge_count_estimate() as u64,
+            )
+        })
+        .unwrap_or((8, 8));
+    // Event volume per simulated second tracks the graph *size*, not
+    // just its order: every link floods hellos and carries probe
+    // frames each interval, every switch ticks its own timers. The
+    // distinction matters once dense fabrics share a grid with sparse
+    // WANs — fat-tree-k16 has 320 switches but 2048 links, and its
+    // wall time scales with the latter.
+    let size = nodes + 2 * edges;
     // Configuration phase: serial provisioning scales with n/k, and
     // slow OSPF timers stretch convergence.
     let config_est = cell.knob.vm_boot_delay.as_secs()
@@ -717,7 +754,8 @@ fn expected_cost(spec: &MatrixSpec, cell: &MatrixCell) -> u64 {
     // Post-configuration horizon (see run_cell's run_to). Traffic
     // knobs extend the run to the end of their offered-load window —
     // and packet-level cells are far denser per simulated second than
-    // flow-level ones, which the weight reflects.
+    // flow-level ones, which the mode weight reflects, scaled by how
+    // many endpoints offer load at once.
     let mut run_window = spec.settle.as_secs()
         + cell
             .schedule
@@ -729,11 +767,16 @@ fn expected_cost(spec: &MatrixSpec, cell: &MatrixCell) -> u64 {
             crate::traffic::TrafficMode::Packet => 4,
             crate::traffic::TrafficMode::Flow => 1,
         };
-        run_window =
-            run_window.max(tspec.stop_at().as_secs() + 2) + weight * tspec.duration.as_secs();
+        let endpoints = match tspec.shape {
+            crate::traffic::TrafficShape::RequestResponse { clients, .. } => clients + 1,
+            crate::traffic::TrafficShape::Incast { senders, .. } => senders + 1,
+            crate::traffic::TrafficShape::Multicast { receivers, .. } => receivers + 1,
+            crate::traffic::TrafficShape::CbrMix { ref rates_bps } => 2 * rates_bps.len(),
+        } as u64;
+        run_window = run_window.max(tspec.stop_at().as_secs() + 2)
+            + weight * tspec.duration.as_secs() * endpoints.div_ceil(4);
     }
-    // Event volume scales roughly with nodes × simulated seconds.
-    nodes * (config_est + run_window)
+    size * (config_est + run_window)
 }
 
 impl ScenarioMatrix {
@@ -743,6 +786,32 @@ impl ScenarioMatrix {
 
     pub fn spec(&self) -> &MatrixSpec {
         &self.spec
+    }
+
+    /// The scheduler's cost estimate for one cell (arbitrary units;
+    /// only the ordering matters). Public so harnesses — `perf_sweep`'s
+    /// parallel-kernel probe, the calibration test — can see the same
+    /// ranking the sweep schedules by.
+    pub fn expected_cell_cost(&self, cell: &MatrixCell) -> u64 {
+        expected_cost(&self.spec, cell)
+    }
+
+    /// How many extra worker threads the cell pulled at position `pos`
+    /// of the longest-expected-first schedule may borrow for its own
+    /// parallel kernel. With `units` schedulable units and `threads`
+    /// workers, `W = min(threads, units)` workers run concurrently and
+    /// `threads − W` threads would idle; those spares go to the
+    /// earliest-scheduled (costliest) positions, one share each,
+    /// left-overs to the front. Deterministic in (threads, units, pos)
+    /// alone — the *report* is identical however many cores a cell
+    /// borrows, so this only shapes wall clock, never results.
+    fn spare_cores(threads: usize, units: usize, pos: usize) -> usize {
+        let w = threads.min(units.max(1));
+        let spare = threads.saturating_sub(w);
+        if pos >= w || spare == 0 {
+            return 0;
+        }
+        spare / w + usize::from(pos < spare % w)
     }
 
     /// The default per-cell assembly: parse the topology name into a
@@ -834,8 +903,13 @@ impl ScenarioMatrix {
                     let pos = next.fetch_add(1, Ordering::SeqCst);
                     let Some(&i) = order.get(pos) else { break };
                     let cell = &cells[i];
+                    // The costliest cells start first *and* borrow the
+                    // threads that would otherwise idle (more cells
+                    // than workers leaves no spares; more workers than
+                    // cells hands the excess to the giants).
+                    let extra = Self::spare_cores(threads, cells.len(), pos);
                     let cell_start = Instant::now();
-                    let (rec, events) = run_cell(&self.spec, cell, &build);
+                    let (rec, events) = run_cell(&self.spec, cell, &build, extra);
                     let stat = CellStat {
                         key: rec.key.clone(),
                         wall: cell_start.elapsed(),
@@ -934,7 +1008,11 @@ impl ScenarioMatrix {
                 scope.spawn(|| loop {
                     let pos = next.fetch_add(1, Ordering::SeqCst);
                     let Some(group) = groups.get(pos) else { break };
-                    let (out, group_forked) = run_group(&self.spec, &cells, group, &build);
+                    // Same spare-thread budgeting as the cold sweep,
+                    // over groups: the whole group (prefix and forks)
+                    // runs on the borrowed cores.
+                    let extra = Self::spare_cores(threads, groups.len(), pos);
+                    let (out, group_forked) = run_group(&self.spec, &cells, group, &build, extra);
                     forked.fetch_add(group_forked, Ordering::SeqCst);
                     results.lock().unwrap().extend(out);
                 });
@@ -973,12 +1051,17 @@ fn forkable(schedule: &FaultSchedule, taken_at: Time) -> bool {
 }
 
 /// Cold-start one cell and wrap its record in a [`CellStat`].
-fn cold_stat<F>(spec: &MatrixSpec, cell: &MatrixCell, build: &F) -> (CellRecord, CellStat)
+fn cold_stat<F>(
+    spec: &MatrixSpec,
+    cell: &MatrixCell,
+    build: &F,
+    extra_cores: usize,
+) -> (CellRecord, CellStat)
 where
     F: Fn(&MatrixCell) -> Result<ScenarioBuilder, WorkloadError>,
 {
     let t0 = Instant::now();
-    let (rec, events) = run_cell(spec, cell, build);
+    let (rec, events) = run_cell(spec, cell, build, extra_cores);
     let stat = CellStat {
         key: rec.key.clone(),
         wall: t0.elapsed(),
@@ -996,6 +1079,7 @@ fn run_group<F>(
     cells: &[MatrixCell],
     group: &[usize],
     build: &F,
+    extra_cores: usize,
 ) -> (Vec<(CellRecord, CellStat)>, usize)
 where
     F: Fn(&MatrixCell) -> Result<ScenarioBuilder, WorkloadError>,
@@ -1003,7 +1087,7 @@ where
     let all_cold = |g: &[usize]| -> (Vec<(CellRecord, CellStat)>, usize) {
         (
             g.iter()
-                .map(|&i| cold_stat(spec, &cells[i], build))
+                .map(|&i| cold_stat(spec, &cells[i], build, extra_cores))
                 .collect(),
             0,
         )
@@ -1026,6 +1110,12 @@ where
         return all_cold(group);
     };
     let mut prefix = b.start();
+    // Spare-thread grant: the prefix, the snapshot and every fork
+    // inherit the raised budget (forks clone the scenario, flag and
+    // all). Parallel spans are byte-identical to sequential ones, so
+    // this cannot perturb the fork/cold equivalence contract.
+    let granted = prefix.parallel_cores().max(1 + extra_cores);
+    prefix.set_parallel_cores(granted);
     let deadline = Time::ZERO + spec.configure_deadline;
     let configured_at = prefix.run_until_configured(deadline);
     // The instant a cold run's settle window starts from; forks must
@@ -1063,7 +1153,7 @@ where
     for &i in group {
         let cell = &cells[i];
         if !forkable(&cell.schedule, snap.taken_at()) {
-            out.push(cold_stat(spec, cell, build));
+            out.push(cold_stat(spec, cell, build, extra_cores));
             continue;
         }
         let t0 = Instant::now();
@@ -1071,7 +1161,7 @@ where
         if sc.inject_faults(&cell.schedule.faults).is_err() {
             // Unreachable given the forkable() gate, but a cold start
             // is always a correct answer.
-            out.push(cold_stat(spec, cell, build));
+            out.push(cold_stat(spec, cell, build, extra_cores));
             continue;
         }
         let (rec, events) = finish_cell(spec, cell, sc, configured_at, config_now);
@@ -1089,7 +1179,12 @@ where
 /// Build, run and harvest one cell. All times are reported in
 /// nanoseconds of simulated time; the second return is the number of
 /// kernel events the cell dispatched (for the perf harness).
-fn run_cell<F>(spec: &MatrixSpec, cell: &MatrixCell, build: &F) -> (CellRecord, u64)
+fn run_cell<F>(
+    spec: &MatrixSpec,
+    cell: &MatrixCell,
+    build: &F,
+    extra_cores: usize,
+) -> (CellRecord, u64)
 where
     F: Fn(&MatrixCell) -> Result<ScenarioBuilder, WorkloadError>,
 {
@@ -1109,6 +1204,10 @@ where
             );
         }
     };
+    // Cells keep their knob's core budget plus whatever the scheduler
+    // spared; either way the record is byte-identical to a 1-core run.
+    let granted = sc.parallel_cores().max(1 + extra_cores);
+    sc.set_parallel_cores(granted);
     let deadline = Time::ZERO + spec.configure_deadline;
     let configured_at = sc.run_until_configured(deadline);
     let config_now = sc.sim.now();

@@ -51,6 +51,7 @@
 
 pub mod kernel;
 pub mod link;
+pub mod partition;
 pub mod queue;
 pub mod time;
 pub mod trace;
@@ -59,5 +60,6 @@ pub use kernel::{
     Agent, AgentId, CloneAgent, ConnId, ConnProfile, Ctx, LinkId, Sim, SimConfig, StreamEvent,
 };
 pub use link::{FaultProfile, LinkProfile};
+pub use partition::{run_parallel_until, ParallelOutcome};
 pub use time::Time;
 pub use trace::{KernelCounter, TraceEvent, TraceLevel, Tracer};

@@ -1,0 +1,905 @@
+//! Conservative parallel execution: partition one simulation across
+//! cores, byte-identical to the sequential kernel.
+//!
+//! ## Model
+//!
+//! [`run_parallel_until`] cuts the agent population into **regions**:
+//! every agent incident to a packet link (switches, hosts, traffic
+//! endpoints) joins a *dataplane* cluster, clusters connected by
+//! zero-latency edges are merged (a zero-latency edge admits no
+//! lookahead window, so its endpoints must step together), and the
+//! clusters are chunked — in BFS order over the link graph, weight
+//! balanced — into at most `cores` contiguous groups. Linkless agents
+//! (the controller plane, RPC machinery, flow-level traffic engines,
+//! the chaos injector) form region 0. Each region gets a full replica
+//! of the world but owns only the events targeting its own agents.
+//!
+//! ## Windows and the lookahead bound
+//!
+//! Let `L` be the minimum latency over *cross-region* edges (links and
+//! open stream connections). Any event an agent emits toward another
+//! region arrives at least `L` after the instant it was emitted, so
+//! all regions can safely dispatch every event strictly before
+//! `end = min(start + L, target + 1ns)`, where `start` is the global
+//! minimum pending-event time: a cross-region event emitted inside the
+//! window lands at `≥ start + L ≥ end`, i.e. never inside it.
+//!
+//! ## Byte-identity: barrier-time sequence finalization
+//!
+//! Sequential runs order same-instant events by the global `(time,
+//! seq)` key, `seq` assigned at push time. Regions cannot share that
+//! counter, so during a window each region assigns *provisional*
+//! sequence numbers starting at the shared split-time base — within a
+//! region, provisional order equals the push order the sequential run
+//! would have produced, which is all intra-window dispatch needs
+//! (cross-region events never land inside the window). At the barrier
+//! the coordinator k-way-merges the regions' dispatch logs in global
+//! `(time, finalized seq)` order — exactly the sequential dispatch
+//! order — and replays each record's pushes against the real global
+//! counter, producing the *final* sequence number for every event
+//! pushed that window. Provisional numbers are rewritten in place
+//! (the map is monotone, so queue order is preserved), cross-region
+//! events are delivered to their owner's queue under their final
+//! numbers, and every region's counter is rebased. The merged run
+//! therefore dispatches the exact sequential event order, and the
+//! reassembled world is byte-identical to the sequential one.
+//!
+//! ## Fallbacks and violations
+//!
+//! Parallel execution is a pure optimization, never a semantics
+//! change. A span is refused up front (serial fallback) when tracing
+//! is on, stochastic link faults are armed, reserved-lane events are
+//! pending (chaos schedules, fork-injected faults), the partition
+//! collapses below two dataplane regions, or `max_time` would bite.
+//! Operations the window protocol cannot replicate — topology
+//! mutation, agent spawn/kill, `connect`/`listen`/`conn_close`,
+//! shared-RNG access, `stop_sim`, reserved scheduling — mark a
+//! **violation** on the replica; the coordinator then discards all
+//! replicas and reruns the span on the sequential kernel from the
+//! pristine pre-split world.
+
+use crate::kernel::{ev_target, Ev, ParCtl, PushRec, Sim};
+use crate::time::Time;
+use crate::trace::TraceLevel;
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::time::Duration;
+
+/// How [`run_parallel_until`] executed a span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParallelOutcome {
+    /// The span ran partitioned across worker threads.
+    Parallel {
+        /// Region count, including the control region.
+        regions: usize,
+        /// Synchronization windows executed.
+        windows: u64,
+        /// Events exchanged across region boundaries at barriers.
+        cross_events: u64,
+    },
+    /// The span ran on the sequential kernel (the state is exactly
+    /// what `Sim::run_until` would have produced — it did produce it).
+    Serial { reason: &'static str },
+}
+
+impl ParallelOutcome {
+    pub fn is_parallel(&self) -> bool {
+        matches!(self, ParallelOutcome::Parallel { .. })
+    }
+}
+
+/// The graph cut: a region per agent, the region count, and the
+/// conservative lookahead bound.
+pub(crate) struct PartitionPlan {
+    /// Region of each agent (index = `AgentId.0`); region 0 is the
+    /// control region, dataplane regions are `1..regions`.
+    pub(crate) region_of: Vec<u32>,
+    /// Total regions, control region included.
+    pub(crate) regions: usize,
+    /// Minimum cross-region edge latency; `None` when no edge crosses
+    /// a region boundary (one unbounded window).
+    pub(crate) lookahead: Option<Duration>,
+}
+
+fn uf_find(uf: &mut [usize], mut x: usize) -> usize {
+    while uf[x] != x {
+        uf[x] = uf[uf[x]]; // path halving
+        x = uf[x];
+    }
+    x
+}
+
+fn uf_union(uf: &mut [usize], a: usize, b: usize) {
+    let (ra, rb) = (uf_find(uf, a), uf_find(uf, b));
+    if ra != rb {
+        // Smaller index wins the root, keeping cluster identity (and
+        // therefore the BFS seed order) deterministic.
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        uf[hi] = lo;
+    }
+}
+
+/// Cut the agent graph into regions. Returns `None` when the cut
+/// cannot yield at least two dataplane regions (serial fallback).
+pub(crate) fn build_plan(sim: &Sim, cores: usize) -> Option<PartitionPlan> {
+    let inner = &sim.inner;
+    let n = inner.next_agent;
+    if cores < 2 || n == 0 {
+        return None;
+    }
+    // Union zero-latency edges: their endpoints admit no lookahead
+    // window, so they must live in one region.
+    let mut uf: Vec<usize> = (0..n).collect();
+    let mut linked = vec![false; n];
+    for l in inner.links.iter().filter(|l| !l.removed) {
+        linked[l.a.agent.0] = true;
+        linked[l.b.agent.0] = true;
+        if l.profile.latency.is_zero() {
+            uf_union(&mut uf, l.a.agent.0, l.b.agent.0);
+        }
+    }
+    for c in inner.conns.iter().filter(|c| !c.closed) {
+        if c.profile.latency.is_zero() {
+            uf_union(&mut uf, c.ends[0].0, c.ends[1].0);
+        }
+    }
+    // Cluster inventory: weight (agent count) per root, and whether
+    // any member touches a link (dataplane) — BTreeMap for
+    // deterministic iteration order.
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut weight: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut dataplane: BTreeSet<usize> = BTreeSet::new();
+    for a in 0..n {
+        let r = uf_find(&mut uf, a);
+        *weight.entry(r).or_insert(0) += 1;
+        if linked[a] {
+            dataplane.insert(r);
+        }
+    }
+    // Cluster adjacency over the link graph (cross-cluster edges only).
+    let mut adj: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    for l in inner.links.iter().filter(|l| !l.removed) {
+        let (ra, rb) = (uf_find(&mut uf, l.a.agent.0), uf_find(&mut uf, l.b.agent.0));
+        if ra != rb {
+            adj.entry(ra).or_default().insert(rb);
+            adj.entry(rb).or_default().insert(ra);
+        }
+    }
+    // Order dataplane clusters by BFS from the smallest root, so a
+    // contiguous chunk of the order is a connected (low-cut) piece of
+    // the topology; disconnected components follow in root order.
+    let mut order: Vec<usize> = Vec::with_capacity(dataplane.len());
+    let mut visited: BTreeSet<usize> = BTreeSet::new();
+    for &seed in &dataplane {
+        if visited.contains(&seed) {
+            continue;
+        }
+        let mut frontier = std::collections::VecDeque::from([seed]);
+        visited.insert(seed);
+        while let Some(r) = frontier.pop_front() {
+            order.push(r);
+            if let Some(next) = adj.get(&r) {
+                for &nb in next {
+                    if dataplane.contains(&nb) && visited.insert(nb) {
+                        frontier.push_back(nb);
+                    }
+                }
+            }
+        }
+    }
+    if order.len() < 2 {
+        return None;
+    }
+    // Chunk the BFS order into at most `cores` contiguous groups,
+    // balanced by agent weight. Close a chunk once its cumulative
+    // share is met — or when exactly one cluster per remaining chunk
+    // is left, so every chunk gets at least one.
+    let k = cores.min(order.len());
+    let total: u64 = order.iter().map(|r| weight[r]).sum();
+    let mut chunk_of: BTreeMap<usize, u32> = BTreeMap::new();
+    let mut chunk = 0usize;
+    let mut acc = 0u64;
+    for (i, &root) in order.iter().enumerate() {
+        chunk_of.insert(root, chunk as u32 + 1);
+        acc += weight[&root];
+        let after = order.len() - i - 1;
+        let chunks_after = k - chunk - 1;
+        if chunk + 1 < k && (acc * k as u64 >= total * (chunk as u64 + 1) || after == chunks_after)
+        {
+            chunk += 1;
+        }
+    }
+    let regions = chunk + 2; // used dataplane chunks + control region 0
+    let mut region_of = vec![0u32; n];
+    for (a, slot) in region_of.iter_mut().enumerate() {
+        let r = uf_find(&mut uf, a);
+        *slot = chunk_of.get(&r).copied().unwrap_or(0);
+    }
+    // Lookahead: minimum latency over live edges whose endpoints now
+    // sit in different regions. Zero is impossible by construction —
+    // zero-latency edges were unioned into one cluster.
+    let mut lookahead: Option<Duration> = None;
+    let mut consider = |lat: Duration| {
+        lookahead = Some(lookahead.map_or(lat, |cur| cur.min(lat)));
+    };
+    for l in inner.links.iter().filter(|l| !l.removed) {
+        if region_of[l.a.agent.0] != region_of[l.b.agent.0] {
+            consider(l.profile.latency);
+        }
+    }
+    for c in inner.conns.iter().filter(|c| !c.closed) {
+        if region_of[c.ends[0].0] != region_of[c.ends[1].0] {
+            consider(c.profile.latency);
+        }
+    }
+    if lookahead == Some(Duration::ZERO) {
+        // Defensive: a zero bound would make windows empty.
+        return None;
+    }
+    Some(PartitionPlan {
+        region_of,
+        regions,
+        lookahead,
+    })
+}
+
+/// Conditions that must hold before a span may be split. Each failure
+/// names the serial-fallback reason.
+fn precheck(sim: &mut Sim, target: Time) -> Result<(), &'static str> {
+    if sim.inner.tracer.level() != TraceLevel::Off {
+        // The tracer is a single ordered log; regions cannot interleave
+        // into it. At Off, every trace/count call is a no-op, so the
+        // tracer is provably frozen across the span.
+        return Err("tracing enabled");
+    }
+    if sim.inner.stopped {
+        return Err("sim stopped");
+    }
+    if !sim.inner.pending_spawn.is_empty() || !sim.inner.pending_kill.is_empty() {
+        return Err("agent table changes pending");
+    }
+    if let Some(max) = sim.cfg.max_time {
+        if max < target {
+            return Err("max_time inside span");
+        }
+    }
+    if sim.inner.queue.has_reserved_pending() {
+        return Err("reserved events pending");
+    }
+    for l in sim.inner.links.iter().filter(|l| !l.removed) {
+        let f = &l.profile.faults;
+        if f.drop_chance > 0.0 || f.corrupt_chance > 0.0 || f.duplicate_chance > 0.0 {
+            // Stochastic faults draw from the shared RNG per frame.
+            return Err("stochastic link faults armed");
+        }
+    }
+    Ok(())
+}
+
+/// One dispatched event in a region's window log.
+struct DispatchRec {
+    at: Time,
+    /// Queue key at dispatch time: a pre-split final number, or a
+    /// provisional one (≥ the window's base) finalized at the barrier.
+    seq: u64,
+    pushes: Vec<PushRec>,
+}
+
+enum Cmd {
+    /// Dispatch every owned event strictly before `end`.
+    Window {
+        end: Time,
+    },
+    /// Apply barrier results: rewrite provisional→final sequence
+    /// numbers, insert routed cross-region events, rebase the counter.
+    Barrier {
+        remap: Vec<(u64, u64)>,
+        inserts: Vec<(Time, u64, Ev)>,
+        next_seq: u64,
+    },
+    Done,
+}
+
+enum Reply {
+    Window {
+        log: Vec<DispatchRec>,
+        violation: Option<&'static str>,
+    },
+    Barrier {
+        next_at: Option<Time>,
+    },
+}
+
+/// Region worker: owns one replica, executes windows on command.
+fn worker(mut sim: Sim, cmds: Receiver<Cmd>, replies: Sender<Reply>) -> Sim {
+    while let Ok(cmd) = cmds.recv() {
+        match cmd {
+            Cmd::Window { end } => {
+                let mut log = Vec::new();
+                let mut violation = None;
+                loop {
+                    let Some((at, _)) = sim.inner.queue.peek_entry_key() else {
+                        break;
+                    };
+                    if at >= end {
+                        break;
+                    }
+                    let (at, seq, ev) = sim.inner.queue.pop_entry().expect("peeked");
+                    sim.inner.now = at;
+                    sim.events_dispatched += 1;
+                    sim.dispatch(ev);
+                    sim.apply_pending();
+                    let par = sim.inner.par.as_deref_mut().expect("window replica");
+                    log.push(DispatchRec {
+                        at,
+                        seq,
+                        pushes: std::mem::take(&mut par.pushes),
+                    });
+                    if par.violation.is_some() {
+                        violation = par.violation;
+                        break;
+                    }
+                }
+                if replies.send(Reply::Window { log, violation }).is_err() {
+                    break;
+                }
+            }
+            Cmd::Barrier {
+                remap,
+                inserts,
+                next_seq,
+            } => {
+                if !remap.is_empty() {
+                    let map: HashMap<u64, u64> = remap.into_iter().collect();
+                    sim.inner.queue.remap_seqs(&map);
+                }
+                for (at, seq, ev) in inserts {
+                    sim.inner.queue.push_with_seq(at, seq, ev);
+                }
+                sim.inner.queue.set_next_ordinary_seq(next_seq);
+                let next_at = sim.inner.queue.peek_time();
+                if replies.send(Reply::Barrier { next_at }).is_err() {
+                    break;
+                }
+            }
+            Cmd::Done => break,
+        }
+    }
+    sim
+}
+
+/// Merge one window's per-region dispatch logs in global sequential
+/// order, assigning final sequence numbers to every push. Returns the
+/// advanced global counter, the per-region provisional→final remaps,
+/// the per-destination cross-region inserts, and the cross count.
+#[allow(clippy::type_complexity)]
+fn merge_window(
+    mut logs: Vec<Vec<DispatchRec>>,
+    base: u64,
+    region_of: &[u32],
+    regions: usize,
+) -> (u64, Vec<Vec<(u64, u64)>>, Vec<Vec<(Time, u64, Ev)>>, u64) {
+    let mut idx = vec![0usize; regions];
+    let mut maps: Vec<HashMap<u64, u64>> = (0..regions).map(|_| HashMap::new()).collect();
+    let mut remaps: Vec<Vec<(u64, u64)>> = (0..regions).map(|_| Vec::new()).collect();
+    let mut inserts: Vec<Vec<(Time, u64, Ev)>> = (0..regions).map(|_| Vec::new()).collect();
+    let mut next = base;
+    let mut cross = 0u64;
+    loop {
+        // The head of each region's log resolves to its final key: a
+        // provisional head was pushed by an *earlier* record of the
+        // same region (push precedes dispatch, logs are in dispatch
+        // order), which the merge already consumed — so the lookup
+        // always succeeds.
+        let mut best: Option<(Time, u64, usize)> = None;
+        for (r, log) in logs.iter().enumerate() {
+            if let Some(rec) = log.get(idx[r]) {
+                let seq = if rec.seq >= base {
+                    *maps[r].get(&rec.seq).expect("provisional resolves")
+                } else {
+                    rec.seq
+                };
+                if best.is_none_or(|(bat, bseq, _)| (rec.at, seq) < (bat, bseq)) {
+                    best = Some((rec.at, seq, r));
+                }
+            }
+        }
+        let Some((_, _, r)) = best else { break };
+        let pushes = std::mem::take(&mut logs[r][idx[r]].pushes);
+        idx[r] += 1;
+        // Replay this record's pushes against the global counter —
+        // the exact numbers the sequential kernel would have assigned.
+        for p in pushes {
+            let fin = next;
+            next += 1;
+            match p {
+                PushRec::Local { prov_seq } => {
+                    maps[r].insert(prov_seq, fin);
+                    remaps[r].push((prov_seq, fin));
+                }
+                PushRec::Cross { at, ev } => {
+                    let dst = region_of.get(ev_target(&ev).0).copied().unwrap_or(0) as usize;
+                    inserts[dst].push((at, fin, ev));
+                    cross += 1;
+                }
+            }
+        }
+    }
+    (next, remaps, inserts, cross)
+}
+
+/// Advance `sim` to `target` (events at exactly `target` included,
+/// like `Sim::run_until`), splitting the work across up to `cores`
+/// dataplane regions when the world allows it. The resulting state is
+/// byte-identical to `Sim::run_until(target)` in every observable:
+/// agent state, queue order, counters, clocks, RNG.
+pub fn run_parallel_until(sim: &mut Sim, target: Time, cores: usize) -> ParallelOutcome {
+    let serial = |sim: &mut Sim, reason: &'static str| {
+        sim.run_until(target);
+        ParallelOutcome::Serial { reason }
+    };
+    if cores < 2 {
+        return serial(sim, "fewer than two cores");
+    }
+    if target <= sim.now() {
+        return serial(sim, "empty span");
+    }
+    if let Err(reason) = precheck(sim, target) {
+        return serial(sim, reason);
+    }
+    let Some(plan) = build_plan(sim, cores) else {
+        return serial(sim, "partition collapsed");
+    };
+
+    // Split: keep a pristine copy for the violation path, then drain
+    // the queue and hand every region a replica holding only the
+    // events it owns.
+    let pristine = sim.clone();
+    let base0 = sim.inner.queue.next_ordinary_seq();
+    let entries = sim.inner.queue.drain_entries();
+    let regions = plan.regions;
+    let mut replicas: Vec<Sim> = Vec::with_capacity(regions);
+    for r in 0..regions {
+        let mut rep = sim.clone();
+        rep.inner.par = Some(Box::new(ParCtl {
+            my_region: r as u32,
+            region_of: plan.region_of.clone(),
+            pushes: Vec::new(),
+            violation: None,
+        }));
+        replicas.push(rep);
+    }
+    for (at, seq, ev) in entries {
+        let r = plan.region_of.get(ev_target(&ev).0).copied().unwrap_or(0) as usize;
+        replicas[r].inner.queue.push_with_seq(at, seq, ev);
+    }
+    let mut next_at: Vec<Option<Time>> = replicas
+        .iter_mut()
+        .map(|rep| rep.inner.queue.peek_time())
+        .collect();
+
+    enum RunResult {
+        Finished {
+            merged: Box<Sim>,
+            base: u64,
+            windows: u64,
+            cross: u64,
+        },
+        Violated(&'static str),
+    }
+
+    let prefix_dispatched = sim.events_dispatched;
+    let end_cap = Time::from_nanos(target.as_nanos() + 1);
+    let result = std::thread::scope(|scope| {
+        let mut cmd_txs: Vec<Sender<Cmd>> = Vec::with_capacity(regions);
+        let mut reply_rxs: Vec<Receiver<Reply>> = Vec::with_capacity(regions);
+        let mut handles = Vec::with_capacity(regions);
+        for rep in replicas {
+            let (cmd_tx, cmd_rx) = channel::<Cmd>();
+            let (reply_tx, reply_rx) = channel::<Reply>();
+            cmd_txs.push(cmd_tx);
+            reply_rxs.push(reply_rx);
+            handles.push(scope.spawn(move || worker(rep, cmd_rx, reply_tx)));
+        }
+        let finish = |cmd_txs: &[Sender<Cmd>], handles: Vec<_>| -> Vec<Sim> {
+            for tx in cmd_txs {
+                let _ = tx.send(Cmd::Done);
+            }
+            handles
+                .into_iter()
+                .map(|h: std::thread::ScopedJoinHandle<'_, Sim>| h.join().expect("worker"))
+                .collect()
+        };
+
+        let mut base = base0;
+        let mut windows = 0u64;
+        let mut cross_total = 0u64;
+        loop {
+            let Some(start) = next_at.iter().flatten().min().copied() else {
+                break;
+            };
+            if start > target {
+                break;
+            }
+            let end = match plan.lookahead {
+                Some(l) => (start + l).min(end_cap),
+                None => end_cap,
+            };
+            for tx in &cmd_txs {
+                tx.send(Cmd::Window { end }).expect("worker alive");
+            }
+            let mut logs = Vec::with_capacity(regions);
+            let mut violation = None;
+            for rx in &reply_rxs {
+                match rx.recv().expect("worker alive") {
+                    Reply::Window { log, violation: v } => {
+                        if violation.is_none() {
+                            violation = v;
+                        }
+                        logs.push(log);
+                    }
+                    Reply::Barrier { .. } => unreachable!("window reply expected"),
+                }
+            }
+            if let Some(v) = violation {
+                finish(&cmd_txs, handles);
+                return RunResult::Violated(v);
+            }
+            windows += 1;
+            let (new_base, remaps, inserts, cross) =
+                merge_window(logs, base, &plan.region_of, regions);
+            base = new_base;
+            cross_total += cross;
+            let mut remaps = remaps.into_iter();
+            let mut inserts = inserts.into_iter();
+            for tx in &cmd_txs {
+                tx.send(Cmd::Barrier {
+                    remap: remaps.next().expect("per region"),
+                    inserts: inserts.next().expect("per region"),
+                    next_seq: base,
+                })
+                .expect("worker alive");
+            }
+            for (r, rx) in reply_rxs.iter().enumerate() {
+                match rx.recv().expect("worker alive") {
+                    Reply::Barrier { next_at: na } => next_at[r] = na,
+                    Reply::Window { .. } => unreachable!("barrier reply expected"),
+                }
+            }
+        }
+        let finals = finish(&cmd_txs, handles);
+        let merged = merge_replicas(finals, &plan, target, base, prefix_dispatched);
+        RunResult::Finished {
+            merged: Box::new(merged),
+            base,
+            windows,
+            cross: cross_total,
+        }
+    });
+
+    match result {
+        RunResult::Violated(reason) => {
+            *sim = pristine;
+            sim.run_until(target);
+            ParallelOutcome::Serial { reason }
+        }
+        RunResult::Finished {
+            merged,
+            base,
+            windows,
+            cross,
+        } => {
+            let _ = base;
+            *sim = *merged;
+            ParallelOutcome::Parallel {
+                regions,
+                windows,
+                cross_events: cross,
+            }
+        }
+    }
+}
+
+/// Reassemble one world from the region replicas: region 0's replica
+/// is the base (control agents, shared frozen state, the tracer and
+/// RNG — all provably identical across replicas); every other region
+/// contributes its own agents, its remaining queue entries, and the
+/// link/conn clocks it owns.
+fn merge_replicas(
+    finals: Vec<Sim>,
+    plan: &PartitionPlan,
+    target: Time,
+    base: u64,
+    prefix_dispatched: u64,
+) -> Sim {
+    let mut it = finals.into_iter();
+    let mut merged = it.next().expect("region 0 replica");
+    for (i, mut rep) in it.enumerate() {
+        let r = (i + 1) as u32;
+        for id in 0..rep.agents.len() {
+            if plan.region_of.get(id).copied().unwrap_or(0) == r {
+                merged.agents[id] = rep.agents[id].take();
+            }
+        }
+        for (at, seq, ev) in rep.inner.queue.drain_entries() {
+            merged.inner.queue.push_with_seq(at, seq, ev);
+        }
+        // Direction-owned transmitter horizons: busy[0] belongs to the
+        // a→b sender's region, busy[1] to b→a's.
+        for (li, l) in rep.inner.links.iter().enumerate() {
+            let m = &mut merged.inner.links[li];
+            if plan.region_of[l.a.agent.0] == r {
+                m.busy[0] = l.busy[0];
+            }
+            if plan.region_of[l.b.agent.0] == r {
+                m.busy[1] = l.busy[1];
+            }
+        }
+        // Sender-side in-order delivery clocks, same ownership rule.
+        for (ci, c) in rep.inner.conns.iter().enumerate() {
+            let m = &mut merged.inner.conns[ci];
+            if plan.region_of[c.ends[0].0] == r {
+                m.deliver_clock[0] = c.deliver_clock[0];
+            }
+            if plan.region_of[c.ends[1].0] == r {
+                m.deliver_clock[1] = c.deliver_clock[1];
+            }
+        }
+        merged.events_dispatched += rep.events_dispatched - prefix_dispatched;
+    }
+    merged.inner.queue.set_next_ordinary_seq(base);
+    merged.inner.now = target;
+    merged.inner.par = None;
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{Agent, AgentId, Ctx, SimConfig};
+    use crate::link::LinkProfile;
+    use bytes::Bytes;
+    use std::time::Duration;
+
+    /// Deterministic chatter: echoes every frame back with a
+    /// decremented TTL byte, logging arrivals; periodic timers keep
+    /// fresh bursts flowing. Heavy cross-link traffic with no RNG —
+    /// the workload shape the parallel kernel is built for.
+    #[derive(Clone, Default)]
+    struct Relay {
+        ports: Vec<u32>,
+        bursts: u32,
+        log: Vec<(Time, u32, u8)>,
+        timers: u32,
+    }
+
+    impl Agent for Relay {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for &p in &self.ports {
+                ctx.send_frame(p, Bytes::from(vec![40u8]));
+            }
+            if self.bursts > 0 {
+                ctx.schedule(Duration::from_millis(7), 0);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+            self.timers += 1;
+            for &p in &self.ports {
+                ctx.send_frame(p, Bytes::from(vec![12u8]));
+            }
+            if self.timers < self.bursts {
+                ctx.schedule(Duration::from_millis(7), 0);
+            }
+        }
+        fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: u32, frame: Bytes) {
+            let ttl = frame.first().copied().unwrap_or(0);
+            self.log.push((ctx.now(), port, ttl));
+            if ttl > 0 {
+                ctx.send_frame(port, Bytes::from(vec![ttl - 1]));
+            }
+        }
+    }
+
+    /// A line of `n` relays; link `i` gets `latencies[i % len]`.
+    fn line_sim(n: usize, latencies: &[Duration]) -> (Sim, Vec<AgentId>) {
+        let mut sim = Sim::new(SimConfig {
+            trace_level: TraceLevel::Off,
+            ..Default::default()
+        });
+        let ids: Vec<AgentId> = (0..n)
+            .map(|i| {
+                let ports = if i == 0 || i == n - 1 {
+                    vec![1]
+                } else {
+                    vec![1, 2]
+                };
+                sim.add_agent(
+                    &format!("relay{i}"),
+                    Box::new(Relay {
+                        ports,
+                        bursts: 3,
+                        ..Default::default()
+                    }),
+                )
+            })
+            .collect();
+        for i in 0..n - 1 {
+            let lat = latencies[i % latencies.len()];
+            // Right port of ids[i] is its last port; left port of
+            // ids[i+1] is port 1.
+            let a_port = if i == 0 { 1 } else { 2 };
+            sim.add_link(
+                (ids[i], a_port),
+                (ids[i + 1], 1),
+                LinkProfile::with_latency(lat),
+            );
+        }
+        (sim, ids)
+    }
+
+    fn fingerprint(sim: &Sim, ids: &[AgentId]) -> (Vec<Vec<(Time, u32, u8)>>, u64, Time, usize) {
+        (
+            ids.iter()
+                .map(|&id| sim.agent_as::<Relay>(id).unwrap().log.clone())
+                .collect(),
+            sim.events_dispatched(),
+            sim.now(),
+            sim.pending_events(),
+        )
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_a_line() {
+        for cores in [2, 3, 4] {
+            let (mut seq, ids) = line_sim(8, &[Duration::from_millis(1), Duration::from_millis(2)]);
+            let (mut par, _) = line_sim(8, &[Duration::from_millis(1), Duration::from_millis(2)]);
+            let target = Time::from_millis(400);
+            seq.run_until(target);
+            let out = run_parallel_until(&mut par, target, cores);
+            assert!(out.is_parallel(), "cores={cores}: {out:?}");
+            assert_eq!(
+                fingerprint(&seq, &ids),
+                fingerprint(&par, &ids),
+                "cores={cores}"
+            );
+            // And the merged world keeps replaying identically.
+            let tail = Time::from_millis(800);
+            seq.run_until(tail);
+            par.run_until(tail);
+            assert_eq!(
+                fingerprint(&seq, &ids),
+                fingerprint(&par, &ids),
+                "tail, cores={cores}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_run_can_be_windowed_repeatedly() {
+        let (mut seq, ids) = line_sim(6, &[Duration::from_millis(1)]);
+        let (mut par, _) = line_sim(6, &[Duration::from_millis(1)]);
+        seq.run_until(Time::from_millis(300));
+        for slice in 1..=6 {
+            let t = Time::from_millis(50 * slice);
+            run_parallel_until(&mut par, t, 3);
+        }
+        assert_eq!(fingerprint(&seq, &ids), fingerprint(&par, &ids));
+    }
+
+    #[test]
+    fn zero_latency_link_merges_endpoints_into_one_region() {
+        // Middle link has zero latency: its endpoints must share a
+        // region, and the cut must still split the rest.
+        let lats = [
+            Duration::from_millis(1),
+            Duration::from_millis(1),
+            Duration::from_millis(1),
+            Duration::ZERO,
+            Duration::from_millis(1),
+            Duration::from_millis(1),
+            Duration::from_millis(1),
+        ];
+        let (sim, ids) = line_sim(8, &lats);
+        let plan = build_plan(&sim, 4).expect("plan");
+        assert_eq!(
+            plan.region_of[ids[3].0], plan.region_of[ids[4].0],
+            "zero-latency endpoints must co-reside"
+        );
+        assert!(plan.regions >= 3, "still splits: {} regions", plan.regions);
+        assert_eq!(plan.lookahead, Some(Duration::from_millis(1)));
+        // And the run stays byte-identical.
+        let (mut seq, _) = line_sim(8, &lats);
+        let (mut par, _) = line_sim(8, &lats);
+        seq.run_until(Time::from_millis(200));
+        let out = run_parallel_until(&mut par, Time::from_millis(200), 4);
+        assert!(out.is_parallel(), "{out:?}");
+        assert_eq!(fingerprint(&seq, &ids), fingerprint(&par, &ids));
+    }
+
+    #[test]
+    fn all_zero_latency_collapses_to_serial() {
+        let (mut sim, _) = line_sim(4, &[Duration::ZERO]);
+        assert!(build_plan(&sim, 4).is_none());
+        let out = run_parallel_until(&mut sim, Time::from_millis(50), 4);
+        assert_eq!(
+            out,
+            ParallelOutcome::Serial {
+                reason: "partition collapsed"
+            }
+        );
+    }
+
+    #[test]
+    fn reserved_pending_falls_back_serial() {
+        let (mut sim, ids) = line_sim(4, &[Duration::from_millis(1)]);
+        sim.schedule_timer_reserved(ids[0], Duration::from_millis(30), 9);
+        let out = run_parallel_until(&mut sim, Time::from_millis(100), 2);
+        assert_eq!(
+            out,
+            ParallelOutcome::Serial {
+                reason: "reserved events pending"
+            }
+        );
+        assert_eq!(sim.now(), Time::from_millis(100));
+    }
+
+    #[test]
+    fn violation_mid_window_reruns_serially_and_identically() {
+        /// Relay that suddenly needs the shared RNG mid-run — the
+        /// protocol must throw the replicas away and rerun serially.
+        #[derive(Clone, Default)]
+        struct RngPoker {
+            draws: Vec<u64>,
+        }
+        impl Agent for RngPoker {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.schedule(Duration::from_millis(60), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+                use rand::RngCore;
+                self.draws.push(ctx.rng().next_u64());
+            }
+        }
+        fn build() -> (Sim, Vec<AgentId>, AgentId) {
+            let (mut sim, ids) = line_sim(6, &[Duration::from_millis(1)]);
+            let poker = sim.add_agent("poker", Box::new(RngPoker::default()));
+            (sim, ids, poker)
+        }
+        let (mut seq, ids, poker_s) = build();
+        let (mut par, _, poker_p) = build();
+        let target = Time::from_millis(150);
+        seq.run_until(target);
+        let out = run_parallel_until(&mut par, target, 3);
+        assert_eq!(out, ParallelOutcome::Serial { reason: "rng" });
+        assert_eq!(fingerprint(&seq, &ids), fingerprint(&par, &ids));
+        assert_eq!(
+            seq.agent_as::<RngPoker>(poker_s).unwrap().draws,
+            par.agent_as::<RngPoker>(poker_p).unwrap().draws
+        );
+    }
+
+    #[test]
+    fn events_at_exactly_target_are_dispatched() {
+        #[derive(Clone, Default)]
+        struct EdgeTimer {
+            fired: Vec<Time>,
+        }
+        impl Agent for EdgeTimer {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.schedule(Duration::from_millis(100), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+                self.fired.push(ctx.now());
+            }
+        }
+        let (mut sim, _) = line_sim(4, &[Duration::from_millis(1)]);
+        let e = sim.add_agent("edge", Box::new(EdgeTimer::default()));
+        let out = run_parallel_until(&mut sim, Time::from_millis(100), 2);
+        assert!(out.is_parallel(), "{out:?}");
+        assert_eq!(
+            sim.agent_as::<EdgeTimer>(e).unwrap().fired,
+            vec![Time::from_millis(100)]
+        );
+        assert_eq!(sim.now(), Time::from_millis(100));
+    }
+}

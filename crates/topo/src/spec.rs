@@ -291,6 +291,35 @@ impl TopoSpec {
                 .count(),
         }
     }
+
+    /// Edge count without building the graph. Exact for every variant
+    /// except the seeded random families, which report the expected
+    /// value of their draw (Erdős–Rényi at p = 6/n, Waxman roughly
+    /// likewise). Together with [`TopoSpec::node_count_estimate`] this
+    /// drives the sweep scheduler's cost model — denser graphs flood
+    /// more LSAs and carry more probe traffic per simulated second.
+    pub fn edge_count_estimate(&self) -> usize {
+        match *self {
+            TopoSpec::Ring(n) => n,
+            TopoSpec::Line(n) | TopoSpec::Star(n) => n - 1,
+            TopoSpec::Mesh(n) => n * (n - 1) / 2,
+            TopoSpec::Grid { w, h } => 2 * w * h - w - h,
+            TopoSpec::PanEuropean => crate::pan_european::LINKS.len(),
+            TopoSpec::FatTree { k } => k * k * k / 2,
+            TopoSpec::LeafSpine {
+                spines,
+                leaves,
+                hosts_per_leaf,
+            } => leaves * (spines + hosts_per_leaf),
+            // Expected degree ≈ 6 for both seeded families.
+            TopoSpec::Seeded { n, .. } => 3 * n,
+            TopoSpec::Corpus(name) => corpus::raw(name)
+                .expect("Corpus specs hold interned slugs")
+                .lines()
+                .filter(|l| l.starts_with("link "))
+                .count(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -390,6 +419,13 @@ mod tests {
                 spec.node_count_estimate(),
                 "estimate for {name}"
             );
+            if !matches!(spec, TopoSpec::Seeded { .. }) {
+                assert_eq!(
+                    t.edge_count(),
+                    spec.edge_count_estimate(),
+                    "edge estimate for {name}"
+                );
+            }
             assert!(t.is_connected(), "{name} must be connected");
         }
         assert_eq!(

@@ -8,9 +8,12 @@
 #       whose label already exists is skipped). When PERF_JSON (a
 #       BENCH_perf.json from perf_sweep) is given, the wall-clock
 #       cells/sec of its full (falling back to smoke) grid fills that
-#       column, and fork_speedup carries the same grid's
-#       checkpoint/fork wall ratio (perf schema v2, `fork.speedup_x1000`,
-#       printed as a decimal); when CORPUS_JSON (a `matrix_sweep --corpus` report) is
+#       column, fork_speedup carries the same grid's checkpoint/fork
+#       wall ratio (perf schema v2, `fork.speedup_x1000`, printed as a
+#       decimal), and parallel_speedup the intra-scenario
+#       parallel-kernel probe ratio (perf schema v3,
+#       `parallel.speedup_x1000`; "-" when the probe was skipped, e.g.
+#       on a sub-4-core host); when CORPUS_JSON (a `matrix_sweep --corpus` report) is
 #       given, the trailing columns carry the corpus breadth (distinct
 #       topologies) and the median across per-topology configuration
 #       medians. Absent inputs read "-".
@@ -39,10 +42,10 @@ header() {
             printf 'Times are nanoseconds of simulated time; `-` means the metric was absent.\n\n'
             printf '| run | cells |'
             printf ' %s |' "${METRICS[@]}"
-            printf ' wall_cells_per_sec | fork_speedup | corpus_topos | corpus_config_median_ns |'
+            printf ' wall_cells_per_sec | fork_speedup | parallel_speedup | corpus_topos | corpus_config_median_ns |'
             printf '\n|---|---|'
             printf '%s' "$(printf -- '---|%.0s' "${METRICS[@]}")"
-            printf -- '---|---|---|---|'
+            printf -- '---|---|---|---|---|'
             printf '\n'
         } >"$md"
     fi
@@ -62,7 +65,7 @@ cols = [label, str(len(cells))]
 for m in metrics:
     s = summary.get(m)
     cols.append(str(s["median"]) if s else "-")
-cps, fork_speedup = "-", "-"
+cps, fork_speedup, parallel_speedup = "-", "-", "-"
 if perf:
     try:
         with open(perf) as f:
@@ -74,9 +77,16 @@ if perf:
         x1000 = grid.get("fork", {}).get("speedup_x1000")
         if x1000 is not None:
             fork_speedup = f"{x1000 / 1000:.2f}"
+        # Perf schema v3: the intra-scenario parallel-kernel probe
+        # ratio (serial wall / 4-core wall on the grid's costliest
+        # fault-free cell). Absent when the probe was skipped — e.g.
+        # the runner had fewer than 4 cores.
+        x1000 = grid.get("parallel", {}).get("speedup_x1000")
+        if x1000 is not None:
+            parallel_speedup = f"{x1000 / 1000:.2f}"
     except (OSError, ValueError):
         pass  # missing or malformed perf file: leave the column "-"
-cols += [cps, fork_speedup]
+cols += [cps, fork_speedup, parallel_speedup]
 # Corpus breadth columns: distinct topologies in the corpus report and
 # the median across per-topology configuration medians (lower median
 # throughout, matching MatrixReport::per_topology_medians).

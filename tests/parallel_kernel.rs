@@ -1,0 +1,194 @@
+//! Workspace-level tests for the intra-scenario parallel kernel: the
+//! byte-identity contract (`parallel_cores` must never change a
+//! `MatrixReport`, at packet- and flow-level traffic granularity),
+//! genuine engagement on a configured topology (not just the serial
+//! fallback validating itself), the zero-latency degenerate case, and
+//! the recalibrated `expected_cost` model ordering cells the way the
+//! wall clock does.
+
+use rf_core::scenario::{
+    FaultSchedule, MatrixKnob, MatrixSpec, Scenario, ScenarioMatrix, Workload,
+};
+use rf_core::traffic::{FlowSize, TrafficSpec};
+use rf_sim::{LinkProfile, ParallelOutcome, Time, TraceLevel};
+use rf_topo::ring;
+use std::time::Duration;
+
+/// One ring-8 traffic cell: a fixed-size incast whose senders start on
+/// a fixed cadence, so the offered load is deterministic and the
+/// post-convergence span is long enough (tens of simulated seconds)
+/// for the parallel kernel to engage.
+fn traffic_cell(knob: MatrixKnob) -> MatrixSpec {
+    MatrixSpec {
+        seeds: vec![7],
+        topologies: vec!["ring-8".into()],
+        schedules: vec![FaultSchedule::none()],
+        knobs: vec![knob],
+        configure_deadline: Duration::from_secs(90),
+        post_fault_window: Duration::from_secs(12),
+        settle: Duration::from_secs(5),
+    }
+}
+
+fn incast(flow_level: bool) -> TrafficSpec {
+    let spec = TrafficSpec::incast(3, FlowSize::fixed(60_000), Duration::from_secs(2), 4)
+        .window(Duration::from_secs(20), Duration::from_secs(10));
+    if flow_level {
+        spec.flow_level()
+    } else {
+        spec
+    }
+}
+
+#[test]
+fn parallel_cores_never_change_report_bytes_at_either_granularity() {
+    // THE contract of the parallel-kernel tentpole, at the artifact
+    // level: a packet-level and a flow-level traffic cell, each run
+    // with 1, 2 and 4 granted cores, must emit byte-identical
+    // MatrixReport JSON. `parallel_cores` is deliberately absent from
+    // the cell key, so any divergence shows up as a content diff.
+    for (name, flow_level) in [("incast3p", false), ("incast3f", true)] {
+        let knob = MatrixKnob::fast(name).with_traffic(incast(flow_level));
+        let baseline = ScenarioMatrix::new(traffic_cell(knob.clone().with_parallel_cores(1)))
+            .run(1)
+            .to_json();
+        for cores in [2, 4] {
+            let report = ScenarioMatrix::new(traffic_cell(knob.clone().with_parallel_cores(cores)))
+                .run(1)
+                .to_json();
+            assert_eq!(
+                report, baseline,
+                "knob {name}: report with parallel_cores={cores} must be \
+                 byte-identical to the sequential report"
+            );
+        }
+    }
+}
+
+/// A ring-8 scenario pair — one sequential, one with the parallel
+/// kernel granted `cores` regions — stepped identically through
+/// convergence and a long post-convergence span.
+fn scenario_pair(cores: usize, profile: Option<LinkProfile>) -> (Scenario, Scenario) {
+    let build = |cores: usize| {
+        let mut b = Scenario::on(ring(8))
+            .fast_timers()
+            .seed(9)
+            .trace_level(TraceLevel::Off)
+            .with_workload(Workload::ping(0, 4))
+            .parallel_cores(cores);
+        if let Some(p) = profile.clone() {
+            b = b.link_profile(p);
+        }
+        b.start()
+    };
+    (build(1), build(cores))
+}
+
+#[test]
+fn parallel_kernel_genuinely_engages_after_convergence() {
+    // Guard against the identity tests above proving nothing: if every
+    // span fell back to sequential execution, they would pass
+    // vacuously. On a configured ring-8 the partitioner must find >= 2
+    // dataplane regions and the span must actually run windowed.
+    let (mut serial, mut parallel) = scenario_pair(4, None);
+    for sc in [&mut serial, &mut parallel] {
+        let configured = sc.run_until_configured(Time::from_secs(60));
+        let at = configured.expect("ring-8 must configure under fast timers");
+        sc.run_until(at + Duration::from_secs(15));
+    }
+    match parallel.last_parallel {
+        Some(ParallelOutcome::Parallel {
+            regions, windows, ..
+        }) => {
+            assert!(regions >= 2, "partition must split the dataplane");
+            assert!(windows >= 1, "the span must advance in windows");
+        }
+        other => panic!("parallel kernel must engage, got {other:?}"),
+    }
+    assert!(serial.last_parallel.is_none(), "1 core must stay serial");
+    // Same world afterwards: metrics and every workload report agree.
+    assert_eq!(
+        format!("{:?}", serial.workload_reports()),
+        format!("{:?}", parallel.workload_reports()),
+    );
+    assert_eq!(
+        format!("{:?}", serial.finish()),
+        format!("{:?}", parallel.finish()),
+    );
+}
+
+#[test]
+fn zero_latency_links_merge_endpoints_into_fewer_regions() {
+    // Endpoints joined by a zero-latency link give the kernel no
+    // lookahead, so the partitioner must merge them into one region.
+    // With every *link* at zero latency the whole physical fabric
+    // collapses to a single region; what keeps the run parallel at
+    // all is the control plane's positive-latency streams, which
+    // still separate the physical world from the VM world. The
+    // region count must therefore drop versus the default-latency
+    // partition — and the merged run must leave identical state.
+    let regions_of = |sc: &Scenario| match sc.last_parallel {
+        Some(ParallelOutcome::Parallel { regions, .. }) => regions,
+        ref other => panic!("expected engagement, got {other:?}"),
+    };
+    let span = |sc: &mut Scenario| {
+        let configured = sc.run_until_configured(Time::from_secs(60));
+        let at = configured.expect("ring-8 must configure");
+        sc.run_until(at + Duration::from_secs(10));
+    };
+    let (_, mut default_par) = scenario_pair(4, None);
+    span(&mut default_par);
+    let zero = LinkProfile::with_latency(Duration::ZERO);
+    let (mut serial, mut parallel) = scenario_pair(4, Some(zero));
+    span(&mut serial);
+    span(&mut parallel);
+    assert!(
+        regions_of(&parallel) < regions_of(&default_par),
+        "zero-latency links must merge dataplane regions ({} vs {})",
+        regions_of(&parallel),
+        regions_of(&default_par),
+    );
+    assert_eq!(
+        format!("{:?}", serial.finish()),
+        format!("{:?}", parallel.finish()),
+    );
+}
+
+#[test]
+fn expected_cost_orders_cells_like_the_wall_clock() {
+    // The scheduler sorts cells by `expected_cost` so the costliest
+    // start first (and attract the spare-core budget). The model needs
+    // no precision, but its *ordering* must track reality: a 16-switch
+    // grid must be predicted and measured costlier than a 4-ring.
+    let spec = MatrixSpec {
+        seeds: vec![1],
+        topologies: vec!["ring-4".into(), "grid-4x4".into()],
+        schedules: vec![FaultSchedule::none()],
+        knobs: vec![MatrixKnob::fast("fast")],
+        configure_deadline: Duration::from_secs(120),
+        post_fault_window: Duration::from_secs(10),
+        settle: Duration::from_secs(5),
+    };
+    let matrix = ScenarioMatrix::new(spec.clone());
+    let mut cells = spec.cells();
+    cells.sort_by_key(|c| matrix.expected_cell_cost(c));
+    let (cheap, costly) = (cells.first().unwrap(), cells.last().unwrap());
+    assert!(cheap.key().contains("topo=ring-4"), "{}", cheap.key());
+    assert!(costly.key().contains("topo=grid-4x4"), "{}", costly.key());
+    let (_, stats) = matrix.run_instrumented(1, ScenarioMatrix::standard_builder);
+    let wall_of = |key: &str| {
+        stats
+            .cells
+            .iter()
+            .find(|s| s.key == key)
+            .expect("stat per cell")
+            .wall
+    };
+    assert!(
+        wall_of(&costly.key()) > wall_of(&cheap.key()),
+        "predicted-costliest cell must also measure slower \
+         ({:?} vs {:?})",
+        wall_of(&costly.key()),
+        wall_of(&cheap.key()),
+    );
+}
