@@ -1,0 +1,627 @@
+//! The chaos campaign runner: N seeded schedules × M topologies,
+//! fanned over worker threads, every cell invariant-checked, every
+//! violation shrunk to a minimal repro.
+//!
+//! A campaign is an experiment like any sweep — same byte-stable
+//! [`MatrixReport`], same thread-count independence — with two
+//! additions: per-cell `chaos_*`/`inv_*` metrics from the invariant
+//! checker, and a [`ReproCase`] artifact per violating cell whose
+//! minimized schedule replays the violation deterministically.
+
+use super::invariants::{check_invariants, InvariantContext, InvariantViolation};
+use super::shrink::shrink_schedule;
+use super::{fault_from_json, fault_to_json, ChaosSpec};
+use crate::json::Json;
+use crate::scenario::matrix::{finish_cell, forkable};
+use crate::scenario::{
+    CellRecord, Fault, FaultSchedule, MatrixCell, MatrixKnob, MatrixReport, MatrixSpec, Scenario,
+    ScenarioMatrix, Snapshot, SnapshotError,
+};
+use rf_sim::Time;
+use rf_topo::Topology;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A campaign definition: which topologies, how many seeded schedules
+/// on each, what the schedules may contain, and the per-cell run
+/// policy.
+#[derive(Clone, Debug)]
+pub struct ChaosCampaign {
+    /// Topology names (any [`rf_topo::TopoSpec`] spelling, including
+    /// the corpus WANs).
+    pub topologies: Vec<String>,
+    /// Seeded schedules drawn per topology.
+    pub schedules_per_topology: usize,
+    /// Campaign master seed; every cell's seed is a deterministic mix
+    /// of it with the topology and schedule indices.
+    pub seed: u64,
+    /// Schedule-shape template. Its `seed` is overridden per cell and
+    /// its `protect` list is extended with each topology's standard
+    /// workload endpoints (the farthest pair), so the probe traffic
+    /// always has two live endpoints to speak between.
+    pub template: ChaosSpec,
+    /// Scenario parameters for every cell.
+    pub knob: MatrixKnob,
+    pub configure_deadline: Duration,
+    /// Slack after the last fault heals; must comfortably cover an
+    /// OSPF dead interval plus reconvergence.
+    pub post_fault_window: Duration,
+    pub settle: Duration,
+    /// Minimize each violating schedule with the shrinker.
+    pub shrink: bool,
+}
+
+/// Campaign-wide accounting.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignStats {
+    /// Cells that ran (schedules × topologies, minus nothing).
+    pub schedules: usize,
+    /// Cells whose builder rejected the axes.
+    pub build_errors: usize,
+    /// Cells with at least one invariant violation.
+    pub cells_with_violations: usize,
+    /// Total violations across all cells.
+    pub violations: usize,
+    /// One entry per shrunk cell.
+    pub shrinks: Vec<ShrinkRecord>,
+}
+
+/// How one violating schedule minimized.
+#[derive(Clone, Debug)]
+pub struct ShrinkRecord {
+    pub key: String,
+    /// Faults before/after minimization.
+    pub from: usize,
+    pub to: usize,
+    /// Cell re-runs the minimization cost.
+    pub runs: usize,
+}
+
+/// Everything a campaign produces.
+#[derive(Clone, Debug)]
+pub struct ChaosOutcome {
+    /// The byte-stable per-cell report (standard metrics plus
+    /// `chaos_faults`, `chaos_violations` and `inv_<code>` counts).
+    pub report: MatrixReport,
+    pub stats: CampaignStats,
+    /// One minimized repro per violating cell, in cell-key order.
+    pub repros: Vec<ReproCase>,
+}
+
+/// A self-contained, replayable account of one violation: topology +
+/// seed + (minimized) schedule. [`ChaosCampaign::replay`] re-runs it
+/// and returns the violations it provokes — deterministically, byte
+/// for byte, which is what makes the artifact a *repro* rather than a
+/// war story.
+#[derive(Clone, Debug)]
+pub struct ReproCase {
+    /// The originating cell key.
+    pub key: String,
+    pub topology: String,
+    /// Knob name (replay uses the campaign's knob; the name is
+    /// recorded so mismatches are detectable).
+    pub knob: String,
+    pub seed: u64,
+    /// Original generated schedule name (`chaos-<i>-s<seed>`).
+    pub schedule: String,
+    /// The minimized fault schedule.
+    pub faults: Vec<Fault>,
+    /// Violation codes + rendered accounts from the minimized replay.
+    pub violations: Vec<(String, String)>,
+}
+
+impl ReproCase {
+    /// Byte-stable JSON (integer-only, sorted keys).
+    pub fn to_json(&self) -> String {
+        Json::obj([
+            ("key".to_string(), Json::Str(self.key.clone())),
+            ("topology".to_string(), Json::Str(self.topology.clone())),
+            ("knob".to_string(), Json::Str(self.knob.clone())),
+            ("seed".to_string(), Json::Int(self.seed as i64)),
+            ("schedule".to_string(), Json::Str(self.schedule.clone())),
+            (
+                "faults".to_string(),
+                Json::Arr(self.faults.iter().map(fault_to_json).collect()),
+            ),
+            (
+                "violations".to_string(),
+                Json::Arr(
+                    self.violations
+                        .iter()
+                        .map(|(code, detail)| {
+                            Json::obj([
+                                ("code".to_string(), Json::Str(code.clone())),
+                                ("detail".to_string(), Json::Str(detail.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .render()
+    }
+
+    /// Parse a [`ReproCase::to_json`] document back.
+    pub fn parse(text: &str) -> Result<ReproCase, String> {
+        let j = Json::parse(text)?;
+        let s = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("repro missing string field {k:?}"))
+        };
+        let faults = j
+            .get("faults")
+            .and_then(Json::as_arr)
+            .ok_or("repro missing faults array")?
+            .iter()
+            .map(fault_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let violations = j
+            .get("violations")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .map(|v| {
+                Ok((
+                    v.get("code")
+                        .and_then(Json::as_str)
+                        .ok_or("violation missing code")?
+                        .to_string(),
+                    v.get("detail")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(ReproCase {
+            key: s("key")?,
+            topology: s("topology")?,
+            knob: s("knob")?,
+            seed: j
+                .get("seed")
+                .and_then(Json::as_i64)
+                .ok_or("repro missing seed")? as u64,
+            schedule: s("schedule")?,
+            faults,
+            violations,
+        })
+    }
+}
+
+/// Deterministic per-cell seed: a splitmix-style mix of the campaign
+/// seed with the topology and schedule indices.
+fn mix_seed(base: u64, ti: u64, i: u64) -> u64 {
+    let mut z = base
+        ^ ti.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ i.wrapping_mul(0xBF58_476D_1CE4_E5B9).rotate_left(17);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A converged schedule-free prefix, captured once and forked for each
+/// shrinker predicate evaluation.
+struct ForkBase {
+    snap: Snapshot,
+    configured_at: Option<Time>,
+    config_now: Time,
+}
+
+impl ChaosCampaign {
+    /// CI-sized campaign: the two smoke rings, a handful of schedules
+    /// each, full fault-class mix.
+    pub fn smoke(seed: u64) -> ChaosCampaign {
+        ChaosCampaign {
+            topologies: vec!["ring-4".into(), "ring-5".into()],
+            schedules_per_topology: 4,
+            seed,
+            template: ChaosSpec::smoke(0),
+            knob: MatrixKnob::fast("chaos").with_provision_width(4),
+            configure_deadline: Duration::from_secs(120),
+            post_fault_window: Duration::from_secs(45),
+            settle: Duration::from_secs(10),
+            shrink: true,
+        }
+    }
+
+    /// The acceptance-scale campaign: 7 topologies (rings, a grid, the
+    /// pan-European reference network and two corpus WANs) × 30 seeded
+    /// schedules = 210 schedules.
+    pub fn full(seed: u64) -> ChaosCampaign {
+        ChaosCampaign {
+            topologies: vec![
+                "ring-4".into(),
+                "ring-5".into(),
+                "ring-8".into(),
+                "grid-4x4".into(),
+                "pan-european".into(),
+                "geant".into(),
+                "abilene".into(),
+            ],
+            schedules_per_topology: 30,
+            template: ChaosSpec::full(0),
+            ..ChaosCampaign::smoke(seed)
+        }
+    }
+
+    /// The internal [`MatrixSpec`] that carries the run-policy windows
+    /// into the shared cell-finishing code (its grid axes are unused —
+    /// the campaign builds its own cells).
+    fn matrix_spec(&self) -> MatrixSpec {
+        MatrixSpec {
+            seeds: Vec::new(),
+            topologies: Vec::new(),
+            schedules: Vec::new(),
+            knobs: Vec::new(),
+            configure_deadline: self.configure_deadline,
+            post_fault_window: self.post_fault_window,
+            settle: self.settle,
+        }
+    }
+
+    /// Build every cell of the campaign: parse each topology, draw its
+    /// schedules. A topology whose name does not parse still yields
+    /// cells (with empty schedules) so it surfaces as `build_error`
+    /// records rather than vanishing.
+    fn cells(&self) -> Vec<(MatrixCell, Option<Topology>)> {
+        let mut out = Vec::with_capacity(self.topologies.len() * self.schedules_per_topology);
+        for (ti, name) in self.topologies.iter().enumerate() {
+            let topo = name.parse::<rf_topo::TopoSpec>().ok().map(|s| s.build());
+            for i in 0..self.schedules_per_topology {
+                let seed = mix_seed(self.seed, ti as u64, i as u64);
+                let schedule = match &topo {
+                    Some(t) => {
+                        let mut protect = self.template.protect.clone();
+                        if let Some((a, b)) = t.farthest_pair() {
+                            // The standard probe workload pings between
+                            // the farthest pair; killing an endpoint
+                            // would make "did traffic recover?"
+                            // unanswerable.
+                            protect.push(a);
+                            protect.push(b);
+                        }
+                        let spec = ChaosSpec {
+                            seed,
+                            protect,
+                            ..self.template.clone()
+                        };
+                        let mut s = spec.generate(t);
+                        // The index keys the cell even in the
+                        // astronomically-unlikely event of a seed
+                        // collision within one topology.
+                        s.name = format!("chaos-{i:03}-s{seed}");
+                        s
+                    }
+                    None => FaultSchedule::new(format!("chaos-{i:03}-s{seed}"), Vec::new()),
+                };
+                out.push((
+                    MatrixCell {
+                        seed,
+                        topology: name.clone(),
+                        schedule,
+                        knob: self.knob.clone(),
+                    },
+                    topo.clone(),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Cold-run one cell and invariant-check the finished scenario.
+    fn run_cell(
+        &self,
+        mspec: &MatrixSpec,
+        cell: &MatrixCell,
+        topo: Option<&Topology>,
+    ) -> (CellRecord, Vec<InvariantViolation>) {
+        let mut sc = match ScenarioMatrix::standard_builder(cell) {
+            Ok(b) => b.start(),
+            Err(_) => {
+                return (
+                    CellRecord {
+                        key: cell.key(),
+                        metrics: BTreeMap::from([("build_error".to_string(), 1)]),
+                    },
+                    Vec::new(),
+                );
+            }
+        };
+        let configured_at = sc.run_until_configured(Time::ZERO + self.configure_deadline);
+        let config_now = sc.sim.now();
+        let (mut rec, _events, sc) = finish_cell(mspec, cell, sc, configured_at, config_now);
+        let violations = match topo {
+            Some(t) => self.check(&sc, t, &cell.schedule.faults),
+            None => Vec::new(),
+        };
+        annotate(&mut rec, &cell.schedule.faults, &violations);
+        (rec, violations)
+    }
+
+    fn check(&self, sc: &Scenario, topo: &Topology, faults: &[Fault]) -> Vec<InvariantViolation> {
+        check_invariants(
+            sc,
+            &InvariantContext {
+                topo,
+                faults,
+                overflow: self.knob.overflow,
+            },
+        )
+    }
+
+    /// Capture the converged schedule-free prefix of `cell` for fork
+    /// replays (same quiesce-probing contract as the sweep's group
+    /// runner).
+    fn fork_base(&self, cell: &MatrixCell) -> Option<ForkBase> {
+        let prefix_cell = MatrixCell {
+            schedule: FaultSchedule::none(),
+            ..cell.clone()
+        };
+        let mut prefix = ScenarioMatrix::standard_builder(&prefix_cell).ok()?.start();
+        let configured_at = prefix.run_until_configured(Time::ZERO + self.configure_deadline);
+        let config_now = prefix.sim.now();
+        configured_at?;
+        let probe_limit = config_now + self.settle;
+        loop {
+            match prefix.snapshot() {
+                Ok(snap) => {
+                    return Some(ForkBase {
+                        snap,
+                        configured_at,
+                        config_now,
+                    })
+                }
+                Err(SnapshotError::UndrainedChannels { .. })
+                    if prefix.sim.now() + Duration::from_millis(100) <= probe_limit =>
+                {
+                    let t = prefix.sim.now() + Duration::from_millis(100);
+                    prefix.run_until(t);
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Run a candidate schedule for the shrinker: fork the converged
+    /// prefix when the candidate's faults all lie past the capture,
+    /// cold-start otherwise. Returns the violations it provokes.
+    fn run_candidate(
+        &self,
+        mspec: &MatrixSpec,
+        cell: &MatrixCell,
+        topo: &Topology,
+        faults: &[Fault],
+        base: Option<&ForkBase>,
+    ) -> Vec<InvariantViolation> {
+        let cand = MatrixCell {
+            schedule: FaultSchedule::new(cell.schedule.name.clone(), faults.to_vec()),
+            ..cell.clone()
+        };
+        if let Some(b) = base {
+            if forkable(&cand.schedule, b.snap.taken_at()) {
+                let mut sc = Scenario::fork(&b.snap);
+                if sc.inject_faults(&cand.schedule.faults).is_ok() {
+                    let (_rec, _events, sc) =
+                        finish_cell(mspec, &cand, sc, b.configured_at, b.config_now);
+                    return self.check(&sc, topo, faults);
+                }
+            }
+        }
+        self.run_cell(mspec, &cand, Some(topo)).1
+    }
+
+    /// Run the whole campaign over `threads` workers. The report (and
+    /// every repro) is byte-identical whatever the thread count and
+    /// fully determined by the campaign definition.
+    pub fn run(&self, threads: usize) -> ChaosOutcome {
+        let threads = threads.max(1);
+        let mspec = self.matrix_spec();
+        let cells = self.cells();
+
+        // Phase 1: the fan-out. Work is pulled from an atomic cursor;
+        // results are keyed, so collection order cannot matter.
+        type Bucket = (CellRecord, Vec<InvariantViolation>, usize);
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<Bucket>> = Mutex::new(Vec::with_capacity(cells.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(cells.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    let Some((cell, topo)) = cells.get(i) else {
+                        break;
+                    };
+                    let (rec, violations) = self.run_cell(&mspec, cell, topo.as_ref());
+                    results.lock().unwrap().push((rec, violations, i));
+                });
+            }
+        });
+        let mut buckets = results.into_inner().unwrap();
+        buckets.sort_by_key(|(_, _, i)| *i);
+
+        let mut stats = CampaignStats {
+            schedules: cells.len(),
+            ..CampaignStats::default()
+        };
+        let mut records = Vec::with_capacity(buckets.len());
+        let mut violating: Vec<(usize, Vec<InvariantViolation>)> = Vec::new();
+        for (rec, violations, i) in buckets {
+            if rec.metrics.contains_key("build_error") {
+                stats.build_errors += 1;
+            }
+            if !violations.is_empty() {
+                stats.cells_with_violations += 1;
+                stats.violations += violations.len();
+                violating.push((i, violations));
+            }
+            records.push(rec);
+        }
+
+        // Phase 2: shrink each violating schedule (serial — the
+        // shrinker is itself a sequential search, and violating cells
+        // should be rare).
+        let mut repros = Vec::new();
+        violating.sort_by(|a, b| cells[a.0].0.key().cmp(&cells[b.0].0.key()));
+        for (i, violations) in violating {
+            let (cell, topo) = &cells[i];
+            let Some(topo) = topo else { continue };
+            let codes: Vec<&'static str> = violations.iter().map(|v| v.code()).collect();
+            let (min_faults, runs) = if self.shrink && !cell.schedule.faults.is_empty() {
+                let base = self.fork_base(cell);
+                let out = shrink_schedule(&cell.schedule.faults, |cand| {
+                    self.run_candidate(&mspec, cell, topo, cand, base.as_ref())
+                        .iter()
+                        .any(|v| codes.contains(&v.code()))
+                });
+                (out.faults, out.runs)
+            } else {
+                (cell.schedule.faults.clone(), 0)
+            };
+            stats.shrinks.push(ShrinkRecord {
+                key: cell.key(),
+                from: cell.schedule.faults.len(),
+                to: min_faults.len(),
+                runs,
+            });
+            // The repro records the violations the *minimized* schedule
+            // provokes (re-derived so the artifact is self-consistent).
+            let final_violations = if min_faults.len() == cell.schedule.faults.len() {
+                violations
+            } else {
+                self.run_cell(
+                    &mspec,
+                    &MatrixCell {
+                        schedule: FaultSchedule::new(
+                            cell.schedule.name.clone(),
+                            min_faults.clone(),
+                        ),
+                        ..cell.clone()
+                    },
+                    Some(topo),
+                )
+                .1
+            };
+            repros.push(ReproCase {
+                key: cell.key(),
+                topology: cell.topology.clone(),
+                knob: self.knob.name.clone(),
+                seed: cell.seed,
+                schedule: cell.schedule.name.clone(),
+                faults: min_faults,
+                violations: final_violations
+                    .iter()
+                    .map(|v| (v.code().to_string(), v.to_string()))
+                    .collect(),
+            });
+        }
+
+        let grid = BTreeMap::from([
+            ("knobs".to_string(), vec![self.knob.name.clone()]),
+            ("seeds".to_string(), vec![self.seed.to_string()]),
+            (
+                "schedules".to_string(),
+                (0..self.schedules_per_topology)
+                    .map(|i| format!("chaos-{i:03}"))
+                    .collect(),
+            ),
+            ("topologies".to_string(), self.topologies.clone()),
+        ]);
+        ChaosOutcome {
+            report: MatrixReport::new(grid, records),
+            stats,
+            repros,
+        }
+    }
+
+    /// Re-run a repro case under this campaign's knob and windows;
+    /// returns the violations it provokes (the repro is confirmed when
+    /// they match the artifact's recorded ones).
+    pub fn replay(&self, repro: &ReproCase) -> Vec<InvariantViolation> {
+        let mspec = self.matrix_spec();
+        let topo = match repro.topology.parse::<rf_topo::TopoSpec>() {
+            Ok(s) => s.build(),
+            Err(_) => return Vec::new(),
+        };
+        let cell = MatrixCell {
+            seed: repro.seed,
+            topology: repro.topology.clone(),
+            schedule: FaultSchedule::new(repro.schedule.clone(), repro.faults.clone()),
+            knob: self.knob.clone(),
+        };
+        self.run_cell(&mspec, &cell, Some(&topo)).1
+    }
+}
+
+/// Fold the chaos accounting into a cell's metric map.
+fn annotate(rec: &mut CellRecord, faults: &[Fault], violations: &[InvariantViolation]) {
+    rec.metrics
+        .insert("chaos_faults".to_string(), faults.len() as i64);
+    rec.metrics
+        .insert("chaos_violations".to_string(), violations.len() as i64);
+    for v in violations {
+        *rec.metrics.entry(format!("inv_{}", v.code())).or_insert(0) += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_mix_is_stable_and_spread() {
+        let a = mix_seed(1, 0, 0);
+        assert_eq!(a, mix_seed(1, 0, 0));
+        assert_ne!(a, mix_seed(1, 0, 1));
+        assert_ne!(a, mix_seed(1, 1, 0));
+        assert_ne!(a, mix_seed(2, 0, 0));
+    }
+
+    #[test]
+    fn campaign_cells_are_unique_and_deterministic() {
+        let c = ChaosCampaign::smoke(9);
+        let cells = c.cells();
+        assert_eq!(cells.len(), 8);
+        let keys: std::collections::BTreeSet<String> = cells.iter().map(|(c, _)| c.key()).collect();
+        assert_eq!(keys.len(), cells.len(), "cell keys must be unique");
+        let again = c.cells();
+        for (x, y) in cells.iter().zip(&again) {
+            assert_eq!(x.0.key(), y.0.key());
+            assert_eq!(
+                format!("{:?}", x.0.schedule.faults),
+                format!("{:?}", y.0.schedule.faults)
+            );
+        }
+    }
+
+    #[test]
+    fn repro_json_round_trips() {
+        let repro = ReproCase {
+            key: "topo=ring-4/fault=chaos-000-s5/knob=chaos/seed=5".into(),
+            topology: "ring-4".into(),
+            knob: "chaos".into(),
+            seed: 5,
+            schedule: "chaos-000-s5".into(),
+            faults: vec![
+                Fault::KillSwitch {
+                    node: 1,
+                    at: Duration::from_secs(30),
+                },
+                Fault::ReviveSwitch {
+                    node: 1,
+                    at: Duration::from_secs(40),
+                },
+            ],
+            violations: vec![("reconverge".into(), "switch 1 never reconfigured".into())],
+        };
+        let text = repro.to_json();
+        let back = ReproCase::parse(&text).unwrap();
+        assert_eq!(back.key, repro.key);
+        assert_eq!(back.seed, repro.seed);
+        assert_eq!(format!("{:?}", back.faults), format!("{:?}", repro.faults));
+        assert_eq!(back.violations, repro.violations);
+        assert_eq!(back.to_json(), text, "render is byte-stable");
+    }
+}

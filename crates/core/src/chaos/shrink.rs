@@ -1,0 +1,237 @@
+//! Delta-debugging shrinker for violating fault schedules.
+//!
+//! Given a schedule that provokes an invariant violation and a
+//! predicate that re-runs the cell ("does this sub-schedule still
+//! violate?"), [`shrink_schedule`] minimizes along three axes, in
+//! order:
+//!
+//! 1. **Fault subset** — classic ddmin: try dropping ever-finer
+//!    complements until no single fault can be removed (1-minimality).
+//! 2. **Instant rounding** — round each fault's instant down to a
+//!    whole second; round numbers make repros legible.
+//! 3. **Window shrinking** — narrow `ChannelStall` windows.
+//!
+//! The predicate is the expensive part (a full cell re-run), so the
+//! shrinker counts its invocations ([`ShrinkOutcome::runs`]) and the
+//! campaign re-runs via the checkpoint/fork fast path where it can.
+//! Determinism of the substrate guarantees the minimized schedule
+//! reproduces the violation byte-for-byte, every time.
+
+use crate::scenario::Fault;
+use std::time::Duration;
+
+/// The result of a shrink: the minimal violating schedule and how many
+/// predicate evaluations it took to find.
+#[derive(Clone, Debug)]
+pub struct ShrinkOutcome {
+    /// A 1-minimal violating sub-schedule (schedule order preserved).
+    pub faults: Vec<Fault>,
+    /// Predicate (cell re-run) count.
+    pub runs: usize,
+}
+
+/// Minimize `faults` under `still_fails`. The caller guarantees
+/// `still_fails(&faults)` is true on entry (it is re-checked; if it
+/// does not fail, the input comes back unchanged).
+pub fn shrink_schedule<F>(faults: &[Fault], mut still_fails: F) -> ShrinkOutcome
+where
+    F: FnMut(&[Fault]) -> bool,
+{
+    let mut runs = 0usize;
+    let mut check = |cand: &[Fault], runs: &mut usize| {
+        *runs += 1;
+        still_fails(cand)
+    };
+
+    let mut current: Vec<Fault> = faults.to_vec();
+    if !check(&current, &mut runs) {
+        // Not reproducible — nothing to minimize.
+        return ShrinkOutcome {
+            faults: current,
+            runs,
+        };
+    }
+
+    // Phase 1: ddmin over fault subsets. Remove chunks (complements of
+    // an n-way partition), refining granularity until chunks are
+    // single faults and none can go.
+    let mut n = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let cand: Vec<Fault> = current[..start]
+                .iter()
+                .chain(&current[end..])
+                .cloned()
+                .collect();
+            if !cand.is_empty() && check(&cand, &mut runs) {
+                current = cand;
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if chunk == 1 {
+                break; // 1-minimal.
+            }
+            n = (n * 2).min(current.len());
+        }
+    }
+
+    // Phase 2: round instants down to whole seconds, one fault at a
+    // time (simultaneous rounding could merge two faults into the same
+    // instant and change behaviour more than intended).
+    for i in 0..current.len() {
+        let rounded = round_fault(&current[i]);
+        if format!("{rounded:?}") == format!("{:?}", current[i]) {
+            continue;
+        }
+        let mut cand = current.clone();
+        cand[i] = rounded;
+        if check(&cand, &mut runs) {
+            current = cand;
+        }
+    }
+
+    // Phase 3: shrink ChannelStall windows — first to a 1 s window,
+    // then by halving once.
+    for i in 0..current.len() {
+        if let Fault::ChannelStall { dpid, from, until } = current[i] {
+            for narrowed in [from + Duration::from_secs(1), from + (until - from) / 2] {
+                if narrowed >= until || narrowed <= from {
+                    continue;
+                }
+                let mut cand = current.clone();
+                cand[i] = Fault::ChannelStall {
+                    dpid,
+                    from,
+                    until: narrowed,
+                };
+                if check(&cand, &mut runs) {
+                    current = cand;
+                    break;
+                }
+            }
+        }
+    }
+
+    ShrinkOutcome {
+        faults: current,
+        runs,
+    }
+}
+
+/// A fault with its instant(s) rounded down to whole seconds.
+fn round_fault(f: &Fault) -> Fault {
+    let floor = |d: Duration| Duration::from_secs(d.as_secs());
+    match *f {
+        Fault::KillSwitch { node, at } => Fault::KillSwitch {
+            node,
+            at: floor(at),
+        },
+        Fault::ReviveSwitch { node, at } => Fault::ReviveSwitch {
+            node,
+            at: floor(at),
+        },
+        Fault::LinkDown { edge, at } => Fault::LinkDown {
+            edge,
+            at: floor(at),
+        },
+        Fault::LinkUp { edge, at } => Fault::LinkUp {
+            edge,
+            at: floor(at),
+        },
+        Fault::LinkLoss { edge, loss_pct, at } => Fault::LinkLoss {
+            edge,
+            loss_pct,
+            at: floor(at),
+        },
+        Fault::ChannelStall { dpid, from, until } => Fault::ChannelStall {
+            dpid,
+            from: floor(from),
+            until,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kill(node: usize, s: u64) -> Fault {
+        Fault::KillSwitch {
+            node,
+            at: Duration::from_secs(s),
+        }
+    }
+
+    #[test]
+    fn ddmin_finds_the_single_culprit() {
+        // "Fails" iff the schedule still contains the kill of node 3.
+        let faults: Vec<Fault> = (0..8).map(|n| kill(n, 30 + n as u64)).collect();
+        let out = shrink_schedule(&faults, |cand| {
+            cand.iter()
+                .any(|f| matches!(f, Fault::KillSwitch { node: 3, .. }))
+        });
+        assert_eq!(out.faults.len(), 1);
+        assert!(matches!(out.faults[0], Fault::KillSwitch { node: 3, .. }));
+    }
+
+    #[test]
+    fn ddmin_keeps_an_interacting_pair() {
+        // Fails iff kills of BOTH node 1 and node 5 are present.
+        let faults: Vec<Fault> = (0..8).map(|n| kill(n, 30 + n as u64)).collect();
+        let has = |cand: &[Fault], want: usize| {
+            cand.iter()
+                .any(|f| matches!(f, Fault::KillSwitch { node, .. } if *node == want))
+        };
+        let out = shrink_schedule(&faults, |cand| has(cand, 1) && has(cand, 5));
+        assert_eq!(out.faults.len(), 2);
+        assert!(has(&out.faults, 1) && has(&out.faults, 5));
+    }
+
+    #[test]
+    fn non_reproducing_input_comes_back_unchanged() {
+        let faults = vec![kill(0, 30), kill(1, 31)];
+        let out = shrink_schedule(&faults, |_| false);
+        assert_eq!(out.faults.len(), 2);
+        assert_eq!(out.runs, 1);
+    }
+
+    #[test]
+    fn instants_are_rounded_when_still_failing() {
+        let faults = vec![Fault::KillSwitch {
+            node: 2,
+            at: Duration::from_millis(30_417),
+        }];
+        let out = shrink_schedule(&faults, |cand| {
+            cand.iter()
+                .any(|f| matches!(f, Fault::KillSwitch { node: 2, .. }))
+        });
+        assert_eq!(out.faults.len(), 1);
+        assert!(
+            matches!(out.faults[0], Fault::KillSwitch { at, .. } if at == Duration::from_secs(30))
+        );
+    }
+
+    #[test]
+    fn stall_windows_shrink() {
+        let faults = vec![Fault::ChannelStall {
+            dpid: 1,
+            from: Duration::from_secs(30),
+            until: Duration::from_secs(50),
+        }];
+        let out = shrink_schedule(&faults, |cand| {
+            cand.iter().any(|f| matches!(f, Fault::ChannelStall { .. }))
+        });
+        assert!(matches!(
+            out.faults[0],
+            Fault::ChannelStall { until, .. } if until == Duration::from_secs(31)
+        ));
+    }
+}

@@ -44,6 +44,7 @@
 
 pub mod apps;
 pub mod bootstrap;
+pub mod chaos;
 pub mod json;
 pub mod manual;
 pub mod rfcontroller;
@@ -55,12 +56,16 @@ pub use apps::{
 };
 #[allow(deprecated)]
 pub use bootstrap::{Deployment, DeploymentConfig};
+pub use chaos::{
+    CampaignStats, ChaosCampaign, ChaosOutcome, ChaosSpec, FaultClass, InvariantViolation,
+    ReproCase,
+};
 pub use manual::ManualConfigModel;
 pub use rfcontroller::{HostPortConfig, RfController, RfControllerConfig};
 pub use scenario::{
-    CellRecord, Fault, FaultSchedule, ForkError, HostAttachment, HostSlot, MatrixCell, MatrixKnob,
-    MatrixReport, MatrixSpec, Scenario, ScenarioBuilder, ScenarioConfig, ScenarioMatrix,
-    ScenarioMetrics, Snapshot, SnapshotError, Workload, WorkloadReport,
+    CellRecord, Fault, FaultError, FaultSchedule, ForkError, HostAttachment, HostSlot, MatrixCell,
+    MatrixKnob, MatrixReport, MatrixSpec, Scenario, ScenarioBuilder, ScenarioConfig,
+    ScenarioMatrix, ScenarioMetrics, Snapshot, SnapshotError, Workload, WorkloadReport,
 };
 pub use traffic::{
     TrafficConfig, TrafficMode, TrafficPattern, TrafficReport, TrafficSpec, WorkloadError,

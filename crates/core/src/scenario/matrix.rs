@@ -68,6 +68,24 @@ impl FaultSchedule {
         }
     }
 
+    /// Kill the switch at `node` at `kill_at`, then boot a pristine
+    /// replacement into its slot at `revive_at` — the full
+    /// fail-and-heal cycle (the revived switch reconnects, a fresh VM
+    /// is provisioned, OSPF re-forms, the FIB re-mirrors).
+    pub fn kill_revive(node: usize, kill_at: Duration, revive_at: Duration) -> FaultSchedule {
+        assert!(kill_at < revive_at, "revive must follow the kill");
+        FaultSchedule {
+            name: format!("kill{node}@{}+rev@{}", fmt_at(kill_at), fmt_at(revive_at)),
+            faults: vec![
+                Fault::KillSwitch { node, at: kill_at },
+                Fault::ReviveSwitch {
+                    node,
+                    at: revive_at,
+                },
+            ],
+        }
+    }
+
     /// Flap topology link `edge`: down/up `cycles` times starting at
     /// `first_down`, each phase lasting `half_period`. The soak ends
     /// with the link up, so the network is expected to fully heal.
@@ -145,6 +163,7 @@ impl FaultSchedule {
             .iter()
             .map(|f| match f {
                 Fault::KillSwitch { at, .. }
+                | Fault::ReviveSwitch { at, .. }
                 | Fault::LinkDown { at, .. }
                 | Fault::LinkUp { at, .. }
                 | Fault::LinkLoss { at, .. } => *at,
@@ -829,6 +848,11 @@ impl ScenarioMatrix {
     /// [`run_with`]: ScenarioMatrix::run_with
     pub fn standard_builder(cell: &MatrixCell) -> Result<ScenarioBuilder, WorkloadError> {
         let topo = cell.topo_spec()?.build();
+        // A malformed schedule (out-of-range node/edge, loss outside
+        // [0,100], empty stall window) marks this one cell
+        // `build_error=1`; it must not panic the worker mid-sweep.
+        Fault::validate_schedule(&cell.schedule.faults, topo.node_count(), topo.edge_count())
+            .map_err(WorkloadError::BadFault)?;
         let (a, b) = topo
             .farthest_pair()
             .expect("topology has at least two nodes");
@@ -1037,10 +1061,11 @@ impl ScenarioMatrix {
 /// Every fault's *first* effect (`at`, or `from` for a stall window)
 /// must lie strictly in the future: anything at or before the capture
 /// would already have dispatched in a cold run.
-fn forkable(schedule: &FaultSchedule, taken_at: Time) -> bool {
+pub(crate) fn forkable(schedule: &FaultSchedule, taken_at: Time) -> bool {
     schedule.faults.iter().all(|f| {
         let eff = match *f {
             Fault::KillSwitch { at, .. }
+            | Fault::ReviveSwitch { at, .. }
             | Fault::LinkDown { at, .. }
             | Fault::LinkUp { at, .. }
             | Fault::LinkLoss { at, .. } => at,
@@ -1164,7 +1189,7 @@ where
             out.push(cold_stat(spec, cell, build, extra_cores));
             continue;
         }
-        let (rec, events) = finish_cell(spec, cell, sc, configured_at, config_now);
+        let (rec, events, _) = finish_cell(spec, cell, sc, configured_at, config_now);
         let stat = CellStat {
             key: rec.key.clone(),
             wall: t0.elapsed(),
@@ -1211,22 +1236,26 @@ where
     let deadline = Time::ZERO + spec.configure_deadline;
     let configured_at = sc.run_until_configured(deadline);
     let config_now = sc.sim.now();
-    finish_cell(spec, cell, sc, configured_at, config_now)
+    let (rec, events, _) = finish_cell(spec, cell, sc, configured_at, config_now);
+    (rec, events)
 }
 
 /// The post-configuration half of a cell run: settle, play out faults
 /// and workloads, harvest. Shared verbatim by the cold path
-/// ([`run_cell`]) and the fork path ([`run_group`]); `config_now` is
-/// the instant the configuration phase handed the scenario over (the
-/// forked scenario's clock may already be slightly past it from
-/// quiesce probing, which the horizon arithmetic must not see).
-fn finish_cell(
+/// ([`run_cell`]), the fork path ([`run_group`]) and the chaos
+/// campaign (which checks invariants on the returned scenario);
+/// `config_now` is the instant the configuration phase handed the
+/// scenario over (the forked scenario's clock may already be slightly
+/// past it from quiesce probing, which the horizon arithmetic must not
+/// see). The finished scenario is handed back for post-run probing —
+/// it is a terminal read, never snapshot it again.
+pub(crate) fn finish_cell(
     spec: &MatrixSpec,
     cell: &MatrixCell,
     mut sc: Scenario,
     configured_at: Option<Time>,
     config_now: Time,
-) -> (CellRecord, u64) {
+) -> (CellRecord, u64, Scenario) {
     // Keep the world running long enough to see the probe workload and
     // every scheduled fault play out, whichever ends later — and, for
     // traffic knobs, the whole offered-load window plus a drain tail.
@@ -1407,12 +1436,14 @@ fn finish_cell(
         }
     }
 
+    let events = sc.sim.events_dispatched();
     (
         CellRecord {
             key: cell.key(),
             metrics,
         },
-        sc.sim.events_dispatched(),
+        events,
+        sc,
     )
 }
 

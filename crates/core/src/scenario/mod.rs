@@ -163,6 +163,13 @@ pub enum Fault {
     /// Kill the switch at topology node `node` (its OF sessions drop,
     /// discovery ages the links out, OSPF routes around it).
     KillSwitch { node: usize, at: Duration },
+    /// Boot a pristine replacement switch into node `node`'s slot (the
+    /// inverse of [`Fault::KillSwitch`] — kill is no longer terminal).
+    /// The revived switch keeps its dpid and port wiring, reconnects
+    /// to the controller, gets a fresh mirroring VM provisioned, and
+    /// OSPF re-forms its adjacencies. Reviving a live switch is a
+    /// forced reboot.
+    ReviveSwitch { node: usize, at: Duration },
     /// Administratively take the `edge`-th topology link down.
     LinkDown { edge: usize, at: Duration },
     /// Bring the `edge`-th topology link back up.
@@ -187,6 +194,105 @@ pub enum Fault {
         from: Duration,
         until: Duration,
     },
+}
+
+/// Why a [`Fault`] cannot be applied to a given topology — the typed
+/// result of [`Fault::validate`]. The matrix/chaos build paths check
+/// every schedule up front and record a `build_error=1` cell instead
+/// of panicking mid-sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultError {
+    /// `node` is not a valid topology node index.
+    NodeOutOfRange { node: usize, nodes: usize },
+    /// `edge` is not a valid topology edge index.
+    EdgeOutOfRange { edge: usize, edges: usize },
+    /// `loss_pct` is outside [0, 100].
+    LossOutOfRange { loss_pct: f64 },
+    /// A [`Fault::ChannelStall`] with `until <= from`.
+    EmptyStallWindow { from: Duration, until: Duration },
+    /// A [`Fault::ChannelStall`] naming a dpid no switch carries
+    /// (dpids are `1..=nodes`).
+    StallDpidOutOfRange { dpid: u64, nodes: usize },
+}
+
+// The `loss_pct` carried by `LossOutOfRange` is never NaN (a NaN loss
+// is itself out of range and compares unequal to everything, which is
+// the right answer for a malformed fault), so equality is total.
+impl Eq for FaultError {}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FaultError::NodeOutOfRange { node, nodes } => {
+                write!(f, "fault references node {node}, topology has {nodes}")
+            }
+            FaultError::EdgeOutOfRange { edge, edges } => {
+                write!(f, "fault references edge {edge}, topology has {edges}")
+            }
+            FaultError::LossOutOfRange { loss_pct } => {
+                write!(f, "link loss {loss_pct}% is outside [0, 100]")
+            }
+            FaultError::EmptyStallWindow { from, until } => {
+                write!(f, "stall window [{from:?}, {until:?}) is empty")
+            }
+            FaultError::StallDpidOutOfRange { dpid, nodes } => {
+                write!(f, "stall names dpid {dpid}, topology has dpids 1..={nodes}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+impl Fault {
+    /// Check this fault against a topology of `nodes` nodes and
+    /// `edges` edges. Everything the chaos agent would otherwise panic
+    /// on (or silently misbehave under) is rejected here, typed.
+    pub fn validate(&self, nodes: usize, edges: usize) -> Result<(), FaultError> {
+        let check_node = |node: usize| {
+            if node >= nodes {
+                Err(FaultError::NodeOutOfRange { node, nodes })
+            } else {
+                Ok(())
+            }
+        };
+        let check_edge = |edge: usize| {
+            if edge >= edges {
+                Err(FaultError::EdgeOutOfRange { edge, edges })
+            } else {
+                Ok(())
+            }
+        };
+        match *self {
+            Fault::KillSwitch { node, .. } | Fault::ReviveSwitch { node, .. } => check_node(node),
+            Fault::LinkDown { edge, .. } | Fault::LinkUp { edge, .. } => check_edge(edge),
+            Fault::LinkLoss { edge, loss_pct, .. } => {
+                check_edge(edge)?;
+                if !(0.0..=100.0).contains(&loss_pct) {
+                    return Err(FaultError::LossOutOfRange { loss_pct });
+                }
+                Ok(())
+            }
+            Fault::ChannelStall { dpid, from, until } => {
+                if until <= from {
+                    return Err(FaultError::EmptyStallWindow { from, until });
+                }
+                if dpid == 0 || dpid > nodes as u64 {
+                    return Err(FaultError::StallDpidOutOfRange { dpid, nodes });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Validate a whole schedule; the first offending fault's error.
+    pub fn validate_schedule(
+        faults: &[Fault],
+        nodes: usize,
+        edges: usize,
+    ) -> Result<(), FaultError> {
+        faults.iter().try_for_each(|f| f.validate(nodes, edges))
+    }
 }
 
 /// A traffic workload attached to the scenario's edge.
@@ -350,6 +456,10 @@ struct ChaosAgent {
 #[derive(Clone)]
 enum ChaosOp {
     Kill(AgentId),
+    /// Re-install a pristine switch agent into a killed slot. The
+    /// payload is built from the retained [`SwitchConfig`] at schedule
+    /// time, so the revived switch boots exactly like the original.
+    Revive(AgentId, Box<dyn Agent>),
     SetLink(LinkId, bool),
     SetLinkLoss(LinkId, f64),
 }
@@ -366,16 +476,24 @@ impl Agent for ChaosAgent {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
-        match self.ops[token as usize].1 {
+        match &self.ops[token as usize].1 {
             ChaosOp::Kill(agent) => {
+                let agent = *agent;
                 ctx.trace("chaos.kill", format!("{agent}"));
                 ctx.kill(agent);
             }
+            ChaosOp::Revive(agent, fresh) => {
+                let (agent, fresh) = (*agent, fresh.clone());
+                ctx.trace("chaos.revive", format!("{agent}"));
+                ctx.revive(agent, fresh);
+            }
             ChaosOp::SetLink(link, up) => {
+                let (link, up) = (*link, *up);
                 ctx.trace("chaos.link", format!("link {} -> {}", link.0, up));
                 ctx.set_link_up(link, up);
             }
             ChaosOp::SetLinkLoss(link, pct) => {
+                let (link, pct) = (*link, *pct);
                 ctx.trace("chaos.loss", format!("link {} -> {pct}% loss", link.0));
                 ctx.set_link_loss(link, pct);
             }
@@ -717,8 +835,12 @@ impl ScenarioBuilder {
             None
         };
 
-        // Switches.
+        // Switches. The per-node configs are retained: a
+        // [`Fault::ReviveSwitch`] boots a pristine replacement from
+        // the same config (same dpid, same port count, same
+        // controller wiring).
         let mut switches = Vec::with_capacity(n);
+        let mut switch_cfgs = Vec::with_capacity(n);
         for (i, ports) in next_port.iter().enumerate() {
             let dpid = (i + 1) as u64;
             let num_ports = ports - 1;
@@ -729,7 +851,8 @@ impl ScenarioBuilder {
                     .add_controller(rf_ctrl, 6642),
             };
             let name = cfg.topology.node(i).name.clone();
-            switches.push(sim.add_agent(&name, Box::new(OpenFlowSwitch::new(swcfg))));
+            switches.push(sim.add_agent(&name, Box::new(OpenFlowSwitch::new(swcfg.clone()))));
+            switch_cfgs.push(swcfg);
         }
 
         // Physical links (ids kept for the fault schedule).
@@ -837,7 +960,7 @@ impl ScenarioBuilder {
         // identity is what lets a fork of a fault-free prefix inject a
         // cell's faults ([`Scenario::inject_faults`]) and still match a
         // cold run byte for byte.
-        let ops = chaos_ops(&faults, &switches, &phys_links);
+        let ops = chaos_ops(&faults, &switches, &switch_cfgs, &phys_links);
         let chaos = sim.add_agent("chaos", Box::new(ChaosAgent { ops }));
 
         Scenario {
@@ -847,6 +970,7 @@ impl ScenarioBuilder {
             rpc_client,
             flowvisor,
             switches,
+            switch_cfgs,
             phys_links,
             host_slots,
             expected_switches: n,
@@ -867,6 +991,7 @@ impl ScenarioBuilder {
 fn chaos_ops(
     faults: &[Fault],
     switches: &[AgentId],
+    switch_cfgs: &[SwitchConfig],
     phys_links: &[LinkId],
 ) -> Vec<(Duration, ChaosOp)> {
     let switch_of = |node: usize| {
@@ -889,6 +1014,11 @@ fn chaos_ops(
         .iter()
         .filter_map(|f| match *f {
             Fault::KillSwitch { node, at } => Some((at, ChaosOp::Kill(switch_of(node)))),
+            Fault::ReviveSwitch { node, at } => {
+                let id = switch_of(node);
+                let fresh = Box::new(OpenFlowSwitch::new(switch_cfgs[node].clone()));
+                Some((at, ChaosOp::Revive(id, fresh)))
+            }
             Fault::LinkDown { edge, at } => Some((at, ChaosOp::SetLink(link_of(edge), false))),
             Fault::LinkUp { edge, at } => Some((at, ChaosOp::SetLink(link_of(edge), true))),
             Fault::LinkLoss { edge, loss_pct, at } => {
@@ -1161,6 +1291,9 @@ pub struct Scenario {
     pub flowvisor: Option<AgentId>,
     /// Switch agents indexed by topology node.
     pub switches: Vec<AgentId>,
+    /// Per-node switch configs, retained so [`Fault::ReviveSwitch`]
+    /// can boot a pristine replacement into a killed slot.
+    switch_cfgs: Vec<SwitchConfig>,
     /// Physical link ids, indexed like `topology.edges()`.
     pub phys_links: Vec<LinkId>,
     /// Reserved host ports: user-declared first, then two per workload.
@@ -1428,6 +1561,7 @@ impl Scenario {
         for f in faults {
             let effective = match *f {
                 Fault::KillSwitch { at, .. }
+                | Fault::ReviveSwitch { at, .. }
                 | Fault::LinkDown { at, .. }
                 | Fault::LinkUp { at, .. }
                 | Fault::LinkLoss { at, .. } => at,
@@ -1441,7 +1575,7 @@ impl Scenario {
             }
         }
 
-        let ops = chaos_ops(faults, &self.switches, &self.phys_links);
+        let ops = chaos_ops(faults, &self.switches, &self.switch_cfgs, &self.phys_links);
         let base = {
             let chaos = self
                 .sim

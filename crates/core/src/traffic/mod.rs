@@ -312,6 +312,10 @@ pub enum WorkloadError {
     /// [`rf_topo::TopoParseError`]) — carried here so a malformed grid
     /// axis value fails its cells, not the whole sweep.
     BadTopology(rf_topo::TopoParseError),
+    /// A fault schedule that cannot apply to the cell's topology
+    /// (out-of-range node/edge index, loss outside [0,100], empty
+    /// stall window — see [`crate::scenario::FaultError`]).
+    BadFault(crate::scenario::FaultError),
 }
 
 impl fmt::Display for WorkloadError {
@@ -328,11 +332,18 @@ impl fmt::Display for WorkloadError {
                 write!(f, "workload needs {need} nodes, topology has {have}")
             }
             WorkloadError::BadTopology(err) => write!(f, "{err}"),
+            WorkloadError::BadFault(err) => write!(f, "{err}"),
         }
     }
 }
 
 impl std::error::Error for WorkloadError {}
+
+impl From<crate::scenario::FaultError> for WorkloadError {
+    fn from(err: crate::scenario::FaultError) -> WorkloadError {
+        WorkloadError::BadFault(err)
+    }
+}
 
 impl From<rf_topo::TopoParseError> for WorkloadError {
     fn from(err: rf_topo::TopoParseError) -> WorkloadError {

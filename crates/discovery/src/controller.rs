@@ -377,7 +377,12 @@ impl Agent for TopologyController {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         match token {
             T_PROBE => {
-                let conns: Vec<ConnId> = self.sessions.keys().copied().collect();
+                // Probe in ConnId order: `sessions` is a HashMap, and
+                // hash order varies per process. Same-instant probe
+                // emission order decides event sequence numbers, so it
+                // must not leak into the simulation.
+                let mut conns: Vec<ConnId> = self.sessions.keys().copied().collect();
+                conns.sort_unstable();
                 for c in conns {
                     self.probe_switch(ctx, c);
                 }

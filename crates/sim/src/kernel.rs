@@ -266,6 +266,10 @@ pub(crate) struct Inner {
     pub(crate) next_agent: usize,
     pub(crate) pending_spawn: Vec<(AgentId, Box<dyn Agent>)>,
     pub(crate) pending_kill: Vec<AgentId>,
+    /// Agents to re-install into previously killed slots (chaos
+    /// revive): the id keeps its wiring — links stay attached to the
+    /// slot — and the fresh agent's `on_start` re-runs its boot path.
+    pub(crate) pending_revive: Vec<(AgentId, Box<dyn Agent>)>,
     pub(crate) stopped: bool,
     /// Parallel-window control block; `None` on the sequential path
     /// (always, except while the `partition` module drives a replica).
@@ -672,6 +676,22 @@ impl<'a> Ctx<'a> {
         self.inner.pending_kill.push(agent);
     }
 
+    /// Re-install `fresh` into a previously [`kill`](Self::kill)ed
+    /// agent slot after the current event. The id keeps its name and
+    /// its wiring — links are still attached to the slot's ports — so
+    /// the fresh agent boots (its `on_start` fires at the current
+    /// time) into the dead agent's place in the topology. Reviving a
+    /// *live* slot is a forced reboot: the resident agent is torn down
+    /// exactly like a kill (connections closed, listeners dropped)
+    /// before the fresh one is installed.
+    pub fn revive(&mut self, agent: AgentId, fresh: Box<dyn Agent>) {
+        // Agent-table mutation, same as kill/spawn.
+        self.inner.mark_violation("revive");
+        self.inner.pending_revive.push((agent, fresh));
+        let now = self.inner.now;
+        self.inner.push_ev(now, Ev::Start(agent));
+    }
+
     /// Create a packet link between two `(agent, port)` endpoints.
     pub fn add_link(
         &mut self,
@@ -770,6 +790,7 @@ impl Sim {
                 next_agent: 0,
                 pending_spawn: Vec::new(),
                 pending_kill: Vec::new(),
+                pending_revive: Vec::new(),
                 stopped: false,
                 par: None,
             },
@@ -872,7 +893,10 @@ impl Sim {
 
     pub(crate) fn apply_pending(&mut self) {
         // Runs after every event; almost always a no-op.
-        if self.inner.pending_spawn.is_empty() && self.inner.pending_kill.is_empty() {
+        if self.inner.pending_spawn.is_empty()
+            && self.inner.pending_kill.is_empty()
+            && self.inner.pending_revive.is_empty()
+        {
             return;
         }
         for (id, agent) in self.inner.pending_spawn.drain(..) {
@@ -881,7 +905,15 @@ impl Sim {
             }
             self.agents[id.0] = Some(agent);
         }
-        let kills: Vec<AgentId> = self.inner.pending_kill.drain(..).collect();
+        let mut kills: Vec<AgentId> = self.inner.pending_kill.drain(..).collect();
+        // A revive of a live slot is a forced reboot: tear the resident
+        // agent down like a kill before installing the fresh one.
+        let revives: Vec<(AgentId, Box<dyn Agent>)> = self.inner.pending_revive.drain(..).collect();
+        for (id, _) in &revives {
+            if self.agents.get(id.0).is_some_and(|s| s.is_some()) {
+                kills.push(*id);
+            }
+        }
         let mut close_pushes: Vec<(Time, Ev)> = Vec::new();
         for id in kills {
             if self.agents.get_mut(id.0).and_then(|s| s.take()).is_some() {
@@ -907,6 +939,16 @@ impl Sim {
                 // Drop its listeners.
                 self.inner.listeners.retain(|(a, _), _| *a != id);
             }
+        }
+        for (id, agent) in revives {
+            assert!(
+                id.0 < self.inner.next_agent,
+                "revive of never-allocated agent {id}"
+            );
+            while self.agents.len() <= id.0 {
+                self.agents.push(None);
+            }
+            self.agents[id.0] = Some(agent);
         }
         // Pushed outside the conns borrow; kills only happen under a
         // window on an already-poisoned replica, so routing through

@@ -149,10 +149,10 @@ pub(crate) fn build_plan(sim: &Sim, cores: usize) -> Option<PartitionPlan> {
     use std::collections::{BTreeMap, BTreeSet};
     let mut weight: BTreeMap<usize, u64> = BTreeMap::new();
     let mut dataplane: BTreeSet<usize> = BTreeSet::new();
-    for a in 0..n {
+    for (a, &has_link) in linked.iter().enumerate() {
         let r = uf_find(&mut uf, a);
         *weight.entry(r).or_insert(0) += 1;
-        if linked[a] {
+        if has_link {
             dataplane.insert(r);
         }
     }
@@ -255,7 +255,10 @@ fn precheck(sim: &mut Sim, target: Time) -> Result<(), &'static str> {
     if sim.inner.stopped {
         return Err("sim stopped");
     }
-    if !sim.inner.pending_spawn.is_empty() || !sim.inner.pending_kill.is_empty() {
+    if !sim.inner.pending_spawn.is_empty()
+        || !sim.inner.pending_kill.is_empty()
+        || !sim.inner.pending_revive.is_empty()
+    {
         return Err("agent table changes pending");
     }
     if let Some(max) = sim.cfg.max_time {
@@ -317,10 +320,7 @@ fn worker(mut sim: Sim, cmds: Receiver<Cmd>, replies: Sender<Reply>) -> Sim {
             Cmd::Window { end } => {
                 let mut log = Vec::new();
                 let mut violation = None;
-                loop {
-                    let Some((at, _)) = sim.inner.queue.peek_entry_key() else {
-                        break;
-                    };
+                while let Some((at, _)) = sim.inner.queue.peek_entry_key() {
                     if at >= end {
                         break;
                     }
@@ -514,10 +514,7 @@ pub fn run_parallel_until(sim: &mut Sim, target: Time, cores: usize) -> Parallel
         let mut base = base0;
         let mut windows = 0u64;
         let mut cross_total = 0u64;
-        loop {
-            let Some(start) = next_at.iter().flatten().min().copied() else {
-                break;
-            };
+        while let Some(start) = next_at.iter().flatten().min().copied() {
             if start > target {
                 break;
             }
@@ -737,7 +734,9 @@ mod tests {
         (sim, ids)
     }
 
-    fn fingerprint(sim: &Sim, ids: &[AgentId]) -> (Vec<Vec<(Time, u32, u8)>>, u64, Time, usize) {
+    type Fingerprint = (Vec<Vec<(Time, u32, u8)>>, u64, Time, usize);
+
+    fn fingerprint(sim: &Sim, ids: &[AgentId]) -> Fingerprint {
         (
             ids.iter()
                 .map(|&id| sim.agent_as::<Relay>(id).unwrap().log.clone())

@@ -77,6 +77,13 @@ impl VmAgent {
         self.rib.fib_len()
     }
 
+    /// The installed FIB — best route per prefix (invariant-checker
+    /// probe: the chaos campaign compares these against SPF on the
+    /// surviving graph).
+    pub fn fib_routes(&self) -> Vec<rf_routed::rib::Route> {
+        self.rib.fib()
+    }
+
     /// Effective OSPF (hello, dead) intervals, once configured.
     pub fn ospf_timers(&self) -> Option<(Duration, Duration)> {
         self.ospf.as_ref().map(|d| d.timers())

@@ -3,7 +3,7 @@
 # medians-over-time table (crates/bench/baselines/trend.md).
 #
 # Usage:
-#   scripts/trend_collect.sh append TREND_MD REPORT_JSON LABEL [PERF_JSON] [CORPUS_JSON]
+#   scripts/trend_collect.sh append TREND_MD REPORT_JSON LABEL [PERF_JSON] [CORPUS_JSON] [CHAOS_JSON]
 #       Append one row for REPORT_JSON under LABEL (idempotent: a row
 #       whose label already exists is skipped). When PERF_JSON (a
 #       BENCH_perf.json from perf_sweep) is given, the wall-clock
@@ -16,7 +16,10 @@
 #       on a sub-4-core host); when CORPUS_JSON (a `matrix_sweep --corpus` report) is
 #       given, the trailing columns carry the corpus breadth (distinct
 #       topologies) and the median across per-topology configuration
-#       medians. Absent inputs read "-".
+#       medians; when CHAOS_JSON (a `chaos_sweep` campaign report) is
+#       given, chaos_schedules carries the campaign's cell count and
+#       chaos_violations the total invariant violations across them
+#       (0 on a green campaign). Absent inputs read "-".
 #   scripts/trend_collect.sh fetch TREND_MD [LIMIT]
 #       In CI: download up to LIMIT (default 12) prior sweep-full
 #       artifacts via `gh`, append a row per report (oldest first),
@@ -42,21 +45,21 @@ header() {
             printf 'Times are nanoseconds of simulated time; `-` means the metric was absent.\n\n'
             printf '| run | cells |'
             printf ' %s |' "${METRICS[@]}"
-            printf ' wall_cells_per_sec | fork_speedup | parallel_speedup | corpus_topos | corpus_config_median_ns |'
+            printf ' wall_cells_per_sec | fork_speedup | parallel_speedup | corpus_topos | corpus_config_median_ns | chaos_schedules | chaos_violations |'
             printf '\n|---|---|'
             printf '%s' "$(printf -- '---|%.0s' "${METRICS[@]}")"
-            printf -- '---|---|---|---|---|'
+            printf -- '---|---|---|---|---|---|---|'
             printf '\n'
         } >"$md"
     fi
 }
 
 row_for() {
-    local report=$1 label=$2 perf=$3 corpus=$4
-    python3 - "$report" "$label" "$perf" "$corpus" "${METRICS[@]}" <<'PY'
+    local report=$1 label=$2 perf=$3 corpus=$4 chaos=$5
+    python3 - "$report" "$label" "$perf" "$corpus" "$chaos" "${METRICS[@]}" <<'PY'
 import json, sys
-report, label, perf, corpus, metrics = (
-    sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4], sys.argv[5:])
+report, label, perf, corpus, chaos, metrics = (
+    sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4], sys.argv[5], sys.argv[6:])
 with open(report) as f:
     doc = json.load(f)
 cells = doc.get("cells", [])
@@ -111,28 +114,42 @@ if corpus:
     except (OSError, ValueError):
         pass  # missing or malformed corpus report: leave "-"
 cols += [topos, corpus_median]
+# Chaos campaign columns: schedule (cell) count and total invariant
+# violations from a chaos_sweep report — 0 means the campaign was
+# green; the per-cell metric is `chaos_violations` (report schema v4).
+chaos_schedules, chaos_violations = "-", "-"
+if chaos:
+    try:
+        with open(chaos) as f:
+            hcells = json.load(f).get("cells", [])
+        chaos_schedules = str(len(hcells))
+        chaos_violations = str(sum(
+            c.get("metrics", {}).get("chaos_violations", 0) for c in hcells))
+    except (OSError, ValueError):
+        pass  # missing or malformed chaos report: leave "-"
+cols += [chaos_schedules, chaos_violations]
 print("| " + " | ".join(cols) + " |")
 PY
 }
 
 append_row() {
-    local md=$1 report=$2 label=$3 perf=${4:-} corpus=${5:-}
+    local md=$1 report=$2 label=$3 perf=${4:-} corpus=${5:-} chaos=${6:-}
     header "$md"
     if grep -q "^| ${label} |" "$md"; then
         echo "trend: row '${label}' already present, skipping" >&2
         return 0
     fi
-    row_for "$report" "$label" "$perf" "$corpus" >>"$md"
+    row_for "$report" "$label" "$perf" "$corpus" "$chaos" >>"$md"
     echo "trend: appended '${label}' from ${report}" >&2
 }
 
 case "${1:-}" in
 append)
-    [ $# -ge 4 ] && [ $# -le 6 ] || {
-        echo "usage: $0 append TREND_MD REPORT_JSON LABEL [PERF_JSON] [CORPUS_JSON]" >&2
+    [ $# -ge 4 ] && [ $# -le 7 ] || {
+        echo "usage: $0 append TREND_MD REPORT_JSON LABEL [PERF_JSON] [CORPUS_JSON] [CHAOS_JSON]" >&2
         exit 2
     }
-    append_row "$2" "$3" "$4" "${5:-}" "${6:-}"
+    append_row "$2" "$3" "$4" "${5:-}" "${6:-}" "${7:-}"
     ;;
 fetch)
     [ $# -ge 2 ] || { echo "usage: $0 fetch TREND_MD [LIMIT]" >&2; exit 2; }
@@ -161,7 +178,7 @@ fetch)
         done
     ;;
 *)
-    echo "usage: $0 {append TREND_MD REPORT_JSON LABEL [PERF_JSON] [CORPUS_JSON] | fetch TREND_MD [LIMIT]}" >&2
+    echo "usage: $0 {append TREND_MD REPORT_JSON LABEL [PERF_JSON] [CORPUS_JSON] [CHAOS_JSON] | fetch TREND_MD [LIMIT]}" >&2
     exit 2
     ;;
 esac

@@ -78,11 +78,16 @@ pub mod prelude {
     // `Scenario`/`ScenarioConfig`.
     #[allow(deprecated)]
     pub use rf_core::bootstrap::{Deployment, DeploymentConfig};
+    pub use rf_core::chaos::{
+        check_invariants, ChaosCampaign, ChaosSpec, FaultClass, InvariantContext,
+        InvariantViolation, ReproCase,
+    };
     pub use rf_core::manual::ManualConfigModel;
     pub use rf_core::rfcontroller::RfController;
     pub use rf_core::scenario::{
-        Fault, ForkError, HostAttachment, HostSlot, Scenario, ScenarioBuilder, ScenarioConfig,
-        ScenarioMetrics, Snapshot, SnapshotError, Workload, WorkloadReport,
+        Fault, FaultError, FaultSchedule, ForkError, HostAttachment, HostSlot, Scenario,
+        ScenarioBuilder, ScenarioConfig, ScenarioMetrics, Snapshot, SnapshotError, Workload,
+        WorkloadReport,
     };
     pub use rf_core::traffic::{
         ArrivalProcess, FlowSize, TrafficConfig, TrafficMode, TrafficPattern, TrafficReport,

@@ -76,7 +76,7 @@ fn scenario_pair(cores: usize, profile: Option<LinkProfile>) -> (Scenario, Scena
             .trace_level(TraceLevel::Off)
             .with_workload(Workload::ping(0, 4))
             .parallel_cores(cores);
-        if let Some(p) = profile.clone() {
+        if let Some(p) = profile {
             b = b.link_profile(p);
         }
         b.start()
